@@ -1,0 +1,167 @@
+//! Timestamp-driven animation sampling.
+
+use dvs_sim::{SimDuration, SimTime};
+
+use crate::curve::MotionCurve;
+
+/// Animates a scalar value along a [`MotionCurve`] over a time window.
+///
+/// The animator is *stateless by timestamp*: `sample(t)` depends only on
+/// `t`, never on call order. That property is exactly what lets D-VSync
+/// pre-render frames — passing a future D-Timestamp yields the frame content
+/// as it should look when displayed.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct Animator {
+    curve: Box<dyn MotionCurve>,
+    start: SimTime,
+    duration: SimDuration,
+    from: f64,
+    to: f64,
+}
+
+impl Animator {
+    /// Creates an animator for `[from, to]` over `[start, start + duration]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is zero.
+    pub fn new(
+        curve: Box<dyn MotionCurve>,
+        start: SimTime,
+        duration: SimDuration,
+        from: f64,
+        to: f64,
+    ) -> Self {
+        assert!(!duration.is_zero(), "animation duration must be positive");
+        Animator { curve, start, duration, from, to }
+    }
+
+    /// The animated value at timestamp `t` (clamped to the window).
+    pub fn sample(&self, t: SimTime) -> f64 {
+        let elapsed = t.saturating_since(self.start);
+        let frac = (elapsed.as_nanos() as f64 / self.duration.as_nanos() as f64).min(1.0);
+        self.from + (self.to - self.from) * self.curve.value(frac)
+    }
+
+    /// Whether the animation has completed by `t`.
+    pub fn finished_at(&self, t: SimTime) -> bool {
+        t >= self.start + self.duration
+    }
+
+    /// The window start.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// The window length.
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// End of the window.
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+
+    /// Samples the animation at a uniform cadence — the ideal on-screen
+    /// motion a perfectly paced display would show. Used by tests to check
+    /// DTV's uniform-pacing guarantee.
+    pub fn ideal_sequence(&self, period: SimDuration, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| self.sample(self.start + period * i as u64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::{CubicBezier, Linear};
+
+    fn linear_animator() -> Animator {
+        Animator::new(
+            Box::new(Linear),
+            SimTime::from_millis(100),
+            SimDuration::from_millis(200),
+            0.0,
+            100.0,
+        )
+    }
+
+    #[test]
+    fn clamps_before_start_and_after_end() {
+        let a = linear_animator();
+        assert_eq!(a.sample(SimTime::ZERO), 0.0);
+        assert_eq!(a.sample(SimTime::from_millis(1000)), 100.0);
+    }
+
+    #[test]
+    fn midpoint_of_linear() {
+        let a = linear_animator();
+        assert!((a.sample(SimTime::from_millis(200)) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_is_order_independent() {
+        let a = linear_animator();
+        let t1 = SimTime::from_millis(150);
+        let t2 = SimTime::from_millis(250);
+        let (v2_first, v1_second) = (a.sample(t2), a.sample(t1));
+        assert_eq!(a.sample(t1), v1_second);
+        assert_eq!(a.sample(t2), v2_first);
+    }
+
+    #[test]
+    fn finished_flag() {
+        let a = linear_animator();
+        assert!(!a.finished_at(SimTime::from_millis(299)));
+        assert!(a.finished_at(SimTime::from_millis(300)));
+        assert_eq!(a.end(), SimTime::from_millis(300));
+    }
+
+    #[test]
+    fn reverse_ranges_animate_downwards() {
+        let a = Animator::new(
+            Box::new(Linear),
+            SimTime::ZERO,
+            SimDuration::from_millis(100),
+            100.0,
+            0.0,
+        );
+        assert!((a.sample(SimTime::from_millis(50)) - 50.0).abs() < 1e-9);
+        assert_eq!(a.sample(SimTime::from_millis(100)), 0.0);
+    }
+
+    #[test]
+    fn ideal_sequence_is_uniform_for_linear() {
+        let a = linear_animator();
+        let seq = a.ideal_sequence(SimDuration::from_millis(20), 10);
+        let deltas: Vec<f64> = seq.windows(2).map(|w| w[1] - w[0]).collect();
+        for d in &deltas {
+            assert!((d - 10.0).abs() < 1e-9, "non-uniform step {d}");
+        }
+    }
+
+    #[test]
+    fn bezier_animator_monotonic() {
+        let a = Animator::new(
+            Box::new(CubicBezier::ease_out()),
+            SimTime::ZERO,
+            SimDuration::from_millis(300),
+            0.0,
+            1.0,
+        );
+        let seq = a.ideal_sequence(SimDuration::from_millis(10), 31);
+        for w in seq.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_panics() {
+        Animator::new(Box::new(Linear), SimTime::ZERO, SimDuration::ZERO, 0.0, 1.0);
+    }
+}

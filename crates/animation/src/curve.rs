@@ -1,0 +1,272 @@
+//! Motion curves: normalised progress functions over `[0, 1]`.
+
+use std::fmt::Debug;
+
+/// A motion curve mapping normalised time `t ∈ [0, 1]` to normalised
+/// progress. Implementations must return 0 at `t = 0` and 1 at `t = 1`
+/// (springs may overshoot in between).
+pub trait MotionCurve: Debug + Send + Sync {
+    /// Progress at normalised time `t` (callers clamp `t` to `[0, 1]`).
+    fn value(&self, t: f64) -> f64;
+
+    /// A short identifying name.
+    fn name(&self) -> &'static str;
+}
+
+/// Constant-velocity motion.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Linear;
+
+impl MotionCurve for Linear {
+    fn value(&self, t: f64) -> f64 {
+        t.clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+/// A CSS-style cubic Bézier timing curve through (0,0), (x1,y1), (x2,y2),
+/// (1,1). `value(t)` solves the x-parameterisation numerically, matching the
+/// easing used by mobile UI frameworks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CubicBezier {
+    x1: f64,
+    y1: f64,
+    x2: f64,
+    y2: f64,
+}
+
+impl CubicBezier {
+    /// Creates a curve with control points `(x1, y1)` and `(x2, y2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x1` or `x2` is outside `[0, 1]` (required for the curve to
+    /// be a function of time).
+    pub fn new(x1: f64, y1: f64, x2: f64, y2: f64) -> Self {
+        assert!((0.0..=1.0).contains(&x1), "x1 must be in [0,1]");
+        assert!((0.0..=1.0).contains(&x2), "x2 must be in [0,1]");
+        CubicBezier { x1, y1, x2, y2 }
+    }
+
+    /// The classic ease-out (0.0, 0.0, 0.58, 1.0): fast start, gentle landing
+    /// — the feel of page transitions and app-open animations.
+    pub fn ease_out() -> Self {
+        CubicBezier::new(0.0, 0.0, 0.58, 1.0)
+    }
+
+    /// The classic ease-in-out (0.42, 0.0, 0.58, 1.0).
+    pub fn ease_in_out() -> Self {
+        CubicBezier::new(0.42, 0.0, 0.58, 1.0)
+    }
+
+    /// OpenHarmony's "friction" curve (0.2, 0.0, 0.2, 1.0) used by system
+    /// animations.
+    pub fn friction() -> Self {
+        CubicBezier::new(0.2, 0.0, 0.2, 1.0)
+    }
+
+    fn axis(p1: f64, p2: f64, s: f64) -> f64 {
+        // Cubic Bézier with endpoints 0 and 1.
+        let c = 3.0 * p1;
+        let b = 3.0 * (p2 - p1) - c;
+        let a = 1.0 - c - b;
+        ((a * s + b) * s + c) * s
+    }
+
+    /// Solves the Bézier parameter for a given x by bisection.
+    fn solve_s(&self, x: f64) -> f64 {
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        for _ in 0..48 {
+            let mid = 0.5 * (lo + hi);
+            if Self::axis(self.x1, self.x2, mid) < x {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+impl MotionCurve for CubicBezier {
+    fn value(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, 1.0);
+        if t == 0.0 || t == 1.0 {
+            return t;
+        }
+        let s = self.solve_s(t);
+        Self::axis(self.y1, self.y2, s)
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic-bezier"
+    }
+}
+
+/// A critically/under-damped spring settling from 0 to 1, the physics-based
+/// animation behind cards and folder open/close effects.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Spring {
+    /// Damping ratio; `< 1` overshoots.
+    pub zeta: f64,
+    /// Number of half-oscillations fitted into the animation window.
+    pub omega: f64,
+}
+
+impl Spring {
+    /// A gently overshooting spring (ζ = 0.8).
+    pub fn gentle() -> Self {
+        Spring { zeta: 0.8, omega: 12.0 }
+    }
+
+    /// A bouncy spring (ζ = 0.5).
+    pub fn bouncy() -> Self {
+        Spring { zeta: 0.5, omega: 16.0 }
+    }
+}
+
+impl MotionCurve for Spring {
+    fn value(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, 1.0);
+        if t == 1.0 {
+            return 1.0;
+        }
+        let zeta = self.zeta.clamp(0.01, 0.999);
+        let wd = self.omega * (1.0 - zeta * zeta).sqrt();
+        let envelope = (-zeta * self.omega * t).exp();
+        let phase = wd * t;
+        // Normalised under-damped step response.
+        let raw = 1.0 - envelope * (phase.cos() + zeta * self.omega / wd * phase.sin());
+        // Blend to exactly 1.0 at t = 1 so the endpoint contract holds.
+        raw + (1.0 - raw) * t.powi(8)
+    }
+
+    fn name(&self) -> &'static str {
+        "spring"
+    }
+}
+
+/// Exponential-decay fling: the velocity profile of a released scroll.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DecayFling {
+    /// How many time-constants the animation window covers; larger = the
+    /// motion flattens out earlier.
+    pub rate: f64,
+}
+
+impl DecayFling {
+    /// A typical list fling covering ~4 time-constants.
+    pub fn standard() -> Self {
+        DecayFling { rate: 4.0 }
+    }
+}
+
+impl MotionCurve for DecayFling {
+    fn value(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, 1.0);
+        let denom = 1.0 - (-self.rate).exp();
+        (1.0 - (-self.rate * t).exp()) / denom
+    }
+
+    fn name(&self) -> &'static str {
+        "decay-fling"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn endpoints_hold(c: &dyn MotionCurve) {
+        assert!(c.value(0.0).abs() < 1e-9, "{} at 0", c.name());
+        assert!((c.value(1.0) - 1.0).abs() < 1e-9, "{} at 1", c.name());
+    }
+
+    #[test]
+    fn all_curves_hit_endpoints() {
+        endpoints_hold(&Linear);
+        endpoints_hold(&CubicBezier::ease_out());
+        endpoints_hold(&CubicBezier::ease_in_out());
+        endpoints_hold(&CubicBezier::friction());
+        endpoints_hold(&Spring::gentle());
+        endpoints_hold(&Spring::bouncy());
+        endpoints_hold(&DecayFling::standard());
+    }
+
+    #[test]
+    fn linear_is_identity() {
+        for i in 0..=10 {
+            let t = i as f64 / 10.0;
+            assert!((Linear.value(t) - t).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn values_clamp_outside_unit_interval() {
+        assert_eq!(Linear.value(-1.0), 0.0);
+        assert_eq!(Linear.value(2.0), 1.0);
+        assert_eq!(CubicBezier::ease_out().value(5.0), 1.0);
+    }
+
+    #[test]
+    fn ease_out_front_loads_progress() {
+        let c = CubicBezier::ease_out();
+        assert!(c.value(0.5) > 0.6);
+    }
+
+    #[test]
+    fn ease_in_out_is_symmetric() {
+        let c = CubicBezier::ease_in_out();
+        for i in 1..10 {
+            let t = i as f64 / 10.0;
+            let sym = 1.0 - c.value(1.0 - t);
+            assert!((c.value(t) - sym).abs() < 1e-6, "t={t}");
+        }
+    }
+
+    #[test]
+    fn bezier_is_monotonic_for_valid_controls() {
+        let c = CubicBezier::friction();
+        let mut prev = -1e-9;
+        for i in 0..=1000 {
+            let v = c.value(i as f64 / 1000.0);
+            assert!(v >= prev - 1e-9, "non-monotonic at {i}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "x1 must be in [0,1]")]
+    fn bezier_rejects_bad_x() {
+        CubicBezier::new(-0.5, 0.0, 0.5, 1.0);
+    }
+
+    #[test]
+    fn bouncy_spring_overshoots() {
+        let c = Spring::bouncy();
+        let peak = (0..=100)
+            .map(|i| c.value(i as f64 / 100.0))
+            .fold(f64::MIN, f64::max);
+        assert!(peak > 1.01, "bouncy spring should overshoot, peak {peak}");
+    }
+
+    #[test]
+    fn gentle_spring_stays_bounded() {
+        let c = Spring::gentle();
+        for i in 0..=100 {
+            let v = c.value(i as f64 / 100.0);
+            assert!(v < 1.2, "runaway spring at {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn decay_fling_decelerates() {
+        let c = DecayFling::standard();
+        let early = c.value(0.2) - c.value(0.1);
+        let late = c.value(0.9) - c.value(0.8);
+        assert!(early > 2.0 * late);
+    }
+}

@@ -1,0 +1,38 @@
+//! Motion curves and timestamp-sampled animators.
+//!
+//! Animations are the Display Time Virtualizer's correctness surface (§4.4):
+//! every frame samples a motion curve at a timestamp, and DTV's guarantee is
+//! that sampling at the *D-Timestamp* yields exactly the same on-screen
+//! motion as the classic architecture sampling at VSync time — *"animations
+//! never appear fast in accumulation or slow down in long frames."*
+//!
+//! [`MotionCurve`] implementations cover the curves the paper's scenarios
+//! exercise (page transitions, list flings, springy cards), and [`Animator`]
+//! turns a curve plus a time window into a position-by-timestamp function.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvs_animation::{Animator, CubicBezier};
+//! use dvs_sim::{SimDuration, SimTime};
+//!
+//! let anim = Animator::new(
+//!     Box::new(CubicBezier::ease_out()),
+//!     SimTime::ZERO,
+//!     SimDuration::from_millis(300),
+//!     0.0,
+//!     1000.0,
+//! );
+//! let mid = anim.sample(SimTime::from_millis(150));
+//! assert!(mid > 500.0, "ease-out passes the midpoint early");
+//! assert_eq!(anim.sample(SimTime::from_millis(300)), 1000.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod animator;
+mod curve;
+
+pub use animator::Animator;
+pub use curve::{CubicBezier, DecayFling, Linear, MotionCurve, Spring};

@@ -1,0 +1,173 @@
+//! The Figure 7 latency-visualisation app.
+//!
+//! The app draws a red ball at the touch position every frame. With zero
+//! latency the ball would sit under the fingertip; with the measured 45 ms
+//! end-to-end latency on Pixel 5, a fast upward swipe leaves the ball
+//! trailing by up to ≈400 px (2.4 cm).
+
+use dvs_input::TouchStream;
+use dvs_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One displayed frame of the ball app.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BallFrame {
+    /// Frame index within the gesture.
+    pub index: usize,
+    /// Display time of the frame.
+    pub display: SimTime,
+    /// Where the finger actually is at display time.
+    pub finger_y: f64,
+    /// Where the ball is drawn (the finger position one latency ago).
+    pub ball_y: f64,
+}
+
+impl BallFrame {
+    /// How far the ball trails the fingertip, in pixels.
+    pub fn displacement(&self) -> f64 {
+        (self.finger_y - self.ball_y).abs()
+    }
+}
+
+/// The per-frame trail of one gesture.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BallTrace {
+    /// The rendering latency the trace was computed for.
+    pub latency: SimDuration,
+    /// Frames in display order.
+    pub frames: Vec<BallFrame>,
+}
+
+impl BallTrace {
+    /// The worst displacement over the gesture (Figure 7's ≈394 px).
+    pub fn max_displacement(&self) -> f64 {
+        self.frames.iter().map(BallFrame::displacement).fold(0.0, f64::max)
+    }
+
+    /// The `(frame index, y displacement)` series plotted in Figure 7.
+    pub fn displacement_series(&self) -> Vec<(usize, f64)> {
+        self.frames.iter().map(|f| (f.index, f.displacement())).collect()
+    }
+}
+
+/// The ball-follows-finger app.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_apps::BallApp;
+/// use dvs_input::swipe;
+/// use dvs_sim::{SimDuration, SimTime};
+///
+/// let gesture = swipe(
+///     SimTime::ZERO,
+///     (540.0, 2000.0),
+///     (540.0, 200.0),
+///     SimDuration::from_millis(280),
+///     240,
+/// );
+/// let app = BallApp::new(60);
+/// let ideal = app.run(&gesture, SimDuration::ZERO);
+/// assert!(ideal.max_displacement() < 1.0, "no latency, no trail");
+/// let laggy = app.run(&gesture, SimDuration::from_millis(45));
+/// assert!(laggy.max_displacement() > 200.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct BallApp {
+    rate_hz: u32,
+}
+
+impl BallApp {
+    /// Creates the app for a display at `rate_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_hz` is zero.
+    pub fn new(rate_hz: u32) -> Self {
+        assert!(rate_hz > 0, "refresh rate must be positive");
+        BallApp { rate_hz }
+    }
+
+    /// Replays a gesture: at every refresh during the gesture the displayed
+    /// ball shows the finger position sampled one `latency` earlier.
+    pub fn run(&self, gesture: &TouchStream, latency: SimDuration) -> BallTrace {
+        let period = SimDuration::from_nanos(1_000_000_000 / self.rate_hz as u64);
+        let mut frames = Vec::new();
+        let mut t = gesture.start();
+        let mut index = 0usize;
+        while t <= gesture.end() + latency {
+            let (_, finger_y) = gesture.position_at(t);
+            let sample_at = SimTime::from_nanos(t.as_nanos().saturating_sub(latency.as_nanos()));
+            let (_, ball_y) = gesture.position_at(sample_at);
+            frames.push(BallFrame { index, display: t, finger_y, ball_y });
+            t += period;
+            index += 1;
+        }
+        BallTrace { latency, frames }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_input::swipe;
+
+    fn fast_swipe() -> TouchStream {
+        // ~1800 px in 410 ms with ease-out: peak velocity ≈ 8,800 px/s, the
+        // regime where the paper's screenshot shows a ≈394 px trail at 45 ms.
+        swipe(
+            SimTime::ZERO,
+            (540.0, 2000.0),
+            (540.0, 200.0),
+            SimDuration::from_millis(410),
+            240,
+        )
+    }
+
+    #[test]
+    fn zero_latency_means_no_trail() {
+        let trace = BallApp::new(60).run(&fast_swipe(), SimDuration::ZERO);
+        assert!(trace.max_displacement() < 1e-9);
+    }
+
+    #[test]
+    fn figure7_45ms_trails_about_400px() {
+        let trace = BallApp::new(60).run(&fast_swipe(), SimDuration::from_millis(45));
+        let max = trace.max_displacement();
+        assert!(
+            (300.0..500.0).contains(&max),
+            "Figure 7 reports ≈394 px at 45 ms; got {max:.0}"
+        );
+    }
+
+    #[test]
+    fn lower_latency_trails_less() {
+        let app = BallApp::new(60);
+        let l45 = app.run(&fast_swipe(), SimDuration::from_millis(45));
+        let l31 = app.run(&fast_swipe(), SimDuration::from_millis(31));
+        assert!(l31.max_displacement() < l45.max_displacement());
+        // Roughly proportional to latency for a near-linear mid-swipe.
+        let ratio = l31.max_displacement() / l45.max_displacement();
+        assert!((0.5..0.9).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn displacement_series_covers_gesture() {
+        let trace = BallApp::new(60).run(&fast_swipe(), SimDuration::from_millis(45));
+        let series = trace.displacement_series();
+        assert!(series.len() >= 17, "Figure 7 plots 17 frames; got {}", series.len());
+        // The trail grows then shrinks as the swipe decelerates.
+        let peak_idx = series
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(peak_idx > 0 && peak_idx < series.len() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        BallApp::new(0);
+    }
+}

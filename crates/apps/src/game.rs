@@ -1,0 +1,152 @@
+//! The Figure 14 game simulations.
+//!
+//! Mobile games use custom rendering engines that bypass the OS framework,
+//! so the paper captured each game's per-frame CPU/GPU times and *simulated*
+//! the decoupled pre-rendering pattern over the traces — the same
+//! methodology this whole reproduction generalises. [`GameSimulation`]
+//! replays the 15-game suite under VSync triple buffering and under D-VSync
+//! with 4 and 5 buffers.
+
+use dvs_core::{DvsyncConfig, DvsyncPacer};
+use dvs_pipeline::{calibrate_spec, PipelineConfig, Simulator, VsyncPacer};
+use dvs_workload::{scenarios, ScenarioSpec};
+use serde::{Deserialize, Serialize};
+
+/// One game's row in Figure 14.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GameSimulationRow {
+    /// Game name with its native rate, e.g. "Honor of Kings (UI), 60Hz".
+    pub name: String,
+    /// Native frame rate.
+    pub rate_hz: u32,
+    /// FDPS under VSync with 3 buffers.
+    pub vsync3_fdps: f64,
+    /// FDPS under D-VSync with 4 buffers.
+    pub dvsync4_fdps: f64,
+    /// FDPS under D-VSync with 5 buffers.
+    pub dvsync5_fdps: f64,
+}
+
+/// Replays game traces under the three buffer configurations of Figure 14.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dvs_apps::GameSimulation;
+/// let rows = GameSimulation::new().run_suite();
+/// assert_eq!(rows.len(), 15);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GameSimulation {
+    /// Skip calibration and use specs as-is (for tests).
+    skip_calibration: bool,
+}
+
+impl GameSimulation {
+    /// Creates the simulation over the paper's 15-game suite.
+    pub fn new() -> Self {
+        GameSimulation { skip_calibration: false }
+    }
+
+    /// Uses the raw scenario specs without fitting baselines first.
+    pub fn without_calibration(mut self) -> Self {
+        self.skip_calibration = true;
+        self
+    }
+
+    /// Simulates one game under all three configurations.
+    pub fn run_game(&self, spec: &ScenarioSpec) -> GameSimulationRow {
+        let spec = if self.skip_calibration {
+            spec.clone()
+        } else {
+            calibrate_spec(spec, 3).spec
+        };
+        let trace = spec.generate();
+
+        let v3 = {
+            let cfg = PipelineConfig::new(spec.rate_hz, 3);
+            Simulator::new(&cfg).run(&trace, &mut VsyncPacer::new()).fdps()
+        };
+        let d4 = {
+            let cfg = PipelineConfig::new(spec.rate_hz, 4);
+            let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(4));
+            Simulator::new(&cfg).run(&trace, &mut pacer).fdps()
+        };
+        let d5 = {
+            let cfg = PipelineConfig::new(spec.rate_hz, 5);
+            let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(5));
+            Simulator::new(&cfg).run(&trace, &mut pacer).fdps()
+        };
+        GameSimulationRow {
+            name: spec.name.clone(),
+            rate_hz: spec.rate_hz,
+            vsync3_fdps: v3,
+            dvsync4_fdps: d4,
+            dvsync5_fdps: d5,
+        }
+    }
+
+    /// Runs the full 15-game suite.
+    pub fn run_suite(&self) -> Vec<GameSimulationRow> {
+        scenarios::game_suite().iter().map(|s| self.run_game(s)).collect()
+    }
+
+    /// Average FDPS reduction in percent for one configuration column.
+    pub fn average_reduction(rows: &[GameSimulationRow], five_buffers: bool) -> f64 {
+        let base: f64 = rows.iter().map(|r| r.vsync3_fdps).sum();
+        let dvs: f64 = rows
+            .iter()
+            .map(|r| if five_buffers { r.dvsync5_fdps } else { r.dvsync4_fdps })
+            .sum();
+        if base == 0.0 {
+            0.0
+        } else {
+            (1.0 - dvs / base) * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_workload::CostProfile;
+
+    #[test]
+    fn single_game_improves_with_buffers() {
+        let spec = ScenarioSpec::new("test game", 60, 900, CostProfile::scattered(1.0))
+            .with_paper_fdps(1.2);
+        let row = GameSimulation::new().run_game(&spec);
+        assert!(row.vsync3_fdps > 0.3, "baseline {}", row.vsync3_fdps);
+        assert!(row.dvsync4_fdps <= row.vsync3_fdps);
+        assert!(row.dvsync5_fdps <= row.dvsync4_fdps);
+    }
+
+    #[test]
+    fn uncalibrated_skips_fitting() {
+        let spec = ScenarioSpec::new("raw game", 60, 300, CostProfile::smooth());
+        let row = GameSimulation::new().without_calibration().run_game(&spec);
+        assert_eq!(row.vsync3_fdps, 0.0);
+        assert_eq!(row.dvsync5_fdps, 0.0);
+    }
+
+    #[test]
+    fn reduction_helper() {
+        let rows = vec![GameSimulationRow {
+            name: "g".into(),
+            rate_hz: 60,
+            vsync3_fdps: 1.0,
+            dvsync4_fdps: 0.4,
+            dvsync5_fdps: 0.1,
+        }];
+        assert!((GameSimulation::average_reduction(&rows, false) - 60.0).abs() < 1e-9);
+        assert!((GameSimulation::average_reduction(&rows, true) - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thirty_hz_games_simulate() {
+        let spec = ScenarioSpec::new("slow game", 30, 300, CostProfile::scattered(0.6))
+            .with_paper_fdps(0.8);
+        let row = GameSimulation::new().run_game(&spec);
+        assert_eq!(row.rate_hz, 30);
+    }
+}

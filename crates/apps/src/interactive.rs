@@ -1,0 +1,229 @@
+//! Interactive frames end-to-end: why D-VSync needs the Input Prediction
+//! Layer (§4.6), quantified.
+//!
+//! During a drag, every frame draws the content at the finger position the
+//! renderer knew when the frame executed. Under VSync that position is two
+//! periods stale by display time (Figure 7's trailing ball). Under D-VSync
+//! *without* prediction it is worse — pre-rendered frames execute several
+//! periods early, so their input state is even older. The IPL closes the
+//! gap: it extrapolates the finger position to the frame's D-Timestamp, so
+//! the drawn position is computed *for the display instant*.
+//!
+//! [`InteractiveStudy`] measures the on-screen input error (drawn position
+//! vs. the finger's true position at the present fence) under all three
+//! policies over the same gesture and workload.
+
+use dvs_core::{DvsyncConfig, DvsyncPacer, IplPredictor, LinearFit};
+use dvs_input::{swipe, TouchStream};
+use dvs_metrics::RunReport;
+use dvs_pipeline::{PipelineConfig, Simulator, VsyncPacer};
+use dvs_sim::{SimDuration, SimTime};
+use dvs_workload::{CostProfile, Determinism, ScenarioSpec};
+use serde::{Deserialize, Serialize};
+
+/// How a frame decides what input state to draw.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputPolicy {
+    /// Classic VSync: sample the input at execution time.
+    VsyncSampled,
+    /// D-VSync without IPL: pre-rendered frames still sample at execution
+    /// time (the naive port the paper warns against).
+    DvsyncStale,
+    /// D-VSync with IPL: extrapolate the input to the D-Timestamp.
+    DvsyncPredicted,
+}
+
+impl InputPolicy {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            InputPolicy::VsyncSampled => "VSync (sampled)",
+            InputPolicy::DvsyncStale => "D-VSync, no IPL (stale)",
+            InputPolicy::DvsyncPredicted => "D-VSync + IPL (predicted)",
+        }
+    }
+}
+
+/// On-screen input error for one policy.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InputLagReport {
+    /// The policy measured.
+    pub policy: InputPolicy,
+    /// Mean |drawn − true-at-display| in pixels.
+    pub mean_error_px: f64,
+    /// Worst-case error in pixels.
+    pub max_error_px: f64,
+    /// Frames evaluated.
+    pub frames: usize,
+    /// Janks during the run.
+    pub janks: usize,
+}
+
+/// The drag-interaction study.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_apps::InteractiveStudy;
+/// let reports = InteractiveStudy::new().run();
+/// // Prediction beats sampling; naive decoupling is the worst of the three.
+/// assert!(reports[2].mean_error_px < reports[0].mean_error_px);
+/// assert!(reports[1].mean_error_px > reports[0].mean_error_px);
+/// ```
+#[derive(Clone, Debug)]
+pub struct InteractiveStudy {
+    rate_hz: u32,
+    frames: usize,
+}
+
+impl InteractiveStudy {
+    /// A 60 Hz, three-second drag with a moderately heavy list workload.
+    pub fn new() -> Self {
+        InteractiveStudy { rate_hz: 60, frames: 180 }
+    }
+
+    /// The drag gesture: a long decelerating swipe across the screen height,
+    /// lasting slightly beyond the rendered window.
+    pub fn gesture(&self) -> TouchStream {
+        let duration =
+            SimDuration::from_millis(1000 * (self.frames as u64 + 30) / self.rate_hz as u64);
+        swipe(SimTime::ZERO, (540.0, 2100.0), (540.0, 150.0), duration, 240)
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        // List browsing with a fingertip on screen: occasional item-inflation
+        // key frames inside the D-VSync absorption budget.
+        let cost = CostProfile {
+            short_median_frac: 0.45,
+            short_sigma: 0.25,
+            ui_share: 0.4,
+            long_rate_per_sec: 1.0,
+            long_min_periods: 1.0,
+            long_alpha: 3.0,
+            long_max_periods: 2.8,
+            cluster_p: 0.02,
+            long_ui_spike_p: 0.2,
+        };
+        ScenarioSpec::new("interactive drag", self.rate_hz, self.frames, cost)
+            .with_determinism(Determinism::PredictableInteraction)
+            // The finger stays down: one continuous interaction.
+            .with_segment_frames(self.frames)
+    }
+
+    fn simulate(&self, dvsync: bool) -> RunReport {
+        let spec = self.spec();
+        let trace = spec.generate();
+        if dvsync {
+            let cfg = PipelineConfig::new(self.rate_hz, 5);
+            let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(5));
+            Simulator::new(&cfg).run(&trace, &mut pacer)
+        } else {
+            let cfg = PipelineConfig::new(self.rate_hz, 3);
+            Simulator::new(&cfg).run(&trace, &mut VsyncPacer::new())
+        }
+    }
+
+    fn evaluate(&self, report: &RunReport, policy: InputPolicy) -> InputLagReport {
+        let gesture = self.gesture();
+        let predictor = LinearFit::new(6);
+        let mut sum = 0.0;
+        let mut max: f64 = 0.0;
+        let mut n = 0usize;
+        for r in &report.records {
+            let truth = gesture.position_at(r.present).1;
+            let drawn = match policy {
+                InputPolicy::VsyncSampled | InputPolicy::DvsyncStale => {
+                    gesture.position_at(r.trigger).1
+                }
+                InputPolicy::DvsyncPredicted => {
+                    let history: Vec<(SimTime, f64)> = gesture
+                        .history_until(r.trigger)
+                        .iter()
+                        .map(|e| (e.t, e.y))
+                        .collect();
+                    predictor
+                        .predict(&history, r.content_timestamp)
+                        .unwrap_or_else(|| gesture.position_at(r.trigger).1)
+                }
+            };
+            let err = (drawn - truth).abs();
+            sum += err;
+            max = max.max(err);
+            n += 1;
+        }
+        InputLagReport {
+            policy,
+            mean_error_px: if n == 0 { 0.0 } else { sum / n as f64 },
+            max_error_px: max,
+            frames: n,
+            janks: report.janks.len(),
+        }
+    }
+
+    /// Runs all three policies over the same gesture and workload, returned
+    /// in [`InputPolicy`] declaration order.
+    pub fn run(&self) -> Vec<InputLagReport> {
+        let vsync = self.simulate(false);
+        let dvsync = self.simulate(true);
+        vec![
+            self.evaluate(&vsync, InputPolicy::VsyncSampled),
+            self.evaluate(&dvsync, InputPolicy::DvsyncStale),
+            self.evaluate(&dvsync, InputPolicy::DvsyncPredicted),
+        ]
+    }
+}
+
+impl Default for InteractiveStudy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipl_closes_the_gap() {
+        let reports = InteractiveStudy::new().run();
+        let vsync = &reports[0];
+        let stale = &reports[1];
+        let predicted = &reports[2];
+        // Naive decoupling makes interactive content *more* stale than VSync
+        // (frames execute earlier), which is exactly why §4.6 exists…
+        assert!(
+            stale.mean_error_px > 1.3 * vsync.mean_error_px,
+            "stale {} vs vsync {}",
+            stale.mean_error_px,
+            vsync.mean_error_px
+        );
+        // …and the IPL beats both by a wide margin.
+        assert!(
+            predicted.mean_error_px < 0.3 * vsync.mean_error_px,
+            "predicted {} vs vsync {}",
+            predicted.mean_error_px,
+            vsync.mean_error_px
+        );
+    }
+
+    #[test]
+    fn all_policies_render_every_frame() {
+        for r in InteractiveStudy::new().run() {
+            assert_eq!(r.frames, 180, "{:?}", r.policy);
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<&str> = [
+            InputPolicy::VsyncSampled,
+            InputPolicy::DvsyncStale,
+            InputPolicy::DvsyncPredicted,
+        ]
+        .iter()
+        .map(|p| p.label())
+        .collect();
+        assert_eq!(labels.len(), 3);
+        assert!(labels.iter().all(|l| !l.is_empty()));
+    }
+}

@@ -1,0 +1,29 @@
+//! Application models and the paper's case studies.
+//!
+//! * [`BallApp`] — the Figure 7 latency-visualisation app: a ball drawn at
+//!   the touch position every frame, trailing the fingertip by the
+//!   end-to-end rendering latency;
+//! * [`MapApp`] — the §6.5 decoupling-aware map: pinch-zoom with a Zooming
+//!   Distance Predictor registered through the IPL;
+//! * [`ChromiumCompositor`] — the §6.6 browser case study: a tile-based
+//!   compositor whose fling animations pre-render through the
+//!   decoupling-aware APIs;
+//! * [`GameSimulation`] — the Figure 14 methodology: replaying captured
+//!   per-frame game costs under VSync and the decoupled pattern;
+//! * [`InteractiveStudy`] — the §4.6 rationale quantified: on-screen input
+//!   error under VSync, naive decoupling, and decoupling with the IPL.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ball;
+mod chromium;
+mod game;
+mod interactive;
+mod map;
+
+pub use ball::{BallApp, BallTrace};
+pub use chromium::{ChromiumCompositor, ChromiumReport, WebPage};
+pub use game::{GameSimulation, GameSimulationRow};
+pub use interactive::{InputLagReport, InputPolicy, InteractiveStudy};
+pub use map::{MapApp, MapCaseStudy, ZoomingDistancePredictor, ZDP_EXEC_TIME};

@@ -1,0 +1,232 @@
+//! Case study 1 (§6.5): a decoupling-aware map app.
+//!
+//! Zooming keeps two fingers on the screen while vector tiles load and
+//! render — a heavy, interactive workload with frame drops under VSync. The
+//! map registers a **Zooming Distance Predictor** (ZDP) through the IPL: a
+//! linear fit over the recent finger-distance samples, evaluated at the
+//! D-Timestamp retrieved from DTV, so pre-rendered zoom frames show the zoom
+//! level the fingers will have reached when the frame appears. The app also
+//! configures a pre-render limit of 5 buffers and activates D-VSync only
+//! while zooming (runtime switch), not while browsing.
+
+use dvs_core::{
+    Channel, DvsyncConfig, DvsyncRuntime, IplPredictor, IplRegistry, LinearFit,
+    PredictionQuality,
+};
+use dvs_input::{pinch, PinchStream};
+use dvs_metrics::RunReport;
+use dvs_pipeline::calibrate_spec;
+use dvs_sim::{SimDuration, SimTime};
+use dvs_workload::{CostProfile, Determinism, ScenarioSpec};
+use serde::{Deserialize, Serialize};
+
+/// The map's registered IPL heuristic: linear extrapolation of the
+/// inter-finger distance (the paper's ZDP, ≈200 LOC of Java there).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ZoomingDistancePredictor {
+    fit: LinearFit,
+}
+
+/// The paper's measured ZDP execution cost per invocation (§6.5: 151.6 µs
+/// per frame on a little core).
+pub const ZDP_EXEC_TIME: SimDuration = SimDuration::from_micros(152);
+
+impl IplPredictor for ZoomingDistancePredictor {
+    fn predict(&self, history: &[(SimTime, f64)], target: SimTime) -> Option<f64> {
+        self.fit.predict(history, target)
+    }
+
+    fn name(&self) -> &'static str {
+        "zooming-distance-predictor"
+    }
+}
+
+/// Results of the map-app case study (Figure 16's three panels).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MapCaseStudy {
+    /// The zoom scenario under classic VSync (3 buffers).
+    pub vsync: RunReport,
+    /// The zoom scenario with D-VSync + ZDP (5 buffers).
+    pub dvsync: RunReport,
+    /// ZDP prediction accuracy over the pinch gesture, in pixels of
+    /// finger-distance.
+    pub zdp_quality: PredictionQuality,
+    /// Modeled per-invocation ZDP cost.
+    pub zdp_exec_time: SimDuration,
+}
+
+impl MapCaseStudy {
+    /// FDPS reduction in percent (the paper reports 100 %).
+    pub fn fdps_reduction_percent(&self) -> f64 {
+        if self.vsync.fdps() == 0.0 {
+            0.0
+        } else {
+            (1.0 - self.dvsync.fdps() / self.vsync.fdps()) * 100.0
+        }
+    }
+
+    /// Latency reduction in percent (the paper reports 30.2 %).
+    pub fn latency_reduction_percent(&self) -> f64 {
+        let v = self.vsync.mean_latency_ms();
+        if v == 0.0 {
+            0.0
+        } else {
+            (1.0 - self.dvsync.mean_latency_ms() / v) * 100.0
+        }
+    }
+}
+
+/// The decoupling-aware map application.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_apps::MapApp;
+/// let study = MapApp::new().run_zoom_case_study();
+/// assert!(study.vsync.fdps() > 0.5, "zooming drops frames under VSync");
+/// assert_eq!(study.dvsync.janks.len(), 0, "the paper reports 100% elimination");
+/// ```
+#[derive(Debug)]
+pub struct MapApp {
+    rate_hz: u32,
+    frames: usize,
+    registry: IplRegistry,
+}
+
+impl MapApp {
+    /// Creates the app on a Pixel-5-like 60 Hz panel, recording 3600 frames
+    /// as in the paper, with the ZDP registered for the zoom scenario.
+    pub fn new() -> Self {
+        let mut registry = IplRegistry::new();
+        registry.register("map-zoom", Box::new(ZoomingDistancePredictor::default()));
+        MapApp { rate_hz: 60, frames: 3600, registry }
+    }
+
+    /// Shrinks the recording (for quick tests).
+    pub fn with_frames(mut self, frames: usize) -> Self {
+        self.frames = frames;
+        self
+    }
+
+    /// The IPL registry (ZDP registered under `"map-zoom"`).
+    pub fn registry(&self) -> &IplRegistry {
+        &self.registry
+    }
+
+    /// The zooming workload: vector-tile loads make key frames of 1–3
+    /// periods at a few drops per second under VSync, within the absorption
+    /// budget of the 5-buffer configuration the app requests.
+    fn zoom_spec(&self) -> ScenarioSpec {
+        let cost = CostProfile {
+            short_median_frac: 0.5,
+            short_sigma: 0.25,
+            ui_share: 0.3,
+            long_rate_per_sec: 1.2,
+            long_min_periods: 1.1,
+            long_alpha: 1.5,
+            // Tile loads stay inside the 5-buffer absorption budget.
+            long_max_periods: DvsyncConfig::with_buffers(5).absorption_budget_periods(),
+            cluster_p: 0.05,
+        long_ui_spike_p: 0.15,
+        };
+        ScenarioSpec::new("map zoom", self.rate_hz, self.frames, cost)
+            .with_determinism(Determinism::PredictableInteraction)
+            .with_paper_fdps(1.5)
+            // One sustained two-finger zoom interaction: the fingers stay on
+            // the screen, so the queue never drains between animations.
+            .with_segment_frames(self.frames)
+    }
+
+    /// Runs the §6.5 case study: the same zoom under VSync and under
+    /// D-VSync with the ZDP registered and 5 buffers configured.
+    pub fn run_zoom_case_study(&self) -> MapCaseStudy {
+        // Calibrate the zoom workload against the classic path.
+        let spec = calibrate_spec(&self.zoom_spec(), 3).spec;
+
+        let mut runtime = DvsyncRuntime::new(DvsyncConfig::with_buffers(5), 3);
+        // Zooming is interactive: only the aware channel decouples. The app
+        // switches D-VSync off while merely browsing (not simulated here).
+        let dvsync = runtime.run_scenario(&spec, Channel::Aware);
+        runtime.force(Some(false));
+        let vsync = runtime.run_scenario(&spec, Channel::Aware);
+
+        // ZDP accuracy: predict the finger distance one pre-render horizon
+        // ahead over a characteristic pinch.
+        let gesture = self.characteristic_pinch();
+        let horizon = SimDuration::from_nanos(
+            (1_000_000_000 / self.rate_hz as u64) * 3, // ≈ pre-render depth
+        );
+        let zdp = self.registry.lookup("map-zoom");
+        let zdp_quality = PredictionQuality::evaluate(zdp, gesture.samples(), horizon);
+
+        MapCaseStudy { vsync, dvsync, zdp_quality, zdp_exec_time: ZDP_EXEC_TIME }
+    }
+
+    /// A two-second pinch-zoom from 200 px to 900 px finger distance at the
+    /// digitiser's 120 Hz sample rate.
+    pub fn characteristic_pinch(&self) -> PinchStream {
+        pinch(SimTime::ZERO, 200.0, 900.0, SimDuration::from_secs(2), 120)
+    }
+}
+
+impl Default for MapApp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_study() -> MapCaseStudy {
+        MapApp::new().with_frames(900).run_zoom_case_study()
+    }
+
+    #[test]
+    fn eliminates_all_frame_drops() {
+        let s = quick_study();
+        assert!(!s.vsync.janks.is_empty(), "baseline must drop frames");
+        assert_eq!(s.dvsync.janks.len(), 0);
+        assert!((s.fdps_reduction_percent() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_reduction_near_paper() {
+        let s = quick_study();
+        let red = s.latency_reduction_percent();
+        assert!(
+            (15.0..45.0).contains(&red),
+            "paper reports 30.2% latency reduction, got {red:.1}%"
+        );
+    }
+
+    #[test]
+    fn zdp_prediction_is_tight() {
+        let s = quick_study();
+        // Finger distance spans 700 px; predicting 50 ms ahead should err by
+        // at most a few pixels on a smooth pinch.
+        assert!(s.zdp_quality.evaluated > 100);
+        assert!(s.zdp_quality.mean_abs_error < 5.0, "{:?}", s.zdp_quality);
+    }
+
+    #[test]
+    fn zdp_cost_matches_paper() {
+        assert!((ZDP_EXEC_TIME.as_micros_f64() - 151.6).abs() < 1.0);
+    }
+
+    #[test]
+    fn registry_exposes_zdp() {
+        let app = MapApp::new();
+        assert_eq!(app.registry().lookup("map-zoom").name(), "zooming-distance-predictor");
+    }
+
+    #[test]
+    fn zdp_predicts_linear_growth_exactly() {
+        let zdp = ZoomingDistancePredictor::default();
+        let hist: Vec<(SimTime, f64)> =
+            (0..10).map(|i| (SimTime::from_millis(8 * i), 100.0 + 5.0 * i as f64)).collect();
+        let pred = zdp.predict(&hist, SimTime::from_millis(96)).unwrap();
+        assert!((pred - 160.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,44 @@
+//! Input Prediction Layer benchmarks: the per-invocation cost of each curve
+//! fit, the quantity the paper reports as 151.6 µs/frame for the map app's
+//! ZDP (including its Java/JNI environment; here we see the raw fit cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dvs_apps::ZoomingDistancePredictor;
+use dvs_core::{IplPredictor, LinearFit, PolyFit2, VelocityExtrapolation};
+use dvs_sim::SimTime;
+
+fn history(n: usize) -> Vec<(SimTime, f64)> {
+    (0..n)
+        .map(|i| {
+            let t = SimTime::from_millis(8 * i as u64);
+            let x = i as f64 * 0.008;
+            (t, 200.0 + 350.0 * x * x * (3.0 - 2.0 * x))
+        })
+        .collect()
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let hist = history(32);
+    let target = SimTime::from_millis(8 * 32 + 25);
+    let mut group = c.benchmark_group("ipl_predict");
+    group.bench_function("linear_fit_w6", |b| {
+        let p = LinearFit::new(6);
+        b.iter(|| p.predict(black_box(&hist), black_box(target)));
+    });
+    group.bench_function("poly2_fit_w8", |b| {
+        let p = PolyFit2::new(8);
+        b.iter(|| p.predict(black_box(&hist), black_box(target)));
+    });
+    group.bench_function("velocity_extrapolation", |b| {
+        b.iter(|| VelocityExtrapolation.predict(black_box(&hist), black_box(target)));
+    });
+    group.bench_function("zooming_distance_predictor", |b| {
+        let p = ZoomingDistancePredictor::default();
+        b.iter(|| p.predict(black_box(&hist), black_box(target)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

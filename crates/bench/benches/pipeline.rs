@@ -1,0 +1,54 @@
+//! Simulator throughput benchmarks: how fast the discrete-event pipeline
+//! replays traces under each architecture, and the cost of a full calibrated
+//! scenario run (the unit of work behind every figure).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use dvs_core::{DvsyncConfig, DvsyncPacer};
+use dvs_pipeline::{run_segmented, PipelineConfig, Simulator, VsyncPacer};
+use dvs_workload::{CostProfile, ScenarioSpec};
+
+fn bench_simulator(c: &mut Criterion) {
+    let spec = ScenarioSpec::new("bench trace", 60, 1000, CostProfile::scattered(2.0));
+    let trace = spec.generate();
+
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+
+    group.bench_function("vsync_1000_frames", |b| {
+        let cfg = PipelineConfig::new(60, 3);
+        let sim = Simulator::new(&cfg);
+        b.iter_batched(
+            VsyncPacer::new,
+            |mut pacer| sim.run(&trace, &mut pacer),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("dvsync_1000_frames", |b| {
+        let cfg = PipelineConfig::new(60, 5);
+        let sim = Simulator::new(&cfg);
+        b.iter_batched(
+            || DvsyncPacer::new(DvsyncConfig::with_buffers(5)),
+            |mut pacer| sim.run(&trace, &mut pacer),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("segmented_scenario_run", |b| {
+        b.iter(|| run_segmented(&spec, 4, || Box::new(VsyncPacer::new())));
+    });
+
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let spec = ScenarioSpec::new("gen", 120, 5000, CostProfile::scattered(4.0));
+    let mut group = c.benchmark_group("workload");
+    group.throughput(Throughput::Elements(5000));
+    group.bench_function("generate_5000_frames", |b| b.iter(|| spec.generate()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,367 @@
+//! The reproduction harness CLI: regenerates every table and figure of the
+//! D-VSync paper's evaluation from the simulator.
+//!
+//! ```text
+//! repro --all               # everything (takes a minute or two)
+//! repro --fig 11            # one figure
+//! repro --table 2           # one table
+//! repro --power --chromium  # named sections
+//! repro custom spec.json    # run a user-provided ScenarioSpec JSON
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use dvs_bench::*;
+
+struct Job {
+    key: &'static str,
+    describe: &'static str,
+    run: fn() -> String,
+}
+
+fn jobs() -> Vec<Job> {
+    vec![
+        Job {
+            key: "fig1",
+            describe: "CDF of frame rendering time",
+            run: || fig01_cdf::render(&fig01_cdf::run(200_000)),
+        },
+        Job {
+            key: "fig3",
+            describe: "pixels per second across flagships",
+            run: || fig03_pixels::render(&fig03_pixels::run()),
+        },
+        Job {
+            key: "fig4",
+            describe: "graphics features per OS release (heavier shaded)",
+            run: || fig04_features::render(&fig04_features::run()),
+        },
+        Job {
+            key: "fig5",
+            describe: "frame-drop % summary per platform",
+            run: || fig05_summary::render(&fig05_summary::run()),
+        },
+        Job {
+            key: "fig6",
+            describe: "frame distribution (drop/stuffing/direct)",
+            run: || fig06_distribution::render(&fig06_distribution::run()),
+        },
+        Job {
+            key: "fig7",
+            describe: "touch-follow ball latency visualisation",
+            run: || fig07_ball::render(&fig07_ball::run(45.0)),
+        },
+        Job {
+            key: "fig9",
+            describe: "scope of the D-VSync approach",
+            run: || fig09_scope::render(&fig09_scope::run()),
+        },
+        Job {
+            key: "fig10",
+            describe: "VSync vs D-VSync execution patterns",
+            run: || fig10_trace::render(&fig10_trace::run()),
+        },
+        Job {
+            key: "fig11",
+            describe: "FDPS for 25 apps (Pixel 5)",
+            run: || fig11_apps::render(&fig11_apps::run()),
+        },
+        Job {
+            key: "fig12",
+            describe: "OS use cases, Mate 60 Pro Vulkan",
+            run: || fig12_13_oscases::run_fig12().render(),
+        },
+        Job {
+            key: "fig13",
+            describe: "OS use cases, Mate 40/60 Pro GLES",
+            run: || {
+                let mut out = fig12_13_oscases::run_fig13_mate40().render();
+                out.push('\n');
+                out.push_str(&fig12_13_oscases::run_fig13_mate60().render());
+                out
+            },
+        },
+        Job {
+            key: "fig14",
+            describe: "game simulations",
+            run: || fig14_games::render(&fig14_games::run()),
+        },
+        Job {
+            key: "fig15",
+            describe: "rendering latency per device",
+            run: || fig15_latency::render(&fig15_latency::run()),
+        },
+        Job {
+            key: "fig16",
+            describe: "map app case study",
+            run: || fig16_map::render(&fig16_map::run()),
+        },
+        Job {
+            key: "table1",
+            describe: "platform configuration",
+            run: || table1_devices::render(&table1_devices::run()),
+        },
+        Job {
+            key: "table2",
+            describe: "perceived stutters over UX tasks",
+            run: || table2_stutters::render(&table2_stutters::run()),
+        },
+        Job {
+            key: "cost",
+            describe: "§6.4 execution and memory costs",
+            run: || costs::render(&costs::run()),
+        },
+        Job {
+            key: "power",
+            describe: "§6.7 power and instructions",
+            run: || power::render(&power::run()),
+        },
+        Job {
+            key: "chromium",
+            describe: "§6.6 browser case study",
+            run: || sec66_chromium::render(&sec66_chromium::run()),
+        },
+        Job {
+            key: "multitask",
+            describe: "two apps sharing compute (multi-window contention)",
+            run: || {
+                use dvs_core::{ContentionMode, ContentionSim};
+                use dvs_workload::{CostProfile, ScenarioSpec};
+                let a = ScenarioSpec::new("left app", 60, 600, CostProfile::scattered(1.0))
+                    .generate();
+                let b = ScenarioSpec::new("right app", 60, 600, CostProfile::scattered(1.0))
+                    .generate();
+                let mut out = String::from(
+                    "Multi-window contention: two apps on shared compute\n",
+                );
+                out.push_str(&format!(
+                    "{:>10} {:>14} {:>16}\n",
+                    "capacity", "VSync janks", "D-VSync janks"
+                ));
+                for capacity in [1.0f64, 1.2, 1.4, 1.7, 2.0] {
+                    let sim = ContentionSim::new(60, capacity);
+                    let v: usize = sim
+                        .run(&[&a, &b], ContentionMode::Vsync { buffers: 3 })
+                        .iter()
+                        .map(|r| r.janks.len())
+                        .sum();
+                    let d: usize = sim
+                        .run(&[&a, &b], ContentionMode::Dvsync { buffers: 5 })
+                        .iter()
+                        .map(|r| r.janks.len())
+                        .sum();
+                    out.push_str(&format!("{capacity:>10.1} {v:>14} {d:>16}\n"));
+                }
+                out.push_str(
+                    "capacity 1.0 = two active apps halve each other; 2.0 = no contention\n",
+                );
+                out
+            },
+        },
+        Job {
+            key: "scenes",
+            describe: "scene-driven workloads (§3.1's effects as real content)",
+            run: || {
+                let mut out = String::from(
+                    "Scene-driven traces (costs derived from actual UI content)\n",
+                );
+                for driver in [
+                    dvs_render::scenes::notification_center_close(120),
+                    dvs_render::scenes::app_open(120),
+                    dvs_render::scenes::photo_list_fling(120),
+                ] {
+                    let trace = driver.trace();
+                    let period = trace.period();
+                    let heavy =
+                        trace.frames.iter().filter(|f| f.total() > period).count();
+                    let vsync = {
+                        let cfg = dvs_pipeline::PipelineConfig::new(120, 3);
+                        dvs_pipeline::Simulator::new(&cfg)
+                            .run(&trace, &mut dvs_pipeline::VsyncPacer::new())
+                    };
+                    let dvsync = {
+                        let cfg = dvs_pipeline::PipelineConfig::new(120, 5);
+                        let mut pacer = dvs_core::DvsyncPacer::new(
+                            dvs_core::DvsyncConfig::with_buffers(5),
+                        );
+                        dvs_pipeline::Simulator::new(&cfg).run(&trace, &mut pacer)
+                    };
+                    out.push_str(&format!(
+                        "  {:<34} {:>3} frames, {:>2} key frames | VSync {:>2} janks, \
+                         D-VSync {:>2}\n",
+                        trace.name,
+                        trace.len(),
+                        heavy,
+                        vsync.janks.len(),
+                        dvsync.janks.len()
+                    ));
+                }
+                out
+            },
+        },
+        Job {
+            key: "census",
+            describe: "§3.2's \"N of 75 cases exhibit frame drops\" counts",
+            run: || suite75::render(&suite75::run()),
+        },
+        Job {
+            key: "fps",
+            describe: "§3.2's \"95-105 FPS on the 120 Hz screen\" cases",
+            run: || fps_report::render(&fps_report::run()),
+        },
+        Job {
+            key: "ablation",
+            describe: "design-choice ablations (limits, DTV calibration, IPL, segmentation)",
+            run: ablation::render_all,
+        },
+        Job {
+            key: "export",
+            describe: "write the scenario suites as editable JSON (for `repro custom`)",
+            run: || {
+                use dvs_workload::scenarios;
+                let dir = std::env::temp_dir().join("dvsync_suites");
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    return format!("could not create {}: {e}\n", dir.display());
+                }
+                let mut out = String::from("Scenario suites exported as JSON\n");
+                let suites: Vec<(&str, Vec<dvs_workload::ScenarioSpec>)> = vec![
+                    ("android_apps.json", scenarios::android_app_suite()),
+                    ("mate60_vulkan.json", scenarios::mate60_vulkan_suite()),
+                    ("mate60_gles.json", scenarios::mate60_gles_suite()),
+                    ("mate40_gles.json", scenarios::mate40_gles_suite()),
+                    ("games.json", scenarios::game_suite()),
+                ];
+                for (name, suite) in suites {
+                    let path = dir.join(name);
+                    match serde_json::to_string_pretty(&suite)
+                        .map_err(|e| e.to_string())
+                        .and_then(|s| std::fs::write(&path, s).map_err(|e| e.to_string()))
+                    {
+                        Ok(()) => out.push_str(&format!("  wrote {}\n", path.display())),
+                        Err(e) => out.push_str(&format!("  FAILED {}: {e}\n", path.display())),
+                    }
+                }
+                out.push_str("edit a spec and run it with: repro custom <file-with-one-spec>\n");
+                out
+            },
+        },
+        Job {
+            key: "trace",
+            describe: "export Fig. 10's runs as Chrome trace-event JSON (chrome://tracing)",
+            run: || {
+                let comparison = fig10_trace::run();
+                let dir = std::env::temp_dir().join("dvsync_traces");
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    return format!("could not create {}: {e}\n", dir.display());
+                }
+                let mut out = String::from("Chrome trace export (open in chrome://tracing)\n");
+                for (name, report) in [
+                    ("vsync.trace.json", &comparison.vsync),
+                    ("dvsync.trace.json", &comparison.dvsync),
+                ] {
+                    let path = dir.join(name);
+                    match std::fs::write(&path, dvs_metrics::chrome_trace_json(report)) {
+                        Ok(()) => out.push_str(&format!("  wrote {}\n", path.display())),
+                        Err(e) => out.push_str(&format!("  FAILED {}: {e}\n", path.display())),
+                    }
+                }
+                out
+            },
+        },
+    ]
+}
+
+fn usage(jobs: &[Job]) -> String {
+    let mut out = String::from(
+        "repro — regenerate the D-VSync paper's tables and figures\n\n\
+         usage: repro --all | [--fig N]... [--table N]... [--cost] [--power] [--chromium]\n\
+         \x20      repro custom <scenario.json>   # run a ScenarioSpec under all configs\n\n\
+         artefacts:\n",
+    );
+    for j in jobs {
+        out.push_str(&format!("  {:<8} {}\n", j.key, j.describe));
+    }
+    out
+}
+
+/// Runs a user-provided `ScenarioSpec` (JSON) under the standard ladder of
+/// configurations and prints the comparison.
+fn run_custom(path: &str) -> Result<String, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let spec: dvs_workload::ScenarioSpec =
+        serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
+    let fitted = if spec.paper_baseline_fdps > 0.0 {
+        dvs_pipeline::calibrate_spec(&spec, 3).spec
+    } else {
+        spec
+    };
+    let result = suite::run_suite(
+        &format!("custom scenario: {}", fitted.name),
+        std::slice::from_ref(&fitted),
+        3,
+        &[4, 5, 7],
+    );
+    Ok(result.render())
+}
+
+fn main() -> ExitCode {
+    let jobs = jobs();
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage(&jobs));
+        return ExitCode::SUCCESS;
+    }
+
+    // Normalise: "--fig 11" & "--fig11" -> "fig11"; "--table 2" -> "table2".
+    let mut wanted: Vec<String> = Vec::new();
+    let mut all = false;
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].trim_start_matches('-').to_lowercase();
+        match a.as_str() {
+            "all" => all = true,
+            "custom" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("custom needs a scenario JSON path");
+                    return ExitCode::FAILURE;
+                };
+                match run_custom(path) {
+                    Ok(text) => {
+                        println!("{text}");
+                        return ExitCode::SUCCESS;
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "fig" | "table" => {
+                if let Some(n) = args.get(i + 1) {
+                    wanted.push(format!("{a}{n}"));
+                    i += 1;
+                } else {
+                    eprintln!("--{a} needs a number");
+                    return ExitCode::FAILURE;
+                }
+            }
+            other => wanted.push(other.to_string()),
+        }
+        i += 1;
+    }
+
+    let mut matched = 0;
+    for job in &jobs {
+        if all || wanted.iter().any(|w| w == job.key) {
+            println!("{}", (job.run)());
+            matched += 1;
+        }
+    }
+    if matched == 0 {
+        eprintln!("no artefact matched {wanted:?}\n");
+        eprint!("{}", usage(&jobs));
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,68 @@
+//! Figure 1: CDF of frame rendering time for a typical user's workload.
+//!
+//! Paper annotations: 78.3 % of frames finish within one 60 Hz VSync period,
+//! ≈95 % within two, and the ~5 % beyond two periods are what stutters.
+
+use dvs_metrics::Cdf;
+use dvs_workload::scenarios;
+use serde::{Deserialize, Serialize};
+
+/// The reproduced CDF with the paper's checkpoints.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CdfResult {
+    /// `(render time ms, cumulative probability)` series.
+    pub series: Vec<(f64, f64)>,
+    /// Fraction within one VSync period.
+    pub within_one_period: f64,
+    /// Fraction within two VSync periods.
+    pub within_two_periods: f64,
+}
+
+/// Samples the Figure 1 workload and builds its CDF.
+pub fn run(frames: usize) -> CdfResult {
+    let trace = scenarios::figure1_spec(frames).generate();
+    let period_ms = trace.period().as_millis_f64();
+    let cdf = Cdf::from_samples(trace.frames.iter().map(|f| f.total().as_millis_f64()));
+    let xs: Vec<f64> = (0..=60).map(|i| i as f64).collect();
+    CdfResult {
+        series: cdf.series(&xs),
+        within_one_period: cdf.fraction_at_or_below(period_ms),
+        within_two_periods: cdf.fraction_at_or_below(2.0 * period_ms),
+    }
+}
+
+/// Renders the CDF as rows.
+pub fn render(r: &CdfResult) -> String {
+    let mut out =
+        String::from("Fig. 1 — CDF of frame rendering time (60 Hz typical-user workload)\n");
+    for (x, p) in r.series.iter().filter(|(x, _)| (*x as u64).is_multiple_of(5)) {
+        out.push_str(&format!("  {:>4.0} ms  {:>6.3}\n", x, p));
+    }
+    out.push_str(&format!(
+        "  within 1 period: {:.1}% (paper: 78.3%)\n  within 2 periods: {:.1}% (paper: ~95%)\n",
+        r.within_one_period * 100.0,
+        r.within_two_periods * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoints_match_annotations() {
+        let r = run(100_000);
+        assert!((r.within_one_period - 0.783).abs() < 0.04, "{}", r.within_one_period);
+        assert!((0.92..0.98).contains(&r.within_two_periods), "{}", r.within_two_periods);
+    }
+
+    #[test]
+    fn series_is_monotone() {
+        let r = run(20_000);
+        for w in r.series.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!(render(&r).contains("within 1 period"));
+    }
+}

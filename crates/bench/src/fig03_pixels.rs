@@ -1,0 +1,66 @@
+//! Figure 3: pixels rendered per second across flagship phones, 2010–2024.
+
+use dvs_workload::devices::{pixel_rate_history, HistoricalPhone};
+use serde::{Deserialize, Serialize};
+
+/// The series plus the headline growth factor.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PixelTrend {
+    /// `(year, series, model, pixels/s)` points.
+    pub points: Vec<(u32, String, String, u64)>,
+    /// Peak over 2010-baseline growth (the paper's ≈25×).
+    pub growth: f64,
+}
+
+/// Builds the Figure 3 series from the device catalogue.
+pub fn run() -> PixelTrend {
+    let phones = pixel_rate_history();
+    // The paper's ~25x compares the 2010 starting point (original iPhone 4
+    // and Galaxy S era) against today's peak.
+    let first = phones
+        .iter()
+        .filter(|p| p.year == 2010)
+        .map(HistoricalPhone::pixel_rate)
+        .min()
+        .expect("catalogue starts in 2010");
+    let peak = phones.iter().map(HistoricalPhone::pixel_rate).max().expect("non-empty");
+    PixelTrend {
+        points: phones
+            .iter()
+            .map(|p| (p.year, p.series.to_string(), p.model.to_string(), p.pixel_rate()))
+            .collect(),
+        growth: peak as f64 / first as f64,
+    }
+}
+
+/// Renders the series.
+pub fn render(r: &PixelTrend) -> String {
+    let mut out = String::from("Fig. 3 — pixels to render per second (height × width × rate)\n");
+    for (year, series, model, rate) in &r.points {
+        out.push_str(&format!(
+            "  {year}  {:<18} {:<20} {:>12.3e}\n",
+            series, model, *rate as f64
+        ));
+    }
+    out.push_str(&format!("  growth since 2010: {:.1}x (paper: ~25x)\n", r.growth));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_is_about_25x() {
+        let r = run();
+        assert!((12.0..40.0).contains(&r.growth), "{}", r.growth);
+        assert!(r.points.len() >= 35);
+    }
+
+    #[test]
+    fn render_contains_eras() {
+        let text = render(&run());
+        assert!(text.contains("2010"));
+        assert!(text.contains("2024"));
+    }
+}

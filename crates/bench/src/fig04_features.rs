@@ -1,0 +1,86 @@
+//! Figure 4: the growing graphics-feature catalogue per OS release, with
+//! heavier key-frame effects shaded darker.
+
+use dvs_workload::features::{
+    graphics_feature_timeline, FeatureWeight, ANDROID_RELEASES, OH_RELEASES,
+};
+use serde::{Deserialize, Serialize};
+
+/// Per-release counts.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReleaseRow {
+    /// OS release label.
+    pub release: String,
+    /// Feature names with weights.
+    pub features: Vec<(String, FeatureWeight)>,
+    /// Cumulative features up to and including this release (per line).
+    pub cumulative: usize,
+}
+
+/// Builds the Figure 4 rows for both OS lines.
+pub fn run() -> Vec<ReleaseRow> {
+    let features = graphics_feature_timeline();
+    let mut rows = Vec::new();
+    for line in [&ANDROID_RELEASES[..], &OH_RELEASES[..]] {
+        let mut cumulative = 0usize;
+        for release in line {
+            let fs: Vec<(String, FeatureWeight)> = features
+                .iter()
+                .filter(|f| f.release == *release)
+                .map(|f| (f.name.to_string(), f.weight))
+                .collect();
+            cumulative += fs.len();
+            rows.push(ReleaseRow { release: release.to_string(), features: fs, cumulative });
+        }
+    }
+    rows
+}
+
+/// Renders the catalogue with the figure's shading as markers
+/// (`*` medium, `**` heavy).
+pub fn render(rows: &[ReleaseRow]) -> String {
+    let mut out = String::from(
+        "Fig. 4 — graphics features per release (** = heavy key frames, * = medium)\n",
+    );
+    for row in rows {
+        let names: Vec<String> = row
+            .features
+            .iter()
+            .map(|(name, w)| match w {
+                FeatureWeight::Light => name.clone(),
+                FeatureWeight::Medium => format!("{name}*"),
+                FeatureWeight::Heavy => format!("{name}**"),
+            })
+            .collect();
+        out.push_str(&format!(
+            "  {:<14} ({:>2} cumulative)  {}\n",
+            row.release,
+            row.cumulative,
+            names.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_counts_grow() {
+        let rows = run();
+        let android: Vec<_> =
+            rows.iter().filter(|r| r.release.starts_with("Android")).collect();
+        for w in android.windows(2) {
+            assert!(w[1].cumulative > w[0].cumulative);
+        }
+    }
+
+    #[test]
+    fn render_marks_heavy_effects() {
+        let text = render(&run());
+        assert!(text.contains("Gaussian Blur**"));
+        assert!(text.contains("OH 5.X"));
+        assert!(text.contains("Android 15"));
+    }
+}

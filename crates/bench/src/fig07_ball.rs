@@ -1,0 +1,75 @@
+//! Figure 7: visualising rendering latency with the touch-follow ball.
+//!
+//! A fast upward swipe with 45 ms of end-to-end latency leaves the ball
+//! ≈394 px (2.4 cm) behind the fingertip on a Pixel-5-class panel.
+
+use dvs_apps::{BallApp, BallTrace};
+use dvs_input::swipe;
+use dvs_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The Figure 7 series.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BallResult {
+    /// Per-frame y-displacement `(frame index, px)`.
+    pub series: Vec<(usize, f64)>,
+    /// Worst displacement in pixels.
+    pub max_displacement_px: f64,
+    /// The same trail in centimetres at the Pixel 5's ~165 px/cm density.
+    pub max_displacement_cm: f64,
+}
+
+/// Runs the ball app over the characteristic fast swipe at a given latency.
+pub fn run(latency_ms: f64) -> BallResult {
+    let gesture = swipe(
+        SimTime::ZERO,
+        (540.0, 2000.0),
+        (540.0, 200.0),
+        SimDuration::from_millis(410),
+        240,
+    );
+    let trace: BallTrace =
+        BallApp::new(60).run(&gesture, SimDuration::from_millis_f64(latency_ms));
+    let max = trace.max_displacement();
+    BallResult {
+        series: trace.displacement_series(),
+        max_displacement_px: max,
+        max_displacement_cm: max / 165.0,
+    }
+}
+
+/// Renders the displacement-per-frame series.
+pub fn render(r: &BallResult) -> String {
+    let mut out = String::from("Fig. 7 — ball lag behind the fingertip (45 ms latency)\n");
+    for (i, d) in &r.series {
+        out.push_str(&format!("  frame {:>2}  {:>6.0} px\n", i + 1, d));
+    }
+    out.push_str(&format!(
+        "  max: {:.0} px = {:.1} cm (paper: 394 px / 2.4 cm)\n",
+        r.max_displacement_px, r.max_displacement_cm
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_lag_matches_paper() {
+        let r = run(45.0);
+        assert!(
+            (300.0..500.0).contains(&r.max_displacement_px),
+            "{}",
+            r.max_displacement_px
+        );
+        assert!((1.8..3.0).contains(&r.max_displacement_cm));
+    }
+
+    #[test]
+    fn dvsync_latency_shrinks_the_trail() {
+        let vsync = run(45.0);
+        let dvsync = run(31.2);
+        assert!(dvsync.max_displacement_px < 0.8 * vsync.max_displacement_px);
+    }
+}

@@ -1,0 +1,98 @@
+//! Figure 10: the execution-pattern comparison — the same workload series
+//! under VSync (three janks in a row) and D-VSync (perfectly smooth).
+
+use dvs_metrics::RunReport;
+use dvs_sim::SimDuration;
+use dvs_workload::{FrameCost, FrameTrace};
+use serde::{Deserialize, Serialize};
+
+/// The two runs over the identical scripted trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceComparison {
+    /// The classic architecture's run.
+    pub vsync: RunReport,
+    /// The decoupled run.
+    pub dvsync: RunReport,
+}
+
+/// The Figure 10 script: steady short frames with one heavy key frame that
+/// takes just under three VSync periods.
+pub fn scripted_trace() -> FrameTrace {
+    let mut trace = FrameTrace::new("fig10 script", 60);
+    let p = 1000.0 / 60.0;
+    for i in 0..90 {
+        let total_ms = if i == 45 { 2.8 * p } else { 0.45 * p };
+        // The key frame's spike is render-stage work (e.g. a blur pass).
+        let ui = if i == 45 { 0.15 * p } else { total_ms * 0.35 };
+        trace.push(FrameCost::new(
+            SimDuration::from_millis_f64(ui),
+            SimDuration::from_millis_f64(total_ms - ui),
+        ));
+    }
+    trace
+}
+
+/// Runs the script under both architectures (VSync 3 buf, D-VSync 5 buf with
+/// pre-render limit covering three periods, as in the figure).
+pub fn run() -> TraceComparison {
+    let trace = scripted_trace();
+    let vsync = {
+        let cfg = dvs_pipeline::PipelineConfig::new(60, 3);
+        dvs_pipeline::Simulator::new(&cfg)
+            .run(&trace, &mut dvs_pipeline::VsyncPacer::new())
+    };
+    let dvsync = {
+        let cfg = dvs_pipeline::PipelineConfig::new(60, 5);
+        let mut pacer = dvs_core::DvsyncPacer::new(dvs_core::DvsyncConfig::with_buffers(5));
+        dvs_pipeline::Simulator::new(&cfg).run(&trace, &mut pacer)
+    };
+    TraceComparison { vsync, dvsync }
+}
+
+/// Renders the comparison as the figure's caption quantities plus an ASCII
+/// timeline of both runs (the textual Figure 10).
+pub fn render(r: &TraceComparison) -> String {
+    let style = dvs_metrics::TimelineStyle { max_ticks: 64, show_depth: true };
+    format!(
+        "Fig. 10 — execution patterns on the same workload series\n\
+           VSync   (3 buffers): {} janks at ticks {:?}\n\
+           D-VSync (5 buffers): {} janks\n\
+           D-VSync max accumulation observed: content leads trigger by up to {:.1} ms\n\n\
+         {}\n{}",
+        r.vsync.janks.len(),
+        r.vsync.janks.iter().map(|j| j.tick).collect::<Vec<_>>(),
+        r.dvsync.janks.len(),
+        r.dvsync
+            .records
+            .iter()
+            .map(|f| f.present.saturating_since(f.trigger).as_millis_f64())
+            .fold(0.0, f64::max),
+        dvs_metrics::render_timeline(&r.vsync, style),
+        dvs_metrics::render_timeline(&r.dvsync, style)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vsync_janks_in_a_row_dvsync_smooth() {
+        let r = run();
+        // The paper's trace shows the long frame producing janks in a row
+        // under VSync while D-VSync stays perfectly smooth.
+        assert!(r.vsync.janks.len() >= 2, "vsync janks: {}", r.vsync.janks.len());
+        let ticks: Vec<u64> = r.vsync.janks.iter().map(|j| j.tick).collect();
+        assert!(
+            ticks.windows(2).any(|w| w[1] == w[0] + 1),
+            "janks come in a row: {ticks:?}"
+        );
+        assert_eq!(r.dvsync.janks.len(), 0);
+    }
+
+    #[test]
+    fn dvsync_content_is_exact() {
+        let r = run();
+        assert_eq!(r.dvsync.max_content_error_ms(), 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 11: FDPS reduction for the 25 Android apps on Pixel 5 (60 Hz).
+//!
+//! Paper: VSync 3 buffers averages 2.04 FDPS; D-VSync eliminates 71.6 % of
+//! drops with 4 buffers (0.58 avg), 87.7 % with 5 buffers (0.25), and nearly
+//! all with 7 buffers (0.06). Walmart (scattered key frames) improves
+//! dramatically; QQMusic (clustered long frames) resists even 7 buffers.
+
+use crate::suite::{run_suite, SuiteResult};
+use dvs_workload::scenarios;
+
+/// Runs the 25-app suite under VSync 3 buf and D-VSync 4/5/7 buf.
+pub fn run() -> SuiteResult {
+    run_suite(
+        "Fig. 11 — FDPS for 25 apps on Google Pixel 5 (60 Hz)",
+        &scenarios::android_app_suite(),
+        3,
+        &[4, 5, 7],
+    )
+}
+
+/// Renders the figure's rows.
+pub fn render(result: &SuiteResult) -> String {
+    result.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let r = run();
+        assert_eq!(r.rows.len(), 25);
+        // Baseline calibration: the paper's 2.04 FDPS average.
+        assert!(
+            (r.avg_baseline() - 2.04).abs() < 0.6,
+            "baseline avg {}",
+            r.avg_baseline()
+        );
+        // Reductions grow with buffers and land near 71.6 / 87.7 / 97 %.
+        let r4 = r.reduction_percent(0);
+        let r5 = r.reduction_percent(1);
+        let r7 = r.reduction_percent(2);
+        assert!(r4 < r5 && r5 < r7, "monotone in buffers: {r4:.0} {r5:.0} {r7:.0}");
+        assert!((50.0..90.0).contains(&r4), "4 buffers: paper 71.6%, got {r4:.1}%");
+        assert!((75.0..97.0).contains(&r5), "5 buffers: paper 87.7%, got {r5:.1}%");
+        assert!(r7 > 85.0, "7 buffers: paper ~97%, got {r7:.1}%");
+        // QQMusic resists: its 7-buffer FDPS stays well above the average.
+        let qq = r.rows.iter().find(|x| x.name == "QQMusic").unwrap();
+        let avg7 = r.avg_dvsync(2);
+        assert!(
+            qq.dvsync_fdps[2] > 2.0 * avg7,
+            "QQMusic {} vs avg {avg7}",
+            qq.dvsync_fdps[2]
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Figures 12 and 13: FDPS reduction for OS use cases on the Mate phones.
+//!
+//! Paper: Mate 60 Pro Vulkan (29 cases) 8.42 → 1.39 (−83.5 %); Mate 60 Pro
+//! GLES (20 cases) 7.51 → 2.52 (−66.4 %); Mate 40 Pro GLES (9 cases)
+//! 3.17 → 0.97 (−69.4 %). The OpenHarmony baseline uses 4 buffers, and
+//! D-VSync is compared at the same 4-buffer configuration.
+
+use crate::suite::{run_suite, SuiteResult};
+use dvs_workload::scenarios;
+
+/// Figure 12: Mate 60 Pro, Vulkan backend, 29 cases.
+pub fn run_fig12() -> SuiteResult {
+    run_suite(
+        "Fig. 12 — OS use cases, Mate 60 Pro (120 Hz, Vulkan)",
+        &scenarios::mate60_vulkan_suite(),
+        3,
+        &[4],
+    )
+}
+
+/// Figure 13 (left): Mate 40 Pro, GLES, 9 cases.
+pub fn run_fig13_mate40() -> SuiteResult {
+    run_suite(
+        "Fig. 13 — OS use cases, Mate 40 Pro (90 Hz, GLES)",
+        &scenarios::mate40_gles_suite(),
+        3,
+        &[4],
+    )
+}
+
+/// Figure 13 (right): Mate 60 Pro, GLES, 20 cases.
+pub fn run_fig13_mate60() -> SuiteResult {
+    run_suite(
+        "Fig. 13 — OS use cases, Mate 60 Pro (120 Hz, GLES)",
+        &scenarios::mate60_gles_suite(),
+        3,
+        &[4],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_vulkan_shape() {
+        let r = run_fig12();
+        assert_eq!(r.rows.len(), 29);
+        assert!((r.avg_baseline() - 8.42).abs() < 2.5, "baseline {}", r.avg_baseline());
+        let red = r.reduction_percent(0);
+        assert!((55.0..95.0).contains(&red), "paper 83.5%, got {red:.1}%");
+    }
+
+    #[test]
+    fn fig13_mate40_shape() {
+        let r = run_fig13_mate40();
+        assert_eq!(r.rows.len(), 9);
+        assert!((r.avg_baseline() - 3.17).abs() < 1.0, "baseline {}", r.avg_baseline());
+        let red = r.reduction_percent(0);
+        assert!((45.0..90.0).contains(&red), "paper 69.4%, got {red:.1}%");
+    }
+
+    #[test]
+    fn fig13_mate60_shape() {
+        let r = run_fig13_mate60();
+        assert_eq!(r.rows.len(), 20);
+        assert!((r.avg_baseline() - 7.51).abs() < 2.5, "baseline {}", r.avg_baseline());
+        let red = r.reduction_percent(0);
+        assert!((45.0..90.0).contains(&red), "paper 66.4%, got {red:.1}%");
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 14: game simulations — FDPS under VSync 3 buffers vs D-VSync 4/5.
+//!
+//! Paper: averages 0.79 → 0.25; reductions 68.4 % (4 buffers) and 87.3 %
+//! (5 buffers) over the 15-game suite.
+
+use dvs_apps::{GameSimulation, GameSimulationRow};
+use serde::{Deserialize, Serialize};
+
+/// The full Figure 14 result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GamesResult {
+    /// Per-game rows.
+    pub rows: Vec<GameSimulationRow>,
+}
+
+impl GamesResult {
+    /// Average baseline FDPS (paper: 0.79).
+    pub fn avg_vsync(&self) -> f64 {
+        self.rows.iter().map(|r| r.vsync3_fdps).sum::<f64>() / self.rows.len().max(1) as f64
+    }
+
+    /// Reduction with 4 buffers (paper: 68.4 %).
+    pub fn reduction_4buf(&self) -> f64 {
+        GameSimulation::average_reduction(&self.rows, false)
+    }
+
+    /// Reduction with 5 buffers (paper: 87.3 %).
+    pub fn reduction_5buf(&self) -> f64 {
+        GameSimulation::average_reduction(&self.rows, true)
+    }
+}
+
+/// Runs the 15-game suite.
+pub fn run() -> GamesResult {
+    GamesResult { rows: GameSimulation::new().run_suite() }
+}
+
+/// Renders Figure 14's rows.
+pub fn render(r: &GamesResult) -> String {
+    let mut out = String::from("Fig. 14 — game simulations on Mate 60 Pro\n");
+    out.push_str(&format!(
+        "{:<26} {:>5} {:>9} {:>9} {:>9}\n",
+        "game", "rate", "VSync 3", "D-V 4buf", "D-V 5buf"
+    ));
+    for row in &r.rows {
+        out.push_str(&format!(
+            "{:<26} {:>5} {:>9.2} {:>9.2} {:>9.2}\n",
+            row.name, row.rate_hz, row.vsync3_fdps, row.dvsync4_fdps, row.dvsync5_fdps
+        ));
+    }
+    out.push_str(&format!(
+        "average baseline {:.2} (paper 0.79); reductions {:.1}% / {:.1}% \
+         (paper 68.4% / 87.3%)\n",
+        r.avg_vsync(),
+        r.reduction_4buf(),
+        r.reduction_5buf()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let r = run();
+        assert_eq!(r.rows.len(), 15);
+        assert!((r.avg_vsync() - 0.79).abs() < 0.35, "baseline {}", r.avg_vsync());
+        let red4 = r.reduction_4buf();
+        let red5 = r.reduction_5buf();
+        assert!(red5 > red4, "more buffers reduce more: {red4:.1} vs {red5:.1}");
+        assert!((45.0..92.0).contains(&red4), "paper 68.4%, got {red4:.1}%");
+        assert!((70.0..99.0).contains(&red5), "paper 87.3%, got {red5:.1}%");
+    }
+}

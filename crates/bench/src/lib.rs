@@ -1,0 +1,35 @@
+//! The figure/table reproduction harness.
+//!
+//! One module per artefact of the paper's evaluation (§6). Each module
+//! exposes a `run()` returning structured results plus a `render()` that
+//! prints rows/series in the shape the paper reports. The `repro` binary
+//! drives them from the command line; integration tests assert the shapes
+//! (who wins, by roughly what factor) without pinning absolute numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod costs;
+pub mod fig01_cdf;
+pub mod fig03_pixels;
+pub mod fig04_features;
+pub mod fig05_summary;
+pub mod fig06_distribution;
+pub mod fig07_ball;
+pub mod fig09_scope;
+pub mod fig10_trace;
+pub mod fig11_apps;
+pub mod fig12_13_oscases;
+pub mod fig14_games;
+pub mod fig15_latency;
+pub mod fig16_map;
+pub mod fps_report;
+pub mod power;
+pub mod sec66_chromium;
+pub mod suite;
+pub mod suite75;
+pub mod table1_devices;
+pub mod table2_stutters;
+
+pub use suite::{run_suite, SuiteResult, SuiteRow};

@@ -1,0 +1,45 @@
+//! Table 1: the evaluated platform configurations.
+
+use dvs_workload::devices::{evaluated_devices, Device};
+
+/// Returns Table 1's rows.
+pub fn run() -> [Device; 3] {
+    evaluated_devices()
+}
+
+/// Renders Table 1.
+pub fn render(devices: &[Device]) -> String {
+    let mut out = String::from("Table 1 — platform configuration\n");
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>8} {:>9} {:>12} {:>16}\n",
+        "device", "release", "OS", "backend", "screen", "refresh rate"
+    ));
+    for d in devices {
+        out.push_str(&format!(
+            "{:<16} {:>10} {:>8} {:>9} {:>12} {:>10} Hz / {:>4.1} ms\n",
+            d.name,
+            d.released,
+            d.os,
+            d.backend,
+            format!("{} x {}", d.width, d.height),
+            d.refresh_hz,
+            d.period_ms()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_devices_render() {
+        let devices = run();
+        let text = render(&devices);
+        assert!(text.contains("Pixel 5"));
+        assert!(text.contains("Mate 40 Pro"));
+        assert!(text.contains("Mate 60 Pro"));
+        assert!(text.contains("120"));
+    }
+}

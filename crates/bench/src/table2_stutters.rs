@@ -1,0 +1,130 @@
+//! Table 2: user-perceived stutters over the eight scripted UX tasks.
+//!
+//! Each task is a sequence of scene segments run back-to-back; perceived
+//! stutters come from the JND-based perceptual model in `dvs-metrics`. The
+//! paper's professional evaluators report a 72.3 % average reduction, with
+//! the shopping task (dense long-frame clusters) barely improving (−7 %).
+
+use dvs_core::{Channel, DvsyncConfig, DvsyncRuntime};
+use dvs_metrics::{RunReport, StutterModel};
+use dvs_workload::tasks::{ux_tasks, UxTask};
+use serde::{Deserialize, Serialize};
+
+/// One task's measured row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskStutters {
+    /// The task description.
+    pub description: String,
+    /// Perceived stutters under VSync.
+    pub vsync: usize,
+    /// Perceived stutters under D-VSync.
+    pub dvsync: usize,
+    /// The paper's counts for reference.
+    pub paper: (u32, u32),
+}
+
+impl TaskStutters {
+    /// Reduction in percent (0 when the baseline had none).
+    pub fn reduction_percent(&self) -> f64 {
+        if self.vsync == 0 {
+            0.0
+        } else {
+            (1.0 - self.dvsync as f64 / self.vsync as f64) * 100.0
+        }
+    }
+}
+
+fn run_task(task: &UxTask, runtime: &DvsyncRuntime, decoupled: bool) -> RunReport {
+    let mut combined = RunReport::new(task.description, 120);
+    let mut rt = runtime.clone();
+    rt.force(Some(decoupled));
+    for segment in &task.segments {
+        combined.absorb(rt.run_scenario(segment, Channel::Oblivious));
+    }
+    combined
+}
+
+/// Runs all eight tasks under both architectures on the Mate 60 Pro
+/// configuration (baseline VSync 4 buffers; D-VSync 4 buffers).
+pub fn run() -> Vec<TaskStutters> {
+    let runtime = DvsyncRuntime::new(DvsyncConfig::paper_default(), 3);
+    let model = StutterModel::default();
+    ux_tasks()
+        .iter()
+        .map(|task| {
+            let v = run_task(task, &runtime, false);
+            let d = run_task(task, &runtime, true);
+            TaskStutters {
+                description: task.description.to_string(),
+                vsync: model.evaluate(&v).perceived,
+                dvsync: model.evaluate(&d).perceived,
+                paper: (task.paper_vsync_stutters, task.paper_dvsync_stutters),
+            }
+        })
+        .collect()
+}
+
+/// Average reduction across tasks.
+pub fn average_reduction(rows: &[TaskStutters]) -> f64 {
+    rows.iter().map(TaskStutters::reduction_percent).sum::<f64>() / rows.len().max(1) as f64
+}
+
+/// Renders Table 2.
+pub fn render(rows: &[TaskStutters]) -> String {
+    let mut out = String::from("Table 2 — perceived stutters over the UX tasks (Mate 60 Pro)\n");
+    out.push_str(&format!(
+        "{:<64} {:>6} {:>8} {:>7}  paper\n",
+        "task", "VSync", "D-VSync", "red."
+    ));
+    for r in rows {
+        let short: String = r.description.chars().take(62).collect();
+        out.push_str(&format!(
+            "{:<64} {:>6} {:>8} {:>6.0}%  {} -> {}\n",
+            short,
+            r.vsync,
+            r.dvsync,
+            r.reduction_percent(),
+            r.paper.0,
+            r.paper.1
+        ));
+    }
+    out.push_str(&format!(
+        "average reduction: {:.1}% (paper: 72.3%)\n",
+        average_reduction(rows)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stutter_table_shape() {
+        let rows = run();
+        assert_eq!(rows.len(), 8);
+        // Counts are in the tens, like the evaluators'.
+        for r in &rows {
+            assert!(r.vsync >= 1, "{}: {}", r.description, r.vsync);
+            assert!(r.vsync < 500, "{}: {}", r.description, r.vsync);
+        }
+        // The big picture: a strong average reduction…
+        let avg = average_reduction(&rows);
+        assert!((45.0..95.0).contains(&avg), "paper 72.3%, got {avg:.1}%");
+        // …with the shopping task (index 6) clearly resisting.
+        let shopping = &rows[6];
+        let others: f64 = rows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 6)
+            .map(|(_, r)| r.reduction_percent())
+            .sum::<f64>()
+            / 7.0;
+        assert!(
+            shopping.reduction_percent() < others - 20.0,
+            "shopping {:.0}% vs others {:.0}%",
+            shopping.reduction_percent(),
+            others
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Pixel formats and their memory footprint.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The pixel format a frame buffer is allocated with.
+///
+/// Only formats relevant to the paper's memory accounting (§6.4) are listed;
+/// all evaluated devices allocate `RGBA8888` buffers.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_buffer::PixelFormat;
+/// assert_eq!(PixelFormat::Rgba8888.bytes_per_pixel(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PixelFormat {
+    /// 8-bit red/green/blue/alpha — the default on all evaluated devices.
+    #[default]
+    Rgba8888,
+    /// 5/6/5-bit RGB without alpha.
+    Rgb565,
+    /// 10-bit colour with 2-bit alpha (HDR surfaces).
+    Rgba1010102,
+    /// 16-bit float per channel (wide-gamut composition).
+    RgbaF16,
+}
+
+impl PixelFormat {
+    /// Bytes occupied by one pixel in this format.
+    pub const fn bytes_per_pixel(self) -> u64 {
+        match self {
+            PixelFormat::Rgba8888 | PixelFormat::Rgba1010102 => 4,
+            PixelFormat::Rgb565 => 2,
+            PixelFormat::RgbaF16 => 8,
+        }
+    }
+}
+
+impl fmt::Display for PixelFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PixelFormat::Rgba8888 => "RGBA8888",
+            PixelFormat::Rgb565 => "RGB565",
+            PixelFormat::Rgba1010102 => "RGBA1010102",
+            PixelFormat::RgbaF16 => "RGBA_F16",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_per_pixel_values() {
+        assert_eq!(PixelFormat::Rgba8888.bytes_per_pixel(), 4);
+        assert_eq!(PixelFormat::Rgb565.bytes_per_pixel(), 2);
+        assert_eq!(PixelFormat::Rgba1010102.bytes_per_pixel(), 4);
+        assert_eq!(PixelFormat::RgbaF16.bytes_per_pixel(), 8);
+    }
+
+    #[test]
+    fn default_is_rgba8888() {
+        assert_eq!(PixelFormat::default(), PixelFormat::Rgba8888);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PixelFormat::Rgba8888.to_string(), "RGBA8888");
+        assert_eq!(PixelFormat::RgbaF16.to_string(), "RGBA_F16");
+    }
+}

@@ -1,0 +1,34 @@
+//! Frame buffers and the FIFO buffer queue shared by the renderer (producer)
+//! and the screen panel (consumer).
+//!
+//! This models the gralloc/BufferQueue layer of Android/OpenHarmony described
+//! in §2 of the D-VSync paper: a fixed pool of frame buffers where one *front*
+//! buffer feeds the panel and the remaining *back* buffers are cycled through
+//! `dequeue → render → queue → acquire → release`. The pool capacity is the
+//! central experimental knob of the paper (3 buffers = classic triple
+//! buffering, 4/5/7 buffers = D-VSync accumulation room).
+//!
+//! # Examples
+//!
+//! ```
+//! use dvs_buffer::{BufferQueue, FrameMeta};
+//! use dvs_sim::SimTime;
+//!
+//! let mut q = BufferQueue::new(3);
+//! let slot = q.dequeue_free().expect("fresh queue has free buffers");
+//! q.queue(slot, FrameMeta::new(0, SimTime::ZERO), SimTime::from_millis(5))?;
+//! let shown = q.acquire(SimTime::from_millis(16)).expect("one buffer is ready");
+//! assert_eq!(shown.meta.seq, 0);
+//! # Ok::<(), dvs_buffer::QueueError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod format;
+mod memory;
+mod queue;
+
+pub use format::PixelFormat;
+pub use memory::{buffer_bytes, extra_memory_bytes, BufferMemory};
+pub use queue::{AcquiredBuffer, BufferQueue, FrameMeta, QueueError, SlotId};

@@ -1,0 +1,124 @@
+//! The buffer-memory cost model of §6.4.
+//!
+//! The paper reports that a full-screen RGBA8888 buffer takes ≈10 MB on
+//! Pixel 5 and ≈15 MB on the Mate phones, so enlarging the queue from 3 to 4
+//! buffers costs ≈10 MB per app on Android, while OpenHarmony's render
+//! service already reserves 4 buffers and sees no increase.
+
+use crate::PixelFormat;
+use serde::{Deserialize, Serialize};
+
+/// Bytes required for one frame buffer of the given geometry.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_buffer::{buffer_bytes, PixelFormat};
+/// // Pixel 5 panel: 1080 x 2340 RGBA8888 ≈ 10.1 MB.
+/// let b = buffer_bytes(1080, 2340, PixelFormat::Rgba8888);
+/// assert!((b as f64 / 1e6 - 10.1).abs() < 0.1);
+/// ```
+pub const fn buffer_bytes(width: u32, height: u32, format: PixelFormat) -> u64 {
+    width as u64 * height as u64 * format.bytes_per_pixel()
+}
+
+/// Memory accounting for a buffer-queue configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferMemory {
+    /// Buffers in the queue.
+    pub buffer_count: usize,
+    /// Bytes per buffer.
+    pub bytes_per_buffer: u64,
+    /// Total bytes across the queue.
+    pub total_bytes: u64,
+}
+
+impl BufferMemory {
+    /// Computes the footprint of `buffer_count` full-screen buffers.
+    pub fn for_config(
+        width: u32,
+        height: u32,
+        format: PixelFormat,
+        buffer_count: usize,
+    ) -> Self {
+        let bytes = buffer_bytes(width, height, format);
+        BufferMemory {
+            buffer_count,
+            bytes_per_buffer: bytes,
+            total_bytes: bytes * buffer_count as u64,
+        }
+    }
+
+    /// Total footprint in megabytes.
+    pub fn total_megabytes(&self) -> f64 {
+        self.total_bytes as f64 / 1e6
+    }
+}
+
+/// Additional bytes a D-VSync configuration uses over the platform baseline.
+///
+/// `baseline_count` is what the stock OS allocates (3 on Android triple
+/// buffering, 4 on OpenHarmony's render service), `dvsync_count` is the
+/// enlarged queue. Returns 0 when D-VSync needs no extra buffers — the
+/// paper's "no noticeable increase" result on the Mate phones.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_buffer::{extra_memory_bytes, PixelFormat};
+/// // Android Pixel 5, 3 -> 4 buffers: about 10 MB extra per app (§6.4).
+/// let extra = extra_memory_bytes(1080, 2340, PixelFormat::Rgba8888, 3, 4);
+/// assert!((extra as f64 / 1e6 - 10.1).abs() < 0.1);
+/// // OpenHarmony already uses 4 buffers: no increase.
+/// assert_eq!(extra_memory_bytes(1260, 2720, PixelFormat::Rgba8888, 4, 4), 0);
+/// ```
+pub fn extra_memory_bytes(
+    width: u32,
+    height: u32,
+    format: PixelFormat,
+    baseline_count: usize,
+    dvsync_count: usize,
+) -> u64 {
+    let per = buffer_bytes(width, height, format);
+    per * dvsync_count.saturating_sub(baseline_count) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixel5_buffer_is_about_10mb() {
+        let b = buffer_bytes(1080, 2340, PixelFormat::Rgba8888);
+        assert_eq!(b, 1080 * 2340 * 4);
+        assert!((b as f64 / 1e6 - 10.1).abs() < 0.2);
+    }
+
+    #[test]
+    fn mate_buffer_is_about_15mb() {
+        let m40 = buffer_bytes(1344, 2772, PixelFormat::Rgba8888) as f64 / 1e6;
+        let m60 = buffer_bytes(1260, 2720, PixelFormat::Rgba8888) as f64 / 1e6;
+        assert!((13.0..16.5).contains(&m40), "{m40}");
+        assert!((13.0..16.5).contains(&m60), "{m60}");
+    }
+
+    #[test]
+    fn config_total_scales_with_count() {
+        let three = BufferMemory::for_config(1080, 2340, PixelFormat::Rgba8888, 3);
+        let four = BufferMemory::for_config(1080, 2340, PixelFormat::Rgba8888, 4);
+        assert_eq!(four.total_bytes - three.total_bytes, three.bytes_per_buffer);
+        assert!(four.total_megabytes() > three.total_megabytes());
+    }
+
+    #[test]
+    fn extra_memory_zero_when_baseline_covers() {
+        assert_eq!(
+            extra_memory_bytes(1344, 2772, PixelFormat::Rgba8888, 4, 4),
+            0
+        );
+        assert_eq!(
+            extra_memory_bytes(1344, 2772, PixelFormat::Rgba8888, 5, 4),
+            0
+        );
+    }
+}

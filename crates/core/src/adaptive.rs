@@ -1,0 +1,218 @@
+//! Adaptive pre-render limits: balancing smoothness against buffer memory.
+//!
+//! §4.5 exposes the pre-render limit as a decoupling-aware knob "which
+//! balances the performance and memory usage"; §6.4 prices every extra
+//! buffer at 10–15 MB. A fixed deep limit buys absorption the workload may
+//! never need. [`AdaptiveLimit`] closes the loop: it watches the observed
+//! frame costs and recommends the smallest limit whose absorption budget
+//! covers the recent key frames (plus headroom), so calm scenarios run with
+//! shallow queues and stormy ones deepen on demand.
+
+use std::collections::VecDeque;
+
+use dvs_metrics::RunReport;
+use dvs_sim::SimDuration;
+use dvs_workload::ScenarioSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::api::DvsyncConfig;
+use crate::pacer::DvsyncPacer;
+
+/// The adaptive-limit controller.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_core::AdaptiveLimit;
+/// use dvs_sim::SimDuration;
+///
+/// let period = SimDuration::from_nanos(16_666_667);
+/// let mut ctl = AdaptiveLimit::new(2, 6);
+/// // A calm segment: everything under a period.
+/// for _ in 0..100 {
+///     ctl.observe(SimDuration::from_millis(6), period);
+/// }
+/// assert_eq!(ctl.recommend(), 2, "calm content needs the floor");
+/// // A stormy segment with ~2.5-period key frames.
+/// for i in 0..100u64 {
+///     let cost = if i % 20 == 0 { 42 } else { 6 };
+///     ctl.observe(SimDuration::from_millis(cost), period);
+/// }
+/// assert!(ctl.recommend() >= 4, "deepens to cover the key frames");
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdaptiveLimit {
+    min: usize,
+    max: usize,
+    /// Recent frame costs in refresh periods.
+    window: VecDeque<f64>,
+    capacity: usize,
+}
+
+impl AdaptiveLimit {
+    /// Creates a controller bounded to limits in `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero or `min > max`.
+    pub fn new(min: usize, max: usize) -> Self {
+        assert!(min >= 1, "limits start at one frame ahead");
+        assert!(min <= max, "empty limit range");
+        AdaptiveLimit { min, max, window: VecDeque::new(), capacity: 240 }
+    }
+
+    /// Feeds one completed frame's total cost.
+    pub fn observe(&mut self, cost: SimDuration, period: SimDuration) {
+        if period.is_zero() {
+            return;
+        }
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(cost.as_nanos() as f64 / period.as_nanos() as f64);
+    }
+
+    /// Feeds every frame of a finished segment's report.
+    pub fn observe_report(&mut self, report: &RunReport) {
+        let period = SimDuration::from_nanos(1_000_000_000 / report.rate_hz.max(1) as u64);
+        for r in &report.records {
+            self.observe(r.ui_cost + r.rs_cost, period);
+        }
+    }
+
+    /// The recommended pre-render limit: enough frames ahead to absorb the
+    /// worst recent key frame (the limit's absorption budget is
+    /// `limit − 1` periods), clamped to the configured range.
+    pub fn recommend(&self) -> usize {
+        let worst = self.window.iter().cloned().fold(0.0f64, f64::max);
+        if worst <= 1.0 {
+            // Everything fits its period: no absorption needed.
+            return self.min;
+        }
+        // Absorbed iff worst <= limit − 1  =>  limit >= worst + 1.
+        let needed = (worst.ceil() as usize).saturating_add(1);
+        needed.clamp(self.min, self.max)
+    }
+
+    /// Observations currently in the window.
+    pub fn observations(&self) -> usize {
+        self.window.len()
+    }
+}
+
+/// Outcome of an adaptive session.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdaptiveSession {
+    /// The merged report across all segments.
+    pub report: RunReport,
+    /// The limit used for each segment, in order.
+    pub limits: Vec<usize>,
+}
+
+impl AdaptiveSession {
+    /// The mean limit across segments — proportional to the average buffer
+    /// memory the session held.
+    pub fn mean_limit(&self) -> f64 {
+        if self.limits.is_empty() {
+            0.0
+        } else {
+            self.limits.iter().sum::<usize>() as f64 / self.limits.len() as f64
+        }
+    }
+}
+
+/// Runs a scenario segment by segment, re-recommending the pre-render limit
+/// from each segment's observed costs before the next begins.
+pub fn run_adaptive_session(spec: &ScenarioSpec, controller: &mut AdaptiveLimit) -> AdaptiveSession {
+    let mut merged = RunReport::new(spec.name.clone(), spec.rate_hz);
+    let mut limits = Vec::new();
+    for segment in spec.generate_segments() {
+        let limit = controller.recommend();
+        limits.push(limit);
+        // Capacity: one front buffer plus `limit` frames ahead; the
+        // constructor floor of 3 never shrinks the requested limit.
+        let buffers = (limit + 1).max(3);
+        let config = DvsyncConfig::with_buffers(buffers).with_prerender_limit(limit);
+        let cfg = dvs_pipeline::PipelineConfig::new(spec.rate_hz, buffers);
+        let mut pacer = DvsyncPacer::new(config);
+        let report = dvs_pipeline::Simulator::new(&cfg).run(&segment, &mut pacer);
+        controller.observe_report(&report);
+        merged.absorb(report);
+    }
+    AdaptiveSession { report: merged, limits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_pipeline::{calibrate_spec, run_segmented};
+    use dvs_workload::CostProfile;
+
+    #[test]
+    fn recommend_clamps_to_range() {
+        let mut ctl = AdaptiveLimit::new(2, 5);
+        assert_eq!(ctl.recommend(), 2, "no data: the floor");
+        let period = SimDuration::from_millis(10);
+        ctl.observe(SimDuration::from_millis(200), period); // 20-period monster
+        assert_eq!(ctl.recommend(), 5, "clamped to the ceiling");
+    }
+
+    #[test]
+    fn window_forgets_old_storms() {
+        let mut ctl = AdaptiveLimit::new(1, 8);
+        let period = SimDuration::from_millis(10);
+        ctl.observe(SimDuration::from_millis(35), period); // 3.5 periods
+        assert!(ctl.recommend() >= 5);
+        for _ in 0..300 {
+            ctl.observe(SimDuration::from_millis(4), period);
+        }
+        assert_eq!(ctl.recommend(), 1, "the storm aged out of the window");
+    }
+
+    #[test]
+    fn adaptive_session_tracks_workload() {
+        let spec = ScenarioSpec::new("adaptive", 60, 900, CostProfile::scattered(2.0))
+            .with_paper_fdps(2.5);
+        let fitted = calibrate_spec(&spec, 3).spec;
+        let mut ctl = AdaptiveLimit::new(2, 6);
+        let session = run_adaptive_session(&fitted, &mut ctl);
+        assert_eq!(session.report.records.len(), 900);
+        assert_eq!(session.limits.len(), 15, "one limit per 60-frame segment");
+        // The session adapts: not stuck at either bound the whole time.
+        assert!(session.mean_limit() > 2.0);
+        assert!(session.mean_limit() < 6.0);
+    }
+
+    #[test]
+    fn adaptive_matches_fixed_deep_fdps_with_less_memory() {
+        let spec = ScenarioSpec::new("adaptive-vs-fixed", 60, 1800, CostProfile::scattered(1.5))
+            .with_paper_fdps(2.0);
+        let fitted = calibrate_spec(&spec, 3).spec;
+
+        let mut ctl = AdaptiveLimit::new(2, 6);
+        let adaptive = run_adaptive_session(&fitted, &mut ctl);
+        let fixed = run_segmented(&fitted, 7, || {
+            Box::new(DvsyncPacer::new(DvsyncConfig::with_buffers(7)))
+        });
+
+        // Similar smoothness…
+        assert!(
+            adaptive.report.fdps() <= fixed.fdps() + 0.8,
+            "adaptive {} vs fixed {}",
+            adaptive.report.fdps(),
+            fixed.fdps()
+        );
+        // …with meaningfully shallower queues on average.
+        assert!(
+            adaptive.mean_limit() < 5.0,
+            "mean limit {} should undercut the fixed 6",
+            adaptive.mean_limit()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty limit range")]
+    fn inverted_range_panics() {
+        AdaptiveLimit::new(5, 2);
+    }
+}

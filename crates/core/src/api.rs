@@ -1,0 +1,312 @@
+//! Dual-channel decoupling APIs and the runtime controller (§4.5).
+//!
+//! D-VSync must work for two kinds of apps:
+//!
+//! * **decoupling-oblivious** apps — unmodified binaries rendered through
+//!   the OS UI framework. The framework tags deterministic animations and
+//!   the runtime controller turns decoupling on for them automatically;
+//! * **decoupling-aware** apps — custom-rendering apps (games, browsers,
+//!   maps) that call the exposed APIs: registering input predictors,
+//!   configuring the pre-render limit, retrieving frame display times, and
+//!   switching D-VSync on/off at runtime.
+
+use dvs_metrics::RunReport;
+use dvs_pipeline::{run_segmented, VsyncPacer};
+use dvs_workload::{Determinism, ScenarioSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::pacer::DvsyncPacer;
+
+/// Which API channel an app uses (§4.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Channel {
+    /// Unmodified app: the OS framework manages decoupling.
+    Oblivious,
+    /// The app cooperates through the decoupling-aware APIs.
+    Aware,
+}
+
+/// D-VSync tunables.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_core::DvsyncConfig;
+/// let cfg = DvsyncConfig::with_buffers(5);
+/// assert_eq!(cfg.prerender_limit, 4, "1 rendering + 3 pre-rendered ahead of the front");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DvsyncConfig {
+    /// Buffer-queue capacity when decoupling is on.
+    pub buffer_count: usize,
+    /// Maximum frames ahead of the display (queued + executing).
+    pub prerender_limit: usize,
+    /// DTV calibration cadence in observed VSyncs.
+    pub calibrate_every: u32,
+}
+
+impl DvsyncConfig {
+    /// Derives the pre-render limit from a buffer count: one buffer is the
+    /// front; the remaining `buffer_count − 1` may be ahead of the display —
+    /// up to `buffer_count − 2` pre-rendered plus one being rendered into.
+    /// This matches §5.1's "5 buffers (1 front + 4 back) with at most 3 back
+    /// buffers for pre-rendering".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_count < 3` — decoupling needs at least one buffer
+    /// of accumulation room.
+    pub fn with_buffers(buffer_count: usize) -> Self {
+        assert!(buffer_count >= 3, "D-VSync needs at least 3 buffers");
+        DvsyncConfig {
+            buffer_count,
+            prerender_limit: buffer_count - 1,
+            calibrate_every: 4,
+        }
+    }
+
+    /// The paper's default shipping configuration: 4 buffers.
+    pub fn paper_default() -> Self {
+        DvsyncConfig::with_buffers(4)
+    }
+
+    /// The longest key frame (in VSync periods) the configuration can absorb
+    /// without a drop, once the queue has accumulated: the pre-rendered
+    /// frames cover `prerender_limit − 1` refreshes while the key frame
+    /// itself must make the next one.
+    pub fn absorption_budget_periods(&self) -> f64 {
+        (self.prerender_limit - 1) as f64
+    }
+
+    /// Overrides the pre-render limit (decoupling-aware API #2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn with_prerender_limit(mut self, limit: usize) -> Self {
+        assert!(limit >= 1, "pre-render limit must be at least 1");
+        self.prerender_limit = limit;
+        self
+    }
+}
+
+impl Default for DvsyncConfig {
+    fn default() -> Self {
+        DvsyncConfig::paper_default()
+    }
+}
+
+/// The runtime controller deciding, per scenario, whether frames take the
+/// decoupled path or fall back to classic VSync.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_core::{Channel, DvsyncConfig, DvsyncRuntime};
+/// use dvs_workload::Determinism;
+///
+/// let rt = DvsyncRuntime::new(DvsyncConfig::paper_default(), 3);
+/// assert!(rt.enabled_for(Determinism::Animation, Channel::Oblivious));
+/// assert!(!rt.enabled_for(Determinism::RealTime, Channel::Aware));
+/// assert!(!rt.enabled_for(Determinism::PredictableInteraction, Channel::Oblivious));
+/// assert!(rt.enabled_for(Determinism::PredictableInteraction, Channel::Aware));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DvsyncRuntime {
+    config: DvsyncConfig,
+    baseline_buffers: usize,
+    /// Runtime switch (decoupling-aware API #4): `Some(_)` overrides the
+    /// scenario classification.
+    forced: Option<bool>,
+}
+
+impl DvsyncRuntime {
+    /// Creates a controller. `baseline_buffers` is the platform's stock
+    /// queue size used when decoupling is off (3 on Android, 4 on OH).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline_buffers < 2`.
+    pub fn new(config: DvsyncConfig, baseline_buffers: usize) -> Self {
+        assert!(baseline_buffers >= 2, "need at least double buffering");
+        DvsyncRuntime { config, baseline_buffers, forced: None }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> DvsyncConfig {
+        self.config
+    }
+
+    /// Reconfigures the pre-render limit (decoupling-aware API #2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn set_prerender_limit(&mut self, limit: usize) {
+        assert!(limit >= 1, "pre-render limit must be at least 1");
+        self.config.prerender_limit = limit;
+    }
+
+    /// Forces D-VSync on or off regardless of scenario (aware API #4); pass
+    /// `None` to restore automatic classification.
+    pub fn force(&mut self, on: Option<bool>) {
+        self.forced = on;
+    }
+
+    /// Whether decoupling applies to a scenario class on a given channel
+    /// (the §4.2 scope rules).
+    pub fn enabled_for(&self, determinism: Determinism, channel: Channel) -> bool {
+        if let Some(f) = self.forced {
+            return f;
+        }
+        match determinism {
+            Determinism::Animation => true,
+            Determinism::PredictableInteraction => channel == Channel::Aware,
+            Determinism::RealTime => false,
+        }
+    }
+
+    /// Runs a scenario end-to-end (one animation segment at a time),
+    /// choosing the decoupled or classic path by the controller's rules.
+    pub fn run_scenario(&self, spec: &ScenarioSpec, channel: Channel) -> RunReport {
+        if self.enabled_for(spec.determinism, channel) {
+            let config = self.config;
+            run_segmented(spec, config.buffer_count, || Box::new(DvsyncPacer::new(config)))
+        } else {
+            run_segmented(spec, self.baseline_buffers, || Box::new(VsyncPacer::new()))
+        }
+    }
+
+    /// Runs a multi-phase session — e.g. the map app's browse → zoom →
+    /// browse flow, where the runtime switch turns decoupling on only for
+    /// the phases that can use it (§6.5: "D-VSync is only activated in
+    /// zooming, not browsing").
+    pub fn run_session(&self, phases: &[(ScenarioSpec, Channel)]) -> SessionReport {
+        let mut merged = RunReport::new("session", phases.first().map_or(60, |p| p.0.rate_hz));
+        let mut out = Vec::with_capacity(phases.len());
+        for (spec, channel) in phases {
+            let decoupled = self.enabled_for(spec.determinism, *channel);
+            let report = self.run_scenario(spec, *channel);
+            merged.absorb(report.clone());
+            out.push(SessionPhase { name: spec.name.clone(), decoupled, report });
+        }
+        SessionReport { phases: out, merged }
+    }
+}
+
+/// One phase of a [`DvsyncRuntime::run_session`] run.
+#[derive(Clone, Debug)]
+pub struct SessionPhase {
+    /// The phase's scenario name.
+    pub name: String,
+    /// Whether the runtime routed it through the decoupled path.
+    pub decoupled: bool,
+    /// The phase's report.
+    pub report: RunReport,
+}
+
+/// The outcome of a multi-phase session.
+#[derive(Clone, Debug)]
+pub struct SessionReport {
+    /// Per-phase outcomes, in order.
+    pub phases: Vec<SessionPhase>,
+    /// All phases merged.
+    pub merged: RunReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_workload::CostProfile;
+
+    #[test]
+    fn buffer_to_limit_mapping() {
+        assert_eq!(DvsyncConfig::with_buffers(4).prerender_limit, 3);
+        assert_eq!(DvsyncConfig::with_buffers(5).prerender_limit, 4);
+        assert_eq!(DvsyncConfig::with_buffers(7).prerender_limit, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 buffers")]
+    fn too_few_buffers_panics() {
+        DvsyncConfig::with_buffers(2);
+    }
+
+    #[test]
+    fn forced_switch_overrides_classification() {
+        let mut rt = DvsyncRuntime::new(DvsyncConfig::paper_default(), 3);
+        rt.force(Some(false));
+        assert!(!rt.enabled_for(Determinism::Animation, Channel::Oblivious));
+        rt.force(Some(true));
+        assert!(rt.enabled_for(Determinism::RealTime, Channel::Oblivious));
+        rt.force(None);
+        assert!(rt.enabled_for(Determinism::Animation, Channel::Oblivious));
+    }
+
+    #[test]
+    fn run_scenario_takes_classic_path_for_realtime() {
+        let spec = ScenarioSpec::new("rt", 60, 200, CostProfile::scattered(2.0))
+            .with_determinism(Determinism::RealTime);
+        let rt = DvsyncRuntime::new(DvsyncConfig::with_buffers(5), 3);
+        let classic = rt.run_scenario(&spec, Channel::Aware);
+        // With the forced switch the same scenario takes the decoupled path.
+        let mut rt_on = rt.clone();
+        rt_on.force(Some(true));
+        let decoupled = rt_on.run_scenario(&spec, Channel::Aware);
+        assert!(decoupled.janks.len() <= classic.janks.len());
+        // And the decoupled path accumulates: triggers lead presents more.
+        let lead = |r: &RunReport| {
+            r.records
+                .iter()
+                .map(|f| f.present.saturating_since(f.trigger).as_millis_f64())
+                .sum::<f64>()
+                / r.records.len() as f64
+        };
+        assert!(lead(&decoupled) > lead(&classic));
+    }
+
+    #[test]
+    fn interaction_scenarios_need_aware_channel() {
+        let spec = ScenarioSpec::new("zoom", 60, 200, CostProfile::scattered(2.0))
+            .with_determinism(Determinism::PredictableInteraction);
+        let rt = DvsyncRuntime::new(DvsyncConfig::with_buffers(5), 3);
+        let oblivious = rt.run_scenario(&spec, Channel::Oblivious);
+        let aware = rt.run_scenario(&spec, Channel::Aware);
+        assert!(aware.janks.len() <= oblivious.janks.len());
+    }
+
+    #[test]
+    fn session_routes_each_phase() {
+        // Browse (interaction, oblivious: classic) -> zoom (interaction,
+        // aware: decoupled) -> browse again.
+        let browse = ScenarioSpec::new("browse", 60, 180, CostProfile::scattered(1.5))
+            .with_determinism(Determinism::PredictableInteraction);
+        let zoom = ScenarioSpec::new("zoom", 60, 180, CostProfile::scattered(1.5))
+            .with_determinism(Determinism::PredictableInteraction);
+        let rt = DvsyncRuntime::new(DvsyncConfig::with_buffers(5), 3);
+        let session = rt.run_session(&[
+            (browse.clone(), Channel::Oblivious),
+            (zoom, Channel::Aware),
+            (browse, Channel::Oblivious),
+        ]);
+        assert_eq!(session.phases.len(), 3);
+        assert!(!session.phases[0].decoupled);
+        assert!(session.phases[1].decoupled);
+        assert!(!session.phases[2].decoupled);
+        assert_eq!(session.merged.records.len(), 540);
+        // The decoupled phase drops no more than the classic phases.
+        assert!(
+            session.phases[1].report.janks.len()
+                <= session.phases[0].report.janks.len().max(1)
+        );
+    }
+
+    #[test]
+    fn limit_override_round_trips() {
+        let cfg = DvsyncConfig::with_buffers(5).with_prerender_limit(2);
+        assert_eq!(cfg.prerender_limit, 2);
+        let mut rt = DvsyncRuntime::new(cfg, 3);
+        rt.set_prerender_limit(4);
+        assert_eq!(rt.config().prerender_limit, 4);
+    }
+}

@@ -1,0 +1,160 @@
+//! The Frame Pre-Executor (§4.3): when may the next frame start?
+//!
+//! FPE divides decoupled execution into two stages. In the **accumulation
+//! stage** the next frame starts as soon as the previous one's request
+//! completes, as long as pre-rendered buffers have not reached the configured
+//! limit; the buffer queue fills with the time saved by short frames. Once
+//! the limit is reached FPE enters the **sync stage**, triggering frames in
+//! alignment with display consumption, exactly like conventional VSync but
+//! with a full queue standing between the producer and the deadline.
+
+use serde::{Deserialize, Serialize};
+
+/// Which stage the pre-executor is in (Figure 10's two phases).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FpeStage {
+    /// Building up queued buffers as fast as frames complete.
+    Accumulation,
+    /// Queue full: production paced one-for-one with consumption.
+    Sync,
+}
+
+/// The pre-executor's state machine.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_core::{FpeStage, FpeState};
+///
+/// let mut fpe = FpeState::new(3);
+/// assert!(fpe.may_start(0, 0));
+/// assert_eq!(fpe.stage(), FpeStage::Accumulation);
+/// assert!(!fpe.may_start(3, 0), "limit reached");
+/// assert_eq!(fpe.stage(), FpeStage::Sync);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FpeState {
+    prerender_limit: usize,
+    stage: FpeStage,
+    accumulation_entries: u64,
+    sync_entries: u64,
+}
+
+impl FpeState {
+    /// Creates a pre-executor allowing at most `prerender_limit` frames
+    /// ahead of the display (queued or in production).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the limit is zero — D-VSync always needs at least one frame
+    /// of decoupling to exist.
+    pub fn new(prerender_limit: usize) -> Self {
+        assert!(prerender_limit >= 1, "pre-render limit must be at least 1");
+        FpeState {
+            prerender_limit,
+            stage: FpeStage::Accumulation,
+            accumulation_entries: 1,
+            sync_entries: 0,
+        }
+    }
+
+    /// The configured pre-render limit.
+    pub fn prerender_limit(&self) -> usize {
+        self.prerender_limit
+    }
+
+    /// Reconfigures the limit at runtime (a decoupling-aware API, §4.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn set_prerender_limit(&mut self, limit: usize) {
+        assert!(limit >= 1, "pre-render limit must be at least 1");
+        self.prerender_limit = limit;
+    }
+
+    /// Whether a new frame may start given `queued` buffers waiting and
+    /// `in_flight` frames already executing. Updates the stage: once a start
+    /// would fill the pre-render budget, production is paced one-for-one
+    /// with consumption — the sync stage.
+    pub fn may_start(&mut self, queued: usize, in_flight: usize) -> bool {
+        let ahead = queued + in_flight;
+        let allowed = ahead < self.prerender_limit;
+        let effective = ahead + usize::from(allowed);
+        let next_stage = if effective >= self.prerender_limit {
+            FpeStage::Sync
+        } else {
+            FpeStage::Accumulation
+        };
+        if next_stage != self.stage {
+            self.stage = next_stage;
+            match next_stage {
+                FpeStage::Accumulation => self.accumulation_entries += 1,
+                FpeStage::Sync => self.sync_entries += 1,
+            }
+        }
+        allowed
+    }
+
+    /// The current stage.
+    pub fn stage(&self) -> FpeStage {
+        self.stage
+    }
+
+    /// How many times the accumulation stage has been (re-)entered.
+    pub fn accumulation_entries(&self) -> u64 {
+        self.accumulation_entries
+    }
+
+    /// How many times the sync stage has been entered.
+    pub fn sync_entries(&self) -> u64 {
+        self.sync_entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_in_accumulation() {
+        let fpe = FpeState::new(3);
+        assert_eq!(fpe.stage(), FpeStage::Accumulation);
+    }
+
+    #[test]
+    fn counts_queued_plus_in_flight() {
+        let mut fpe = FpeState::new(3);
+        assert!(fpe.may_start(1, 1));
+        assert!(!fpe.may_start(2, 1));
+        assert!(!fpe.may_start(1, 2));
+    }
+
+    #[test]
+    fn stage_transitions_are_counted() {
+        let mut fpe = FpeState::new(2);
+        assert!(fpe.may_start(0, 0)); // 1 ahead after start: accumulation
+        assert_eq!(fpe.stage(), FpeStage::Accumulation);
+        assert!(fpe.may_start(1, 0)); // fills the budget -> sync
+        assert_eq!(fpe.stage(), FpeStage::Sync);
+        assert!(fpe.may_start(0, 0)); // drained -> accumulation again
+        assert!(!fpe.may_start(2, 0)); // over budget -> sync again
+        assert_eq!(fpe.sync_entries(), 2);
+        assert_eq!(fpe.accumulation_entries(), 2);
+    }
+
+    #[test]
+    fn limit_reconfigurable_at_runtime() {
+        let mut fpe = FpeState::new(1);
+        assert!(!fpe.may_start(1, 0));
+        fpe.set_prerender_limit(4);
+        assert!(fpe.may_start(1, 0));
+        assert_eq!(fpe.prerender_limit(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_limit_panics() {
+        FpeState::new(0);
+    }
+}

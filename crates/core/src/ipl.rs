@@ -1,0 +1,597 @@
+//! The Input Prediction Layer extension (§4.6).
+//!
+//! During a continuous interaction (finger physically on the screen),
+//! D-VSync executes frames several periods before display, so the input
+//! state that should be on screen *at display time* has not happened yet.
+//! IPL closes the gap with curve fitting: given the history of an input
+//! scalar (a coordinate, or the pinch distance for the map app's Zooming
+//! Distance Predictor), it extrapolates the value at the D-Timestamp.
+//! Apps register scenario-specific heuristics through [`IplRegistry`].
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+
+use dvs_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A curve-fitting predictor over a scalar input channel.
+pub trait IplPredictor: Debug + Send + Sync {
+    /// Predicts the input value at `target` from `(time, value)` history.
+    /// Returns `None` when the history is insufficient to fit the curve.
+    fn predict(&self, history: &[(SimTime, f64)], target: SimTime) -> Option<f64>;
+
+    /// A short identifying name.
+    fn name(&self) -> &'static str;
+}
+
+/// Least-squares straight-line fit over the most recent samples — the
+/// heuristic the paper's map app registers for zooming (§6.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// How many trailing samples to fit.
+    pub window: usize,
+}
+
+impl LinearFit {
+    /// A fit over the last `window` samples (at least 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 2`.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 2, "a line needs at least two points");
+        LinearFit { window }
+    }
+}
+
+impl Default for LinearFit {
+    fn default() -> Self {
+        LinearFit::new(6)
+    }
+}
+
+impl IplPredictor for LinearFit {
+    fn predict(&self, history: &[(SimTime, f64)], target: SimTime) -> Option<f64> {
+        if history.len() < 2 {
+            return None;
+        }
+        let tail = &history[history.len().saturating_sub(self.window)..];
+        let t0 = tail[0].0;
+        let n = tail.len() as f64;
+        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+        for &(t, v) in tail {
+            let x = t.saturating_since(t0).as_secs_f64();
+            sx += x;
+            sy += v;
+            sxx += x * x;
+            sxy += x * v;
+        }
+        let denom = n * sxx - sx * sx;
+        let (slope, intercept) = if denom.abs() < 1e-18 {
+            (0.0, sy / n)
+        } else {
+            let slope = (n * sxy - sx * sy) / denom;
+            (slope, (sy - slope * sx) / n)
+        };
+        let x_target = target.saturating_since(t0).as_secs_f64();
+        Some(intercept + slope * x_target)
+    }
+
+    fn name(&self) -> &'static str {
+        "linear-fit"
+    }
+}
+
+/// Extrapolation from the instantaneous velocity of the last two samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VelocityExtrapolation;
+
+impl IplPredictor for VelocityExtrapolation {
+    fn predict(&self, history: &[(SimTime, f64)], target: SimTime) -> Option<f64> {
+        let [.., (ta, va), (tb, vb)] = history else {
+            return None;
+        };
+        let dt = tb.saturating_since(*ta).as_secs_f64();
+        if dt == 0.0 {
+            return Some(*vb);
+        }
+        let v = (vb - va) / dt;
+        Some(vb + v * target.saturating_since(*tb).as_secs_f64())
+    }
+
+    fn name(&self) -> &'static str {
+        "velocity"
+    }
+}
+
+/// Quadratic least-squares fit: captures deceleration at the end of swipes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolyFit2 {
+    /// How many trailing samples to fit.
+    pub window: usize,
+}
+
+impl PolyFit2 {
+    /// A quadratic fit over the last `window` samples (at least 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 3`.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 3, "a parabola needs at least three points");
+        PolyFit2 { window }
+    }
+}
+
+impl Default for PolyFit2 {
+    fn default() -> Self {
+        PolyFit2::new(8)
+    }
+}
+
+impl IplPredictor for PolyFit2 {
+    fn predict(&self, history: &[(SimTime, f64)], target: SimTime) -> Option<f64> {
+        if history.len() < 3 {
+            return None;
+        }
+        let tail = &history[history.len().saturating_sub(self.window)..];
+        let t0 = tail[0].0;
+        // Normal equations for y = a + b x + c x².
+        let (mut s0, mut s1, mut s2, mut s3, mut s4) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        let (mut sy, mut sxy, mut sxxy) = (0.0, 0.0, 0.0);
+        for &(t, v) in tail {
+            let x = t.saturating_since(t0).as_secs_f64();
+            let x2 = x * x;
+            s0 += 1.0;
+            s1 += x;
+            s2 += x2;
+            s3 += x2 * x;
+            s4 += x2 * x2;
+            sy += v;
+            sxy += x * v;
+            sxxy += x2 * v;
+        }
+        // Solve the 3x3 system by Cramer's rule.
+        let det = s0 * (s2 * s4 - s3 * s3) - s1 * (s1 * s4 - s3 * s2)
+            + s2 * (s1 * s3 - s2 * s2);
+        if det.abs() < 1e-18 {
+            // Degenerate geometry: fall back to a line.
+            return LinearFit::new(2).predict(tail, target);
+        }
+        let da = sy * (s2 * s4 - s3 * s3) - s1 * (sxy * s4 - s3 * sxxy)
+            + s2 * (sxy * s3 - s2 * sxxy);
+        let db = s0 * (sxy * s4 - sxxy * s3) - sy * (s1 * s4 - s3 * s2)
+            + s2 * (s1 * sxxy - s2 * sxy);
+        let dc = s0 * (s2 * sxxy - s3 * sxy) - s1 * (s1 * sxxy - sxy * s2)
+            + sy * (s1 * s3 - s2 * s2);
+        let (a, b, c) = (da / det, db / det, dc / det);
+        let x = target.saturating_since(t0).as_secs_f64();
+        Some(a + b * x + c * x * x)
+    }
+
+    fn name(&self) -> &'static str {
+        "poly2-fit"
+    }
+}
+
+/// A Markov-chain predictor over quantised velocity states, in the spirit of
+/// Outatime's input speculation (cited by the paper as a candidate predictor
+/// to integrate into D-VSync for richer interactive scenarios).
+///
+/// The chain is learned from the history handed to each `predict` call:
+/// velocities between consecutive samples are bucketed, transition counts
+/// accumulated, and the prediction walks the expected-velocity chain forward
+/// over the horizon. On smooth gestures it behaves like velocity
+/// extrapolation with deceleration awareness; on noisy input it regresses to
+/// the mean observed behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MarkovPredictor {
+    /// Number of velocity buckets.
+    pub states: usize,
+    /// Simulation steps the horizon is divided into.
+    pub steps: usize,
+}
+
+impl MarkovPredictor {
+    /// Creates a predictor with the given quantisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states < 2` or `steps == 0`.
+    pub fn new(states: usize, steps: usize) -> Self {
+        assert!(states >= 2, "need at least two velocity states");
+        assert!(steps >= 1, "need at least one simulation step");
+        MarkovPredictor { states, steps }
+    }
+}
+
+impl Default for MarkovPredictor {
+    fn default() -> Self {
+        MarkovPredictor::new(8, 4)
+    }
+}
+
+impl IplPredictor for MarkovPredictor {
+    fn predict(&self, history: &[(SimTime, f64)], target: SimTime) -> Option<f64> {
+        if history.len() < 3 {
+            return None;
+        }
+        // Velocities between consecutive samples.
+        let mut velocities = Vec::with_capacity(history.len() - 1);
+        for w in history.windows(2) {
+            let dt = w[1].0.saturating_since(w[0].0).as_secs_f64();
+            if dt > 0.0 {
+                velocities.push((w[1].1 - w[0].1) / dt);
+            }
+        }
+        if velocities.len() < 2 {
+            let &(last_t, last_v) = history.last().expect("len >= 3");
+            let _ = last_t;
+            return Some(last_v);
+        }
+        let (lo, hi) = velocities
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+        let span = (hi - lo).max(1e-9);
+        let bucket = |v: f64| {
+            (((v - lo) / span) * (self.states as f64 - 1.0)).round() as usize % self.states
+        };
+        // Transition table: expected velocity *ratio* per state. Learning
+        // ratios rather than absolute next-velocities models the decaying
+        // dynamics of flings and swipes (v_{k+1} ≈ r · v_k) and is exact for
+        // constant-velocity motion (r = 1).
+        let mut sums = vec![0.0f64; self.states];
+        let mut counts = vec![0u32; self.states];
+        for w in velocities.windows(2) {
+            let ratio = if w[0].abs() < 1e-9 {
+                1.0
+            } else {
+                (w[1] / w[0]).clamp(-3.0, 3.0)
+            };
+            let s = bucket(w[0]);
+            sums[s] += ratio;
+            counts[s] += 1;
+        }
+        let expected_ratio = |v: f64| {
+            let s = bucket(v);
+            if counts[s] > 0 {
+                sums[s] / counts[s] as f64
+            } else {
+                1.0 // unseen state: hold velocity
+            }
+        };
+        // The learned ratios are per sample interval; rescale the decay to
+        // the simulation step length.
+        let sample_dt = {
+            let first = history[0].0;
+            let last = history[history.len() - 1].0;
+            last.saturating_since(first).as_secs_f64() / (history.len() - 1) as f64
+        };
+        // Walk the chain over the horizon.
+        let (last_t, last_pos) = *history.last().expect("len >= 3");
+        let horizon = target.saturating_since(last_t).as_secs_f64();
+        let dt = horizon / self.steps as f64;
+        let mut v = *velocities.last().expect("non-empty");
+        let mut pos = last_pos;
+        for _ in 0..self.steps {
+            let r = expected_ratio(v);
+            let scaled = if sample_dt > 0.0 && r > 0.0 {
+                r.powf(dt / sample_dt)
+            } else {
+                r
+            };
+            v *= scaled;
+            pos += v * dt;
+        }
+        Some(pos)
+    }
+
+    fn name(&self) -> &'static str {
+        "markov"
+    }
+}
+
+/// Per-scenario predictor registrations (the §4.5 "extensible IPL
+/// interface").
+///
+/// # Examples
+///
+/// ```
+/// use dvs_core::{IplRegistry, LinearFit};
+///
+/// let mut reg = IplRegistry::new();
+/// reg.register("map-zoom", Box::new(LinearFit::new(4)));
+/// assert_eq!(reg.lookup("map-zoom").name(), "linear-fit");
+/// assert_eq!(reg.lookup("unknown-scene").name(), "velocity");
+/// ```
+#[derive(Debug)]
+pub struct IplRegistry {
+    by_scenario: HashMap<String, Box<dyn IplPredictor>>,
+    fallback: Box<dyn IplPredictor>,
+}
+
+impl IplRegistry {
+    /// Creates a registry with [`VelocityExtrapolation`] as the fallback.
+    pub fn new() -> Self {
+        IplRegistry { by_scenario: HashMap::new(), fallback: Box::new(VelocityExtrapolation) }
+    }
+
+    /// Registers a predictor for a scenario key, returning any previous one.
+    pub fn register(
+        &mut self,
+        scenario: impl Into<String>,
+        predictor: Box<dyn IplPredictor>,
+    ) -> Option<Box<dyn IplPredictor>> {
+        self.by_scenario.insert(scenario.into(), predictor)
+    }
+
+    /// The predictor for a scenario, or the fallback.
+    pub fn lookup(&self, scenario: &str) -> &dyn IplPredictor {
+        self.by_scenario
+            .get(scenario)
+            .map(|b| b.as_ref())
+            .unwrap_or(self.fallback.as_ref())
+    }
+
+    /// Replaces the fallback predictor.
+    pub fn set_fallback(&mut self, predictor: Box<dyn IplPredictor>) {
+        self.fallback = predictor;
+    }
+
+    /// Number of scenario-specific registrations.
+    pub fn len(&self) -> usize {
+        self.by_scenario.len()
+    }
+
+    /// Whether no scenario-specific predictors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_scenario.is_empty()
+    }
+}
+
+impl Default for IplRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Accuracy of a predictor over a ground-truth series.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PredictionQuality {
+    /// Mean absolute prediction error.
+    pub mean_abs_error: f64,
+    /// Worst-case absolute error.
+    pub max_error: f64,
+    /// Predictions evaluated.
+    pub evaluated: usize,
+}
+
+impl PredictionQuality {
+    /// Evaluates a predictor against a ground-truth `(time, value)` series:
+    /// at each sample, predict `horizon` ahead using only past samples and
+    /// compare against the series' value there (linear interpolation).
+    pub fn evaluate(
+        predictor: &dyn IplPredictor,
+        series: &[(SimTime, f64)],
+        horizon: dvs_sim::SimDuration,
+    ) -> PredictionQuality {
+        let truth_at = |t: SimTime| -> Option<f64> {
+            let last = series.last()?;
+            if t > last.0 {
+                return None; // don't score beyond the gesture
+            }
+            let idx = series.partition_point(|s| s.0 <= t);
+            if idx == 0 {
+                return Some(series[0].1);
+            }
+            let (a, b) = (series[idx - 1], series[idx.min(series.len() - 1)]);
+            let span = b.0.saturating_since(a.0).as_secs_f64();
+            if span == 0.0 {
+                return Some(a.1);
+            }
+            let frac = t.saturating_since(a.0).as_secs_f64() / span;
+            Some(a.1 + (b.1 - a.1) * frac)
+        };
+
+        let mut sum = 0.0;
+        let mut max: f64 = 0.0;
+        let mut n = 0usize;
+        for i in 2..series.len() {
+            let now = series[i].0;
+            let target = now + horizon;
+            let Some(truth) = truth_at(target) else { continue };
+            if let Some(pred) = predictor.predict(&series[..=i], target) {
+                let err = (pred - truth).abs();
+                sum += err;
+                max = max.max(err);
+                n += 1;
+            }
+        }
+        PredictionQuality {
+            mean_abs_error: if n == 0 { 0.0 } else { sum / n as f64 },
+            max_error: max,
+            evaluated: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_sim::SimDuration;
+
+    fn series_linear(n: usize, slope: f64) -> Vec<(SimTime, f64)> {
+        (0..n)
+            .map(|i| (SimTime::from_millis(10 * i as u64), slope * i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn linear_fit_exact_on_lines() {
+        let s = series_linear(20, 3.0);
+        let p = LinearFit::new(6);
+        let pred = p
+            .predict(&s, SimTime::from_millis(250))
+            .expect("enough history");
+        // Value at t=250ms on the line v = 0.3/ms * t.
+        assert!((pred - 75.0).abs() < 1e-6, "{pred}");
+    }
+
+    #[test]
+    fn velocity_extrapolation_exact_on_lines() {
+        let s = series_linear(5, 2.0);
+        let pred = VelocityExtrapolation
+            .predict(&s, SimTime::from_millis(60))
+            .unwrap();
+        assert!((pred - 12.0).abs() < 1e-9, "{pred}");
+    }
+
+    #[test]
+    fn poly_fit_exact_on_parabolas() {
+        let s: Vec<(SimTime, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64 * 0.01;
+                (SimTime::from_millis(10 * i as u64), 5.0 + 2.0 * x + 30.0 * x * x)
+            })
+            .collect();
+        let pred = PolyFit2::new(10)
+            .predict(&s, SimTime::from_millis(250))
+            .unwrap();
+        let x = 0.25;
+        let truth = 5.0 + 2.0 * x + 30.0 * x * x;
+        assert!((pred - truth).abs() < 1e-6, "pred {pred} truth {truth}");
+    }
+
+    #[test]
+    fn insufficient_history_returns_none() {
+        let s = series_linear(1, 1.0);
+        assert!(LinearFit::default().predict(&s, SimTime::from_millis(50)).is_none());
+        assert!(VelocityExtrapolation.predict(&s, SimTime::from_millis(50)).is_none());
+        assert!(PolyFit2::default().predict(&s[..1], SimTime::from_millis(50)).is_none());
+    }
+
+    #[test]
+    fn duplicate_timestamps_do_not_explode() {
+        let s = vec![
+            (SimTime::from_millis(5), 1.0),
+            (SimTime::from_millis(5), 2.0),
+            (SimTime::from_millis(5), 3.0),
+        ];
+        let pred = LinearFit::new(3).predict(&s, SimTime::from_millis(9)).unwrap();
+        assert!(pred.is_finite());
+        let pred = PolyFit2::new(3).predict(&s, SimTime::from_millis(9)).unwrap();
+        assert!(pred.is_finite());
+        let pred = VelocityExtrapolation.predict(&s, SimTime::from_millis(9)).unwrap();
+        assert!(pred.is_finite());
+    }
+
+    #[test]
+    fn markov_exact_on_constant_velocity() {
+        let s = series_linear(20, 4.0);
+        let pred = MarkovPredictor::default()
+            .predict(&s, SimTime::from_millis(250))
+            .unwrap();
+        // v = 0.4/ms; value at 250 ms = 100.
+        assert!((pred - 100.0).abs() < 1.0, "{pred}");
+    }
+
+    #[test]
+    fn markov_learns_deceleration() {
+        // A decelerating fling: velocity decays 15% per 10 ms sample, still
+        // moving at the end. Ground truth continues the same decay over the
+        // prediction horizon.
+        let mut pos = 0.0;
+        let mut v: f64 = 2000.0; // px/s
+        let mut series: Vec<(SimTime, f64)> = Vec::new();
+        for i in 0..16 {
+            series.push((SimTime::from_millis(10 * i as u64), pos));
+            pos += v * 0.01;
+            v *= 0.85;
+        }
+        // Continue the decay 80 ms beyond the last sample for the truth.
+        let mut truth = pos - v / 0.85 * 0.01; // undo the final advance
+        let mut tv = v / 0.85;
+        let last_t = 150u64;
+        for _ in 0..8 {
+            truth += tv * 0.01;
+            tv *= 0.85;
+        }
+        let target = SimTime::from_millis(last_t + 80);
+
+        let markov = MarkovPredictor::default().predict(&series, target).unwrap();
+        let hold = VelocityExtrapolation.predict(&series, target).unwrap();
+        assert!(
+            (markov - truth).abs() < (hold - truth).abs(),
+            "markov {markov} vs hold {hold}, truth {truth}"
+        );
+    }
+
+    #[test]
+    fn markov_insufficient_history() {
+        let s = series_linear(2, 1.0);
+        assert!(MarkovPredictor::default().predict(&s, SimTime::from_millis(50)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "two velocity states")]
+    fn markov_bad_states_panics() {
+        MarkovPredictor::new(1, 4);
+    }
+
+    #[test]
+    fn registry_dispatch() {
+        let mut reg = IplRegistry::new();
+        assert!(reg.is_empty());
+        reg.register("zoom", Box::new(LinearFit::new(4)));
+        reg.register("fling", Box::new(PolyFit2::new(8)));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.lookup("zoom").name(), "linear-fit");
+        assert_eq!(reg.lookup("fling").name(), "poly2-fit");
+        assert_eq!(reg.lookup("other").name(), "velocity");
+        reg.set_fallback(Box::new(LinearFit::default()));
+        assert_eq!(reg.lookup("other").name(), "linear-fit");
+    }
+
+    #[test]
+    fn registry_returns_replaced_predictor() {
+        let mut reg = IplRegistry::new();
+        assert!(reg.register("k", Box::new(LinearFit::new(2))).is_none());
+        let old = reg.register("k", Box::new(VelocityExtrapolation));
+        assert_eq!(old.unwrap().name(), "linear-fit");
+    }
+
+    #[test]
+    fn quality_evaluation_scores_linear_predictor_well() {
+        // Decelerating series: quadratic-ish ground truth.
+        let series: Vec<(SimTime, f64)> = (0..60)
+            .map(|i| {
+                let x = i as f64 / 60.0;
+                (
+                    SimTime::from_millis(5 * i as u64),
+                    1000.0 * (1.0 - (1.0 - x) * (1.0 - x)),
+                )
+            })
+            .collect();
+        let horizon = SimDuration::from_millis(25);
+        let linear = PredictionQuality::evaluate(&LinearFit::new(6), &series, horizon);
+        assert!(linear.evaluated > 20);
+        // A short linear fit tracks a smooth decelerating curve to within
+        // the curvature error (~½·|a|·Δt² ≈ 15 px) over a 25 ms horizon.
+        assert!(linear.mean_abs_error < 20.0, "{:?}", linear);
+        // And beats a naive hold-last-value "predictor".
+        #[derive(Debug)]
+        struct Hold;
+        impl IplPredictor for Hold {
+            fn predict(&self, h: &[(SimTime, f64)], _t: SimTime) -> Option<f64> {
+                h.last().map(|&(_, v)| v)
+            }
+            fn name(&self) -> &'static str {
+                "hold"
+            }
+        }
+        let hold = PredictionQuality::evaluate(&Hold, &series, horizon);
+        assert!(linear.mean_abs_error < hold.mean_abs_error);
+    }
+}

@@ -1,0 +1,76 @@
+//! D-VSync: decoupled rendering and displaying (the paper's contribution).
+//!
+//! Classic VSync rendering couples *when a frame executes* to *when the
+//! screen refreshes*, so a single heavy key frame blows its fixed deadline
+//! and janks. D-VSync breaks the coupling: frames may execute several VSync
+//! periods before they are displayed, banking the time saved by common short
+//! frames as queued buffers that cover sporadic long frames. Three modules
+//! implement it, mirroring §4 of the paper:
+//!
+//! * [`FpeState`] — the **Frame Pre-Executor**: decides when the next frame
+//!   may start, running an *accumulation stage* (start immediately, up to the
+//!   pre-render limit) and a *sync stage* (paced with consumption once the
+//!   queue is full);
+//! * [`Dtv`] — the **Display Time Virtualizer**: predicts each frame's
+//!   physical display time (the *D-Timestamp*) from the queue state and a
+//!   calibrated model of the HW-VSync clock, so pre-rendered content is
+//!   sampled at the time it will actually appear;
+//! * [`IplPredictor`] implementations — the **Input Prediction Layer**
+//!   extension: curve-fitting that corrects input state to the D-Timestamp
+//!   for interactive frames.
+//!
+//! [`DvsyncPacer`] packages FPE + DTV as a
+//! [`FramePacer`](dvs_pipeline::FramePacer) for the pipeline simulator, and
+//! [`DvsyncRuntime`] is the dual-channel API surface (§4.5): a runtime
+//! controller that turns decoupling on for deterministic animations, leaves
+//! real-time scenarios on the classic path, and exposes the configuration
+//! knobs decoupling-aware apps use.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvs_core::{DvsyncConfig, DvsyncPacer};
+//! use dvs_pipeline::{PipelineConfig, Simulator, VsyncPacer};
+//! use dvs_workload::{CostProfile, ScenarioSpec};
+//!
+//! // A scenario with heavy key frames roughly twice a second.
+//! let spec = ScenarioSpec::new("demo", 60, 600, CostProfile::scattered(2.0));
+//! let trace = spec.generate();
+//!
+//! // Baseline: VSync with triple buffering.
+//! let base_cfg = PipelineConfig::new(60, 3);
+//! let base = Simulator::new(&base_cfg).run(&trace, &mut VsyncPacer::new());
+//!
+//! // D-VSync: 5 buffers, pre-render limit 3.
+//! let dvs_cfg = PipelineConfig::new(60, 5);
+//! let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(5));
+//! let dvs = Simulator::new(&dvs_cfg).run(&trace, &mut pacer);
+//!
+//! assert!(dvs.janks.len() < base.janks.len(), "decoupling absorbs key frames");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+mod api;
+mod contention;
+mod dtv;
+mod fpe;
+mod ipl;
+mod ltpo;
+mod pacer;
+mod scope;
+
+pub use adaptive::{run_adaptive_session, AdaptiveLimit, AdaptiveSession};
+pub use api::{Channel, DvsyncConfig, DvsyncRuntime, SessionPhase, SessionReport};
+pub use contention::{ContentionMode, ContentionSim};
+pub use dtv::Dtv;
+pub use fpe::{FpeStage, FpeState};
+pub use ipl::{
+    IplPredictor, IplRegistry, LinearFit, MarkovPredictor, PolyFit2, PredictionQuality,
+    VelocityExtrapolation,
+};
+pub use ltpo::{LtpoCoSim, LtpoCoSimReport};
+pub use pacer::DvsyncPacer;
+pub use scope::{classify_scenarios, ScopeBreakdown};

@@ -1,0 +1,342 @@
+//! The D-VSync × LTPO co-design (§5.3) as a focused co-simulation.
+//!
+//! LTPO panels change refresh rate at runtime; D-VSync holds *pre-rendered*
+//! frames whose animation stepping assumed a particular rate. The co-design
+//! rule: frames produced at rate X must be consumed by the screen before the
+//! panel switches to rate Y, coordinated through rate tags on every buffer.
+//! [`LtpoCoSim`] drives a producer, an accumulating queue, and an
+//! LTPO-aware panel through a rate switch and verifies the rule holds.
+
+use dvs_buffer::{BufferQueue, FrameMeta};
+use dvs_display::{LtpoController, Panel, PanelOutcome, RefreshRate, VsyncTimeline};
+use dvs_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Scenario for one rate-switch co-simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LtpoCoSim {
+    /// Rate before the switch.
+    pub from: RefreshRate,
+    /// Rate after the switch.
+    pub to: RefreshRate,
+    /// The producer starts rendering at `to` from this frame onwards.
+    pub switch_at_frame: usize,
+    /// Total frames to produce.
+    pub total_frames: usize,
+    /// D-VSync pre-render limit (accumulation depth).
+    pub prerender_limit: usize,
+}
+
+/// One presented frame in the co-simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LtpoPresent {
+    /// Refresh index.
+    pub tick: u64,
+    /// Frame sequence number.
+    pub seq: u64,
+    /// The rate the frame was rendered for.
+    pub frame_rate_hz: u32,
+    /// The rate the panel was running at when it consumed the frame.
+    pub panel_rate_hz: u32,
+}
+
+/// The outcome of an [`LtpoCoSim`] run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LtpoCoSimReport {
+    /// Every present in order.
+    pub presents: Vec<LtpoPresent>,
+    /// Presents where the frame's rate tag disagreed with the panel rate —
+    /// the §5.3 rule says this must be zero.
+    pub mixed_rate_presents: usize,
+    /// The tick the rate switch committed at, if it did.
+    pub committed_at_tick: Option<u64>,
+    /// Ticks between the switch request and its commit (the drain time).
+    pub drain_ticks: Option<u64>,
+}
+
+impl LtpoCoSim {
+    /// Runs a multi-stage decay ladder — the ProMotion-style swipe that
+    /// walks 120 → 90 → 60 Hz as the scroll slows (§5.3). Each stage
+    /// produces `frames` frames tagged with its rate; when production
+    /// crosses a stage boundary the controller is asked to switch, and the
+    /// previous stage's accumulated frames must drain first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty or any stage has zero frames.
+    pub fn run_ladder(
+        stages: &[(RefreshRate, usize)],
+        prerender_limit: usize,
+    ) -> LtpoCoSimReport {
+        assert!(!stages.is_empty(), "need at least one stage");
+        assert!(stages.iter().all(|&(_, n)| n > 0), "stages need frames");
+
+        let total_frames: usize = stages.iter().map(|&(_, n)| n).sum();
+        let stage_of = |frame: usize| -> RefreshRate {
+            let mut acc = 0usize;
+            for &(rate, n) in stages {
+                acc += n;
+                if frame < acc {
+                    return rate;
+                }
+            }
+            stages.last().expect("non-empty").0
+        };
+
+        let mut timeline = VsyncTimeline::new(stages[0].0);
+        let mut queue = BufferQueue::new(prerender_limit + 2);
+        let mut panel =
+            Panel::new(SimDuration::ZERO).with_ltpo(LtpoController::new(stages[0].0));
+        let mut produced = 0usize;
+        let mut presented = 0usize;
+        let mut committed_at: Option<u64> = None;
+        let mut requested_at: Option<u64> = None;
+        let mut presents = Vec::with_capacity(total_frames);
+
+        let mut tick = 0u64;
+        let max_ticks = (total_frames + stages.len() * (prerender_limit + 8)) as u64 * 2;
+        while presented < total_frames && tick < max_ticks {
+            let now = timeline.tick_time(tick);
+            while queue.queued_len() < prerender_limit && produced < total_frames {
+                let rate = stage_of(produced);
+                let controller = panel.ltpo_mut().expect("LTPO attached");
+                if rate != controller.current_rate() {
+                    controller.request(rate);
+                    if requested_at.is_none() {
+                        requested_at = Some(tick);
+                    }
+                }
+                let slot = queue.dequeue_free().expect("capacity = limit + 2");
+                let meta = FrameMeta::new(produced as u64, now).with_rate(rate.hz());
+                queue.queue(slot, meta, now).expect("slot freshly dequeued");
+                produced += 1;
+            }
+            if let PanelOutcome::Presented(buf) = panel.on_vsync(&mut queue, now) {
+                presented += 1;
+                let panel_rate = panel.ltpo().expect("LTPO attached").current_rate();
+                presents.push(LtpoPresent {
+                    tick,
+                    seq: buf.meta.seq,
+                    frame_rate_hz: buf.meta.render_rate_hz,
+                    panel_rate_hz: panel_rate.hz(),
+                });
+            }
+            if let Some(new_rate) = panel.ltpo_mut().and_then(|l| l.take_committed()) {
+                timeline.switch_rate_at_tick(tick.max(1), new_rate);
+                if committed_at.is_none() {
+                    committed_at = Some(tick);
+                }
+            }
+            tick += 1;
+        }
+
+        let mixed = presents
+            .iter()
+            .filter(|p| p.frame_rate_hz != p.panel_rate_hz)
+            .count();
+        LtpoCoSimReport {
+            presents,
+            mixed_rate_presents: mixed,
+            committed_at_tick: committed_at,
+            drain_ticks: match (requested_at, committed_at) {
+                (Some(r), Some(c)) => Some(c.saturating_sub(r)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Runs the co-simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_frames` is zero or `switch_at_frame` is beyond it.
+    pub fn run(&self) -> LtpoCoSimReport {
+        assert!(self.total_frames > 0, "need frames to simulate");
+        assert!(
+            self.switch_at_frame <= self.total_frames,
+            "switch point beyond the trace"
+        );
+        let mut timeline = VsyncTimeline::new(self.from);
+        let mut queue = BufferQueue::new(self.prerender_limit + 2);
+        let mut panel =
+            Panel::new(SimDuration::ZERO).with_ltpo(LtpoController::new(self.from));
+        let mut produced = 0usize;
+        let mut presented = 0usize;
+        let mut requested_at: Option<u64> = None;
+        let mut committed_at: Option<u64> = None;
+        let mut presents = Vec::with_capacity(self.total_frames);
+
+        let mut tick = 0u64;
+        // Safety bound: a switch drains at most `prerender_limit` frames.
+        let max_ticks = (self.total_frames + self.prerender_limit + 8) as u64 * 2;
+        while presented < self.total_frames && tick < max_ticks {
+            let now = timeline.tick_time(tick);
+
+            // Producer: accumulate up to the pre-render limit. Short frames
+            // always complete within the tick in this focused model.
+            while queue.queued_len() < self.prerender_limit && produced < self.total_frames {
+                if produced == self.switch_at_frame {
+                    // The producer moves to the new rate: request the switch.
+                    panel
+                        .ltpo_mut()
+                        .expect("panel has LTPO attached")
+                        .request(self.to);
+                    if requested_at.is_none() {
+                        requested_at = Some(tick);
+                    }
+                }
+                let rate = if produced < self.switch_at_frame { self.from } else { self.to };
+                let slot = queue.dequeue_free().expect("capacity = limit + 2");
+                let meta = FrameMeta::new(produced as u64, now).with_rate(rate.hz());
+                queue.queue(slot, meta, now).expect("slot freshly dequeued");
+                produced += 1;
+            }
+
+            // Panel consumes; the LTPO controller commits once drained.
+            if let PanelOutcome::Presented(buf) = panel.on_vsync(&mut queue, now) {
+                presented += 1;
+                let panel_rate = panel
+                    .ltpo()
+                    .expect("panel has LTPO attached")
+                    .current_rate();
+                presents.push(LtpoPresent {
+                    tick,
+                    seq: buf.meta.seq,
+                    frame_rate_hz: buf.meta.render_rate_hz,
+                    panel_rate_hz: panel_rate.hz(),
+                });
+            }
+
+            // Apply a committed switch to the tick grid. The commit happened
+            // in the panel's pre-tick, before this refresh's acquisition, so
+            // the interval starting at this tick already runs at the new rate.
+            if let Some(new_rate) = panel.ltpo_mut().and_then(|l| l.take_committed()) {
+                timeline.switch_rate_at_tick(tick.max(1), new_rate);
+                committed_at = Some(tick);
+            }
+
+            tick += 1;
+        }
+
+        // A frame consumed at the panel's rate: the rate tag must agree.
+        let mixed = presents
+            .iter()
+            .filter(|p| p.frame_rate_hz != p.panel_rate_hz)
+            .count();
+        LtpoCoSimReport {
+            presents,
+            mixed_rate_presents: mixed,
+            committed_at_tick: committed_at,
+            drain_ticks: match (requested_at, committed_at) {
+                (Some(r), Some(c)) => Some(c.saturating_sub(r)),
+                _ => None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(limit: usize, switch_at: usize) -> LtpoCoSim {
+        LtpoCoSim {
+            from: RefreshRate::HZ_120,
+            to: RefreshRate::HZ_60,
+            switch_at_frame: switch_at,
+            total_frames: 60,
+            prerender_limit: limit,
+        }
+    }
+
+    #[test]
+    fn no_mixed_rate_presents() {
+        for limit in [1, 2, 3, 5] {
+            let report = sim(limit, 30).run();
+            assert_eq!(
+                report.mixed_rate_presents, 0,
+                "limit {limit}: frames at X must never display at rate Y"
+            );
+        }
+    }
+
+    #[test]
+    fn all_frames_present_in_order() {
+        let report = sim(3, 30).run();
+        assert_eq!(report.presents.len(), 60);
+        for (i, p) in report.presents.iter().enumerate() {
+            assert_eq!(p.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn switch_commits_after_draining_accumulated_frames() {
+        let report = sim(3, 30).run();
+        let committed = report.committed_at_tick.expect("switch must commit");
+        // Frames 30.. carry the 60 Hz tag; the first one displays only after
+        // the commit.
+        let first_new = report
+            .presents
+            .iter()
+            .find(|p| p.frame_rate_hz == 60)
+            .expect("new-rate frames present");
+        assert!(first_new.tick >= committed);
+        // Drain takes roughly the accumulated depth.
+        let drain = report.drain_ticks.unwrap();
+        assert!((1..=4).contains(&drain), "drain {drain} ticks for depth 3");
+    }
+
+    #[test]
+    fn deeper_accumulation_drains_longer() {
+        let shallow = sim(1, 30).run().drain_ticks.unwrap();
+        let deep = sim(5, 30).run().drain_ticks.unwrap();
+        assert!(deep > shallow, "deep {deep} vs shallow {shallow}");
+    }
+
+    #[test]
+    fn switch_at_start_never_shows_old_rate() {
+        let report = sim(3, 0).run();
+        assert!(report.presents.iter().all(|p| p.frame_rate_hz == 60));
+        assert_eq!(report.mixed_rate_presents, 0);
+    }
+
+    #[test]
+    fn no_switch_requested_when_past_end() {
+        let report = sim(3, 60).run();
+        assert!(report.committed_at_tick.is_none());
+        assert!(report.presents.iter().all(|p| p.frame_rate_hz == 120));
+    }
+
+    #[test]
+    fn decay_ladder_walks_all_rates() {
+        let stages = [
+            (RefreshRate::HZ_120, 30usize),
+            (RefreshRate::HZ_90, 30),
+            (RefreshRate::HZ_60, 30),
+        ];
+        let report = LtpoCoSim::run_ladder(&stages, 3);
+        assert_eq!(report.presents.len(), 90);
+        assert_eq!(report.mixed_rate_presents, 0, "the §5.3 invariant across two switches");
+        // All three rates reached the screen, in order.
+        let rates: Vec<u32> = report.presents.iter().map(|p| p.panel_rate_hz).collect();
+        assert!(rates.contains(&120) && rates.contains(&90) && rates.contains(&60));
+        let mut dedup = rates.clone();
+        dedup.dedup();
+        assert_eq!(dedup, vec![120, 90, 60], "monotone decay, no flapping");
+    }
+
+    #[test]
+    fn ladder_presents_in_sequence_order() {
+        let stages = [(RefreshRate::HZ_120, 20usize), (RefreshRate::HZ_60, 20)];
+        let report = LtpoCoSim::run_ladder(&stages, 2);
+        for (i, p) in report.presents.iter().enumerate() {
+            assert_eq!(p.seq, i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_ladder_panics() {
+        LtpoCoSim::run_ladder(&[], 3);
+    }
+}

@@ -1,0 +1,324 @@
+//! The D-VSync pacing policy: FPE + DTV packaged as a
+//! [`FramePacer`](dvs_pipeline::FramePacer).
+
+use dvs_pipeline::{FramePacer, FramePlan, PacerCtx};
+use dvs_sim::SimTime;
+
+use crate::api::DvsyncConfig;
+use crate::dtv::Dtv;
+use crate::fpe::{FpeStage, FpeState};
+
+/// Drives frame execution decoupled from the display VSync.
+///
+/// In the accumulation stage the next frame starts the moment the pipeline
+/// can take it; in the sync stage it waits for the panel to free a slot.
+/// Every frame is stamped with a D-Timestamp — its predicted display time —
+/// so content is rendered for the moment it will actually appear.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Clone, Debug)]
+pub struct DvsyncPacer {
+    fpe: FpeState,
+    dtv: Option<Dtv>,
+    config: DvsyncConfig,
+    frames_planned: u64,
+    last_assignment: Option<(u64, u64, SimTime)>,
+}
+
+impl DvsyncPacer {
+    /// Creates a pacer from a D-VSync configuration.
+    pub fn new(config: DvsyncConfig) -> Self {
+        DvsyncPacer {
+            fpe: FpeState::new(config.prerender_limit),
+            dtv: None,
+            config,
+            frames_planned: 0,
+            last_assignment: None,
+        }
+    }
+
+    /// The pre-executor state (stage, limit).
+    pub fn fpe(&self) -> &FpeState {
+        &self.fpe
+    }
+
+    /// The display-time virtualizer, once the first VSync has been observed.
+    pub fn dtv(&self) -> Option<&Dtv> {
+        self.dtv.as_ref()
+    }
+
+    /// Frames planned so far.
+    pub fn frames_planned(&self) -> u64 {
+        self.frames_planned
+    }
+
+    /// The most recent assignment: `(frame seq, display tick, D-Timestamp)`.
+    /// This is the §4.5 "retrieval of the frame display time" API.
+    pub fn last_assignment(&self) -> Option<(u64, u64, SimTime)> {
+        self.last_assignment
+    }
+
+    /// Reconfigures the pre-render limit at runtime (§4.5 API).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn set_prerender_limit(&mut self, limit: usize) {
+        self.fpe.set_prerender_limit(limit);
+    }
+
+    fn dtv_mut(&mut self) -> &mut Dtv {
+        self.dtv.as_mut().expect("DTV initialised on first plan call")
+    }
+}
+
+impl FramePacer for DvsyncPacer {
+    fn plan_next(&mut self, ctx: &PacerCtx) -> Option<FramePlan> {
+        // Feed the clock model with the latest hardware signal.
+        let dtv = self
+            .dtv
+            .get_or_insert_with(|| Dtv::new(ctx.period).with_calibration_interval(
+                self.config.calibrate_every,
+            ));
+        dtv.observe_tick(ctx.last_tick.0, ctx.last_tick.1);
+
+        // FPE: accumulate until the pre-render limit, then pace with the
+        // panel (re-consulted when a present frees a slot).
+        if !self.fpe.may_start(ctx.queued, ctx.in_flight) {
+            return None;
+        }
+
+        // DTV: the earliest slot this frame itself could make is "finish in
+        // the current period, latch at the next tick, display one tick
+        // later"; frames already ahead push it out via the pacing monotone.
+        let earliest_feasible = ctx.next_tick.0 + 1;
+        let (slot, d_ts) = dtv.assign_display_slot(earliest_feasible, ctx.frame_index);
+
+        // The latency basis is the virtual VSync-app timestamp of the target
+        // slot: D-Timestamp minus the two-period pipeline depth (§6.3).
+        let two_periods = dtv.period_estimate() * 2;
+        let basis = SimTime::from_nanos(d_ts.as_nanos().saturating_sub(two_periods.as_nanos()));
+
+        self.frames_planned += 1;
+        self.last_assignment = Some((ctx.frame_index, slot, d_ts));
+        Some(FramePlan { start: ctx.now, basis, content_timestamp: d_ts })
+    }
+
+    fn on_present(&mut self, seq: u64, tick: u64, time: SimTime) {
+        if self.dtv.is_some() {
+            let dtv = self.dtv_mut();
+            dtv.observe_tick(tick, time);
+            dtv.on_presented(seq, tick);
+        }
+    }
+
+    fn on_jank(&mut self, tick: u64, time: SimTime) {
+        if self.dtv.is_some() {
+            self.dtv_mut().observe_tick(tick, time);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "D-VSync"
+    }
+}
+
+/// Convenient re-export for stage assertions in tests and reports.
+impl DvsyncPacer {
+    /// Whether the pre-executor is currently in the sync stage.
+    pub fn in_sync_stage(&self) -> bool {
+        self.fpe.stage() == FpeStage::Sync
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_metrics::RunReport;
+    use dvs_pipeline::{PipelineConfig, Simulator, VsyncPacer};
+    use dvs_workload::{CostProfile, FrameCost, FrameTrace, ScenarioSpec};
+    use dvs_sim::SimDuration;
+
+    fn ms(v: f64) -> SimDuration {
+        SimDuration::from_millis_f64(v)
+    }
+
+    fn trace_of(rate: u32, costs: &[(f64, f64)]) -> FrameTrace {
+        let mut t = FrameTrace::new("hand", rate);
+        for &(ui, rs) in costs {
+            t.push(FrameCost::new(ms(ui), ms(rs)));
+        }
+        t
+    }
+
+    fn run_dvsync(trace: &FrameTrace, buffers: usize) -> RunReport {
+        let cfg = PipelineConfig::new(trace.rate_hz, buffers);
+        let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(buffers));
+        Simulator::new(&cfg).run(trace, &mut pacer)
+    }
+
+    fn run_vsync(trace: &FrameTrace, buffers: usize) -> RunReport {
+        let cfg = PipelineConfig::new(trace.rate_hz, buffers);
+        Simulator::new(&cfg).run(trace, &mut VsyncPacer::new())
+    }
+
+    #[test]
+    fn smooth_trace_stays_smooth() {
+        let trace = trace_of(60, &[(2.0, 5.0); 120]);
+        let report = run_dvsync(&trace, 5);
+        assert_eq!(report.janks.len(), 0);
+        assert_eq!(report.records.len(), 120);
+    }
+
+    #[test]
+    fn figure10_long_frame_hidden_by_accumulation() {
+        // The Figure 10 experiment: the same series of workloads with one
+        // heavy key frame. VSync produces janks; D-VSync is perfectly smooth
+        // because the screen consumes pre-rendered buffers.
+        let mut costs = vec![(2.0, 5.0); 60];
+        costs[30] = (4.0, 38.0); // ~2.5 periods
+        let trace = trace_of(60, &costs);
+
+        let vsync = run_vsync(&trace, 3);
+        let dvsync = run_dvsync(&trace, 5);
+        assert!(vsync.janks.len() >= 2, "baseline janks: {}", vsync.janks.len());
+        assert_eq!(dvsync.janks.len(), 0, "D-VSync hides the key frame entirely");
+    }
+
+    #[test]
+    fn content_timestamps_match_presents_exactly() {
+        // DTV correctness: with no residual drops, every frame's
+        // D-Timestamp equals its actual present time.
+        let mut costs = vec![(2.0, 5.0); 80];
+        costs[40] = (3.0, 30.0);
+        let trace = trace_of(60, &costs);
+        let report = run_dvsync(&trace, 5);
+        assert_eq!(report.janks.len(), 0);
+        assert_eq!(
+            report.max_content_error_ms(),
+            0.0,
+            "pre-rendered frames foresee their display time"
+        );
+    }
+
+    #[test]
+    fn latency_is_uniform_two_periods() {
+        let mut costs = vec![(2.0, 5.0); 80];
+        costs[40] = (3.0, 30.0);
+        let trace = trace_of(60, &costs);
+        let report = run_dvsync(&trace, 5);
+        let p = 1000.0 / 60.0;
+        for r in &report.records {
+            assert!(
+                (r.latency().as_millis_f64() - 2.0 * p).abs() < 0.2,
+                "frame {}: {}",
+                r.seq,
+                r.latency()
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_pacing_during_accumulation() {
+        // Frames rendered back-to-back must still represent uniformly spaced
+        // display times — animations never "run fast" while accumulating.
+        let trace = trace_of(60, &[(2.0, 5.0); 40]);
+        let report = run_dvsync(&trace, 5);
+        let p = 1000.0 / 60.0;
+        for w in report.records.windows(2) {
+            let dt = w[1]
+                .content_timestamp
+                .saturating_since(w[0].content_timestamp)
+                .as_millis_f64();
+            assert!((dt - p).abs() < 0.01, "content step {dt} ms");
+        }
+    }
+
+    #[test]
+    fn prerender_depth_respects_limit() {
+        let trace = trace_of(60, &[(1.0, 2.0); 100]);
+        let cfg = PipelineConfig::new(60, 7);
+        let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(7)); // limit 6
+        let report = Simulator::new(&cfg).run(&trace, &mut pacer);
+        assert_eq!(report.janks.len(), 0);
+        // A frame can run at most `limit` slots ahead of the display (plus
+        // the two-period pipeline): bound the trigger-to-present lead.
+        let p = 1000.0 / 60.0;
+        for r in &report.records {
+            let lead = r.present.saturating_since(r.trigger).as_millis_f64();
+            assert!(lead <= (6.0 + 2.0) * p + 0.2, "frame {} lead {lead}", r.seq);
+        }
+        assert!(pacer.in_sync_stage(), "steady state is the sync stage");
+    }
+
+    #[test]
+    fn more_buffers_absorb_longer_frames() {
+        let mut costs = vec![(2.0, 5.0); 120];
+        costs[60] = (4.0, 60.0); // ~3.8 periods: too long for 4 buffers
+        let trace = trace_of(60, &costs);
+        let four = run_dvsync(&trace, 4);
+        let seven = run_dvsync(&trace, 7);
+        assert!(!four.janks.is_empty(), "4 buffers cannot hide a ~4-period frame");
+        assert_eq!(seven.janks.len(), 0, "7 buffers can");
+    }
+
+    #[test]
+    fn dtv_elastic_after_residual_drop() {
+        // A frame so long it janks even under D-VSync; afterwards the
+        // pipeline recovers and subsequent content is correct again.
+        let mut costs = vec![(2.0, 5.0); 120];
+        costs[60] = (5.0, 120.0); // ~7.5 periods
+        let trace = trace_of(60, &costs);
+        let report = run_dvsync(&trace, 5);
+        assert!(!report.janks.is_empty());
+        // Frames well after the drop present exactly at their D-Timestamp.
+        let tail: Vec<_> = report.records.iter().filter(|r| r.seq > 80).collect();
+        assert!(!tail.is_empty());
+        for r in tail {
+            assert_eq!(r.content_error_ns(), 0, "frame {} drifted", r.seq);
+        }
+    }
+
+    #[test]
+    fn runtime_limit_reconfiguration() {
+        let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(5));
+        assert_eq!(pacer.fpe().prerender_limit(), 4);
+        pacer.set_prerender_limit(1);
+        assert_eq!(pacer.fpe().prerender_limit(), 1);
+    }
+
+    #[test]
+    fn works_under_clock_drift_and_jitter() {
+        let mut costs = vec![(2.0, 5.0); 200];
+        costs[100] = (3.0, 30.0);
+        let trace = trace_of(60, &costs);
+        let cfg = PipelineConfig::new(60, 5).with_clock_noise(
+            300.0,
+            SimDuration::from_micros(200),
+            42,
+        );
+        let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(5));
+        let report = Simulator::new(&cfg).run(&trace, &mut pacer);
+        assert_eq!(report.janks.len(), 0);
+        // D-Timestamps track the noisy clock to sub-millisecond error.
+        assert!(
+            report.max_content_error_ms() < 1.0,
+            "max content error {} ms",
+            report.max_content_error_ms()
+        );
+    }
+
+    #[test]
+    fn scenario_level_improvement() {
+        let spec = ScenarioSpec::new("improve", 60, 1000, CostProfile::scattered(2.5));
+        let trace = spec.generate();
+        let v = run_vsync(&trace, 3);
+        let d = run_dvsync(&trace, 5);
+        assert!(
+            d.fdps() < 0.5 * v.fdps(),
+            "D-VSync {} vs VSync {} FDPS",
+            d.fdps(),
+            v.fdps()
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! The scope of D-VSync (§4.2, Figure 9): which frames can be decoupled.
+
+use dvs_workload::{Determinism, ScenarioSpec};
+use serde::{Deserialize, Serialize};
+
+/// Fractions of frames by pre-renderability class.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScopeBreakdown {
+    /// Deterministic animations — decoupled by default.
+    pub deterministic: f64,
+    /// Predictable interactions — decoupled through IPL.
+    pub extensible: f64,
+    /// Real-time content — D-VSync stays off.
+    pub inapplicable: f64,
+}
+
+impl ScopeBreakdown {
+    /// The paper's characterisation of a typical user's frames:
+    /// 85 % deterministic animations, 10 % simple interactions, 5 % real-time.
+    pub fn typical_user() -> Self {
+        ScopeBreakdown { deterministic: 0.85, extensible: 0.10, inapplicable: 0.05 }
+    }
+
+    /// Total coverage D-VSync can reach (deterministic + extensible).
+    pub fn coverage(&self) -> f64 {
+        self.deterministic + self.extensible
+    }
+}
+
+/// Computes the scope breakdown of a scenario suite, weighting each scenario
+/// by its frame count.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_core::classify_scenarios;
+/// use dvs_workload::{CostProfile, Determinism, ScenarioSpec};
+///
+/// let specs = vec![
+///     ScenarioSpec::new("anim", 60, 850, CostProfile::smooth()),
+///     ScenarioSpec::new("zoom", 60, 100, CostProfile::smooth())
+///         .with_determinism(Determinism::PredictableInteraction),
+///     ScenarioSpec::new("pvp", 60, 50, CostProfile::smooth())
+///         .with_determinism(Determinism::RealTime),
+/// ];
+/// let scope = classify_scenarios(&specs);
+/// assert!((scope.deterministic - 0.85).abs() < 1e-9);
+/// assert!((scope.coverage() - 0.95).abs() < 1e-9);
+/// ```
+pub fn classify_scenarios(specs: &[ScenarioSpec]) -> ScopeBreakdown {
+    let total: usize = specs.iter().map(|s| s.frames).sum();
+    if total == 0 {
+        return ScopeBreakdown { deterministic: 0.0, extensible: 0.0, inapplicable: 0.0 };
+    }
+    let frac = |d: Determinism| {
+        specs
+            .iter()
+            .filter(|s| s.determinism == d)
+            .map(|s| s.frames)
+            .sum::<usize>() as f64
+            / total as f64
+    };
+    ScopeBreakdown {
+        deterministic: frac(Determinism::Animation),
+        extensible: frac(Determinism::PredictableInteraction),
+        inapplicable: frac(Determinism::RealTime),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_workload::CostProfile;
+
+    #[test]
+    fn typical_user_covers_95_percent() {
+        let s = ScopeBreakdown::typical_user();
+        assert!((s.coverage() - 0.95).abs() < 1e-12);
+        assert!((s.deterministic + s.extensible + s.inapplicable - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_suite_is_zero() {
+        let s = classify_scenarios(&[]);
+        assert_eq!(s.coverage(), 0.0);
+    }
+
+    #[test]
+    fn weighting_is_by_frames_not_scenarios() {
+        let specs = vec![
+            ScenarioSpec::new("big anim", 60, 900, CostProfile::smooth()),
+            ScenarioSpec::new("tiny rt", 60, 100, CostProfile::smooth())
+                .with_determinism(Determinism::RealTime),
+        ];
+        let s = classify_scenarios(&specs);
+        assert!((s.deterministic - 0.9).abs() < 1e-9);
+        assert!((s.inapplicable - 0.1).abs() < 1e-9);
+    }
+}

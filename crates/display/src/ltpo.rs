@@ -1,0 +1,268 @@
+//! LTPO variable-refresh-rate co-design (§5.3).
+//!
+//! State-of-the-art LTPO panels lower the refresh rate when on-screen motion
+//! slows (ProMotion, X-True, O-Sync). D-VSync accumulates frames rendered
+//! *for a particular rate*, so the paper's co-design rule is: frames produced
+//! at rate X must be consumed by the screen before the panel may switch to
+//! rate Y. [`LtpoController`] enforces that drain rule, and [`RatePolicy`]
+//! maps animation speed to a target rate the way a swipe decays
+//! 120 → 90 → 60 Hz.
+
+use dvs_buffer::{BufferQueue, FrameMeta};
+
+use crate::RefreshRate;
+
+/// Where the controller is in a rate transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwitchState {
+    /// Rendering and displaying agree on one rate.
+    Stable(RefreshRate),
+    /// A switch was requested; old-rate frames are still draining.
+    Draining {
+        /// The rate still on screen.
+        from: RefreshRate,
+        /// The rate that will take over once old frames drain.
+        to: RefreshRate,
+    },
+}
+
+/// Enforces the "drain before switch" rule for rate-tagged buffers.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_display::{LtpoController, RefreshRate, SwitchState};
+///
+/// let mut ltpo = LtpoController::new(RefreshRate::HZ_120);
+/// ltpo.request(RefreshRate::HZ_60);
+/// assert_eq!(
+///     ltpo.state(),
+///     SwitchState::Draining { from: RefreshRate::HZ_120, to: RefreshRate::HZ_60 }
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct LtpoController {
+    current: RefreshRate,
+    pending: Option<RefreshRate>,
+    committed: Option<RefreshRate>,
+    switches: u64,
+}
+
+impl LtpoController {
+    /// Creates a controller with the panel running at `rate`.
+    pub fn new(rate: RefreshRate) -> Self {
+        LtpoController { current: rate, pending: None, committed: None, switches: 0 }
+    }
+
+    /// The rate the panel is currently consuming at.
+    pub fn current_rate(&self) -> RefreshRate {
+        self.current
+    }
+
+    /// The transition state.
+    pub fn state(&self) -> SwitchState {
+        match self.pending {
+            Some(to) => SwitchState::Draining { from: self.current, to },
+            None => SwitchState::Stable(self.current),
+        }
+    }
+
+    /// Requests a rate change; a no-op if already at (or draining to) `rate`.
+    pub fn request(&mut self, rate: RefreshRate) {
+        if rate == self.current {
+            self.pending = None;
+        } else if self.pending != Some(rate) {
+            self.pending = Some(rate);
+        }
+    }
+
+    /// Whether a queued frame may be consumed at the panel's current rate.
+    pub fn admits(&self, meta: &FrameMeta) -> bool {
+        meta.render_rate_hz == self.current.hz()
+    }
+
+    /// Called at the start of each refresh, before acquisition: commits a
+    /// pending switch when every old-rate buffer has drained and new-rate
+    /// frames head the queue. Committing only at tick boundaries keeps the
+    /// panel's rate stable within a refresh interval, so a frame rendered
+    /// for rate X is never displayed for a rate-Y interval (§5.3).
+    pub fn pre_tick(&mut self, queue: &BufferQueue) {
+        if let Some(to) = self.pending {
+            let head_is_new_rate = queue
+                .peek_next()
+                .map(|(meta, _)| meta.render_rate_hz == to.hz())
+                // An empty queue also means the old rate fully drained.
+                .unwrap_or(true);
+            if head_is_new_rate {
+                self.current = to;
+                self.pending = None;
+                self.committed = Some(to);
+                self.switches += 1;
+            }
+        }
+    }
+
+    /// Takes the rate change committed since the last call, if any; the
+    /// pipeline applies it to the [`VsyncTimeline`](crate::VsyncTimeline).
+    pub fn take_committed(&mut self) -> Option<RefreshRate> {
+        self.committed.take()
+    }
+
+    /// How many rate switches have been committed.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+}
+
+/// Maps animation speed (a scenario-defined scalar, e.g. normalised scroll
+/// velocity) to a target refresh rate.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_display::{RatePolicy, RefreshRate};
+///
+/// let policy = RatePolicy::promotion();
+/// assert_eq!(policy.rate_for_speed(0.05), RefreshRate::HZ_60);
+/// assert_eq!(policy.rate_for_speed(0.9), RefreshRate::HZ_120);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RatePolicy {
+    /// `(max_speed, rate)` pairs sorted by speed; speeds above the last
+    /// threshold use `ceiling`.
+    tiers: Vec<(f64, RefreshRate)>,
+    ceiling: RefreshRate,
+}
+
+impl RatePolicy {
+    /// Builds a policy from `(max_speed, rate)` tiers plus a ceiling rate for
+    /// faster motion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tiers are not strictly increasing in speed.
+    pub fn new(tiers: Vec<(f64, RefreshRate)>, ceiling: RefreshRate) -> Self {
+        assert!(
+            tiers.windows(2).all(|w| w[0].0 < w[1].0),
+            "tier speeds must be strictly increasing"
+        );
+        RatePolicy { tiers, ceiling }
+    }
+
+    /// The ProMotion-style default: slow ≤0.1 → 60 Hz, ≤0.4 → 90 Hz,
+    /// otherwise 120 Hz.
+    pub fn promotion() -> Self {
+        RatePolicy::new(
+            vec![(0.1, RefreshRate::HZ_60), (0.4, RefreshRate::HZ_90)],
+            RefreshRate::HZ_120,
+        )
+    }
+
+    /// A fixed-rate policy that never switches.
+    pub fn fixed(rate: RefreshRate) -> Self {
+        RatePolicy::new(Vec::new(), rate)
+    }
+
+    /// The target rate for the given motion speed.
+    pub fn rate_for_speed(&self, speed: f64) -> RefreshRate {
+        for &(max, rate) in &self.tiers {
+            if speed <= max {
+                return rate;
+            }
+        }
+        self.ceiling
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_sim::SimTime;
+
+    fn queue_with_rates(rates: &[u32]) -> BufferQueue {
+        let mut q = BufferQueue::new(rates.len() + 2);
+        for (i, &hz) in rates.iter().enumerate() {
+            let s = q.dequeue_free().unwrap();
+            q.queue(s, FrameMeta::new(i as u64, SimTime::ZERO).with_rate(hz), SimTime::ZERO)
+                .unwrap();
+        }
+        q
+    }
+
+    #[test]
+    fn stable_until_requested() {
+        let ltpo = LtpoController::new(RefreshRate::HZ_120);
+        assert_eq!(ltpo.state(), SwitchState::Stable(RefreshRate::HZ_120));
+    }
+
+    #[test]
+    fn request_same_rate_cancels_pending() {
+        let mut ltpo = LtpoController::new(RefreshRate::HZ_120);
+        ltpo.request(RefreshRate::HZ_60);
+        ltpo.request(RefreshRate::HZ_120);
+        assert_eq!(ltpo.state(), SwitchState::Stable(RefreshRate::HZ_120));
+    }
+
+    #[test]
+    fn switch_waits_for_drain() {
+        let q = queue_with_rates(&[120, 120, 60]);
+        let mut ltpo = LtpoController::new(RefreshRate::HZ_120);
+        ltpo.request(RefreshRate::HZ_60);
+        ltpo.pre_tick(&q);
+        // Old-rate frames still queued: no switch yet.
+        assert_eq!(ltpo.current_rate(), RefreshRate::HZ_120);
+        assert!(ltpo.take_committed().is_none());
+    }
+
+    #[test]
+    fn switch_commits_when_new_rate_heads_queue() {
+        let q = queue_with_rates(&[60, 60]);
+        let mut ltpo = LtpoController::new(RefreshRate::HZ_120);
+        ltpo.request(RefreshRate::HZ_60);
+        ltpo.pre_tick(&q);
+        assert_eq!(ltpo.current_rate(), RefreshRate::HZ_60);
+        assert_eq!(ltpo.take_committed(), Some(RefreshRate::HZ_60));
+        assert_eq!(ltpo.switches(), 1);
+    }
+
+    #[test]
+    fn switch_commits_on_empty_queue() {
+        let q = BufferQueue::new(3);
+        let mut ltpo = LtpoController::new(RefreshRate::HZ_120);
+        ltpo.request(RefreshRate::HZ_90);
+        ltpo.pre_tick(&q);
+        assert_eq!(ltpo.current_rate(), RefreshRate::HZ_90);
+    }
+
+    #[test]
+    fn admits_only_current_rate() {
+        let ltpo = LtpoController::new(RefreshRate::HZ_120);
+        assert!(ltpo.admits(&FrameMeta::new(0, SimTime::ZERO).with_rate(120)));
+        assert!(!ltpo.admits(&FrameMeta::new(0, SimTime::ZERO).with_rate(60)));
+    }
+
+    #[test]
+    fn policy_tiers() {
+        let p = RatePolicy::promotion();
+        assert_eq!(p.rate_for_speed(0.0), RefreshRate::HZ_60);
+        assert_eq!(p.rate_for_speed(0.2), RefreshRate::HZ_90);
+        assert_eq!(p.rate_for_speed(0.4), RefreshRate::HZ_90);
+        assert_eq!(p.rate_for_speed(5.0), RefreshRate::HZ_120);
+    }
+
+    #[test]
+    fn fixed_policy_never_switches() {
+        let p = RatePolicy::fixed(RefreshRate::HZ_60);
+        assert_eq!(p.rate_for_speed(0.0), RefreshRate::HZ_60);
+        assert_eq!(p.rate_for_speed(99.0), RefreshRate::HZ_60);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_tiers_panic() {
+        RatePolicy::new(
+            vec![(0.4, RefreshRate::HZ_90), (0.1, RefreshRate::HZ_60)],
+            RefreshRate::HZ_120,
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! The panel: the buffer queue's consumer.
+//!
+//! At every HW-VSync tick the panel tries to latch a new frame. A buffer is
+//! eligible only if it was queued at least one *compose latch* before the
+//! tick — modelling the compositor (SurfaceFlinger / the OH hardware thread)
+//! that needs a VSync period to composite a queued buffer before the panel
+//! can scan it out. This is what gives the classic two-period end-to-end
+//! pipeline latency of Figure 2.
+
+use dvs_buffer::{AcquiredBuffer, BufferQueue};
+use dvs_sim::{SimDuration, SimTime};
+
+use crate::ltpo::LtpoController;
+
+/// What happened at one panel refresh.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PanelOutcome {
+    /// A new frame was latched and displayed.
+    Presented(AcquiredBuffer),
+    /// Content was expected but nothing eligible was queued: the previous
+    /// frame repeats. Whether this counts as a jank is decided by the caller,
+    /// which knows if the producer was supposed to deliver.
+    Repeated,
+}
+
+/// The display panel consuming frames from a [`BufferQueue`].
+///
+/// # Examples
+///
+/// ```
+/// use dvs_buffer::{BufferQueue, FrameMeta};
+/// use dvs_display::Panel;
+/// use dvs_sim::{SimDuration, SimTime};
+///
+/// let mut q = BufferQueue::new(3);
+/// let mut panel = Panel::new(SimDuration::from_millis(16));
+/// let slot = q.dequeue_free().unwrap();
+/// q.queue(slot, FrameMeta::new(0, SimTime::ZERO), SimTime::from_millis(1))?;
+///
+/// // Tick at 10 ms: the buffer was queued 9 ms ago, inside the 16 ms latch —
+/// // composition hasn't finished, so the frame repeats.
+/// assert!(!panel.on_vsync(&mut q, SimTime::from_millis(10)).is_presented());
+/// // Tick at 20 ms: the buffer is eligible now.
+/// assert!(panel.on_vsync(&mut q, SimTime::from_millis(20)).is_presented());
+/// # Ok::<(), dvs_buffer::QueueError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Panel {
+    compose_latch: SimDuration,
+    presents: u64,
+    repeats: u64,
+    last_present: Option<(u64, SimTime)>,
+    ltpo: Option<LtpoController>,
+}
+
+impl PanelOutcome {
+    /// Whether a new frame reached the screen.
+    pub fn is_presented(&self) -> bool {
+        matches!(self, PanelOutcome::Presented(_))
+    }
+}
+
+impl Panel {
+    /// Creates a panel whose compositor needs `compose_latch` between a
+    /// buffer being queued and the tick that can display it.
+    ///
+    /// Use one VSync period for the classic Android pipeline; zero models an
+    /// idealised direct-to-display path.
+    pub fn new(compose_latch: SimDuration) -> Self {
+        Panel {
+            compose_latch,
+            presents: 0,
+            repeats: 0,
+            last_present: None,
+            ltpo: None,
+        }
+    }
+
+    /// Attaches an LTPO controller enforcing the §5.3 rate-drain rule.
+    pub fn with_ltpo(mut self, ltpo: LtpoController) -> Self {
+        self.ltpo = Some(ltpo);
+        self
+    }
+
+    /// The compositor latch interval.
+    pub fn compose_latch(&self) -> SimDuration {
+        self.compose_latch
+    }
+
+    /// Access to the LTPO controller, if attached.
+    pub fn ltpo(&self) -> Option<&LtpoController> {
+        self.ltpo.as_ref()
+    }
+
+    /// Mutable access to the LTPO controller, if attached.
+    pub fn ltpo_mut(&mut self) -> Option<&mut LtpoController> {
+        self.ltpo.as_mut()
+    }
+
+    /// One panel refresh at `tick_time`: latch the oldest eligible buffer.
+    pub fn on_vsync(&mut self, queue: &mut BufferQueue, tick_time: SimTime) -> PanelOutcome {
+        // A pending LTPO switch commits once old-rate buffers have drained.
+        if let Some(l) = self.ltpo.as_mut() {
+            l.pre_tick(queue);
+        }
+        let latch_deadline = SimTime::from_nanos(
+            tick_time.as_nanos().saturating_sub(self.compose_latch.as_nanos()),
+        );
+        let ltpo = self.ltpo.as_ref();
+        let acquired = queue.acquire_if(tick_time, |meta, queued_at| {
+            if queued_at > latch_deadline {
+                return false;
+            }
+            // LTPO drain rule: a buffer produced for rate X is only consumed
+            // while the panel runs at X; the controller defers switches until
+            // old-rate buffers drain, so mismatches cannot reach the screen.
+            ltpo.is_none_or(|l| l.admits(meta))
+        });
+        match acquired {
+            Some(buf) => {
+                self.presents += 1;
+                self.last_present = Some((buf.meta.seq, tick_time));
+                PanelOutcome::Presented(buf)
+            }
+            None => {
+                self.repeats += 1;
+                PanelOutcome::Repeated
+            }
+        }
+    }
+
+    /// Total frames presented so far.
+    pub fn presents(&self) -> u64 {
+        self.presents
+    }
+
+    /// Total refreshes that repeated the previous frame.
+    pub fn repeats(&self) -> u64 {
+        self.repeats
+    }
+
+    /// Sequence number and time of the most recent present.
+    pub fn last_present(&self) -> Option<(u64, SimTime)> {
+        self.last_present
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_buffer::FrameMeta;
+
+    fn queue_with(frames: &[(u64, SimTime)]) -> BufferQueue {
+        let mut q = BufferQueue::new(frames.len() + 2);
+        for &(seq, at) in frames {
+            let s = q.dequeue_free().unwrap();
+            q.queue(s, FrameMeta::new(seq, at), at).unwrap();
+        }
+        q
+    }
+
+    #[test]
+    fn presents_eligible_buffer() {
+        let mut q = queue_with(&[(0, SimTime::from_millis(1))]);
+        let mut p = Panel::new(SimDuration::from_millis(10));
+        match p.on_vsync(&mut q, SimTime::from_millis(12)) {
+            PanelOutcome::Presented(b) => assert_eq!(b.meta.seq, 0),
+            other => panic!("expected present, got {other:?}"),
+        }
+        assert_eq!(p.presents(), 1);
+        assert_eq!(p.last_present().unwrap().0, 0);
+    }
+
+    #[test]
+    fn latch_defers_fresh_buffer() {
+        let mut q = queue_with(&[(0, SimTime::from_millis(11))]);
+        let mut p = Panel::new(SimDuration::from_millis(10));
+        assert_eq!(
+            p.on_vsync(&mut q, SimTime::from_millis(12)),
+            PanelOutcome::Repeated
+        );
+        assert_eq!(p.repeats(), 1);
+        // Next tick the buffer has aged past the latch.
+        assert!(p.on_vsync(&mut q, SimTime::from_millis(28)).is_presented());
+    }
+
+    #[test]
+    fn zero_latch_presents_immediately() {
+        let mut q = queue_with(&[(0, SimTime::from_millis(12))]);
+        let mut p = Panel::new(SimDuration::ZERO);
+        assert!(p.on_vsync(&mut q, SimTime::from_millis(12)).is_presented());
+    }
+
+    #[test]
+    fn empty_queue_repeats() {
+        let mut q = BufferQueue::new(3);
+        let mut p = Panel::new(SimDuration::ZERO);
+        assert_eq!(p.on_vsync(&mut q, SimTime::ZERO), PanelOutcome::Repeated);
+    }
+
+    #[test]
+    fn consumes_in_fifo_order_across_ticks() {
+        let mut q = queue_with(&[
+            (0, SimTime::from_millis(0)),
+            (1, SimTime::from_millis(1)),
+            (2, SimTime::from_millis(2)),
+        ]);
+        let mut p = Panel::new(SimDuration::ZERO);
+        for (i, tick_ms) in [10u64, 20, 30].iter().enumerate() {
+            match p.on_vsync(&mut q, SimTime::from_millis(*tick_ms)) {
+                PanelOutcome::Presented(b) => assert_eq!(b.meta.seq, i as u64),
+                other => panic!("tick {tick_ms}: {other:?}"),
+            }
+        }
+        assert_eq!(p.presents(), 3);
+    }
+}

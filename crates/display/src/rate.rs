@@ -1,0 +1,89 @@
+//! Screen refresh rates.
+
+use dvs_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A panel refresh rate in hertz.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_display::RefreshRate;
+/// let r = RefreshRate::HZ_120;
+/// assert!((r.period().as_millis_f64() - 8.333).abs() < 0.001);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RefreshRate(u32);
+
+impl RefreshRate {
+    /// 30 Hz — LTPO floor for static content and some games.
+    pub const HZ_30: RefreshRate = RefreshRate(30);
+    /// 60 Hz — the Pixel 5 panel and classic smartphone rate.
+    pub const HZ_60: RefreshRate = RefreshRate(60);
+    /// 90 Hz — the Mate 40 Pro panel.
+    pub const HZ_90: RefreshRate = RefreshRate(90);
+    /// 120 Hz — the Mate 60 Pro panel.
+    pub const HZ_120: RefreshRate = RefreshRate(120);
+
+    /// Creates a rate from hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero.
+    pub fn from_hz(hz: u32) -> Self {
+        assert!(hz > 0, "refresh rate must be positive");
+        RefreshRate(hz)
+    }
+
+    /// The rate in hertz.
+    pub const fn hz(self) -> u32 {
+        self.0
+    }
+
+    /// The VSync period (1/rate), rounded to the nearest nanosecond.
+    pub fn period(self) -> SimDuration {
+        SimDuration::from_nanos((1_000_000_000u64 + self.0 as u64 / 2) / self.0 as u64)
+    }
+}
+
+impl fmt::Display for RefreshRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} Hz", self.0)
+    }
+}
+
+impl From<RefreshRate> for u32 {
+    fn from(r: RefreshRate) -> u32 {
+        r.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_periods() {
+        assert_eq!(RefreshRate::HZ_60.period().as_nanos(), 16_666_667);
+        assert_eq!(RefreshRate::HZ_90.period().as_nanos(), 11_111_111);
+        assert_eq!(RefreshRate::HZ_120.period().as_nanos(), 8_333_333);
+        assert_eq!(RefreshRate::HZ_30.period().as_nanos(), 33_333_333);
+    }
+
+    #[test]
+    fn ordering_by_hz() {
+        assert!(RefreshRate::HZ_60 < RefreshRate::HZ_120);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        RefreshRate::from_hz(0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(RefreshRate::HZ_90.to_string(), "90 Hz");
+    }
+}

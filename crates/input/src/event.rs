@@ -1,0 +1,239 @@
+//! Touch events and streams.
+
+use dvs_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The phase of a touch event within a gesture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TouchPhase {
+    /// Finger lands on the digitiser.
+    Down,
+    /// Finger moves while held down.
+    Move,
+    /// Finger lifts.
+    Up,
+}
+
+/// A single digitiser sample.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TouchEvent {
+    /// Sample timestamp.
+    pub t: SimTime,
+    /// Horizontal position in pixels.
+    pub x: f64,
+    /// Vertical position in pixels.
+    pub y: f64,
+    /// Gesture phase.
+    pub phase: TouchPhase,
+}
+
+/// A time-ordered sequence of touch samples from one finger.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_input::{TouchEvent, TouchPhase, TouchStream};
+/// use dvs_sim::SimTime;
+///
+/// let stream = TouchStream::from_events(vec![
+///     TouchEvent { t: SimTime::ZERO, x: 0.0, y: 0.0, phase: TouchPhase::Down },
+///     TouchEvent { t: SimTime::from_millis(10), x: 0.0, y: 100.0, phase: TouchPhase::Up },
+/// ])?;
+/// let (x, y) = stream.position_at(SimTime::from_millis(5));
+/// assert_eq!((x, y), (0.0, 50.0));
+/// # Ok::<(), dvs_input::InvalidStreamError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TouchStream {
+    events: Vec<TouchEvent>,
+}
+
+/// Error from building a [`TouchStream`] out of empty or unordered events.
+///
+/// Hands the rejected events back so the caller can sort or fill them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InvalidStreamError {
+    events: Vec<TouchEvent>,
+}
+
+impl InvalidStreamError {
+    /// Recovers the rejected events.
+    pub fn into_events(self) -> Vec<TouchEvent> {
+        self.events
+    }
+}
+
+impl std::fmt::Display for InvalidStreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.events.is_empty() {
+            write!(f, "touch stream requires at least one event")
+        } else {
+            write!(f, "touch events are not in time order")
+        }
+    }
+}
+
+impl std::error::Error for InvalidStreamError {}
+
+impl std::fmt::Display for TouchStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TouchStream({} events)", self.events.len())
+    }
+}
+
+impl TouchStream {
+    /// Builds a stream from events, validating time order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidStreamError`] (carrying the rejected events) when the
+    /// input is empty or out of time order.
+    pub fn from_events(events: Vec<TouchEvent>) -> Result<Self, InvalidStreamError> {
+        let ordered = !events.is_empty()
+            && events.windows(2).all(|w| w[0].t <= w[1].t);
+        if ordered {
+            Ok(TouchStream { events })
+        } else {
+            Err(InvalidStreamError { events })
+        }
+    }
+
+    /// The underlying events.
+    pub fn events(&self) -> &[TouchEvent] {
+        &self.events
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the stream holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// First sample time.
+    pub fn start(&self) -> SimTime {
+        self.events.first().map(|e| e.t).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Last sample time.
+    pub fn end(&self) -> SimTime {
+        self.events.last().map(|e| e.t).unwrap_or(SimTime::ZERO)
+    }
+
+    /// The finger position at `t`, linearly interpolated between samples and
+    /// clamped to the endpoints outside the stream's span.
+    pub fn position_at(&self, t: SimTime) -> (f64, f64) {
+        let first = self.events.first().expect("stream is never empty");
+        let last = self.events.last().expect("stream is never empty");
+        if t <= first.t {
+            return (first.x, first.y);
+        }
+        if t >= last.t {
+            return (last.x, last.y);
+        }
+        let idx = self.events.partition_point(|e| e.t <= t);
+        let (a, b) = (&self.events[idx - 1], &self.events[idx]);
+        let span = b.t.saturating_since(a.t).as_nanos() as f64;
+        let frac = if span == 0.0 {
+            0.0
+        } else {
+            t.saturating_since(a.t).as_nanos() as f64 / span
+        };
+        (a.x + (b.x - a.x) * frac, a.y + (b.y - a.y) * frac)
+    }
+
+    /// Samples seen at or before `t` — what a renderer triggered at `t` would
+    /// have available (the IPL's input).
+    pub fn history_until(&self, t: SimTime) -> &[TouchEvent] {
+        let idx = self.events.partition_point(|e| e.t <= t);
+        &self.events[..idx]
+    }
+
+    /// Finger velocity around `t` in pixels per second, estimated from the
+    /// two nearest samples.
+    pub fn velocity_at(&self, t: SimTime) -> (f64, f64) {
+        if self.events.len() < 2 {
+            return (0.0, 0.0);
+        }
+        let idx = self.events.partition_point(|e| e.t <= t).clamp(1, self.events.len() - 1);
+        let (a, b) = (&self.events[idx - 1], &self.events[idx]);
+        let dt = b.t.saturating_since(a.t).as_secs_f64();
+        if dt == 0.0 {
+            (0.0, 0.0)
+        } else {
+            ((b.x - a.x) / dt, (b.y - a.y) / dt)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ms: u64, x: f64, y: f64) -> TouchEvent {
+        TouchEvent { t: SimTime::from_millis(ms), x, y, phase: TouchPhase::Move }
+    }
+
+    fn stream(points: &[(u64, f64, f64)]) -> TouchStream {
+        TouchStream::from_events(points.iter().map(|&(t, x, y)| ev(t, x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn empty_stream_rejected() {
+        assert!(TouchStream::from_events(vec![]).is_err());
+    }
+
+    #[test]
+    fn unordered_stream_rejected() {
+        let events = vec![ev(10, 0.0, 0.0), ev(5, 0.0, 0.0)];
+        assert!(TouchStream::from_events(events).is_err());
+    }
+
+    #[test]
+    fn interpolates_between_samples() {
+        let s = stream(&[(0, 0.0, 0.0), (10, 100.0, 50.0)]);
+        let (x, y) = s.position_at(SimTime::from_millis(5));
+        assert!((x - 50.0).abs() < 1e-9);
+        assert!((y - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_outside_span() {
+        let s = stream(&[(10, 1.0, 2.0), (20, 3.0, 4.0)]);
+        assert_eq!(s.position_at(SimTime::ZERO), (1.0, 2.0));
+        assert_eq!(s.position_at(SimTime::from_millis(100)), (3.0, 4.0));
+    }
+
+    #[test]
+    fn history_cuts_at_time() {
+        let s = stream(&[(0, 0.0, 0.0), (10, 1.0, 1.0), (20, 2.0, 2.0)]);
+        assert_eq!(s.history_until(SimTime::from_millis(10)).len(), 2);
+        assert_eq!(s.history_until(SimTime::from_millis(9)).len(), 1);
+        assert_eq!(s.history_until(SimTime::from_millis(99)).len(), 3);
+    }
+
+    #[test]
+    fn velocity_from_neighbours() {
+        // 100 px over 10 ms = 10,000 px/s.
+        let s = stream(&[(0, 0.0, 0.0), (10, 0.0, 100.0)]);
+        let (vx, vy) = s.velocity_at(SimTime::from_millis(5));
+        assert_eq!(vx, 0.0);
+        assert!((vy - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_sample_velocity_is_zero() {
+        let s = stream(&[(0, 5.0, 5.0)]);
+        assert_eq!(s.velocity_at(SimTime::from_millis(3)), (0.0, 0.0));
+    }
+
+    #[test]
+    fn duplicate_timestamps_allowed() {
+        let s = stream(&[(5, 0.0, 0.0), (5, 1.0, 1.0)]);
+        // No panic, picks a consistent value.
+        let _ = s.position_at(SimTime::from_millis(5));
+    }
+}

@@ -1,0 +1,272 @@
+//! Gesture synthesizers producing kinematically plausible touch streams.
+
+use dvs_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::event::{TouchEvent, TouchPhase, TouchStream};
+
+/// Synthesises a swipe from `(x0, y0)` to `(x1, y1)` with an ease-out
+/// velocity profile (fast start, decelerating), sampled at `sample_hz`.
+///
+/// # Panics
+///
+/// Panics if `duration` is zero or `sample_hz` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_input::swipe;
+/// use dvs_sim::{SimDuration, SimTime};
+///
+/// let s = swipe(
+///     SimTime::ZERO,
+///     (540.0, 1800.0),
+///     (540.0, 600.0),
+///     SimDuration::from_millis(300),
+///     240,
+/// );
+/// assert!(s.len() > 60);
+/// assert_eq!(s.events().first().unwrap().phase, dvs_input::TouchPhase::Down);
+/// assert_eq!(s.events().last().unwrap().phase, dvs_input::TouchPhase::Up);
+/// ```
+pub fn swipe(
+    start: SimTime,
+    from: (f64, f64),
+    to: (f64, f64),
+    duration: SimDuration,
+    sample_hz: u32,
+) -> TouchStream {
+    assert!(!duration.is_zero(), "swipe duration must be positive");
+    assert!(sample_hz > 0, "sample rate must be positive");
+    let n = (duration.as_secs_f64() * sample_hz as f64).ceil() as usize;
+    let mut events = Vec::with_capacity(n + 1);
+    for i in 0..=n {
+        let frac = i as f64 / n as f64;
+        // Ease-out: progress = 1 - (1 - t)^2.
+        let p = 1.0 - (1.0 - frac) * (1.0 - frac);
+        let phase = if i == 0 {
+            TouchPhase::Down
+        } else if i == n {
+            TouchPhase::Up
+        } else {
+            TouchPhase::Move
+        };
+        events.push(TouchEvent {
+            t: start + duration.mul_f64(frac),
+            x: from.0 + (to.0 - from.0) * p,
+            y: from.1 + (to.1 - from.1) * p,
+            phase,
+        });
+    }
+    TouchStream::from_events(events).expect("synthesised events are ordered")
+}
+
+/// Synthesises a fling: constant initial velocity decaying exponentially
+/// (the kinematics behind list flings), starting at `(x, y)` with velocity
+/// `(vx, vy)` px/s and decay time-constant `tau`.
+///
+/// # Panics
+///
+/// Panics if `duration` is zero, `sample_hz` is zero, or `tau` is not
+/// positive.
+pub fn fling(
+    start: SimTime,
+    origin: (f64, f64),
+    velocity: (f64, f64),
+    tau: f64,
+    duration: SimDuration,
+    sample_hz: u32,
+) -> TouchStream {
+    assert!(!duration.is_zero(), "fling duration must be positive");
+    assert!(sample_hz > 0, "sample rate must be positive");
+    assert!(tau > 0.0, "decay constant must be positive");
+    let n = (duration.as_secs_f64() * sample_hz as f64).ceil() as usize;
+    let mut events = Vec::with_capacity(n + 1);
+    for i in 0..=n {
+        let t = duration.as_secs_f64() * i as f64 / n as f64;
+        // x(t) = x0 + v * tau * (1 - e^(-t/tau)).
+        let k = tau * (1.0 - (-t / tau).exp());
+        let phase = if i == 0 {
+            TouchPhase::Down
+        } else if i == n {
+            TouchPhase::Up
+        } else {
+            TouchPhase::Move
+        };
+        events.push(TouchEvent {
+            t: start + SimDuration::from_secs_f64(t),
+            x: origin.0 + velocity.0 * k,
+            y: origin.1 + velocity.1 * k,
+            phase,
+        });
+    }
+    TouchStream::from_events(events).expect("synthesised events are ordered")
+}
+
+/// A two-finger pinch gesture, tracked by the inter-finger distance — the
+/// input to the map app's Zooming Distance Predictor (§6.5).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PinchStream {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl PinchStream {
+    /// The `(time, distance)` samples.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// The inter-finger distance at `t`, linearly interpolated and clamped.
+    pub fn distance_at(&self, t: SimTime) -> f64 {
+        let first = self.samples.first().expect("pinch streams are non-empty");
+        let last = self.samples.last().expect("pinch streams are non-empty");
+        if t <= first.0 {
+            return first.1;
+        }
+        if t >= last.0 {
+            return last.1;
+        }
+        let idx = self.samples.partition_point(|s| s.0 <= t);
+        let (a, b) = (self.samples[idx - 1], self.samples[idx]);
+        let span = b.0.saturating_since(a.0).as_nanos() as f64;
+        let frac = if span == 0.0 {
+            0.0
+        } else {
+            t.saturating_since(a.0).as_nanos() as f64 / span
+        };
+        a.1 + (b.1 - a.1) * frac
+    }
+
+    /// Samples at or before `t` (what a renderer would have seen).
+    pub fn history_until(&self, t: SimTime) -> &[(SimTime, f64)] {
+        let idx = self.samples.partition_point(|s| s.0 <= t);
+        &self.samples[..idx]
+    }
+
+    /// Span of the gesture.
+    pub fn end(&self) -> SimTime {
+        self.samples.last().expect("non-empty").0
+    }
+}
+
+/// Synthesises a pinch-zoom: the finger distance grows from `d0` to `d1`
+/// with smooth acceleration then deceleration (smoothstep profile).
+///
+/// # Panics
+///
+/// Panics if `duration` is zero or `sample_hz` is zero.
+pub fn pinch(
+    start: SimTime,
+    d0: f64,
+    d1: f64,
+    duration: SimDuration,
+    sample_hz: u32,
+) -> PinchStream {
+    assert!(!duration.is_zero(), "pinch duration must be positive");
+    assert!(sample_hz > 0, "sample rate must be positive");
+    let n = (duration.as_secs_f64() * sample_hz as f64).ceil() as usize;
+    let samples = (0..=n)
+        .map(|i| {
+            let frac = i as f64 / n as f64;
+            let p = frac * frac * (3.0 - 2.0 * frac); // smoothstep
+            (start + duration.mul_f64(frac), d0 + (d1 - d0) * p)
+        })
+        .collect();
+    PinchStream { samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swipe_endpoints() {
+        let s = swipe(
+            SimTime::ZERO,
+            (0.0, 1000.0),
+            (0.0, 0.0),
+            SimDuration::from_millis(200),
+            120,
+        );
+        let first = s.events().first().unwrap();
+        let last = s.events().last().unwrap();
+        assert_eq!((first.x, first.y), (0.0, 1000.0));
+        assert!((last.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swipe_decelerates() {
+        let s = swipe(
+            SimTime::ZERO,
+            (0.0, 0.0),
+            (0.0, 1000.0),
+            SimDuration::from_millis(400),
+            240,
+        );
+        let (_, v_early) = s.velocity_at(SimTime::from_millis(20));
+        let (_, v_late) = s.velocity_at(SimTime::from_millis(380));
+        assert!(
+            v_early > 2.0 * v_late.max(1.0),
+            "ease-out should start fast ({v_early}) and end slow ({v_late})"
+        );
+    }
+
+    #[test]
+    fn fling_approaches_asymptote() {
+        let s = fling(
+            SimTime::ZERO,
+            (0.0, 0.0),
+            (0.0, 2000.0),
+            0.1,
+            SimDuration::from_millis(800),
+            120,
+        );
+        let last = s.events().last().unwrap();
+        // Asymptote: v * tau = 200 px.
+        assert!((last.y - 200.0).abs() < 2.0, "{}", last.y);
+    }
+
+    #[test]
+    fn pinch_monotonic_zoom_in() {
+        let p = pinch(SimTime::ZERO, 100.0, 500.0, SimDuration::from_millis(500), 120);
+        let mut prev = 0.0;
+        for &(_, d) in p.samples() {
+            assert!(d >= prev - 1e-9);
+            prev = d;
+        }
+        assert!((p.distance_at(SimTime::ZERO) - 100.0).abs() < 1e-9);
+        assert!((p.distance_at(SimTime::from_millis(500)) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pinch_history_grows() {
+        let p = pinch(SimTime::ZERO, 100.0, 200.0, SimDuration::from_millis(100), 100);
+        assert!(p.history_until(SimTime::from_millis(10)).len()
+            < p.history_until(SimTime::from_millis(90)).len());
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_swipe_panics() {
+        swipe(SimTime::ZERO, (0.0, 0.0), (1.0, 1.0), SimDuration::ZERO, 120);
+    }
+
+    #[test]
+    fn sample_rate_controls_density() {
+        let sparse = swipe(
+            SimTime::ZERO,
+            (0.0, 0.0),
+            (1.0, 1.0),
+            SimDuration::from_millis(100),
+            60,
+        );
+        let dense = swipe(
+            SimTime::ZERO,
+            (0.0, 0.0),
+            (1.0, 1.0),
+            SimDuration::from_millis(100),
+            240,
+        );
+        assert!(dense.len() > 3 * sparse.len());
+    }
+}

@@ -1,0 +1,19 @@
+//! Synthetic touch input: timestamped events, streams, and gesture
+//! synthesizers.
+//!
+//! The Input Prediction Layer (§4.6) corrects interactive frames' input state
+//! to the anticipated state at the frame's display time. To exercise it we
+//! need realistic input: a digitiser reports touch coordinates at a fixed
+//! sample rate while a finger swipes, flings, or pinches. The synthesizers
+//! here produce kinematically plausible streams (ease-out swipes, decaying
+//! flings, accelerating pinches) that the IPL's curve fitting is evaluated
+//! against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod gesture;
+
+pub use event::{InvalidStreamError, TouchEvent, TouchPhase, TouchStream};
+pub use gesture::{fling, pinch, swipe, PinchStream};

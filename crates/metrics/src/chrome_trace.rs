@@ -1,0 +1,173 @@
+//! Chrome trace-event export.
+//!
+//! Converts a [`RunReport`] into the Trace Event Format consumed by
+//! `chrome://tracing` and [Perfetto](https://perfetto.dev) — the tool the
+//! paper's authors used to analyse real-device traces (§3.2 cites Perfetto).
+//! Each frame becomes three duration events on separate tracks (UI stage,
+//! render stage, queue wait) plus an instant event at its present fence;
+//! janks appear as instant events on the display track.
+
+use serde::Serialize;
+
+use crate::{FrameRecord, RunReport};
+
+/// One event in Chrome's trace-event JSON.
+#[derive(Debug, Serialize)]
+struct TraceEvent {
+    name: String,
+    /// "X" = complete event (has dur), "i" = instant.
+    ph: char,
+    /// Timestamp in microseconds.
+    ts: f64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    dur: Option<f64>,
+    pid: u32,
+    tid: u32,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    s: Option<char>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    args: Option<serde_json::Value>,
+}
+
+/// Thread IDs used for the exported tracks.
+mod track {
+    pub const UI: u32 = 1;
+    pub const RS: u32 = 2;
+    pub const QUEUE: u32 = 3;
+    pub const DISPLAY: u32 = 4;
+}
+
+fn frame_events(r: &FrameRecord, out: &mut Vec<TraceEvent>) {
+    let us = |ns: u64| ns as f64 / 1e3;
+    let ui_start = us(r.trigger.as_nanos());
+    let ui_dur = r.ui_cost.as_micros_f64();
+    out.push(TraceEvent {
+        name: format!("ui #{}", r.seq),
+        ph: 'X',
+        ts: ui_start,
+        dur: Some(ui_dur),
+        pid: 1,
+        tid: track::UI,
+        s: None,
+        args: None,
+    });
+    // The render stage ends when the buffer queues; it may have waited for
+    // the render thread, so anchor on the queue time.
+    let rs_dur = r.rs_cost.as_micros_f64();
+    out.push(TraceEvent {
+        name: format!("rs #{}", r.seq),
+        ph: 'X',
+        ts: us(r.queued_at.as_nanos()) - rs_dur,
+        dur: Some(rs_dur),
+        pid: 1,
+        tid: track::RS,
+        s: None,
+        args: None,
+    });
+    out.push(TraceEvent {
+        name: format!("queued #{}", r.seq),
+        ph: 'X',
+        ts: us(r.queued_at.as_nanos()),
+        dur: Some(us(r.present.as_nanos()) - us(r.queued_at.as_nanos())),
+        pid: 1,
+        tid: track::QUEUE,
+        s: None,
+        args: None,
+    });
+    out.push(TraceEvent {
+        name: format!("present #{} ({:?})", r.seq, r.kind),
+        ph: 'i',
+        ts: us(r.present.as_nanos()),
+        dur: None,
+        pid: 1,
+        tid: track::DISPLAY,
+        s: Some('t'),
+        args: Some(serde_json::json!({
+            "latency_ms": r.latency().as_millis_f64(),
+            "tick": r.present_tick,
+        })),
+    });
+}
+
+/// Serialises the run as Chrome trace-event JSON (an array of events).
+///
+/// Open the output in `chrome://tracing` or <https://ui.perfetto.dev>.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_metrics::{chrome_trace_json, RunReport};
+/// let json = chrome_trace_json(&RunReport::new("t", 60));
+/// assert!(json.starts_with('['));
+/// ```
+pub fn chrome_trace_json(report: &RunReport) -> String {
+    let mut events = Vec::with_capacity(report.records.len() * 4 + report.janks.len());
+    for r in &report.records {
+        frame_events(r, &mut events);
+    }
+    for j in &report.janks {
+        events.push(TraceEvent {
+            name: format!("JANK @tick {}", j.tick),
+            ph: 'i',
+            ts: j.time.as_nanos() as f64 / 1e3,
+            dur: None,
+            pid: 1,
+            tid: track::DISPLAY,
+            s: Some('g'),
+            args: None,
+        });
+    }
+    serde_json::to_string(&events).expect("trace events serialise infallibly")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FrameKind, JankEvent};
+    use dvs_sim::{SimDuration, SimTime};
+
+    fn sample_report() -> RunReport {
+        let mut r = RunReport::new("ct", 60);
+        r.records.push(FrameRecord {
+            seq: 0,
+            trigger: SimTime::from_millis(0),
+            basis: SimTime::from_millis(0),
+            content_timestamp: SimTime::from_millis(33),
+            queued_at: SimTime::from_millis(7),
+            present: SimTime::from_millis(33),
+            present_tick: 2,
+            eligible_tick: 2,
+            kind: FrameKind::Direct,
+            ui_cost: SimDuration::from_millis(2),
+            rs_cost: SimDuration::from_millis(5),
+        });
+        r.janks.push(JankEvent { tick: 3, time: SimTime::from_millis(50) });
+        r
+    }
+
+    #[test]
+    fn emits_all_tracks() {
+        let json = chrome_trace_json(&sample_report());
+        assert!(json.contains("\"ui #0\""));
+        assert!(json.contains("\"rs #0\""));
+        assert!(json.contains("\"queued #0\""));
+        assert!(json.contains("present #0"));
+        assert!(json.contains("JANK @tick 3"));
+    }
+
+    #[test]
+    fn output_is_valid_json_array() {
+        let json = chrome_trace_json(&sample_report());
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = parsed.as_array().unwrap();
+        assert_eq!(events.len(), 5);
+        // Durations are microseconds: the 2 ms UI stage is 2000 us.
+        let ui = events.iter().find(|e| e["name"] == "ui #0").unwrap();
+        assert!((ui["dur"].as_f64().unwrap() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_empty_array() {
+        assert_eq!(chrome_trace_json(&RunReport::new("e", 60)), "[]");
+    }
+}

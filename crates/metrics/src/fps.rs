@@ -1,0 +1,142 @@
+//! Frames-per-second accounting.
+//!
+//! §3.2 motivates D-VSync with cases that "can only reach 95–105 FPS on the
+//! 120 Hz screen". Average FPS is the refresh rate minus the drop rate;
+//! the rolling-window series shows the dips a user actually feels.
+
+use dvs_sim::{SimDuration, SimTime};
+
+use crate::RunReport;
+
+/// Average frames per second over the run's display span.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_metrics::{average_fps, RunReport};
+/// assert_eq!(average_fps(&RunReport::new("idle", 120)), 0.0);
+/// ```
+pub fn average_fps(report: &RunReport) -> f64 {
+    let secs = report.display_time.as_secs_f64();
+    if secs == 0.0 {
+        0.0
+    } else {
+        report.records.len() as f64 / secs
+    }
+}
+
+/// Rolling-window FPS: for each present, the number of unique frames shown
+/// in the preceding `window`, scaled to per-second. The series' minimum is
+/// the worst dip.
+pub fn fps_series(report: &RunReport, window: SimDuration) -> Vec<(SimTime, f64)> {
+    if report.records.is_empty() || window.is_zero() {
+        return Vec::new();
+    }
+    let presents: Vec<SimTime> = report.records.iter().map(|r| r.present).collect();
+    let scale = 1.0 / window.as_secs_f64();
+    let mut start = 0usize;
+    presents
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            let cutoff = SimTime::from_nanos(t.as_nanos().saturating_sub(window.as_nanos()));
+            // The window is half-open: presents at exactly `t − window` fall
+            // outside. `start` never passes `i` (present i is inside its own
+            // window), which matters for a present at time zero where the
+            // saturated cutoff equals its timestamp.
+            while start < i && presents[start] <= cutoff {
+                start += 1;
+            }
+            (t, (i - start + 1) as f64 * scale)
+        })
+        .collect()
+}
+
+/// The worst rolling-window FPS over the run (`None` for empty runs).
+pub fn min_window_fps(report: &RunReport, window: SimDuration) -> Option<f64> {
+    fps_series(report, window)
+        .into_iter()
+        // Skip the ramp-up where the window is not yet full.
+        .skip_while(|&(t, _)| {
+            t.saturating_since(report.records.first().map(|r| r.present).unwrap_or(t)) < window
+        })
+        .map(|(_, f)| f)
+        .min_by(|a, b| a.partial_cmp(b).expect("fps values are finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FrameKind, FrameRecord, JankEvent};
+
+    fn report_with_presents(rate: u32, present_ticks: &[u64]) -> RunReport {
+        let period_ns = 1_000_000_000 / rate as u64;
+        let mut r = RunReport::new("fps", rate);
+        for (i, &tick) in present_ticks.iter().enumerate() {
+            let present = SimTime::from_nanos(tick * period_ns);
+            r.records.push(FrameRecord {
+                seq: i as u64,
+                trigger: present,
+                basis: present,
+                content_timestamp: present,
+                queued_at: present,
+                present,
+                present_tick: tick,
+                eligible_tick: tick,
+                kind: FrameKind::Direct,
+                ui_cost: SimDuration::from_millis(1),
+                rs_cost: SimDuration::from_millis(2),
+            });
+        }
+        let first = present_ticks.first().copied().unwrap_or(0);
+        let last = present_ticks.last().copied().unwrap_or(0);
+        r.ticks_active = last - first + 1;
+        r.display_time = SimDuration::from_nanos((last - first + 1) * period_ns);
+        // Mark skipped refreshes as janks.
+        for t in first..=last {
+            if !present_ticks.contains(&t) {
+                r.janks.push(JankEvent { tick: t, time: SimTime::from_nanos(t * period_ns) });
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn perfect_run_hits_refresh_rate() {
+        let ticks: Vec<u64> = (0..120).collect();
+        let r = report_with_presents(120, &ticks);
+        assert!((average_fps(&r) - 120.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn average_fps_is_rate_minus_fdps() {
+        // Drop every 5th refresh: 120 Hz -> 96 presents per second.
+        let ticks: Vec<u64> = (0..600).filter(|t| t % 5 != 0).collect();
+        let r = report_with_presents(120, &ticks);
+        let fps = average_fps(&r);
+        assert!(
+            (fps - (120.0 - r.fdps())).abs() < 0.5,
+            "fps {fps} vs rate-fdps {}",
+            120.0 - r.fdps()
+        );
+        assert!((94.0..98.0).contains(&fps), "the paper's 95-105 FPS regime: {fps}");
+    }
+
+    #[test]
+    fn window_series_catches_local_dips() {
+        // Smooth except a burst of drops in the middle.
+        let ticks: Vec<u64> = (0..240u64).filter(|t| !(100..108).contains(t)).collect();
+        let r = report_with_presents(120, &ticks);
+        let window = SimDuration::from_millis(250);
+        let min = min_window_fps(&r, window).unwrap();
+        assert!(min < 100.0, "the dip shows up: {min}");
+        assert!(average_fps(&r) > 110.0, "but the average hides it");
+    }
+
+    #[test]
+    fn empty_run_yields_nothing() {
+        let r = RunReport::new("e", 60);
+        assert!(fps_series(&r, SimDuration::from_millis(250)).is_empty());
+        assert!(min_window_fps(&r, SimDuration::from_millis(250)).is_none());
+    }
+}

@@ -1,0 +1,31 @@
+//! Rendering-quality metrics: frame records, FDPS, latency, perceived
+//! stutters, and the power / instruction cost models of §6.4 and §6.7.
+//!
+//! The simulator (in `dvs-pipeline`) emits a [`RunReport`] — one
+//! [`FrameRecord`] per produced frame plus one [`JankEvent`] per missed
+//! refresh. Everything the paper reports is derived from those two streams:
+//!
+//! * **FDPS** (frame drops per second) and **FD%** — Figures 5, 11–14;
+//! * **frame distribution** (direct / stuffed / dropped) — Figure 6;
+//! * **rendering latency** (present fence minus content basis) — Figure 15;
+//! * **perceived stutters** via a JND-based perceptual model — Table 2;
+//! * **power and instruction overheads** via explicit cost models — §6.4/§6.7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome_trace;
+mod fps;
+mod power;
+mod record;
+mod stats;
+mod stutter;
+mod timeline;
+
+pub use chrome_trace::chrome_trace_json;
+pub use fps::{average_fps, fps_series, min_window_fps};
+pub use power::{EnergyBreakdown, InstructionModel, PowerModel, FPE_DTV_EXEC_PER_FRAME};
+pub use record::{FrameDistribution, FrameKind, FrameRecord, JankEvent, RunReport};
+pub use stats::{Cdf, Histogram, Summary};
+pub use stutter::{StutterModel, StutterReport};
+pub use timeline::{render_timeline, TimelineStyle};

@@ -1,0 +1,312 @@
+//! Per-frame observations and the aggregate run report.
+
+use dvs_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// How a produced frame reached the screen (Figure 6's taxonomy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameKind {
+    /// Presented at the first refresh it was eligible for.
+    Direct,
+    /// Sat in the buffer queue past its first eligible refresh ("buffer
+    /// stuffing" — the source of the extra VSync period of latency in §3.3).
+    Stuffed,
+    /// Arrived after its scheduled display slot, causing the preceding jank.
+    Dropped,
+}
+
+/// One produced frame, from trigger to present fence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameRecord {
+    /// Producer-assigned sequence number.
+    pub seq: u64,
+    /// When the frame's UI stage began executing.
+    pub trigger: SimTime,
+    /// The content basis used for the latency metric: the VSync-app event
+    /// timestamp under VSync, or the virtual VSync-app timestamp implied by
+    /// the D-Timestamp under D-VSync (§6.3 methodology).
+    pub basis: SimTime,
+    /// The timestamp the rendered content represents: equals `basis` plus
+    /// the pipeline depth under D-VSync (the D-Timestamp), or the trigger
+    /// time under VSync.
+    pub content_timestamp: SimTime,
+    /// When the rendered buffer entered the queue.
+    pub queued_at: SimTime,
+    /// When the panel displayed the frame (present fence).
+    pub present: SimTime,
+    /// The refresh index the frame was displayed at.
+    pub present_tick: u64,
+    /// The earliest refresh index the frame could have been displayed at.
+    pub eligible_tick: u64,
+    /// Direct / stuffed / dropped classification.
+    pub kind: FrameKind,
+    /// UI-stage cost consumed by this frame.
+    pub ui_cost: SimDuration,
+    /// Render-stage cost consumed by this frame.
+    pub rs_cost: SimDuration,
+}
+
+impl FrameRecord {
+    /// The paper's rendering-latency metric: present fence − content basis.
+    pub fn latency(&self) -> SimDuration {
+        self.present.saturating_since(self.basis)
+    }
+
+    /// How far the displayed content lagged (positive) or led (negative)
+    /// the moment it appeared, in nanoseconds. Zero under perfect DTV.
+    pub fn content_error_ns(&self) -> i64 {
+        self.present.as_nanos() as i64 - self.content_timestamp.as_nanos() as i64
+    }
+
+    /// Time the buffer spent waiting in the queue.
+    pub fn queue_wait(&self) -> SimDuration {
+        self.present.saturating_since(self.queued_at)
+    }
+}
+
+/// A refresh at which the screen expected new content but had none.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JankEvent {
+    /// The refresh index that repeated the previous frame.
+    pub tick: u64,
+    /// The refresh time.
+    pub time: SimTime,
+}
+
+/// The fractions of produced frames in each [`FrameKind`] (Figure 6).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FrameDistribution {
+    /// Fraction presented directly.
+    pub direct: f64,
+    /// Fraction delayed by buffer stuffing.
+    pub stuffed: f64,
+    /// Fraction that missed their slot (late after a jank).
+    pub dropped: f64,
+}
+
+/// Everything observed during one simulated scenario run.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_metrics::RunReport;
+/// let report = RunReport::new("empty", 60);
+/// assert_eq!(report.fdps(), 0.0);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Scenario name.
+    pub name: String,
+    /// Panel refresh rate in Hz (the dominant rate if LTPO switched).
+    pub rate_hz: u32,
+    /// Every produced frame, in sequence order.
+    pub records: Vec<FrameRecord>,
+    /// Every missed refresh while content was expected.
+    pub janks: Vec<JankEvent>,
+    /// Wall-clock display span: first present to one period past the last.
+    pub display_time: SimDuration,
+    /// Refreshes that occurred during the display span.
+    pub ticks_active: u64,
+    /// Deepest the pre-render queue ever got (accumulation high-water mark),
+    /// which bounds the run's live buffer memory.
+    #[serde(default)]
+    pub max_queued: usize,
+    /// True if the run hit its safety time limit before finishing the trace.
+    pub truncated: bool,
+}
+
+impl RunReport {
+    /// An empty report for the given scenario.
+    pub fn new(name: impl Into<String>, rate_hz: u32) -> Self {
+        RunReport {
+            name: name.into(),
+            rate_hz,
+            records: Vec::new(),
+            janks: Vec::new(),
+            display_time: SimDuration::ZERO,
+            ticks_active: 0,
+            max_queued: 0,
+            truncated: false,
+        }
+    }
+
+    /// Frame drops per second of display time (the headline FDPS metric).
+    pub fn fdps(&self) -> f64 {
+        let secs = self.display_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.janks.len() as f64 / secs
+        }
+    }
+
+    /// Janks as a fraction of active refreshes (Figure 5's FD%).
+    pub fn fd_fraction(&self) -> f64 {
+        if self.ticks_active == 0 {
+            0.0
+        } else {
+            self.janks.len() as f64 / self.ticks_active as f64
+        }
+    }
+
+    /// Mean rendering latency across all produced frames, in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self.records.iter().map(|r| r.latency().as_millis_f64()).sum();
+        total / self.records.len() as f64
+    }
+
+    /// Latency summary statistics in milliseconds.
+    pub fn latency_summary(&self) -> crate::Summary {
+        crate::Summary::from_samples(
+            self.records.iter().map(|r| r.latency().as_millis_f64()),
+        )
+    }
+
+    /// The direct / stuffed / dropped frame distribution (Figure 6).
+    pub fn distribution(&self) -> FrameDistribution {
+        let n = self.records.len().max(1) as f64;
+        let count = |k: FrameKind| {
+            self.records.iter().filter(|r| r.kind == k).count() as f64 / n
+        };
+        FrameDistribution {
+            direct: count(FrameKind::Direct),
+            stuffed: count(FrameKind::Stuffed),
+            dropped: count(FrameKind::Dropped),
+        }
+    }
+
+    /// Largest absolute content error in milliseconds (DTV correctness).
+    pub fn max_content_error_ms(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| (r.content_error_ns().abs() as f64) / 1e6)
+            .fold(0.0, f64::max)
+    }
+
+    /// Merges another report into this one (used by multi-scene tasks and
+    /// segmented runs).
+    ///
+    /// Each incoming segment's refresh indices restart from zero, so they
+    /// are re-based past everything merged so far (plus an idle gap of one
+    /// refresh, matching the queue-draining pause between animations). This
+    /// keeps the merged tick sequence globally monotone — in particular,
+    /// jank runs never merge across a segment boundary. Timestamps remain
+    /// segment-relative.
+    pub fn absorb(&mut self, other: RunReport) {
+        let offset = self
+            .records
+            .iter()
+            .map(|r| r.present_tick)
+            .chain(self.janks.iter().map(|j| j.tick))
+            .max()
+            .map(|last| last + 2)
+            .unwrap_or(0);
+        self.records.extend(other.records.into_iter().map(|mut r| {
+            r.present_tick += offset;
+            r.eligible_tick += offset;
+            r
+        }));
+        self.janks.extend(other.janks.into_iter().map(|mut j| {
+            j.tick += offset;
+            j
+        }));
+        self.display_time += other.display_time;
+        self.ticks_active += other.ticks_active;
+        self.max_queued = self.max_queued.max(other.max_queued);
+        self.truncated |= other.truncated;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(kind: FrameKind, basis_ms: u64, present_ms: u64) -> FrameRecord {
+        FrameRecord {
+            seq: 0,
+            trigger: SimTime::from_millis(basis_ms),
+            basis: SimTime::from_millis(basis_ms),
+            content_timestamp: SimTime::from_millis(present_ms),
+            queued_at: SimTime::from_millis(basis_ms + 5),
+            present: SimTime::from_millis(present_ms),
+            present_tick: 2,
+            eligible_tick: 2,
+            kind,
+            ui_cost: SimDuration::from_millis(4),
+            rs_cost: SimDuration::from_millis(4),
+        }
+    }
+
+    #[test]
+    fn fdps_counts_janks_per_second() {
+        let mut r = RunReport::new("t", 60);
+        r.display_time = SimDuration::from_secs(10);
+        r.ticks_active = 600;
+        for i in 0..20 {
+            r.janks.push(JankEvent { tick: i * 30, time: SimTime::from_millis(i * 500) });
+        }
+        assert!((r.fdps() - 2.0).abs() < 1e-9);
+        assert!((r.fd_fraction() - 20.0 / 600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_all_zeroes() {
+        let r = RunReport::new("t", 120);
+        assert_eq!(r.fdps(), 0.0);
+        assert_eq!(r.fd_fraction(), 0.0);
+        assert_eq!(r.mean_latency_ms(), 0.0);
+        assert_eq!(r.max_content_error_ms(), 0.0);
+    }
+
+    #[test]
+    fn latency_is_present_minus_basis() {
+        let rec = record(FrameKind::Direct, 10, 43);
+        assert!((rec.latency().as_millis_f64() - 33.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn content_error_zero_when_timestamp_matches_present() {
+        let rec = record(FrameKind::Direct, 10, 43);
+        assert_eq!(rec.content_error_ns(), 0);
+    }
+
+    #[test]
+    fn distribution_fractions_sum_to_one() {
+        let mut r = RunReport::new("t", 60);
+        r.records.push(record(FrameKind::Direct, 0, 33));
+        r.records.push(record(FrameKind::Direct, 16, 50));
+        r.records.push(record(FrameKind::Stuffed, 33, 83));
+        r.records.push(record(FrameKind::Dropped, 50, 116));
+        let d = r.distribution();
+        assert!((d.direct + d.stuffed + d.dropped - 1.0).abs() < 1e-12);
+        assert!((d.direct - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_concatenates() {
+        let mut a = RunReport::new("a", 60);
+        a.display_time = SimDuration::from_secs(1);
+        a.ticks_active = 60;
+        a.janks.push(JankEvent { tick: 5, time: SimTime::from_millis(83) });
+        let mut b = RunReport::new("b", 60);
+        b.display_time = SimDuration::from_secs(1);
+        b.ticks_active = 60;
+        b.janks.push(JankEvent { tick: 9, time: SimTime::from_millis(150) });
+        a.absorb(b);
+        assert_eq!(a.janks.len(), 2);
+        assert!((a.fdps() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut r = RunReport::new("t", 60);
+        r.records.push(record(FrameKind::Stuffed, 1, 51));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.records.len(), 1);
+        assert_eq!(back.records[0].kind, FrameKind::Stuffed);
+    }
+}

@@ -1,0 +1,284 @@
+//! Summary statistics, CDFs, and histograms used by the figure harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number-style summary of a sample set.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_metrics::Summary;
+/// let s = Summary::from_samples((1..=100).map(f64::from));
+/// assert_eq!(s.count, 100);
+/// assert!((s.mean - 50.5).abs() < 1e-9);
+/// assert!((s.p50 - 50.0).abs() <= 1.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty set).
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Computes a summary; an empty iterator yields all zeroes.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut xs: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        if xs.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("filtered non-finite"));
+        let count = xs.len();
+        let mean = xs.iter().sum::<f64>() / count as f64;
+        let pct = |p: f64| {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            xs[idx.min(count - 1)]
+        };
+        Summary {
+            count,
+            mean,
+            min: xs[0],
+            max: xs[count - 1],
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        }
+    }
+}
+
+/// An empirical cumulative distribution function.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_metrics::Cdf;
+/// let cdf = Cdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert!((cdf.fraction_at_or_below(2.0) - 0.5).abs() < 1e-12);
+/// assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+/// assert_eq!(cdf.fraction_at_or_below(9.0), 1.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (non-finite values are dropped).
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("filtered non-finite"));
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X ≤ x): the fraction of samples at or below `x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&s| s <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CDF is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// Evaluates the CDF at `points`, returning `(x, P(X ≤ x))` pairs — the
+    /// series plotted in Figure 1.
+    pub fn series(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points
+            .iter()
+            .map(|&x| (x, self.fraction_at_or_below(x)))
+            .collect()
+    }
+}
+
+/// A fixed-width histogram.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_metrics::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.add(1.0);
+/// h.add(9.5);
+/// h.add(42.0); // clamps into the last bin
+/// assert_eq!(h.counts()[0], 1);
+/// assert_eq!(h.counts()[4], 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "empty histogram range");
+        Histogram { lo, hi, counts: vec![0; bins] }
+    }
+
+    /// Adds a sample, clamping out-of-range values into the edge bins.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = ((x - self.lo) / (self.hi - self.lo) * bins as f64).floor();
+        let idx = (t.max(0.0) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// The per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples added.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        let s = Summary::from_samples(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::from_samples([7.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.p99, 7.0);
+    }
+
+    #[test]
+    fn summary_drops_non_finite() {
+        let s = Summary::from_samples([1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let s = Summary::from_samples((0..1000).map(f64::from));
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p95 && s.p95 <= s.p99);
+        assert!(s.p99 <= s.max);
+    }
+
+    #[test]
+    fn cdf_monotonic() {
+        let cdf = Cdf::from_samples((0..100).map(f64::from));
+        let mut prev = 0.0;
+        for x in 0..100 {
+            let f = cdf.fraction_at_or_below(x as f64);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn cdf_quantile_inverse() {
+        let cdf = Cdf::from_samples((1..=100).map(f64::from));
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(1.0), 100.0);
+        assert!((cdf.quantile(0.5) - 50.0).abs() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty CDF")]
+    fn empty_cdf_quantile_panics() {
+        Cdf::from_samples(std::iter::empty()).quantile(0.5);
+    }
+
+    #[test]
+    fn cdf_series_matches_pointwise() {
+        let cdf = Cdf::from_samples([1.0, 2.0, 3.0]);
+        let series = cdf.series(&[1.5, 2.5]);
+        assert_eq!(series.len(), 2);
+        assert!((series[0].1 - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_totals() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for i in 0..100 {
+            h.add(i as f64 / 100.0);
+        }
+        assert_eq!(h.total(), 100);
+        assert!(h.counts().iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn histogram_bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+}

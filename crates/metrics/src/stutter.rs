@@ -1,0 +1,163 @@
+//! A perceptual model of user-visible stutters (Table 2).
+//!
+//! The paper's UX evaluators report stutters they *perceive*, later confirmed
+//! with a high-speed camera. Not every jank is perceptible: a single missed
+//! refresh at 120 Hz holds a frame for 16.7 ms instead of 8.3 ms, near the
+//! just-noticeable-difference threshold (§3.3 cites a JND of ≤15 ms), while a
+//! run of consecutive misses is an obvious hitch. We model a perceived
+//! stutter as a maximal run of consecutive janks whose *extra hold time*
+//! (run length × refresh period) reaches a JND threshold.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{JankEvent, RunReport};
+use dvs_sim::SimDuration;
+
+/// Tunable thresholds for stutter perception.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StutterModel {
+    /// Minimum extra frame-hold time for a jank run to be perceived.
+    pub jnd: SimDuration,
+}
+
+impl Default for StutterModel {
+    /// 15 ms — the human-eye latency JND the paper cites.
+    fn default() -> Self {
+        StutterModel { jnd: SimDuration::from_millis(15) }
+    }
+}
+
+/// The outcome of applying a [`StutterModel`] to a run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StutterReport {
+    /// Count of perceived stutters.
+    pub perceived: usize,
+    /// Total jank runs (perceived or not).
+    pub runs: usize,
+    /// Length of each run, in consecutive missed refreshes.
+    pub run_lengths: Vec<usize>,
+}
+
+impl StutterModel {
+    /// Creates a model with an explicit JND threshold.
+    pub fn new(jnd: SimDuration) -> Self {
+        StutterModel { jnd }
+    }
+
+    /// Counts perceived stutters in a run report.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dvs_metrics::{RunReport, StutterModel};
+    /// let report = RunReport::new("smooth", 120);
+    /// let s = StutterModel::default().evaluate(&report);
+    /// assert_eq!(s.perceived, 0);
+    /// ```
+    pub fn evaluate(&self, report: &RunReport) -> StutterReport {
+        let period = SimDuration::from_nanos(1_000_000_000 / report.rate_hz.max(1) as u64);
+        let runs = jank_runs(&report.janks);
+        let perceived = runs
+            .iter()
+            .filter(|&&len| period * len as u64 >= self.jnd)
+            .count();
+        StutterReport { perceived, runs: runs.len(), run_lengths: runs }
+    }
+}
+
+/// Groups janks into maximal runs of consecutive refresh indices.
+fn jank_runs(janks: &[JankEvent]) -> Vec<usize> {
+    let mut runs = Vec::new();
+    let mut iter = janks.iter();
+    let Some(first) = iter.next() else {
+        return runs;
+    };
+    let mut run_start_tick = first.tick;
+    let mut prev_tick = first.tick;
+    let mut len = 1usize;
+    for j in iter {
+        if j.tick == prev_tick + 1 && j.tick > run_start_tick {
+            len += 1;
+        } else {
+            runs.push(len);
+            run_start_tick = j.tick;
+            len = 1;
+        }
+        prev_tick = j.tick;
+    }
+    runs.push(len);
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_sim::SimTime;
+
+    fn report_with_janks(rate_hz: u32, ticks: &[u64]) -> RunReport {
+        let mut r = RunReport::new("t", rate_hz);
+        for &t in ticks {
+            r.janks.push(JankEvent { tick: t, time: SimTime::from_millis(t * 8) });
+        }
+        r
+    }
+
+    #[test]
+    fn no_janks_no_stutters() {
+        let r = report_with_janks(120, &[]);
+        let s = StutterModel::default().evaluate(&r);
+        assert_eq!(s.perceived, 0);
+        assert_eq!(s.runs, 0);
+    }
+
+    #[test]
+    fn single_jank_at_120hz_is_below_jnd() {
+        // One missed 120 Hz refresh holds a frame 8.3 ms extra < 15 ms JND.
+        let r = report_with_janks(120, &[10]);
+        let s = StutterModel::default().evaluate(&r);
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.perceived, 0);
+    }
+
+    #[test]
+    fn single_jank_at_60hz_is_perceived() {
+        // One missed 60 Hz refresh = 16.7 ms extra hold > 15 ms JND.
+        let r = report_with_janks(60, &[10]);
+        let s = StutterModel::default().evaluate(&r);
+        assert_eq!(s.perceived, 1);
+    }
+
+    #[test]
+    fn consecutive_janks_group_into_one_run() {
+        let r = report_with_janks(120, &[10, 11, 12, 40]);
+        let s = StutterModel::default().evaluate(&r);
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.run_lengths, vec![3, 1]);
+        // The triple miss (25 ms hold) is perceived; the single is not.
+        assert_eq!(s.perceived, 1);
+    }
+
+    #[test]
+    fn two_consecutive_at_120hz_perceived() {
+        let r = report_with_janks(120, &[5, 6]);
+        let s = StutterModel::default().evaluate(&r);
+        assert_eq!(s.perceived, 1);
+    }
+
+    #[test]
+    fn custom_jnd_threshold() {
+        let r = report_with_janks(120, &[5]);
+        let lenient = StutterModel::new(SimDuration::from_millis(5));
+        assert_eq!(lenient.evaluate(&r).perceived, 1);
+        let strict = StutterModel::new(SimDuration::from_millis(100));
+        assert_eq!(strict.evaluate(&r).perceived, 0);
+    }
+
+    #[test]
+    fn nonconsecutive_janks_separate_runs() {
+        let r = report_with_janks(60, &[1, 3, 5, 7]);
+        let s = StutterModel::default().evaluate(&r);
+        assert_eq!(s.runs, 4);
+        assert_eq!(s.perceived, 4);
+    }
+}

@@ -1,0 +1,190 @@
+//! ASCII execution-timeline rendering — the textual cousin of the paper's
+//! Figure 2 and Figure 10 runtime traces.
+//!
+//! Renders a [`RunReport`] as per-refresh lanes: which frame each refresh
+//! displayed (or `X` for a jank), how deep the pre-render queue ran, and the
+//! per-frame latency. Useful in examples and for eyeballing why a
+//! configuration janked.
+
+use crate::{FrameRecord, RunReport};
+
+/// Options for the timeline rendering.
+#[derive(Clone, Copy, Debug)]
+pub struct TimelineStyle {
+    /// Render at most this many refreshes (from the first present).
+    pub max_ticks: usize,
+    /// Show the accumulation-depth lane.
+    pub show_depth: bool,
+}
+
+impl Default for TimelineStyle {
+    fn default() -> Self {
+        TimelineStyle { max_ticks: 64, show_depth: true }
+    }
+}
+
+/// Renders the run as an ASCII timeline.
+///
+/// Each column is one refresh: the top lane shows the displayed frame's
+/// sequence number modulo 10 (or `X` on a jank), the optional depth lane
+/// shows how many pre-rendered buffers were still queued when the frame was
+/// latched.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_metrics::{render_timeline, RunReport, TimelineStyle};
+/// let report = RunReport::new("empty", 60);
+/// let text = render_timeline(&report, TimelineStyle::default());
+/// assert!(text.contains("no frames"));
+/// ```
+pub fn render_timeline(report: &RunReport, style: TimelineStyle) -> String {
+    let Some(first) = report.records.first().map(|r| r.present_tick) else {
+        return format!("{}: no frames presented\n", report.name);
+    };
+    let last = report.records.last().map(|r| r.present_tick).unwrap_or(first);
+    let span = ((last - first + 1) as usize).min(style.max_ticks);
+
+    // Index presents and janks by tick offset.
+    let mut display: Vec<Option<&FrameRecord>> = vec![None; span];
+    for r in &report.records {
+        let off = (r.present_tick - first) as usize;
+        if off < span {
+            display[off] = Some(r);
+        }
+    }
+    let mut jank_at = vec![false; span];
+    for j in &report.janks {
+        if j.tick >= first {
+            let off = (j.tick - first) as usize;
+            if off < span {
+                jank_at[off] = true;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} — {} Hz, {} frames, {} janks (showing {} refreshes)\n",
+        report.name,
+        report.rate_hz,
+        report.records.len(),
+        report.janks.len(),
+        span
+    ));
+
+    out.push_str("display ");
+    for i in 0..span {
+        out.push(match (display[i], jank_at[i]) {
+            (_, true) => 'X',
+            (Some(r), _) => char::from_digit((r.seq % 10) as u32, 10).unwrap_or('?'),
+            (None, false) => '.',
+        });
+    }
+    out.push('\n');
+
+    if style.show_depth {
+        out.push_str("queued  ");
+        for slot in display.iter().take(span) {
+            out.push(match slot {
+                Some(r) => {
+                    // Depth proxy: how many later frames were already queued
+                    // when this one was presented.
+                    let ahead = report
+                        .records
+                        .iter()
+                        .filter(|o| o.seq > r.seq && o.queued_at <= r.present)
+                        .take(10)
+                        .count();
+                    char::from_digit(ahead as u32, 10).unwrap_or('+')
+                }
+                None => ' ',
+            });
+        }
+        out.push('\n');
+    }
+
+    out.push_str("latency ");
+    for slot in display.iter().take(span) {
+        out.push(match slot {
+            Some(r) => {
+                let periods = r.latency().as_nanos() as f64
+                    / (1_000_000_000.0 / report.rate_hz.max(1) as f64);
+                match periods.round() as i64 {
+                    i if i <= 2 => '2',
+                    3 => '3',
+                    4 => '4',
+                    _ => '+',
+                }
+            }
+            None => ' ',
+        });
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FrameKind, JankEvent};
+    use dvs_sim::{SimDuration, SimTime};
+
+    fn report_with(presents: &[(u64, u64)], janks: &[u64]) -> RunReport {
+        let mut r = RunReport::new("tl", 60);
+        for &(seq, tick) in presents {
+            r.records.push(FrameRecord {
+                seq,
+                trigger: SimTime::from_millis(tick * 16),
+                basis: SimTime::from_millis(tick.saturating_sub(2) * 16),
+                content_timestamp: SimTime::from_millis(tick * 16),
+                queued_at: SimTime::from_millis(tick * 16),
+                present: SimTime::from_millis(tick * 17),
+                present_tick: tick,
+                eligible_tick: tick,
+                kind: FrameKind::Direct,
+                ui_cost: SimDuration::from_millis(2),
+                rs_cost: SimDuration::from_millis(4),
+            });
+        }
+        for &t in janks {
+            r.janks.push(JankEvent { tick: t, time: SimTime::from_millis(t * 17) });
+        }
+        r
+    }
+
+    #[test]
+    fn empty_report_renders_placeholder() {
+        let text = render_timeline(&RunReport::new("x", 60), TimelineStyle::default());
+        assert!(text.contains("no frames"));
+    }
+
+    #[test]
+    fn presents_and_janks_appear_in_lanes() {
+        let r = report_with(&[(0, 2), (1, 3), (2, 5)], &[4]);
+        let text = render_timeline(&r, TimelineStyle::default());
+        let display_line = text.lines().nth(1).unwrap();
+        assert!(display_line.contains('X'), "{display_line}");
+        assert!(display_line.contains('0'));
+        assert!(display_line.contains('2'));
+    }
+
+    #[test]
+    fn span_is_capped() {
+        let presents: Vec<(u64, u64)> = (0..200).map(|i| (i, i + 2)).collect();
+        let r = report_with(&presents, &[]);
+        let text =
+            render_timeline(&r, TimelineStyle { max_ticks: 32, show_depth: false });
+        let display_line = text.lines().nth(1).unwrap();
+        assert_eq!(display_line.len(), "display ".len() + 32);
+    }
+
+    #[test]
+    fn depth_lane_toggles() {
+        let r = report_with(&[(0, 2)], &[]);
+        let with = render_timeline(&r, TimelineStyle { max_ticks: 8, show_depth: true });
+        let without = render_timeline(&r, TimelineStyle { max_ticks: 8, show_depth: false });
+        assert!(with.contains("queued"));
+        assert!(!without.contains("queued"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Segmented scenario execution.
+//!
+//! Real traces are sequences of discrete animations (a fling, an app-open
+//! transition) with idle moments in between that drain the buffer queue and
+//! reset pipeline depth. [`run_segmented`] executes a scenario one animation
+//! segment at a time — fresh buffer queue, fresh pacer state — and merges
+//! the observations. This matters for fidelity: without the resets, a
+//! VSync pipeline that janked once would keep its deepened queue forever and
+//! absorb later key frames for free, which real interactive sessions do not.
+
+use dvs_metrics::RunReport;
+use dvs_workload::ScenarioSpec;
+
+use crate::config::PipelineConfig;
+use crate::pacer::{FramePacer, VsyncPacer};
+use crate::simulator::Simulator;
+
+/// Runs every animation segment of `spec` through a fresh pipeline and
+/// pacer, merging the reports.
+///
+/// # Panics
+///
+/// Panics if the spec produces no frames.
+pub fn run_segmented<F>(spec: &ScenarioSpec, buffers: usize, mut make_pacer: F) -> RunReport
+where
+    F: FnMut() -> Box<dyn FramePacer>,
+{
+    let cfg = PipelineConfig::new(spec.rate_hz, buffers);
+    let sim = Simulator::new(&cfg);
+    let mut combined = RunReport::new(spec.name.clone(), spec.rate_hz);
+    for segment in spec.generate_segments() {
+        let mut pacer = make_pacer();
+        combined.absorb(sim.run(&segment, pacer.as_mut()));
+    }
+    combined
+}
+
+/// Convenience: the segmented VSync baseline.
+pub fn run_segmented_vsync(spec: &ScenarioSpec, buffers: usize) -> RunReport {
+    run_segmented(spec, buffers, || Box::new(VsyncPacer::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_workload::CostProfile;
+
+    #[test]
+    fn segments_cover_all_frames() {
+        let spec = ScenarioSpec::new("seg", 60, 500, CostProfile::smooth())
+            .with_segment_frames(60);
+        let report = run_segmented_vsync(&spec, 3);
+        assert_eq!(report.records.len(), 500);
+        assert_eq!(report.janks.len(), 0);
+    }
+
+    #[test]
+    fn segmentation_resets_pipeline_depth() {
+        // One heavy frame deepens a continuous VSync run permanently; with
+        // per-animation resets, later segments return to two-period latency.
+        let spec = ScenarioSpec::new("depth", 60, 600, CostProfile::scattered(2.0))
+            .with_paper_fdps(2.0)
+            .with_segment_frames(60);
+        let segmented = run_segmented_vsync(&spec, 4);
+        let continuous = {
+            let one = spec.clone().with_segment_frames(600);
+            run_segmented_vsync(&one, 4)
+        };
+        // The continuous run hides later key frames in its deepened queue.
+        assert!(
+            segmented.janks.len() >= continuous.janks.len(),
+            "segmented {} vs continuous {}",
+            segmented.janks.len(),
+            continuous.janks.len()
+        );
+    }
+
+    #[test]
+    fn remainder_segment_is_kept() {
+        let spec = ScenarioSpec::new("rem", 60, 130, CostProfile::smooth())
+            .with_segment_frames(60);
+        let segs = spec.generate_segments();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[2].len(), 10);
+        let report = run_segmented_vsync(&spec, 3);
+        assert_eq!(report.records.len(), 130);
+    }
+}

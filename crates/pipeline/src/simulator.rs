@@ -1,0 +1,662 @@
+//! The discrete-event rendering-pipeline simulator.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use dvs_buffer::{BufferQueue, FrameMeta, SlotId};
+use dvs_display::{Panel, PanelOutcome, VsyncTimeline};
+use dvs_metrics::{FrameKind, FrameRecord, JankEvent, RunReport};
+use dvs_sim::{EventQueue, SimDuration, SimTime};
+use dvs_workload::FrameTrace;
+
+use crate::config::PipelineConfig;
+use crate::pacer::{FramePacer, PacerCtx};
+
+/// Events driving one run.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// HW-VSync tick `k`.
+    Tick(u64),
+    /// A frame's UI stage completed.
+    UiDone(usize),
+    /// A frame's render stage completed (buffer ready to queue).
+    RsDone(usize),
+    /// A pacer-requested wake-up to retry starting a frame.
+    Wake,
+}
+
+/// Per-frame bookkeeping while a run is in progress.
+#[derive(Clone, Copy, Debug)]
+struct FrameState {
+    trigger: SimTime,
+    basis: SimTime,
+    content: SimTime,
+    /// The buffer slot, assigned when the render stage dequeues one.
+    slot: Option<SlotId>,
+    queued_at: Option<SimTime>,
+    present: Option<(u64, SimTime)>,
+}
+
+/// Replays a [`FrameTrace`] through the two-stage pipeline under a pacing
+/// policy. See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct Simulator<'c> {
+    cfg: &'c PipelineConfig,
+}
+
+impl<'c> Simulator<'c> {
+    /// Creates a simulator over the given configuration.
+    pub fn new(cfg: &'c PipelineConfig) -> Self {
+        Simulator { cfg }
+    }
+
+    /// Runs the trace to completion (or the safety tick cap) and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or its rate disagrees with the config.
+    pub fn run(&self, trace: &FrameTrace, pacer: &mut dyn FramePacer) -> RunReport {
+        assert!(!trace.is_empty(), "cannot simulate an empty trace");
+        assert_eq!(
+            trace.rate_hz, self.cfg.rate_hz,
+            "trace rate and pipeline rate must agree"
+        );
+        Run::new(self.cfg, trace, pacer).execute()
+    }
+}
+
+/// The mutable state of one run.
+struct Run<'a> {
+    cfg: &'a PipelineConfig,
+    trace: &'a FrameTrace,
+    pacer: &'a mut dyn FramePacer,
+    timeline: VsyncTimeline,
+    queue: BufferQueue,
+    panel: Panel,
+    events: EventQueue<Ev>,
+    frames: Vec<Option<FrameState>>,
+    next_frame: usize,
+    ui_busy: bool,
+    /// Render contexts currently drawing.
+    rs_active: usize,
+    rs_pending: VecDeque<usize>,
+    /// Frames whose render stage finished but whose predecessors have not
+    /// queued yet (parallel rendering queues buffers in frame order).
+    rs_finished: BTreeMap<usize, SimTime>,
+    /// The next frame index allowed to enter the buffer queue.
+    next_to_queue: usize,
+    in_flight: usize,
+    presented: usize,
+    janks: Vec<JankEvent>,
+    first_present_tick: Option<u64>,
+    last_present_tick: u64,
+    pending_wake: Option<SimTime>,
+    truncated: bool,
+}
+
+impl<'a> Run<'a> {
+    fn new(cfg: &'a PipelineConfig, trace: &'a FrameTrace, pacer: &'a mut dyn FramePacer) -> Self {
+        let timeline = cfg.build_timeline();
+        let mut events = EventQueue::new();
+        events.schedule(timeline.tick_time(0), Ev::Tick(0));
+        Run {
+            cfg,
+            trace,
+            pacer,
+            timeline,
+            queue: BufferQueue::new(cfg.buffer_count),
+            panel: Panel::new(cfg.latch()),
+            events,
+            frames: vec![None; trace.len()],
+            next_frame: 0,
+            ui_busy: false,
+            rs_active: 0,
+            rs_pending: VecDeque::new(),
+            rs_finished: BTreeMap::new(),
+            next_to_queue: 0,
+            in_flight: 0,
+            presented: 0,
+            janks: Vec::new(),
+            first_present_tick: None,
+            last_present_tick: 0,
+            pending_wake: None,
+            truncated: false,
+        }
+    }
+
+    fn execute(mut self) -> RunReport {
+        let total = self.trace.len();
+        let tick_cap = self.cfg.tick_cap(total);
+        while let Some((t, ev)) = self.events.pop() {
+            match ev {
+                Ev::Tick(k) => {
+                    if k >= tick_cap {
+                        self.truncated = true;
+                        break;
+                    }
+                    self.on_tick(k, t);
+                    if self.presented >= total {
+                        break;
+                    }
+                    self.events
+                        .schedule(self.timeline.tick_time(k + 1), Ev::Tick(k + 1));
+                    // A present may have released a buffer the render stage
+                    // was blocked on.
+                    self.pump_rs(t);
+                    self.try_start(t);
+                }
+                Ev::UiDone(frame) => {
+                    self.ui_busy = false;
+                    self.rs_pending.push_back(frame);
+                    self.pump_rs(t);
+                    self.try_start(t);
+                }
+                Ev::RsDone(frame) => {
+                    self.finish_rs(frame, t);
+                    self.pump_rs(t);
+                    self.try_start(t);
+                }
+                Ev::Wake => {
+                    self.pending_wake = None;
+                    self.try_start(t);
+                }
+            }
+        }
+        self.truncated |= self.presented < total;
+        self.report()
+    }
+
+    fn on_tick(&mut self, k: u64, t: SimTime) {
+        // Content is expected at every refresh between the first present and
+        // the end of the animation; a repeat in that window is a jank.
+        let expected = self.first_present_tick.is_some() && self.presented < self.trace.len();
+        match self.panel.on_vsync(&mut self.queue, t) {
+            PanelOutcome::Presented(buf) => {
+                let seq = buf.meta.seq as usize;
+                let state = self.frames[seq]
+                    .as_mut()
+                    .expect("presented frame must have been started");
+                state.present = Some((k, t));
+                self.presented += 1;
+                self.first_present_tick.get_or_insert(k);
+                self.last_present_tick = k;
+                self.pacer.on_present(buf.meta.seq, k, t);
+            }
+            PanelOutcome::Repeated => {
+                if expected {
+                    self.janks.push(JankEvent { tick: k, time: t });
+                    self.pacer.on_jank(k, t);
+                }
+            }
+        }
+    }
+
+    fn try_start(&mut self, now: SimTime) {
+        if self.next_frame >= self.trace.len() || self.ui_busy {
+            return;
+        }
+        // UI↔render sync barrier: the UI thread blocks at the start of draw
+        // until the previous frame's render stage has picked up its work
+        // (which itself requires a free buffer — the real back-pressure).
+        if !self.rs_pending.is_empty() {
+            return;
+        }
+        let free_slots = self.queue.free_len();
+        let (next_idx, next_time) = self.timeline.next_tick_after(now);
+        let last_idx = next_idx - 1;
+        let ctx = PacerCtx {
+            now,
+            period: self.timeline.period_at(last_idx),
+            last_tick: (last_idx, self.timeline.tick_time(last_idx)),
+            next_tick: (next_idx, next_time),
+            queued: self.queue.queued_len(),
+            in_flight: self.in_flight,
+            free_slots,
+            frame_index: self.next_frame as u64,
+            last_present_tick: self.first_present_tick.map(|_| self.last_present_tick),
+        };
+        match self.pacer.plan_next(&ctx) {
+            None => {}
+            Some(plan) if plan.start <= now => {
+                let idx = self.next_frame;
+                self.frames[idx] = Some(FrameState {
+                    trigger: now,
+                    basis: plan.basis,
+                    content: plan.content_timestamp,
+                    slot: None,
+                    queued_at: None,
+                    present: None,
+                });
+                self.next_frame += 1;
+                self.ui_busy = true;
+                self.in_flight += 1;
+                let ui = self.trace.frames[idx].ui;
+                self.events.schedule(now + ui, Ev::UiDone(idx));
+            }
+            Some(plan) if self.pending_wake.is_none_or(|w| plan.start < w) => {
+                self.pending_wake = Some(plan.start);
+                self.events.schedule(plan.start, Ev::Wake);
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// Starts the render stage for pending frames while a render context is
+    /// idle and a buffer can be dequeued. With a VSync-rs signal configured,
+    /// work dispatched now begins at the next signal instead of immediately.
+    fn pump_rs(&mut self, now: SimTime) {
+        while self.rs_active < self.cfg.render_threads {
+            let Some(&frame) = self.rs_pending.front() else { return };
+            let Some(slot) = self.queue.dequeue_free() else { return };
+            self.rs_pending.pop_front();
+            self.frames[frame]
+                .as_mut()
+                .expect("pending frame was started")
+                .slot = Some(slot);
+            self.rs_active += 1;
+            let start = match self.cfg.rs_signal_offset {
+                None => now,
+                Some(offset) => {
+                    // The next VSync-rs signal at or after `now`.
+                    let (last_idx, _) = {
+                        let (n, _) = self.timeline.next_tick_after(now);
+                        (n - 1, ())
+                    };
+                    let last_signal = self.timeline.tick_time(last_idx) + offset;
+                    if last_signal >= now {
+                        last_signal
+                    } else {
+                        self.timeline.tick_time(last_idx + 1) + offset
+                    }
+                }
+            };
+            let rs = self.trace.frames[frame].rs;
+            self.events.schedule(start + rs, Ev::RsDone(frame));
+        }
+    }
+
+    fn finish_rs(&mut self, frame: usize, now: SimTime) {
+        self.rs_active -= 1;
+        self.rs_finished.insert(frame, now);
+        // Buffers enter the queue in frame order: a fast successor rendered
+        // on a parallel context waits for its predecessor.
+        while let Some(done_at) = self.rs_finished.remove(&self.next_to_queue) {
+            let _ = done_at;
+            let idx = self.next_to_queue;
+            let state = self.frames[idx].as_mut().expect("rs of unstarted frame");
+            state.queued_at = Some(now);
+            let meta = FrameMeta::new(idx as u64, state.content).with_rate(self.cfg.rate_hz);
+            let slot = state.slot.expect("render stage had a slot");
+            self.queue
+                .queue(slot, meta, now)
+                .expect("slot was dequeued at render start");
+            self.in_flight -= 1;
+            self.next_to_queue += 1;
+        }
+    }
+
+    fn eligible_tick(&self, queued_at: SimTime) -> u64 {
+        let target = queued_at + self.cfg.latch();
+        if target.as_nanos() == 0 {
+            return 0;
+        }
+        let probe = SimTime::from_nanos(target.as_nanos() - 1);
+        self.timeline.next_tick_after(probe).0
+    }
+
+    fn report(mut self) -> RunReport {
+        let rate_hz = self.cfg.rate_hz;
+        let mut report = RunReport::new(self.trace.name.clone(), rate_hz);
+        report.truncated = self.truncated;
+        report.max_queued = self.queue.max_queued_observed();
+        report.janks = std::mem::take(&mut self.janks);
+
+        // Collect presented frames into records.
+        let mut records: Vec<FrameRecord> = Vec::with_capacity(self.presented);
+        for (idx, state) in self.frames.iter().enumerate() {
+            let Some(s) = state else { continue };
+            let (Some((ptick, ptime)), Some(queued_at)) = (s.present, s.queued_at) else {
+                continue;
+            };
+            let cost = self.trace.frames[idx];
+            records.push(FrameRecord {
+                seq: idx as u64,
+                trigger: s.trigger,
+                basis: s.basis,
+                content_timestamp: s.content,
+                queued_at,
+                present: ptime,
+                present_tick: ptick,
+                eligible_tick: self.eligible_tick(queued_at),
+                kind: FrameKind::Direct, // classified below
+                ui_cost: cost.ui,
+                rs_cost: cost.rs,
+            });
+        }
+        records.sort_by_key(|r| r.present_tick);
+
+        // Classification: the first frame presented after a jank is the one
+        // the screen waited for — a drop. A frame whose end-to-end latency
+        // exceeds the two-period pipeline depth waited behind earlier frames
+        // (in the queue, or blocked on a buffer): stuffing. The 20 % margin
+        // tolerates clock jitter.
+        let jank_ticks: Vec<u64> = report.janks.iter().map(|j| j.tick).collect();
+        let stuffed_threshold = self.timeline.period_at(0).mul_f64(2.2);
+        let mut ji = 0usize;
+        for r in records.iter_mut() {
+            let mut dropped = false;
+            while ji < jank_ticks.len() && jank_ticks[ji] < r.present_tick {
+                dropped = true;
+                ji += 1;
+            }
+            r.kind = if dropped {
+                FrameKind::Dropped
+            } else if r.latency() > stuffed_threshold {
+                FrameKind::Stuffed
+            } else {
+                FrameKind::Direct
+            };
+        }
+
+        if let Some(first) = self.first_present_tick {
+            let last = self.last_present_tick;
+            let span = self.timeline.tick_time(last) - self.timeline.tick_time(first);
+            report.display_time = span + self.timeline.period_at(last);
+            report.ticks_active = last - first + 1;
+        } else {
+            report.display_time = SimDuration::ZERO;
+            report.ticks_active = 0;
+        }
+        report.records = records;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pacer::VsyncPacer;
+    use dvs_metrics::FrameKind;
+    use dvs_workload::{CostProfile, FrameCost, ScenarioSpec};
+
+    fn ms(v: f64) -> SimDuration {
+        SimDuration::from_millis_f64(v)
+    }
+
+    /// A hand-built trace: `costs` are (ui, rs) in milliseconds.
+    fn trace_of(rate: u32, costs: &[(f64, f64)]) -> FrameTrace {
+        let mut t = FrameTrace::new("hand", rate);
+        for &(ui, rs) in costs {
+            t.push(FrameCost::new(ms(ui), ms(rs)));
+        }
+        t
+    }
+
+    fn run_vsync(trace: &FrameTrace, buffers: usize) -> RunReport {
+        let cfg = PipelineConfig::new(trace.rate_hz, buffers);
+        Simulator::new(&cfg).run(trace, &mut VsyncPacer::new())
+    }
+
+    #[test]
+    fn smooth_trace_never_janks() {
+        let trace = trace_of(60, &[(2.0, 5.0); 100]);
+        let report = run_vsync(&trace, 3);
+        assert_eq!(report.janks.len(), 0);
+        assert_eq!(report.records.len(), 100);
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn smooth_trace_latency_is_two_periods() {
+        let trace = trace_of(60, &[(2.0, 5.0); 100]);
+        let report = run_vsync(&trace, 3);
+        // Every frame: triggered at tick k, latched at k+1, shown at k+2.
+        let p = 1000.0 / 60.0;
+        for r in &report.records {
+            assert!(
+                (r.latency().as_millis_f64() - 2.0 * p).abs() < 0.1,
+                "frame {} latency {}",
+                r.seq,
+                r.latency()
+            );
+            assert_eq!(r.kind, FrameKind::Direct);
+        }
+        assert!((report.mean_latency_ms() - 2.0 * p).abs() < 0.1);
+    }
+
+    #[test]
+    fn one_long_frame_janks_once_and_stuffs_followers() {
+        let mut costs = vec![(2.0, 5.0); 40];
+        costs[20] = (2.0, 24.0); // total ~26 ms > 16.7 ms period
+        let trace = trace_of(60, &costs);
+        let report = run_vsync(&trace, 3);
+        assert_eq!(report.janks.len(), 1, "a single isolated long frame = one jank");
+        // The long frame itself is classified as dropped.
+        let long = report.records.iter().find(|r| r.seq == 20).unwrap();
+        assert_eq!(long.kind, FrameKind::Dropped);
+        // Followers wait in the queue: buffer stuffing with 3-period latency.
+        let p = 1000.0 / 60.0;
+        let follower = report.records.iter().find(|r| r.seq == 25).unwrap();
+        assert_eq!(follower.kind, FrameKind::Stuffed);
+        assert!(
+            (follower.latency().as_millis_f64() - 3.0 * p).abs() < 0.1,
+            "follower latency {}",
+            follower.latency()
+        );
+    }
+
+    #[test]
+    fn very_long_frame_janks_multiple_times() {
+        let mut costs = vec![(2.0, 5.0); 40];
+        costs[20] = (2.0, 50.0); // ~52 ms total ≈ 3.1 periods
+        let trace = trace_of(60, &costs);
+        let report = run_vsync(&trace, 3);
+        assert!(
+            report.janks.len() >= 2,
+            "a 3-period frame should jank repeatedly, got {}",
+            report.janks.len()
+        );
+    }
+
+    #[test]
+    fn sustained_moderate_load_pipelines_without_janks() {
+        // ui+rs = 1.2 periods but each stage under one period: the two-stage
+        // pipeline sustains it at full rate, at the cost of a deeper pipeline
+        // (the "triple buffering saves it" case of Fig 1).
+        let trace = trace_of(60, &[(6.0, 14.0); 100]);
+        let report = run_vsync(&trace, 3);
+        assert_eq!(report.janks.len(), 0);
+        // Deep pipeline: latency settles at ~3 periods instead of 2.
+        let late = report.records.iter().find(|r| r.seq == 50).unwrap();
+        assert!(late.latency().as_millis_f64() > 2.4 * 16.7, "{}", late.latency());
+    }
+
+    #[test]
+    fn each_isolated_long_frame_janks_under_triple_buffering() {
+        // VSync's production is locked to the display cadence, so it can
+        // never build up slack: every isolated long frame janks again. This
+        // is §3.4's core observation and what D-VSync exists to fix.
+        let mut costs = vec![(2.0, 5.0); 60];
+        costs[20] = (2.0, 24.0);
+        costs[40] = (2.0, 24.0);
+        let trace = trace_of(60, &costs);
+        let report = run_vsync(&trace, 3);
+        assert_eq!(report.janks.len(), 2, "no slack accrues between long frames");
+    }
+
+    #[test]
+    fn all_frames_present_in_fifo_order() {
+        let spec = ScenarioSpec::new("order", 60, 300, CostProfile::scattered(3.0));
+        let trace = spec.generate();
+        let report = run_vsync(&trace, 3);
+        assert_eq!(report.records.len(), 300);
+        let mut ticks: Vec<u64> = report.records.iter().map(|r| r.present_tick).collect();
+        let sorted = {
+            let mut t = ticks.clone();
+            t.sort();
+            t
+        };
+        assert_eq!(ticks, sorted, "presents are tick-ordered by seq");
+        ticks.dedup();
+        assert_eq!(ticks.len(), 300, "no two frames share a refresh");
+    }
+
+    #[test]
+    fn display_time_covers_presented_span() {
+        let trace = trace_of(120, &[(1.0, 3.0); 240]);
+        let report = run_vsync(&trace, 4);
+        // 240 frames at 120 Hz ≈ 2 s of display time.
+        assert!((report.display_time.as_secs_f64() - 2.0).abs() < 0.05);
+        assert_eq!(report.ticks_active, 240);
+    }
+
+    #[test]
+    fn truncation_reported_when_capped() {
+        let trace = trace_of(60, &[(2.0, 5.0); 100]);
+        let cfg = PipelineConfig { max_ticks: Some(10), ..PipelineConfig::new(60, 3) };
+        let report = Simulator::new(&cfg).run(&trace, &mut VsyncPacer::new());
+        assert!(report.truncated);
+        assert!(report.records.len() < 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_panics() {
+        let trace = FrameTrace::new("empty", 60);
+        let cfg = PipelineConfig::new(60, 3);
+        Simulator::new(&cfg).run(&trace, &mut VsyncPacer::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "must agree")]
+    fn rate_mismatch_panics() {
+        let trace = trace_of(60, &[(1.0, 2.0)]);
+        let cfg = PipelineConfig::new(120, 3);
+        Simulator::new(&cfg).run(&trace, &mut VsyncPacer::new());
+    }
+
+    #[test]
+    fn parallel_rendering_sustains_render_bound_loads() {
+        // Every frame's render stage takes 1.35 periods: a single render
+        // thread caps throughput at ~0.74 frames per refresh (janks
+        // everywhere), while two contexts sustain the full rate — the reason
+        // OpenHarmony keeps an extra back buffer (§2).
+        let trace = trace_of(60, &[(2.0, 22.5); 90]);
+        let single = run_vsync(&trace, 4);
+        let cfg = PipelineConfig::new(60, 4).with_render_threads(2);
+        let parallel = Simulator::new(&cfg).run(&trace, &mut VsyncPacer::new());
+        assert!(
+            single.janks.len() > 20,
+            "single-threaded RS must fall behind: {} janks",
+            single.janks.len()
+        );
+        assert!(
+            parallel.janks.len() <= 1,
+            "two contexts sustain the cadence: {} janks",
+            parallel.janks.len()
+        );
+    }
+
+    #[test]
+    fn parallel_rendering_queues_in_frame_order() {
+        // Alternating long/short render stages on two contexts: the short
+        // successor finishes first but must queue after its predecessor.
+        let costs: Vec<(f64, f64)> =
+            (0..60).map(|i| (1.0, if i % 2 == 0 { 14.0 } else { 3.0 })).collect();
+        let trace = trace_of(60, &costs);
+        let cfg = PipelineConfig::new(60, 5).with_render_threads(2);
+        let report = Simulator::new(&cfg).run(&trace, &mut VsyncPacer::new());
+        assert_eq!(report.records.len(), 60);
+        for w in report.records.windows(2) {
+            assert!(w[0].queued_at <= w[1].queued_at, "queue order inverted");
+            assert!(w[0].present_tick < w[1].present_tick);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one render thread")]
+    fn zero_render_threads_rejected() {
+        let _ = PipelineConfig::new(60, 3).with_render_threads(0);
+    }
+
+    #[test]
+    fn rs_signal_alignment_keeps_two_period_latency_for_short_frames() {
+        // OpenHarmony-style: the render service wakes at VSync-rs (tick +
+        // 5 ms). Short frames still make the classic two-period pipeline.
+        let trace = trace_of(60, &[(2.0, 4.0); 60]);
+        let cfg = PipelineConfig::new(60, 4).with_rs_signal(ms(5.0));
+        let report = Simulator::new(&cfg).run(&trace, &mut VsyncPacer::new());
+        assert_eq!(report.janks.len(), 0);
+        let p = 1000.0 / 60.0;
+        let steady: Vec<_> = report.records.iter().filter(|r| r.seq > 5).collect();
+        for r in steady {
+            assert!(
+                (r.latency().as_millis_f64() - 2.0 * p).abs() < 0.2,
+                "frame {}: {}",
+                r.seq,
+                r.latency()
+            );
+        }
+    }
+
+    #[test]
+    fn rs_signal_alignment_punishes_ui_overruns() {
+        // A UI stage that slips past the VSync-rs signal forfeits the whole
+        // period: signal-aligned dispatch is less forgiving than immediate
+        // hand-off — the brittleness D-VSync's own event posting removes.
+        let mut costs = vec![(2.0, 4.0); 60];
+        costs[30] = (12.0, 4.0); // UI 12 ms > the 5 ms rs-signal offset
+        let trace = trace_of(60, &costs);
+        let aligned_cfg = PipelineConfig::new(60, 4).with_rs_signal(ms(5.0));
+        let aligned = Simulator::new(&aligned_cfg).run(&trace, &mut VsyncPacer::new());
+        let immediate_cfg = PipelineConfig::new(60, 4);
+        let immediate = Simulator::new(&immediate_cfg).run(&trace, &mut VsyncPacer::new());
+        assert!(
+            aligned.janks.len() > immediate.janks.len(),
+            "aligned {} vs immediate {}",
+            aligned.janks.len(),
+            immediate.janks.len()
+        );
+    }
+
+    #[test]
+    fn app_offset_shifts_trigger_basis() {
+        let trace = trace_of(60, &[(2.0, 4.0); 30]);
+        let cfg = PipelineConfig::new(60, 3);
+        let mut pacer = VsyncPacer::new().with_app_offset(ms(3.0));
+        let report = Simulator::new(&cfg).run(&trace, &mut pacer);
+        let p_ns = 1_000_000_000u64 / 60;
+        for r in report.records.iter().filter(|r| r.seq > 2) {
+            let into_period = r.basis.as_nanos() % p_ns;
+            // Within a few ns of 3 ms past the tick (period rounding).
+            assert!(
+                (into_period as i64 - 3_000_000).abs() < 100,
+                "frame {} basis {} ({into_period} ns into period)",
+                r.seq,
+                r.basis
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let spec = ScenarioSpec::new("det", 90, 500, CostProfile::scattered(4.0));
+        let trace = spec.generate();
+        let a = run_vsync(&trace, 4);
+        let b = run_vsync(&trace, 4);
+        assert_eq!(a.janks.len(), b.janks.len());
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn works_at_all_paper_rates() {
+        for rate in [60u32, 90, 120] {
+            let spec = ScenarioSpec::new("r", rate, 200, CostProfile::scattered(2.0));
+            let mut spec = spec;
+            spec.rate_hz = rate;
+            let trace = spec.generate();
+            let report = run_vsync(&trace, 4);
+            assert_eq!(report.rate_hz, rate);
+            assert!(!report.records.is_empty());
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The cost model: from damaged scene content to pipeline stage costs.
+//!
+//! The UI stage pays for traversal, layout, and display-list recording; the
+//! render stage pays for rasterising damaged content, applying effects, and
+//! compositing the layer tree — the split the simulator's two-stage
+//! pipeline consumes.
+
+use dvs_sim::SimDuration;
+use dvs_workload::FrameCost;
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeKind;
+use crate::scene::Scene;
+
+/// Tunable per-operation costs (microseconds), scaled by a device speed
+/// factor (1.0 ≈ a 2023 flagship; larger is slower).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Device speed multiplier applied to every cost.
+    pub speed_factor: f64,
+    /// UI-stage traversal cost per node (dirty or not).
+    pub ui_per_node_us: f64,
+    /// UI-stage layout + record cost per damaged node.
+    pub ui_per_dirty_node_us: f64,
+    /// Render-stage base raster cost per damaged kilopixel.
+    pub raster_per_kpx_us: f64,
+    /// Render-stage cost per text glyph on damaged text nodes.
+    pub raster_per_glyph_us: f64,
+    /// Render-stage composite cost per kilopixel of viewport.
+    pub composite_per_kpx_us: f64,
+    /// Fixed per-frame overhead on each stage (scheduling, fences).
+    pub fixed_us: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            speed_factor: 1.0,
+            ui_per_node_us: 3.0,
+            ui_per_dirty_node_us: 45.0,
+            raster_per_kpx_us: 0.18,
+            raster_per_glyph_us: 0.6,
+            composite_per_kpx_us: 0.035,
+            fixed_us: 250.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model for an older mid-range SoC (Pixel-5 class): ~1.8× slower.
+    pub fn midrange() -> Self {
+        CostModel { speed_factor: 1.8, ..CostModel::default() }
+    }
+
+    /// Width of one quantised blur level in pixels of radius; an animating
+    /// blur pays its full raster cost only when it crosses a level.
+    const BLUR_LEVEL_PX: f64 = 8.0;
+
+    /// Estimates the frame cost of rendering the scene's current damage and
+    /// updates the per-node blur caches. Does not clear the damage; the
+    /// [`SceneDriver`](crate::SceneDriver) owns that.
+    pub fn frame_cost(&self, scene: &mut Scene) -> FrameCost {
+        let damaged = scene.damaged();
+
+        // UI stage: traversal over everything, layout/record over damage.
+        let mut ui_us = self.fixed_us + scene.len() as f64 * self.ui_per_node_us;
+        ui_us += damaged.len() as f64 * self.ui_per_dirty_node_us;
+
+        // Render stage: raster damage + effects, then composite the frame.
+        let mut rs_us = self.fixed_us;
+        for &id in &damaged {
+            let (area, kind, effects, cached_level) = {
+                let node = scene.node(id);
+                (node.area_px(), node.kind, node.effects.clone(), node.blur_cache_level())
+            };
+            rs_us += match kind {
+                NodeKind::Container => 0.0,
+                NodeKind::Rect | NodeKind::Image | NodeKind::Surface => {
+                    area / 1000.0 * self.raster_per_kpx_us
+                }
+                NodeKind::Text { glyphs } => glyphs as f64 * self.raster_per_glyph_us,
+            };
+            for effect in &effects {
+                let full = effect.raster_cost_us(area);
+                rs_us += match *effect {
+                    crate::Effect::GaussianBlur { radius } => {
+                        let level = (radius / Self::BLUR_LEVEL_PX).floor() as i64;
+                        if cached_level == Some(level) {
+                            // Crossfade the cached layers: composite only.
+                            full * 0.06
+                        } else {
+                            scene.set_blur_cache(id, level);
+                            full
+                        }
+                    }
+                    _ => full,
+                };
+            }
+        }
+        rs_us += scene.viewport_px() / 1000.0 * self.composite_per_kpx_us;
+
+        FrameCost::new(
+            SimDuration::from_nanos((ui_us * self.speed_factor * 1e3) as u64),
+            SimDuration::from_nanos((rs_us * self.speed_factor * 1e3) as u64),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Effect, NodeKind, SceneNode};
+
+    fn card_scene(cards: usize, blurred: bool) -> Scene {
+        let mut scene = Scene::new(1260.0, 2720.0);
+        let root = scene.root();
+        if blurred {
+            let backdrop = SceneNode::new(NodeKind::Rect, 1260.0, 2720.0)
+                .with_effect(Effect::GaussianBlur { radius: 40.0 });
+            scene.add_child(root, backdrop);
+        }
+        for i in 0..cards {
+            let card = SceneNode::new(NodeKind::Rect, 1100.0, 260.0)
+                .at(80.0, 120.0 + 300.0 * i as f64)
+                .with_effect(Effect::RoundedCorners { radius: 32.0 })
+                .with_effect(Effect::DropShadow { radius: 18.0, dynamic: false });
+            let id = scene.add_child(root, card);
+            scene.add_child(id, SceneNode::new(NodeKind::Text { glyphs: 80 }, 900.0, 60.0));
+        }
+        scene
+    }
+
+    #[test]
+    fn fullscreen_blur_dominates() {
+        let plain = CostModel::default().frame_cost(&mut card_scene(6, false));
+        let blurred = CostModel::default().frame_cost(&mut card_scene(6, true));
+        assert!(blurred.rs > plain.rs * 2);
+    }
+
+    #[test]
+    fn first_frame_heavier_than_incremental() {
+        let model = CostModel::default();
+        let mut scene = card_scene(6, true);
+        let full = model.frame_cost(&mut scene);
+        scene.clear_damage();
+        // One card moves.
+        let some_card = scene.iter().nth(2).map(|(id, _)| id).unwrap();
+        scene.mutate(some_card, |n| n.position.1 += 12.0);
+        let incremental = model.frame_cost(&mut scene);
+        assert!(
+            full.total() > incremental.total() * 3,
+            "full {} vs incremental {}",
+            full.total(),
+            incremental.total()
+        );
+    }
+
+    #[test]
+    fn blur_frame_busts_a_120hz_period() {
+        let cost = CostModel::default().frame_cost(&mut card_scene(6, true));
+        let period = SimDuration::from_nanos(8_333_333);
+        assert!(cost.total() > period, "{} should exceed a 120 Hz period", cost.total());
+    }
+
+    #[test]
+    fn incremental_card_move_fits_a_period() {
+        let model = CostModel::default();
+        let mut scene = card_scene(6, false);
+        scene.clear_damage();
+        let some_card = scene.iter().nth(1).map(|(id, _)| id).unwrap();
+        scene.mutate(some_card, |n| n.position.1 += 12.0);
+        let cost = model.frame_cost(&mut scene);
+        let period = SimDuration::from_nanos(8_333_333);
+        assert!(cost.total() < period, "{} should fit a 120 Hz period", cost.total());
+    }
+
+    #[test]
+    fn midrange_is_slower() {
+        let mut scene = card_scene(4, true);
+        let flagship = CostModel::default().frame_cost(&mut scene.clone());
+        let midrange = CostModel::midrange().frame_cost(&mut scene);
+        assert!(midrange.total() > flagship.total());
+    }
+}

@@ -1,0 +1,141 @@
+//! Visual effects and their raster costs.
+//!
+//! The cost constants encode the relative weight of §3.1's effect
+//! catalogue: per-kilopixel microseconds for a mobile-class GPU raster
+//! path. Absolute values are tuned so a full-screen Gaussian blur on a
+//! Mate-60-class panel (≈3.4 Mpx) costs around one 120 Hz period — the
+//! "over 1 ms of key-frame work" regime the paper describes.
+
+use serde::{Deserialize, Serialize};
+
+/// A visual effect attached to a scene node.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Effect {
+    /// Gaussian blur with the given radius in pixels. Cost grows with the
+    /// radius (larger kernels, more taps).
+    GaussianBlur {
+        /// Blur radius in pixels.
+        radius: f64,
+    },
+    /// A drop shadow; dynamic shadows re-render every frame.
+    DropShadow {
+        /// Shadow softness radius in pixels.
+        radius: f64,
+        /// Whether the shadow follows an animated light/geometry (heavier).
+        dynamic: bool,
+    },
+    /// Anti-aliased rounded corners (the "G2 rounded corner" of OH 4.1).
+    RoundedCorners {
+        /// Corner radius in pixels.
+        radius: f64,
+    },
+    /// Alpha blending over the content behind.
+    Transparency {
+        /// Opacity in `[0, 1]`; 1.0 is free (opaque fast path).
+        alpha: f64,
+    },
+    /// A multi-stop colour gradient fill.
+    ColorGradient,
+    /// A particle system (sparks, confetti, charging animations).
+    Particles {
+        /// Live particle count.
+        count: u32,
+    },
+    /// A 3×3/4×4 matrix transform (rotation, perspective).
+    Transform,
+}
+
+impl Effect {
+    /// Raster cost in microseconds for applying this effect over `area_px`
+    /// pixels of damaged content.
+    pub fn raster_cost_us(&self, area_px: f64) -> f64 {
+        let kpx = area_px / 1000.0;
+        match *self {
+            Effect::GaussianBlur { radius } => {
+                // Separable blur: cost per pixel scales with kernel width.
+                kpx * 1.6 * (radius / 20.0).clamp(0.25, 4.0)
+            }
+            Effect::DropShadow { radius, dynamic } => {
+                let base = kpx * 0.9 * (radius / 16.0).clamp(0.25, 3.0);
+                if dynamic {
+                    base * 1.8
+                } else {
+                    base * 0.4 // cached shadow, composite only
+                }
+            }
+            Effect::RoundedCorners { radius } => kpx * 0.12 * (radius / 24.0).clamp(0.5, 2.0),
+            Effect::Transparency { alpha } => {
+                if alpha >= 1.0 {
+                    0.0
+                } else {
+                    kpx * 0.25
+                }
+            }
+            Effect::ColorGradient => kpx * 0.2,
+            Effect::Particles { count } => count as f64 * 2.2,
+            Effect::Transform => kpx * 0.15,
+        }
+    }
+
+    /// Whether the effect forces a re-render every frame even without
+    /// property changes (e.g. dynamic shadows, live particles).
+    pub fn always_dirty(&self) -> bool {
+        matches!(
+            self,
+            Effect::DropShadow { dynamic: true, .. } | Effect::Particles { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULLSCREEN_PX: f64 = 1260.0 * 2720.0;
+
+    #[test]
+    fn fullscreen_blur_is_a_key_frame() {
+        let cost = Effect::GaussianBlur { radius: 40.0 }.raster_cost_us(FULLSCREEN_PX);
+        // A heavy full-screen blur lands in the one-period-at-120Hz regime.
+        assert!(
+            (4_000.0..20_000.0).contains(&cost),
+            "fullscreen blur {cost} us should be frame-drop territory"
+        );
+    }
+
+    #[test]
+    fn rounded_corners_are_cheap() {
+        let card = 1000.0 * 300.0;
+        let cost = Effect::RoundedCorners { radius: 32.0 }.raster_cost_us(card);
+        assert!(cost < 100.0, "{cost}");
+    }
+
+    #[test]
+    fn dynamic_shadows_cost_more_than_cached() {
+        let area = 800.0 * 400.0;
+        let dynamic = Effect::DropShadow { radius: 24.0, dynamic: true }.raster_cost_us(area);
+        let cached = Effect::DropShadow { radius: 24.0, dynamic: false }.raster_cost_us(area);
+        assert!(dynamic > 3.0 * cached);
+    }
+
+    #[test]
+    fn opaque_transparency_is_free() {
+        assert_eq!(Effect::Transparency { alpha: 1.0 }.raster_cost_us(1e6), 0.0);
+        assert!(Effect::Transparency { alpha: 0.5 }.raster_cost_us(1e6) > 0.0);
+    }
+
+    #[test]
+    fn particles_scale_with_count() {
+        let few = Effect::Particles { count: 10 }.raster_cost_us(0.0);
+        let many = Effect::Particles { count: 1000 }.raster_cost_us(0.0);
+        assert!((many / few - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn always_dirty_classification() {
+        assert!(Effect::Particles { count: 5 }.always_dirty());
+        assert!(Effect::DropShadow { radius: 8.0, dynamic: true }.always_dirty());
+        assert!(!Effect::DropShadow { radius: 8.0, dynamic: false }.always_dirty());
+        assert!(!Effect::GaussianBlur { radius: 20.0 }.always_dirty());
+    }
+}

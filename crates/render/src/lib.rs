@@ -1,0 +1,52 @@
+//! A miniature retained-mode scene renderer: the workload *generator from
+//! first principles*.
+//!
+//! §3.1 of the D-VSync paper traces the jank problem to the growing
+//! catalogue of visual effects — Gaussian blur, dynamic shadows, particle
+//! effects, rounded corners — whose key frames demand "a substantial amount
+//! of work". The rest of the workspace drives the simulator with *sampled*
+//! frame costs; this crate instead models the content itself:
+//!
+//! * a [`Scene`] of [`SceneNode`]s carrying [`Effect`]s over pixel areas,
+//!   with damage tracking;
+//! * [`PropertyAnimation`]s that bind motion curves to node properties and
+//!   dirty exactly what they touch;
+//! * a [`CostModel`] that walks the damaged scene each frame and produces
+//!   the UI-stage and render-stage costs a real UI framework and render
+//!   service would pay;
+//! * a [`SceneDriver`] that advances the animations frame by frame and emits
+//!   a [`FrameTrace`](dvs_workload::FrameTrace) ready for the pipeline
+//!   simulator.
+//!
+//! Key frames *emerge* rather than being sampled: the moment a fullscreen
+//! blur fades in behind the notification pane is expensive because 3.4
+//! million pixels get blurred, not because a distribution said so.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvs_render::scenes;
+//!
+//! let trace = scenes::notification_center_close(120).trace();
+//! assert!(!trace.is_empty());
+//! // The blur-heavy opening frames cost multiples of the steady frames.
+//! let first = trace.frames[0].total();
+//! let mid = trace.frames[trace.len() / 2].total();
+//! assert!(first > mid);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod driver;
+mod effect;
+mod node;
+mod scene;
+pub mod scenes;
+
+pub use cost::CostModel;
+pub use driver::{PropertyAnimation, PropertyTarget, SceneDriver};
+pub use effect::Effect;
+pub use node::{NodeId, NodeKind, SceneNode};
+pub use scene::Scene;

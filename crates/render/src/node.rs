@@ -1,0 +1,149 @@
+//! Scene nodes: the retained UI tree.
+
+use serde::{Deserialize, Serialize};
+
+use crate::effect::Effect;
+
+/// Identifies a node within its [`Scene`](crate::Scene).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The node's index in its scene's arena.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What a node draws.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Pure layout container (draws nothing itself).
+    Container,
+    /// A solid or gradient-filled rectangle (backgrounds, cards).
+    Rect,
+    /// A raster image (photos, icons).
+    Image,
+    /// A run of text; cost scales with glyph count.
+    Text {
+        /// Number of glyphs.
+        glyphs: u32,
+    },
+    /// An embedded surface rendered elsewhere (video, camera preview).
+    Surface,
+}
+
+/// One node of the retained scene tree.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SceneNode {
+    /// What the node draws.
+    pub kind: NodeKind,
+    /// Position (x, y) in pixels.
+    pub position: (f64, f64),
+    /// Size (width, height) in pixels.
+    pub size: (f64, f64),
+    /// Opacity in `[0, 1]`; fully transparent nodes still lay out.
+    pub opacity: f64,
+    /// Effects applied to this node's content.
+    pub effects: Vec<Effect>,
+    /// Children indices (arena style).
+    pub(crate) children: Vec<NodeId>,
+    /// Damage flag: the node must re-record and re-raster this frame.
+    pub(crate) dirty: bool,
+    /// The quantised blur level last rastered into the node's cache, if any.
+    /// Real renderers raster Gaussian blur at discrete levels and crossfade
+    /// between them, so an animating radius only pays the full cost when it
+    /// crosses a level boundary — that is what makes blur key frames
+    /// *sporadic* rather than sustained.
+    pub(crate) blur_cache_level: Option<i64>,
+}
+
+impl SceneNode {
+    /// Creates a node of the given kind and size at the origin.
+    pub fn new(kind: NodeKind, width: f64, height: f64) -> Self {
+        SceneNode {
+            kind,
+            position: (0.0, 0.0),
+            size: (width, height),
+            opacity: 1.0,
+            effects: Vec::new(),
+            children: Vec::new(),
+            dirty: true,
+            blur_cache_level: None,
+        }
+    }
+
+    /// Positions the node (builder style).
+    pub fn at(mut self, x: f64, y: f64) -> Self {
+        self.position = (x, y);
+        self
+    }
+
+    /// Adds an effect (builder style).
+    pub fn with_effect(mut self, effect: Effect) -> Self {
+        self.effects.push(effect);
+        self
+    }
+
+    /// Sets the opacity (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    pub fn with_opacity(mut self, alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "opacity is a fraction");
+        self.opacity = alpha;
+        self
+    }
+
+    /// The node's area in pixels.
+    pub fn area_px(&self) -> f64 {
+        self.size.0 * self.size.1
+    }
+
+    /// Whether any attached effect forces per-frame re-rendering.
+    pub fn always_dirty(&self) -> bool {
+        self.effects.iter().any(Effect::always_dirty)
+    }
+
+    /// The node's children.
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// The quantised blur level currently rastered into the node's cache.
+    pub fn blur_cache_level(&self) -> Option<i64> {
+        self.blur_cache_level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let node = SceneNode::new(NodeKind::Rect, 100.0, 50.0)
+            .at(10.0, 20.0)
+            .with_opacity(0.8)
+            .with_effect(Effect::RoundedCorners { radius: 12.0 });
+        assert_eq!(node.position, (10.0, 20.0));
+        assert_eq!(node.area_px(), 5000.0);
+        assert_eq!(node.effects.len(), 1);
+        assert!(node.dirty, "new nodes start dirty");
+    }
+
+    #[test]
+    #[should_panic(expected = "opacity is a fraction")]
+    fn bad_opacity_panics() {
+        SceneNode::new(NodeKind::Rect, 1.0, 1.0).with_opacity(1.5);
+    }
+
+    #[test]
+    fn always_dirty_propagates_from_effects() {
+        let calm = SceneNode::new(NodeKind::Image, 10.0, 10.0);
+        assert!(!calm.always_dirty());
+        let busy = calm.clone().with_effect(Effect::Particles { count: 50 });
+        assert!(busy.always_dirty());
+    }
+}

@@ -1,0 +1,181 @@
+//! The scene: an arena of nodes with damage tracking.
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::{NodeId, SceneNode};
+
+/// A retained scene tree over a viewport.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_render::{NodeKind, Scene, SceneNode};
+///
+/// let mut scene = Scene::new(1080.0, 2340.0);
+/// let root = scene.root();
+/// let card = scene.add_child(root, SceneNode::new(NodeKind::Rect, 1000.0, 300.0));
+/// assert_eq!(scene.node(card).area_px(), 300_000.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scene {
+    nodes: Vec<SceneNode>,
+    viewport: (f64, f64),
+}
+
+impl Scene {
+    /// Creates a scene with a full-viewport container root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the viewport is not positive.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "viewport must be positive");
+        let root = SceneNode::new(crate::NodeKind::Container, width, height);
+        Scene { nodes: vec![root], viewport: (width, height) }
+    }
+
+    /// The root node's id.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The viewport size in pixels.
+    pub fn viewport(&self) -> (f64, f64) {
+        self.viewport
+    }
+
+    /// The viewport area in pixels.
+    pub fn viewport_px(&self) -> f64 {
+        self.viewport.0 * self.viewport.1
+    }
+
+    /// Adds `node` as the last child of `parent`, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` does not exist.
+    pub fn add_child(&mut self, parent: NodeId, node: SceneNode) -> NodeId {
+        assert!(parent.0 < self.nodes.len(), "unknown parent node");
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(node);
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    /// Read access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not exist.
+    pub fn node(&self, id: NodeId) -> &SceneNode {
+        &self.nodes[id.0]
+    }
+
+    /// Mutates a node and marks it dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not exist.
+    pub fn mutate<F: FnOnce(&mut SceneNode)>(&mut self, id: NodeId, f: F) {
+        let node = &mut self.nodes[id.0];
+        f(node);
+        node.dirty = true;
+    }
+
+    /// Number of nodes in the scene.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A scene always has at least its root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over all nodes with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &SceneNode)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Nodes that must re-render this frame: explicitly dirtied ones plus
+    /// those with always-dirty effects.
+    pub fn damaged(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.dirty || n.always_dirty())
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// Clears the per-frame damage flags (called after a frame renders).
+    pub fn clear_damage(&mut self) {
+        for n in &mut self.nodes {
+            n.dirty = false;
+        }
+    }
+
+    /// Records a node's rastered blur level (cost-model bookkeeping; does
+    /// not dirty the node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not exist.
+    pub fn set_blur_cache(&mut self, id: NodeId, level: i64) {
+        self.nodes[id.0].blur_cache_level = Some(level);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Effect, NodeKind};
+
+    #[test]
+    fn new_scene_has_dirty_root() {
+        let scene = Scene::new(100.0, 100.0);
+        assert_eq!(scene.len(), 1);
+        assert_eq!(scene.damaged(), vec![scene.root()]);
+    }
+
+    #[test]
+    fn damage_clears_and_returns() {
+        let mut scene = Scene::new(100.0, 100.0);
+        let root = scene.root();
+        let a = scene.add_child(root, SceneNode::new(NodeKind::Rect, 10.0, 10.0));
+        scene.clear_damage();
+        assert!(scene.damaged().is_empty());
+        scene.mutate(a, |n| n.position.0 += 5.0);
+        assert_eq!(scene.damaged(), vec![a]);
+    }
+
+    #[test]
+    fn always_dirty_nodes_stay_damaged() {
+        let mut scene = Scene::new(100.0, 100.0);
+        let root = scene.root();
+        let sparks = scene.add_child(
+            root,
+            SceneNode::new(NodeKind::Rect, 10.0, 10.0)
+                .with_effect(Effect::Particles { count: 20 }),
+        );
+        scene.clear_damage();
+        assert_eq!(scene.damaged(), vec![sparks]);
+    }
+
+    #[test]
+    fn children_are_recorded() {
+        let mut scene = Scene::new(100.0, 100.0);
+        let root = scene.root();
+        let a = scene.add_child(root, SceneNode::new(NodeKind::Container, 50.0, 50.0));
+        let b = scene.add_child(a, SceneNode::new(NodeKind::Text { glyphs: 12 }, 40.0, 10.0));
+        assert_eq!(scene.node(root).children(), &[a]);
+        assert_eq!(scene.node(a).children(), &[b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent")]
+    fn bad_parent_panics() {
+        let mut scene = Scene::new(10.0, 10.0);
+        scene.add_child(NodeId(99), SceneNode::new(NodeKind::Rect, 1.0, 1.0));
+    }
+}

@@ -1,0 +1,215 @@
+//! Ready-made scene scenarios matching the paper's evaluation cases.
+//!
+//! Each builder assembles a concrete UI (the notification pane, an app-open
+//! transition, a photo list) with the §3.1 effects that make their key
+//! frames heavy, wires up the animations, and returns a
+//! [`SceneDriver`] whose [`trace`](SceneDriver::trace) plugs straight into
+//! the pipeline simulator.
+
+use dvs_animation::{Animator, CubicBezier, DecayFling, Spring};
+use dvs_sim::{SimDuration, SimTime};
+
+use crate::cost::CostModel;
+use crate::driver::{PropertyAnimation, PropertyTarget, SceneDriver};
+use crate::effect::Effect;
+use crate::node::{NodeKind, SceneNode};
+use crate::scene::Scene;
+
+/// Mate-60-class viewport.
+const VIEW_W: f64 = 1260.0;
+const VIEW_H: f64 = 2720.0;
+
+/// "Swipe upwards to close the notification center" (`cls notif ctr`): the
+/// frosted-glass backdrop un-blurs while the notification cards slide off
+/// the top — the paper's canonical frame-dropping case.
+pub fn notification_center_close(rate_hz: u32) -> SceneDriver {
+    let mut scene = Scene::new(VIEW_W, VIEW_H);
+    let root = scene.root();
+
+    // Frosted backdrop: full-screen blur fading from 48 px to 0.
+    let backdrop = scene.add_child(
+        root,
+        SceneNode::new(NodeKind::Rect, VIEW_W, VIEW_H)
+            .with_effect(Effect::GaussianBlur { radius: 48.0 })
+            .with_effect(Effect::Transparency { alpha: 0.9 }),
+    );
+
+    let close_ms = 400u64;
+    let mut driver_anims = vec![PropertyAnimation::new(
+        backdrop,
+        PropertyTarget::BlurRadius,
+        Animator::new(
+            Box::new(CubicBezier::friction()),
+            SimTime::ZERO,
+            SimDuration::from_millis(close_ms),
+            48.0,
+            0.0,
+        ),
+    )];
+
+    // Six notification cards sliding up and out, slightly staggered.
+    for i in 0..6 {
+        let y0 = 180.0 + 380.0 * i as f64;
+        let card = scene.add_child(
+            root,
+            SceneNode::new(NodeKind::Rect, 1100.0, 340.0)
+                .at(80.0, y0)
+                .with_effect(Effect::RoundedCorners { radius: 36.0 })
+                .with_effect(Effect::DropShadow { radius: 20.0, dynamic: false })
+                .with_effect(Effect::Transparency { alpha: 0.96 }),
+        );
+        scene.add_child(card, SceneNode::new(NodeKind::Text { glyphs: 90 }, 980.0, 120.0));
+        scene.add_child(card, SceneNode::new(NodeKind::Image, 96.0, 96.0));
+        driver_anims.push(PropertyAnimation::new(
+            card,
+            PropertyTarget::PositionY,
+            Animator::new(
+                Box::new(CubicBezier::ease_out()),
+                SimTime::ZERO + SimDuration::from_millis(12 * i as u64),
+                SimDuration::from_millis(close_ms - 40),
+                y0,
+                -420.0,
+            ),
+        ));
+    }
+
+    let mut driver = SceneDriver::new(scene, CostModel::default(), rate_hz)
+        .with_name(format!("scene: cls notif ctr ({rate_hz}Hz)"))
+        .with_frames((close_ms as usize * rate_hz as usize) / 1000 + 12);
+    for a in driver_anims {
+        driver = driver.with_animation(a);
+    }
+    driver
+}
+
+/// "App opening animation when clicking an app" (`open app`): a card
+/// springs from icon size to full screen while the wallpaper behind blurs
+/// in.
+pub fn app_open(rate_hz: u32) -> SceneDriver {
+    let mut scene = Scene::new(VIEW_W, VIEW_H);
+    let root = scene.root();
+
+    let wallpaper = scene.add_child(
+        root,
+        SceneNode::new(NodeKind::Image, VIEW_W, VIEW_H)
+            .with_effect(Effect::GaussianBlur { radius: 0.0 }),
+    );
+    let card = scene.add_child(
+        root,
+        SceneNode::new(NodeKind::Rect, 160.0, 160.0)
+            .at(550.0, 1600.0)
+            .with_effect(Effect::RoundedCorners { radius: 40.0 })
+            .with_effect(Effect::DropShadow { radius: 26.0, dynamic: true }),
+    );
+    scene.add_child(card, SceneNode::new(NodeKind::Text { glyphs: 24 }, 400.0, 80.0));
+
+    let open_ms = 350u64;
+    let blur_in = PropertyAnimation::new(
+        wallpaper,
+        PropertyTarget::BlurRadius,
+        Animator::new(
+            Box::new(CubicBezier::ease_out()),
+            SimTime::ZERO,
+            SimDuration::from_millis(open_ms),
+            0.0,
+            36.0,
+        ),
+    );
+    let spring_up = PropertyAnimation::new(
+        card,
+        PropertyTarget::PositionY,
+        Animator::new(
+            Box::new(Spring::gentle()),
+            SimTime::ZERO,
+            SimDuration::from_millis(open_ms),
+            1600.0,
+            0.0,
+        ),
+    );
+
+    SceneDriver::new(scene, CostModel::default(), rate_hz)
+        .with_name(format!("scene: open app ({rate_hz}Hz)"))
+        .with_frames((open_ms as usize * rate_hz as usize) / 1000 + 10)
+        .with_animation(blur_in)
+        .with_animation(spring_up)
+}
+
+/// "Scroll the photo list in the photos app" (`scrl photos`): a fling over
+/// a grid of image cells — sustained raster load with no single key frame.
+pub fn photo_list_fling(rate_hz: u32) -> SceneDriver {
+    let mut scene = Scene::new(VIEW_W, VIEW_H);
+    let root = scene.root();
+    let list = scene.add_child(root, SceneNode::new(NodeKind::Container, VIEW_W, 6000.0));
+    for row in 0..15 {
+        for col in 0..3 {
+            let cell = SceneNode::new(NodeKind::Image, 400.0, 400.0)
+                .at(10.0 + 420.0 * col as f64, 10.0 + 420.0 * row as f64)
+                .with_effect(Effect::RoundedCorners { radius: 16.0 });
+            scene.add_child(list, cell);
+        }
+    }
+
+    let fling = PropertyAnimation::new(
+        list,
+        PropertyTarget::PositionY,
+        Animator::new(
+            Box::new(DecayFling::standard()),
+            SimTime::ZERO,
+            SimDuration::from_millis(900),
+            0.0,
+            -3200.0,
+        ),
+    );
+
+    SceneDriver::new(scene, CostModel::default(), rate_hz)
+        .with_name(format!("scene: scrl photos ({rate_hz}Hz)"))
+        .with_frames((900 * rate_hz as usize) / 1000 + 6)
+        .with_animation(fling)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notification_close_has_heavy_opening_frames() {
+        let trace = notification_center_close(120).trace();
+        let period = trace.period();
+        assert!(
+            trace.frames[1].total() > period,
+            "the blurred opening frame busts a 120 Hz period: {}",
+            trace.frames[1].total()
+        );
+        // Settled tail is cheap.
+        let last = trace.frames.last().unwrap();
+        assert!(last.total() < period / 2, "settled frame {}", last.total());
+    }
+
+    #[test]
+    fn app_open_key_frames_track_blur_growth() {
+        let trace = app_open(120).trace();
+        // Cost grows as the blur radius ramps up.
+        assert!(trace.frames[20].rs > trace.frames[2].rs);
+    }
+
+    #[test]
+    fn photo_fling_is_sustained_not_bursty() {
+        let trace = photo_list_fling(120).trace();
+        let totals: Vec<f64> =
+            trace.frames.iter().map(|f| f.total().as_millis_f64()).collect();
+        // During the fling (first ~100 frames), load stays within a 2x band.
+        let active = &totals[2..90];
+        let max = active.iter().cloned().fold(0.0f64, f64::max);
+        let min = active.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 2.0, "sustained band: {min}..{max}");
+    }
+
+    #[test]
+    fn scene_traces_plug_into_rates() {
+        for rate in [60u32, 90, 120] {
+            let trace = notification_center_close(rate).trace();
+            assert_eq!(trace.rate_hz, rate);
+            assert!(trace.len() >= (0.4 * rate as f64) as usize);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Deterministic discrete-event simulation core for the D-VSync reproduction.
+//!
+//! Every other crate in the workspace builds on the primitives here:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time,
+//! * [`EventQueue`] — a stable, deterministic future-event list,
+//! * [`SimRng`] — a seedable, reproducible pseudo-random number generator
+//!   (xoshiro256**), independent of platform entropy so that every simulation
+//!   run is replayable from its seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvs_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(5), "later");
+//! q.schedule(SimTime::ZERO, "now");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "now");
+//! assert_eq!(t, SimTime::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod rng;
+mod time;
+
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

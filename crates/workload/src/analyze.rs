@@ -1,0 +1,221 @@
+//! Trace characterisation: the §3.2 methodology as a tool.
+//!
+//! The paper derives its power-law insight from "analysis of real-world
+//! traces". [`analyze`] runs that analysis on any [`FrameTrace`] — recorded,
+//! generated, or scene-driven — estimating the short-frame baseline, the
+//! key-frame rate, the tail index (a Hill estimator over the long frames),
+//! and the burst clustering. [`TraceProfile::to_cost_profile`] closes the
+//! loop: it converts the measurements back into a [`CostProfile`], so a
+//! captured trace can seed a calibrated synthetic scenario family.
+
+use serde::{Deserialize, Serialize};
+
+use crate::generator::CostProfile;
+use crate::trace::FrameTrace;
+
+/// Measured characteristics of one trace.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceProfile {
+    /// Frames analysed.
+    pub frames: usize,
+    /// Refresh rate of the trace.
+    pub rate_hz: u32,
+    /// Median total cost of short frames (≤ 1 period), in milliseconds.
+    pub short_median_ms: f64,
+    /// Fraction of frames exceeding one period (the key frames).
+    pub long_fraction: f64,
+    /// Key frames per second of content.
+    pub long_rate_per_sec: f64,
+    /// Hill-estimator tail index over the key frames (smaller = heavier).
+    /// `NaN`-free: 0 when there are fewer than three key frames.
+    pub tail_index: f64,
+    /// `P(long | previous long) / P(long)` — 1.0 for independent key frames,
+    /// larger for bursts. 0 when there are no key frames.
+    pub cluster_coefficient: f64,
+    /// Mean UI share of total frame cost.
+    pub ui_share: f64,
+    /// Fraction of frames within one period (Figure 1's first checkpoint).
+    pub within_one_period: f64,
+    /// Fraction within two periods.
+    pub within_two_periods: f64,
+}
+
+/// Characterises a trace.
+///
+/// # Panics
+///
+/// Panics if the trace is empty.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_workload::{analyze, CostProfile, ScenarioSpec};
+///
+/// let spec = ScenarioSpec::new("probe", 60, 20_000, CostProfile::scattered(2.0));
+/// let profile = analyze(&spec.generate());
+/// assert!(profile.within_one_period > 0.9);
+/// assert!((profile.long_rate_per_sec - 2.0).abs() < 0.8);
+/// ```
+pub fn analyze(trace: &FrameTrace) -> TraceProfile {
+    assert!(!trace.is_empty(), "cannot analyse an empty trace");
+    let period_ms = trace.period().as_millis_f64();
+    let totals: Vec<f64> = trace.frames.iter().map(|f| f.total().as_millis_f64()).collect();
+
+    let mut shorts: Vec<f64> = totals.iter().cloned().filter(|&t| t <= period_ms).collect();
+    shorts.sort_by(|a, b| a.partial_cmp(b).expect("costs are finite"));
+    let short_median_ms = if shorts.is_empty() {
+        period_ms
+    } else {
+        shorts[shorts.len() / 2]
+    };
+
+    let longs: Vec<f64> = totals.iter().cloned().filter(|&t| t > period_ms).collect();
+    let long_fraction = longs.len() as f64 / totals.len() as f64;
+    // One frame per period of content in steady state.
+    let content_secs = totals.len() as f64 * period_ms / 1000.0;
+    let long_rate_per_sec = longs.len() as f64 / content_secs;
+
+    // Hill estimator over the key frames, anchored at one period.
+    let tail_index = if longs.len() >= 3 {
+        let sum_log: f64 = longs.iter().map(|&x| (x / period_ms).ln()).sum();
+        longs.len() as f64 / sum_log
+    } else {
+        0.0
+    };
+
+    // Burst clustering.
+    let flags: Vec<bool> = totals.iter().map(|&t| t > period_ms).collect();
+    let p_long = long_fraction;
+    let cluster_coefficient = if longs.is_empty() || flags.len() < 2 || p_long == 0.0 {
+        0.0
+    } else {
+        let pairs = flags.windows(2).filter(|w| w[0]).count();
+        let follow = flags.windows(2).filter(|w| w[0] && w[1]).count();
+        if pairs == 0 {
+            0.0
+        } else {
+            (follow as f64 / pairs as f64) / p_long
+        }
+    };
+
+    let ui_total: f64 = trace.frames.iter().map(|f| f.ui.as_millis_f64()).sum();
+    let all_total: f64 = totals.iter().sum();
+
+    TraceProfile {
+        frames: totals.len(),
+        rate_hz: trace.rate_hz,
+        short_median_ms,
+        long_fraction,
+        long_rate_per_sec,
+        tail_index,
+        cluster_coefficient,
+        ui_share: if all_total == 0.0 { 0.0 } else { ui_total / all_total },
+        within_one_period: trace.fraction_within_periods(1.0),
+        within_two_periods: trace.fraction_within_periods(2.0),
+    }
+}
+
+impl TraceProfile {
+    /// Converts the measurements into a generator profile: a captured trace
+    /// becomes a reusable scenario family.
+    pub fn to_cost_profile(&self) -> CostProfile {
+        let period_ms = 1000.0 / self.rate_hz.max(1) as f64;
+        CostProfile {
+            short_median_frac: (self.short_median_ms / period_ms).clamp(0.05, 0.95),
+            short_sigma: 0.25,
+            ui_share: self.ui_share.clamp(0.05, 0.95),
+            long_rate_per_sec: self.long_rate_per_sec,
+            long_min_periods: 1.0,
+            long_alpha: if self.tail_index > 0.0 { self.tail_index.clamp(0.5, 6.0) } else { 3.0 },
+            long_max_periods: 6.0,
+            cluster_p: ((self.cluster_coefficient - 1.0) * self.long_fraction)
+                .clamp(0.0, 0.9),
+            long_ui_spike_p: 0.15,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::ScenarioSpec;
+
+    fn generated(profile: CostProfile, frames: usize) -> FrameTrace {
+        ScenarioSpec::new("analyze me", 60, frames, profile).generate()
+    }
+
+    #[test]
+    fn recovers_long_rate() {
+        for rate in [1.0f64, 3.0, 6.0] {
+            let p = analyze(&generated(CostProfile::scattered(rate), 60_000));
+            assert!(
+                (p.long_rate_per_sec - rate).abs() < rate * 0.4 + 0.3,
+                "requested {rate}/s, measured {}",
+                p.long_rate_per_sec
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_tail_heaviness_ordering() {
+        let light = analyze(&generated(CostProfile::scattered(3.0), 60_000));
+        let heavy = analyze(&generated(CostProfile::clustered(3.0), 60_000));
+        assert!(
+            heavy.tail_index < light.tail_index,
+            "clustered profile (alpha 1.1) is heavier than scattered (alpha 3): \
+             {} vs {}",
+            heavy.tail_index,
+            light.tail_index
+        );
+    }
+
+    #[test]
+    fn detects_clustering() {
+        let scattered = analyze(&generated(CostProfile::scattered(2.0), 60_000));
+        let clustered = analyze(&generated(CostProfile::clustered(2.0), 60_000));
+        assert!(
+            clustered.cluster_coefficient > 2.0 * scattered.cluster_coefficient.max(1.0),
+            "clustered {} vs scattered {}",
+            clustered.cluster_coefficient,
+            scattered.cluster_coefficient
+        );
+    }
+
+    #[test]
+    fn smooth_trace_has_no_key_frames() {
+        let p = analyze(&generated(CostProfile::smooth(), 5_000));
+        assert_eq!(p.long_fraction, 0.0);
+        assert_eq!(p.tail_index, 0.0);
+        assert_eq!(p.cluster_coefficient, 0.0);
+        assert_eq!(p.within_one_period, 1.0);
+    }
+
+    #[test]
+    fn round_trip_preserves_shape() {
+        let original = CostProfile::scattered(2.5);
+        let measured = analyze(&generated(original, 60_000));
+        let rebuilt = measured.to_cost_profile();
+        let remeasured = analyze(&ScenarioSpec::new("rebuilt", 60, 60_000, rebuilt).generate());
+        assert!(
+            (measured.long_rate_per_sec - remeasured.long_rate_per_sec).abs() < 1.0,
+            "{} vs {}",
+            measured.long_rate_per_sec,
+            remeasured.long_rate_per_sec
+        );
+        assert!((measured.within_one_period - remeasured.within_one_period).abs() < 0.05);
+    }
+
+    #[test]
+    fn ui_share_is_measured() {
+        let mut profile = CostProfile::scattered(0.0);
+        profile.ui_share = 0.3;
+        let p = analyze(&generated(profile, 20_000));
+        assert!((p.ui_share - 0.3).abs() < 0.05, "{}", p.ui_share);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_panics() {
+        analyze(&FrameTrace::new("empty", 60));
+    }
+}

@@ -1,0 +1,212 @@
+//! Evaluated devices (Table 1) and the Figure 3 pixel-rate history.
+
+use serde::{Deserialize, Serialize};
+
+/// One evaluation platform (a row of Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Device {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Release month/year.
+    pub released: &'static str,
+    /// Operating system in the evaluation.
+    pub os: &'static str,
+    /// GPU backend(s) evaluated.
+    pub backend: &'static str,
+    /// Panel width in pixels.
+    pub width: u32,
+    /// Panel height in pixels.
+    pub height: u32,
+    /// Panel refresh rate in Hz.
+    pub refresh_hz: u32,
+    /// Stock buffer-queue size of the platform's rendering service
+    /// (3 = Android triple buffering, 4 = OpenHarmony's render service).
+    pub baseline_buffers: usize,
+}
+
+impl Device {
+    /// The VSync period in milliseconds.
+    pub fn period_ms(&self) -> f64 {
+        1000.0 / self.refresh_hz as f64
+    }
+
+    /// Pixels the rendering service must produce per second at full rate.
+    pub fn pixel_rate(&self) -> u64 {
+        self.width as u64 * self.height as u64 * self.refresh_hz as u64
+    }
+}
+
+/// Google Pixel 5 (AOSP 13, 60 Hz).
+pub const PIXEL_5: Device = Device {
+    name: "Google Pixel 5",
+    released: "Oct 2020",
+    os: "AOSP 13",
+    backend: "GLES",
+    width: 1080,
+    height: 2340,
+    refresh_hz: 60,
+    baseline_buffers: 3,
+};
+
+/// Huawei Mate 40 Pro (OpenHarmony 4.0, 90 Hz).
+pub const MATE_40_PRO: Device = Device {
+    name: "Mate 40 Pro",
+    released: "Nov 2020",
+    os: "OH 4.0",
+    backend: "GLES",
+    width: 1344,
+    height: 2772,
+    refresh_hz: 90,
+    baseline_buffers: 4,
+};
+
+/// Huawei Mate 60 Pro (OpenHarmony 4.0, 120 Hz).
+pub const MATE_60_PRO: Device = Device {
+    name: "Mate 60 Pro",
+    released: "Aug 2023",
+    os: "OH 4.0",
+    backend: "GLES/VK",
+    width: 1260,
+    height: 2720,
+    refresh_hz: 120,
+    baseline_buffers: 4,
+};
+
+/// Table 1's three platforms.
+pub fn evaluated_devices() -> [Device; 3] {
+    [PIXEL_5, MATE_40_PRO, MATE_60_PRO]
+}
+
+/// One flagship phone in the Figure 3 history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoricalPhone {
+    /// Product line (legend key in Figure 3).
+    pub series: &'static str,
+    /// Model name.
+    pub model: &'static str,
+    /// Release year.
+    pub year: u32,
+    /// Panel width in pixels.
+    pub width: u32,
+    /// Panel height in pixels.
+    pub height: u32,
+    /// Maximum refresh rate in Hz.
+    pub refresh_hz: u32,
+}
+
+impl HistoricalPhone {
+    /// Pixels rendered per second: `height × width × refresh rate`, the
+    /// quantity plotted on Figure 3's y-axis.
+    pub fn pixel_rate(&self) -> u64 {
+        self.width as u64 * self.height as u64 * self.refresh_hz as u64
+    }
+}
+
+/// The flagship-phone catalogue behind Figure 3 (2010–2024). Display specs
+/// are public knowledge; the point of the series is the ≈25× growth in
+/// pixels-per-second since the iPhone 4 / Galaxy S era.
+pub fn pixel_rate_history() -> Vec<HistoricalPhone> {
+    fn p(
+        series: &'static str,
+        model: &'static str,
+        year: u32,
+        width: u32,
+        height: u32,
+        refresh_hz: u32,
+    ) -> HistoricalPhone {
+        HistoricalPhone { series, model, year, width, height, refresh_hz }
+    }
+    vec![
+        p("iPhone", "iPhone 4", 2010, 640, 960, 60),
+        p("Galaxy S", "Galaxy S", 2010, 480, 800, 60),
+        p("iPhone", "iPhone 5", 2012, 640, 1136, 60),
+        p("Galaxy S", "Galaxy S III", 2012, 720, 1280, 60),
+        p("Xiaomi", "Mi 2", 2012, 720, 1280, 60),
+        p("iPhone Plus", "iPhone 6 Plus", 2014, 1080, 1920, 60),
+        p("Galaxy S", "Galaxy S5", 2014, 1080, 1920, 60),
+        p("Oppo Find X", "Find 7", 2014, 1440, 2560, 60),
+        p("Galaxy S", "Galaxy S6", 2015, 1440, 2560, 60),
+        p("Xiaomi", "Mi 5", 2016, 1080, 1920, 60),
+        p("Pixel", "Pixel", 2016, 1080, 1920, 60),
+        p("Mate Pro", "Mate 9 Pro", 2016, 1440, 2560, 60),
+        p("Pixel", "Pixel 2 XL", 2017, 1440, 2880, 60),
+        p("iPhone Pro Max", "iPhone X", 2017, 1125, 2436, 60),
+        p("Mate Pro", "Mate 20 Pro", 2018, 1440, 3120, 60),
+        p("Oppo Find X", "Find X", 2018, 1080, 2340, 60),
+        p("ROG Phone", "ROG Phone", 2018, 1080, 2160, 90),
+        p("Galaxy S", "Galaxy S10+", 2019, 1440, 3040, 60),
+        p("Mate X", "Mate X", 2019, 2200, 2480, 60),
+        p("ROG Phone", "ROG Phone II", 2019, 1080, 2340, 120),
+        p("Pixel", "Pixel 4 XL", 2019, 1440, 3040, 90),
+        p("Oppo Find X Pro", "Find X2 Pro", 2020, 1440, 3168, 120),
+        p("Galaxy S Ultra", "Galaxy S20 Ultra", 2020, 1440, 3200, 120),
+        p("Galaxy Z Fold", "Galaxy Z Fold2", 2020, 1768, 2208, 120),
+        p("Pixel", "Pixel 5", 2020, 1080, 2340, 60),
+        p("Mate Pro", "Mate 40 Pro", 2020, 1344, 2772, 90),
+        p("Xiaomi Pro", "Mi 11 Pro", 2021, 1440, 3200, 120),
+        p("iPhone Pro Max", "iPhone 13 Pro Max", 2021, 1284, 2778, 120),
+        p("Galaxy Z Fold", "Galaxy Z Fold3", 2021, 1768, 2208, 120),
+        p("Oppo Find N", "Find N", 2021, 1792, 1920, 120),
+        p("Galaxy S Ultra", "Galaxy S22 Ultra", 2022, 1440, 3088, 120),
+        p("ROG Phone", "ROG Phone 6", 2022, 1080, 2448, 165),
+        p("Pixel Pro", "Pixel 7 Pro", 2022, 1440, 3120, 120),
+        p("Mate Pro", "Mate 60 Pro", 2023, 1260, 2720, 120),
+        p("Pixel Fold", "Pixel Fold", 2023, 1840, 2208, 120),
+        p("Galaxy Z Fold", "Galaxy Z Fold5", 2023, 1812, 2176, 120),
+        p("iPhone Pro Max", "iPhone 15 Pro Max", 2023, 1290, 2796, 120),
+        p("Galaxy S Ultra", "Galaxy S24 Ultra", 2024, 1440, 3120, 120),
+        p("Xiaomi Pro", "Xiaomi 14 Pro", 2024, 1440, 3200, 120),
+        p("ROG Phone", "ROG Phone 8 Pro", 2024, 1080, 2400, 165),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_periods() {
+        assert!((PIXEL_5.period_ms() - 16.7).abs() < 0.1);
+        assert!((MATE_40_PRO.period_ms() - 11.1).abs() < 0.1);
+        assert!((MATE_60_PRO.period_ms() - 8.3).abs() < 0.1);
+    }
+
+    #[test]
+    fn baseline_buffers_match_platforms() {
+        assert_eq!(PIXEL_5.baseline_buffers, 3, "Android triple buffering");
+        assert_eq!(MATE_40_PRO.baseline_buffers, 4, "OH render service");
+        assert_eq!(MATE_60_PRO.baseline_buffers, 4);
+    }
+
+    #[test]
+    fn history_spans_the_decade() {
+        let h = pixel_rate_history();
+        assert!(h.len() >= 35);
+        assert!(h.iter().any(|p| p.year == 2010));
+        assert!(h.iter().any(|p| p.year == 2024));
+    }
+
+    #[test]
+    fn pixel_rate_grew_about_25x() {
+        let h = pixel_rate_history();
+        let first: u64 = h
+            .iter()
+            .filter(|p| p.year == 2010)
+            .map(|p| p.pixel_rate())
+            .max()
+            .unwrap();
+        let peak: u64 = h.iter().map(|p| p.pixel_rate()).max().unwrap();
+        let growth = peak as f64 / first as f64;
+        assert!(
+            (12.0..40.0).contains(&growth),
+            "Figure 3 claims ~25x growth, got {growth:.1}x"
+        );
+    }
+
+    #[test]
+    fn evaluated_devices_pixel_rates() {
+        // Sanity: the Mate 60 Pro pushes ~4.1e8 pixels/s.
+        let r = MATE_60_PRO.pixel_rate();
+        assert!((4.0e8..4.3e8).contains(&(r as f64)));
+    }
+}

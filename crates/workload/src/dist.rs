@@ -1,0 +1,259 @@
+//! Sampling distributions for frame costs.
+//!
+//! Implemented in-crate (on top of [`SimRng`]) rather than pulling in
+//! `rand_distr`, keeping the sampled streams stable across dependency
+//! upgrades — a property the trace record/replay format relies on.
+
+use dvs_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A log-normal distribution parameterised by its *median* and shape.
+///
+/// Short-frame costs are log-normal: symmetric on a log scale around a
+/// typical cost, never negative, with a mild right tail.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_sim::SimRng;
+/// use dvs_workload::LogNormal;
+///
+/// let d = LogNormal::from_median(8.0, 0.3);
+/// let mut rng = SimRng::seed_from(1);
+/// let x = d.sample(&mut rng);
+/// assert!(x > 0.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    /// Mean of the underlying normal (`ln median`).
+    pub mu: f64,
+    /// Standard deviation of the underlying normal.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with the given median and log-space sigma.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median` is not positive or `sigma` is negative.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        LogNormal { mu: median.ln(), sigma }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.mu + self.sigma * rng.next_normal()).exp()
+    }
+
+    /// The distribution's median.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// The distribution's mean (`exp(mu + sigma²/2)`).
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// A (truncated) Pareto distribution for heavy-tailed long-frame costs.
+///
+/// This is the "power law" of §3.2: key frames occasionally demand multiples
+/// of the typical cost, with density falling off as `x^-(alpha+1)`.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_sim::SimRng;
+/// use dvs_workload::Pareto;
+///
+/// let d = Pareto::new(1.0, 1.8).truncated(4.0);
+/// let mut rng = SimRng::seed_from(2);
+/// for _ in 0..100 {
+///     let x = d.sample(&mut rng);
+///     assert!((1.0..=4.0).contains(&x));
+/// }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    /// Scale: the smallest possible value.
+    pub x_min: f64,
+    /// Tail index; smaller means heavier tail.
+    pub alpha: f64,
+    /// Optional upper truncation point.
+    pub x_max: Option<f64>,
+}
+
+impl Pareto {
+    /// Creates an untruncated Pareto distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_min` or `alpha` is not positive.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0, "x_min must be positive");
+        assert!(alpha > 0.0, "alpha must be positive");
+        Pareto { x_min, alpha, x_max: None }
+    }
+
+    /// Truncates the distribution at `x_max` (by inverse-CDF restriction, so
+    /// no rejection sampling is needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_max <= x_min`.
+    pub fn truncated(mut self, x_max: f64) -> Self {
+        assert!(x_max > self.x_min, "x_max must exceed x_min");
+        self.x_max = Some(x_max);
+        self
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = match self.x_max {
+            // Restrict u to [0, F(x_max)] so inversion lands inside bounds.
+            Some(x_max) => {
+                let f_max = 1.0 - (self.x_min / x_max).powf(self.alpha);
+                rng.next_f64() * f_max
+            }
+            None => rng.next_f64(),
+        };
+        self.x_min / (1.0 - u).powf(1.0 / self.alpha)
+    }
+
+    /// The survival function `P(X > x)` of the untruncated distribution.
+    pub fn survival(&self, x: f64) -> f64 {
+        if x <= self.x_min {
+            1.0
+        } else {
+            (self.x_min / x).powf(self.alpha)
+        }
+    }
+
+    /// The mean of the (possibly truncated) distribution.
+    pub fn mean(&self) -> f64 {
+        match self.x_max {
+            None => {
+                if self.alpha <= 1.0 {
+                    f64::INFINITY
+                } else {
+                    self.alpha * self.x_min / (self.alpha - 1.0)
+                }
+            }
+            Some(x_max) => {
+                // E[X | X <= x_max] for a Pareto truncated at x_max.
+                let a = self.alpha;
+                let m = self.x_min;
+                let f_max = 1.0 - (m / x_max).powf(a);
+                if (a - 1.0).abs() < 1e-12 {
+                    (m * (x_max / m).ln() + m * f_max) / f_max
+                } else {
+                    let integral =
+                        a * m.powf(a) / (a - 1.0) * (m.powf(1.0 - a) - x_max.powf(1.0 - a));
+                    integral / f_max
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lognormal_median_is_preserved() {
+        let d = LogNormal::from_median(10.0, 0.5);
+        assert!((d.median() - 10.0).abs() < 1e-9);
+        let mut rng = SimRng::seed_from(1);
+        let n = 100_000;
+        let below = (0..n).filter(|_| d.sample(&mut rng) < 10.0).count();
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "median fraction {frac}");
+    }
+
+    #[test]
+    fn lognormal_mean_formula() {
+        let d = LogNormal::from_median(5.0, 0.4);
+        let mut rng = SimRng::seed_from(2);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - d.mean()).abs() / d.mean() < 0.01);
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let d = LogNormal::from_median(3.0, 0.0);
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..10 {
+            assert!((d.sample(&mut rng) - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "median must be positive")]
+    fn lognormal_bad_median_panics() {
+        LogNormal::from_median(0.0, 0.5);
+    }
+
+    #[test]
+    fn pareto_respects_min() {
+        let d = Pareto::new(2.0, 1.5);
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn pareto_truncation_bounds() {
+        let d = Pareto::new(1.0, 1.2).truncated(3.0);
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=3.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn pareto_tail_follows_power_law() {
+        let d = Pareto::new(1.0, 2.0);
+        let mut rng = SimRng::seed_from(6);
+        let n = 200_000;
+        let above2 = (0..n).filter(|_| d.sample(&mut rng) > 2.0).count();
+        let frac = above2 as f64 / n as f64;
+        // P(X > 2) = (1/2)^2 = 0.25.
+        assert!((frac - 0.25).abs() < 0.01, "{frac}");
+        assert!((d.survival(2.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_truncated_mean_matches_samples() {
+        let d = Pareto::new(1.0, 1.7).truncated(4.0);
+        let mut rng = SimRng::seed_from(7);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!(
+            (mean - d.mean()).abs() / d.mean() < 0.01,
+            "sampled {mean} vs analytic {}",
+            d.mean()
+        );
+    }
+
+    #[test]
+    fn pareto_untruncated_mean() {
+        let d = Pareto::new(1.0, 2.0);
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        let heavy = Pareto::new(1.0, 0.9);
+        assert!(heavy.mean().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "x_max must exceed x_min")]
+    fn pareto_bad_truncation_panics() {
+        let _ = Pareto::new(2.0, 1.0).truncated(1.0);
+    }
+}

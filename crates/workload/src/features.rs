@@ -1,0 +1,167 @@
+//! Figure 4's catalogue: graphics features added per OS release.
+//!
+//! The paper plots the growing list of rendering features since Android 4
+//! and OpenHarmony 4.0, shading the effects whose key frames are heavy.
+//! Encoded here as data so the harness can regenerate the figure's rows and
+//! the weight statistics behind §3.1's argument.
+
+use serde::{Deserialize, Serialize};
+
+/// How heavy a feature's key frames are (the figure's shading).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FeatureWeight {
+    /// Mostly structural/API surface; little per-frame cost.
+    Light,
+    /// Noticeable key-frame work.
+    Medium,
+    /// Heavy key frames (usually over 1 ms of work on flagship silicon).
+    Heavy,
+}
+
+/// One graphics feature introduced by an OS release.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphicsFeature {
+    /// The OS release that introduced it.
+    pub release: &'static str,
+    /// Feature name as the figure labels it.
+    pub name: &'static str,
+    /// Key-frame weight.
+    pub weight: FeatureWeight,
+}
+
+/// The Figure 4 catalogue.
+pub fn graphics_feature_timeline() -> Vec<GraphicsFeature> {
+    use FeatureWeight::{Heavy, Light, Medium};
+    fn f(release: &'static str, name: &'static str, weight: FeatureWeight) -> GraphicsFeature {
+        GraphicsFeature { release, name, weight }
+    }
+    vec![
+        // Android line.
+        f("Android 4", "Scene Transition", Medium),
+        f("Android 4", "Translucent UI", Medium),
+        f("Android 4", "Full-screen Immersive", Light),
+        f("Android 5/6", "Resolution Switch", Light),
+        f("Android 5/6", "3D Views", Medium),
+        f("Android 5/6", "Realtime Shadowing", Heavy),
+        f("Android 5/6", "Ripple Animation", Medium),
+        f("Android 5/6", "Vector Drawable", Light),
+        f("Android 7", "Multi-window", Medium),
+        f("Android 7", "Notification Template", Light),
+        f("Android 7", "Custom Pointer", Light),
+        f("Android 7", "Color Calibration", Light),
+        f("Android 8/9", "Unified Margin", Light),
+        f("Android 8/9", "Picture-in-Picture", Medium),
+        f("Android 8/9", "Wide-gamut Color", Medium),
+        f("Android 8/9", "Adaptive Icon", Light),
+        f("Android 10/11", "Dark Theme", Light),
+        f("Android 10/11", "Bubbles", Medium),
+        f("Android 10/11", "Gesture Navigation", Medium),
+        f("Android 10/11", "Flexible Layouts", Light),
+        f("Android 12", "Splash Screen", Light),
+        f("Android 12", "Color Vector Fonts", Light),
+        f("Android 12", "Programmable Shaders", Heavy),
+        f("Android 12", "Custom Meshes", Heavy),
+        f("Android 13/14", "Matrix44", Medium),
+        f("Android 13/14", "ClipShader", Heavy),
+        f("Android 13/14", "Large-screen Multitasking", Medium),
+        f("Android 13/14", "Dynamic Depth", Heavy),
+        f("Android 13/14", "Rounded Corner API", Medium),
+        f("Android 13/14", "Themed Icon", Light),
+        f("Android 15", "HDR Headroom", Medium),
+        f("Android 15", "Picture-in-Picture Animations", Medium),
+        // OpenHarmony line.
+        f("OH 4.0", "Gaussian Blur", Heavy),
+        f("OH 4.0", "Transparency", Medium),
+        f("OH 4.0", "Color Gradient", Light),
+        f("OH 4.0", "Shadowing", Heavy),
+        f("OH 4.0", "Complementary Colors", Light),
+        f("OH 4.0", "Particle Effect", Heavy),
+        f("OH 4.0", "Geometric Transformation", Medium),
+        f("OH 4.0", "HSL/HSV", Light),
+        f("OH 4.1", "Glyph Blur", Heavy),
+        f("OH 4.1", "Glass Material", Heavy),
+        f("OH 4.1", "Double Stroke", Light),
+        f("OH 4.1", "Blurring Gradient", Heavy),
+        f("OH 4.1", "G2 Rounded Corner", Medium),
+        f("OH 4.1", "Icon Blur", Medium),
+        f("OH 4.1", "Transparency Gradient", Medium),
+        f("OH 4.1", "Dynamic Lighting", Heavy),
+        f("OH 5.X", "Motion Blur", Heavy),
+        f("OH 5.X", "Parallax", Medium),
+        f("OH 5.X", "Bokeh", Heavy),
+        f("OH 5.X", "Rim Light", Heavy),
+        f("OH 5.X", "Dynamic Shadowing", Heavy),
+        f("OH 5.X", "Dynamic Icon", Medium),
+    ]
+}
+
+/// Release order for the Android line (the figure's x-axis).
+pub const ANDROID_RELEASES: [&str; 8] = [
+    "Android 4",
+    "Android 5/6",
+    "Android 7",
+    "Android 8/9",
+    "Android 10/11",
+    "Android 12",
+    "Android 13/14",
+    "Android 15",
+];
+
+/// Release order for the OpenHarmony line.
+pub const OH_RELEASES: [&str; 3] = ["OH 4.0", "OH 4.1", "OH 5.X"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_covers_both_lines() {
+        let features = graphics_feature_timeline();
+        for release in ANDROID_RELEASES.iter().chain(OH_RELEASES.iter()) {
+            assert!(
+                features.iter().any(|f| f.release == *release),
+                "{release} has no features"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_share_grows_over_android_releases() {
+        let features = graphics_feature_timeline();
+        let heavy_share = |releases: &[&str]| {
+            let subset: Vec<_> =
+                features.iter().filter(|f| releases.contains(&f.release)).collect();
+            subset.iter().filter(|f| f.weight == FeatureWeight::Heavy).count() as f64
+                / subset.len() as f64
+        };
+        let early = heavy_share(&ANDROID_RELEASES[..4]);
+        let late = heavy_share(&ANDROID_RELEASES[4..]);
+        assert!(
+            late > early,
+            "§3.1: newer releases add heavier effects ({early:.2} -> {late:.2})"
+        );
+    }
+
+    #[test]
+    fn oh_line_is_effect_heavy() {
+        let features = graphics_feature_timeline();
+        let oh: Vec<_> =
+            features.iter().filter(|f| f.release.starts_with("OH")).collect();
+        let heavy = oh.iter().filter(|f| f.weight == FeatureWeight::Heavy).count();
+        assert!(
+            heavy as f64 / oh.len() as f64 > 0.35,
+            "the OH releases the paper evaluates are dominated by heavy effects"
+        );
+    }
+
+    #[test]
+    fn names_are_unique_per_release() {
+        let features = graphics_feature_timeline();
+        let mut keys: Vec<(&str, &str)> =
+            features.iter().map(|f| (f.release, f.name)).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), before);
+    }
+}

@@ -1,0 +1,33 @@
+//! Rendering workloads: frame-cost distributions, replayable traces, and the
+//! scenario library matching the paper's evaluation suites.
+//!
+//! §3.2 of the D-VSync paper establishes the *power-law distribution of frame
+//! rendering time*: ≥95 % of frames are short while ≤5 % of key frames carry
+//! heavy bursts of work, and those bursts are what jank. This crate provides:
+//!
+//! * [`CostProfile`] / [`TraceGenerator`] — a short/long mixture process with
+//!   clustered bursts, producing [`FrameTrace`]s (serde-JSON serialisable for
+//!   record/replay, mirroring the paper's Perfetto-trace methodology);
+//! * [`scenarios`] — the 75 OS use cases of Appendix A, the 25 Android apps
+//!   of Figure 11, and the 15 games of Figure 14, each with the baseline
+//!   (VSync) FDPS read off the paper's figures as a calibration target;
+//! * [`devices`] — Table 1's platforms plus the Figure 3 pixel-rate history;
+//! * [`tasks`] — Table 2's scripted multi-scene UX tasks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod devices;
+pub mod features;
+pub mod scenarios;
+pub mod tasks;
+
+mod analyze;
+mod dist;
+mod generator;
+mod trace;
+
+pub use analyze::{analyze, TraceProfile};
+pub use dist::{LogNormal, Pareto};
+pub use generator::{CostProfile, Determinism, ScenarioSpec, TraceGenerator};
+pub use trace::{Backend, FrameCost, FrameTrace, TraceError};

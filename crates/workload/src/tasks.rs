@@ -1,0 +1,244 @@
+//! The Table 2 UX evaluation tasks.
+//!
+//! Each task is a scripted sequence of scene segments (cold starts, swipes,
+//! page transitions…). Professional UX evaluators performed these on a
+//! Mate 60 Pro and reported perceived stutters under VSync and D-VSync. We
+//! reproduce them as multi-segment workloads whose *burst character* encodes
+//! why D-VSync helps a lot (scattered key frames: app starts followed by
+//! scrolling) or barely (task 7's shopping flow, whose dense long-frame
+//! clusters exhaust any buffer depth — the same pathology as QQMusic).
+
+use crate::generator::{CostProfile, Determinism, ScenarioSpec};
+
+/// One UX evaluation task (a row of Table 2).
+#[derive(Clone, Debug)]
+pub struct UxTask {
+    /// The task description from the paper.
+    pub description: &'static str,
+    /// Scene segments executed in order.
+    pub segments: Vec<ScenarioSpec>,
+    /// Stutters the paper's evaluators perceived under VSync.
+    pub paper_vsync_stutters: u32,
+    /// Stutters the paper's evaluators perceived under D-VSync.
+    pub paper_dvsync_stutters: u32,
+}
+
+impl UxTask {
+    /// The paper's reduction percentage for this task.
+    pub fn paper_reduction_percent(&self) -> f64 {
+        if self.paper_vsync_stutters == 0 {
+            0.0
+        } else {
+            (1.0 - self.paper_dvsync_stutters as f64 / self.paper_vsync_stutters as f64) * 100.0
+        }
+    }
+}
+
+const RATE: u32 = 120; // Mate 60 Pro panel.
+
+/// A cold-start segment: one dense burst of heavy frames then a settle.
+fn cold_start(name: String, severity: f64) -> ScenarioSpec {
+    let profile = CostProfile {
+        short_median_frac: 0.4,
+        short_sigma: 0.3,
+        ui_share: 0.45,
+        long_rate_per_sec: 6.0 * severity,
+        long_min_periods: 1.0,
+        long_alpha: 3.2,
+        long_max_periods: 4.5,
+        cluster_p: 0.04,
+        long_ui_spike_p: 0.25,
+    };
+    ScenarioSpec::new(name, RATE, 2 * RATE as usize, profile)
+        .with_determinism(Determinism::Animation)
+}
+
+/// A scrolling/swiping segment with scattered key frames.
+fn swipe(name: String, severity: f64) -> ScenarioSpec {
+    ScenarioSpec::new(name, RATE, 2 * RATE as usize, CostProfile::scattered(3.0 * severity))
+        .with_determinism(Determinism::Animation)
+}
+
+/// A pathological segment: long-frame clusters deeper than any buffer queue
+/// (Table 2's shopping task, where the paper sees only a 7 % improvement).
+fn heavy_cluster(name: String) -> ScenarioSpec {
+    let profile = CostProfile {
+        short_median_frac: 0.55,
+        short_sigma: 0.3,
+        ui_share: 0.4,
+        long_rate_per_sec: 4.0,
+        long_min_periods: 1.5,
+        long_alpha: 0.9,
+        long_max_periods: 14.0,
+        cluster_p: 0.75,
+        long_ui_spike_p: 0.15,
+    };
+    ScenarioSpec::new(name, RATE, 3 * RATE as usize, profile)
+        .with_determinism(Determinism::Animation)
+}
+
+/// Builds all eight Table 2 tasks.
+pub fn ux_tasks() -> Vec<UxTask> {
+    let mut tasks = Vec::new();
+
+    // 1. Cold start & close Top 20 apps, slide multitasking.
+    let mut segs = Vec::new();
+    for i in 0..20 {
+        segs.push(cold_start(format!("t1 cold start app {i}"), 0.8));
+    }
+    segs.push(swipe("t1 multitask slide".into(), 1.2));
+    tasks.push(UxTask {
+        description: "Cold start and close the Top 20 apps, then slide through \
+                      the multitasking interface.",
+        segments: segs,
+        paper_vsync_stutters: 20,
+        paper_dvsync_stutters: 12,
+    });
+
+    // 2. Cold start Top 10 news/social apps, swipe immediately.
+    let mut segs = Vec::new();
+    for i in 0..10 {
+        segs.push(cold_start(format!("t2 cold start {i}"), 1.0));
+        segs.push(swipe(format!("t2 swipe {i}"), 1.0));
+    }
+    tasks.push(UxTask {
+        description: "Cold start every Top 10 news/social apps, and immediately \
+                      swipe upwards after start.",
+        segments: segs,
+        paper_vsync_stutters: 28,
+        paper_dvsync_stutters: 3,
+    });
+
+    // 3. Hot start Top 10 news/social apps, swipe immediately.
+    let mut segs = Vec::new();
+    for i in 0..10 {
+        segs.push(cold_start(format!("t3 hot start {i}"), 0.6));
+        segs.push(swipe(format!("t3 swipe {i}"), 0.9));
+    }
+    tasks.push(UxTask {
+        description: "Hot start every Top 10 news/social apps, and immediately \
+                      swipe upwards after start.",
+        segments: segs,
+        paper_vsync_stutters: 25,
+        paper_dvsync_stutters: 2,
+    });
+
+    // 4. Game <-> news app switching, 5 repeats.
+    let mut segs = Vec::new();
+    for i in 0..5 {
+        segs.push(cold_start(format!("t4 app switch {i}"), 0.9));
+        segs.push(swipe(format!("t4 news swipe {i}"), 1.0));
+    }
+    tasks.push(UxTask {
+        description: "In a game app, switch to a news app and swipe upwards \
+                      (switch back to the game and repeat 5 times)",
+        segments: segs,
+        paper_vsync_stutters: 20,
+        paper_dvsync_stutters: 3,
+    });
+
+    // 5. Short-video comments, 5 repeats.
+    let mut segs = Vec::new();
+    for i in 0..5 {
+        segs.push(swipe(format!("t5 open comments {i}"), 1.3));
+        segs.push(swipe(format!("t5 scroll comments {i}"), 0.9));
+    }
+    tasks.push(UxTask {
+        description: "In a short video app, open up the comments and swipe \
+                      upwards (slide to the next video and repeat 5 times)",
+        segments: segs,
+        paper_vsync_stutters: 20,
+        paper_dvsync_stutters: 2,
+    });
+
+    // 6. Music app browsing, 5 repeats — light workload.
+    let mut segs = Vec::new();
+    for i in 0..5 {
+        segs.push(swipe(format!("t6 music swipe {i}"), 0.5));
+    }
+    tasks.push(UxTask {
+        description: "In a music app, swipe through the music page and click on \
+                      one to play (switch back and repeat 5 times)",
+        segments: segs,
+        paper_vsync_stutters: 7,
+        paper_dvsync_stutters: 0,
+    });
+
+    // 7. Shopping flow — the pathological cluster case (only −7 % in paper).
+    let segs = vec![
+        heavy_cluster("t7 products page".into()),
+        heavy_cluster("t7 product details".into()),
+    ];
+    tasks.push(UxTask {
+        description: "In a shopping app, swipe through the products page, and \
+                      open up a product to swipe through the details.",
+        segments: segs,
+        paper_vsync_stutters: 14,
+        paper_dvsync_stutters: 13,
+    });
+
+    // 8. Lifestyle app: heavy but scattered — big improvement.
+    let mut segs = Vec::new();
+    for i in 0..4 {
+        segs.push(swipe(format!("t8 ads swipe {i}"), 2.2));
+    }
+    segs.push(cold_start("t8 open restaurants".into(), 1.4));
+    segs.push(swipe("t8 restaurants scroll".into(), 2.0));
+    tasks.push(UxTask {
+        description: "In a lifestyle app, swipe through the advertisements, and \
+                      open up all nearby restaurants to swipe through.",
+        segments: segs,
+        paper_vsync_stutters: 40,
+        paper_dvsync_stutters: 10,
+    });
+
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_tasks() {
+        assert_eq!(ux_tasks().len(), 8);
+    }
+
+    #[test]
+    fn paper_average_reduction_is_about_72_percent() {
+        let tasks = ux_tasks();
+        let avg: f64 = tasks.iter().map(|t| t.paper_reduction_percent()).sum::<f64>()
+            / tasks.len() as f64;
+        assert!((avg - 72.3).abs() < 2.0, "Table 2 average is 72.3%, got {avg:.1}");
+    }
+
+    #[test]
+    fn every_task_has_segments() {
+        for t in ux_tasks() {
+            assert!(!t.segments.is_empty(), "{}", t.description);
+            for s in &t.segments {
+                assert_eq!(s.rate_hz, 120);
+                assert!(s.frames > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn task7_is_cluster_heavy() {
+        let tasks = ux_tasks();
+        let t7 = &tasks[6];
+        assert!(t7.segments.iter().all(|s| s.cost.cluster_p >= 0.7));
+        assert!(t7.paper_reduction_percent() < 10.0);
+    }
+
+    #[test]
+    fn segment_names_are_unique_within_task() {
+        for t in ux_tasks() {
+            let mut names: Vec<&str> = t.segments.iter().map(|s| s.name.as_str()).collect();
+            let before = names.len();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), before, "{}", t.description);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Replayable frame-cost traces.
+//!
+//! A [`FrameTrace`] is the unit the simulator consumes: the UI-stage and
+//! render-stage cost of every frame of one scenario run. Traces serialise to
+//! JSON so experiments can be recorded once and replayed bit-identically —
+//! the same methodology the paper uses for its game simulations (§6.1), where
+//! CPU/GPU per-frame times were captured from real games and replayed
+//! through a D-VSync model.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use dvs_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The GPU API backend a scenario ran on (§3.2 evaluates both).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Backend {
+    /// OpenGL ES — the production default on all three devices.
+    #[default]
+    Gles,
+    /// Vulkan — OpenHarmony's newer backend, with more frame drops in the
+    /// paper's measurements (Figure 12).
+    Vulkan,
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::Gles => "GLES",
+            Backend::Vulkan => "Vulkan",
+        })
+    }
+}
+
+/// The cost of producing one frame, split by pipeline stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameCost {
+    /// App UI-thread work (input handling, UI logic, animation stepping).
+    pub ui: SimDuration,
+    /// Render-service / render-thread work (recording, GPU submission).
+    pub rs: SimDuration,
+}
+
+impl FrameCost {
+    /// Creates a frame cost.
+    pub fn new(ui: SimDuration, rs: SimDuration) -> Self {
+        FrameCost { ui, rs }
+    }
+
+    /// Total cost across both stages.
+    pub fn total(&self) -> SimDuration {
+        self.ui + self.rs
+    }
+}
+
+/// A full scenario's worth of frame costs.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_sim::SimDuration;
+/// use dvs_workload::{FrameCost, FrameTrace};
+///
+/// let mut trace = FrameTrace::new("demo", 60);
+/// trace.push(FrameCost::new(
+///     SimDuration::from_millis(2),
+///     SimDuration::from_millis(5),
+/// ));
+/// let json = trace.to_json()?;
+/// let back = FrameTrace::from_json(&json)?;
+/// assert_eq!(back.len(), 1);
+/// # Ok::<(), dvs_workload::TraceError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FrameTrace {
+    /// Scenario name.
+    pub name: String,
+    /// The refresh rate the scenario targets.
+    pub rate_hz: u32,
+    /// The backend the costs represent.
+    pub backend: Backend,
+    /// Per-frame costs in production order.
+    pub frames: Vec<FrameCost>,
+}
+
+/// Errors reading or writing traces.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Malformed JSON.
+    Parse(serde_json::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceError::Parse(e) => write!(f, "trace parse failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Parse(e)
+    }
+}
+
+impl FrameTrace {
+    /// Creates an empty trace.
+    pub fn new(name: impl Into<String>, rate_hz: u32) -> Self {
+        FrameTrace { name: name.into(), rate_hz, backend: Backend::Gles, frames: Vec::new() }
+    }
+
+    /// Sets the backend tag.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Appends one frame.
+    pub fn push(&mut self, cost: FrameCost) {
+        self.frames.push(cost);
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the trace has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The refresh period implied by `rate_hz`.
+    pub fn period(&self) -> SimDuration {
+        SimDuration::from_nanos(1_000_000_000 / self.rate_hz.max(1) as u64)
+    }
+
+    /// Fraction of frames whose total cost is at most `periods` periods —
+    /// the quantity plotted in Figure 1's CDF.
+    pub fn fraction_within_periods(&self, periods: f64) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        let limit = self.period().mul_f64(periods);
+        let n = self.frames.iter().filter(|f| f.total() <= limit).count();
+        n as f64 / self.frames.len() as f64
+    }
+
+    /// Serialises to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Parse`] if serialisation fails (practically
+    /// impossible for this type, but surfaced rather than unwrapped).
+    pub fn to_json(&self) -> Result<String, TraceError> {
+        Ok(serde_json::to_string(self)?)
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Parse`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, TraceError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Writes the trace as JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Reads a JSON trace from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on filesystem failure and
+    /// [`TraceError::Parse`] on malformed content.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        Self::from_json(&fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn sample_trace() -> FrameTrace {
+        let mut t = FrameTrace::new("sample", 60).with_backend(Backend::Vulkan);
+        t.push(FrameCost::new(ms(2), ms(5)));
+        t.push(FrameCost::new(ms(3), ms(20)));
+        t.push(FrameCost::new(ms(1), ms(4)));
+        t
+    }
+
+    #[test]
+    fn total_adds_stages() {
+        let c = FrameCost::new(ms(2), ms(5));
+        assert_eq!(c.total(), ms(7));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = sample_trace();
+        let back = FrameTrace::from_json(&t.to_json().unwrap()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join("dvs_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        t.save(&path).unwrap();
+        let back = FrameTrace::load(&path).unwrap();
+        assert_eq!(back, t);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = FrameTrace::load("/nonexistent/definitely/missing.json").unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)));
+        assert!(err.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn parse_garbage_is_parse_error() {
+        let err = FrameTrace::from_json("not json").unwrap_err();
+        assert!(matches!(err, TraceError::Parse(_)));
+    }
+
+    #[test]
+    fn fraction_within_periods() {
+        let t = sample_trace(); // totals: 7 ms, 23 ms, 5 ms; period 16.6 ms
+        assert!((t.fraction_within_periods(1.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((t.fraction_within_periods(2.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_fraction_is_zero() {
+        let t = FrameTrace::new("empty", 120);
+        assert!(t.is_empty());
+        assert_eq!(t.fraction_within_periods(1.0), 0.0);
+    }
+
+    #[test]
+    fn backend_display() {
+        assert_eq!(Backend::Gles.to_string(), "GLES");
+        assert_eq!(Backend::Vulkan.to_string(), "Vulkan");
+    }
+}

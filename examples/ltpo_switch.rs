@@ -1,0 +1,80 @@
+//! The D-VSync × LTPO co-design (§5.3): switching refresh rates with
+//! pre-rendered frames in flight.
+//!
+//! A swipe starts at 120 Hz; as the scrolling slows the LTPO policy wants to
+//! drop to 60 Hz. D-VSync has frames queued that were rendered *for 120 Hz*,
+//! so the switch must wait until the panel drains them — otherwise a frame's
+//! motion step would disagree with its on-screen duration. This example runs
+//! the co-simulation at several accumulation depths and shows the drain rule
+//! holding.
+//!
+//! ```text
+//! cargo run --example ltpo_switch
+//! ```
+
+use dvsync::core::LtpoCoSim;
+use dvsync::display::{RatePolicy, RefreshRate};
+
+fn main() {
+    // The policy a swipe decay walks down: fast -> 120 Hz, slow -> 60 Hz.
+    let policy = RatePolicy::promotion();
+    println!("LTPO policy: speed 1.0 -> {}, speed 0.05 -> {}\n",
+        policy.rate_for_speed(1.0),
+        policy.rate_for_speed(0.05));
+
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>14}",
+        "depth", "presents", "drain ticks", "mixed-rate", "switch tick"
+    );
+    for depth in [1usize, 2, 3, 5] {
+        let report = LtpoCoSim {
+            from: RefreshRate::HZ_120,
+            to: RefreshRate::HZ_60,
+            switch_at_frame: 40,
+            total_frames: 80,
+            prerender_limit: depth,
+        }
+        .run();
+        println!(
+            "{:>6} {:>10} {:>12} {:>12} {:>14}",
+            depth,
+            report.presents.len(),
+            report
+                .drain_ticks
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
+            report.mixed_rate_presents,
+            report
+                .committed_at_tick
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+        assert_eq!(report.mixed_rate_presents, 0, "the §5.3 invariant");
+    }
+
+    println!(
+        "\nDeeper pre-render queues take longer to drain before the panel may\n\
+         switch, but no frame is ever displayed at a rate it was not rendered\n\
+         for — the co-design invariant the paper ships in HarmonyOS NEXT."
+    );
+
+    // The full ProMotion-style decay ladder: a swipe that slows through
+    // 120 -> 90 -> 60 Hz with three pre-rendered frames in flight.
+    let ladder = LtpoCoSim::run_ladder(
+        &[
+            (RefreshRate::HZ_120, 40),
+            (RefreshRate::HZ_90, 30),
+            (RefreshRate::HZ_60, 30),
+        ],
+        3,
+    );
+    let mut rates: Vec<u32> = ladder.presents.iter().map(|p| p.panel_rate_hz).collect();
+    rates.dedup();
+    println!(
+        "\ndecay ladder: {} presents walked the panel through {:?} Hz with {} \
+         mixed-rate frames.",
+        ladder.presents.len(),
+        rates,
+        ladder.mixed_rate_presents
+    );
+}

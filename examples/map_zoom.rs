@@ -1,0 +1,66 @@
+//! The decoupling-aware map app (§6.5): pinch-zoom with input prediction.
+//!
+//! Zooming keeps two fingers on the screen, so pre-rendered frames need the
+//! *future* finger distance — the Zooming Distance Predictor fits a line to
+//! the recent samples and evaluates it at the D-Timestamp. This example runs
+//! the full case study and then shows the ZDP's predictions against the
+//! actual gesture.
+//!
+//! ```text
+//! cargo run --example map_zoom
+//! ```
+
+use dvsync::apps::MapApp;
+use dvsync::prelude::*;
+
+fn main() {
+    let app = MapApp::new();
+    let study = app.run_zoom_case_study();
+
+    println!("map zoom case study (3600 frames, 60 Hz, 5 buffers + ZDP)\n");
+    println!(
+        "frame drops/s:   VSync {:.2}  ->  D-VSync {:.2}   ({:.0}% eliminated; paper 100%)",
+        study.vsync.fdps(),
+        study.dvsync.fdps(),
+        study.fdps_reduction_percent()
+    );
+    println!(
+        "mean latency:    VSync {:.1} ms -> D-VSync {:.1} ms ({:.1}% lower; paper 30.2%)",
+        study.vsync.mean_latency_ms(),
+        study.dvsync.mean_latency_ms(),
+        study.latency_reduction_percent()
+    );
+    println!(
+        "ZDP accuracy:    {:.2} px mean error over {} predictions, {:.1} us/frame modeled cost\n",
+        study.zdp_quality.mean_abs_error,
+        study.zdp_quality.evaluated,
+        study.zdp_exec_time.as_micros_f64()
+    );
+
+    // Show the predictor at work on the characteristic pinch: at a few
+    // points along the gesture, predict 50 ms ahead and compare.
+    let pinch = app.characteristic_pinch();
+    let zdp = app.registry().lookup("map-zoom");
+    let horizon = SimDuration::from_millis(50);
+    println!("{:>10} {:>12} {:>12} {:>10}", "t (ms)", "predicted", "actual", "error");
+    for ms in (200..=1800).step_by(200) {
+        let now = SimTime::from_millis(ms);
+        let target = now + horizon;
+        let history = pinch.history_until(now);
+        let Some(pred) = zdp.predict(history, target) else { continue };
+        let actual = pinch.distance_at(target);
+        println!(
+            "{:>10} {:>10.1}px {:>10.1}px {:>+9.2}px",
+            ms,
+            pred,
+            actual,
+            pred - actual
+        );
+    }
+    println!(
+        "\nThe fingers will be ~{:.0} px apart 50 ms from mid-gesture; the linear\n\
+         fit predicts it within a couple of pixels — good enough that pre-rendered\n\
+         zoom levels feel glued to the fingertips.",
+        pinch.distance_at(SimTime::from_millis(1050))
+    );
+}

@@ -1,0 +1,79 @@
+//! # dvsync — a reproduction of D-VSync (ASPLOS 2025)
+//!
+//! *Decoupled Rendering and Displaying for Smartphone Graphics* (Wu et al.,
+//! ASPLOS '25) breaks the classic coupling between frame execution and the
+//! display's VSync: frames may render several refresh periods before they
+//! appear, so the time saved by common short frames banks up as queued
+//! buffers that absorb the sporadic heavy key frames which would otherwise
+//! jank. This workspace reproduces the paper's system and its entire
+//! evaluation on a trace-driven, discrete-event model of the smartphone
+//! rendering stack.
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `dvs-sim` | virtual time, event queue, deterministic RNG |
+//! | [`buffer`] | `dvs-buffer` | frame buffers, the FIFO buffer queue, memory model |
+//! | [`display`] | `dvs-display` | HW-VSync timelines, the panel, LTPO rate switching |
+//! | [`workload`] | `dvs-workload` | frame-cost distributions, traces, the paper's scenario suites |
+//! | [`input`] | `dvs-input` | touch events and gesture synthesizers |
+//! | [`animation`] | `dvs-animation` | motion curves sampled by timestamp |
+//! | [`pipeline`] | `dvs-pipeline` | the baseline VSync simulator and the pacer seam |
+//! | [`render`] | `dvs-render` | retained scene trees, §3.1's effects, scene-driven traces |
+//! | [`core`] | `dvs-core` | **D-VSync**: FPE, DTV, IPL, dual-channel APIs, LTPO co-design |
+//! | [`metrics`] | `dvs-metrics` | FDPS, latency, stutter perception, power/instruction models |
+//! | [`apps`] | `dvs-apps` | case studies: map app with ZDP, Chromium compositor, games |
+//!
+//! The `dvs-bench` crate (not re-exported) hosts the Criterion benchmarks
+//! and the `repro` binary that regenerates every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dvsync::core::{DvsyncConfig, DvsyncPacer};
+//! use dvsync::pipeline::{PipelineConfig, Simulator, VsyncPacer};
+//! use dvsync::workload::{CostProfile, ScenarioSpec};
+//!
+//! // A 60 Hz scenario with heavy key frames about twice a second.
+//! let spec = ScenarioSpec::new("quickstart", 60, 600, CostProfile::scattered(2.0));
+//! let trace = spec.generate();
+//!
+//! // Classic VSync with triple buffering…
+//! let baseline_cfg = PipelineConfig::new(60, 3);
+//! let baseline = Simulator::new(&baseline_cfg).run(&trace, &mut VsyncPacer::new());
+//!
+//! // …versus D-VSync with 5 buffers (pre-rendering up to 3 periods ahead).
+//! let dvsync_cfg = PipelineConfig::new(60, 5);
+//! let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(5));
+//! let dvsync = Simulator::new(&dvsync_cfg).run(&trace, &mut pacer);
+//!
+//! assert!(dvsync.janks.len() < baseline.janks.len());
+//! assert!(dvsync.mean_latency_ms() < baseline.mean_latency_ms());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dvs_animation as animation;
+pub use dvs_apps as apps;
+pub use dvs_buffer as buffer;
+pub use dvs_core as core;
+pub use dvs_display as display;
+pub use dvs_input as input;
+pub use dvs_metrics as metrics;
+pub use dvs_pipeline as pipeline;
+pub use dvs_render as render;
+pub use dvs_sim as sim;
+pub use dvs_workload as workload;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use dvs_core::{Channel, DvsyncConfig, DvsyncPacer, DvsyncRuntime};
+    pub use dvs_metrics::{FrameKind, RunReport, StutterModel};
+    pub use dvs_pipeline::{
+        calibrate_spec, run_segmented, PipelineConfig, Simulator, VsyncPacer,
+    };
+    pub use dvs_sim::{SimDuration, SimTime};
+    pub use dvs_workload::{Backend, CostProfile, Determinism, FrameTrace, ScenarioSpec};
+}

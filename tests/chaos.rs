@@ -1,0 +1,173 @@
+//! Fault injection: the simulator must stay consistent under adversarial
+//! pacing policies and degenerate workloads — no panics, no conservation
+//! violations, graceful truncation.
+
+use proptest::prelude::*;
+
+use dvsync::pipeline::{FramePacer, FramePlan, PacerCtx, PipelineConfig, Simulator};
+use dvsync::prelude::*;
+use dvsync::sim::SimRng;
+use dvsync::workload::{FrameCost, FrameTrace};
+
+/// A pacer that emits legal-but-erratic plans: random deferrals, random
+/// future starts, random content timestamps.
+struct ChaosPacer {
+    rng: SimRng,
+}
+
+impl FramePacer for ChaosPacer {
+    fn plan_next(&mut self, ctx: &PacerCtx) -> Option<FramePlan> {
+        match self.rng.next_below(4) {
+            // Defer; the simulator re-consults on the next state change.
+            0 => None,
+            // Start immediately with a bizarre (but valid) content stamp.
+            1 => Some(FramePlan {
+                start: ctx.now,
+                basis: ctx.now,
+                content_timestamp: ctx.now + ctx.period * self.rng.next_below(10),
+            }),
+            // Start at a random point within the next two periods.
+            2 => {
+                let delay = dvsync::sim::SimDuration::from_nanos(
+                    self.rng.next_below(2 * ctx.period.as_nanos()),
+                );
+                let at = ctx.now + delay;
+                Some(FramePlan { start: at, basis: at, content_timestamp: at })
+            }
+            // Classic immediate start.
+            _ => Some(FramePlan {
+                start: ctx.now,
+                basis: ctx.last_tick.1,
+                content_timestamp: ctx.last_tick.1,
+            }),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+}
+
+fn trace_of(rate: u32, costs: &[(u64, u64)]) -> FrameTrace {
+    let mut t = FrameTrace::new("chaos", rate);
+    for &(ui_us, rs_us) in costs {
+        t.push(FrameCost::new(
+            SimDuration::from_micros(ui_us),
+            SimDuration::from_micros(rs_us),
+        ));
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// An erratic pacer cannot break conservation: every frame still
+    /// presents exactly once, in order, or the run reports truncation.
+    #[test]
+    fn chaos_pacer_preserves_conservation(
+        seed in any::<u64>(),
+        costs in prop::collection::vec((100u64..15_000, 100u64..25_000), 5..80),
+        buffers in 3usize..7,
+    ) {
+        let trace = trace_of(60, &costs);
+        let cfg = PipelineConfig::new(60, buffers);
+        let mut pacer = ChaosPacer { rng: SimRng::seed_from(seed) };
+        let report = Simulator::new(&cfg).run(&trace, &mut pacer);
+        if !report.truncated {
+            prop_assert_eq!(report.records.len(), trace.len());
+        }
+        for (i, w) in report.records.windows(2).enumerate() {
+            prop_assert_eq!(w[0].seq + 1, w[1].seq, "order broke at {}", i);
+            prop_assert!(w[0].present_tick < w[1].present_tick);
+        }
+        for r in &report.records {
+            prop_assert!(r.queued_at >= r.trigger);
+            prop_assert!(r.present > r.queued_at);
+        }
+    }
+
+    /// Degenerate costs — zero-length stages, entire frames of zero cost —
+    /// run to completion without panicking.
+    #[test]
+    fn zero_cost_frames_are_fine(n in 1usize..60, buffers in 3usize..6) {
+        let costs = vec![(0u64, 0u64); n];
+        let trace = trace_of(60, &costs);
+        let cfg = PipelineConfig::new(60, buffers);
+        let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(buffers));
+        let report = Simulator::new(&cfg).run(&trace, &mut pacer);
+        prop_assert!(!report.truncated);
+        prop_assert_eq!(report.records.len(), n);
+        prop_assert_eq!(report.janks.len(), 0);
+    }
+}
+
+/// A frame an order of magnitude longer than the whole animation: the run
+/// truncates via the tick cap instead of hanging. (Everything else being
+/// short, the cap is generous; the monster frame still fits — what matters
+/// is completion.)
+#[test]
+fn monster_frame_completes_or_truncates() {
+    let mut costs = vec![(500u64, 1_000u64); 30];
+    costs[15] = (1_000, 3_000_000); // a 3-second render stage
+    let trace = trace_of(60, &costs);
+    let cfg = PipelineConfig::new(60, 4);
+    let report = Simulator::new(&cfg).run(&trace, &mut VsyncPacer::new());
+    // 3 s ≈ 180 missed refreshes: either it finished (with many janks) or
+    // the safety cap kicked in; both are acceptable, hanging is not.
+    if !report.truncated {
+        assert_eq!(report.records.len(), 30);
+        assert!(report.janks.len() > 100);
+    }
+}
+
+/// A pacer that refuses to ever start only stalls its own run: the
+/// simulator ends via the tick cap with a truncation flag.
+#[test]
+fn refusing_pacer_truncates_cleanly() {
+    struct Never;
+    impl FramePacer for Never {
+        fn plan_next(&mut self, _ctx: &PacerCtx) -> Option<FramePlan> {
+            None
+        }
+        fn name(&self) -> &'static str {
+            "never"
+        }
+    }
+    let trace = trace_of(60, &[(1_000, 2_000); 10]);
+    let cfg = PipelineConfig { max_ticks: Some(50), ..PipelineConfig::new(60, 3) };
+    let report = Simulator::new(&cfg).run(&trace, &mut Never);
+    assert!(report.truncated);
+    assert!(report.records.is_empty());
+}
+
+/// Plans in the distant future behave like deferral plus wake-up, not like
+/// corruption. (The pacer contract: a future `start` schedules a wake-up at
+/// which the pacer is consulted again, so it must eventually say "now".)
+#[test]
+fn far_future_plans_only_delay() {
+    struct Sluggish {
+        deadline: Option<dvsync::sim::SimTime>,
+    }
+    impl FramePacer for Sluggish {
+        fn plan_next(&mut self, ctx: &PacerCtx) -> Option<FramePlan> {
+            let deadline = *self.deadline.get_or_insert(ctx.now + ctx.period * 3);
+            if ctx.now >= deadline {
+                self.deadline = None;
+                Some(FramePlan { start: ctx.now, basis: ctx.now, content_timestamp: ctx.now })
+            } else {
+                Some(FramePlan { start: deadline, basis: deadline, content_timestamp: deadline })
+            }
+        }
+        fn name(&self) -> &'static str {
+            "sluggish"
+        }
+    }
+    let trace = trace_of(60, &[(1_000, 2_000); 12]);
+    let cfg = PipelineConfig::new(60, 4);
+    let report = Simulator::new(&cfg).run(&trace, &mut Sluggish { deadline: None });
+    assert!(!report.truncated);
+    assert_eq!(report.records.len(), 12);
+    // One frame roughly every 3-4 periods: plenty of janks, but consistent.
+    assert!(report.janks.len() > 12);
+}

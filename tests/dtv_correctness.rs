@@ -1,0 +1,155 @@
+//! DTV correctness: the §4.4 guarantee that pre-rendered animations show
+//! exactly the motion a perfectly paced display would show — *"animations
+//! never appear fast in accumulation or slow down in long frames"* —
+//! checked by driving real motion curves through both architectures.
+
+use dvsync::animation::{Animator, CubicBezier, DecayFling, Linear, MotionCurve, Spring};
+use dvsync::prelude::*;
+use dvsync::sim::SimRng;
+
+/// Builds a trace with short frames plus key frames at the given indices.
+fn trace_with_keys(rate: u32, frames: usize, keys: &[(usize, f64)]) -> FrameTrace {
+    let period_ms = 1000.0 / rate as f64;
+    let mut t = FrameTrace::new("dtv", rate);
+    let mut rng = SimRng::seed_from(99);
+    for i in 0..frames {
+        let total = keys
+            .iter()
+            .find(|(k, _)| *k == i)
+            .map(|(_, c)| c * period_ms)
+            .unwrap_or_else(|| period_ms * rng.next_range(0.3, 0.6));
+        let ui = total * 0.3;
+        t.push(dvsync::workload::FrameCost::new(
+            SimDuration::from_millis_f64(ui),
+            SimDuration::from_millis_f64(total - ui),
+        ));
+    }
+    t
+}
+
+fn run_dvsync(trace: &FrameTrace, buffers: usize) -> RunReport {
+    let cfg = PipelineConfig::new(trace.rate_hz, buffers);
+    let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(buffers));
+    Simulator::new(&cfg).run(trace, &mut pacer)
+}
+
+/// For every curve family: the sequence of displayed positions under
+/// D-VSync equals the curve sampled at the actual display instants — i.e.
+/// on-screen motion is indistinguishable from an ideal renderer.
+#[test]
+fn displayed_motion_is_ideal_for_every_curve() {
+    let curves: Vec<Box<dyn MotionCurve>> = vec![
+        Box::new(Linear),
+        Box::new(CubicBezier::ease_out()),
+        Box::new(CubicBezier::friction()),
+        Box::new(Spring::gentle()),
+        Box::new(DecayFling::standard()),
+    ];
+    let trace = trace_with_keys(60, 60, &[(30, 2.6)]);
+    let report = run_dvsync(&trace, 5);
+    assert_eq!(report.janks.len(), 0, "the key frame must be absorbed");
+
+    for curve in curves {
+        let name = curve.name();
+        let anim = Animator::new(
+            curve,
+            SimTime::ZERO,
+            SimDuration::from_millis(900),
+            0.0,
+            1000.0,
+        );
+        for r in &report.records {
+            let drawn = anim.sample(r.content_timestamp);
+            let ideal = anim.sample(r.present);
+            assert!(
+                (drawn - ideal).abs() < 1e-9,
+                "{name}: frame {} drew {drawn} but should show {ideal}",
+                r.seq
+            );
+        }
+    }
+}
+
+/// During pure accumulation (queue filling), displayed positions advance by
+/// exactly the per-period motion step — no fast-forwarding.
+#[test]
+fn no_fast_forward_during_accumulation() {
+    let trace = trace_with_keys(60, 40, &[]);
+    let report = run_dvsync(&trace, 7);
+    // Longer than the displayed window so the linear ramp never clamps.
+    let anim = Animator::new(
+        Box::new(Linear),
+        SimTime::ZERO,
+        SimDuration::from_millis(2000),
+        0.0,
+        1000.0,
+    );
+    let positions: Vec<f64> =
+        report.records.iter().map(|r| anim.sample(r.content_timestamp)).collect();
+    let steps: Vec<f64> = positions.windows(2).map(|w| w[1] - w[0]).collect();
+    let expected = steps[0];
+    for (i, s) in steps.iter().enumerate() {
+        assert!(
+            (s - expected).abs() < 1e-6,
+            "step {i} is {s}, expected uniform {expected}"
+        );
+    }
+}
+
+/// The VSync baseline, by contrast, shows stale content: during the stuffed
+/// regime after a drop the on-screen motion lags the ideal by whole periods.
+#[test]
+fn vsync_content_lags_after_drops() {
+    let trace = trace_with_keys(60, 60, &[(30, 2.6)]);
+    let cfg = PipelineConfig::new(60, 3);
+    let report = Simulator::new(&cfg).run(&trace, &mut VsyncPacer::new());
+    assert!(!report.janks.is_empty());
+    let worst_lag_ms = report
+        .records
+        .iter()
+        .map(|r| r.present.saturating_since(r.content_timestamp).as_millis_f64())
+        .fold(0.0, f64::max);
+    assert!(
+        worst_lag_ms > 40.0,
+        "stuffed frames show content from ≥2.5 periods ago, got {worst_lag_ms} ms"
+    );
+}
+
+/// With a drifting, jittering hardware clock the D-Timestamps still track
+/// the real display instants to sub-millisecond error thanks to DTV's
+/// periodic calibration.
+#[test]
+fn dtv_tracks_noisy_clocks() {
+    let trace = trace_with_keys(120, 240, &[(100, 1.8), (180, 2.2)]);
+    let cfg = PipelineConfig::new(120, 5).with_clock_noise(
+        500.0,
+        SimDuration::from_micros(300),
+        1234,
+    );
+    let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(5));
+    let report = Simulator::new(&cfg).run(&trace, &mut pacer);
+    assert!(
+        report.max_content_error_ms() < 1.0,
+        "max D-Timestamp error {} ms",
+        report.max_content_error_ms()
+    );
+}
+
+/// An over-budget key frame drops even under D-VSync, but the content error
+/// stays confined to the frames around the drop: DTV's elasticity resyncs.
+#[test]
+fn residual_drop_errors_are_transient() {
+    let trace = trace_with_keys(60, 120, &[(60, 8.0)]);
+    let report = run_dvsync(&trace, 5);
+    assert!(!report.janks.is_empty(), "an 8-period frame must drop");
+    let late_frames: Vec<_> = report.records.iter().filter(|r| r.seq >= 80).collect();
+    assert!(!late_frames.is_empty());
+    for r in late_frames {
+        assert_eq!(
+            r.content_error_ns(),
+            0,
+            "frame {} still mispredicted after resync",
+            r.seq
+        );
+    }
+}

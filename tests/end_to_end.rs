@@ -1,0 +1,155 @@
+//! Cross-crate integration tests: the paper's headline claims exercised
+//! through the public facade.
+
+use dvsync::prelude::*;
+
+/// A small calibrated scenario shared by several tests.
+fn calibrated(name: &str, rate: u32, frames: usize, target_fdps: f64) -> ScenarioSpec {
+    let spec = ScenarioSpec::new(name, rate, frames, CostProfile::scattered(target_fdps))
+        .with_paper_fdps(target_fdps);
+    calibrate_spec(&spec, 3).spec
+}
+
+#[test]
+fn dvsync_reduces_janks_across_refresh_rates() {
+    for rate in [60u32, 90, 120] {
+        let spec = calibrated("e2e", rate, 6 * rate as usize, 3.0);
+        let base = run_segmented(&spec, 3, || Box::new(VsyncPacer::new()));
+        let dvs = run_segmented(&spec, 4, || {
+            Box::new(DvsyncPacer::new(DvsyncConfig::paper_default()))
+        });
+        assert!(
+            (dvs.janks.len() as f64) < 0.6 * base.janks.len() as f64,
+            "{rate} Hz: D-VSync {} vs VSync {}",
+            dvs.janks.len(),
+            base.janks.len()
+        );
+    }
+}
+
+#[test]
+fn dvsync_latency_sits_at_pipeline_floor() {
+    for rate in [60u32, 120] {
+        let spec = calibrated("lat", rate, 6 * rate as usize, 2.0);
+        let dvs = run_segmented(&spec, 5, || {
+            Box::new(DvsyncPacer::new(DvsyncConfig::with_buffers(5)))
+        });
+        let floor = 2.0 * 1000.0 / rate as f64;
+        assert!(
+            (dvs.mean_latency_ms() - floor).abs() < 0.15 * floor,
+            "{rate} Hz: {} vs floor {}",
+            dvs.mean_latency_ms(),
+            floor
+        );
+    }
+}
+
+#[test]
+fn more_buffers_never_hurt() {
+    let spec = calibrated("monotone", 60, 600, 3.0);
+    let mut last = usize::MAX;
+    for buffers in [4usize, 5, 6, 7] {
+        let report = run_segmented(&spec, buffers, move || {
+            Box::new(DvsyncPacer::new(DvsyncConfig::with_buffers(buffers)))
+        });
+        assert!(
+            report.janks.len() <= last,
+            "{buffers} buffers janked {} > previous {last}",
+            report.janks.len()
+        );
+        last = report.janks.len();
+    }
+}
+
+#[test]
+fn runtime_controller_routes_by_scenario_class() {
+    let runtime = DvsyncRuntime::new(DvsyncConfig::with_buffers(5), 3);
+    // The same workload (same name => same generated trace), classified as a
+    // deterministic animation vs as real-time content.
+    let animation = ScenarioSpec::new("route", 60, 240, CostProfile::scattered(2.0));
+    let realtime = animation.clone().with_determinism(Determinism::RealTime);
+
+    let anim_report = runtime.run_scenario(&animation, Channel::Oblivious);
+    let rt_report = runtime.run_scenario(&realtime, Channel::Oblivious);
+
+    // The decoupled path accumulates: triggers lead presents by several
+    // periods on average, while the classic path stays near two.
+    let mean_lead = |r: &RunReport| {
+        r.records
+            .iter()
+            .map(|f| f.present.saturating_since(f.trigger).as_millis_f64())
+            .sum::<f64>()
+            / r.records.len() as f64
+    };
+    assert!(
+        mean_lead(&anim_report) > mean_lead(&rt_report) + 10.0,
+        "anim {} vs rt {}",
+        mean_lead(&anim_report),
+        mean_lead(&rt_report)
+    );
+}
+
+#[test]
+fn stutter_perception_tracks_jank_reduction() {
+    let spec = calibrated("stut", 60, 1200, 4.0);
+    let base = run_segmented(&spec, 3, || Box::new(VsyncPacer::new()));
+    let dvs = run_segmented(&spec, 5, || {
+        Box::new(DvsyncPacer::new(DvsyncConfig::with_buffers(5)))
+    });
+    let model = StutterModel::default();
+    let base_stutters = model.evaluate(&base).perceived;
+    let dvs_stutters = model.evaluate(&dvs).perceived;
+    assert!(base_stutters > 0, "baseline must stutter for the test to mean anything");
+    assert!(
+        dvs_stutters < base_stutters,
+        "D-VSync {dvs_stutters} vs VSync {base_stutters}"
+    );
+}
+
+#[test]
+fn frame_records_tell_a_consistent_story() {
+    let spec = calibrated("consistent", 60, 600, 3.0);
+    for (buffers, dvsync) in [(3usize, false), (5, true)] {
+        let report = if dvsync {
+            run_segmented(&spec, buffers, move || {
+                Box::new(DvsyncPacer::new(DvsyncConfig::with_buffers(buffers)))
+            })
+        } else {
+            run_segmented(&spec, buffers, || Box::new(VsyncPacer::new()))
+        };
+        assert_eq!(report.records.len(), 600, "every frame presents");
+        for r in &report.records {
+            assert!(r.queued_at >= r.trigger, "queueing follows triggering");
+            assert!(r.present > r.queued_at, "display follows queueing");
+            assert!(
+                r.present_tick >= r.eligible_tick,
+                "no frame presents before it is eligible"
+            );
+        }
+        // Dropped frames exist iff janks were recorded.
+        let drops = report.records.iter().filter(|r| r.kind == FrameKind::Dropped).count();
+        assert_eq!(drops > 0, !report.janks.is_empty());
+    }
+}
+
+#[test]
+fn full_suite_runs_agree_with_paper_bands() {
+    // A miniature Figure 11: five apps, fewer frames, same shape.
+    use dvsync::workload::scenarios;
+    let apps: Vec<ScenarioSpec> = scenarios::android_app_suite().into_iter().take(5).collect();
+    let mut base_total = 0.0;
+    let mut dvs_total = 0.0;
+    for raw in &apps {
+        let spec = calibrate_spec(raw, 3).spec;
+        base_total += run_segmented(&spec, 3, || Box::new(VsyncPacer::new())).fdps();
+        dvs_total += run_segmented(&spec, 4, || {
+            Box::new(DvsyncPacer::new(DvsyncConfig::paper_default()))
+        })
+        .fdps();
+    }
+    let reduction = (1.0 - dvs_total / base_total) * 100.0;
+    assert!(
+        (40.0..95.0).contains(&reduction),
+        "Figure 11's 4-buffer reduction is 71.6%; five-app slice gave {reduction:.1}%"
+    );
+}

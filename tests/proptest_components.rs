@@ -1,0 +1,147 @@
+//! Property tests over the remaining component surfaces: DTV under random
+//! observation streams, the FPE state machine, scene damage tracking,
+//! statistics helpers, and the animation contract.
+
+use proptest::prelude::*;
+
+use dvsync::animation::{Animator, CubicBezier, DecayFling, Linear, MotionCurve, Spring};
+use dvsync::core::{Dtv, FpeState};
+use dvsync::metrics::{Cdf, Summary};
+use dvsync::render::{Effect, NodeKind, Scene, SceneNode};
+use dvsync::sim::{SimDuration, SimTime};
+
+proptest! {
+    /// DTV's slot assignments are strictly increasing and never earlier than
+    /// the feasibility hint, for any interleaving of observations, hints,
+    /// and (mis)presents.
+    #[test]
+    fn dtv_slots_strictly_increase(
+        hints in prop::collection::vec(0u64..50, 1..100),
+        late_by in prop::collection::vec(0u64..4, 1..100),
+    ) {
+        let period = SimDuration::from_nanos(8_333_333);
+        let mut dtv = Dtv::new(period);
+        dtv.observe_tick(0, SimTime::ZERO);
+        let mut prev_slot = None;
+        for (seq, (&hint, &late)) in hints.iter().zip(late_by.iter()).enumerate() {
+            let (slot, d_ts) = dtv.assign_display_slot(hint, seq as u64);
+            prop_assert!(slot >= hint, "slot {slot} below feasibility {hint}");
+            if let Some(p) = prev_slot {
+                prop_assert!(slot > p, "slots must strictly increase");
+            }
+            prev_slot = Some(slot);
+            prop_assert_eq!(d_ts, dtv.estimate_tick_time(slot));
+            // The frame presents possibly late; DTV resyncs.
+            let actual = slot + late;
+            dtv.observe_tick(actual, SimTime::ZERO + period * actual);
+            dtv.on_presented(seq as u64, actual);
+            prev_slot = Some(prev_slot.unwrap().max(actual));
+        }
+    }
+
+    /// The FPE stage machine never allows more than `limit` frames ahead and
+    /// its stage label always matches the decision it just made.
+    #[test]
+    fn fpe_never_exceeds_limit(
+        limit in 1usize..8,
+        loads in prop::collection::vec((0usize..10, 0usize..4), 1..200),
+    ) {
+        let mut fpe = FpeState::new(limit);
+        for (queued, in_flight) in loads {
+            let allowed = fpe.may_start(queued, in_flight);
+            prop_assert_eq!(allowed, queued + in_flight < limit);
+            if !allowed {
+                prop_assert_eq!(fpe.stage(), dvsync::core::FpeStage::Sync);
+            }
+        }
+    }
+
+    /// Scene damage is exactly the mutated set (plus always-dirty nodes),
+    /// regardless of the mutation pattern.
+    #[test]
+    fn scene_damage_tracks_mutations(
+        nodes in 1usize..20,
+        sparkly in prop::collection::vec(any::<bool>(), 1..20),
+        mutations in prop::collection::vec(0usize..20, 0..40),
+    ) {
+        let mut scene = Scene::new(1000.0, 2000.0);
+        let root = scene.root();
+        let mut ids = Vec::new();
+        for i in 0..nodes {
+            let mut node = SceneNode::new(NodeKind::Rect, 100.0, 50.0);
+            if *sparkly.get(i).unwrap_or(&false) {
+                node = node.with_effect(Effect::Particles { count: 10 });
+            }
+            ids.push(scene.add_child(root, node));
+        }
+        scene.clear_damage();
+
+        let mut expected: Vec<usize> = Vec::new();
+        for m in mutations {
+            if m < nodes {
+                scene.mutate(ids[m], |n| n.position.0 += 1.0);
+                if !expected.contains(&m) {
+                    expected.push(m);
+                }
+            }
+        }
+        for (i, &s) in sparkly.iter().take(nodes).enumerate() {
+            if s && !expected.contains(&i) {
+                expected.push(i);
+            }
+        }
+        let damaged = scene.damaged();
+        prop_assert_eq!(damaged.len(), expected.len());
+        for &e in &expected {
+            prop_assert!(damaged.contains(&ids[e]));
+        }
+    }
+
+    /// Summary statistics are internally consistent for any sample set.
+    #[test]
+    fn summary_is_consistent(samples in prop::collection::vec(-1e6f64..1e6, 1..500)) {
+        let s = Summary::from_samples(samples.iter().cloned());
+        prop_assert_eq!(s.count, samples.len());
+        prop_assert!(s.min <= s.p50 && s.p50 <= s.p90);
+        prop_assert!(s.p90 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        prop_assert!(s.mean >= s.min && s.mean <= s.max);
+        let cdf = Cdf::from_samples(samples.iter().cloned());
+        prop_assert!((cdf.fraction_at_or_below(s.max) - 1.0).abs() < 1e-12);
+        prop_assert!(cdf.fraction_at_or_below(s.min - 1.0) == 0.0);
+    }
+
+    /// Every motion curve honours the endpoint contract and the animator's
+    /// clamping for arbitrary windows.
+    #[test]
+    fn animator_contract(
+        start_ms in 0u64..10_000,
+        duration_ms in 1u64..5_000,
+        from in -1e4f64..1e4,
+        to in -1e4f64..1e4,
+        curve_pick in 0usize..5,
+    ) {
+        let curve: Box<dyn MotionCurve> = match curve_pick {
+            0 => Box::new(Linear),
+            1 => Box::new(CubicBezier::ease_out()),
+            2 => Box::new(CubicBezier::ease_in_out()),
+            3 => Box::new(Spring::gentle()),
+            _ => Box::new(DecayFling::standard()),
+        };
+        let anim = Animator::new(
+            curve,
+            SimTime::from_millis(start_ms),
+            SimDuration::from_millis(duration_ms),
+            from,
+            to,
+        );
+        prop_assert!((anim.sample(SimTime::from_millis(start_ms)) - from).abs() < 1e-6);
+        let end = SimTime::from_millis(start_ms + duration_ms);
+        prop_assert!((anim.sample(end) - to).abs() < 1e-6);
+        // Clamps outside the window.
+        prop_assert_eq!(anim.sample(SimTime::ZERO), anim.sample(SimTime::from_millis(start_ms)));
+        prop_assert_eq!(
+            anim.sample(end + SimDuration::from_secs(10)),
+            anim.sample(end)
+        );
+    }
+}

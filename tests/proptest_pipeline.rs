@@ -1,0 +1,144 @@
+//! Property-based tests on the simulator: conservation laws that must hold
+//! for *any* workload under *any* pacing policy.
+
+use proptest::prelude::*;
+
+use dvsync::core::{DvsyncConfig, DvsyncPacer};
+use dvsync::metrics::RunReport;
+use dvsync::pipeline::{PipelineConfig, Simulator, VsyncPacer};
+use dvsync::sim::SimDuration;
+use dvsync::workload::{FrameCost, FrameTrace};
+
+/// Arbitrary traces: 10–120 frames of 0.5–40 ms stage costs at 60/90/120 Hz.
+fn traces() -> impl Strategy<Value = FrameTrace> {
+    (
+        prop_oneof![Just(60u32), Just(90), Just(120)],
+        prop::collection::vec((500u64..20_000, 500u64..40_000), 10..120),
+    )
+        .prop_map(|(rate, costs)| {
+            let mut t = FrameTrace::new("prop", rate);
+            for (ui_us, rs_us) in costs {
+                t.push(FrameCost::new(
+                    SimDuration::from_micros(ui_us),
+                    SimDuration::from_micros(rs_us),
+                ));
+            }
+            t
+        })
+}
+
+fn check_conservation(trace: &FrameTrace, report: &RunReport) -> Result<(), TestCaseError> {
+    // Every frame presents exactly once, in sequence order.
+    prop_assert_eq!(report.records.len(), trace.len());
+    for (i, r) in report.records.iter().enumerate() {
+        prop_assert_eq!(r.seq, i as u64);
+    }
+    // Present ticks are strictly increasing (one frame per refresh).
+    for w in report.records.windows(2) {
+        prop_assert!(w[0].present_tick < w[1].present_tick);
+    }
+    // Causality per frame.
+    for r in &report.records {
+        prop_assert!(r.trigger <= r.queued_at);
+        prop_assert!(r.queued_at < r.present);
+    }
+    // Janks and presents exactly tile the active display window.
+    if let (Some(first), Some(last)) = (
+        report.records.first().map(|r| r.present_tick),
+        report.records.last().map(|r| r.present_tick),
+    ) {
+        let window = (last - first + 1) as usize;
+        prop_assert_eq!(
+            window,
+            report.records.len() + report.janks.len(),
+            "every refresh in the window either presented or janked"
+        );
+        // All janks fall inside the window.
+        for j in &report.janks {
+            prop_assert!(j.tick > first && j.tick < last);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation holds for the VSync baseline on arbitrary traces.
+    #[test]
+    fn vsync_conservation(trace in traces(), buffers in 3usize..6) {
+        let cfg = PipelineConfig::new(trace.rate_hz, buffers);
+        let report = Simulator::new(&cfg).run(&trace, &mut VsyncPacer::new());
+        prop_assert!(!report.truncated);
+        check_conservation(&trace, &report)?;
+    }
+
+    /// Conservation holds for D-VSync on arbitrary traces, and DTV content
+    /// timestamps are exact whenever the run had no residual drops.
+    #[test]
+    fn dvsync_conservation(trace in traces(), buffers in 3usize..8) {
+        let cfg = PipelineConfig::new(trace.rate_hz, buffers);
+        let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(buffers));
+        let report = Simulator::new(&cfg).run(&trace, &mut pacer);
+        prop_assert!(!report.truncated);
+        check_conservation(&trace, &report)?;
+        // DTV's first predictions are made before any present has been
+        // observed; a heavy opening frame can miss its optimistic slot
+        // without a countable jank (nothing was on screen yet), after which
+        // the elasticity resyncs. Steady state must be exact.
+        let warmup = (buffers + 2) as u64;
+        if report.janks.is_empty() {
+            for r in report.records.iter().filter(|r| r.seq >= warmup) {
+                prop_assert_eq!(
+                    r.content_error_ns(), 0,
+                    "no drops => frame {} displayed exactly at its D-Timestamp",
+                    r.seq
+                );
+            }
+        }
+        // Uniform pacing: D-Timestamps advance by exactly one period while
+        // no drop intervenes.
+        let period_ms = 1000.0 / trace.rate_hz as f64;
+        if report.janks.is_empty() {
+            for w in report
+                .records
+                .windows(2)
+                .skip_while(|w| w[0].seq < warmup)
+            {
+                let dt = w[1]
+                    .content_timestamp
+                    .saturating_since(w[0].content_timestamp)
+                    .as_millis_f64();
+                prop_assert!((dt - period_ms).abs() < 0.01, "step {dt} ms");
+            }
+        }
+    }
+
+    /// Determinism: identical runs produce identical reports.
+    #[test]
+    fn runs_are_deterministic(trace in traces()) {
+        let cfg = PipelineConfig::new(trace.rate_hz, 5);
+        let sim = Simulator::new(&cfg);
+        let a = sim.run(&trace, &mut DvsyncPacer::new(DvsyncConfig::with_buffers(5)));
+        let b = sim.run(&trace, &mut DvsyncPacer::new(DvsyncConfig::with_buffers(5)));
+        prop_assert_eq!(a.records, b.records);
+        prop_assert_eq!(a.janks, b.janks);
+    }
+
+    /// The latency metric is bounded below by the two-period pipeline for
+    /// every frame under D-VSync with an ideal clock.
+    #[test]
+    fn dvsync_latency_floor(trace in traces()) {
+        let cfg = PipelineConfig::new(trace.rate_hz, 6);
+        let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(6));
+        let report = Simulator::new(&cfg).run(&trace, &mut pacer);
+        let floor = 2.0 * 1000.0 / trace.rate_hz as f64;
+        for r in &report.records {
+            prop_assert!(
+                r.latency().as_millis_f64() >= floor - 0.01,
+                "frame {} latency {} under floor {}",
+                r.seq, r.latency(), floor
+            );
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Scene-to-simulator integration: workloads derived from actual UI content
+//! behave like the paper's measured traces end-to-end.
+
+use dvsync::prelude::*;
+use dvsync::render::{scenes, CostModel, Effect, NodeKind, Scene, SceneDriver, SceneNode};
+
+fn run_vsync(trace: &FrameTrace, buffers: usize) -> dvsync::metrics::RunReport {
+    let cfg = PipelineConfig::new(trace.rate_hz, buffers);
+    Simulator::new(&cfg).run(trace, &mut VsyncPacer::new())
+}
+
+fn run_dvsync(trace: &FrameTrace, buffers: usize) -> dvsync::metrics::RunReport {
+    let cfg = PipelineConfig::new(trace.rate_hz, buffers);
+    let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(buffers));
+    Simulator::new(&cfg).run(trace, &mut pacer)
+}
+
+#[test]
+fn notification_close_reproduces_the_papers_pattern() {
+    let trace = scenes::notification_center_close(120).trace();
+    let period = trace.period();
+
+    // Key frames are sporadic (a minority), not sustained: the §3.2 power
+    // law emerging from content.
+    let heavy = trace.frames.iter().filter(|f| f.total() > period).count();
+    let frac = heavy as f64 / trace.len() as f64;
+    assert!(
+        (0.02..0.30).contains(&frac),
+        "sporadic key frames: {heavy}/{} = {frac:.2}",
+        trace.len()
+    );
+
+    // And D-VSync absorbs what VSync drops.
+    let vsync = run_vsync(&trace, 3);
+    let dvsync = run_dvsync(&trace, 5);
+    assert!(vsync.janks.len() >= 3, "VSync janks: {}", vsync.janks.len());
+    assert!(
+        dvsync.janks.len() <= vsync.janks.len() / 2,
+        "D-VSync {} vs VSync {}",
+        dvsync.janks.len(),
+        vsync.janks.len()
+    );
+}
+
+#[test]
+fn scene_key_frames_are_blur_level_crossings() {
+    // The heavy frames coincide with the frosted backdrop crossing blur
+    // cache levels; counting level crossings bounds the key-frame count.
+    let trace = scenes::notification_center_close(120).trace();
+    let period = trace.period();
+    let heavy = trace.frames.iter().filter(|f| f.total() > period).count();
+    // 48 px of blur at 8 px per level: at most ~7 crossings (+first frame).
+    assert!(heavy <= 8, "at most one key frame per blur level: {heavy}");
+    assert!(heavy >= 3, "several crossings during the fade: {heavy}");
+}
+
+#[test]
+fn static_scene_never_janks_under_either_architecture() {
+    let mut scene = Scene::new(1080.0, 2340.0);
+    let root = scene.root();
+    for i in 0..8 {
+        scene.add_child(
+            root,
+            SceneNode::new(NodeKind::Rect, 900.0, 200.0).at(90.0, 60.0 + 260.0 * i as f64),
+        );
+    }
+    // No animations: after the first frame the scene settles entirely.
+    let trace = SceneDriver::new(scene, CostModel::default(), 60)
+        .with_name("static page")
+        .run(60);
+    assert_eq!(run_vsync(&trace, 3).janks.len(), 0);
+    assert_eq!(run_dvsync(&trace, 4).janks.len(), 0);
+}
+
+#[test]
+fn particle_scenes_burn_continuously() {
+    // A charging animation's particle system re-renders every frame; cost
+    // stays elevated even with no property animations.
+    let mut scene = Scene::new(1080.0, 2340.0);
+    let root = scene.root();
+    scene.add_child(
+        root,
+        SceneNode::new(NodeKind::Rect, 600.0, 600.0)
+            .at(240.0, 900.0)
+            .with_effect(Effect::Particles { count: 800 }),
+    );
+    let trace = SceneDriver::new(scene, CostModel::default(), 60)
+        .with_name("charging")
+        .run(30);
+    let first = trace.frames[1].total();
+    let later = trace.frames[25].total();
+    assert!(
+        later.as_millis_f64() > 0.7 * first.as_millis_f64(),
+        "particles keep the render stage busy: {first} vs {later}"
+    );
+}
+
+#[test]
+fn midrange_device_janks_where_flagship_does_not() {
+    // The same app-open animation on a ~1.8x slower SoC is the difference
+    // between nearly smooth and visibly janky — the device gap behind §3.1's
+    // "silicon advances can't keep pace" argument.
+    use dvsync::workload::FrameCost;
+    let flagship = scenes::app_open(120).trace();
+    let mut midrange = flagship.clone();
+    for f in &mut midrange.frames {
+        *f = FrameCost::new(f.ui.mul_f64(1.8), f.rs.mul_f64(1.8));
+    }
+    let fast = run_vsync(&flagship, 3);
+    let slow = run_vsync(&midrange, 3);
+    assert!(
+        slow.janks.len() > fast.janks.len(),
+        "midrange {} vs flagship {}",
+        slow.janks.len(),
+        fast.janks.len()
+    );
+}

@@ -1,0 +1,67 @@
+//! Serialisation round-trips across the workspace: every persistable type
+//! survives JSON encode/decode bit-for-bit, which the trace record/replay
+//! workflow and the repro harness's machine-readable output rely on.
+
+use dvsync::metrics::{RunReport, StutterModel};
+use dvsync::prelude::*;
+use dvsync::workload::scenarios;
+
+#[test]
+fn frame_trace_round_trips() {
+    let spec = ScenarioSpec::new("roundtrip", 90, 300, CostProfile::scattered(2.0));
+    let trace = spec.generate();
+    let json = trace.to_json().unwrap();
+    let back = FrameTrace::from_json(&json).unwrap();
+    assert_eq!(back, trace);
+}
+
+#[test]
+fn scenario_spec_round_trips() {
+    for spec in scenarios::android_app_suite().into_iter().take(3) {
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        // And a round-tripped spec generates the identical trace.
+        assert_eq!(back.generate(), spec.generate());
+    }
+}
+
+#[test]
+fn run_report_round_trips_with_full_fidelity() {
+    let spec = ScenarioSpec::new("report", 60, 240, CostProfile::scattered(3.0))
+        .with_paper_fdps(3.0);
+    let fitted = calibrate_spec(&spec, 3).spec;
+    let report = run_segmented(&fitted, 3, || Box::new(VsyncPacer::new()));
+    let json = serde_json::to_string(&report).unwrap();
+    let back: RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.records, report.records);
+    assert_eq!(back.janks, report.janks);
+    assert_eq!(back.fdps(), report.fdps());
+    // Derived metrics agree after the round trip.
+    let model = StutterModel::default();
+    assert_eq!(model.evaluate(&back), model.evaluate(&report));
+}
+
+#[test]
+fn config_types_round_trip() {
+    let cfg = PipelineConfig::new(120, 5).with_clock_noise(
+        250.0,
+        SimDuration::from_micros(100),
+        7,
+    );
+    let back: PipelineConfig =
+        serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
+    assert_eq!(back, cfg);
+
+    let dvs = DvsyncConfig::with_buffers(7).with_prerender_limit(4);
+    let back: DvsyncConfig =
+        serde_json::from_str(&serde_json::to_string(&dvs).unwrap()).unwrap();
+    assert_eq!(back, dvs);
+}
+
+#[test]
+fn malformed_trace_is_a_clean_error() {
+    let err = FrameTrace::from_json("{\"not\": \"a trace\"}").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("parse"), "{msg}");
+}
