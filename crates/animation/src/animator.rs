@@ -69,9 +69,7 @@ impl Animator {
     /// motion a perfectly paced display would show. Used by tests to check
     /// DTV's uniform-pacing guarantee.
     pub fn ideal_sequence(&self, period: SimDuration, n: usize) -> Vec<f64> {
-        (0..n)
-            .map(|i| self.sample(self.start + period * i as u64))
-            .collect()
+        (0..n).map(|i| self.sample(self.start + period * i as u64)).collect()
     }
 }
 

@@ -247,9 +247,7 @@ mod tests {
     #[test]
     fn bouncy_spring_overshoots() {
         let c = Spring::bouncy();
-        let peak = (0..=100)
-            .map(|i| c.value(i as f64 / 100.0))
-            .fold(f64::MIN, f64::max);
+        let peak = (0..=100).map(|i| c.value(i as f64 / 100.0)).fold(f64::MIN, f64::max);
         assert!(peak > 1.01, "bouncy spring should overshoot, peak {peak}");
     }
 

@@ -115,13 +115,7 @@ mod tests {
     fn fast_swipe() -> TouchStream {
         // ~1800 px in 410 ms with ease-out: peak velocity ≈ 8,800 px/s, the
         // regime where the paper's screenshot shows a ≈394 px trail at 45 ms.
-        swipe(
-            SimTime::ZERO,
-            (540.0, 2000.0),
-            (540.0, 200.0),
-            SimDuration::from_millis(410),
-            240,
-        )
+        swipe(SimTime::ZERO, (540.0, 2000.0), (540.0, 200.0), SimDuration::from_millis(410), 240)
     }
 
     #[test]
@@ -134,10 +128,7 @@ mod tests {
     fn figure7_45ms_trails_about_400px() {
         let trace = BallApp::new(60).run(&fast_swipe(), SimDuration::from_millis(45));
         let max = trace.max_displacement();
-        assert!(
-            (300.0..500.0).contains(&max),
-            "Figure 7 reports ≈394 px at 45 ms; got {max:.0}"
-        );
+        assert!((300.0..500.0).contains(&max), "Figure 7 reports ≈394 px at 45 ms; got {max:.0}");
     }
 
     #[test]
@@ -157,11 +148,7 @@ mod tests {
         let series = trace.displacement_series();
         assert!(series.len() >= 17, "Figure 7 plots 17 frames; got {}", series.len());
         // The trail grows then shrinks as the swipe decelerates.
-        let peak_idx = series
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak_idx = series.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0;
         assert!(peak_idx > 0 && peak_idx < series.len() - 1);
     }
 

@@ -148,8 +148,8 @@ impl ChromiumCompositor {
         for _ in 0..self.frames {
             // Main-thread commit: property trees, scroll offset updates.
             let ui_us = 300.0 + 150.0 * rng.next_f64();
-            let mut rs_us = page.layers as f64 * page.composite_us_per_layer
-                * (0.9 + 0.2 * rng.next_f64());
+            let mut rs_us =
+                page.layers as f64 * page.composite_us_per_layer * (0.9 + 0.2 * rng.next_f64());
             if rng.chance(page.raster_miss_rate) {
                 let (lo, hi) = page.miss_tiles;
                 let tiles = lo + rng.next_below((hi - lo + 1) as u64) as u32;
@@ -176,9 +176,7 @@ impl ChromiumCompositor {
             let mut dvsync = RunReport::new(page.name, self.rate_hz);
             for f in 0..flings {
                 let seed = (i as u64 + 1) * 1000 + f as u64;
-                let trace = self
-                    .with_frames(fling_frames)
-                    .fling_trace(page, seed);
+                let trace = self.with_frames(fling_frames).fling_trace(page, seed);
                 let base_cfg = PipelineConfig::new(self.rate_hz, 4);
                 vsync.absorb(Simulator::new(&base_cfg).run(&trace, &mut VsyncPacer::new()));
                 let dvs_cfg = PipelineConfig::new(self.rate_hz, 5);
@@ -199,11 +197,7 @@ mod tests {
     fn heavier_pages_cost_more() {
         let c = ChromiumCompositor::new(120).with_frames(2000);
         let total = |p: &WebPage| -> f64 {
-            c.fling_trace(p, 3)
-                .frames
-                .iter()
-                .map(|f| f.total().as_millis_f64())
-                .sum()
+            c.fling_trace(p, 3).frames.iter().map(|f| f.total().as_millis_f64()).sum()
         };
         assert!(total(&WebPage::sina()) > total(&WebPage::weather()));
     }

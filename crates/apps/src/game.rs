@@ -56,11 +56,7 @@ impl GameSimulation {
 
     /// Simulates one game under all three configurations.
     pub fn run_game(&self, spec: &ScenarioSpec) -> GameSimulationRow {
-        let spec = if self.skip_calibration {
-            spec.clone()
-        } else {
-            calibrate_spec(spec, 3).spec
-        };
+        let spec = if self.skip_calibration { spec.clone() } else { calibrate_spec(spec, 3).spec };
         let trace = spec.generate();
 
         let v3 = {
@@ -94,10 +90,8 @@ impl GameSimulation {
     /// Average FDPS reduction in percent for one configuration column.
     pub fn average_reduction(rows: &[GameSimulationRow], five_buffers: bool) -> f64 {
         let base: f64 = rows.iter().map(|r| r.vsync3_fdps).sum();
-        let dvs: f64 = rows
-            .iter()
-            .map(|r| if five_buffers { r.dvsync5_fdps } else { r.dvsync4_fdps })
-            .sum();
+        let dvs: f64 =
+            rows.iter().map(|r| if five_buffers { r.dvsync5_fdps } else { r.dvsync4_fdps }).sum();
         if base == 0.0 {
             0.0
         } else {

@@ -136,11 +136,8 @@ impl InteractiveStudy {
                     gesture.position_at(r.trigger).1
                 }
                 InputPolicy::DvsyncPredicted => {
-                    let history: Vec<(SimTime, f64)> = gesture
-                        .history_until(r.trigger)
-                        .iter()
-                        .map(|e| (e.t, e.y))
-                        .collect();
+                    let history: Vec<(SimTime, f64)> =
+                        gesture.history_until(r.trigger).iter().map(|e| (e.t, e.y)).collect();
                     predictor
                         .predict(&history, r.content_timestamp)
                         .unwrap_or_else(|| gesture.position_at(r.trigger).1)
@@ -215,14 +212,11 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: Vec<&str> = [
-            InputPolicy::VsyncSampled,
-            InputPolicy::DvsyncStale,
-            InputPolicy::DvsyncPredicted,
-        ]
-        .iter()
-        .map(|p| p.label())
-        .collect();
+        let labels: Vec<&str> =
+            [InputPolicy::VsyncSampled, InputPolicy::DvsyncStale, InputPolicy::DvsyncPredicted]
+                .iter()
+                .map(|p| p.label())
+                .collect();
         assert_eq!(labels.len(), 3);
         assert!(labels.iter().all(|l| !l.is_empty()));
     }

@@ -10,8 +10,7 @@
 //! while zooming (runtime switch), not while browsing.
 
 use dvs_core::{
-    Channel, DvsyncConfig, DvsyncRuntime, IplPredictor, IplRegistry, LinearFit,
-    PredictionQuality,
+    Channel, DvsyncConfig, DvsyncRuntime, IplPredictor, IplRegistry, LinearFit, PredictionQuality,
 };
 use dvs_input::{pinch, PinchStream};
 use dvs_metrics::RunReport;
@@ -127,7 +126,7 @@ impl MapApp {
             // Tile loads stay inside the 5-buffer absorption budget.
             long_max_periods: DvsyncConfig::with_buffers(5).absorption_budget_periods(),
             cluster_p: 0.05,
-        long_ui_spike_p: 0.15,
+            long_ui_spike_p: 0.15,
         };
         ScenarioSpec::new("map zoom", self.rate_hz, self.frames, cost)
             .with_determinism(Determinism::PredictableInteraction)

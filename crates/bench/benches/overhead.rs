@@ -3,8 +3,8 @@
 //! The paper measures 102.6 µs of combined FPE + DTV execution per frame on
 //! a smartphone little core, 1.2 % of a 120 Hz period. These benches measure
 //! the same decision path in this implementation (pure algorithmic cost, no
-//! binder/IPC): one full `plan_next` (FPE stage check + DTV slot assignment
-//! + timestamp computation), plus the DTV calibration observation, compared
+//! binder/IPC): one full `plan_next` (FPE stage check, DTV slot assignment,
+//! timestamp computation), plus the DTV calibration observation, compared
 //! against the baseline `VsyncPacer` decision.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};

@@ -93,9 +93,8 @@ fn single_key_frame_janks(buffers: usize, periods: f64) -> usize {
 
 /// Renders the limit sweep.
 pub fn render_limit_sweep(rows: &[LimitSweepRow]) -> String {
-    let mut out = String::from(
-        "Ablation — pre-render limit: absorption budget and residual FDPS\n",
-    );
+    let mut out =
+        String::from("Ablation — pre-render limit: absorption budget and residual FDPS\n");
     out.push_str(&format!(
         "{:>8} {:>7} {:>18} {:>8}\n",
         "buffers", "limit", "absorbs (periods)", "FDPS"
@@ -133,8 +132,8 @@ pub fn dtv_calibration_ablation() -> Vec<CalibrationRow> {
     [2u32, 4, 8, 32, 128, u32::MAX]
         .into_iter()
         .map(|every| {
-            let mut dtv = Dtv::new(SimDuration::from_nanos(16_666_667))
-                .with_calibration_interval(every);
+            let mut dtv =
+                Dtv::new(SimDuration::from_nanos(16_666_667)).with_calibration_interval(every);
             let mut worst: f64 = 0.0;
             for k in 0..600u64 {
                 dtv.observe_tick(k, SimTime::from_nanos(truth(k) as u64));
@@ -151,9 +150,8 @@ pub fn dtv_calibration_ablation() -> Vec<CalibrationRow> {
 
 /// Renders the calibration ablation.
 pub fn render_calibration(rows: &[CalibrationRow]) -> String {
-    let mut out = String::from(
-        "Ablation — DTV calibration cadence (800 ppm drift, ±100 us jitter)\n",
-    );
+    let mut out =
+        String::from("Ablation — DTV calibration cadence (800 ppm drift, ±100 us jitter)\n");
     out.push_str(&format!("{:>18} {:>18}\n", "calibrate every", "worst error (us)"));
     for r in rows {
         let every = if r.calibrate_every == u32::MAX {
@@ -183,8 +181,8 @@ pub struct SegmentationRow {
 /// deepened queue and catch up to D-VSync — the artifact DESIGN.md §3
 /// documents.
 pub fn segmentation_sensitivity() -> Vec<SegmentationRow> {
-    let base = ScenarioSpec::new("seg sense", 60, 1200, CostProfile::scattered(2.0))
-        .with_paper_fdps(2.5);
+    let base =
+        ScenarioSpec::new("seg sense", 60, 1200, CostProfile::scattered(2.0)).with_paper_fdps(2.5);
     let fitted = calibrate_spec(&base, 3).spec;
     [30usize, 60, 120, 300, 1200]
         .into_iter()
@@ -244,8 +242,7 @@ pub fn ipl_predictor_study() -> Vec<IplRow> {
         SimDuration::from_millis(900),
         240,
     );
-    let series: Vec<(SimTime, f64)> =
-        gesture.events().iter().map(|e| (e.t, e.y)).collect();
+    let series: Vec<(SimTime, f64)> = gesture.events().iter().map(|e| (e.t, e.y)).collect();
 
     let predictors: Vec<(&str, Box<dyn IplPredictor>)> = vec![
         ("linear-fit", Box::new(LinearFit::new(6))),
@@ -360,9 +357,8 @@ pub fn parallel_rendering_study() -> Vec<ParallelRow> {
 
 /// Renders the parallel-rendering study.
 pub fn render_parallel(rows: &[ParallelRow]) -> String {
-    let mut out = String::from(
-        "Ablation — parallel rendering vs decoupling (render-stage-heavy workload)\n",
-    );
+    let mut out =
+        String::from("Ablation — parallel rendering vs decoupling (render-stage-heavy workload)\n");
     out.push_str(&format!(
         "{:>14} {:>12} {:>14} {:>12}\n",
         "RS contexts", "VSync FDPS", "VSync latency", "D-V5 FDPS"
@@ -394,8 +390,8 @@ pub struct BufferingRow {
 /// The historical ladder: double buffering (pre-2012), Project Butter's
 /// triple buffering, and D-VSync — the decade of §2 in one table.
 pub fn buffering_history() -> Vec<BufferingRow> {
-    let spec = ScenarioSpec::new("history", 60, 1800, CostProfile::scattered(1.5))
-        .with_paper_fdps(2.0);
+    let spec =
+        ScenarioSpec::new("history", 60, 1800, CostProfile::scattered(1.5)).with_paper_fdps(2.0);
     let fitted = calibrate_spec(&spec, 3).spec;
 
     let mut rows = Vec::new();
@@ -425,10 +421,7 @@ pub fn render_buffering(rows: &[BufferingRow]) -> String {
     let mut out = String::from("Ablation — a decade of buffering architectures\n");
     out.push_str(&format!("{:<26} {:>8} {:>12}\n", "architecture", "FDPS", "latency"));
     for r in rows {
-        out.push_str(&format!(
-            "{:<26} {:>8.2} {:>10.1}ms\n",
-            r.architecture, r.fdps, r.latency_ms
-        ));
+        out.push_str(&format!("{:<26} {:>8.2} {:>10.1}ms\n", r.architecture, r.fdps, r.latency_ms));
     }
     out
 }
@@ -454,11 +447,7 @@ pub fn signal_offset_study() -> Vec<OffsetRow> {
     let fitted = calibrate_spec(&spec, 3).spec;
 
     let configs: Vec<(String, PipelineConfig, SimDuration)> = vec![
-        (
-            "immediate hand-off".into(),
-            PipelineConfig::new(60, 3),
-            SimDuration::ZERO,
-        ),
+        ("immediate hand-off".into(), PipelineConfig::new(60, 3), SimDuration::ZERO),
         (
             "rs signal @3 ms".into(),
             PipelineConfig::new(60, 3).with_rs_signal(SimDuration::from_millis(3)),
@@ -505,10 +494,7 @@ pub fn render_offsets(rows: &[OffsetRow]) -> String {
     let mut out = String::from("Ablation — classic software-VSync offset tuning\n");
     out.push_str(&format!("{:<28} {:>8} {:>12}\n", "configuration", "FDPS", "latency"));
     for r in rows {
-        out.push_str(&format!(
-            "{:<28} {:>8.2} {:>10.1}ms\n",
-            r.config, r.fdps, r.latency_ms
-        ));
+        out.push_str(&format!("{:<28} {:>8.2} {:>10.1}ms\n", r.config, r.fdps, r.latency_ms));
     }
     out
 }

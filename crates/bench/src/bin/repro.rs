@@ -3,11 +3,16 @@
 //!
 //! ```text
 //! repro --all               # everything (takes a minute or two)
+//! repro --all --jobs 4      # same results, four sweep workers
 //! repro --fig 11            # one figure
 //! repro --table 2           # one table
 //! repro --power --chromium  # named sections
 //! repro custom spec.json    # run a user-provided ScenarioSpec JSON
 //! ```
+//!
+//! `--jobs N` sets the sweep engine's worker count (default: available
+//! parallelism; `--jobs 1` forces the sequential reference path). Output is
+//! byte-identical for every job count — see `docs/sweep.md`.
 
 use std::env;
 use std::process::ExitCode;
@@ -128,13 +133,11 @@ fn jobs() -> Vec<Job> {
             run: || {
                 use dvs_core::{ContentionMode, ContentionSim};
                 use dvs_workload::{CostProfile, ScenarioSpec};
-                let a = ScenarioSpec::new("left app", 60, 600, CostProfile::scattered(1.0))
-                    .generate();
-                let b = ScenarioSpec::new("right app", 60, 600, CostProfile::scattered(1.0))
-                    .generate();
-                let mut out = String::from(
-                    "Multi-window contention: two apps on shared compute\n",
-                );
+                let a =
+                    ScenarioSpec::new("left app", 60, 600, CostProfile::scattered(1.0)).generate();
+                let b =
+                    ScenarioSpec::new("right app", 60, 600, CostProfile::scattered(1.0)).generate();
+                let mut out = String::from("Multi-window contention: two apps on shared compute\n");
                 out.push_str(&format!(
                     "{:>10} {:>14} {:>16}\n",
                     "capacity", "VSync janks", "D-VSync janks"
@@ -163,9 +166,8 @@ fn jobs() -> Vec<Job> {
             key: "scenes",
             describe: "scene-driven workloads (§3.1's effects as real content)",
             run: || {
-                let mut out = String::from(
-                    "Scene-driven traces (costs derived from actual UI content)\n",
-                );
+                let mut out =
+                    String::from("Scene-driven traces (costs derived from actual UI content)\n");
                 for driver in [
                     dvs_render::scenes::notification_center_close(120),
                     dvs_render::scenes::app_open(120),
@@ -173,8 +175,7 @@ fn jobs() -> Vec<Job> {
                 ] {
                     let trace = driver.trace();
                     let period = trace.period();
-                    let heavy =
-                        trace.frames.iter().filter(|f| f.total() > period).count();
+                    let heavy = trace.frames.iter().filter(|f| f.total() > period).count();
                     let vsync = {
                         let cfg = dvs_pipeline::PipelineConfig::new(120, 3);
                         dvs_pipeline::Simulator::new(&cfg)
@@ -182,9 +183,8 @@ fn jobs() -> Vec<Job> {
                     };
                     let dvsync = {
                         let cfg = dvs_pipeline::PipelineConfig::new(120, 5);
-                        let mut pacer = dvs_core::DvsyncPacer::new(
-                            dvs_core::DvsyncConfig::with_buffers(5),
-                        );
+                        let mut pacer =
+                            dvs_core::DvsyncPacer::new(dvs_core::DvsyncConfig::with_buffers(5));
                         dvs_pipeline::Simulator::new(&cfg).run(&trace, &mut pacer)
                     };
                     out.push_str(&format!(
@@ -276,7 +276,9 @@ fn usage(jobs: &[Job]) -> String {
     let mut out = String::from(
         "repro — regenerate the D-VSync paper's tables and figures\n\n\
          usage: repro --all | [--fig N]... [--table N]... [--cost] [--power] [--chromium]\n\
-         \x20      repro custom <scenario.json>   # run a ScenarioSpec under all configs\n\n\
+         \x20      repro custom <scenario.json>   # run a ScenarioSpec under all configs\n\
+         \x20      --jobs N   sweep worker count (default: available parallelism;\n\
+         \x20                 1 = sequential reference path; output identical for all N)\n\n\
          artefacts:\n",
     );
     for j in jobs {
@@ -336,6 +338,18 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 }
+            }
+            "jobs" | "j" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                if n == 0 {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+                sweep::set_default_jobs(n);
+                i += 1;
             }
             "fig" | "table" => {
                 if let Some(n) = args.get(i + 1) {

@@ -37,10 +37,7 @@ pub fn run() -> PixelTrend {
 pub fn render(r: &PixelTrend) -> String {
     let mut out = String::from("Fig. 3 — pixels to render per second (height × width × rate)\n");
     for (year, series, model, rate) in &r.points {
-        out.push_str(&format!(
-            "  {year}  {:<18} {:<20} {:>12.3e}\n",
-            series, model, *rate as f64
-        ));
+        out.push_str(&format!("  {year}  {:<18} {:<20} {:>12.3e}\n", series, model, *rate as f64));
     }
     out.push_str(&format!("  growth since 2010: {:.1}x (paper: ~25x)\n", r.growth));
     out

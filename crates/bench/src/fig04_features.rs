@@ -69,8 +69,7 @@ mod tests {
     #[test]
     fn cumulative_counts_grow() {
         let rows = run();
-        let android: Vec<_> =
-            rows.iter().filter(|r| r.release.starts_with("Android")).collect();
+        let android: Vec<_> = rows.iter().filter(|r| r.release.starts_with("Android")).collect();
         for w in android.windows(2) {
             assert!(w[1].cumulative > w[0].cumulative);
         }

@@ -6,6 +6,7 @@
 //! Pro (120 Hz, Vulkan) 7.0 % / 27.5 %.
 
 use crate::suite::run_vsync;
+use crate::sweep::SweepEngine;
 use dvs_pipeline::calibrate_spec;
 use dvs_workload::{scenarios, ScenarioSpec};
 use serde::{Deserialize, Serialize};
@@ -24,13 +25,10 @@ pub struct PlatformFd {
 }
 
 fn measure(platform: &str, specs: &[ScenarioSpec], baseline_buffers: usize) -> PlatformFd {
-    let fds: Vec<f64> = specs
-        .iter()
-        .map(|raw| {
-            let fitted = calibrate_spec(raw, baseline_buffers).spec;
-            run_vsync(&fitted, baseline_buffers).fd_fraction() * 100.0
-        })
-        .collect();
+    let fds: Vec<f64> = SweepEngine::with_default_jobs().run(specs.len(), |i| {
+        let fitted = calibrate_spec(&specs[i], baseline_buffers).spec;
+        run_vsync(&fitted, baseline_buffers).fd_fraction() * 100.0
+    });
     PlatformFd {
         platform: platform.to_string(),
         cases: specs.len(),
@@ -52,10 +50,7 @@ pub fn run() -> Vec<PlatformFd> {
 /// Renders the Figure 5 bars.
 pub fn render(rows: &[PlatformFd]) -> String {
     let mut out = String::from("Fig. 5 — frame drops as % of total display time (VSync)\n");
-    out.push_str(&format!(
-        "{:<36} {:>6} {:>8} {:>8}\n",
-        "platform", "cases", "avg FD%", "max FD%"
-    ));
+    out.push_str(&format!("{:<36} {:>6} {:>8} {:>8}\n", "platform", "cases", "avg FD%", "max FD%"));
     for r in rows {
         out.push_str(&format!(
             "{:<36} {:>6} {:>8.1} {:>8.1}\n",
@@ -85,7 +80,12 @@ mod tests {
         assert!(rows[2].avg_fd_percent > rows[0].avg_fd_percent);
         // Magnitudes in the paper's ballpark (single-digit percent averages).
         for r in &rows {
-            assert!((0.5..15.0).contains(&r.avg_fd_percent), "{}: {}", r.platform, r.avg_fd_percent);
+            assert!(
+                (0.5..15.0).contains(&r.avg_fd_percent),
+                "{}: {}",
+                r.platform,
+                r.avg_fd_percent
+            );
         }
     }
 }

@@ -35,10 +35,7 @@ pub fn run() -> Vec<AppDistribution> {
 /// Renders the stacked bars as rows.
 pub fn render(rows: &[AppDistribution]) -> String {
     let mut out = String::from("Fig. 6 — distribution of frames under VSync (3 buffers)\n");
-    out.push_str(&format!(
-        "{:<16} {:>8} {:>10} {:>8}\n",
-        "app", "drop%", "stuffing%", "direct%"
-    ));
+    out.push_str(&format!("{:<16} {:>8} {:>10} {:>8}\n", "app", "drop%", "stuffing%", "direct%"));
     let mut sum = FrameDistribution { direct: 0.0, stuffed: 0.0, dropped: 0.0 };
     for r in rows {
         let d = r.distribution;

@@ -21,15 +21,9 @@ pub struct BallResult {
 
 /// Runs the ball app over the characteristic fast swipe at a given latency.
 pub fn run(latency_ms: f64) -> BallResult {
-    let gesture = swipe(
-        SimTime::ZERO,
-        (540.0, 2000.0),
-        (540.0, 200.0),
-        SimDuration::from_millis(410),
-        240,
-    );
-    let trace: BallTrace =
-        BallApp::new(60).run(&gesture, SimDuration::from_millis_f64(latency_ms));
+    let gesture =
+        swipe(SimTime::ZERO, (540.0, 2000.0), (540.0, 200.0), SimDuration::from_millis(410), 240);
+    let trace: BallTrace = BallApp::new(60).run(&gesture, SimDuration::from_millis_f64(latency_ms));
     let max = trace.max_displacement();
     BallResult {
         series: trace.displacement_series(),
@@ -58,11 +52,7 @@ mod tests {
     #[test]
     fn max_lag_matches_paper() {
         let r = run(45.0);
-        assert!(
-            (300.0..500.0).contains(&r.max_displacement_px),
-            "{}",
-            r.max_displacement_px
-        );
+        assert!((300.0..500.0).contains(&r.max_displacement_px), "{}", r.max_displacement_px);
         assert!((1.8..3.0).contains(&r.max_displacement_cm));
     }
 

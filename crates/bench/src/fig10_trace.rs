@@ -38,8 +38,7 @@ pub fn run() -> TraceComparison {
     let trace = scripted_trace();
     let vsync = {
         let cfg = dvs_pipeline::PipelineConfig::new(60, 3);
-        dvs_pipeline::Simulator::new(&cfg)
-            .run(&trace, &mut dvs_pipeline::VsyncPacer::new())
+        dvs_pipeline::Simulator::new(&cfg).run(&trace, &mut dvs_pipeline::VsyncPacer::new())
     };
     let dvsync = {
         let cfg = dvs_pipeline::PipelineConfig::new(60, 5);
@@ -83,10 +82,7 @@ mod tests {
         // under VSync while D-VSync stays perfectly smooth.
         assert!(r.vsync.janks.len() >= 2, "vsync janks: {}", r.vsync.janks.len());
         let ticks: Vec<u64> = r.vsync.janks.iter().map(|j| j.tick).collect();
-        assert!(
-            ticks.windows(2).any(|w| w[1] == w[0] + 1),
-            "janks come in a row: {ticks:?}"
-        );
+        assert!(ticks.windows(2).any(|w| w[1] == w[0] + 1), "janks come in a row: {ticks:?}");
         assert_eq!(r.dvsync.janks.len(), 0);
     }
 

@@ -32,11 +32,7 @@ mod tests {
         let r = run();
         assert_eq!(r.rows.len(), 25);
         // Baseline calibration: the paper's 2.04 FDPS average.
-        assert!(
-            (r.avg_baseline() - 2.04).abs() < 0.6,
-            "baseline avg {}",
-            r.avg_baseline()
-        );
+        assert!((r.avg_baseline() - 2.04).abs() < 0.6, "baseline avg {}", r.avg_baseline());
         // Reductions grow with buffers and land near 71.6 / 87.7 / 97 %.
         let r4 = r.reduction_percent(0);
         let r5 = r.reduction_percent(1);
@@ -48,10 +44,6 @@ mod tests {
         // QQMusic resists: its 7-buffer FDPS stays well above the average.
         let qq = r.rows.iter().find(|x| x.name == "QQMusic").unwrap();
         let avg7 = r.avg_dvsync(2);
-        assert!(
-            qq.dvsync_fdps[2] > 2.0 * avg7,
-            "QQMusic {} vs avg {avg7}",
-            qq.dvsync_fdps[2]
-        );
+        assert!(qq.dvsync_fdps[2] > 2.0 * avg7, "QQMusic {} vs avg {avg7}", qq.dvsync_fdps[2]);
     }
 }

@@ -30,9 +30,14 @@ impl GamesResult {
     }
 }
 
-/// Runs the 15-game suite.
+/// Runs the 15-game suite, one sweep cell per game (calibration plus all
+/// three configurations), assembled in catalogue order.
 pub fn run() -> GamesResult {
-    GamesResult { rows: GameSimulation::new().run_suite() }
+    let games = dvs_workload::scenarios::game_suite();
+    let sim = GameSimulation::new();
+    let rows = crate::sweep::SweepEngine::with_default_jobs()
+        .run(games.len(), |i| sim.run_game(&games[i]));
+    GamesResult { rows }
 }
 
 /// Renders Figure 14's rows.

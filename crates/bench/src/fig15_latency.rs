@@ -65,30 +65,9 @@ fn measure(
 /// Measures mean rendering latency over each device's workload suite.
 pub fn run() -> Vec<DeviceLatency> {
     vec![
-        measure(
-            "Google Pixel 5 (60 Hz)",
-            60,
-            &scenarios::android_app_suite(),
-            3,
-            4,
-            (45.8, 31.2),
-        ),
-        measure(
-            "Mate 40 Pro (90 Hz)",
-            90,
-            &scenarios::mate40_gles_suite(),
-            3,
-            4,
-            (32.2, 22.3),
-        ),
-        measure(
-            "Mate 60 Pro (120 Hz)",
-            120,
-            &scenarios::mate60_gles_suite(),
-            3,
-            4,
-            (24.2, 16.8),
-        ),
+        measure("Google Pixel 5 (60 Hz)", 60, &scenarios::android_app_suite(), 3, 4, (45.8, 31.2)),
+        measure("Mate 40 Pro (90 Hz)", 90, &scenarios::mate40_gles_suite(), 3, 4, (32.2, 22.3)),
+        measure("Mate 60 Pro (120 Hz)", 120, &scenarios::mate60_gles_suite(), 3, 4, (24.2, 16.8)),
     ]
 }
 
@@ -148,11 +127,7 @@ mod tests {
     fn reduction_is_material() {
         for r in run() {
             let red = r.reduction_percent();
-            assert!(
-                (10.0..45.0).contains(&red),
-                "{}: paper ~31%, got {red:.1}%",
-                r.device
-            );
+            assert!((10.0..45.0).contains(&red), "{}: paper ~31%, got {red:.1}%", r.device);
         }
     }
 }

@@ -1,0 +1,364 @@
+//! Golden-baseline regression layer: canonical result summaries checked in
+//! as JSON under the repo-root `tests/golden/`, compared with explicit
+//! tolerances.
+//!
+//! The simulator is fully deterministic, so fresh runs normally match the
+//! goldens exactly; the tolerances exist to absorb *intentional* small
+//! algorithm changes without churning the files, while still failing loudly
+//! on real regressions (a scenario starting to drop frames, a reduction
+//! percentage sliding, latency drifting).
+//!
+//! Regenerating after an intentional behaviour change:
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test -p dvs-bench --test golden_baselines
+//! ```
+//!
+//! then review the diff like any other code change.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::suite::SuiteResult;
+use crate::suite75::Census;
+
+/// Absolute tolerances for golden comparisons.
+///
+/// Defaults are deliberately tight relative to the quantities' scales
+/// (FDPS values run 0–10, reductions 0–100 %): a real regression — one extra
+/// dropping scenario, a percent of reduction lost — exceeds them, while
+/// float-level noise from a refactor does not.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Tolerance {
+    /// Absolute FDPS slack per scenario and per average.
+    pub fdps: f64,
+    /// Absolute latency slack in milliseconds.
+    pub latency_ms: f64,
+    /// Absolute slack on reduction percentages.
+    pub reduction_pct: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance { fdps: 0.05, latency_ms: 0.1, reduction_pct: 1.0 }
+    }
+}
+
+/// One scenario's canonical numbers in a golden file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GoldenRow {
+    /// Figure-axis abbreviation (the row key).
+    pub abbrev: String,
+    /// Calibrated baseline FDPS.
+    pub baseline_fdps: f64,
+    /// D-VSync FDPS per buffer configuration.
+    pub dvsync_fdps: Vec<f64>,
+    /// Mean baseline rendering latency (ms).
+    pub baseline_latency_ms: f64,
+    /// Mean D-VSync rendering latency (ms), first configuration.
+    pub dvsync_latency_ms: f64,
+}
+
+/// The canonical summary of a [`SuiteResult`] stored as a golden file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GoldenSuite {
+    /// Suite label.
+    pub label: String,
+    /// Baseline buffer count.
+    pub baseline_buffers: usize,
+    /// D-VSync buffer counts measured.
+    pub dvsync_buffers: Vec<usize>,
+    /// Average baseline FDPS.
+    pub avg_baseline_fdps: f64,
+    /// FDPS reduction (%) per D-VSync configuration.
+    pub reductions_pct: Vec<f64>,
+    /// Per-scenario rows.
+    pub rows: Vec<GoldenRow>,
+}
+
+impl From<&SuiteResult> for GoldenSuite {
+    fn from(r: &SuiteResult) -> Self {
+        GoldenSuite {
+            label: r.label.clone(),
+            baseline_buffers: r.baseline_buffers,
+            dvsync_buffers: r.dvsync_buffers.clone(),
+            avg_baseline_fdps: r.avg_baseline(),
+            reductions_pct: (0..r.dvsync_buffers.len()).map(|i| r.reduction_percent(i)).collect(),
+            rows: r
+                .rows
+                .iter()
+                .map(|row| GoldenRow {
+                    abbrev: row.abbrev.clone(),
+                    baseline_fdps: row.baseline_fdps,
+                    dvsync_fdps: row.dvsync_fdps.clone(),
+                    baseline_latency_ms: row.baseline_latency_ms,
+                    dvsync_latency_ms: row.dvsync_latency_ms,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The canonical summary of the §3.2 census stored as a golden file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GoldenCensus {
+    /// One entry per platform configuration.
+    pub platforms: Vec<GoldenCensusRow>,
+}
+
+/// One platform's canonical census numbers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GoldenCensusRow {
+    /// Platform label.
+    pub platform: String,
+    /// Total cases (75).
+    pub total: usize,
+    /// Cases with at least one frame drop.
+    pub with_drops: usize,
+    /// Average FDPS over dropping cases.
+    pub avg_fdps_dropping: f64,
+    /// The paper's count.
+    pub paper_with_drops: usize,
+}
+
+impl GoldenCensus {
+    /// Summarises a census run.
+    pub fn from_rows(rows: &[Census]) -> Self {
+        GoldenCensus {
+            platforms: rows
+                .iter()
+                .map(|c| GoldenCensusRow {
+                    platform: c.platform.clone(),
+                    total: c.total,
+                    with_drops: c.with_drops,
+                    avg_fdps_dropping: c.avg_fdps_dropping,
+                    paper_with_drops: c.paper_with_drops,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The repo-root `tests/golden/` directory (canonical golden location).
+pub fn golden_dir() -> PathBuf {
+    // dvs-bench lives at <repo>/crates/bench.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// Whether this run should rewrite goldens instead of comparing.
+pub fn regen_requested() -> bool {
+    std::env::var_os("REGEN_GOLDEN").is_some_and(|v| v == "1")
+}
+
+fn near(actual: f64, golden: f64, tol: f64, what: &str, diffs: &mut Vec<String>) {
+    if (actual - golden).abs() > tol {
+        diffs.push(format!("{what}: actual {actual:.4} vs golden {golden:.4} (tol {tol})"));
+    }
+}
+
+/// Compares a suite summary against its golden within `tol`.
+///
+/// Returns every violation, not just the first, so a regression's scope is
+/// visible from one failure message.
+pub fn compare_suite(actual: &GoldenSuite, golden: &GoldenSuite, tol: Tolerance) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if actual.baseline_buffers != golden.baseline_buffers {
+        diffs.push(format!(
+            "baseline_buffers: {} vs {}",
+            actual.baseline_buffers, golden.baseline_buffers
+        ));
+    }
+    if actual.dvsync_buffers != golden.dvsync_buffers {
+        diffs.push(format!(
+            "dvsync_buffers: {:?} vs {:?}",
+            actual.dvsync_buffers, golden.dvsync_buffers
+        ));
+    }
+    near(actual.avg_baseline_fdps, golden.avg_baseline_fdps, tol.fdps, "avg baseline", &mut diffs);
+    for (i, (a, g)) in actual.reductions_pct.iter().zip(&golden.reductions_pct).enumerate() {
+        near(*a, *g, tol.reduction_pct, &format!("reduction[{i}]"), &mut diffs);
+    }
+    if actual.rows.len() != golden.rows.len() {
+        diffs.push(format!("row count: {} vs {}", actual.rows.len(), golden.rows.len()));
+        return diffs;
+    }
+    for (a, g) in actual.rows.iter().zip(&golden.rows) {
+        if a.abbrev != g.abbrev {
+            diffs.push(format!("row order: {} vs {}", a.abbrev, g.abbrev));
+            continue;
+        }
+        near(
+            a.baseline_fdps,
+            g.baseline_fdps,
+            tol.fdps,
+            &format!("{} baseline", a.abbrev),
+            &mut diffs,
+        );
+        for (i, (af, gf)) in a.dvsync_fdps.iter().zip(&g.dvsync_fdps).enumerate() {
+            near(*af, *gf, tol.fdps, &format!("{} dvsync[{i}]", a.abbrev), &mut diffs);
+        }
+        near(
+            a.baseline_latency_ms,
+            g.baseline_latency_ms,
+            tol.latency_ms,
+            &format!("{} base latency", a.abbrev),
+            &mut diffs,
+        );
+        near(
+            a.dvsync_latency_ms,
+            g.dvsync_latency_ms,
+            tol.latency_ms,
+            &format!("{} dvs latency", a.abbrev),
+            &mut diffs,
+        );
+    }
+    diffs
+}
+
+/// Compares a census summary against its golden. Counts must match exactly;
+/// the dropping-case FDPS average gets the FDPS tolerance.
+pub fn compare_census(actual: &GoldenCensus, golden: &GoldenCensus, tol: Tolerance) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if actual.platforms.len() != golden.platforms.len() {
+        diffs.push(format!(
+            "platform count: {} vs {}",
+            actual.platforms.len(),
+            golden.platforms.len()
+        ));
+        return diffs;
+    }
+    for (a, g) in actual.platforms.iter().zip(&golden.platforms) {
+        if a.platform != g.platform {
+            diffs.push(format!("platform order: {} vs {}", a.platform, g.platform));
+            continue;
+        }
+        if (a.total, a.with_drops, a.paper_with_drops)
+            != (g.total, g.with_drops, g.paper_with_drops)
+        {
+            diffs.push(format!(
+                "{}: {}/{} dropping (paper {}) vs golden {}/{} (paper {})",
+                a.platform,
+                a.with_drops,
+                a.total,
+                a.paper_with_drops,
+                g.with_drops,
+                g.total,
+                g.paper_with_drops
+            ));
+        }
+        near(
+            a.avg_fdps_dropping,
+            g.avg_fdps_dropping,
+            tol.fdps,
+            &format!("{} avg dropping FDPS", a.platform),
+            &mut diffs,
+        );
+    }
+    diffs
+}
+
+/// Checks `actual` against the golden at `path`, honouring `REGEN_GOLDEN=1`.
+///
+/// With regeneration requested the file is (re)written and the check passes;
+/// otherwise the golden is loaded and compared via `compare`. A missing
+/// golden is an error pointing at the regeneration command.
+pub fn check_against<T, F>(path: &Path, actual: &T, compare: F) -> Result<(), String>
+where
+    T: Serialize + serde::DeserializeOwned,
+    F: Fn(&T, &T) -> Vec<String>,
+{
+    if regen_requested() {
+        return write_golden(path, actual);
+    }
+    let text = fs::read_to_string(path).map_err(|e| {
+        format!(
+            "missing golden {}: {e}\nregenerate with REGEN_GOLDEN=1 cargo test -p dvs-bench",
+            path.display()
+        )
+    })?;
+    let golden: T =
+        serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    let diffs = compare(actual, &golden);
+    if diffs.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "golden mismatch against {} ({} violations):\n  {}\n\
+             if intentional, regenerate with REGEN_GOLDEN=1 and review the diff",
+            path.display(),
+            diffs.len(),
+            diffs.join("\n  ")
+        ))
+    }
+}
+
+/// Writes `value` as pretty JSON to `path`, creating parent directories.
+pub fn write_golden<T: Serialize>(path: &Path, value: &T) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
+    }
+    let mut text = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    text.push('\n');
+    fs::write(path, text).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GoldenSuite {
+        GoldenSuite {
+            label: "t".into(),
+            baseline_buffers: 3,
+            dvsync_buffers: vec![4, 5],
+            avg_baseline_fdps: 2.0,
+            reductions_pct: vec![70.0, 85.0],
+            rows: vec![GoldenRow {
+                abbrev: "App".into(),
+                baseline_fdps: 2.0,
+                dvsync_fdps: vec![0.6, 0.3],
+                baseline_latency_ms: 33.0,
+                dvsync_latency_ms: 35.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_suites_compare_clean() {
+        let g = sample();
+        assert!(compare_suite(&g, &g, Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn perturbation_beyond_tolerance_fails() {
+        let golden = sample();
+        let mut bad = sample();
+        bad.rows[0].baseline_fdps += 0.2; // 4× the 0.05 FDPS tolerance
+        let diffs = compare_suite(&bad, &golden, Tolerance::default());
+        assert_eq!(diffs.len(), 1, "{diffs:?}");
+        assert!(diffs[0].contains("App baseline"), "{diffs:?}");
+    }
+
+    #[test]
+    fn perturbation_within_tolerance_passes() {
+        let golden = sample();
+        let mut ok = sample();
+        ok.rows[0].baseline_fdps += 0.03;
+        ok.reductions_pct[1] += 0.5;
+        assert!(compare_suite(&ok, &golden, Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn golden_roundtrip_via_file() {
+        let dir = std::env::temp_dir().join("dvsync_golden_test");
+        let path = dir.join("roundtrip.json");
+        let g = sample();
+        write_golden(&path, &g).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        let back: GoldenSuite = serde_json::from_str(&text).unwrap();
+        assert!(compare_suite(&g, &back, Tolerance::default()).is_empty());
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -25,11 +25,14 @@ pub mod fig14_games;
 pub mod fig15_latency;
 pub mod fig16_map;
 pub mod fps_report;
+pub mod golden;
 pub mod power;
 pub mod sec66_chromium;
 pub mod suite;
 pub mod suite75;
+pub mod sweep;
 pub mod table1_devices;
 pub mod table2_stutters;
 
 pub use suite::{run_suite, SuiteResult, SuiteRow};
+pub use sweep::{run_suite_jobs, PacerKind, SweepCell, SweepEngine, SweepGrid};

@@ -13,10 +13,7 @@ pub fn run() -> ChromiumReport {
 /// Renders the per-page FDPS pairs.
 pub fn render(r: &ChromiumReport) -> String {
     let mut out = String::from("§6.6 — Chromium fling animations (tile compositor)\n");
-    out.push_str(&format!(
-        "{:<10} {:>9} {:>9}\n",
-        "page", "VSync", "D-VSync"
-    ));
+    out.push_str(&format!("{:<10} {:>9} {:>9}\n", "page", "VSync", "D-VSync"));
     for (name, v, d) in &r.pages {
         out.push_str(&format!("{:<10} {:>9.2} {:>9.2}\n", name, v.fdps(), d.fdps()));
     }
@@ -42,10 +39,6 @@ mod tests {
             "paper baseline 1.47, got {:.2}",
             r.vsync_fdps()
         );
-        assert!(
-            r.reduction_percent() > 75.0,
-            "paper 94.3%, got {:.1}%",
-            r.reduction_percent()
-        );
+        assert!(r.reduction_percent() > 75.0, "paper 94.3%, got {:.1}%", r.reduction_percent());
     }
 }

@@ -3,7 +3,7 @@
 
 use dvs_core::{DvsyncConfig, DvsyncPacer};
 use dvs_metrics::RunReport;
-use dvs_pipeline::{calibrate_spec, run_segmented, VsyncPacer};
+use dvs_pipeline::{run_segmented, VsyncPacer};
 use dvs_workload::ScenarioSpec;
 use serde::{Deserialize, Serialize};
 
@@ -65,10 +65,7 @@ impl SuiteResult {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("{}\n", self.label));
-        out.push_str(&format!(
-            "{:<24} {:>9} {:>9}",
-            "scenario", "paper", "VSync"
-        ));
+        out.push_str(&format!("{:<24} {:>9} {:>9}", "scenario", "paper", "VSync"));
         for b in &self.dvsync_buffers {
             out.push_str(&format!(" {:>9}", format!("D-V {b}buf")));
         }
@@ -85,10 +82,7 @@ impl SuiteResult {
             }
             out.push('\n');
         }
-        out.push_str(&format!(
-            "{:<24} {:>9} {:>9.2}",
-            "average", "", self.avg_baseline()
-        ));
+        out.push_str(&format!("{:<24} {:>9} {:>9.2}", "average", "", self.avg_baseline()));
         for i in 0..self.dvsync_buffers.len() {
             out.push_str(&format!(" {:>9.2}", self.avg_dvsync(i)));
         }
@@ -119,50 +113,29 @@ pub fn run_vsync(spec: &ScenarioSpec, buffers: usize) -> RunReport {
 
 /// Runs a D-VSync configuration over the scenario's animation segments.
 pub fn run_dvsync(spec: &ScenarioSpec, buffers: usize) -> RunReport {
-    run_segmented(spec, buffers, || {
-        Box::new(DvsyncPacer::new(DvsyncConfig::with_buffers(buffers)))
-    })
+    run_segmented(spec, buffers, || Box::new(DvsyncPacer::new(DvsyncConfig::with_buffers(buffers))))
 }
 
 /// Calibrates every scenario's baseline to its paper FDPS, then measures the
 /// baseline and each D-VSync buffer configuration on the calibrated trace.
+///
+/// Runs through the [sweep engine](crate::sweep) with the process-default
+/// job count ([`crate::sweep::default_jobs`]); results are byte-identical at
+/// every job count. Use [`crate::sweep::run_suite_jobs`] for an explicit
+/// worker count.
 pub fn run_suite(
     label: &str,
     specs: &[ScenarioSpec],
     baseline_buffers: usize,
     dvsync_buffers: &[usize],
 ) -> SuiteResult {
-    let rows = specs
-        .iter()
-        .map(|raw| {
-            let fitted = calibrate_spec(raw, baseline_buffers).spec;
-            let base = run_vsync(&fitted, baseline_buffers);
-            let mut dvs_fdps = Vec::with_capacity(dvsync_buffers.len());
-            let mut dvs_latency = 0.0;
-            for (i, &b) in dvsync_buffers.iter().enumerate() {
-                let rep = run_dvsync(&fitted, b);
-                if i == 0 {
-                    dvs_latency = rep.mean_latency_ms();
-                }
-                dvs_fdps.push(rep.fdps());
-            }
-            SuiteRow {
-                name: fitted.name.clone(),
-                abbrev: fitted.abbrev.clone(),
-                paper_fdps: fitted.paper_baseline_fdps,
-                baseline_fdps: base.fdps(),
-                dvsync_fdps: dvs_fdps,
-                baseline_latency_ms: base.mean_latency_ms(),
-                dvsync_latency_ms: dvs_latency,
-            }
-        })
-        .collect();
-    SuiteResult {
-        label: label.to_string(),
+    crate::sweep::run_suite_jobs(
+        label,
+        specs,
         baseline_buffers,
-        dvsync_buffers: dvsync_buffers.to_vec(),
-        rows,
-    }
+        dvsync_buffers,
+        crate::sweep::default_jobs(),
+    )
 }
 
 #[cfg(test)]

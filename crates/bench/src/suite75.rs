@@ -5,6 +5,7 @@
 //! frame rate — the industrial acceptance criterion.
 
 use crate::suite::run_vsync;
+use crate::sweep::SweepEngine;
 use dvs_pipeline::calibrate_spec;
 use dvs_workload::{scenarios, Backend, ScenarioSpec};
 use serde::{Deserialize, Serialize};
@@ -30,20 +31,16 @@ fn full_suite(dropping: &[ScenarioSpec], rate_hz: u32, backend: Backend) -> Vec<
     scenarios::os_use_case_catalog()
         .iter()
         .map(|case| {
-            dropping
-                .iter()
-                .find(|s| s.abbrev == case.abbrev)
-                .cloned()
-                .unwrap_or_else(|| {
-                    ScenarioSpec::new(
-                        format!("{} ({rate_hz}Hz {backend})", case.abbrev),
-                        rate_hz,
-                        3 * rate_hz as usize,
-                        dvs_workload::CostProfile::smooth(),
-                    )
-                    .with_abbrev(case.abbrev)
-                    .with_backend(backend)
-                })
+            dropping.iter().find(|s| s.abbrev == case.abbrev).cloned().unwrap_or_else(|| {
+                ScenarioSpec::new(
+                    format!("{} ({rate_hz}Hz {backend})", case.abbrev),
+                    rate_hz,
+                    3 * rate_hz as usize,
+                    dvs_workload::CostProfile::smooth(),
+                )
+                .with_abbrev(case.abbrev)
+                .with_backend(backend)
+            })
         })
         .collect()
 }
@@ -51,14 +48,19 @@ fn full_suite(dropping: &[ScenarioSpec], rate_hz: u32, backend: Backend) -> Vec<
 fn census(platform: &str, dropping: &[ScenarioSpec], rate_hz: u32, backend: Backend) -> Census {
     let paper_with_drops = dropping.len();
     let suite = full_suite(dropping, rate_hz, backend);
+    // One sweep cell per case: calibrate + baseline run, folded in case
+    // order afterwards so the census is independent of worker scheduling.
+    let per_case: Vec<(bool, f64)> = SweepEngine::with_default_jobs().run(suite.len(), |i| {
+        let fitted = calibrate_spec(&suite[i], 3).spec;
+        let report = run_vsync(&fitted, 3);
+        (!report.janks.is_empty(), report.fdps())
+    });
     let mut with_drops = 0usize;
     let mut fdps_sum = 0.0;
-    for raw in &suite {
-        let fitted = calibrate_spec(raw, 3).spec;
-        let report = run_vsync(&fitted, 3);
-        if !report.janks.is_empty() {
+    for (dropped, fdps) in per_case {
+        if dropped {
             with_drops += 1;
-            fdps_sum += report.fdps();
+            fdps_sum += fdps;
         }
     }
     Census {
@@ -73,18 +75,8 @@ fn census(platform: &str, dropping: &[ScenarioSpec], rate_hz: u32, backend: Back
 /// Runs the census on all three platform configurations.
 pub fn run() -> Vec<Census> {
     vec![
-        census(
-            "Mate 40 Pro (90 Hz, GLES)",
-            &scenarios::mate40_gles_suite(),
-            90,
-            Backend::Gles,
-        ),
-        census(
-            "Mate 60 Pro (120 Hz, GLES)",
-            &scenarios::mate60_gles_suite(),
-            120,
-            Backend::Gles,
-        ),
+        census("Mate 40 Pro (90 Hz, GLES)", &scenarios::mate40_gles_suite(), 90, Backend::Gles),
+        census("Mate 60 Pro (120 Hz, GLES)", &scenarios::mate60_gles_suite(), 120, Backend::Gles),
         census(
             "Mate 60 Pro (120 Hz, Vulkan)",
             &scenarios::mate60_vulkan_suite(),

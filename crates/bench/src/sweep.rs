@@ -1,0 +1,349 @@
+//! The parallel sweep engine: an explicit grid of (scenario × pacer ×
+//! buffer-count × refresh-rate) cells executed by a fixed-size worker pool,
+//! with results that are **byte-identical** to sequential execution.
+//!
+//! # Determinism guarantee
+//!
+//! Parallel and sequential sweeps produce identical [`SuiteResult`]s because
+//! nothing a worker computes depends on *which* worker computes it or *when*:
+//!
+//! 1. **Seeding** — every random stream is seeded by
+//!    [`dvs_sim::stable_seed`] over a stable textual key. Cells of the same
+//!    scenario deliberately share the scenario's trace seed (the paper's
+//!    methodology measures every configuration on the *same* trace), and that
+//!    key never includes worker ids, thread ids, timestamps, or queue order.
+//! 2. **Isolation** — a cell's work (calibration or one pacer run) touches
+//!    only its own spec and RNG stream; there is no shared mutable state
+//!    beyond the work queue's next-index counter.
+//! 3. **Placement** — each worker tags results with the cell index it pulled
+//!    from the queue, and the engine reassembles the output **by index**, so
+//!    completion order is irrelevant.
+//!
+//! `--jobs 1` (or [`SweepEngine::sequential`]) bypasses threads entirely and
+//! runs the same closures in index order — the reference path the parallel
+//! path is tested against byte-for-byte.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use dvs_metrics::RunReport;
+use dvs_pipeline::calibrate_spec;
+use dvs_workload::ScenarioSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::suite::{run_dvsync, run_vsync, SuiteResult, SuiteRow};
+
+/// Which pacing policy a cell measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacerKind {
+    /// The coupled VSync baseline.
+    Vsync,
+    /// The decoupled D-VSync pacer.
+    Dvsync,
+}
+
+impl PacerKind {
+    fn label(self) -> &'static str {
+        match self {
+            PacerKind::Vsync => "vsync",
+            PacerKind::Dvsync => "dvsync",
+        }
+    }
+}
+
+/// One unit of sweep work: a scenario measured under one pacer and buffer
+/// configuration at one refresh rate.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Index of the scenario in the grid's spec list.
+    pub spec_index: usize,
+    /// Scenario name (the trace-seed key).
+    pub scenario: String,
+    /// Pacing policy under test.
+    pub pacer: PacerKind,
+    /// Buffer count for this measurement.
+    pub buffers: usize,
+    /// Refresh rate in Hz.
+    pub rate_hz: u32,
+}
+
+impl SweepCell {
+    /// The cell's stable textual key, unique within a grid.
+    pub fn key(&self) -> String {
+        format!("{}|{}|{}buf|{}hz", self.scenario, self.pacer.label(), self.buffers, self.rate_hz)
+    }
+
+    /// The seed of the cell's trace stream.
+    ///
+    /// Cells of the same scenario share this seed **by design**: the paper's
+    /// comparisons run every configuration on the same calibrated trace, so
+    /// the trace stream is keyed by the scenario component of the cell key
+    /// only. It equals `ScenarioSpec::new(scenario, ..).seed`.
+    pub fn trace_seed(&self) -> u64 {
+        dvs_sim::stable_seed(&self.scenario)
+    }
+}
+
+/// An explicit grid of sweep cells plus the configurations that shaped it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepGrid {
+    /// Baseline (VSync) buffer count.
+    pub baseline_buffers: usize,
+    /// D-VSync buffer counts, in measurement order.
+    pub dvsync_buffers: Vec<usize>,
+    /// The cells, in deterministic (scenario-major) order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepGrid {
+    /// Builds the suite grid: per scenario, one VSync baseline cell followed
+    /// by one D-VSync cell per buffer configuration.
+    pub fn for_suite(
+        specs: &[ScenarioSpec],
+        baseline_buffers: usize,
+        dvsync_buffers: &[usize],
+    ) -> Self {
+        let mut cells = Vec::with_capacity(specs.len() * (1 + dvsync_buffers.len()));
+        for (spec_index, spec) in specs.iter().enumerate() {
+            cells.push(SweepCell {
+                spec_index,
+                scenario: spec.name.clone(),
+                pacer: PacerKind::Vsync,
+                buffers: baseline_buffers,
+                rate_hz: spec.rate_hz,
+            });
+            for &b in dvsync_buffers {
+                cells.push(SweepCell {
+                    spec_index,
+                    scenario: spec.name.clone(),
+                    pacer: PacerKind::Dvsync,
+                    buffers: b,
+                    rate_hz: spec.rate_hz,
+                });
+            }
+        }
+        SweepGrid { baseline_buffers, dvsync_buffers: dvsync_buffers.to_vec(), cells }
+    }
+
+    /// Cells per scenario (baseline + one per D-VSync configuration).
+    pub fn cells_per_scenario(&self) -> usize {
+        1 + self.dvsync_buffers.len()
+    }
+}
+
+// ---- Job-count control -----------------------------------------------------
+
+/// Process-wide default worker count; 0 means "ask the OS".
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default job count used by [`default_jobs`].
+///
+/// `0` restores "available parallelism". The `repro` CLI calls this from
+/// `--jobs N`; library callers normally pass an explicit count instead.
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::SeqCst);
+}
+
+/// The job count sweeps use when none is given explicitly: the value set via
+/// [`set_default_jobs`], else the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    match DEFAULT_JOBS.load(Ordering::SeqCst) {
+        0 => thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+// ---- The engine ------------------------------------------------------------
+
+/// A fixed-size worker pool that maps an index range through a closure and
+/// returns the results **in index order**, regardless of completion order.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepEngine {
+    jobs: usize,
+}
+
+impl SweepEngine {
+    /// An engine with `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        SweepEngine { jobs: jobs.max(1) }
+    }
+
+    /// The single-threaded reference engine.
+    pub fn sequential() -> Self {
+        SweepEngine { jobs: 1 }
+    }
+
+    /// An engine with the process default job count ([`default_jobs`]).
+    pub fn with_default_jobs() -> Self {
+        SweepEngine::new(default_jobs())
+    }
+
+    /// The worker count this engine runs with.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `f(0..n)` and returns the results indexed `0..n`.
+    ///
+    /// With one worker (or one item) this is a plain sequential loop — the
+    /// reference path. Otherwise `min(jobs, n)` scoped threads pull indices
+    /// from a shared atomic counter (work stealing at index granularity) and
+    /// push `(index, result)` pairs; the engine then slots results by index,
+    /// which makes the output independent of scheduling.
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.jobs == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+        thread::scope(|scope| {
+            for _ in 0..self.jobs.min(n) {
+                scope.spawn(|| {
+                    // Each worker buffers locally and merges once at the end
+                    // so the shared lock is touched once per worker, not per
+                    // cell.
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    collected.lock().expect("sweep worker poisoned").extend(local);
+                });
+            }
+        });
+        let mut tagged = collected.into_inner().expect("sweep results poisoned");
+        debug_assert_eq!(tagged.len(), n);
+        tagged.sort_by_key(|(i, _)| *i);
+        tagged.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+// ---- The suite sweep -------------------------------------------------------
+
+/// Calibrates and measures a suite through the sweep engine.
+///
+/// Semantics are identical to the sequential runner this replaced: each
+/// scenario's baseline is calibrated to its paper FDPS, then the baseline and
+/// every D-VSync buffer configuration run on the calibrated trace. Both the
+/// calibration pass and the measurement grid are parallelised; results are
+/// byte-identical for every `jobs` value.
+pub fn run_suite_jobs(
+    label: &str,
+    specs: &[ScenarioSpec],
+    baseline_buffers: usize,
+    dvsync_buffers: &[usize],
+    jobs: usize,
+) -> SuiteResult {
+    let engine = SweepEngine::new(jobs);
+
+    // Pass 1: one calibration cell per scenario (the bisection dominates a
+    // suite's cost, so it parallelises first and independently).
+    let fitted: Vec<ScenarioSpec> =
+        engine.run(specs.len(), |i| calibrate_spec(&specs[i], baseline_buffers).spec);
+
+    // Pass 2: the measurement grid over the calibrated specs.
+    let grid = SweepGrid::for_suite(&fitted, baseline_buffers, dvsync_buffers);
+    let reports: Vec<RunReport> = engine.run(grid.cells.len(), |i| {
+        let cell = &grid.cells[i];
+        let spec = &fitted[cell.spec_index];
+        match cell.pacer {
+            PacerKind::Vsync => run_vsync(spec, cell.buffers),
+            PacerKind::Dvsync => run_dvsync(spec, cell.buffers),
+        }
+    });
+
+    // Assemble rows in scenario order from the index-stable report slots.
+    let per = grid.cells_per_scenario();
+    let rows = fitted
+        .iter()
+        .enumerate()
+        .map(|(s, spec)| {
+            let base = &reports[s * per];
+            let dvs = &reports[s * per + 1..(s + 1) * per];
+            SuiteRow {
+                name: spec.name.clone(),
+                abbrev: spec.abbrev.clone(),
+                paper_fdps: spec.paper_baseline_fdps,
+                baseline_fdps: base.fdps(),
+                dvsync_fdps: dvs.iter().map(RunReport::fdps).collect(),
+                baseline_latency_ms: base.mean_latency_ms(),
+                dvsync_latency_ms: dvs.first().map(|r| r.mean_latency_ms()).unwrap_or(0.0),
+            }
+        })
+        .collect();
+    SuiteResult {
+        label: label.to_string(),
+        baseline_buffers,
+        dvsync_buffers: dvsync_buffers.to_vec(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_workload::CostProfile;
+
+    #[test]
+    fn engine_output_is_index_ordered() {
+        let seq = SweepEngine::sequential().run(17, |i| i * i);
+        let par = SweepEngine::new(4).run(17, |i| i * i);
+        assert_eq!(seq, par);
+        assert_eq!(seq, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn engine_handles_degenerate_sizes() {
+        assert!(SweepEngine::new(8).run(0, |i| i).is_empty());
+        assert_eq!(SweepEngine::new(8).run(1, |i| i + 1), vec![1]);
+        // More workers than items.
+        assert_eq!(SweepEngine::new(64).run(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cell_seed_matches_scenario_seed() {
+        let spec = ScenarioSpec::new("Walmart", 60, 600, CostProfile::scattered(1.0));
+        let grid = SweepGrid::for_suite(std::slice::from_ref(&spec), 3, &[4, 5]);
+        assert_eq!(grid.cells.len(), 3);
+        for cell in &grid.cells {
+            assert_eq!(cell.trace_seed(), spec.seed, "{}", cell.key());
+        }
+        // Keys are unique within the grid.
+        let mut keys: Vec<String> = grid.cells.iter().map(SweepCell::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), grid.cells.len());
+    }
+
+    #[test]
+    fn suite_sweep_matches_sequential_byte_for_byte() {
+        let specs = vec![
+            ScenarioSpec::new("sweep a", 60, 600, CostProfile::scattered(1.0)).with_paper_fdps(2.0),
+            ScenarioSpec::new("sweep b", 60, 600, CostProfile::scattered(1.5)).with_paper_fdps(1.0),
+            ScenarioSpec::new("sweep c", 90, 450, CostProfile::clustered(1.0)).with_paper_fdps(3.0),
+        ];
+        let seq = run_suite_jobs("t", &specs, 3, &[4, 5], 1);
+        let par = run_suite_jobs("t", &specs, 3, &[4, 5], 4);
+        let a = serde_json::to_string(&seq).unwrap();
+        let b = serde_json::to_string(&par).unwrap();
+        assert_eq!(a, b, "parallel sweep must be byte-identical to sequential");
+    }
+
+    #[test]
+    fn default_jobs_is_settable_and_restorable() {
+        let machine = default_jobs();
+        assert!(machine >= 1);
+        set_default_jobs(3);
+        assert_eq!(default_jobs(), 3);
+        set_default_jobs(0);
+        assert_eq!(default_jobs(), machine);
+    }
+}

@@ -1,0 +1,64 @@
+//! Golden-baseline regression tests: canonical result summaries are checked
+//! in under the repo-root `tests/golden/` and fresh runs must match them
+//! within the documented tolerances ([`dvs_bench::golden::Tolerance`]).
+//!
+//! Regenerate after an intentional behaviour change with
+//! `REGEN_GOLDEN=1 cargo test -p dvs-bench --test golden_baselines`,
+//! then review the JSON diff.
+
+use dvs_bench::golden::{
+    check_against, compare_census, compare_suite, golden_dir, write_golden, GoldenCensus,
+    GoldenSuite, Tolerance,
+};
+use dvs_bench::{fig11_apps, suite75};
+
+/// §3.2 census: Mate 40 Pro 9/75 dropping, Mate 60 Pro 20/75 (GLES) and
+/// 29/75 (Vulkan), plus each platform's dropping-case FDPS average.
+#[test]
+fn census_matches_golden() {
+    let actual = GoldenCensus::from_rows(&suite75::run());
+    check_against(&golden_dir().join("suite75_census.json"), &actual, |a, g| {
+        compare_census(a, g, Tolerance::default())
+    })
+    .unwrap();
+}
+
+/// Figure 11's 25-app Pixel 5 suite: per-app FDPS under VSync 3 buf and
+/// D-VSync 4/5/7 buf, latency means, and the headline reduction percentages.
+#[test]
+fn apps_suite_matches_golden() {
+    let actual = GoldenSuite::from(&fig11_apps::run());
+    check_against(&golden_dir().join("apps_pixel5.json"), &actual, |a, g| {
+        compare_suite(a, g, Tolerance::default())
+    })
+    .unwrap();
+}
+
+/// The regeneration escape hatch round-trips: writing a summary and loading
+/// it back compares clean, so `REGEN_GOLDEN=1` always leaves a passing tree.
+#[test]
+fn regen_roundtrip_leaves_passing_golden() {
+    let dir = std::env::temp_dir().join("dvsync_golden_regen");
+    let path = dir.join("mate40_roundtrip.json");
+    let actual = GoldenSuite::from(&dvs_bench::fig12_13_oscases::run_fig13_mate40());
+    write_golden(&path, &actual).unwrap();
+    check_against(&path, &actual, |a, g| compare_suite(a, g, Tolerance::default())).unwrap();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// An injected FDPS perturbation beyond tolerance must fail the comparator
+/// against the checked-in golden (the acceptance criterion for the layer).
+#[test]
+fn injected_perturbation_fails_golden() {
+    let path = golden_dir().join("apps_pixel5.json");
+    if dvs_bench::golden::regen_requested() || !path.exists() {
+        // Nothing to perturb against while regenerating a fresh tree.
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut perturbed: GoldenSuite = serde_json::from_str(&text).unwrap();
+    perturbed.rows[0].baseline_fdps += 10.0 * Tolerance::default().fdps;
+    let err = check_against(&path, &perturbed, |a, g| compare_suite(a, g, Tolerance::default()))
+        .unwrap_err();
+    assert!(err.contains("golden mismatch"), "{err}");
+}

@@ -35,12 +35,7 @@ pub struct BufferMemory {
 
 impl BufferMemory {
     /// Computes the footprint of `buffer_count` full-screen buffers.
-    pub fn for_config(
-        width: u32,
-        height: u32,
-        format: PixelFormat,
-        buffer_count: usize,
-    ) -> Self {
+    pub fn for_config(width: u32, height: u32, format: PixelFormat, buffer_count: usize) -> Self {
         let bytes = buffer_bytes(width, height, format);
         BufferMemory {
             buffer_count,
@@ -112,13 +107,7 @@ mod tests {
 
     #[test]
     fn extra_memory_zero_when_baseline_covers() {
-        assert_eq!(
-            extra_memory_bytes(1344, 2772, PixelFormat::Rgba8888, 4, 4),
-            0
-        );
-        assert_eq!(
-            extra_memory_bytes(1344, 2772, PixelFormat::Rgba8888, 5, 4),
-            0
-        );
+        assert_eq!(extra_memory_bytes(1344, 2772, PixelFormat::Rgba8888, 4, 4), 0);
+        assert_eq!(extra_memory_bytes(1344, 2772, PixelFormat::Rgba8888, 5, 4), 0);
     }
 }

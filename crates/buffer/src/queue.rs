@@ -198,16 +198,8 @@ impl BufferQueue {
     ///
     /// Returns [`QueueError::NotDequeued`] if the slot was not previously
     /// dequeued, or [`QueueError::UnknownSlot`] if it does not exist.
-    pub fn queue(
-        &mut self,
-        slot: SlotId,
-        meta: FrameMeta,
-        now: SimTime,
-    ) -> Result<(), QueueError> {
-        let state = self
-            .slots
-            .get_mut(slot.0)
-            .ok_or(QueueError::UnknownSlot(slot))?;
+    pub fn queue(&mut self, slot: SlotId, meta: FrameMeta, now: SimTime) -> Result<(), QueueError> {
+        let state = self.slots.get_mut(slot.0).ok_or(QueueError::UnknownSlot(slot))?;
         if *state != SlotState::Dequeued {
             return Err(QueueError::NotDequeued(slot));
         }
@@ -272,11 +264,7 @@ impl BufferQueue {
         let fronts = self.slots.iter().filter(|s| **s == SlotState::Front).count();
         assert!(fronts <= 1, "more than one front buffer");
         assert_eq!(fronts == 1, self.front.is_some());
-        let queued = self
-            .slots
-            .iter()
-            .filter(|s| matches!(s, SlotState::Queued { .. }))
-            .count();
+        let queued = self.slots.iter().filter(|s| matches!(s, SlotState::Queued { .. })).count();
         assert_eq!(queued, self.fifo.len(), "fifo out of sync with slot states");
         assert!(self.fifo.len() <= self.capacity());
         // FIFO entries must be distinct and queued.
@@ -381,14 +369,10 @@ mod tests {
         q.queue(s, meta(0), SimTime::from_millis(10)).unwrap();
         // Latch: only buffers queued before 5 ms may be shown.
         let latch = SimTime::from_millis(5);
-        assert!(q
-            .acquire_if(SimTime::from_millis(16), |_, at| at <= latch)
-            .is_none());
+        assert!(q.acquire_if(SimTime::from_millis(16), |_, at| at <= latch).is_none());
         assert_eq!(q.queued_len(), 1, "rejected buffer stays queued");
         let latch = SimTime::from_millis(15);
-        assert!(q
-            .acquire_if(SimTime::from_millis(16), |_, at| at <= latch)
-            .is_some());
+        assert!(q.acquire_if(SimTime::from_millis(16), |_, at| at <= latch).is_some());
     }
 
     #[test]

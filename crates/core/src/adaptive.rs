@@ -123,7 +123,10 @@ impl AdaptiveSession {
 
 /// Runs a scenario segment by segment, re-recommending the pre-render limit
 /// from each segment's observed costs before the next begins.
-pub fn run_adaptive_session(spec: &ScenarioSpec, controller: &mut AdaptiveLimit) -> AdaptiveSession {
+pub fn run_adaptive_session(
+    spec: &ScenarioSpec,
+    controller: &mut AdaptiveLimit,
+) -> AdaptiveSession {
     let mut merged = RunReport::new(spec.name.clone(), spec.rate_hz);
     let mut limits = Vec::new();
     for segment in spec.generate_segments() {
@@ -191,9 +194,8 @@ mod tests {
 
         let mut ctl = AdaptiveLimit::new(2, 6);
         let adaptive = run_adaptive_session(&fitted, &mut ctl);
-        let fixed = run_segmented(&fitted, 7, || {
-            Box::new(DvsyncPacer::new(DvsyncConfig::with_buffers(7)))
-        });
+        let fixed =
+            run_segmented(&fitted, 7, || Box::new(DvsyncPacer::new(DvsyncConfig::with_buffers(7))));
 
         // Similar smoothness…
         assert!(

@@ -58,11 +58,7 @@ impl DvsyncConfig {
     /// of accumulation room.
     pub fn with_buffers(buffer_count: usize) -> Self {
         assert!(buffer_count >= 3, "D-VSync needs at least 3 buffers");
-        DvsyncConfig {
-            buffer_count,
-            prerender_limit: buffer_count - 1,
-            calibrate_every: 4,
-        }
+        DvsyncConfig { buffer_count, prerender_limit: buffer_count - 1, calibrate_every: 4 }
     }
 
     /// The paper's default shipping configuration: 4 buffers.
@@ -296,8 +292,7 @@ mod tests {
         assert_eq!(session.merged.records.len(), 540);
         // The decoupled phase drops no more than the classic phases.
         assert!(
-            session.phases[1].report.janks.len()
-                <= session.phases[0].report.janks.len().max(1)
+            session.phases[1].report.janks.len() <= session.phases[0].report.janks.len().max(1)
         );
     }
 

@@ -183,8 +183,7 @@ impl ContentionSim {
 
             // Panel consumption per app.
             for (i, app) in apps.iter_mut().enumerate() {
-                let expected =
-                    app.first_present.is_some() && app.presented < traces[i].len();
+                let expected = app.first_present.is_some() && app.presented < traces[i].len();
                 match app.panel.on_vsync(&mut app.queue, now) {
                     PanelOutcome::Presented(buf) => {
                         presented += 1;
@@ -233,11 +232,8 @@ impl ContentionSim {
                     || app.records.iter().any(|r| r.present_tick == u64::MAX);
                 report.max_queued = app.queue.max_queued_observed();
                 // Keep only presented frames, in present order.
-                let mut records: Vec<FrameRecord> = app
-                    .records
-                    .into_iter()
-                    .filter(|r| r.present_tick != u64::MAX)
-                    .collect();
+                let mut records: Vec<FrameRecord> =
+                    app.records.into_iter().filter(|r| r.present_tick != u64::MAX).collect();
                 records.sort_by_key(|r| r.present_tick);
                 report.records = records;
                 report.janks = app.janks;
@@ -280,11 +276,7 @@ impl ContentionSim {
             return;
         }
         let queued = app.queue.queued_len();
-        let may = app
-            .fpe
-            .as_mut()
-            .expect("dvsync mode has an FPE")
-            .may_start(queued, 0);
+        let may = app.fpe.as_mut().expect("dvsync mode has an FPE").may_start(queued, 0);
         if may {
             Self::start(app, trace, now, tick, period, true);
         }
@@ -382,8 +374,7 @@ mod tests {
     #[test]
     fn single_app_smooth_baseline() {
         let a = trace("solo", 240, 0.0);
-        let reports =
-            ContentionSim::new(60, 1.0).run(&[&a], ContentionMode::Vsync { buffers: 3 });
+        let reports = ContentionSim::new(60, 1.0).run(&[&a], ContentionMode::Vsync { buffers: 3 });
         assert_eq!(reports.len(), 1);
         assert!(!reports[0].truncated);
         assert_eq!(reports[0].janks.len(), 0);
@@ -398,11 +389,7 @@ mod tests {
 
         let solo: usize = [&a, &b]
             .iter()
-            .map(|t| {
-                sim.run(&[*t], ContentionMode::Vsync { buffers: 3 })[0]
-                    .janks
-                    .len()
-            })
+            .map(|t| sim.run(&[*t], ContentionMode::Vsync { buffers: 3 })[0].janks.len())
             .sum();
         let together: usize = sim
             .run(&[&a, &b], ContentionMode::Vsync { buffers: 3 })

@@ -81,11 +81,8 @@ impl FpeState {
         let ahead = queued + in_flight;
         let allowed = ahead < self.prerender_limit;
         let effective = ahead + usize::from(allowed);
-        let next_stage = if effective >= self.prerender_limit {
-            FpeStage::Sync
-        } else {
-            FpeStage::Accumulation
-        };
+        let next_stage =
+            if effective >= self.prerender_limit { FpeStage::Sync } else { FpeStage::Accumulation };
         if next_stage != self.stage {
             self.stage = next_stage;
             match next_stage {

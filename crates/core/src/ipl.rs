@@ -152,18 +152,17 @@ impl IplPredictor for PolyFit2 {
             sxxy += x2 * v;
         }
         // Solve the 3x3 system by Cramer's rule.
-        let det = s0 * (s2 * s4 - s3 * s3) - s1 * (s1 * s4 - s3 * s2)
-            + s2 * (s1 * s3 - s2 * s2);
+        let det = s0 * (s2 * s4 - s3 * s3) - s1 * (s1 * s4 - s3 * s2) + s2 * (s1 * s3 - s2 * s2);
         if det.abs() < 1e-18 {
             // Degenerate geometry: fall back to a line.
             return LinearFit::new(2).predict(tail, target);
         }
-        let da = sy * (s2 * s4 - s3 * s3) - s1 * (sxy * s4 - s3 * sxxy)
-            + s2 * (sxy * s3 - s2 * sxxy);
-        let db = s0 * (sxy * s4 - sxxy * s3) - sy * (s1 * s4 - s3 * s2)
-            + s2 * (s1 * sxxy - s2 * sxy);
-        let dc = s0 * (s2 * sxxy - s3 * sxy) - s1 * (s1 * sxxy - sxy * s2)
-            + sy * (s1 * s3 - s2 * s2);
+        let da =
+            sy * (s2 * s4 - s3 * s3) - s1 * (sxy * s4 - s3 * sxxy) + s2 * (sxy * s3 - s2 * sxxy);
+        let db =
+            s0 * (sxy * s4 - sxxy * s3) - sy * (s1 * s4 - s3 * s2) + s2 * (s1 * sxxy - s2 * sxy);
+        let dc =
+            s0 * (s2 * sxxy - s3 * sxy) - s1 * (s1 * sxxy - sxy * s2) + sy * (s1 * s3 - s2 * s2);
         let (a, b, c) = (da / det, db / det, dc / det);
         let x = target.saturating_since(t0).as_secs_f64();
         Some(a + b * x + c * x * x)
@@ -231,9 +230,7 @@ impl IplPredictor for MarkovPredictor {
         }
         let (lo, hi) = velocities
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-                (lo.min(v), hi.max(v))
-            });
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
         let span = (hi - lo).max(1e-9);
         let bucket = |v: f64| {
             (((v - lo) / span) * (self.states as f64 - 1.0)).round() as usize % self.states
@@ -245,11 +242,7 @@ impl IplPredictor for MarkovPredictor {
         let mut sums = vec![0.0f64; self.states];
         let mut counts = vec![0u32; self.states];
         for w in velocities.windows(2) {
-            let ratio = if w[0].abs() < 1e-9 {
-                1.0
-            } else {
-                (w[1] / w[0]).clamp(-3.0, 3.0)
-            };
+            let ratio = if w[0].abs() < 1e-9 { 1.0 } else { (w[1] / w[0]).clamp(-3.0, 3.0) };
             let s = bucket(w[0]);
             sums[s] += ratio;
             counts[s] += 1;
@@ -277,11 +270,7 @@ impl IplPredictor for MarkovPredictor {
         let mut pos = last_pos;
         for _ in 0..self.steps {
             let r = expected_ratio(v);
-            let scaled = if sample_dt > 0.0 && r > 0.0 {
-                r.powf(dt / sample_dt)
-            } else {
-                r
-            };
+            let scaled = if sample_dt > 0.0 && r > 0.0 { r.powf(dt / sample_dt) } else { r };
             v *= scaled;
             pos += v * dt;
         }
@@ -329,10 +318,7 @@ impl IplRegistry {
 
     /// The predictor for a scenario, or the fallback.
     pub fn lookup(&self, scenario: &str) -> &dyn IplPredictor {
-        self.by_scenario
-            .get(scenario)
-            .map(|b| b.as_ref())
-            .unwrap_or(self.fallback.as_ref())
+        self.by_scenario.get(scenario).map(|b| b.as_ref()).unwrap_or(self.fallback.as_ref())
     }
 
     /// Replaces the fallback predictor.
@@ -423,18 +409,14 @@ mod tests {
     use dvs_sim::SimDuration;
 
     fn series_linear(n: usize, slope: f64) -> Vec<(SimTime, f64)> {
-        (0..n)
-            .map(|i| (SimTime::from_millis(10 * i as u64), slope * i as f64))
-            .collect()
+        (0..n).map(|i| (SimTime::from_millis(10 * i as u64), slope * i as f64)).collect()
     }
 
     #[test]
     fn linear_fit_exact_on_lines() {
         let s = series_linear(20, 3.0);
         let p = LinearFit::new(6);
-        let pred = p
-            .predict(&s, SimTime::from_millis(250))
-            .expect("enough history");
+        let pred = p.predict(&s, SimTime::from_millis(250)).expect("enough history");
         // Value at t=250ms on the line v = 0.3/ms * t.
         assert!((pred - 75.0).abs() < 1e-6, "{pred}");
     }
@@ -442,9 +424,7 @@ mod tests {
     #[test]
     fn velocity_extrapolation_exact_on_lines() {
         let s = series_linear(5, 2.0);
-        let pred = VelocityExtrapolation
-            .predict(&s, SimTime::from_millis(60))
-            .unwrap();
+        let pred = VelocityExtrapolation.predict(&s, SimTime::from_millis(60)).unwrap();
         assert!((pred - 12.0).abs() < 1e-9, "{pred}");
     }
 
@@ -456,9 +436,7 @@ mod tests {
                 (SimTime::from_millis(10 * i as u64), 5.0 + 2.0 * x + 30.0 * x * x)
             })
             .collect();
-        let pred = PolyFit2::new(10)
-            .predict(&s, SimTime::from_millis(250))
-            .unwrap();
+        let pred = PolyFit2::new(10).predict(&s, SimTime::from_millis(250)).unwrap();
         let x = 0.25;
         let truth = 5.0 + 2.0 * x + 30.0 * x * x;
         assert!((pred - truth).abs() < 1e-6, "pred {pred} truth {truth}");
@@ -490,9 +468,7 @@ mod tests {
     #[test]
     fn markov_exact_on_constant_velocity() {
         let s = series_linear(20, 4.0);
-        let pred = MarkovPredictor::default()
-            .predict(&s, SimTime::from_millis(250))
-            .unwrap();
+        let pred = MarkovPredictor::default().predict(&s, SimTime::from_millis(250)).unwrap();
         // v = 0.4/ms; value at 250 ms = 100.
         assert!((pred - 100.0).abs() < 1.0, "{pred}");
     }
@@ -568,10 +544,7 @@ mod tests {
         let series: Vec<(SimTime, f64)> = (0..60)
             .map(|i| {
                 let x = i as f64 / 60.0;
-                (
-                    SimTime::from_millis(5 * i as u64),
-                    1000.0 * (1.0 - (1.0 - x) * (1.0 - x)),
-                )
+                (SimTime::from_millis(5 * i as u64), 1000.0 * (1.0 - (1.0 - x) * (1.0 - x)))
             })
             .collect();
         let horizon = SimDuration::from_millis(25);

@@ -64,10 +64,7 @@ impl LtpoCoSim {
     /// # Panics
     ///
     /// Panics if `stages` is empty or any stage has zero frames.
-    pub fn run_ladder(
-        stages: &[(RefreshRate, usize)],
-        prerender_limit: usize,
-    ) -> LtpoCoSimReport {
+    pub fn run_ladder(stages: &[(RefreshRate, usize)], prerender_limit: usize) -> LtpoCoSimReport {
         assert!(!stages.is_empty(), "need at least one stage");
         assert!(stages.iter().all(|&(_, n)| n > 0), "stages need frames");
 
@@ -85,8 +82,7 @@ impl LtpoCoSim {
 
         let mut timeline = VsyncTimeline::new(stages[0].0);
         let mut queue = BufferQueue::new(prerender_limit + 2);
-        let mut panel =
-            Panel::new(SimDuration::ZERO).with_ltpo(LtpoController::new(stages[0].0));
+        let mut panel = Panel::new(SimDuration::ZERO).with_ltpo(LtpoController::new(stages[0].0));
         let mut produced = 0usize;
         let mut presented = 0usize;
         let mut committed_at: Option<u64> = None;
@@ -130,10 +126,7 @@ impl LtpoCoSim {
             tick += 1;
         }
 
-        let mixed = presents
-            .iter()
-            .filter(|p| p.frame_rate_hz != p.panel_rate_hz)
-            .count();
+        let mixed = presents.iter().filter(|p| p.frame_rate_hz != p.panel_rate_hz).count();
         LtpoCoSimReport {
             presents,
             mixed_rate_presents: mixed,
@@ -152,14 +145,10 @@ impl LtpoCoSim {
     /// Panics if `total_frames` is zero or `switch_at_frame` is beyond it.
     pub fn run(&self) -> LtpoCoSimReport {
         assert!(self.total_frames > 0, "need frames to simulate");
-        assert!(
-            self.switch_at_frame <= self.total_frames,
-            "switch point beyond the trace"
-        );
+        assert!(self.switch_at_frame <= self.total_frames, "switch point beyond the trace");
         let mut timeline = VsyncTimeline::new(self.from);
         let mut queue = BufferQueue::new(self.prerender_limit + 2);
-        let mut panel =
-            Panel::new(SimDuration::ZERO).with_ltpo(LtpoController::new(self.from));
+        let mut panel = Panel::new(SimDuration::ZERO).with_ltpo(LtpoController::new(self.from));
         let mut produced = 0usize;
         let mut presented = 0usize;
         let mut requested_at: Option<u64> = None;
@@ -177,10 +166,7 @@ impl LtpoCoSim {
             while queue.queued_len() < self.prerender_limit && produced < self.total_frames {
                 if produced == self.switch_at_frame {
                     // The producer moves to the new rate: request the switch.
-                    panel
-                        .ltpo_mut()
-                        .expect("panel has LTPO attached")
-                        .request(self.to);
+                    panel.ltpo_mut().expect("panel has LTPO attached").request(self.to);
                     if requested_at.is_none() {
                         requested_at = Some(tick);
                     }
@@ -195,10 +181,7 @@ impl LtpoCoSim {
             // Panel consumes; the LTPO controller commits once drained.
             if let PanelOutcome::Presented(buf) = panel.on_vsync(&mut queue, now) {
                 presented += 1;
-                let panel_rate = panel
-                    .ltpo()
-                    .expect("panel has LTPO attached")
-                    .current_rate();
+                let panel_rate = panel.ltpo().expect("panel has LTPO attached").current_rate();
                 presents.push(LtpoPresent {
                     tick,
                     seq: buf.meta.seq,
@@ -219,10 +202,7 @@ impl LtpoCoSim {
         }
 
         // A frame consumed at the panel's rate: the rate tag must agree.
-        let mixed = presents
-            .iter()
-            .filter(|p| p.frame_rate_hz != p.panel_rate_hz)
-            .count();
+        let mixed = presents.iter().filter(|p| p.frame_rate_hz != p.panel_rate_hz).count();
         LtpoCoSimReport {
             presents,
             mixed_rate_presents: mixed,
@@ -309,11 +289,8 @@ mod tests {
 
     #[test]
     fn decay_ladder_walks_all_rates() {
-        let stages = [
-            (RefreshRate::HZ_120, 30usize),
-            (RefreshRate::HZ_90, 30),
-            (RefreshRate::HZ_60, 30),
-        ];
+        let stages =
+            [(RefreshRate::HZ_120, 30usize), (RefreshRate::HZ_90, 30), (RefreshRate::HZ_60, 30)];
         let report = LtpoCoSim::run_ladder(&stages, 3);
         assert_eq!(report.presents.len(), 90);
         assert_eq!(report.mixed_rate_presents, 0, "the §5.3 invariant across two switches");

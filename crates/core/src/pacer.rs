@@ -75,11 +75,9 @@ impl DvsyncPacer {
 impl FramePacer for DvsyncPacer {
     fn plan_next(&mut self, ctx: &PacerCtx) -> Option<FramePlan> {
         // Feed the clock model with the latest hardware signal.
-        let dtv = self
-            .dtv
-            .get_or_insert_with(|| Dtv::new(ctx.period).with_calibration_interval(
-                self.config.calibrate_every,
-            ));
+        let dtv = self.dtv.get_or_insert_with(|| {
+            Dtv::new(ctx.period).with_calibration_interval(self.config.calibrate_every)
+        });
         dtv.observe_tick(ctx.last_tick.0, ctx.last_tick.1);
 
         // FPE: accumulate until the pre-render limit, then pace with the
@@ -136,8 +134,8 @@ mod tests {
     use super::*;
     use dvs_metrics::RunReport;
     use dvs_pipeline::{PipelineConfig, Simulator, VsyncPacer};
-    use dvs_workload::{CostProfile, FrameCost, FrameTrace, ScenarioSpec};
     use dvs_sim::SimDuration;
+    use dvs_workload::{CostProfile, FrameCost, FrameTrace, ScenarioSpec};
 
     fn ms(v: f64) -> SimDuration {
         SimDuration::from_millis_f64(v)
@@ -226,10 +224,8 @@ mod tests {
         let report = run_dvsync(&trace, 5);
         let p = 1000.0 / 60.0;
         for w in report.records.windows(2) {
-            let dt = w[1]
-                .content_timestamp
-                .saturating_since(w[0].content_timestamp)
-                .as_millis_f64();
+            let dt =
+                w[1].content_timestamp.saturating_since(w[0].content_timestamp).as_millis_f64();
             assert!((dt - p).abs() < 0.01, "content step {dt} ms");
         }
     }
@@ -292,11 +288,8 @@ mod tests {
         let mut costs = vec![(2.0, 5.0); 200];
         costs[100] = (3.0, 30.0);
         let trace = trace_of(60, &costs);
-        let cfg = PipelineConfig::new(60, 5).with_clock_noise(
-            300.0,
-            SimDuration::from_micros(200),
-            42,
-        );
+        let cfg =
+            PipelineConfig::new(60, 5).with_clock_noise(300.0, SimDuration::from_micros(200), 42);
         let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(5));
         let report = Simulator::new(&cfg).run(&trace, &mut pacer);
         assert_eq!(report.janks.len(), 0);
@@ -314,11 +307,6 @@ mod tests {
         let trace = spec.generate();
         let v = run_vsync(&trace, 3);
         let d = run_dvsync(&trace, 5);
-        assert!(
-            d.fdps() < 0.5 * v.fdps(),
-            "D-VSync {} vs VSync {} FDPS",
-            d.fdps(),
-            v.fdps()
-        );
+        assert!(d.fdps() < 0.5 * v.fdps(), "D-VSync {} vs VSync {} FDPS", d.fdps(), v.fdps());
     }
 }

@@ -53,11 +53,7 @@ pub fn classify_scenarios(specs: &[ScenarioSpec]) -> ScopeBreakdown {
         return ScopeBreakdown { deterministic: 0.0, extensible: 0.0, inapplicable: 0.0 };
     }
     let frac = |d: Determinism| {
-        specs
-            .iter()
-            .filter(|s| s.determinism == d)
-            .map(|s| s.frames)
-            .sum::<usize>() as f64
+        specs.iter().filter(|s| s.determinism == d).map(|s| s.frames).sum::<usize>() as f64
             / total as f64
     };
     ScopeBreakdown {

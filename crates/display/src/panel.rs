@@ -67,13 +67,7 @@ impl Panel {
     /// Use one VSync period for the classic Android pipeline; zero models an
     /// idealised direct-to-display path.
     pub fn new(compose_latch: SimDuration) -> Self {
-        Panel {
-            compose_latch,
-            presents: 0,
-            repeats: 0,
-            last_present: None,
-            ltpo: None,
-        }
+        Panel { compose_latch, presents: 0, repeats: 0, last_present: None, ltpo: None }
     }
 
     /// Attaches an LTPO controller enforcing the §5.3 rate-drain rule.
@@ -103,9 +97,8 @@ impl Panel {
         if let Some(l) = self.ltpo.as_mut() {
             l.pre_tick(queue);
         }
-        let latch_deadline = SimTime::from_nanos(
-            tick_time.as_nanos().saturating_sub(self.compose_latch.as_nanos()),
-        );
+        let latch_deadline =
+            SimTime::from_nanos(tick_time.as_nanos().saturating_sub(self.compose_latch.as_nanos()));
         let ltpo = self.ltpo.as_ref();
         let acquired = queue.acquire_if(tick_time, |meta, queued_at| {
             if queued_at > latch_deadline {
@@ -175,10 +168,7 @@ mod tests {
     fn latch_defers_fresh_buffer() {
         let mut q = queue_with(&[(0, SimTime::from_millis(11))]);
         let mut p = Panel::new(SimDuration::from_millis(10));
-        assert_eq!(
-            p.on_vsync(&mut q, SimTime::from_millis(12)),
-            PanelOutcome::Repeated
-        );
+        assert_eq!(p.on_vsync(&mut q, SimTime::from_millis(12)), PanelOutcome::Repeated);
         assert_eq!(p.repeats(), 1);
         // Next tick the buffer has aged past the latch.
         assert!(p.on_vsync(&mut q, SimTime::from_millis(28)).is_presented());

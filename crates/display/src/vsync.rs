@@ -75,12 +75,7 @@ impl VsyncTimelineBuilder {
         let period = nominal.mul_f64(1.0 + self.drift_ppm * 1e-6);
         let jitter_cap = nominal / 8;
         VsyncTimeline {
-            segments: vec![Segment {
-                first_tick: 0,
-                start: self.phase,
-                period,
-                rate: self.rate,
-            }],
+            segments: vec![Segment { first_tick: 0, start: self.phase, period, rate: self.rate }],
             drift_ppm: self.drift_ppm,
             jitter: self.jitter.min(jitter_cap),
             jitter_seed: self.jitter_seed,
@@ -133,10 +128,7 @@ impl VsyncTimeline {
     }
 
     fn segment_for(&self, tick: u64) -> &Segment {
-        let idx = match self
-            .segments
-            .binary_search_by(|s| s.first_tick.cmp(&tick))
-        {
+        let idx = match self.segments.binary_search_by(|s| s.first_tick.cmp(&tick)) {
             Ok(i) => i,
             Err(i) => i - 1,
         };
@@ -188,12 +180,7 @@ impl VsyncTimeline {
         let last = self.segments.last().expect("at least one segment");
         let mut k = if t < last.start {
             // Scan earlier segments (rare: there are only a handful).
-            let s = self
-                .segments
-                .iter()
-                .rev()
-                .find(|s| s.start <= t)
-                .unwrap_or(&self.segments[0]);
+            let s = self.segments.iter().rev().find(|s| s.start <= t).unwrap_or(&self.segments[0]);
             s.first_tick + t.saturating_since(s.start).div_duration(s.period)
         } else {
             last.first_tick + t.saturating_since(last.start).div_duration(last.period)
@@ -269,9 +256,7 @@ mod tests {
     #[test]
     fn jitter_is_bounded() {
         let amp = SimDuration::from_micros(100);
-        let tl = VsyncTimeline::builder(RefreshRate::HZ_60)
-            .jitter(amp, 3)
-            .build();
+        let tl = VsyncTimeline::builder(RefreshRate::HZ_60).jitter(amp, 3).build();
         for k in 1..1000 {
             let delta = if tl.tick_time(k) > tl.ideal_tick_time(k) {
                 tl.tick_time(k) - tl.ideal_tick_time(k)
@@ -347,9 +332,7 @@ mod tests {
 
     #[test]
     fn phase_offsets_tick_zero() {
-        let tl = VsyncTimeline::builder(RefreshRate::HZ_60)
-            .phase(SimTime::from_millis(3))
-            .build();
+        let tl = VsyncTimeline::builder(RefreshRate::HZ_60).phase(SimTime::from_millis(3)).build();
         assert_eq!(tl.tick_time(0), SimTime::from_millis(3));
     }
 }

@@ -89,8 +89,7 @@ impl TouchStream {
     /// Returns [`InvalidStreamError`] (carrying the rejected events) when the
     /// input is empty or out of time order.
     pub fn from_events(events: Vec<TouchEvent>) -> Result<Self, InvalidStreamError> {
-        let ordered = !events.is_empty()
-            && events.windows(2).all(|w| w[0].t <= w[1].t);
+        let ordered = !events.is_empty() && events.windows(2).all(|w| w[0].t <= w[1].t);
         if ordered {
             Ok(TouchStream { events })
         } else {
@@ -137,11 +136,7 @@ impl TouchStream {
         let idx = self.events.partition_point(|e| e.t <= t);
         let (a, b) = (&self.events[idx - 1], &self.events[idx]);
         let span = b.t.saturating_since(a.t).as_nanos() as f64;
-        let frac = if span == 0.0 {
-            0.0
-        } else {
-            t.saturating_since(a.t).as_nanos() as f64 / span
-        };
+        let frac = if span == 0.0 { 0.0 } else { t.saturating_since(a.t).as_nanos() as f64 / span };
         (a.x + (b.x - a.x) * frac, a.y + (b.y - a.y) * frac)
     }
 

@@ -129,11 +129,7 @@ impl PinchStream {
         let idx = self.samples.partition_point(|s| s.0 <= t);
         let (a, b) = (self.samples[idx - 1], self.samples[idx]);
         let span = b.0.saturating_since(a.0).as_nanos() as f64;
-        let frac = if span == 0.0 {
-            0.0
-        } else {
-            t.saturating_since(a.0).as_nanos() as f64 / span
-        };
+        let frac = if span == 0.0 { 0.0 } else { t.saturating_since(a.0).as_nanos() as f64 / span };
         a.1 + (b.1 - a.1) * frac
     }
 
@@ -181,13 +177,7 @@ mod tests {
 
     #[test]
     fn swipe_endpoints() {
-        let s = swipe(
-            SimTime::ZERO,
-            (0.0, 1000.0),
-            (0.0, 0.0),
-            SimDuration::from_millis(200),
-            120,
-        );
+        let s = swipe(SimTime::ZERO, (0.0, 1000.0), (0.0, 0.0), SimDuration::from_millis(200), 120);
         let first = s.events().first().unwrap();
         let last = s.events().last().unwrap();
         assert_eq!((first.x, first.y), (0.0, 1000.0));
@@ -196,13 +186,7 @@ mod tests {
 
     #[test]
     fn swipe_decelerates() {
-        let s = swipe(
-            SimTime::ZERO,
-            (0.0, 0.0),
-            (0.0, 1000.0),
-            SimDuration::from_millis(400),
-            240,
-        );
+        let s = swipe(SimTime::ZERO, (0.0, 0.0), (0.0, 1000.0), SimDuration::from_millis(400), 240);
         let (_, v_early) = s.velocity_at(SimTime::from_millis(20));
         let (_, v_late) = s.velocity_at(SimTime::from_millis(380));
         assert!(
@@ -241,8 +225,10 @@ mod tests {
     #[test]
     fn pinch_history_grows() {
         let p = pinch(SimTime::ZERO, 100.0, 200.0, SimDuration::from_millis(100), 100);
-        assert!(p.history_until(SimTime::from_millis(10)).len()
-            < p.history_until(SimTime::from_millis(90)).len());
+        assert!(
+            p.history_until(SimTime::from_millis(10)).len()
+                < p.history_until(SimTime::from_millis(90)).len()
+        );
     }
 
     #[test]
@@ -253,20 +239,10 @@ mod tests {
 
     #[test]
     fn sample_rate_controls_density() {
-        let sparse = swipe(
-            SimTime::ZERO,
-            (0.0, 0.0),
-            (1.0, 1.0),
-            SimDuration::from_millis(100),
-            60,
-        );
-        let dense = swipe(
-            SimTime::ZERO,
-            (0.0, 0.0),
-            (1.0, 1.0),
-            SimDuration::from_millis(100),
-            240,
-        );
+        let sparse =
+            swipe(SimTime::ZERO, (0.0, 0.0), (1.0, 1.0), SimDuration::from_millis(100), 60);
+        let dense =
+            swipe(SimTime::ZERO, (0.0, 0.0), (1.0, 1.0), SimDuration::from_millis(100), 240);
         assert!(dense.len() > 3 * sparse.len());
     }
 }

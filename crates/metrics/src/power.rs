@@ -103,11 +103,8 @@ impl PowerModel {
         dvsync_frames: u64,
         predictor_calls: u64,
     ) -> EnergyBreakdown {
-        let work_ms: f64 = report
-            .records
-            .iter()
-            .map(|r| (r.ui_cost + r.rs_cost).as_millis_f64())
-            .sum();
+        let work_ms: f64 =
+            report.records.iter().map(|r| (r.ui_cost + r.rs_cost).as_millis_f64()).sum();
         EnergyBreakdown {
             base_uj: self.base_mw * screen_on.as_millis_f64(),
             work_uj: self.uj_per_work_ms * work_ms,
@@ -131,10 +128,7 @@ pub struct InstructionModel {
 
 impl Default for InstructionModel {
     fn default() -> Self {
-        InstructionModel {
-            baseline_per_frame: 10.793e6,
-            dvsync_extra_per_frame: 0.056e6,
-        }
+        InstructionModel { baseline_per_frame: 10.793e6, dvsync_extra_per_frame: 0.056e6 }
     }
 }
 

@@ -160,17 +160,13 @@ impl RunReport {
 
     /// Latency summary statistics in milliseconds.
     pub fn latency_summary(&self) -> crate::Summary {
-        crate::Summary::from_samples(
-            self.records.iter().map(|r| r.latency().as_millis_f64()),
-        )
+        crate::Summary::from_samples(self.records.iter().map(|r| r.latency().as_millis_f64()))
     }
 
     /// The direct / stuffed / dropped frame distribution (Figure 6).
     pub fn distribution(&self) -> FrameDistribution {
         let n = self.records.len().max(1) as f64;
-        let count = |k: FrameKind| {
-            self.records.iter().filter(|r| r.kind == k).count() as f64 / n
-        };
+        let count = |k: FrameKind| self.records.iter().filter(|r| r.kind == k).count() as f64 / n;
         FrameDistribution {
             direct: count(FrameKind::Direct),
             stuffed: count(FrameKind::Stuffed),
@@ -180,10 +176,7 @@ impl RunReport {
 
     /// Largest absolute content error in milliseconds (DTV correctness).
     pub fn max_content_error_ms(&self) -> f64 {
-        self.records
-            .iter()
-            .map(|r| (r.content_error_ns().abs() as f64) / 1e6)
-            .fold(0.0, f64::max)
+        self.records.iter().map(|r| (r.content_error_ns().abs() as f64) / 1e6).fold(0.0, f64::max)
     }
 
     /// Merges another report into this one (used by multi-scene tasks and

@@ -127,10 +127,7 @@ impl Cdf {
     /// Evaluates the CDF at `points`, returning `(x, P(X ≤ x))` pairs — the
     /// series plotted in Figure 1.
     pub fn series(&self, points: &[f64]) -> Vec<(f64, f64)> {
-        points
-            .iter()
-            .map(|&x| (x, self.fraction_at_or_below(x)))
-            .collect()
+        points.iter().map(|&x| (x, self.fraction_at_or_below(x))).collect()
     }
 }
 

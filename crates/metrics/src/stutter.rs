@@ -57,10 +57,7 @@ impl StutterModel {
     pub fn evaluate(&self, report: &RunReport) -> StutterReport {
         let period = SimDuration::from_nanos(1_000_000_000 / report.rate_hz.max(1) as u64);
         let runs = jank_runs(&report.janks);
-        let perceived = runs
-            .iter()
-            .filter(|&&len| period * len as u64 >= self.jnd)
-            .count();
+        let perceived = runs.iter().filter(|&&len| period * len as u64 >= self.jnd).count();
         StutterReport { perceived, runs: runs.len(), run_lengths: runs }
     }
 }

@@ -173,8 +173,7 @@ mod tests {
     fn span_is_capped() {
         let presents: Vec<(u64, u64)> = (0..200).map(|i| (i, i + 2)).collect();
         let r = report_with(&presents, &[]);
-        let text =
-            render_timeline(&r, TimelineStyle { max_ticks: 32, show_depth: false });
+        let text = render_timeline(&r, TimelineStyle { max_ticks: 32, show_depth: false });
         let display_line = text.lines().nth(1).unwrap();
         assert_eq!(display_line.len(), "display ".len() + 32);
     }

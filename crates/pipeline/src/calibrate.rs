@@ -113,8 +113,8 @@ mod tests {
 
     #[test]
     fn hits_moderate_target() {
-        let spec = ScenarioSpec::new("m", 60, 1000, CostProfile::scattered(1.0))
-            .with_paper_fdps(3.0);
+        let spec =
+            ScenarioSpec::new("m", 60, 1000, CostProfile::scattered(1.0)).with_paper_fdps(3.0);
         let out = calibrate_spec(&spec, 3);
         assert!(
             (out.measured_fdps - 3.0).abs() < 0.9,
@@ -125,8 +125,8 @@ mod tests {
 
     #[test]
     fn hits_high_rate_target_at_120hz() {
-        let spec = ScenarioSpec::new("h", 120, 600, CostProfile::clustered(4.0))
-            .with_paper_fdps(12.0);
+        let spec =
+            ScenarioSpec::new("h", 120, 600, CostProfile::clustered(4.0)).with_paper_fdps(12.0);
         let out = calibrate_spec(&spec, 4);
         assert!(
             (out.measured_fdps - 12.0).abs() < 3.0,
@@ -137,8 +137,8 @@ mod tests {
 
     #[test]
     fn fitted_spec_reproduces_measurement() {
-        let spec = ScenarioSpec::new("r", 60, 800, CostProfile::scattered(1.0))
-            .with_paper_fdps(2.0);
+        let spec =
+            ScenarioSpec::new("r", 60, 800, CostProfile::scattered(1.0)).with_paper_fdps(2.0);
         let out = calibrate_spec(&spec, 3);
         // Re-running the fitted spec yields the same FDPS (determinism).
         assert_eq!(measure(&out.spec, 3), out.measured_fdps);

@@ -149,11 +149,8 @@ mod tests {
 
     #[test]
     fn timeline_reflects_noise() {
-        let cfg = PipelineConfig::new(60, 3).with_clock_noise(
-            200.0,
-            SimDuration::from_micros(50),
-            9,
-        );
+        let cfg =
+            PipelineConfig::new(60, 3).with_clock_noise(200.0, SimDuration::from_micros(50), 9);
         let tl = cfg.build_timeline();
         assert!(tl.period_at(0) > cfg.rate().period());
     }

@@ -132,11 +132,7 @@ impl FramePacer for VsyncPacer {
         } else {
             ctx.next_tick.1 + self.app_offset
         };
-        Some(FramePlan {
-            start: next_signal,
-            basis: next_signal,
-            content_timestamp: next_signal,
-        })
+        Some(FramePlan { start: next_signal, basis: next_signal, content_timestamp: next_signal })
     }
 
     fn name(&self) -> &'static str {

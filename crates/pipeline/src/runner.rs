@@ -47,8 +47,7 @@ mod tests {
 
     #[test]
     fn segments_cover_all_frames() {
-        let spec = ScenarioSpec::new("seg", 60, 500, CostProfile::smooth())
-            .with_segment_frames(60);
+        let spec = ScenarioSpec::new("seg", 60, 500, CostProfile::smooth()).with_segment_frames(60);
         let report = run_segmented_vsync(&spec, 3);
         assert_eq!(report.records.len(), 500);
         assert_eq!(report.janks.len(), 0);
@@ -77,8 +76,7 @@ mod tests {
 
     #[test]
     fn remainder_segment_is_kept() {
-        let spec = ScenarioSpec::new("rem", 60, 130, CostProfile::smooth())
-            .with_segment_frames(60);
+        let spec = ScenarioSpec::new("rem", 60, 130, CostProfile::smooth()).with_segment_frames(60);
         let segs = spec.generate_segments();
         assert_eq!(segs.len(), 3);
         assert_eq!(segs[2].len(), 10);

@@ -56,10 +56,7 @@ impl<'c> Simulator<'c> {
     /// Panics if the trace is empty or its rate disagrees with the config.
     pub fn run(&self, trace: &FrameTrace, pacer: &mut dyn FramePacer) -> RunReport {
         assert!(!trace.is_empty(), "cannot simulate an empty trace");
-        assert_eq!(
-            trace.rate_hz, self.cfg.rate_hz,
-            "trace rate and pipeline rate must agree"
-        );
+        assert_eq!(trace.rate_hz, self.cfg.rate_hz, "trace rate and pipeline rate must agree");
         Run::new(self.cfg, trace, pacer).execute()
     }
 }
@@ -137,8 +134,7 @@ impl<'a> Run<'a> {
                     if self.presented >= total {
                         break;
                     }
-                    self.events
-                        .schedule(self.timeline.tick_time(k + 1), Ev::Tick(k + 1));
+                    self.events.schedule(self.timeline.tick_time(k + 1), Ev::Tick(k + 1));
                     // A present may have released a buffer the render stage
                     // was blocked on.
                     self.pump_rs(t);
@@ -172,9 +168,8 @@ impl<'a> Run<'a> {
         match self.panel.on_vsync(&mut self.queue, t) {
             PanelOutcome::Presented(buf) => {
                 let seq = buf.meta.seq as usize;
-                let state = self.frames[seq]
-                    .as_mut()
-                    .expect("presented frame must have been started");
+                let state =
+                    self.frames[seq].as_mut().expect("presented frame must have been started");
                 state.present = Some((k, t));
                 self.presented += 1;
                 self.first_present_tick.get_or_insert(k);
@@ -248,10 +243,7 @@ impl<'a> Run<'a> {
             let Some(&frame) = self.rs_pending.front() else { return };
             let Some(slot) = self.queue.dequeue_free() else { return };
             self.rs_pending.pop_front();
-            self.frames[frame]
-                .as_mut()
-                .expect("pending frame was started")
-                .slot = Some(slot);
+            self.frames[frame].as_mut().expect("pending frame was started").slot = Some(slot);
             self.rs_active += 1;
             let start = match self.cfg.rs_signal_offset {
                 None => now,
@@ -286,9 +278,7 @@ impl<'a> Run<'a> {
             state.queued_at = Some(now);
             let meta = FrameMeta::new(idx as u64, state.content).with_rate(self.cfg.rate_hz);
             let slot = state.slot.expect("render stage had a slot");
-            self.queue
-                .queue(slot, meta, now)
-                .expect("slot was dequeued at render start");
+            self.queue.queue(slot, meta, now).expect("slot was dequeued at render start");
             self.in_flight -= 1;
             self.next_to_queue += 1;
         }

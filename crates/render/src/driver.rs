@@ -230,9 +230,7 @@ mod tests {
                 48.0,
             ),
         );
-        let trace = SceneDriver::new(scene, CostModel::default(), 120)
-            .with_animation(grow)
-            .run(40);
+        let trace = SceneDriver::new(scene, CostModel::default(), 120).with_animation(grow).run(40);
         // Raster cost climbs with the radius.
         assert!(trace.frames[20].rs > trace.frames[2].rs);
     }
@@ -251,9 +249,7 @@ mod tests {
                 1.5,
             ),
         );
-        let trace = SceneDriver::new(scene, CostModel::default(), 60)
-            .with_animation(fade)
-            .run(10);
+        let trace = SceneDriver::new(scene, CostModel::default(), 60).with_animation(fade).run(10);
         assert_eq!(trace.len(), 10, "out-of-range endpoints clamp, never panic");
     }
 

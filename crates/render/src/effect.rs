@@ -80,10 +80,7 @@ impl Effect {
     /// Whether the effect forces a re-render every frame even without
     /// property changes (e.g. dynamic shadows, live particles).
     pub fn always_dirty(&self) -> bool {
-        matches!(
-            self,
-            Effect::DropShadow { dynamic: true, .. } | Effect::Particles { .. }
-        )
+        matches!(self, Effect::DropShadow { dynamic: true, .. } | Effect::Particles { .. })
     }
 }
 

@@ -155,8 +155,7 @@ mod tests {
         let root = scene.root();
         let sparks = scene.add_child(
             root,
-            SceneNode::new(NodeKind::Rect, 10.0, 10.0)
-                .with_effect(Effect::Particles { count: 20 }),
+            SceneNode::new(NodeKind::Rect, 10.0, 10.0).with_effect(Effect::Particles { count: 20 }),
         );
         scene.clear_damage();
         assert_eq!(scene.damaged(), vec![sparks]);

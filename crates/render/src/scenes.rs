@@ -195,8 +195,7 @@ mod tests {
     #[test]
     fn photo_fling_is_sustained_not_bursty() {
         let trace = photo_list_fling(120).trace();
-        let totals: Vec<f64> =
-            trace.frames.iter().map(|f| f.total().as_millis_f64()).collect();
+        let totals: Vec<f64> = trace.frames.iter().map(|f| f.total().as_millis_f64()).collect();
         // During the fling (first ~100 frames), load stays within a 2x band.
         let active = &totals[2..90];
         let max = active.iter().cloned().fold(0.0f64, f64::max);

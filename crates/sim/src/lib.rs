@@ -29,5 +29,5 @@ mod rng;
 mod time;
 
 pub use event::EventQueue;
-pub use rng::SimRng;
+pub use rng::{stable_seed, SimRng};
 pub use time::{SimDuration, SimTime};

@@ -19,9 +19,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 /// let t = SimTime::from_millis(16) + SimDuration::from_micros(700);
 /// assert_eq!(t.as_nanos(), 16_700_000);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
@@ -33,9 +31,7 @@ pub struct SimTime(u64);
 /// let period = SimDuration::from_nanos(1_000_000_000 / 60);
 /// assert!((period.as_millis_f64() - 16.666).abs() < 0.001);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -392,8 +388,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration =
-            (1..=4).map(SimDuration::from_millis).sum();
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
         assert_eq!(total, SimDuration::from_millis(10));
     }
 

@@ -63,11 +63,7 @@ pub fn analyze(trace: &FrameTrace) -> TraceProfile {
 
     let mut shorts: Vec<f64> = totals.iter().cloned().filter(|&t| t <= period_ms).collect();
     shorts.sort_by(|a, b| a.partial_cmp(b).expect("costs are finite"));
-    let short_median_ms = if shorts.is_empty() {
-        period_ms
-    } else {
-        shorts[shorts.len() / 2]
-    };
+    let short_median_ms = if shorts.is_empty() { period_ms } else { shorts[shorts.len() / 2] };
 
     let longs: Vec<f64> = totals.iter().cloned().filter(|&t| t > period_ms).collect();
     let long_fraction = longs.len() as f64 / totals.len() as f64;
@@ -128,8 +124,7 @@ impl TraceProfile {
             long_min_periods: 1.0,
             long_alpha: if self.tail_index > 0.0 { self.tail_index.clamp(0.5, 6.0) } else { 3.0 },
             long_max_periods: 6.0,
-            cluster_p: ((self.cluster_coefficient - 1.0) * self.long_fraction)
-                .clamp(0.0, 0.9),
+            cluster_p: ((self.cluster_coefficient - 1.0) * self.long_fraction).clamp(0.0, 0.9),
             long_ui_spike_p: 0.15,
         }
     }

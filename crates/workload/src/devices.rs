@@ -189,18 +189,10 @@ mod tests {
     #[test]
     fn pixel_rate_grew_about_25x() {
         let h = pixel_rate_history();
-        let first: u64 = h
-            .iter()
-            .filter(|p| p.year == 2010)
-            .map(|p| p.pixel_rate())
-            .max()
-            .unwrap();
+        let first: u64 = h.iter().filter(|p| p.year == 2010).map(|p| p.pixel_rate()).max().unwrap();
         let peak: u64 = h.iter().map(|p| p.pixel_rate()).max().unwrap();
         let growth = peak as f64 / first as f64;
-        assert!(
-            (12.0..40.0).contains(&growth),
-            "Figure 3 claims ~25x growth, got {growth:.1}x"
-        );
+        assert!((12.0..40.0).contains(&growth), "Figure 3 claims ~25x growth, got {growth:.1}x");
     }
 
     #[test]

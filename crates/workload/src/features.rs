@@ -118,10 +118,7 @@ mod tests {
     fn catalogue_covers_both_lines() {
         let features = graphics_feature_timeline();
         for release in ANDROID_RELEASES.iter().chain(OH_RELEASES.iter()) {
-            assert!(
-                features.iter().any(|f| f.release == *release),
-                "{release} has no features"
-            );
+            assert!(features.iter().any(|f| f.release == *release), "{release} has no features");
         }
     }
 
@@ -136,17 +133,13 @@ mod tests {
         };
         let early = heavy_share(&ANDROID_RELEASES[..4]);
         let late = heavy_share(&ANDROID_RELEASES[4..]);
-        assert!(
-            late > early,
-            "§3.1: newer releases add heavier effects ({early:.2} -> {late:.2})"
-        );
+        assert!(late > early, "§3.1: newer releases add heavier effects ({early:.2} -> {late:.2})");
     }
 
     #[test]
     fn oh_line_is_effect_heavy() {
         let features = graphics_feature_timeline();
-        let oh: Vec<_> =
-            features.iter().filter(|f| f.release.starts_with("OH")).collect();
+        let oh: Vec<_> = features.iter().filter(|f| f.release.starts_with("OH")).collect();
         let heavy = oh.iter().filter(|f| f.weight == FeatureWeight::Heavy).count();
         assert!(
             heavy as f64 / oh.len() as f64 > 0.35,
@@ -157,8 +150,7 @@ mod tests {
     #[test]
     fn names_are_unique_per_release() {
         let features = graphics_feature_timeline();
-        let mut keys: Vec<(&str, &str)> =
-            features.iter().map(|f| (f.release, f.name)).collect();
+        let mut keys: Vec<(&str, &str)> = features.iter().map(|f| (f.release, f.name)).collect();
         let before = keys.len();
         keys.sort();
         keys.dedup();

@@ -156,9 +156,9 @@ impl ScenarioSpec {
     /// Creates a spec with the given identity and shape.
     pub fn new(name: impl Into<String>, rate_hz: u32, frames: usize, cost: CostProfile) -> Self {
         let name = name.into();
-        let seed = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x100000001b3)
-        });
+        // The workspace-wide seed rule: a stable hash of the scenario name,
+        // independent of suite order, worker identity, or execution order.
+        let seed = dvs_sim::stable_seed(&name);
         ScenarioSpec {
             abbrev: name.clone(),
             name,
@@ -287,15 +287,11 @@ impl<'a> TraceGenerator<'a> {
         // one frame is produced per period in steady state.
         let p_long = (c.long_rate_per_sec * period_ms / 1e3).min(0.9);
 
-        let mut trace =
-            FrameTrace::new(spec.name.clone(), spec.rate_hz).with_backend(spec.backend);
+        let mut trace = FrameTrace::new(spec.name.clone(), spec.rate_hz).with_backend(spec.backend);
         let mut in_burst = false;
         for _ in 0..spec.frames {
-            let is_long = if in_burst {
-                true
-            } else {
-                c.long_rate_per_sec > 0.0 && rng.chance(p_long)
-            };
+            let is_long =
+                if in_burst { true } else { c.long_rate_per_sec > 0.0 && rng.chance(p_long) };
             let (ui_ms, rs_ms) = if is_long {
                 in_burst = rng.chance(c.cluster_p);
                 let total = long.sample(&mut rng);
@@ -386,8 +382,8 @@ mod tests {
         // than an independent process with the same marginal rate would.
         let longs: Vec<bool> = t.frames.iter().map(|f| f.total() > p).collect();
         let marginal = longs.iter().filter(|&&l| l).count() as f64 / longs.len() as f64;
-        let pairs = longs.windows(2).filter(|w| w[0] && w[1]).count() as f64
-            / (longs.len() - 1) as f64;
+        let pairs =
+            longs.windows(2).filter(|w| w[0] && w[1]).count() as f64 / (longs.len() - 1) as f64;
         assert!(
             pairs > 3.0 * marginal * marginal,
             "pairs {pairs} vs independent {}",

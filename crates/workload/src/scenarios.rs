@@ -37,9 +37,21 @@ pub fn os_use_case_catalog() -> Vec<OsUseCase> {
         OsUseCase { category, description, abbrev }
     }
     vec![
-        c("Phone Unlocking", "Swipe upwards in the lock screen to enter the password page", "lock to pswd"),
-        c("Phone Unlocking", "Fly-in animation of the sceneboard after the last password digit", "pswd to desk"),
-        c("Phone Unlocking", "Swipe upwards in the lock screen to unlock (no password)", "unlock lock"),
+        c(
+            "Phone Unlocking",
+            "Swipe upwards in the lock screen to enter the password page",
+            "lock to pswd",
+        ),
+        c(
+            "Phone Unlocking",
+            "Fly-in animation of the sceneboard after the last password digit",
+            "pswd to desk",
+        ),
+        c(
+            "Phone Unlocking",
+            "Swipe upwards in the lock screen to unlock (no password)",
+            "unlock lock",
+        ),
         c("Phone Unlocking", "Fly-in animation of the sceneboard (no password)", "lock to desk"),
         c("Sceneboard", "Slide the sceneboard pages left and right", "slide desk"),
         c("Sceneboard", "Slide the sceneboard pages when exiting an app", "exit app slide"),
@@ -56,9 +68,17 @@ pub fn os_use_case_catalog() -> Vec<OsUseCase> {
         c("Cards", "Tap outside to close the cards of the photos app", "cls ph cd"),
         c("Cards", "Long click the memos app and the cards show up", "shw mem cd"),
         c("Cards", "Tap outside to close the cards of the memos app", "cls mem cd"),
-        c("Notification Center", "Swipe downwards to open the notification center", "open notif ctr"),
+        c(
+            "Notification Center",
+            "Swipe downwards to open the notification center",
+            "open notif ctr",
+        ),
         c("Notification Center", "Swipe upwards to close the notification center", "cls notif ctr"),
-        c("Notification Center", "Tap the empty space to close the notification center", "tap cls notif"),
+        c(
+            "Notification Center",
+            "Tap the empty space to close the notification center",
+            "tap cls notif",
+        ),
         c("Notification Center", "Click the trash can to clear all notifications", "clr all notif"),
         c("Notification Center", "Slide rightwards to delete one notification", "del one notif"),
         c("Control Center", "Swipe downwards to open the control center", "open ctrl ctr"),
@@ -89,8 +109,16 @@ pub fn os_use_case_catalog() -> Vec<OsUseCase> {
         c("Global Search", "Slide rightwards to close global search", "cls search"),
         c("Keyboard", "Click the browser search bar to show the keyboard", "shw kb"),
         c("Keyboard", "Click the hide button to hide the keyboard", "hide kb"),
-        c("Screen Rotation", "Rotate vertical to horizontal on a full-screen photo", "vert ph hori"),
-        c("Screen Rotation", "Rotate horizontal to vertical on a full-screen photo", "hori ph vert"),
+        c(
+            "Screen Rotation",
+            "Rotate vertical to horizontal on a full-screen photo",
+            "vert ph hori",
+        ),
+        c(
+            "Screen Rotation",
+            "Rotate horizontal to vertical on a full-screen photo",
+            "hori ph vert",
+        ),
         c("Screen Rotation", "Rotate vertical to horizontal on an app", "vert to hori"),
         c("Screen Rotation", "Rotate horizontal to vertical on an app", "hori to vert"),
         c("Photos", "Scroll the albums in the photos app", "scrl albums"),
@@ -164,10 +192,7 @@ pub fn mate60_vulkan_suite() -> Vec<ScenarioSpec> {
         ("brtness adj", 1.3),
         ("shw ph cd", 1.0),
     ];
-    CASES
-        .iter()
-        .map(|&(abbrev, fdps)| os_case(abbrev, 120, Backend::Vulkan, fdps))
-        .collect()
+    CASES.iter().map(|&(abbrev, fdps)| os_case(abbrev, 120, Backend::Vulkan, fdps)).collect()
 }
 
 /// The 20 Mate 60 Pro use cases with frame drops under GLES (Figure 13
@@ -195,10 +220,7 @@ pub fn mate60_gles_suite() -> Vec<ScenarioSpec> {
         ("cls ctrl ctr", 1.4),
         ("scrl sets", 1.0),
     ];
-    CASES
-        .iter()
-        .map(|&(abbrev, fdps)| os_case(abbrev, 120, Backend::Gles, fdps))
-        .collect()
+    CASES.iter().map(|&(abbrev, fdps)| os_case(abbrev, 120, Backend::Gles, fdps)).collect()
 }
 
 /// The 9 Mate 40 Pro use cases with frame drops under GLES (Figure 13 left;
@@ -215,10 +237,7 @@ pub fn mate40_gles_suite() -> Vec<ScenarioSpec> {
         ("scrl photos", 1.0),
         ("scrl wechat", 0.7),
     ];
-    CASES
-        .iter()
-        .map(|&(abbrev, fdps)| os_case(abbrev, 90, Backend::Gles, fdps))
-        .collect()
+    CASES.iter().map(|&(abbrev, fdps)| os_case(abbrev, 90, Backend::Gles, fdps)).collect()
 }
 
 /// The 25 top Android apps of Figure 11 (Pixel 5, 60 Hz, 1000 frames each;
@@ -407,10 +426,7 @@ mod tests {
 
     #[test]
     fn traces_generate_for_every_suite_member() {
-        for spec in mate60_vulkan_suite()
-            .into_iter()
-            .chain(android_app_suite())
-            .chain(game_suite())
+        for spec in mate60_vulkan_suite().into_iter().chain(android_app_suite()).chain(game_suite())
         {
             let t = spec.generate();
             assert_eq!(t.len(), spec.frames, "{}", spec.name);

@@ -165,10 +165,8 @@ pub fn ux_tasks() -> Vec<UxTask> {
     });
 
     // 7. Shopping flow — the pathological cluster case (only −7 % in paper).
-    let segs = vec![
-        heavy_cluster("t7 products page".into()),
-        heavy_cluster("t7 product details".into()),
-    ];
+    let segs =
+        vec![heavy_cluster("t7 products page".into()), heavy_cluster("t7 product details".into())];
     tasks.push(UxTask {
         description: "In a shopping app, swipe through the products page, and \
                       open up a product to swipe through the details.",
@@ -207,8 +205,8 @@ mod tests {
     #[test]
     fn paper_average_reduction_is_about_72_percent() {
         let tasks = ux_tasks();
-        let avg: f64 = tasks.iter().map(|t| t.paper_reduction_percent()).sum::<f64>()
-            / tasks.len() as f64;
+        let avg: f64 =
+            tasks.iter().map(|t| t.paper_reduction_percent()).sum::<f64>() / tasks.len() as f64;
         assert!((avg - 72.3).abs() < 2.0, "Table 2 average is 72.3%, got {avg:.1}");
     }
 

@@ -33,9 +33,7 @@ fn main() {
     //    (ten closes back to back) for a statistically useful trace.
     let mut captured = FrameTrace::new("captured: cls notif ctr x10", 120);
     for _ in 0..10 {
-        captured
-            .frames
-            .extend(scenes::notification_center_close(120).trace().frames);
+        captured.frames.extend(scenes::notification_center_close(120).trace().frames);
     }
     println!("captured {} frames from the scene model", captured.len());
 
@@ -59,8 +57,7 @@ fn main() {
 
     // 3. Rebuild a synthetic family from the measurements.
     let cost = profile.to_cost_profile();
-    let synthetic = ScenarioSpec::new("synthetic family", 120, captured.len(), cost)
-        .generate();
+    let synthetic = ScenarioSpec::new("synthetic family", 120, captured.len(), cost).generate();
 
     // 4. The family janks like the capture.
     let (cap_v, cap_d) = jank_pair(&captured);

@@ -22,10 +22,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     std::fs::create_dir_all(&dir)?;
 
     println!("capturing and replaying the Figure 14 game suite\n");
-    println!(
-        "{:<26} {:>5} {:>9} {:>9} {:>9}",
-        "game", "rate", "VSync 3", "D-V 4buf", "D-V 5buf"
-    );
+    println!("{:<26} {:>5} {:>9} {:>9} {:>9}", "game", "rate", "VSync 3", "D-V 4buf", "D-V 5buf");
 
     let sim = GameSimulation::new();
     let mut rows = Vec::new();

@@ -18,9 +18,11 @@ use dvsync::display::{RatePolicy, RefreshRate};
 fn main() {
     // The policy a swipe decay walks down: fast -> 120 Hz, slow -> 60 Hz.
     let policy = RatePolicy::promotion();
-    println!("LTPO policy: speed 1.0 -> {}, speed 0.05 -> {}\n",
+    println!(
+        "LTPO policy: speed 1.0 -> {}, speed 0.05 -> {}\n",
         policy.rate_for_speed(1.0),
-        policy.rate_for_speed(0.05));
+        policy.rate_for_speed(0.05)
+    );
 
     println!(
         "{:>6} {:>10} {:>12} {:>12} {:>14}",
@@ -39,15 +41,9 @@ fn main() {
             "{:>6} {:>10} {:>12} {:>12} {:>14}",
             depth,
             report.presents.len(),
-            report
-                .drain_ticks
-                .map(|d| d.to_string())
-                .unwrap_or_else(|| "-".into()),
+            report.drain_ticks.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
             report.mixed_rate_presents,
-            report
-                .committed_at_tick
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "-".into()),
+            report.committed_at_tick.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
         );
         assert_eq!(report.mixed_rate_presents, 0, "the §5.3 invariant");
     }
@@ -61,11 +57,7 @@ fn main() {
     // The full ProMotion-style decay ladder: a swipe that slows through
     // 120 -> 90 -> 60 Hz with three pre-rendered frames in flight.
     let ladder = LtpoCoSim::run_ladder(
-        &[
-            (RefreshRate::HZ_120, 40),
-            (RefreshRate::HZ_90, 30),
-            (RefreshRate::HZ_60, 30),
-        ],
+        &[(RefreshRate::HZ_120, 40), (RefreshRate::HZ_90, 30), (RefreshRate::HZ_60, 30)],
         3,
     );
     let mut rates: Vec<u32> = ladder.presents.iter().map(|p| p.panel_rate_hz).collect();

@@ -49,13 +49,7 @@ fn main() {
         let history = pinch.history_until(now);
         let Some(pred) = zdp.predict(history, target) else { continue };
         let actual = pinch.distance_at(target);
-        println!(
-            "{:>10} {:>10.1}px {:>10.1}px {:>+9.2}px",
-            ms,
-            pred,
-            actual,
-            pred - actual
-        );
+        println!("{:>10} {:>10.1}px {:>10.1}px {:>+9.2}px", ms, pred, actual, pred - actual);
     }
     println!(
         "\nThe fingers will be ~{:.0} px apart 50 ms from mid-gesture; the linear\n\

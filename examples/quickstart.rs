@@ -14,8 +14,8 @@ use dvsync::prelude::*;
 fn main() {
     // A ten-second, 60 Hz scenario: short frames with key frames striking
     // roughly twice per second, in one-second animation segments.
-    let spec = ScenarioSpec::new("quickstart", 60, 600, CostProfile::scattered(2.0))
-        .with_paper_fdps(2.0);
+    let spec =
+        ScenarioSpec::new("quickstart", 60, 600, CostProfile::scattered(2.0)).with_paper_fdps(2.0);
 
     // Calibrate the key-frame rate so the VSync baseline drops ~2 frames/s,
     // like a mid-pack app in the paper's Figure 11.

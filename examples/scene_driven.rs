@@ -31,11 +31,7 @@ fn main() {
             "scene `{label}`: {} frames, {} exceed one period (worst {:.1} ms vs {:.1} ms period)",
             trace.len(),
             heavy,
-            trace
-                .frames
-                .iter()
-                .map(|f| f.total().as_millis_f64())
-                .fold(0.0, f64::max),
+            trace.frames.iter().map(|f| f.total().as_millis_f64()).fold(0.0, f64::max),
             period.as_millis_f64()
         );
 

@@ -71,9 +71,7 @@ pub use dvs_workload as workload;
 pub mod prelude {
     pub use dvs_core::{Channel, DvsyncConfig, DvsyncPacer, DvsyncRuntime};
     pub use dvs_metrics::{FrameKind, RunReport, StutterModel};
-    pub use dvs_pipeline::{
-        calibrate_spec, run_segmented, PipelineConfig, Simulator, VsyncPacer,
-    };
+    pub use dvs_pipeline::{calibrate_spec, run_segmented, PipelineConfig, Simulator, VsyncPacer};
     pub use dvs_sim::{SimDuration, SimTime};
     pub use dvs_workload::{Backend, CostProfile, Determinism, FrameTrace, ScenarioSpec};
 }

@@ -51,10 +51,7 @@ impl FramePacer for ChaosPacer {
 fn trace_of(rate: u32, costs: &[(u64, u64)]) -> FrameTrace {
     let mut t = FrameTrace::new("chaos", rate);
     for &(ui_us, rs_us) in costs {
-        t.push(FrameCost::new(
-            SimDuration::from_micros(ui_us),
-            SimDuration::from_micros(rs_us),
-        ));
+        t.push(FrameCost::new(SimDuration::from_micros(ui_us), SimDuration::from_micros(rs_us)));
     }
     t
 }

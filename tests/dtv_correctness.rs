@@ -51,13 +51,7 @@ fn displayed_motion_is_ideal_for_every_curve() {
 
     for curve in curves {
         let name = curve.name();
-        let anim = Animator::new(
-            curve,
-            SimTime::ZERO,
-            SimDuration::from_millis(900),
-            0.0,
-            1000.0,
-        );
+        let anim = Animator::new(curve, SimTime::ZERO, SimDuration::from_millis(900), 0.0, 1000.0);
         for r in &report.records {
             let drawn = anim.sample(r.content_timestamp);
             let ideal = anim.sample(r.present);
@@ -77,22 +71,14 @@ fn no_fast_forward_during_accumulation() {
     let trace = trace_with_keys(60, 40, &[]);
     let report = run_dvsync(&trace, 7);
     // Longer than the displayed window so the linear ramp never clamps.
-    let anim = Animator::new(
-        Box::new(Linear),
-        SimTime::ZERO,
-        SimDuration::from_millis(2000),
-        0.0,
-        1000.0,
-    );
+    let anim =
+        Animator::new(Box::new(Linear), SimTime::ZERO, SimDuration::from_millis(2000), 0.0, 1000.0);
     let positions: Vec<f64> =
         report.records.iter().map(|r| anim.sample(r.content_timestamp)).collect();
     let steps: Vec<f64> = positions.windows(2).map(|w| w[1] - w[0]).collect();
     let expected = steps[0];
     for (i, s) in steps.iter().enumerate() {
-        assert!(
-            (s - expected).abs() < 1e-6,
-            "step {i} is {s}, expected uniform {expected}"
-        );
+        assert!((s - expected).abs() < 1e-6, "step {i} is {s}, expected uniform {expected}");
     }
 }
 
@@ -121,11 +107,8 @@ fn vsync_content_lags_after_drops() {
 #[test]
 fn dtv_tracks_noisy_clocks() {
     let trace = trace_with_keys(120, 240, &[(100, 1.8), (180, 2.2)]);
-    let cfg = PipelineConfig::new(120, 5).with_clock_noise(
-        500.0,
-        SimDuration::from_micros(300),
-        1234,
-    );
+    let cfg =
+        PipelineConfig::new(120, 5).with_clock_noise(500.0, SimDuration::from_micros(300), 1234);
     let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(5));
     let report = Simulator::new(&cfg).run(&trace, &mut pacer);
     assert!(
@@ -145,11 +128,6 @@ fn residual_drop_errors_are_transient() {
     let late_frames: Vec<_> = report.records.iter().filter(|r| r.seq >= 80).collect();
     assert!(!late_frames.is_empty());
     for r in late_frames {
-        assert_eq!(
-            r.content_error_ns(),
-            0,
-            "frame {} still mispredicted after resync",
-            r.seq
-        );
+        assert_eq!(r.content_error_ns(), 0, "frame {} still mispredicted after resync", r.seq);
     }
 }

@@ -15,9 +15,8 @@ fn dvsync_reduces_janks_across_refresh_rates() {
     for rate in [60u32, 90, 120] {
         let spec = calibrated("e2e", rate, 6 * rate as usize, 3.0);
         let base = run_segmented(&spec, 3, || Box::new(VsyncPacer::new()));
-        let dvs = run_segmented(&spec, 4, || {
-            Box::new(DvsyncPacer::new(DvsyncConfig::paper_default()))
-        });
+        let dvs =
+            run_segmented(&spec, 4, || Box::new(DvsyncPacer::new(DvsyncConfig::paper_default())));
         assert!(
             (dvs.janks.len() as f64) < 0.6 * base.janks.len() as f64,
             "{rate} Hz: D-VSync {} vs VSync {}",
@@ -31,9 +30,8 @@ fn dvsync_reduces_janks_across_refresh_rates() {
 fn dvsync_latency_sits_at_pipeline_floor() {
     for rate in [60u32, 120] {
         let spec = calibrated("lat", rate, 6 * rate as usize, 2.0);
-        let dvs = run_segmented(&spec, 5, || {
-            Box::new(DvsyncPacer::new(DvsyncConfig::with_buffers(5)))
-        });
+        let dvs =
+            run_segmented(&spec, 5, || Box::new(DvsyncPacer::new(DvsyncConfig::with_buffers(5))));
         let floor = 2.0 * 1000.0 / rate as f64;
         assert!(
             (dvs.mean_latency_ms() - floor).abs() < 0.15 * floor,
@@ -75,10 +73,7 @@ fn runtime_controller_routes_by_scenario_class() {
     // The decoupled path accumulates: triggers lead presents by several
     // periods on average, while the classic path stays near two.
     let mean_lead = |r: &RunReport| {
-        r.records
-            .iter()
-            .map(|f| f.present.saturating_since(f.trigger).as_millis_f64())
-            .sum::<f64>()
+        r.records.iter().map(|f| f.present.saturating_since(f.trigger).as_millis_f64()).sum::<f64>()
             / r.records.len() as f64
     };
     assert!(
@@ -93,17 +88,12 @@ fn runtime_controller_routes_by_scenario_class() {
 fn stutter_perception_tracks_jank_reduction() {
     let spec = calibrated("stut", 60, 1200, 4.0);
     let base = run_segmented(&spec, 3, || Box::new(VsyncPacer::new()));
-    let dvs = run_segmented(&spec, 5, || {
-        Box::new(DvsyncPacer::new(DvsyncConfig::with_buffers(5)))
-    });
+    let dvs = run_segmented(&spec, 5, || Box::new(DvsyncPacer::new(DvsyncConfig::with_buffers(5))));
     let model = StutterModel::default();
     let base_stutters = model.evaluate(&base).perceived;
     let dvs_stutters = model.evaluate(&dvs).perceived;
     assert!(base_stutters > 0, "baseline must stutter for the test to mean anything");
-    assert!(
-        dvs_stutters < base_stutters,
-        "D-VSync {dvs_stutters} vs VSync {base_stutters}"
-    );
+    assert!(dvs_stutters < base_stutters, "D-VSync {dvs_stutters} vs VSync {base_stutters}");
 }
 
 #[test]
@@ -121,10 +111,7 @@ fn frame_records_tell_a_consistent_story() {
         for r in &report.records {
             assert!(r.queued_at >= r.trigger, "queueing follows triggering");
             assert!(r.present > r.queued_at, "display follows queueing");
-            assert!(
-                r.present_tick >= r.eligible_tick,
-                "no frame presents before it is eligible"
-            );
+            assert!(r.present_tick >= r.eligible_tick, "no frame presents before it is eligible");
         }
         // Dropped frames exist iff janks were recorded.
         let drops = report.records.iter().filter(|r| r.kind == FrameKind::Dropped).count();
@@ -142,10 +129,9 @@ fn full_suite_runs_agree_with_paper_bands() {
     for raw in &apps {
         let spec = calibrate_spec(raw, 3).spec;
         base_total += run_segmented(&spec, 3, || Box::new(VsyncPacer::new())).fdps();
-        dvs_total += run_segmented(&spec, 4, || {
-            Box::new(DvsyncPacer::new(DvsyncConfig::paper_default()))
-        })
-        .fdps();
+        dvs_total +=
+            run_segmented(&spec, 4, || Box::new(DvsyncPacer::new(DvsyncConfig::paper_default())))
+                .fdps();
     }
     let reduction = (1.0 - dvs_total / base_total) * 100.0;
     assert!(

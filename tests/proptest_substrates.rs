@@ -19,11 +19,7 @@ enum QueueOp {
 
 fn queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
     prop::collection::vec(
-        prop_oneof![
-            Just(QueueOp::Dequeue),
-            Just(QueueOp::Queue),
-            Just(QueueOp::Acquire),
-        ],
+        prop_oneof![Just(QueueOp::Dequeue), Just(QueueOp::Queue), Just(QueueOp::Acquire),],
         0..200,
     )
 }

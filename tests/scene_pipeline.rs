@@ -65,9 +65,7 @@ fn static_scene_never_janks_under_either_architecture() {
         );
     }
     // No animations: after the first frame the scene settles entirely.
-    let trace = SceneDriver::new(scene, CostModel::default(), 60)
-        .with_name("static page")
-        .run(60);
+    let trace = SceneDriver::new(scene, CostModel::default(), 60).with_name("static page").run(60);
     assert_eq!(run_vsync(&trace, 3).janks.len(), 0);
     assert_eq!(run_dvsync(&trace, 4).janks.len(), 0);
 }
@@ -84,9 +82,7 @@ fn particle_scenes_burn_continuously() {
             .at(240.0, 900.0)
             .with_effect(Effect::Particles { count: 800 }),
     );
-    let trace = SceneDriver::new(scene, CostModel::default(), 60)
-        .with_name("charging")
-        .run(30);
+    let trace = SceneDriver::new(scene, CostModel::default(), 60).with_name("charging").run(30);
     let first = trace.frames[1].total();
     let later = trace.frames[25].total();
     assert!(

@@ -28,8 +28,8 @@ fn scenario_spec_round_trips() {
 
 #[test]
 fn run_report_round_trips_with_full_fidelity() {
-    let spec = ScenarioSpec::new("report", 60, 240, CostProfile::scattered(3.0))
-        .with_paper_fdps(3.0);
+    let spec =
+        ScenarioSpec::new("report", 60, 240, CostProfile::scattered(3.0)).with_paper_fdps(3.0);
     let fitted = calibrate_spec(&spec, 3).spec;
     let report = run_segmented(&fitted, 3, || Box::new(VsyncPacer::new()));
     let json = serde_json::to_string(&report).unwrap();
@@ -44,18 +44,12 @@ fn run_report_round_trips_with_full_fidelity() {
 
 #[test]
 fn config_types_round_trip() {
-    let cfg = PipelineConfig::new(120, 5).with_clock_noise(
-        250.0,
-        SimDuration::from_micros(100),
-        7,
-    );
-    let back: PipelineConfig =
-        serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
+    let cfg = PipelineConfig::new(120, 5).with_clock_noise(250.0, SimDuration::from_micros(100), 7);
+    let back: PipelineConfig = serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
     assert_eq!(back, cfg);
 
     let dvs = DvsyncConfig::with_buffers(7).with_prerender_limit(4);
-    let back: DvsyncConfig =
-        serde_json::from_str(&serde_json::to_string(&dvs).unwrap()).unwrap();
+    let back: DvsyncConfig = serde_json::from_str(&serde_json::to_string(&dvs).unwrap()).unwrap();
     assert_eq!(back, dvs);
 }
 
@@ -64,4 +58,65 @@ fn malformed_trace_is_a_clean_error() {
     let err = FrameTrace::from_json("{\"not\": \"a trace\"}").unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("parse"), "{msg}");
+}
+
+#[test]
+fn sweep_grid_round_trips() {
+    use dvs_bench::sweep::{SweepCell, SweepGrid};
+    let specs = vec![
+        ScenarioSpec::new("grid a", 60, 120, CostProfile::scattered(1.0)),
+        ScenarioSpec::new("grid b", 120, 240, CostProfile::clustered(2.0)),
+    ];
+    let grid = SweepGrid::for_suite(&specs, 3, &[4, 5, 7]);
+    let back: SweepGrid = serde_json::from_str(&serde_json::to_string(&grid).unwrap()).unwrap();
+    assert_eq!(back, grid);
+    // Cell identity (key and derived seed) survives the round trip.
+    for (a, b) in grid.cells.iter().zip(&back.cells) {
+        assert_eq!(a.key(), b.key());
+        assert_eq!(a.trace_seed(), b.trace_seed());
+    }
+    // A single cell round-trips through the same schema.
+    let cell: SweepCell =
+        serde_json::from_str(&serde_json::to_string(&grid.cells[0]).unwrap()).unwrap();
+    assert_eq!(cell, grid.cells[0]);
+}
+
+#[test]
+fn suite_result_round_trips() {
+    use dvs_bench::sweep::run_suite_jobs;
+    use dvs_bench::SuiteResult;
+    let specs =
+        vec![ScenarioSpec::new("rt a", 60, 300, CostProfile::scattered(1.0)).with_paper_fdps(2.0)];
+    let result = run_suite_jobs("roundtrip", &specs, 3, &[4, 5], 2);
+    let json = serde_json::to_string(&result).unwrap();
+    let back: SuiteResult = serde_json::from_str(&json).unwrap();
+    // Byte-stable re-serialization — the property the determinism tests and
+    // golden files build on.
+    assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    assert_eq!(back.rows[0].dvsync_fdps, result.rows[0].dvsync_fdps);
+}
+
+#[test]
+fn golden_file_schema_round_trips() {
+    use dvs_bench::golden::{compare_suite, GoldenSuite, Tolerance};
+    use dvs_bench::sweep::run_suite_jobs;
+    let specs =
+        vec![ScenarioSpec::new("golden rt", 60, 300, CostProfile::scattered(1.5))
+            .with_paper_fdps(1.5)];
+    let summary = GoldenSuite::from(&run_suite_jobs("golden", &specs, 3, &[4], 1));
+    let back: GoldenSuite =
+        serde_json::from_str(&serde_json::to_string_pretty(&summary).unwrap()).unwrap();
+    assert!(compare_suite(&summary, &back, Tolerance::default()).is_empty());
+}
+
+#[test]
+fn checked_in_goldens_parse_against_current_schema() {
+    use dvs_bench::golden::{golden_dir, GoldenCensus, GoldenSuite};
+    let census_text = std::fs::read_to_string(golden_dir().join("suite75_census.json")).unwrap();
+    let census: GoldenCensus = serde_json::from_str(&census_text).unwrap();
+    assert_eq!(census.platforms.len(), 3);
+    let apps_text = std::fs::read_to_string(golden_dir().join("apps_pixel5.json")).unwrap();
+    let apps: GoldenSuite = serde_json::from_str(&apps_text).unwrap();
+    assert_eq!(apps.rows.len(), 25);
+    assert_eq!(apps.dvsync_buffers, vec![4, 5, 7]);
 }

@@ -1,0 +1,35 @@
+//! The sweep engine's determinism contract: a suite executed by N workers is
+//! **byte-identical** (serialized JSON) to the sequential reference path, and
+//! parallel runs agree with each other. See `docs/sweep.md`.
+
+use dvs_bench::sweep::run_suite_jobs;
+use dvs_workload::scenarios;
+
+fn suite_json(jobs: usize) -> String {
+    let result = run_suite_jobs(
+        "determinism — Mate 40 Pro OS cases",
+        &scenarios::mate40_gles_suite(),
+        3,
+        &[4],
+        jobs,
+    );
+    serde_json::to_string(&result).expect("SuiteResult serializes")
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_sequential() {
+    let sequential = suite_json(1);
+    let parallel = suite_json(4);
+    assert_eq!(sequential, parallel, "jobs=4 must reproduce the jobs=1 SuiteResult byte-for-byte");
+}
+
+#[test]
+fn repeated_parallel_sweeps_agree() {
+    assert_eq!(suite_json(4), suite_json(4), "two jobs=4 runs must agree");
+}
+
+#[test]
+fn oversubscribed_sweep_is_still_identical() {
+    // More workers than cells: the index queue just drains faster per worker.
+    assert_eq!(suite_json(1), suite_json(32));
+}

@@ -1,0 +1,142 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Runs each benchmark routine a small, fixed number of times and reports
+//! a rough mean wall-clock per iteration. There is no statistical engine,
+//! warm-up tuning, or HTML report — this stub exists so `cargo bench` (and
+//! `cargo test`, which compiles and smoke-runs `harness = false` bench
+//! targets) works in an offline container.
+//!
+//! Iteration counts are deliberately tiny so bench targets double as fast
+//! smoke tests under `cargo test`.
+
+use std::time::Instant;
+
+/// How measured elements relate to wall-clock (accepted, lightly reported).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; the stub treats all
+/// variants identically.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Number of timed iterations per benchmark in the stub.
+const ITERS: u32 = 10;
+
+/// The per-benchmark timing handle passed to `bench_function` closures.
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { elapsed_ns: 0, iters: 0 }
+    }
+
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iters += ITERS as u64;
+    }
+
+    /// Times `routine` with untimed per-iteration `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed_ns += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Records the group's throughput basis (informational only).
+    pub fn throughput(&mut self, _throughput: Throughput) {}
+
+    /// Runs and reports one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        let per_iter = if b.iters > 0 { b.elapsed_ns / b.iters as u128 } else { 0 };
+        println!("bench {}/{}: ~{} ns/iter ({} iters)", self.name, id, per_iter, b.iters);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), _parent: self }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        let per_iter = if b.iters > 0 { b.elapsed_ns / b.iters as u128 } else { 0 };
+        println!("bench {}: ~{} ns/iter ({} iters)", id, per_iter, b.iters);
+        self
+    }
+}
+
+/// An identity function that defeats constant-folding of its argument.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

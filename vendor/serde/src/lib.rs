@@ -1,0 +1,502 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! This container has no network access and no crates.io mirror, so the
+//! workspace vendors the narrow slice of serde it actually uses: the
+//! `Serialize`/`Deserialize` traits (value-model based rather than
+//! visitor-based), the derive macros, and a JSON-shaped [`Content`] tree that
+//! `serde_json` prints and parses. The public surface mirrors real serde
+//! closely enough that swapping the genuine crates back in is a one-line
+//! `[patch]` removal.
+//!
+//! Design notes:
+//! * Serialization goes through an owned [`Content`] tree instead of the
+//!   serde data model. All workspace types are small config/report structs,
+//!   so the extra allocation is irrelevant.
+//! * Enum representation matches serde's default external tagging: unit
+//!   variants serialize as their name string, struct variants as
+//!   `{"Variant": {fields...}}`.
+//! * Newtype structs serialize transparently as their inner value, matching
+//!   serde.
+
+/// A JSON-shaped value tree: the intermediate representation between typed
+/// values and text. `serde_json::Value` is an alias of this type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object, in insertion order (stable for byte-identical output).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The value for `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A float view of any numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(n) => Some(n as f64),
+            Content::I64(n) => Some(n as f64),
+            Content::F64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// A u64 view of a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+}
+
+static NULL_CONTENT: Content = Content::Null;
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL_CONTENT)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, i: usize) -> &Content {
+        match self {
+            Content::Seq(s) => s.get(i).unwrap_or(&NULL_CONTENT),
+            _ => &NULL_CONTENT,
+        }
+    }
+}
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Content> for &str {
+    fn eq(&self, other: &Content) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+/// A deserialization error with a human-readable message.
+#[derive(Clone, Debug)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can render itself into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts the value into the content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A type that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds the value, or explains why the tree does not fit.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+/// Alias matching serde's `DeserializeOwned` bound vocabulary.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+// ---- Serialize impls -------------------------------------------------------
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+    )*}
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+    )*}
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+// ---- Deserialize impls -----------------------------------------------------
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match *c {
+                    Content::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError::custom(format!(
+                            "integer {n} out of range for {}", stringify!($t)))),
+                    ref other => Err(DeError::custom(format!(
+                        "expected unsigned integer, found {other:?}"))),
+                }
+            }
+        }
+    )*}
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let wide: i64 = match *c {
+                    Content::U64(n) => i64::try_from(n).map_err(|_| {
+                        DeError::custom(format!("integer {n} out of i64 range"))
+                    })?,
+                    Content::I64(n) => n,
+                    ref other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, found {other:?}")))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| DeError::custom(format!(
+                    "integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*}
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_f64()
+            .ok_or_else(|| DeError::custom(format!("expected number, found {c:?}")))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match *c {
+            Content::Bool(b) => Ok(b),
+            ref other => Err(DeError::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = c
+            .as_str()
+            .ok_or_else(|| DeError::custom(format!("expected string, found {c:?}")))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError::custom(format!("expected single char, found {s:?}"))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::custom(format!("expected string, found {c:?}")))
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the decoded string. Real serde only admits this impl when the
+    /// input outlives the value; the stub trades a small, bounded leak
+    /// (static catalogue labels in tests) for that lifetime machinery.
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c.as_str() {
+            Some(s) => Ok(Box::leak(s.to_string().into_boxed_str())),
+            None => Err(DeError::custom(format!("expected string, found {c:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                const ARITY: usize = [$($idx),+].len();
+                match c {
+                    Content::Seq(items) if items.len() == ARITY => {
+                        Ok(($($name::from_content(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::custom(format!(
+                        "expected {ARITY}-element array, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*}
+}
+tuple_impls! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+// ---- Derive support --------------------------------------------------------
+
+/// Helpers the derive macro expands into. Not part of the public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Content, DeError, Deserialize};
+
+    /// Looks up a struct field in an object.
+    pub fn field<'a>(c: &'a Content, name: &str) -> Option<&'a Content> {
+        c.get(name)
+    }
+
+    /// Deserializes a required field.
+    pub fn required<T: Deserialize>(
+        c: &Content,
+        ty: &str,
+        name: &str,
+    ) -> Result<T, DeError> {
+        match c.get(name) {
+            Some(v) => T::from_content(v)
+                .map_err(|e| DeError::custom(format!("{ty}.{name}: {e}"))),
+            None => Err(DeError::custom(format!("{ty}: missing field `{name}`"))),
+        }
+    }
+
+    /// Deserializes a `#[serde(default)]` field.
+    pub fn with_default<T: Deserialize + Default>(
+        c: &Content,
+        ty: &str,
+        name: &str,
+    ) -> Result<T, DeError> {
+        match c.get(name) {
+            Some(v) => T::from_content(v)
+                .map_err(|e| DeError::custom(format!("{ty}.{name}: {e}"))),
+            None => Ok(T::default()),
+        }
+    }
+
+    /// Requires the content to be an object (derived structs).
+    pub fn expect_map<'a>(
+        c: &'a Content,
+        ty: &str,
+    ) -> Result<&'a [(String, Content)], DeError> {
+        match c {
+            Content::Map(m) => Ok(m),
+            other => Err(DeError::custom(format!(
+                "expected object for {ty}, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trip() {
+        assert_eq!(Some(3u64).to_content(), Content::U64(3));
+        assert_eq!(Option::<u64>::from_content(&Content::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn index_missing_is_null() {
+        let v = Content::Map(vec![("a".into(), Content::Bool(true))]);
+        assert!(v["missing"].is_null());
+        assert_eq!(v["a"], Content::Bool(true));
+    }
+
+    #[test]
+    fn str_equality() {
+        assert!(Content::Str("x".into()) == "x");
+    }
+}

@@ -1,0 +1,406 @@
+//! Derive macros for the vendored serde stub.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually contains:
+//!
+//! * structs with named fields (honouring `#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]`),
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays, matching serde),
+//! * enums with unit and struct variants (serde's external tagging).
+//!
+//! Generics and tuple enum variants are rejected with a clear error. The
+//! macro parses the raw token stream directly — `syn`/`quote` are not
+//! available offline — and emits generated code by formatting source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    has_default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field list for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+/// The parsed derive input.
+enum Input {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Serde attributes attached to one field.
+#[derive(Default)]
+struct SerdeAttrs {
+    has_default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tt: &TokenTree, name: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == name)
+}
+
+/// Consumes leading attributes, extracting `#[serde(...)]` contents.
+fn take_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while matches!(tokens.peek(), Some(tt) if is_punct(tt, '#')) {
+        tokens.next();
+        let Some(TokenTree::Group(g)) = tokens.next() else {
+            panic!("expected [...] after # in attribute");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if inner.first().map(|t| is_ident(t, "serde")) != Some(true) {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.get(1) else { continue };
+        let args: Vec<TokenTree> = args.stream().into_iter().collect();
+        let mut i = 0;
+        while i < args.len() {
+            match &args[i] {
+                TokenTree::Ident(id) if id.to_string() == "default" => {
+                    attrs.has_default = true;
+                    i += 1;
+                }
+                TokenTree::Ident(id) if id.to_string() == "skip_serializing_if" => {
+                    // skip_serializing_if = "Option::is_none"
+                    assert!(
+                        is_punct(&args[i + 1], '='),
+                        "expected `=` after skip_serializing_if"
+                    );
+                    let TokenTree::Literal(lit) = &args[i + 2] else {
+                        panic!("expected string literal after skip_serializing_if =");
+                    };
+                    let path = lit.to_string();
+                    attrs.skip_serializing_if =
+                        Some(path.trim_matches('"').to_string());
+                    i += 3;
+                }
+                TokenTree::Punct(_) => i += 1,
+                other => panic!("unsupported serde attribute: {other}"),
+            }
+        }
+    }
+    attrs
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(tt) if is_ident(tt, "pub")) {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Parses the fields of a `{...}` group (struct body or struct variant).
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        let attrs = take_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else { break };
+        let Some(colon) = tokens.next() else {
+            panic!("expected `:` after field `{name}`");
+        };
+        assert!(is_punct(&colon, ':'), "expected `:` after field `{name}`");
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field {
+            name: name.to_string(),
+            has_default: attrs.has_default,
+            skip_serializing_if: attrs.skip_serializing_if,
+        });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct's `(...)` group.
+fn tuple_arity(group: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut saw_any = false;
+    let mut angle_depth = 0i32;
+    for tt in group {
+        saw_any = true;
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => arity += 1,
+            _ => {}
+        }
+    }
+    if saw_any {
+        arity + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        let _attrs = take_attrs(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else { break };
+        let mut fields = None;
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let TokenTree::Group(g) = tokens.next().unwrap() else { unreachable!() };
+                fields = Some(parse_named_fields(g.stream()));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("tuple enum variants are not supported by the vendored serde derive");
+            }
+            _ => {}
+        }
+        // Skip to the comma separating variants (covers `= disc` forms).
+        while let Some(tt) = tokens.peek() {
+            if is_punct(tt, ',') {
+                tokens.next();
+                break;
+            }
+            tokens.next();
+        }
+        variants.push(Variant { name: name.to_string(), fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(tt) if is_punct(tt, '#') => {
+                tokens.next();
+                tokens.next();
+            }
+            _ => break,
+        }
+    }
+    skip_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(tt) if is_punct(tt, '<')) {
+        panic!("generic types are not supported by the vendored serde derive");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Input::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Input::TupleStruct { name, arity: tuple_arity(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::UnitStruct { name },
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Input::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+fn named_fields_to_content(fields: &[Field], access_prefix: &str) -> String {
+    let mut body = String::from("let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n");
+    for f in fields {
+        let access = format!("{access_prefix}{}", f.name);
+        let push = format!(
+            "__m.push((\"{n}\".to_string(), ::serde::Serialize::to_content(&{access})));\n",
+            n = f.name
+        );
+        match &f.skip_serializing_if {
+            Some(path) => {
+                body.push_str(&format!("if !{path}(&{access}) {{ {push} }}\n"));
+            }
+            None => body.push_str(&push),
+        }
+    }
+    body.push_str("::serde::Content::Map(__m)\n");
+    body
+}
+
+fn named_fields_from_content(ty_label: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        let helper = if f.has_default { "with_default" } else { "required" };
+        body.push_str(&format!(
+            "{n}: ::serde::__private::{helper}(__c, \"{ty_label}\", \"{n}\")?,\n",
+            n = f.name
+        ));
+    }
+    body
+}
+
+/// Derives the stub `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::NamedStruct { name, fields } => {
+            let body = named_fields_to_content(&fields, "self.");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n{body}}}\n}}\n"
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                "::serde::Serialize::to_content(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                    .collect();
+                format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{ {body} }}\n}}\n"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ ::serde::Content::Null }}\n}}\n"
+        ),
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Content::Str(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    Some(fields) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let body = named_fields_to_content(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let __inner = {{ {body} }};\n\
+                             ::serde::Content::Map(vec![(\"{v}\".to_string(), __inner)])\n}}\n",
+                            v = v.name,
+                            binds = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    };
+    out.parse().expect("derived Serialize impl parses")
+}
+
+/// Derives the stub `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Input::NamedStruct { name, fields } => {
+            let body = named_fields_from_content(&name, &fields);
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(__c: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::serde::__private::expect_map(__c, \"{name}\")?;\n\
+                 Ok({name} {{\n{body}}})\n}}\n}}\n"
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_content(__c)?))")
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                    .collect();
+                format!(
+                    "match __c {{\n\
+                     ::serde::Content::Seq(__s) if __s.len() == {arity} => \
+                     Ok({name}({items})),\n\
+                     other => Err(::serde::DeError::custom(format!(\
+                     \"expected {arity}-element array for {name}, found {{other:?}}\"))),\n}}",
+                    items = items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(__c: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(_c: &::serde::Content) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{ Ok({name}) }}\n}}\n"
+        ),
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut map_arms = String::new();
+            for v in &variants {
+                match &v.fields {
+                    None => unit_arms.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    Some(fields) => {
+                        let label = format!("{name}::{}", v.name);
+                        let body = named_fields_from_content(&label, fields);
+                        map_arms.push_str(&format!(
+                            "\"{v}\" => Ok({name}::{v} {{\n{body}}}),\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(__c: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::DeError::custom(format!(\
+                 \"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                 ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __c) = &__m[0];\n\
+                 match __k.as_str() {{\n{map_arms}\
+                 other => Err(::serde::DeError::custom(format!(\
+                 \"unknown {name} variant `{{other}}`\"))),\n}}\n}},\n\
+                 other => Err(::serde::DeError::custom(format!(\
+                 \"expected {name} variant, found {{other:?}}\"))),\n}}\n}}\n}}\n"
+            )
+        }
+    };
+    out.parse().expect("derived Deserialize impl parses")
+}
