@@ -201,6 +201,11 @@ fn jobs() -> Vec<Job> {
             },
         },
         Job {
+            key: "faults",
+            describe: "robustness fault matrix (scenarios × fault profiles × pacers)",
+            run: || faultmatrix::run(sweep::default_jobs()).render(),
+        },
+        Job {
             key: "census",
             describe: "§3.2's \"N of 75 cases exhibit frame drops\" counts",
             run: || suite75::render(&suite75::run()),

@@ -1,0 +1,408 @@
+//! The fault-matrix sweep: every scenario × fault profile × pacer cell run
+//! through the [sweep engine](crate::sweep), summarising robustness under
+//! injected adversity (janks, watchdog degradations/recoveries, latency).
+//!
+//! Like the suite sweep, the matrix is **byte-identical** for every job
+//! count: each cell's trace and fault schedule are derived from stable
+//! textual keys only, and results are reassembled by cell index.
+
+use dvs_core::{DvsyncConfig, DvsyncPacer, WatchdogConfig};
+use dvs_faults::{named_profile, FaultEvent, FaultPlan};
+use dvs_metrics::{PacerMode, RunReport};
+use dvs_pipeline::{FramePacer, PipelineConfig, Simulator, VsyncPacer};
+use dvs_sim::SimDuration;
+use dvs_workload::{CostProfile, FrameCost, FrameTrace, ScenarioSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::golden::Tolerance;
+use crate::sweep::{PacerKind, SweepEngine};
+
+/// One cell of the fault matrix: a scenario under one fault profile and one
+/// pacing policy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultCell {
+    /// Index of the scenario in the matrix's spec list.
+    pub spec_index: usize,
+    /// Scenario name (the trace-seed key).
+    pub scenario: String,
+    /// Fault-profile name (see [`dvs_faults::profile_names`]).
+    pub profile: String,
+    /// Pacing policy under test.
+    pub pacer: PacerKind,
+    /// Buffer count for this cell.
+    pub buffers: usize,
+}
+
+impl FaultCell {
+    /// The cell's stable key; also the fault plan's seed key, so the fault
+    /// stream depends only on (scenario, profile) — both pacers face the
+    /// *same* adversity, and re-runs replay it exactly.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.scenario, self.profile)
+    }
+}
+
+/// One cell's measured outcome.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultMatrixRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Fault-profile name.
+    pub profile: String,
+    /// Pacer label (`"vsync"` / `"dvsync"`).
+    pub pacer: String,
+    /// Frames the run presented.
+    pub frames: usize,
+    /// Faults actually injected during the run.
+    pub faults_injected: usize,
+    /// Janks observed.
+    pub janks: usize,
+    /// Frame drops per second.
+    pub fdps: f64,
+    /// Watchdog degradations to classic pacing (D-VSync cells only).
+    pub degradations: usize,
+    /// Watchdog re-engagements of decoupling (D-VSync cells only).
+    pub recoveries: usize,
+    /// Mean rendering latency in milliseconds.
+    pub mean_latency_ms: f64,
+}
+
+/// The whole matrix plus the configuration that shaped it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultMatrixResult {
+    /// Matrix label.
+    pub label: String,
+    /// VSync-cell buffer count.
+    pub vsync_buffers: usize,
+    /// D-VSync-cell buffer count.
+    pub dvsync_buffers: usize,
+    /// Rows in cell order (scenario-major, profile order, VSync then D-VSync).
+    pub rows: Vec<FaultMatrixRow>,
+}
+
+impl FaultMatrixResult {
+    /// Renders the matrix as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n", self.label);
+        out.push_str(&format!(
+            "{:<16} {:<14} {:<7} {:>7} {:>6} {:>6} {:>5} {:>5} {:>9}\n",
+            "scenario", "profile", "pacer", "faults", "janks", "fdps", "deg", "rec", "lat ms"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<16} {:<14} {:<7} {:>7} {:>6} {:>6.2} {:>5} {:>5} {:>9.2}\n",
+                r.scenario,
+                r.profile,
+                r.pacer,
+                r.faults_injected,
+                r.janks,
+                r.fdps,
+                r.degradations,
+                r.recoveries,
+                r.mean_latency_ms
+            ));
+        }
+        out
+    }
+}
+
+/// The scenarios the default matrix measures: a light 60 Hz animation, a
+/// keyframe-heavy one, and a 120 Hz case (exercising rate-cap profiles).
+pub fn default_specs() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec::new("fault light", 60, 600, CostProfile::scattered(0.8)),
+        ScenarioSpec::new("fault heavy", 60, 600, CostProfile::clustered(2.0)),
+        ScenarioSpec::new("fault 120hz", 120, 600, CostProfile::scattered(1.0)),
+    ]
+}
+
+fn run_cell(cell: &FaultCell, plan: &FaultPlan, trace: &FrameTrace) -> FaultMatrixRow {
+    let cfg = PipelineConfig::new(trace.rate_hz, cell.buffers);
+    let mut vsync;
+    let mut dvsync;
+    let pacer: &mut dyn FramePacer = match cell.pacer {
+        PacerKind::Vsync => {
+            vsync = VsyncPacer::new();
+            &mut vsync
+        }
+        PacerKind::Dvsync => {
+            dvsync = DvsyncPacer::new(DvsyncConfig::with_buffers(cell.buffers))
+                .with_watchdog(WatchdogConfig::default());
+            &mut dvsync
+        }
+    };
+    let report = Simulator::new(&cfg)
+        .run_faulted(trace, pacer, plan)
+        .expect("matrix traces are non-empty and rate-matched");
+    summarize(cell, &report)
+}
+
+fn summarize(cell: &FaultCell, report: &RunReport) -> FaultMatrixRow {
+    FaultMatrixRow {
+        scenario: cell.scenario.clone(),
+        profile: cell.profile.clone(),
+        pacer: match cell.pacer {
+            PacerKind::Vsync => "vsync".to_string(),
+            PacerKind::Dvsync => "dvsync".to_string(),
+        },
+        frames: report.records.len(),
+        faults_injected: report.fault_events.len(),
+        janks: report.janks.len(),
+        fdps: report.fdps(),
+        degradations: report.degradations(),
+        recoveries: report.recoveries(),
+        mean_latency_ms: report.mean_latency_ms(),
+    }
+}
+
+/// Runs the matrix over `specs` × `profiles` with `jobs` sweep workers.
+///
+/// Results are byte-identical for every `jobs` value: cell keys contain no
+/// worker or scheduling state, and the engine reassembles rows by index.
+pub fn run_fault_matrix_jobs(
+    label: &str,
+    specs: &[ScenarioSpec],
+    profiles: &[&str],
+    vsync_buffers: usize,
+    dvsync_buffers: usize,
+    jobs: usize,
+) -> FaultMatrixResult {
+    let mut cells = Vec::with_capacity(specs.len() * profiles.len() * 2);
+    for (spec_index, spec) in specs.iter().enumerate() {
+        for profile in profiles {
+            for (pacer, buffers) in
+                [(PacerKind::Vsync, vsync_buffers), (PacerKind::Dvsync, dvsync_buffers)]
+            {
+                cells.push(FaultCell {
+                    spec_index,
+                    scenario: spec.name.clone(),
+                    profile: profile.to_string(),
+                    pacer,
+                    buffers,
+                });
+            }
+        }
+    }
+    let rows = SweepEngine::new(jobs).run(cells.len(), |i| {
+        let cell = &cells[i];
+        let plan = named_profile(&cell.profile, cell.key()).expect("matrix profiles are all named");
+        let trace = specs[cell.spec_index].generate();
+        run_cell(cell, &plan, &trace)
+    });
+    FaultMatrixResult { label: label.to_string(), vsync_buffers, dvsync_buffers, rows }
+}
+
+/// Runs the default matrix (all named profiles over [`default_specs`]).
+pub fn run(jobs: usize) -> FaultMatrixResult {
+    run_fault_matrix_jobs(
+        "Fault matrix — scenarios × profiles × pacers",
+        &default_specs(),
+        dvs_faults::profile_names(),
+        3,
+        5,
+        jobs,
+    )
+}
+
+// ---- Golden summaries ------------------------------------------------------
+
+/// The canonical fault-matrix summary stored as a golden file. Counts must
+/// match exactly (the simulator is deterministic); floats get tolerances.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GoldenFaultMatrix {
+    /// Per-cell rows, in matrix order.
+    pub rows: Vec<FaultMatrixRow>,
+}
+
+impl From<&FaultMatrixResult> for GoldenFaultMatrix {
+    fn from(r: &FaultMatrixResult) -> Self {
+        GoldenFaultMatrix { rows: r.rows.clone() }
+    }
+}
+
+/// Compares a fault-matrix summary against its golden.
+pub fn compare_fault_matrix(
+    actual: &GoldenFaultMatrix,
+    golden: &GoldenFaultMatrix,
+    tol: Tolerance,
+) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if actual.rows.len() != golden.rows.len() {
+        diffs.push(format!("row count: {} vs {}", actual.rows.len(), golden.rows.len()));
+        return diffs;
+    }
+    for (a, g) in actual.rows.iter().zip(&golden.rows) {
+        let key = format!("{}/{}/{}", a.scenario, a.profile, a.pacer);
+        if (a.scenario.as_str(), a.profile.as_str(), a.pacer.as_str())
+            != (g.scenario.as_str(), g.profile.as_str(), g.pacer.as_str())
+        {
+            diffs.push(format!("row order: {key} vs {}/{}/{}", g.scenario, g.profile, g.pacer));
+            continue;
+        }
+        if (a.frames, a.faults_injected, a.janks, a.degradations, a.recoveries)
+            != (g.frames, g.faults_injected, g.janks, g.degradations, g.recoveries)
+        {
+            diffs.push(format!(
+                "{key}: counts (frames {}, faults {}, janks {}, deg {}, rec {}) \
+                 vs golden (frames {}, faults {}, janks {}, deg {}, rec {})",
+                a.frames,
+                a.faults_injected,
+                a.janks,
+                a.degradations,
+                a.recoveries,
+                g.frames,
+                g.faults_injected,
+                g.janks,
+                g.degradations,
+                g.recoveries
+            ));
+        }
+        if (a.fdps - g.fdps).abs() > tol.fdps {
+            diffs.push(format!("{key}: fdps {:.4} vs {:.4}", a.fdps, g.fdps));
+        }
+        if (a.mean_latency_ms - g.mean_latency_ms).abs() > tol.latency_ms {
+            diffs.push(format!(
+                "{key}: latency {:.4} vs {:.4}",
+                a.mean_latency_ms, g.mean_latency_ms
+            ));
+        }
+    }
+    diffs
+}
+
+// ---- The degraded-mode reference case --------------------------------------
+
+/// One logged mode transition in the degraded-mode golden.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoldenTransition {
+    /// Frame index the transition was logged against.
+    pub frame_index: u64,
+    /// `"classic"` or `"decoupled"`.
+    pub mode: String,
+    /// Human-readable trigger recorded by the watchdog.
+    pub reason: String,
+}
+
+/// The canonical degrade-then-re-engage case stored as a golden file: a
+/// sustained render-stall burst against the watchdog-equipped D-VSync pacer.
+/// Everything in it is an exact count — any drift in the degradation state
+/// machine shows up as a golden diff.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoldenDegradedMode {
+    /// Frames presented.
+    pub frames: usize,
+    /// Janks observed.
+    pub janks: usize,
+    /// Faults injected.
+    pub faults_injected: usize,
+    /// The full transition log.
+    pub transitions: Vec<GoldenTransition>,
+}
+
+/// Runs the degraded-mode reference case: 240 light 60 Hz frames with a
+/// 16-frame render-stall burst, D-VSync with the default watchdog.
+pub fn run_degraded_case() -> GoldenDegradedMode {
+    let mut trace = FrameTrace::new("degraded golden", 60);
+    for _ in 0..240 {
+        trace.push(FrameCost::new(
+            SimDuration::from_millis_f64(2.0),
+            SimDuration::from_millis_f64(5.0),
+        ));
+    }
+    let mut plan = FaultPlan::new("bench/degraded-mode");
+    for frame in 40..56 {
+        plan = plan
+            .with_event(FaultEvent::StallRs { frame, extra: SimDuration::from_millis_f64(24.0) });
+    }
+    let cfg = PipelineConfig::new(60, 5);
+    let mut pacer =
+        DvsyncPacer::new(DvsyncConfig::with_buffers(5)).with_watchdog(WatchdogConfig::default());
+    let report = Simulator::new(&cfg)
+        .run_faulted(&trace, &mut pacer, &plan)
+        .expect("reference trace is valid");
+    GoldenDegradedMode {
+        frames: report.records.len(),
+        janks: report.janks.len(),
+        faults_injected: report.fault_events.len(),
+        transitions: report
+            .mode_transitions
+            .iter()
+            .map(|t| GoldenTransition {
+                frame_index: t.frame_index,
+                mode: match t.mode {
+                    PacerMode::Classic => "classic".to_string(),
+                    PacerMode::Decoupled => "decoupled".to_string(),
+                },
+                reason: t.reason.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// Compares the degraded-mode case exactly (no tolerances: every field is a
+/// count or a deterministic string).
+pub fn compare_degraded_mode(
+    actual: &GoldenDegradedMode,
+    golden: &GoldenDegradedMode,
+) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if actual == golden {
+        return diffs;
+    }
+    if actual.frames != golden.frames {
+        diffs.push(format!("frames: {} vs {}", actual.frames, golden.frames));
+    }
+    if actual.janks != golden.janks {
+        diffs.push(format!("janks: {} vs {}", actual.janks, golden.janks));
+    }
+    if actual.faults_injected != golden.faults_injected {
+        diffs.push(format!("faults: {} vs {}", actual.faults_injected, golden.faults_injected));
+    }
+    if actual.transitions != golden.transitions {
+        diffs.push(format!("transitions: {:?} vs {:?}", actual.transitions, golden.transitions));
+    }
+    diffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_cells_cover_the_grid() {
+        let specs = default_specs();
+        let profiles = dvs_faults::profile_names();
+        let m = run_fault_matrix_jobs("t", &specs[..1], &profiles[..2], 3, 5, 1);
+        assert_eq!(m.rows.len(), 2 * 2, "1 scenario × 2 profiles × 2 pacers");
+        assert!(m.rows.iter().all(|r| r.frames == 600));
+        let text = m.render();
+        assert!(text.contains("profile"));
+    }
+
+    #[test]
+    fn clean_profile_injects_nothing() {
+        let specs = default_specs();
+        let m = run_fault_matrix_jobs("t", &specs[..1], &["clean"], 3, 5, 1);
+        assert!(m.rows.iter().all(|r| r.faults_injected == 0), "{:?}", m.rows);
+    }
+
+    #[test]
+    fn degraded_case_degrades_and_recovers() {
+        let case = run_degraded_case();
+        assert_eq!(case.frames, 240);
+        assert!(!case.transitions.is_empty());
+        assert_eq!(case.transitions[0].mode, "classic");
+        assert!(case.transitions.iter().any(|t| t.mode == "decoupled"));
+        // Deterministic replay.
+        assert_eq!(case, run_degraded_case());
+    }
+
+    #[test]
+    fn comparator_flags_count_drift() {
+        let golden = run_degraded_case();
+        let mut bad = golden.clone();
+        bad.janks += 1;
+        assert!(compare_degraded_mode(&golden, &golden).is_empty());
+        assert_eq!(compare_degraded_mode(&bad, &golden).len(), 1);
+    }
+}

@@ -11,6 +11,7 @@
 
 pub mod ablation;
 pub mod costs;
+pub mod faultmatrix;
 pub mod fig01_cdf;
 pub mod fig03_pixels;
 pub mod fig04_features;

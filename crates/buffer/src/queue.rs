@@ -18,7 +18,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use dvs_sim::SimTime;
+use dvs_sim::{DvsError, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Identifies one buffer slot in a [`BufferQueue`].
@@ -129,17 +129,38 @@ impl BufferQueue {
     /// # Panics
     ///
     /// Panics if `capacity < 2` — a queue needs at least one front and one
-    /// back buffer to make progress.
+    /// back buffer to make progress. Fallible callers (e.g. configurations
+    /// arriving from outside the process) should use [`BufferQueue::try_new`].
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity >= 2, "buffer queue needs at least 2 buffers");
-        BufferQueue {
+        Self::try_new(capacity).expect("buffer queue needs at least 2 buffers")
+    }
+
+    /// Fallible constructor: rejects `capacity < 2` with a typed error
+    /// instead of panicking.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dvs_buffer::BufferQueue;
+    /// use dvs_sim::DvsError;
+    /// assert!(BufferQueue::try_new(3).is_ok());
+    /// assert_eq!(
+    ///     BufferQueue::try_new(1).unwrap_err(),
+    ///     DvsError::BufferCapacityTooSmall { got: 1, min: 2 }
+    /// );
+    /// ```
+    pub fn try_new(capacity: usize) -> Result<Self, DvsError> {
+        if capacity < 2 {
+            return Err(DvsError::BufferCapacityTooSmall { got: capacity, min: 2 });
+        }
+        Ok(BufferQueue {
             slots: vec![SlotState::Free; capacity],
             fifo: VecDeque::with_capacity(capacity),
             front: None,
             max_queued_observed: 0,
             total_queued: 0,
             total_acquired: 0,
-        }
+        })
     }
 
     /// Total number of buffer slots.
@@ -215,7 +236,11 @@ impl BufferQueue {
         let idx = *self.fifo.front()?;
         match &self.slots[idx] {
             SlotState::Queued { meta, queued_at } => Some((*meta, *queued_at)),
-            _ => unreachable!("fifo entry must be in Queued state"),
+            other => {
+                // Hot-loop invariant: the fifo only ever holds Queued slots.
+                debug_assert!(false, "fifo entry in {other:?} state, expected Queued");
+                None
+            }
         }
     }
 
@@ -227,7 +252,14 @@ impl BufferQueue {
         let idx = self.fifo.pop_front()?;
         let (meta, queued_at) = match std::mem::replace(&mut self.slots[idx], SlotState::Front) {
             SlotState::Queued { meta, queued_at } => (meta, queued_at),
-            _ => unreachable!("fifo entry must be in Queued state"),
+            other => {
+                // Hot-loop invariant: the fifo only ever holds Queued slots.
+                // In release builds restore the state and fail the acquire
+                // instead of tearing down the whole simulation.
+                debug_assert!(false, "fifo entry in {other:?} state, expected Queued");
+                self.slots[idx] = other;
+                return None;
+            }
         };
         if let Some(prev) = self.front.replace(idx) {
             self.slots[prev] = SlotState::Free;
@@ -255,24 +287,52 @@ impl BufferQueue {
         }
     }
 
+    /// Checks internal invariants, reporting the first violation found.
+    ///
+    /// Returns `Ok(())` for a consistent queue; the error string names the
+    /// broken invariant. Property tests and the chaos harness call this after
+    /// every mutation without risking a panic mid-shrink.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let fronts = self.slots.iter().filter(|s| **s == SlotState::Front).count();
+        if fronts > 1 {
+            return Err(format!("{fronts} front buffers, expected at most 1"));
+        }
+        if (fronts == 1) != self.front.is_some() {
+            return Err("front index out of sync with slot states".into());
+        }
+        let queued = self.slots.iter().filter(|s| matches!(s, SlotState::Queued { .. })).count();
+        if queued != self.fifo.len() {
+            return Err(format!(
+                "fifo out of sync with slot states: {queued} queued slots vs {} fifo entries",
+                self.fifo.len()
+            ));
+        }
+        if self.fifo.len() > self.capacity() {
+            return Err("fifo longer than capacity".into());
+        }
+        // FIFO entries must be distinct and queued.
+        let mut seen = vec![false; self.slots.len()];
+        for &i in &self.fifo {
+            if seen[i] {
+                return Err(format!("duplicate fifo entry for slot {i}"));
+            }
+            seen[i] = true;
+            if !matches!(self.slots[i], SlotState::Queued { .. }) {
+                return Err(format!("fifo entry {i} not in Queued state"));
+            }
+        }
+        Ok(())
+    }
+
     /// Checks internal invariants; used by property tests.
     ///
     /// # Panics
     ///
-    /// Panics if any invariant is violated.
+    /// Panics if any invariant is violated. See [`BufferQueue::check_invariants`]
+    /// for the non-panicking form.
     pub fn assert_invariants(&self) {
-        let fronts = self.slots.iter().filter(|s| **s == SlotState::Front).count();
-        assert!(fronts <= 1, "more than one front buffer");
-        assert_eq!(fronts == 1, self.front.is_some());
-        let queued = self.slots.iter().filter(|s| matches!(s, SlotState::Queued { .. })).count();
-        assert_eq!(queued, self.fifo.len(), "fifo out of sync with slot states");
-        assert!(self.fifo.len() <= self.capacity());
-        // FIFO entries must be distinct and queued.
-        let mut seen = vec![false; self.slots.len()];
-        for &i in &self.fifo {
-            assert!(!seen[i], "duplicate fifo entry");
-            seen[i] = true;
-            assert!(matches!(self.slots[i], SlotState::Queued { .. }));
+        if let Err(what) = self.check_invariants() {
+            panic!("buffer queue invariant violated: {what}");
         }
     }
 }
@@ -403,6 +463,29 @@ mod tests {
         }
         assert_eq!(q.total_queued(), 10);
         assert_eq!(q.total_acquired(), 10);
+    }
+
+    #[test]
+    fn try_new_rejects_tiny_capacity() {
+        assert_eq!(
+            BufferQueue::try_new(0).unwrap_err(),
+            DvsError::BufferCapacityTooSmall { got: 0, min: 2 }
+        );
+        assert_eq!(
+            BufferQueue::try_new(1).unwrap_err(),
+            DvsError::BufferCapacityTooSmall { got: 1, min: 2 }
+        );
+        assert_eq!(BufferQueue::try_new(2).unwrap().capacity(), 2);
+    }
+
+    #[test]
+    fn check_invariants_reports_ok() {
+        let mut q = BufferQueue::new(3);
+        assert!(q.check_invariants().is_ok());
+        let s = q.dequeue_free().unwrap();
+        q.queue(s, meta(0), SimTime::ZERO).unwrap();
+        q.acquire(SimTime::ZERO).unwrap();
+        assert!(q.check_invariants().is_ok());
     }
 
     #[test]

@@ -61,6 +61,7 @@ mod ipl;
 mod ltpo;
 mod pacer;
 mod scope;
+mod watchdog;
 
 pub use adaptive::{run_adaptive_session, AdaptiveLimit, AdaptiveSession};
 pub use api::{Channel, DvsyncConfig, DvsyncRuntime, SessionPhase, SessionReport};
@@ -74,3 +75,4 @@ pub use ipl::{
 pub use ltpo::{LtpoCoSim, LtpoCoSimReport};
 pub use pacer::DvsyncPacer;
 pub use scope::{classify_scenarios, ScopeBreakdown};
+pub use watchdog::{DegradationWatchdog, WatchdogConfig};

@@ -1,12 +1,14 @@
 //! The D-VSync pacing policy: FPE + DTV packaged as a
 //! [`FramePacer`](dvs_pipeline::FramePacer).
 
-use dvs_pipeline::{FramePacer, FramePlan, PacerCtx};
+use dvs_metrics::{ModeTransition, PacerMode};
+use dvs_pipeline::{FramePacer, FramePlan, PacerCtx, VsyncPacer};
 use dvs_sim::SimTime;
 
 use crate::api::DvsyncConfig;
 use crate::dtv::Dtv;
 use crate::fpe::{FpeStage, FpeState};
+use crate::watchdog::{DegradationWatchdog, WatchdogConfig};
 
 /// Drives frame execution decoupled from the display VSync.
 ///
@@ -23,6 +25,10 @@ pub struct DvsyncPacer {
     config: DvsyncConfig,
     frames_planned: u64,
     last_assignment: Option<(u64, u64, SimTime)>,
+    /// Degradation watchdog; `None` keeps the pacer unconditionally decoupled.
+    watchdog: Option<DegradationWatchdog>,
+    /// Classic pacing used while the watchdog holds the pacer degraded.
+    fallback: VsyncPacer,
 }
 
 impl DvsyncPacer {
@@ -34,7 +40,44 @@ impl DvsyncPacer {
             config,
             frames_planned: 0,
             last_assignment: None,
+            watchdog: None,
+            fallback: VsyncPacer::new(),
         }
+    }
+
+    /// Attaches a degradation watchdog: under sustained deadline misses the
+    /// pacer falls back to classic VSync pacing and re-engages decoupling
+    /// with hysteresis once the pipeline shows headroom again. Transitions
+    /// are reported via [`FramePacer::take_transitions`] and land in the
+    /// run report's `mode_transitions`.
+    pub fn with_watchdog(mut self, config: WatchdogConfig) -> Self {
+        self.watchdog = Some(DegradationWatchdog::new(config));
+        self
+    }
+
+    /// The pacing mode in force: [`PacerMode::Classic`] while degraded,
+    /// [`PacerMode::Decoupled`] otherwise (always, without a watchdog).
+    pub fn mode(&self) -> PacerMode {
+        self.watchdog.as_ref().map_or(PacerMode::Decoupled, |w| w.mode())
+    }
+
+    /// The attached watchdog, if any.
+    pub fn watchdog(&self) -> Option<&DegradationWatchdog> {
+        self.watchdog.as_ref()
+    }
+
+    /// Tears down the decoupled machinery on a degrade edge: the DTV's
+    /// calibration is stale by the time we recover, and the fallback must
+    /// start from choreographer catch-up semantics.
+    fn enter_classic(&mut self) {
+        self.dtv = None;
+        self.fallback = VsyncPacer::new();
+    }
+
+    /// Rebuilds a fresh accumulation stage on a recovery edge.
+    fn reenter_decoupled(&mut self) {
+        self.fpe = FpeState::new(self.fpe.prerender_limit());
+        // The DTV re-initialises lazily on the next plan call.
     }
 
     /// The pre-executor state (stage, limit).
@@ -74,6 +117,24 @@ impl DvsyncPacer {
 
 impl FramePacer for DvsyncPacer {
     fn plan_next(&mut self, ctx: &PacerCtx) -> Option<FramePlan> {
+        if self.watchdog.is_some() {
+            // Decoupling-lead collapse: the pre-executor reached its sync
+            // stage (headroom was banked) yet the queue has drained to zero
+            // while the panel is live — the lead is gone and every further
+            // long frame janks immediately. Count it as a miss.
+            let collapsed = self.mode() == PacerMode::Decoupled
+                && ctx.last_present_tick.is_some()
+                && self.fpe.stage() == FpeStage::Sync
+                && ctx.queued == 0;
+            let wd = self.watchdog.as_mut().expect("checked above");
+            if collapsed && wd.record_miss(ctx.last_tick.0, ctx.now, ctx.frame_index) {
+                self.enter_classic();
+            }
+            if self.mode() == PacerMode::Classic {
+                return self.fallback.plan_next(ctx);
+            }
+        }
+
         // Feed the clock model with the latest hardware signal.
         let dtv = self.dtv.get_or_insert_with(|| {
             Dtv::new(ctx.period).with_calibration_interval(self.config.calibrate_every)
@@ -103,6 +164,14 @@ impl FramePacer for DvsyncPacer {
     }
 
     fn on_present(&mut self, seq: u64, tick: u64, time: SimTime) {
+        if let Some(wd) = self.watchdog.as_mut() {
+            if wd.note_present(tick, time, seq) {
+                self.reenter_decoupled();
+            }
+            if self.mode() == PacerMode::Classic {
+                return; // the fallback pacer needs no present feedback
+            }
+        }
         if self.dtv.is_some() {
             let dtv = self.dtv_mut();
             dtv.observe_tick(tick, time);
@@ -111,9 +180,23 @@ impl FramePacer for DvsyncPacer {
     }
 
     fn on_jank(&mut self, tick: u64, time: SimTime) {
+        if self.watchdog.is_some() {
+            let frame_marker = self.frames_planned;
+            let wd = self.watchdog.as_mut().expect("checked above");
+            if wd.record_miss(tick, time, frame_marker) {
+                self.enter_classic();
+            }
+            if self.mode() == PacerMode::Classic {
+                return;
+            }
+        }
         if self.dtv.is_some() {
             self.dtv_mut().observe_tick(tick, time);
         }
+    }
+
+    fn take_transitions(&mut self) -> Vec<ModeTransition> {
+        self.watchdog.as_mut().map_or_else(Vec::new, |w| w.take_transitions())
     }
 
     fn name(&self) -> &'static str {

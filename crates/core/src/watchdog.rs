@@ -1,0 +1,232 @@
+//! The degradation watchdog: D-VSync's graceful fallback to classic VSync.
+//!
+//! Decoupling only pays off while the pre-render lead survives adversity.
+//! Under sustained overload — GPU stalls, UI pauses, missed pulses — the
+//! lead collapses, and D-VSync's deeper pipeline buys nothing while still
+//! costing latency and memory. The watchdog watches for that collapse and
+//! switches the pacer to classic VSync pacing; once the pipeline has shown
+//! sustained headroom again it re-engages decoupling.
+//!
+//! The state machine (both edges are hysteretic, so the pacer cannot
+//! flap between modes on a single borderline tick):
+//!
+//! ```text
+//!                ≥ miss_threshold misses within miss_window ticks
+//!   Decoupled ────────────────────────────────────────────────▶ Classic
+//!       ▲                                                          │
+//!       └────────── no misses for recovery_ticks ticks ◀───────────┘
+//!                   (checked at each present)
+//! ```
+//!
+//! A *miss* is either a jank (the panel repeated a frame while content was
+//! expected) or a decoupling-lead collapse (the FPE is in its sync stage yet
+//! the buffer queue is empty — production has lost its banked headroom).
+//! Misses are deduplicated per tick so one bad refresh counts once no matter
+//! how many symptoms it shows.
+
+use std::collections::VecDeque;
+
+use dvs_metrics::{ModeTransition, PacerMode};
+use dvs_sim::SimTime;
+
+/// Tuning for the degradation watchdog.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Sliding window, in refresh ticks, over which misses are counted.
+    pub miss_window: u64,
+    /// Misses within the window that trigger degradation.
+    pub miss_threshold: usize,
+    /// Miss-free ticks required before decoupling re-engages.
+    pub recovery_ticks: u64,
+}
+
+impl Default for WatchdogConfig {
+    /// Defaults sized for 60–120 Hz panels: three bad refreshes within
+    /// ~a tenth of a second degrade; ~a sixth of a second of clean presents
+    /// recover.
+    fn default() -> Self {
+        WatchdogConfig { miss_window: 12, miss_threshold: 3, recovery_ticks: 18 }
+    }
+}
+
+/// Tracks deadline misses and decides when to degrade / re-engage.
+#[derive(Clone, Debug)]
+pub struct DegradationWatchdog {
+    config: WatchdogConfig,
+    /// Tick indices of recent misses, pruned to the sliding window.
+    recent: VecDeque<u64>,
+    last_miss_tick: Option<u64>,
+    mode: PacerMode,
+    transitions: Vec<ModeTransition>,
+}
+
+impl DegradationWatchdog {
+    /// Creates a watchdog in the decoupled mode.
+    pub fn new(config: WatchdogConfig) -> Self {
+        DegradationWatchdog {
+            config,
+            recent: VecDeque::new(),
+            last_miss_tick: None,
+            mode: PacerMode::Decoupled,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The mode currently in force.
+    pub fn mode(&self) -> PacerMode {
+        self.mode
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.config
+    }
+
+    /// Records a deadline miss (jank or lead collapse) at `tick`.
+    ///
+    /// Returns `true` when this miss degrades the pacer to classic pacing.
+    pub fn record_miss(&mut self, tick: u64, time: SimTime, frame_index: u64) -> bool {
+        if self.recent.back() == Some(&tick) {
+            return false; // one bad refresh counts once
+        }
+        self.recent.push_back(tick);
+        self.last_miss_tick = Some(tick);
+        let floor = tick.saturating_sub(self.config.miss_window.saturating_sub(1));
+        while self.recent.front().is_some_and(|&t| t < floor) {
+            self.recent.pop_front();
+        }
+        if self.mode == PacerMode::Decoupled && self.recent.len() >= self.config.miss_threshold {
+            self.mode = PacerMode::Classic;
+            self.transitions.push(ModeTransition {
+                time,
+                frame_index,
+                mode: PacerMode::Classic,
+                reason: format!(
+                    "{} misses within {} ticks",
+                    self.recent.len(),
+                    self.config.miss_window
+                ),
+            });
+            return true;
+        }
+        false
+    }
+
+    /// Notes a successful present at `tick`; in the degraded mode, checks
+    /// the recovery condition. Returns `true` when decoupling re-engages
+    /// (the caller should reset its accumulation state).
+    pub fn note_present(&mut self, tick: u64, time: SimTime, frame_index: u64) -> bool {
+        if self.mode != PacerMode::Classic {
+            return false;
+        }
+        let clean_for = tick.saturating_sub(self.last_miss_tick.unwrap_or(0));
+        if clean_for >= self.config.recovery_ticks {
+            self.mode = PacerMode::Decoupled;
+            self.recent.clear();
+            self.transitions.push(ModeTransition {
+                time,
+                frame_index,
+                mode: PacerMode::Decoupled,
+                reason: format!("no misses for {clean_for} ticks"),
+            });
+            return true;
+        }
+        false
+    }
+
+    /// Drains the transition log (oldest first).
+    pub fn take_transitions(&mut self) -> Vec<ModeTransition> {
+        std::mem::take(&mut self.transitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn stays_decoupled_below_threshold() {
+        let mut w = DegradationWatchdog::new(WatchdogConfig::default());
+        assert!(!w.record_miss(10, t(160), 0));
+        assert!(!w.record_miss(15, t(240), 1));
+        assert_eq!(w.mode(), PacerMode::Decoupled);
+        assert!(w.take_transitions().is_empty());
+    }
+
+    #[test]
+    fn degrades_on_clustered_misses() {
+        let mut w = DegradationWatchdog::new(WatchdogConfig::default());
+        w.record_miss(10, t(160), 5);
+        w.record_miss(12, t(200), 5);
+        assert!(w.record_miss(14, t(230), 6), "third miss in the window degrades");
+        assert_eq!(w.mode(), PacerMode::Classic);
+        let log = w.take_transitions();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].mode, PacerMode::Classic);
+        assert_eq!(log[0].frame_index, 6);
+    }
+
+    #[test]
+    fn scattered_misses_fall_out_of_the_window() {
+        let mut w = DegradationWatchdog::new(WatchdogConfig::default());
+        // One miss every 20 ticks: the 12-tick window never holds more
+        // than one of them.
+        for i in 0..10u64 {
+            w.record_miss(i * 20, t(i * 330), i);
+        }
+        assert_eq!(w.mode(), PacerMode::Decoupled);
+    }
+
+    #[test]
+    fn same_tick_counts_once() {
+        let mut w = DegradationWatchdog::new(WatchdogConfig::default());
+        w.record_miss(10, t(160), 0);
+        w.record_miss(10, t(160), 0); // jank + lead collapse on one tick
+        w.record_miss(10, t(160), 0);
+        assert_eq!(w.mode(), PacerMode::Decoupled, "one bad refresh is one miss");
+    }
+
+    #[test]
+    fn recovers_with_hysteresis() {
+        let mut w = DegradationWatchdog::new(WatchdogConfig::default());
+        for tick in [10, 11, 12] {
+            w.record_miss(tick, t(tick * 16), 3);
+        }
+        assert_eq!(w.mode(), PacerMode::Classic);
+        // Presents right after the misses do not recover...
+        assert!(!w.note_present(20, t(330), 4));
+        assert_eq!(w.mode(), PacerMode::Classic);
+        // ...but a present 18+ clean ticks later does.
+        assert!(w.note_present(30, t(500), 9));
+        assert_eq!(w.mode(), PacerMode::Decoupled);
+        let log = w.take_transitions();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[1].mode, PacerMode::Decoupled);
+    }
+
+    #[test]
+    fn relapse_after_recovery_degrades_again() {
+        let mut w = DegradationWatchdog::new(WatchdogConfig::default());
+        for tick in [10, 11, 12] {
+            w.record_miss(tick, t(tick * 16), 0);
+        }
+        w.note_present(40, t(660), 1);
+        assert_eq!(w.mode(), PacerMode::Decoupled);
+        for tick in [50, 51, 52] {
+            w.record_miss(tick, t(tick * 16), 2);
+        }
+        assert_eq!(w.mode(), PacerMode::Classic);
+        assert_eq!(w.take_transitions().len(), 3);
+    }
+
+    #[test]
+    fn presents_while_decoupled_are_noops() {
+        let mut w = DegradationWatchdog::new(WatchdogConfig::default());
+        assert!(!w.note_present(100, t(1660), 50));
+        assert_eq!(w.mode(), PacerMode::Decoupled);
+    }
+}

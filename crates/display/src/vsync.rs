@@ -7,7 +7,7 @@
 //! Virtualizer to *calibrate the issued D-Timestamp every few frames with
 //! hardware VSync signals to avoid error accumulation* (§5.1).
 
-use dvs_sim::{SimDuration, SimTime};
+use dvs_sim::{DvsError, SimDuration, SimTime};
 
 use crate::RefreshRate;
 
@@ -204,15 +204,29 @@ impl VsyncTimeline {
     /// # Panics
     ///
     /// Panics if `tick` is not strictly after the previous segment start.
+    /// Fallible callers (e.g. fault-injected switch schedules) should use
+    /// [`VsyncTimeline::try_switch_rate_at_tick`].
     pub fn switch_rate_at_tick(&mut self, tick: u64, rate: RefreshRate) {
+        if let Err(e) = self.try_switch_rate_at_tick(tick, rate) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible rate switch: rejects a switch at or before the latest
+    /// committed segment start with a typed error instead of panicking.
+    pub fn try_switch_rate_at_tick(
+        &mut self,
+        tick: u64,
+        rate: RefreshRate,
+    ) -> Result<(), DvsError> {
         let last_first = self.segments.last().expect("non-empty").first_tick;
-        assert!(
-            tick > last_first,
-            "rate switch at tick {tick} must follow segment start {last_first}"
-        );
+        if tick <= last_first {
+            return Err(DvsError::RateSwitchInPast { tick, segment_start: last_first });
+        }
         let start = self.ideal_tick_time(tick);
         let period = rate.period().mul_f64(1.0 + self.drift_ppm * 1e-6);
         self.segments.push(Segment { first_tick: tick, start, period, rate });
+        Ok(())
     }
 }
 
@@ -318,6 +332,19 @@ mod tests {
         let mut tl = VsyncTimeline::new(RefreshRate::HZ_120);
         tl.switch_rate_at_tick(5, RefreshRate::HZ_60);
         tl.switch_rate_at_tick(5, RefreshRate::HZ_90);
+    }
+
+    #[test]
+    fn try_rate_switch_in_past_errors() {
+        let mut tl = VsyncTimeline::new(RefreshRate::HZ_120);
+        tl.switch_rate_at_tick(5, RefreshRate::HZ_60);
+        assert_eq!(
+            tl.try_switch_rate_at_tick(5, RefreshRate::HZ_90),
+            Err(DvsError::RateSwitchInPast { tick: 5, segment_start: 5 })
+        );
+        // The failed attempt leaves the timeline usable.
+        assert!(tl.try_switch_rate_at_tick(6, RefreshRate::HZ_90).is_ok());
+        assert_eq!(tl.rate_at(6), RefreshRate::HZ_90);
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Deterministic fault injection for the D-VSync simulator.
+//!
+//! A [`FaultPlan`] describes *what can go wrong* during a run: explicitly
+//! scheduled perturbations ([`FaultEvent`]) plus seeded-stochastic fault
+//! processes ([`StochasticFault`]). Before a run starts, the plan is
+//! [materialized](FaultPlan::materialize) over the run's horizon into a
+//! [`FaultSchedule`] — a concrete, fully-resolved set of fault firings the
+//! simulator consults with plain lookups.
+//!
+//! # Determinism contract
+//!
+//! All stochastic draws happen *inside* `materialize`, seeded from
+//! [`dvs_sim::stable_seed`] of the plan's textual `seed_key` and iterated in
+//! a fixed order (plan entry order, then frame/tick order). The resulting
+//! schedule is therefore a pure function of `(plan, horizon)`:
+//!
+//! * identical plan + seed ⇒ byte-identical fault stream, run after run,
+//!   regardless of worker thread, query order, or wall clock;
+//! * the simulator never draws randomness mid-run for faults, so *when* it
+//!   consults the schedule cannot perturb *what* faults fire.
+//!
+//! This is what makes a faulty run replayable: record the plan, not the
+//! symptoms.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvs_faults::{FaultPlan, Horizon, StochasticFault, StochasticKind};
+//! use dvs_sim::SimDuration;
+//!
+//! let plan = FaultPlan::new("demo")
+//!     .with_stochastic(StochasticFault {
+//!         kind: StochasticKind::GpuStall,
+//!         probability: 0.1,
+//!         magnitude: SimDuration::from_millis(12),
+//!     });
+//! let horizon = Horizon::new(100, 300, SimDuration::from_nanos(16_666_667));
+//! let a = plan.materialize(&horizon);
+//! let b = plan.materialize(&horizon);
+//! assert_eq!(a, b, "same plan + seed => identical schedule");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod plan;
+mod profiles;
+mod schedule;
+
+pub use plan::{FaultEvent, FaultPlan, Horizon, StochasticFault, StochasticKind};
+pub use profiles::{named_profile, profile_names};
+pub use schedule::FaultSchedule;

@@ -1,0 +1,70 @@
+//! Named fault profiles shared by the fault-matrix sweep and the chaos
+//! tests, so "gpu-spikes" means the same adversity everywhere.
+
+use dvs_sim::SimDuration;
+
+use crate::plan::{FaultEvent, FaultPlan, StochasticFault, StochasticKind};
+
+/// The canonical profile names, in sweep order.
+pub fn profile_names() -> &'static [&'static str] {
+    &["clean", "gpu-spikes", "ui-pauses", "vsync-noise", "alloc-pressure", "thermal-cap", "mixed"]
+}
+
+/// Builds the named fault profile, seeded with `seed_key`.
+///
+/// Returns `None` for unknown names. The magnitudes are sized against a
+/// 60–120 Hz refresh window: stalls of 10–20 ms overrun a period without
+/// freezing the run, matching the paper's "adverse but live" regimes
+/// (§4.4–§4.5).
+pub fn named_profile(name: &str, seed_key: impl Into<String>) -> Option<FaultPlan> {
+    let plan = FaultPlan::new(seed_key);
+    let stoch = |kind, probability, ms| StochasticFault {
+        kind,
+        probability,
+        magnitude: SimDuration::from_millis(ms),
+    };
+    Some(match name {
+        "clean" => plan,
+        "gpu-spikes" => plan.with_stochastic(stoch(StochasticKind::GpuStall, 0.08, 12)),
+        "ui-pauses" => plan.with_stochastic(stoch(StochasticKind::UiPause, 0.05, 20)),
+        "vsync-noise" => plan
+            .with_stochastic(stoch(StochasticKind::VsyncMiss, 0.04, 0))
+            .with_stochastic(stoch(StochasticKind::VsyncJitter, 0.15, 2)),
+        "alloc-pressure" => plan.with_stochastic(stoch(StochasticKind::AllocFail, 0.10, 0)),
+        // A thermal cap: the panel drops to 60 Hz mid-run and recovers; on a
+        // 60 Hz scenario the switches are no-ops, which is the point — the
+        // profile grid stays rectangular.
+        "thermal-cap" => plan
+            .with_event(FaultEvent::RateSwitch { tick: 90, rate_hz: 60 })
+            .with_event(FaultEvent::RateSwitch { tick: 240, rate_hz: 120 }),
+        "mixed" => plan
+            .with_stochastic(stoch(StochasticKind::GpuStall, 0.05, 10))
+            .with_stochastic(stoch(StochasticKind::UiPause, 0.03, 15))
+            .with_stochastic(stoch(StochasticKind::VsyncMiss, 0.02, 0))
+            .with_stochastic(stoch(StochasticKind::AllocFail, 0.04, 0)),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Horizon;
+
+    #[test]
+    fn every_named_profile_builds() {
+        for name in profile_names() {
+            let plan = named_profile(name, format!("test/{name}")).unwrap();
+            let h = Horizon::new(100, 400, SimDuration::from_nanos(16_666_667));
+            // Materialization never panics and is self-consistent.
+            assert_eq!(plan.materialize(&h), plan.materialize(&h), "{name}");
+        }
+        assert!(named_profile("no-such", "x").is_none());
+    }
+
+    #[test]
+    fn clean_profile_is_clean() {
+        assert!(named_profile("clean", "k").unwrap().is_clean());
+        assert!(!named_profile("mixed", "k").unwrap().is_clean());
+    }
+}

@@ -25,7 +25,10 @@ mod timeline;
 pub use chrome_trace::chrome_trace_json;
 pub use fps::{average_fps, fps_series, min_window_fps};
 pub use power::{EnergyBreakdown, InstructionModel, PowerModel, FPE_DTV_EXEC_PER_FRAME};
-pub use record::{FrameDistribution, FrameKind, FrameRecord, JankEvent, RunReport};
+pub use record::{
+    FaultClass, FaultRecord, FrameDistribution, FrameKind, FrameRecord, JankEvent, ModeTransition,
+    PacerMode, RunReport,
+};
 pub use stats::{Cdf, Histogram, Summary};
 pub use stutter::{StutterModel, StutterReport};
 pub use timeline::{render_timeline, TimelineStyle};

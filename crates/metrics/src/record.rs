@@ -73,6 +73,57 @@ pub struct JankEvent {
     pub time: SimTime,
 }
 
+/// The class of an injected fault, mirrored into the report so faulty runs
+/// are self-describing (and byte-identically replayable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// A UI-thread stall inflated a frame's UI stage.
+    UiStall,
+    /// A GPU/render-stage stall inflated a frame's RS stage.
+    RsStall,
+    /// A hardware VSync pulse was swallowed entirely.
+    VsyncMiss,
+    /// A hardware VSync pulse fired late.
+    VsyncDelay,
+    /// A transient buffer-allocation failure denied a dequeue.
+    AllocDenied,
+    /// The panel switched refresh rate (LTPO glitch or thermal cap).
+    RateSwitch,
+}
+
+/// One injected fault that actually fired during the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// The refresh index (or frame index for stage stalls) the fault hit.
+    pub tick: u64,
+    /// Simulated time at which the fault took effect.
+    pub time: SimTime,
+    /// What kind of fault it was.
+    pub class: FaultClass,
+}
+
+/// Which pacing discipline the pipeline is running under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacerMode {
+    /// Full D-VSync decoupled pacing (FPE + DTV).
+    Decoupled,
+    /// Classic VSync pacing — the graceful-degradation fallback.
+    Classic,
+}
+
+/// One degradation or recovery transition taken by the pacer watchdog.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModeTransition {
+    /// Simulated time of the switch.
+    pub time: SimTime,
+    /// Index of the next frame to be planned when the switch happened.
+    pub frame_index: u64,
+    /// The mode being entered.
+    pub mode: PacerMode,
+    /// Human-readable trigger (e.g. "3 misses in 12 ticks").
+    pub reason: String,
+}
+
 /// The fractions of produced frames in each [`FrameKind`] (Figure 6).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FrameDistribution {
@@ -111,6 +162,12 @@ pub struct RunReport {
     /// which bounds the run's live buffer memory.
     #[serde(default)]
     pub max_queued: usize,
+    /// Every injected fault that actually fired, in injection order.
+    #[serde(default)]
+    pub fault_events: Vec<FaultRecord>,
+    /// Every pacer degradation/recovery transition, in time order.
+    #[serde(default)]
+    pub mode_transitions: Vec<ModeTransition>,
     /// True if the run hit its safety time limit before finishing the trace.
     pub truncated: bool,
 }
@@ -126,8 +183,20 @@ impl RunReport {
             display_time: SimDuration::ZERO,
             ticks_active: 0,
             max_queued: 0,
+            fault_events: Vec::new(),
+            mode_transitions: Vec::new(),
             truncated: false,
         }
+    }
+
+    /// Number of degradations (transitions *into* classic VSync pacing).
+    pub fn degradations(&self) -> usize {
+        self.mode_transitions.iter().filter(|t| t.mode == PacerMode::Classic).count()
+    }
+
+    /// Number of recoveries (transitions back into decoupled pacing).
+    pub fn recoveries(&self) -> usize {
+        self.mode_transitions.iter().filter(|t| t.mode == PacerMode::Decoupled).count()
     }
 
     /// Frame drops per second of display time (the headline FDPS metric).
@@ -206,6 +275,11 @@ impl RunReport {
             j.tick += offset;
             j
         }));
+        self.fault_events.extend(other.fault_events.into_iter().map(|mut e| {
+            e.tick += offset;
+            e
+        }));
+        self.mode_transitions.extend(other.mode_transitions);
         self.display_time += other.display_time;
         self.ticks_active += other.ticks_active;
         self.max_queued = self.max_queued.max(other.max_queued);
@@ -297,9 +371,35 @@ mod tests {
     fn serde_round_trip() {
         let mut r = RunReport::new("t", 60);
         r.records.push(record(FrameKind::Stuffed, 1, 51));
+        r.fault_events.push(FaultRecord {
+            tick: 3,
+            time: SimTime::from_millis(50),
+            class: FaultClass::VsyncMiss,
+        });
+        r.mode_transitions.push(ModeTransition {
+            time: SimTime::from_millis(60),
+            frame_index: 4,
+            mode: PacerMode::Classic,
+            reason: "test".into(),
+        });
         let json = serde_json::to_string(&r).unwrap();
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.records.len(), 1);
         assert_eq!(back.records[0].kind, FrameKind::Stuffed);
+        assert_eq!(back.fault_events, r.fault_events);
+        assert_eq!(back.mode_transitions, r.mode_transitions);
+        assert_eq!(back.degradations(), 1);
+        assert_eq!(back.recoveries(), 0);
+    }
+
+    #[test]
+    fn old_reports_without_fault_fields_still_parse() {
+        // Reports serialized before the fault-injection work lack the new
+        // fields; #[serde(default)] must fill them in.
+        let json = r#"{"name":"old","rate_hz":60,"records":[],"janks":[],
+            "display_time":0,"ticks_active":0,"truncated":false}"#;
+        let back: RunReport = serde_json::from_str(json).unwrap();
+        assert!(back.fault_events.is_empty());
+        assert!(back.mode_transitions.is_empty());
     }
 }

@@ -112,16 +112,27 @@ impl Cdf {
         idx as f64 / self.sorted.len() as f64
     }
 
+    /// The `q`-quantile (`q` in `[0, 1]`), or `None` for an empty CDF or an
+    /// out-of-range `q` — degenerate runs (e.g. every frame dropped under
+    /// fault injection) produce empty distributions and must not panic.
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
+        Some(self.sorted[idx])
+    }
+
     /// The `q`-quantile (`q` in `[0, 1]`).
     ///
     /// # Panics
     ///
-    /// Panics if the CDF is empty or `q` is outside `[0, 1]`.
+    /// Panics if the CDF is empty or `q` is outside `[0, 1]`. Use
+    /// [`Cdf::try_quantile`] when either can legitimately happen.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!(!self.sorted.is_empty(), "quantile of empty CDF");
         assert!((0.0..=1.0).contains(&q), "quantile out of range");
-        let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
-        self.sorted[idx]
+        self.try_quantile(q).expect("checked above")
     }
 
     /// Evaluates the CDF at `points`, returning `(x, P(X ≤ x))` pairs — the
@@ -246,6 +257,17 @@ mod tests {
     #[should_panic(expected = "empty CDF")]
     fn empty_cdf_quantile_panics() {
         Cdf::from_samples(std::iter::empty()).quantile(0.5);
+    }
+
+    #[test]
+    fn try_quantile_handles_degenerate_inputs() {
+        let empty = Cdf::from_samples(std::iter::empty());
+        assert_eq!(empty.try_quantile(0.5), None);
+        let cdf = Cdf::from_samples((1..=100).map(f64::from));
+        assert_eq!(cdf.try_quantile(-0.1), None);
+        assert_eq!(cdf.try_quantile(1.1), None);
+        assert_eq!(cdf.try_quantile(1.0), Some(100.0));
+        assert_eq!(cdf.try_quantile(0.0), Some(1.0));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! signal"; `dvs-core`'s `DvsyncPacer` answers "immediately, up to the
 //! pre-render limit" and stamps frames with virtualized display times.
 
+use dvs_metrics::ModeTransition;
 use dvs_sim::{SimDuration, SimTime};
 
 /// A snapshot of pipeline state handed to the pacer.
@@ -68,6 +69,13 @@ pub trait FramePacer {
     /// Notification: the panel repeated a frame (potential jank) at `tick`.
     fn on_jank(&mut self, tick: u64, time: SimTime) {
         let _ = (tick, time);
+    }
+
+    /// Drains the pacer's degradation/recovery transition log, if it keeps
+    /// one. Called once by the simulator when assembling the run report;
+    /// pacers without a degradation path return an empty log.
+    fn take_transitions(&mut self) -> Vec<ModeTransition> {
+        Vec::new()
     }
 
     /// A short display name for reports.

@@ -3,9 +3,10 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use dvs_buffer::{BufferQueue, FrameMeta, SlotId};
-use dvs_display::{Panel, PanelOutcome, VsyncTimeline};
-use dvs_metrics::{FrameKind, FrameRecord, JankEvent, RunReport};
-use dvs_sim::{EventQueue, SimDuration, SimTime};
+use dvs_display::{Panel, PanelOutcome, RefreshRate, VsyncTimeline};
+use dvs_faults::{FaultPlan, FaultSchedule, Horizon};
+use dvs_metrics::{FaultClass, FaultRecord, FrameKind, FrameRecord, JankEvent, RunReport};
+use dvs_sim::{DvsError, EventQueue, SimDuration, SimTime};
 use dvs_workload::FrameTrace;
 
 use crate::config::PipelineConfig;
@@ -54,10 +55,58 @@ impl<'c> Simulator<'c> {
     /// # Panics
     ///
     /// Panics if the trace is empty or its rate disagrees with the config.
+    /// Fallible callers should use [`Simulator::try_run`].
     pub fn run(&self, trace: &FrameTrace, pacer: &mut dyn FramePacer) -> RunReport {
-        assert!(!trace.is_empty(), "cannot simulate an empty trace");
-        assert_eq!(trace.rate_hz, self.cfg.rate_hz, "trace rate and pipeline rate must agree");
-        Run::new(self.cfg, trace, pacer).execute()
+        match self.try_run(trace, pacer) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible run: rejects empty traces and rate mismatches with a typed
+    /// error instead of panicking.
+    pub fn try_run(
+        &self,
+        trace: &FrameTrace,
+        pacer: &mut dyn FramePacer,
+    ) -> Result<RunReport, DvsError> {
+        self.validate(trace)?;
+        Ok(Run::new(self.cfg, trace, pacer, FaultSchedule::default()).execute())
+    }
+
+    /// Runs the trace under an injected [`FaultPlan`].
+    ///
+    /// The plan is materialized over this run's exact horizon (trace length ×
+    /// tick cap) before the event loop starts, so the fault stream is a pure
+    /// function of `(plan, config, trace)` — identical inputs replay
+    /// byte-identically, including every degradation transition.
+    pub fn run_faulted(
+        &self,
+        trace: &FrameTrace,
+        pacer: &mut dyn FramePacer,
+        plan: &FaultPlan,
+    ) -> Result<RunReport, DvsError> {
+        self.validate(trace)?;
+        let horizon = Horizon::new(
+            trace.len() as u64,
+            self.cfg.tick_cap(trace.len()),
+            self.cfg.rate().period(),
+        );
+        let schedule = plan.materialize(&horizon);
+        Ok(Run::new(self.cfg, trace, pacer, schedule).execute())
+    }
+
+    fn validate(&self, trace: &FrameTrace) -> Result<(), DvsError> {
+        if trace.is_empty() {
+            return Err(DvsError::EmptyTrace);
+        }
+        if trace.rate_hz != self.cfg.rate_hz {
+            return Err(DvsError::RateMismatch {
+                trace_hz: trace.rate_hz,
+                config_hz: self.cfg.rate_hz,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -88,11 +137,35 @@ struct Run<'a> {
     last_present_tick: u64,
     pending_wake: Option<SimTime>,
     truncated: bool,
+    /// Injected faults resolved for this run (empty for clean runs).
+    schedule: FaultSchedule,
+    /// Faults that actually fired, in firing order.
+    fault_log: Vec<FaultRecord>,
+    /// The last tick an alloc denial was logged for (dedupes retries).
+    denial_logged: Option<u64>,
 }
 
 impl<'a> Run<'a> {
-    fn new(cfg: &'a PipelineConfig, trace: &'a FrameTrace, pacer: &'a mut dyn FramePacer) -> Self {
-        let timeline = cfg.build_timeline();
+    fn new(
+        cfg: &'a PipelineConfig,
+        trace: &'a FrameTrace,
+        pacer: &'a mut dyn FramePacer,
+        schedule: FaultSchedule,
+    ) -> Self {
+        let mut timeline = cfg.build_timeline();
+        let mut fault_log = Vec::new();
+        // Injected rate switches (LTPO glitches / thermal caps) reshape the
+        // tick grid before the run starts; the materializer guarantees
+        // strictly increasing switch ticks, so each switch commits.
+        for (tick, rate_hz) in schedule.rate_switches() {
+            if timeline.try_switch_rate_at_tick(tick, RefreshRate::from_hz(rate_hz)).is_ok() {
+                fault_log.push(FaultRecord {
+                    tick,
+                    time: timeline.tick_time(tick),
+                    class: FaultClass::RateSwitch,
+                });
+            }
+        }
         let mut events = EventQueue::new();
         events.schedule(timeline.tick_time(0), Ev::Tick(0));
         Run {
@@ -117,6 +190,9 @@ impl<'a> Run<'a> {
             last_present_tick: 0,
             pending_wake: None,
             truncated: false,
+            schedule,
+            fault_log,
+            denial_logged: None,
         }
     }
 
@@ -134,7 +210,11 @@ impl<'a> Run<'a> {
                     if self.presented >= total {
                         break;
                     }
-                    self.events.schedule(self.timeline.tick_time(k + 1), Ev::Tick(k + 1));
+                    // An injected pulse delay shifts when the NEXT tick's
+                    // event fires; the materializer clamps delays to a
+                    // quarter period so pulses stay ordered.
+                    let next_at = self.timeline.tick_time(k + 1) + self.schedule.tick_delay(k + 1);
+                    self.events.schedule(next_at, Ev::Tick(k + 1));
                     // A present may have released a buffer the render stage
                     // was blocked on.
                     self.pump_rs(t);
@@ -165,6 +245,20 @@ impl<'a> Run<'a> {
         // Content is expected at every refresh between the first present and
         // the end of the animation; a repeat in that window is a jank.
         let expected = self.first_present_tick.is_some() && self.presented < self.trace.len();
+        if !self.schedule.tick_delay(k).is_zero() {
+            self.fault_log.push(FaultRecord { tick: k, time: t, class: FaultClass::VsyncDelay });
+        }
+        if self.schedule.is_missed(k) {
+            // The HW pulse is swallowed: no latch, no present opportunity.
+            // The previous frame stays on screen, which the user perceives
+            // exactly like a jank when content was expected.
+            self.fault_log.push(FaultRecord { tick: k, time: t, class: FaultClass::VsyncMiss });
+            if expected {
+                self.janks.push(JankEvent { tick: k, time: t });
+                self.pacer.on_jank(k, t);
+            }
+            return;
+        }
         match self.panel.on_vsync(&mut self.queue, t) {
             PanelOutcome::Presented(buf) => {
                 let seq = buf.meta.seq as usize;
@@ -224,7 +318,16 @@ impl<'a> Run<'a> {
                 self.next_frame += 1;
                 self.ui_busy = true;
                 self.in_flight += 1;
-                let ui = self.trace.frames[idx].ui;
+                let mut ui = self.trace.frames[idx].ui;
+                let stall = self.schedule.ui_extra(idx as u64);
+                if !stall.is_zero() {
+                    ui += stall;
+                    self.fault_log.push(FaultRecord {
+                        tick: idx as u64,
+                        time: now,
+                        class: FaultClass::UiStall,
+                    });
+                }
                 self.events.schedule(now + ui, Ev::UiDone(idx));
             }
             Some(plan) if self.pending_wake.is_none_or(|w| plan.start < w) => {
@@ -241,6 +344,22 @@ impl<'a> Run<'a> {
     fn pump_rs(&mut self, now: SimTime) {
         while self.rs_active < self.cfg.render_threads {
             let Some(&frame) = self.rs_pending.front() else { return };
+            // Transient allocation failure: dequeues are denied for the rest
+            // of this refresh interval. Ticks keep firing and re-enter
+            // `pump_rs`, so the dispatch is retried — the fault degrades
+            // throughput instead of wedging the pipeline.
+            let cur_tick = self.timeline.next_tick_after(now).0.saturating_sub(1);
+            if self.schedule.deny_alloc(cur_tick) {
+                if self.denial_logged != Some(cur_tick) {
+                    self.denial_logged = Some(cur_tick);
+                    self.fault_log.push(FaultRecord {
+                        tick: cur_tick,
+                        time: now,
+                        class: FaultClass::AllocDenied,
+                    });
+                }
+                return;
+            }
             let Some(slot) = self.queue.dequeue_free() else { return };
             self.rs_pending.pop_front();
             self.frames[frame].as_mut().expect("pending frame was started").slot = Some(slot);
@@ -261,7 +380,16 @@ impl<'a> Run<'a> {
                     }
                 }
             };
-            let rs = self.trace.frames[frame].rs;
+            let mut rs = self.trace.frames[frame].rs;
+            let stall = self.schedule.rs_extra(frame as u64);
+            if !stall.is_zero() {
+                rs += stall;
+                self.fault_log.push(FaultRecord {
+                    tick: frame as u64,
+                    time: now,
+                    class: FaultClass::RsStall,
+                });
+            }
             self.events.schedule(start + rs, Ev::RsDone(frame));
         }
     }
@@ -299,6 +427,8 @@ impl<'a> Run<'a> {
         report.truncated = self.truncated;
         report.max_queued = self.queue.max_queued_observed();
         report.janks = std::mem::take(&mut self.janks);
+        report.fault_events = std::mem::take(&mut self.fault_log);
+        report.mode_transitions = self.pacer.take_transitions();
 
         // Collect presented frames into records.
         let mut records: Vec<FrameRecord> = Vec::with_capacity(self.presented);
@@ -625,6 +755,100 @@ mod tests {
                 r.basis
             );
         }
+    }
+
+    #[test]
+    fn try_run_returns_typed_errors() {
+        let cfg = PipelineConfig::new(60, 3);
+        let sim = Simulator::new(&cfg);
+        let empty = FrameTrace::new("empty", 60);
+        assert_eq!(
+            sim.try_run(&empty, &mut VsyncPacer::new()).unwrap_err(),
+            dvs_sim::DvsError::EmptyTrace
+        );
+        let wrong = trace_of(120, &[(1.0, 2.0)]);
+        assert_eq!(
+            sim.try_run(&wrong, &mut VsyncPacer::new()).unwrap_err(),
+            dvs_sim::DvsError::RateMismatch { trace_hz: 120, config_hz: 60 }
+        );
+    }
+
+    #[test]
+    fn clean_fault_plan_matches_plain_run() {
+        let trace = trace_of(60, &[(2.0, 5.0); 60]);
+        let cfg = PipelineConfig::new(60, 3);
+        let sim = Simulator::new(&cfg);
+        let plain = sim.run(&trace, &mut VsyncPacer::new());
+        let faulted = sim
+            .run_faulted(&trace, &mut VsyncPacer::new(), &dvs_faults::FaultPlan::new("k"))
+            .unwrap();
+        assert_eq!(plain.records, faulted.records);
+        assert_eq!(plain.janks, faulted.janks);
+        assert!(faulted.fault_events.is_empty());
+    }
+
+    #[test]
+    fn missed_vsync_janks_and_is_logged() {
+        let trace = trace_of(60, &[(2.0, 5.0); 40]);
+        let cfg = PipelineConfig::new(60, 3);
+        let sim = Simulator::new(&cfg);
+        let plan = dvs_faults::FaultPlan::new("miss")
+            .with_event(dvs_faults::FaultEvent::MissVsync { tick: 10 });
+        let report = sim.run_faulted(&trace, &mut VsyncPacer::new(), &plan).unwrap();
+        assert!(report.janks.iter().any(|j| j.tick == 10), "swallowed pulse shows as a jank");
+        assert!(report
+            .fault_events
+            .iter()
+            .any(|f| f.tick == 10 && f.class == FaultClass::VsyncMiss));
+        assert!(!report.truncated);
+        assert_eq!(report.records.len(), 40, "all frames still present eventually");
+    }
+
+    #[test]
+    fn rs_stall_injection_janks_like_a_long_frame() {
+        let trace = trace_of(60, &[(2.0, 5.0); 40]);
+        let cfg = PipelineConfig::new(60, 3);
+        let sim = Simulator::new(&cfg);
+        let plan =
+            dvs_faults::FaultPlan::new("stall").with_event(dvs_faults::FaultEvent::StallRs {
+                frame: 20,
+                extra: SimDuration::from_millis(19),
+            });
+        let report = sim.run_faulted(&trace, &mut VsyncPacer::new(), &plan).unwrap();
+        // 5 + 19 = 24 ms render > one period: same signature as the organic
+        // long-frame test above.
+        assert_eq!(report.janks.len(), 1);
+        assert!(report.fault_events.iter().any(|f| f.class == FaultClass::RsStall));
+    }
+
+    #[test]
+    fn alloc_denial_delays_but_conserves_frames() {
+        let trace = trace_of(60, &[(2.0, 5.0); 40]);
+        let cfg = PipelineConfig::new(60, 3);
+        let sim = Simulator::new(&cfg);
+        let mut plan = dvs_faults::FaultPlan::new("deny");
+        for tick in 8..12 {
+            plan = plan.with_event(dvs_faults::FaultEvent::DenyAlloc { tick });
+        }
+        let report = sim.run_faulted(&trace, &mut VsyncPacer::new(), &plan).unwrap();
+        assert!(!report.truncated, "denial must not wedge the run");
+        assert_eq!(report.records.len(), 40, "every frame still presents");
+        assert!(report.fault_events.iter().any(|f| f.class == FaultClass::AllocDenied));
+    }
+
+    #[test]
+    fn faulted_runs_replay_byte_identically() {
+        let spec = ScenarioSpec::new("replay", 60, 200, CostProfile::scattered(3.0));
+        let trace = spec.generate();
+        let cfg = PipelineConfig::new(60, 4);
+        let sim = Simulator::new(&cfg);
+        let plan = dvs_faults::named_profile("mixed", "replay-seed").unwrap();
+        let a = sim.run_faulted(&trace, &mut VsyncPacer::new(), &plan).unwrap();
+        let b = sim.run_faulted(&trace, &mut VsyncPacer::new(), &plan).unwrap();
+        let ja = serde_json::to_string(&a).unwrap();
+        let jb = serde_json::to_string(&b).unwrap();
+        assert_eq!(ja, jb, "identical plan + seed must replay byte-identically");
+        assert!(!a.fault_events.is_empty(), "the mixed profile injects something in 200 frames");
     }
 
     #[test]

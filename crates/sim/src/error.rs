@@ -1,0 +1,88 @@
+//! The workspace-wide typed error model.
+//!
+//! Off-nominal conditions that a production system must survive — empty
+//! inputs, mismatched configurations, exhausted resources — are expressed as
+//! [`DvsError`] values instead of panics. Hot-loop *invariants* (states that
+//! are unreachable unless the simulator itself is wrong) stay as
+//! `debug_assert!`; everything reachable from user input or injected faults
+//! returns a `Result`.
+
+use std::fmt;
+
+/// A recoverable error from the D-VSync simulation stack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DvsError {
+    /// A run was requested over a trace with no frames.
+    EmptyTrace,
+    /// The trace and pipeline configuration disagree on the refresh rate.
+    RateMismatch {
+        /// The trace's rate in Hz.
+        trace_hz: u32,
+        /// The pipeline configuration's rate in Hz.
+        config_hz: u32,
+    },
+    /// A buffer queue was requested with fewer slots than the minimum.
+    BufferCapacityTooSmall {
+        /// The requested capacity.
+        got: usize,
+        /// The smallest workable capacity.
+        min: usize,
+    },
+    /// A refresh-rate switch was scheduled at or before an already-committed
+    /// switch point.
+    RateSwitchInPast {
+        /// The requested switch tick.
+        tick: u64,
+        /// The latest committed segment-start tick.
+        segment_start: u64,
+    },
+    /// A configuration value was rejected; the message names the field.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DvsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DvsError::EmptyTrace => write!(f, "cannot simulate an empty trace"),
+            DvsError::RateMismatch { trace_hz, config_hz } => {
+                write!(f, "trace rate {trace_hz} Hz and pipeline rate {config_hz} Hz must agree")
+            }
+            DvsError::BufferCapacityTooSmall { got, min } => {
+                write!(f, "buffer queue capacity {got} below minimum {min}")
+            }
+            DvsError::RateSwitchInPast { tick, segment_start } => {
+                write!(f, "rate switch at tick {tick} must follow segment start {segment_start}")
+            }
+            DvsError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DvsError {}
+
+/// Convenient result alias for fallible simulation APIs.
+pub type DvsResult<T> = Result<T, DvsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(DvsError::EmptyTrace.to_string().contains("empty trace"));
+        let e = DvsError::RateMismatch { trace_hz: 60, config_hz: 120 };
+        assert!(e.to_string().contains("60") && e.to_string().contains("120"));
+        let e = DvsError::BufferCapacityTooSmall { got: 1, min: 2 };
+        assert!(e.to_string().contains("capacity 1"));
+        let e = DvsError::RateSwitchInPast { tick: 3, segment_start: 5 };
+        assert!(e.to_string().contains("tick 3"));
+        assert!(DvsError::InvalidConfig("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let e: Box<dyn std::error::Error> = Box::new(DvsError::EmptyTrace);
+        assert!(!e.to_string().is_empty());
+    }
+}

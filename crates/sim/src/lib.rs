@@ -24,10 +24,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod event;
 mod rng;
 mod time;
 
+pub use error::{DvsError, DvsResult};
 pub use event::EventQueue;
 pub use rng::{stable_seed, SimRng};
 pub use time::{SimDuration, SimTime};

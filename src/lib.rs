@@ -60,6 +60,7 @@ pub use dvs_apps as apps;
 pub use dvs_buffer as buffer;
 pub use dvs_core as core;
 pub use dvs_display as display;
+pub use dvs_faults as faults;
 pub use dvs_input as input;
 pub use dvs_metrics as metrics;
 pub use dvs_pipeline as pipeline;

@@ -4,6 +4,8 @@
 
 use proptest::prelude::*;
 
+use dvsync::core::WatchdogConfig;
+use dvsync::faults::{FaultEvent, FaultPlan, StochasticFault, StochasticKind};
 use dvsync::pipeline::{FramePacer, FramePlan, PacerCtx, PipelineConfig, Simulator};
 use dvsync::prelude::*;
 use dvsync::sim::SimRng;
@@ -97,6 +99,125 @@ proptest! {
         prop_assert_eq!(report.records.len(), n);
         prop_assert_eq!(report.janks.len(), 0);
     }
+}
+
+/// Builds an arbitrary-but-valid [`FaultPlan`] from plain integers, so the
+/// generator needs nothing beyond tuple/vec strategies: `sched` entries are
+/// `(kind, index, magnitude ms)` scheduled events, `stoch` entries are
+/// `(kind, probability %, magnitude ms)` stochastic processes.
+fn build_plan(seed: u64, sched: &[(u8, u64, u64)], stoch: &[(u8, u64, u64)]) -> FaultPlan {
+    let mut plan = FaultPlan::new(format!("chaos/{seed}"));
+    for &(k, idx, mag) in sched {
+        let extra = SimDuration::from_millis(mag);
+        plan = plan.with_event(match k % 6 {
+            0 => FaultEvent::StallUi { frame: idx, extra },
+            1 => FaultEvent::StallRs { frame: idx, extra },
+            2 => FaultEvent::MissVsync { tick: idx },
+            3 => FaultEvent::JitterVsync { tick: idx, delay: extra },
+            4 => FaultEvent::DenyAlloc { tick: idx },
+            _ => FaultEvent::RateSwitch { tick: idx, rate_hz: [60, 90, 120][(mag % 3) as usize] },
+        });
+    }
+    for &(k, prob, mag) in stoch {
+        plan = plan.with_stochastic(StochasticFault {
+            kind: match k % 5 {
+                0 => StochasticKind::GpuStall,
+                1 => StochasticKind::UiPause,
+                2 => StochasticKind::VsyncMiss,
+                3 => StochasticKind::VsyncJitter,
+                _ => StochasticKind::AllocFail,
+            },
+            probability: prob as f64 / 100.0,
+            magnitude: SimDuration::from_millis(mag),
+        });
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any generated fault plan — scheduled bursts, stochastic processes,
+    /// even always-firing ones — yields a run that completes without
+    /// panicking and conserves frames: every frame presents exactly once,
+    /// in order, unless the run honestly reports truncation.
+    #[test]
+    fn any_fault_plan_runs_without_panicking(
+        seed in any::<u64>(),
+        costs in prop::collection::vec((100u64..12_000, 100u64..22_000), 10..90),
+        sched in prop::collection::vec((0u8..6, 0u64..120, 0u64..40), 0..12),
+        stoch in prop::collection::vec((0u8..5, 0u64..=100, 0u64..25), 0..4),
+        buffers in 3usize..7,
+    ) {
+        let plan = build_plan(seed, &sched, &stoch);
+        let trace = trace_of(60, &costs);
+        let cfg = PipelineConfig::new(60, buffers);
+        let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(buffers))
+            .with_watchdog(WatchdogConfig::default());
+        let report = Simulator::new(&cfg)
+            .run_faulted(&trace, &mut pacer, &plan)
+            .expect("trace is non-empty and rate-matched");
+        if !report.truncated {
+            prop_assert_eq!(report.records.len(), trace.len(), "frames lost or duplicated");
+        }
+        for w in report.records.windows(2) {
+            prop_assert_eq!(w[0].seq + 1, w[1].seq);
+            prop_assert!(w[0].present_tick < w[1].present_tick);
+        }
+        // Degradations and recoveries alternate, starting with a degradation.
+        for (i, t) in report.mode_transitions.iter().enumerate() {
+            let classic = t.mode == dvsync::metrics::PacerMode::Classic;
+            prop_assert_eq!(classic, i % 2 == 0, "transition log out of order");
+        }
+    }
+
+    /// Identical seed and plan replay byte-identically — fault events, mode
+    /// transitions, every record.
+    #[test]
+    fn faulted_runs_replay_byte_identically(
+        seed in any::<u64>(),
+        costs in prop::collection::vec((100u64..12_000, 100u64..22_000), 10..50),
+        sched in prop::collection::vec((0u8..6, 0u64..80, 0u64..30), 0..8),
+        stoch in prop::collection::vec((0u8..5, 0u64..60, 0u64..20), 0..3),
+    ) {
+        let plan = build_plan(seed, &sched, &stoch);
+        let trace = trace_of(60, &costs);
+        let run = || {
+            let cfg = PipelineConfig::new(60, 5);
+            let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(5))
+                .with_watchdog(WatchdogConfig::default());
+            let report = Simulator::new(&cfg)
+                .run_faulted(&trace, &mut pacer, &plan)
+                .expect("valid trace");
+            serde_json::to_string(&report).expect("reports serialize")
+        };
+        prop_assert_eq!(run(), run(), "replay diverged");
+    }
+}
+
+/// Fault sweeps through the parallel engine are byte-identical to the
+/// sequential reference path: the fault stream is keyed by (scenario,
+/// profile) only, never by worker or scheduling state.
+#[test]
+fn fault_sweeps_are_jobs_invariant() {
+    use dvs_bench::SweepEngine;
+    use dvsync::faults::named_profile;
+
+    let profiles = dvsync::faults::profile_names();
+    let sweep = |jobs: usize| {
+        let engine = SweepEngine::new(jobs);
+        let reports = engine.run(profiles.len(), |i| {
+            let trace = trace_of(60, &[(2_000, 6_000); 90]);
+            let plan = named_profile(profiles[i], format!("chaos-sweep/{}", profiles[i]))
+                .expect("named profile");
+            let cfg = PipelineConfig::new(60, 5);
+            let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(5))
+                .with_watchdog(WatchdogConfig::default());
+            Simulator::new(&cfg).run_faulted(&trace, &mut pacer, &plan).expect("valid trace")
+        });
+        serde_json::to_string(&reports).expect("reports serialize")
+    };
+    assert_eq!(sweep(1), sweep(4), "parallel fault sweep diverged from sequential");
 }
 
 /// A frame an order of magnitude longer than the whole animation: the run

@@ -423,6 +423,47 @@ impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
     }
 }
 
+/// Ordered maps serialize as a sequence of `[key, value]` pairs. JSON objects
+/// require string keys, but simulation maps are keyed by integers (frame and
+/// tick indices); pair sequences sidestep the restriction and stay canonical
+/// because `BTreeMap` iterates in key order.
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Seq(
+            self.iter()
+                .map(|(k, v)| Content::Seq(vec![k.to_content(), v.to_content()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items
+                .iter()
+                .map(|pair| <(K, V)>::from_content(pair))
+                .collect(),
+            other => Err(DeError::custom(format!("expected array of pairs, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
 // ---- Derive support --------------------------------------------------------
 
 /// Helpers the derive macro expands into. Not part of the public API.
