@@ -282,6 +282,10 @@ fn usage(jobs: &[Job]) -> String {
         "repro — regenerate the D-VSync paper's tables and figures\n\n\
          usage: repro --all | [--fig N]... [--table N]... [--cost] [--power] [--chromium]\n\
          \x20      repro custom <scenario.json>   # run a ScenarioSpec under all configs\n\
+         \x20      repro bench [--quick] [--emit-json [path]] [--check <baseline.json>]\n\
+         \x20                 # simulator-core throughput: event heap vs tick-stepper\n\
+         \x20                 # (--emit-json defaults to BENCH_simcore.json; --check\n\
+         \x20                 #  fails on >20% regression vs the committed baseline)\n\
          \x20      --jobs N   sweep worker count (default: available parallelism;\n\
          \x20                 1 = sequential reference path; output identical for all N)\n\n\
          artefacts:\n",
@@ -290,6 +294,42 @@ fn usage(jobs: &[Job]) -> String {
         out.push_str(&format!("  {:<8} {}\n", j.key, j.describe));
     }
     out
+}
+
+/// Runs the simulator-core throughput benchmark. Flags (anywhere on the
+/// command line): `--quick` for the CI smoke slice, `--emit-json [path]` to
+/// write the machine-readable result, `--check <baseline.json>` to gate
+/// against a committed baseline.
+fn run_bench(args: &[String]) -> Result<String, String> {
+    let quick = args.iter().any(|a| a == "--quick");
+    // `--emit-json` takes an optional path operand; a following flag means
+    // "use the default name".
+    let emit: Option<String> =
+        args.iter().position(|a| a == "--emit-json").map(|p| match args.get(p + 1) {
+            Some(next) if !next.starts_with('-') => next.clone(),
+            _ => "BENCH_simcore.json".to_string(),
+        });
+    let check_path: Option<&String> = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|p| args.get(p + 1))
+        .filter(|a| !a.starts_with('-'));
+
+    let result = dvs_bench::simcore::run(quick);
+    let mut out = dvs_bench::simcore::render(&result);
+    if let Some(path) = emit {
+        let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+        std::fs::write(&path, json + "\n").map_err(|e| format!("write {path}: {e}"))?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    if let Some(path) = check_path {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let baseline: dvs_bench::simcore::SimcoreBench =
+            serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
+        let notes = dvs_bench::simcore::check(&result, &baseline)?;
+        out.push_str(&notes);
+    }
+    Ok(out)
 }
 
 /// Runs a user-provided `ScenarioSpec` (JSON) under the standard ladder of
@@ -328,6 +368,18 @@ fn main() -> ExitCode {
         let a = args[i].trim_start_matches('-').to_lowercase();
         match a.as_str() {
             "all" => all = true,
+            "bench" => {
+                return match run_bench(&args) {
+                    Ok(text) => {
+                        println!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
             "custom" => {
                 let Some(path) = args.get(i + 1) else {
                     eprintln!("custom needs a scenario JSON path");

@@ -29,6 +29,7 @@ pub mod fps_report;
 pub mod golden;
 pub mod power;
 pub mod sec66_chromium;
+pub mod simcore;
 pub mod suite;
 pub mod suite75;
 pub mod sweep;

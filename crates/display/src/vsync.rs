@@ -83,6 +83,40 @@ impl VsyncTimelineBuilder {
     }
 }
 
+/// One hardware VSync pulse as a schedulable event: the tick index plus the
+/// exact (drift- and jitter-applied) instant it fires.
+///
+/// The event-heap simulator core does not poll the timeline; it asks for the
+/// next pulse and schedules it on its event queue, so dead time between
+/// pulses costs nothing. LTPO rate switches are already folded into the
+/// timeline's segments, so a pulse is correct across rate changes.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_display::{RefreshRate, VsyncTimeline};
+///
+/// let tl = VsyncTimeline::new(RefreshRate::HZ_60);
+/// let p0 = tl.pulse(0);
+/// let p1 = p0.next(&tl);
+/// assert_eq!(p1.tick, 1);
+/// assert_eq!(p1.at, tl.tick_time(1));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PulseEvent {
+    /// The refresh index of this pulse.
+    pub tick: u64,
+    /// The instant the pulse fires.
+    pub at: SimTime,
+}
+
+impl PulseEvent {
+    /// The pulse after this one on `timeline`.
+    pub fn next(self, timeline: &VsyncTimeline) -> PulseEvent {
+        timeline.pulse(self.tick + 1)
+    }
+}
+
 /// The schedule of hardware VSync ticks, possibly spanning rate changes.
 ///
 /// # Examples
@@ -194,6 +228,11 @@ impl VsyncTimeline {
             k += 1;
         }
         (k, self.tick_time(k))
+    }
+
+    /// The pulse at tick `tick` as a schedulable event.
+    pub fn pulse(&self, tick: u64) -> PulseEvent {
+        PulseEvent { tick, at: self.tick_time(tick) }
     }
 
     /// Switches the nominal rate starting at tick `tick` (LTPO §5.3).
@@ -355,6 +394,18 @@ mod tests {
         let probe = tl.tick_time(4) + SimDuration::from_millis(1);
         let (k, _) = tl.next_tick_after(probe);
         assert_eq!(k, 5);
+    }
+
+    #[test]
+    fn pulse_chain_tracks_tick_times_across_rate_switch() {
+        let mut tl = VsyncTimeline::new(RefreshRate::HZ_120);
+        tl.switch_rate_at_tick(6, RefreshRate::HZ_30);
+        let mut pulse = tl.pulse(0);
+        for k in 0..20 {
+            assert_eq!(pulse.tick, k);
+            assert_eq!(pulse.at, tl.tick_time(k));
+            pulse = pulse.next(&tl);
+        }
     }
 
     #[test]

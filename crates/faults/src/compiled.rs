@@ -1,0 +1,217 @@
+//! Dense, O(1) fault lookups compiled from a [`FaultSchedule`].
+//!
+//! The simulator's event-heap core consults the fault schedule on every
+//! pulse and every render dispatch. [`FaultSchedule`]'s ordered maps are the
+//! right shape for canonical serialization, but a `BTreeMap` probe per tick
+//! is measurable on the hot path. [`CompiledFaults`] flattens the schedule
+//! once per run into dense arrays indexed by tick / frame, so steady-state
+//! lookups are a bounds-checked load — and, for the common clean run, a
+//! single branch on a per-class emptiness flag with no allocation at all.
+//!
+//! Every query returns exactly what the corresponding [`FaultSchedule`]
+//! query returns over the compiled horizon; the differential test suite
+//! pins this equivalence.
+
+use dvs_sim::SimDuration;
+
+use crate::schedule::FaultSchedule;
+
+/// Bit flags marking which fault classes a schedule contains at all.
+const HAS_MISSED: u8 = 1 << 0;
+const HAS_DELAY: u8 = 1 << 1;
+const HAS_DENY: u8 = 1 << 2;
+const HAS_UI: u8 = 1 << 3;
+const HAS_RS: u8 = 1 << 4;
+
+/// A [`FaultSchedule`] flattened into dense per-tick / per-frame arrays.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_faults::{FaultEvent, FaultPlan, Horizon};
+/// use dvs_sim::SimDuration;
+///
+/// let plan = FaultPlan::new("k").with_event(FaultEvent::MissVsync { tick: 4 });
+/// let horizon = Horizon::new(10, 100, SimDuration::from_nanos(16_666_667));
+/// let schedule = plan.materialize(&horizon);
+/// let compiled = schedule.compile(100, 10);
+/// assert!(compiled.is_missed(4));
+/// assert!(!compiled.is_missed(5));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CompiledFaults {
+    /// Which classes exist at all; clean runs stay on the zero-flag path.
+    classes: u8,
+    /// Swallowed pulses, one bit per tick in `0..=ticks`.
+    missed: Vec<bool>,
+    /// Pulse delays, one slot per tick in `0..=ticks`.
+    delay: Vec<SimDuration>,
+    /// Denied-allocation intervals, one bit per tick in `0..=ticks`.
+    deny: Vec<bool>,
+    /// Extra UI-stage time, one slot per trace frame.
+    ui_extra: Vec<SimDuration>,
+    /// Extra RS-stage time, one slot per trace frame.
+    rs_extra: Vec<SimDuration>,
+    /// Rate switches in strictly increasing tick order (applied once, before
+    /// the event loop starts, so they stay a sorted list).
+    rate_switches: Vec<(u64, u32)>,
+}
+
+impl CompiledFaults {
+    /// Compiles `schedule` for a run of `ticks` refreshes over `frames`
+    /// trace frames. An empty schedule compiles to no allocations.
+    pub(crate) fn compile(schedule: &FaultSchedule, ticks: u64, frames: u64) -> Self {
+        let mut c = CompiledFaults { rate_switches: schedule.rate_switches(), ..Self::default() };
+        let tick_slots = (ticks + 1) as usize;
+        for &tick in schedule.missed_tick_iter() {
+            if tick <= ticks {
+                if c.missed.is_empty() {
+                    c.missed = vec![false; tick_slots];
+                    c.classes |= HAS_MISSED;
+                }
+                c.missed[tick as usize] = true;
+            }
+        }
+        for (&tick, &d) in schedule.tick_delay_iter() {
+            if tick <= ticks {
+                if c.delay.is_empty() {
+                    c.delay = vec![SimDuration::ZERO; tick_slots];
+                    c.classes |= HAS_DELAY;
+                }
+                c.delay[tick as usize] = d;
+            }
+        }
+        for &tick in schedule.alloc_deny_iter() {
+            if tick <= ticks {
+                if c.deny.is_empty() {
+                    c.deny = vec![false; tick_slots];
+                    c.classes |= HAS_DENY;
+                }
+                c.deny[tick as usize] = true;
+            }
+        }
+        for (&frame, &d) in schedule.ui_extra_iter() {
+            if frame < frames {
+                if c.ui_extra.is_empty() {
+                    c.ui_extra = vec![SimDuration::ZERO; frames as usize];
+                    c.classes |= HAS_UI;
+                }
+                c.ui_extra[frame as usize] = d;
+            }
+        }
+        for (&frame, &d) in schedule.rs_extra_iter() {
+            if frame < frames {
+                if c.rs_extra.is_empty() {
+                    c.rs_extra = vec![SimDuration::ZERO; frames as usize];
+                    c.classes |= HAS_RS;
+                }
+                c.rs_extra[frame as usize] = d;
+            }
+        }
+        c
+    }
+
+    /// Whether the VSync pulse at `tick` is swallowed.
+    #[inline]
+    pub fn is_missed(&self, tick: u64) -> bool {
+        self.classes & HAS_MISSED != 0 && self.missed.get(tick as usize).copied().unwrap_or(false)
+    }
+
+    /// How late the pulse at `tick` fires (zero when on time).
+    #[inline]
+    pub fn tick_delay(&self, tick: u64) -> SimDuration {
+        if self.classes & HAS_DELAY == 0 {
+            return SimDuration::ZERO;
+        }
+        self.delay.get(tick as usize).copied().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Whether buffer allocation is denied during refresh interval `tick`.
+    #[inline]
+    pub fn deny_alloc(&self, tick: u64) -> bool {
+        self.classes & HAS_DENY != 0 && self.deny.get(tick as usize).copied().unwrap_or(false)
+    }
+
+    /// Extra UI-stage time injected into frame `frame` (zero when none).
+    #[inline]
+    pub fn ui_extra(&self, frame: u64) -> SimDuration {
+        if self.classes & HAS_UI == 0 {
+            return SimDuration::ZERO;
+        }
+        self.ui_extra.get(frame as usize).copied().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Extra RS-stage time injected into frame `frame` (zero when none).
+    #[inline]
+    pub fn rs_extra(&self, frame: u64) -> SimDuration {
+        if self.classes & HAS_RS == 0 {
+            return SimDuration::ZERO;
+        }
+        self.rs_extra.get(frame as usize).copied().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Refresh-rate switches in strictly increasing tick order.
+    pub fn rate_switches(&self) -> &[(u64, u32)] {
+        &self.rate_switches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultEvent, FaultPlan, Horizon};
+    use crate::profiles::named_profile;
+
+    fn horizon(frames: u64, ticks: u64) -> Horizon {
+        Horizon::new(frames, ticks, SimDuration::from_nanos(16_666_667))
+    }
+
+    #[test]
+    fn empty_schedule_compiles_to_no_allocations() {
+        let c = FaultSchedule::default().compile(1000, 50);
+        assert!(c.missed.capacity() == 0 && c.delay.capacity() == 0);
+        assert!(!c.is_missed(3));
+        assert!(!c.deny_alloc(3));
+        assert_eq!(c.tick_delay(3), SimDuration::ZERO);
+        assert_eq!(c.ui_extra(3), SimDuration::ZERO);
+        assert_eq!(c.rs_extra(3), SimDuration::ZERO);
+        assert!(c.rate_switches().is_empty());
+    }
+
+    #[test]
+    fn compiled_answers_match_schedule_exhaustively() {
+        // A profile with every fault class, checked tick-by-tick and
+        // frame-by-frame against the BTree-backed schedule.
+        for key in ["a", "b", "c"] {
+            let plan = named_profile("mixed", key).expect("profile exists");
+            let schedule = plan.materialize(&horizon(200, 4200));
+            let c = schedule.compile(4200, 200);
+            for tick in 0..=4200 {
+                assert_eq!(c.is_missed(tick), schedule.is_missed(tick), "miss @{tick}");
+                assert_eq!(c.tick_delay(tick), schedule.tick_delay(tick), "delay @{tick}");
+                assert_eq!(c.deny_alloc(tick), schedule.deny_alloc(tick), "deny @{tick}");
+            }
+            for frame in 0..200 {
+                assert_eq!(c.ui_extra(frame), schedule.ui_extra(frame), "ui @{frame}");
+                assert_eq!(c.rs_extra(frame), schedule.rs_extra(frame), "rs @{frame}");
+            }
+            assert_eq!(c.rate_switches(), schedule.rate_switches().as_slice());
+        }
+    }
+
+    #[test]
+    fn out_of_horizon_queries_are_clean() {
+        let plan = FaultPlan::new("edge")
+            .with_event(FaultEvent::MissVsync { tick: 9 })
+            .with_event(FaultEvent::DenyAlloc { tick: 9 });
+        let schedule = plan.materialize(&horizon(10, 9));
+        let c = schedule.compile(9, 10);
+        assert!(c.is_missed(9));
+        assert!(c.deny_alloc(9));
+        // Past the compiled horizon: dense arrays answer false, matching a
+        // schedule that was bounded by the same horizon.
+        assert!(!c.is_missed(10_000));
+        assert!(!c.deny_alloc(10_000));
+        assert_eq!(c.ui_extra(10_000), SimDuration::ZERO);
+    }
+}

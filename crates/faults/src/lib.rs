@@ -43,10 +43,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod plan;
 mod profiles;
 mod schedule;
 
+pub use compiled::CompiledFaults;
 pub use plan::{FaultEvent, FaultPlan, Horizon, StochasticFault, StochasticKind};
 pub use profiles::{named_profile, profile_names};
 pub use schedule::FaultSchedule;

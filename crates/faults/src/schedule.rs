@@ -112,6 +112,37 @@ impl FaultSchedule {
         self.rate_switches.iter().map(|(&t, &r)| (t, r)).collect()
     }
 
+    /// Flattens the schedule into dense O(1) lookups for a run of `ticks`
+    /// refreshes over `frames` trace frames (the event-heap hot path).
+    pub fn compile(&self, ticks: u64, frames: u64) -> crate::CompiledFaults {
+        crate::CompiledFaults::compile(self, ticks, frames)
+    }
+
+    /// Iterator over swallowed ticks (compilation support).
+    pub(crate) fn missed_tick_iter(&self) -> impl Iterator<Item = &u64> {
+        self.missed_ticks.iter()
+    }
+
+    /// Iterator over pulse delays (compilation support).
+    pub(crate) fn tick_delay_iter(&self) -> impl Iterator<Item = (&u64, &SimDuration)> {
+        self.tick_delay.iter()
+    }
+
+    /// Iterator over denied intervals (compilation support).
+    pub(crate) fn alloc_deny_iter(&self) -> impl Iterator<Item = &u64> {
+        self.alloc_deny.iter()
+    }
+
+    /// Iterator over UI stalls (compilation support).
+    pub(crate) fn ui_extra_iter(&self) -> impl Iterator<Item = (&u64, &SimDuration)> {
+        self.ui_extra.iter()
+    }
+
+    /// Iterator over RS stalls (compilation support).
+    pub(crate) fn rs_extra_iter(&self) -> impl Iterator<Item = (&u64, &SimDuration)> {
+        self.rs_extra.iter()
+    }
+
     /// Total number of distinct fault firings in the schedule.
     pub fn fault_count(&self) -> usize {
         self.ui_extra.len()

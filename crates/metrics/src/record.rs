@@ -189,6 +189,23 @@ impl RunReport {
         }
     }
 
+    /// Pre-sizes the record vector for `n` upcoming frames.
+    ///
+    /// The simulator knows the trace length up front; reserving once keeps
+    /// the batched append below from reallocating mid-assembly.
+    pub fn reserve_records(&mut self, n: usize) {
+        self.records.reserve(n);
+    }
+
+    /// Appends a batch of frame records in one call.
+    ///
+    /// The event-heap core assembles all records after its event loop ends
+    /// and installs them in a single batch, rather than pushing through the
+    /// report one frame at a time mid-run.
+    pub fn append_records<I: IntoIterator<Item = FrameRecord>>(&mut self, records: I) {
+        self.records.extend(records);
+    }
+
     /// Number of degradations (transitions *into* classic VSync pacing).
     pub fn degradations(&self) -> usize {
         self.mode_transitions.iter().filter(|t| t.mode == PacerMode::Classic).count()

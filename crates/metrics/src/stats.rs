@@ -119,8 +119,15 @@ impl Cdf {
         if self.sorted.is_empty() || !(0.0..=1.0).contains(&q) {
             return None;
         }
+        // A single-sample distribution has exactly one value at every
+        // quantile; the explicit guard keeps that invariant independent of
+        // the rank arithmetic below (no interpolation against a phantom
+        // zeroth sample for any q in [0, 1]).
+        if self.sorted.len() == 1 {
+            return Some(self.sorted[0]);
+        }
         let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
-        Some(self.sorted[idx])
+        Some(self.sorted[idx.min(self.sorted.len() - 1)])
     }
 
     /// The `q`-quantile (`q` in `[0, 1]`).
@@ -268,6 +275,18 @@ mod tests {
         assert_eq!(cdf.try_quantile(1.1), None);
         assert_eq!(cdf.try_quantile(1.0), Some(100.0));
         assert_eq!(cdf.try_quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn single_sample_cdf_returns_that_sample_at_every_quantile() {
+        // Regression: a one-sample CDF must answer the sample itself for all
+        // q in [0, 1] — never a value interpolated against a phantom zero.
+        let cdf = Cdf::from_samples([42.5]);
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(cdf.try_quantile(q), Some(42.5), "q = {q}");
+            assert_eq!(cdf.quantile(q), 42.5, "q = {q}");
+        }
+        assert_eq!(cdf.try_quantile(1.5), None);
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! The event-heap execution engine (the production default).
+//!
+//! Dispatch is a pre-sized indexed binary heap ([`dvs_sim::EventQueue`])
+//! keyed by `(time, insertion seq)`: the loop pops the next due event and
+//! jumps the clock straight to it — no polling quanta, no dead iterations
+//! between VSync pulses. The steady-state loop performs **zero heap
+//! allocations**:
+//!
+//! * the event heap is pre-sized to the worst-case population (one pending
+//!   tick + one wake + one UI completion + one render completion per
+//!   context, with slack for stale wakes);
+//! * fault lookups go through [`CompiledFaults`] — the materialized
+//!   schedule's ordered maps flattened once, up front, into dense arrays
+//!   (clean runs compile to five empty vectors and a zero flag word);
+//! * all per-frame state lives in vectors sized from the trace before the
+//!   first event fires.
+
+use dvs_faults::FaultSchedule;
+use dvs_metrics::RunReport;
+use dvs_sim::EventQueue;
+use dvs_workload::FrameTrace;
+
+use super::{CoreStats, Ev, PipeState, StepOutcome};
+use crate::config::PipelineConfig;
+use crate::pacer::FramePacer;
+
+/// Worst-case concurrent heap population: one pending tick, one wake, one
+/// UI completion, one render completion per context — doubled for stale
+/// wakes that remain queued after a better plan superseded them.
+fn heap_capacity(render_threads: usize) -> usize {
+    2 * (3 + render_threads)
+}
+
+/// Runs one trace to completion on the event heap.
+pub(crate) fn execute(
+    cfg: &PipelineConfig,
+    trace: &FrameTrace,
+    pacer: &mut dyn FramePacer,
+    schedule: &FaultSchedule,
+) -> (RunReport, CoreStats) {
+    let faults = schedule.compile(cfg.tick_cap(trace.len()), trace.len() as u64);
+    let mut st = PipeState::new(cfg, trace, pacer, faults);
+    let mut heap: EventQueue<Ev> = EventQueue::with_capacity(heap_capacity(cfg.render_threads));
+    heap.schedule(st.first_pulse_at(), Ev::Tick(0));
+    let mut processed = 0u64;
+    while let Some((t, ev)) = heap.pop() {
+        processed += 1;
+        if st.step(t, ev, &mut |at, e| heap.schedule(at, e)) == StepOutcome::Done {
+            break;
+        }
+    }
+    let stats = CoreStats {
+        events_processed: processed,
+        events_scheduled: heap.total_scheduled(),
+        polls: 0,
+    };
+    (st.report(), stats)
+}

@@ -1,0 +1,544 @@
+//! The simulator's core state machine, shared by both execution engines.
+//!
+//! One run's semantics — panel latching, the UI↔render sync barrier,
+//! frame-order buffer queueing, fault application, report assembly — live
+//! here in [`PipeState`], written once so the two engines cannot drift
+//! apart. What differs between the engines is *dispatch*: how the next
+//! `(time, event)` pair is found.
+//!
+//! * [`reference`] — the retained tick-stepper. It keeps pending events in
+//!   an unsorted list and advances a polling clock in fixed quanta,
+//!   scanning for due work at every step — the classic fixed-timestep loop
+//!   that pays per-quantum overhead even when nothing happens between
+//!   VSync pulses.
+//! * [`event_heap`] — the production core. Events sit in a pre-sized
+//!   indexed binary heap ([`dvs_sim::EventQueue`]) and the loop jumps
+//!   straight from one event to the next; the steady state allocates
+//!   nothing.
+//!
+//! Both engines must produce **byte-identical** [`RunReport`]s; the
+//! repo-level differential suite (`tests/differential.rs`) pins that over
+//! the whole suite75 scenario set plus arbitrary fault plans.
+
+pub(crate) mod event_heap;
+pub(crate) mod reference;
+
+use std::collections::VecDeque;
+
+use dvs_buffer::{BufferQueue, FrameMeta, SlotId};
+use dvs_display::{Panel, PanelOutcome, RefreshRate, VsyncTimeline};
+use dvs_faults::{CompiledFaults, FaultSchedule};
+use dvs_metrics::{FaultClass, FaultRecord, FrameKind, FrameRecord, JankEvent, RunReport};
+use dvs_sim::{SimDuration, SimTime};
+use dvs_workload::FrameTrace;
+
+use crate::config::PipelineConfig;
+use crate::pacer::{FramePacer, PacerCtx};
+
+/// Which execution engine a [`Simulator`](crate::Simulator) run uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SimCore {
+    /// The retained tick-stepper: simple, auditable, slow. Kept as the
+    /// differential-testing baseline.
+    Reference,
+    /// The event-heap scheduler: pop-next-event stepping with pre-sized
+    /// buffers (the default).
+    #[default]
+    EventHeap,
+}
+
+/// Dispatch-engine counters for throughput reporting.
+///
+/// These never influence the simulation; they exist so benchmarks can report
+/// events/sec and quantify the dead time the event-heap core eliminates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Events handed to the state machine.
+    pub events_processed: u64,
+    /// Events scheduled over the run (processed + abandoned at exit).
+    pub events_scheduled: u64,
+    /// Polling-clock steps taken (zero for the event-heap engine).
+    pub polls: u64,
+}
+
+/// Events driving one run.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Ev {
+    /// HW-VSync tick `k`.
+    Tick(u64),
+    /// A frame's UI stage completed.
+    UiDone(usize),
+    /// A frame's render stage completed (buffer ready to queue).
+    RsDone(usize),
+    /// A pacer-requested wake-up to retry starting a frame.
+    Wake,
+}
+
+/// Read-only view of a run's resolved fault stream.
+///
+/// The reference engine reads the materialized [`FaultSchedule`] directly
+/// (ordered-map probes); the event-heap engine reads the same schedule
+/// flattened into [`CompiledFaults`]. The differential suite holds the two
+/// views to identical answers.
+pub(crate) trait FaultView {
+    fn ui_extra(&self, frame: u64) -> SimDuration;
+    fn rs_extra(&self, frame: u64) -> SimDuration;
+    fn is_missed(&self, tick: u64) -> bool;
+    fn tick_delay(&self, tick: u64) -> SimDuration;
+    fn deny_alloc(&self, tick: u64) -> bool;
+    fn rate_switches(&self) -> Vec<(u64, u32)>;
+}
+
+impl FaultView for FaultSchedule {
+    fn ui_extra(&self, frame: u64) -> SimDuration {
+        FaultSchedule::ui_extra(self, frame)
+    }
+    fn rs_extra(&self, frame: u64) -> SimDuration {
+        FaultSchedule::rs_extra(self, frame)
+    }
+    fn is_missed(&self, tick: u64) -> bool {
+        FaultSchedule::is_missed(self, tick)
+    }
+    fn tick_delay(&self, tick: u64) -> SimDuration {
+        FaultSchedule::tick_delay(self, tick)
+    }
+    fn deny_alloc(&self, tick: u64) -> bool {
+        FaultSchedule::deny_alloc(self, tick)
+    }
+    fn rate_switches(&self) -> Vec<(u64, u32)> {
+        FaultSchedule::rate_switches(self)
+    }
+}
+
+impl FaultView for CompiledFaults {
+    fn ui_extra(&self, frame: u64) -> SimDuration {
+        CompiledFaults::ui_extra(self, frame)
+    }
+    fn rs_extra(&self, frame: u64) -> SimDuration {
+        CompiledFaults::rs_extra(self, frame)
+    }
+    fn is_missed(&self, tick: u64) -> bool {
+        CompiledFaults::is_missed(self, tick)
+    }
+    fn tick_delay(&self, tick: u64) -> SimDuration {
+        CompiledFaults::tick_delay(self, tick)
+    }
+    fn deny_alloc(&self, tick: u64) -> bool {
+        CompiledFaults::deny_alloc(self, tick)
+    }
+    fn rate_switches(&self) -> Vec<(u64, u32)> {
+        CompiledFaults::rate_switches(self).to_vec()
+    }
+}
+
+/// Per-frame bookkeeping while a run is in progress.
+#[derive(Clone, Copy, Debug)]
+struct FrameState {
+    trigger: SimTime,
+    basis: SimTime,
+    content: SimTime,
+    /// The buffer slot, assigned when the render stage dequeues one.
+    slot: Option<SlotId>,
+    queued_at: Option<SimTime>,
+    present: Option<(u64, SimTime)>,
+}
+
+/// Whether the event loop should continue or stop after a step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum StepOutcome {
+    /// Keep popping events.
+    Continue,
+    /// The run is over (trace complete or safety cap hit).
+    Done,
+}
+
+/// The mutable state of one run, independent of the dispatch engine.
+pub(crate) struct PipeState<'a, F: FaultView> {
+    cfg: &'a PipelineConfig,
+    trace: &'a FrameTrace,
+    pacer: &'a mut dyn FramePacer,
+    timeline: VsyncTimeline,
+    tick_cap: u64,
+    queue: BufferQueue,
+    panel: Panel,
+    frames: Vec<Option<FrameState>>,
+    next_frame: usize,
+    ui_busy: bool,
+    /// Render contexts currently drawing.
+    rs_active: usize,
+    rs_pending: VecDeque<usize>,
+    /// Frames whose render stage finished but whose predecessors have not
+    /// queued yet (parallel rendering queues buffers in frame order). At
+    /// most `render_threads` entries, so a linear scan beats a tree.
+    rs_finished: Vec<(usize, SimTime)>,
+    /// The next frame index allowed to enter the buffer queue.
+    next_to_queue: usize,
+    in_flight: usize,
+    presented: usize,
+    janks: Vec<JankEvent>,
+    first_present_tick: Option<u64>,
+    last_present_tick: u64,
+    pending_wake: Option<SimTime>,
+    truncated: bool,
+    /// Injected faults resolved for this run (clean-run views answer zero).
+    faults: F,
+    /// Faults that actually fired, in firing order.
+    fault_log: Vec<FaultRecord>,
+    /// The last tick an alloc denial was logged for (dedupes retries).
+    denial_logged: Option<u64>,
+}
+
+impl<'a, F: FaultView> PipeState<'a, F> {
+    pub(crate) fn new(
+        cfg: &'a PipelineConfig,
+        trace: &'a FrameTrace,
+        pacer: &'a mut dyn FramePacer,
+        faults: F,
+    ) -> Self {
+        let mut timeline = cfg.build_timeline();
+        let mut fault_log = Vec::new();
+        // Injected rate switches (LTPO glitches / thermal caps) reshape the
+        // tick grid before the run starts; the materializer guarantees
+        // strictly increasing switch ticks, so each switch commits.
+        for (tick, rate_hz) in faults.rate_switches() {
+            if timeline.try_switch_rate_at_tick(tick, RefreshRate::from_hz(rate_hz)).is_ok() {
+                fault_log.push(FaultRecord {
+                    tick,
+                    time: timeline.tick_time(tick),
+                    class: FaultClass::RateSwitch,
+                });
+            }
+        }
+        PipeState {
+            cfg,
+            trace,
+            pacer,
+            timeline,
+            tick_cap: cfg.tick_cap(trace.len()),
+            queue: BufferQueue::new(cfg.buffer_count),
+            panel: Panel::new(cfg.latch()),
+            frames: vec![None; trace.len()],
+            next_frame: 0,
+            ui_busy: false,
+            rs_active: 0,
+            rs_pending: VecDeque::with_capacity(cfg.render_threads + 1),
+            rs_finished: Vec::with_capacity(cfg.render_threads),
+            next_to_queue: 0,
+            in_flight: 0,
+            presented: 0,
+            janks: Vec::new(),
+            first_present_tick: None,
+            last_present_tick: 0,
+            pending_wake: None,
+            truncated: false,
+            faults,
+            fault_log,
+            denial_logged: None,
+        }
+    }
+
+    /// The instant of the first event every run starts from (tick 0).
+    pub(crate) fn first_pulse_at(&self) -> SimTime {
+        self.timeline.pulse(0).at
+    }
+
+    /// Handles one popped event. `sched` enqueues follow-up events into the
+    /// engine's dispatch structure.
+    pub(crate) fn step(
+        &mut self,
+        t: SimTime,
+        ev: Ev,
+        sched: &mut dyn FnMut(SimTime, Ev),
+    ) -> StepOutcome {
+        match ev {
+            Ev::Tick(k) => {
+                if k >= self.tick_cap {
+                    self.truncated = true;
+                    return StepOutcome::Done;
+                }
+                self.on_tick(k, t);
+                if self.presented >= self.trace.len() {
+                    return StepOutcome::Done;
+                }
+                // An injected pulse delay shifts when the NEXT tick's event
+                // fires; the materializer clamps delays to a quarter period
+                // so pulses stay ordered.
+                let pulse = self.timeline.pulse(k + 1);
+                sched(pulse.at + self.faults.tick_delay(pulse.tick), Ev::Tick(pulse.tick));
+                // A present may have released a buffer the render stage was
+                // blocked on.
+                self.pump_rs(t, sched);
+                self.try_start(t, sched);
+            }
+            Ev::UiDone(frame) => {
+                self.ui_busy = false;
+                self.rs_pending.push_back(frame);
+                self.pump_rs(t, sched);
+                self.try_start(t, sched);
+            }
+            Ev::RsDone(frame) => {
+                self.finish_rs(frame, t);
+                self.pump_rs(t, sched);
+                self.try_start(t, sched);
+            }
+            Ev::Wake => {
+                self.pending_wake = None;
+                self.try_start(t, sched);
+            }
+        }
+        StepOutcome::Continue
+    }
+
+    fn on_tick(&mut self, k: u64, t: SimTime) {
+        // Content is expected at every refresh between the first present and
+        // the end of the animation; a repeat in that window is a jank.
+        let expected = self.first_present_tick.is_some() && self.presented < self.trace.len();
+        if !self.faults.tick_delay(k).is_zero() {
+            self.fault_log.push(FaultRecord { tick: k, time: t, class: FaultClass::VsyncDelay });
+        }
+        if self.faults.is_missed(k) {
+            // The HW pulse is swallowed: no latch, no present opportunity.
+            // The previous frame stays on screen, which the user perceives
+            // exactly like a jank when content was expected.
+            self.fault_log.push(FaultRecord { tick: k, time: t, class: FaultClass::VsyncMiss });
+            if expected {
+                self.janks.push(JankEvent { tick: k, time: t });
+                self.pacer.on_jank(k, t);
+            }
+            return;
+        }
+        match self.panel.on_vsync(&mut self.queue, t) {
+            PanelOutcome::Presented(buf) => {
+                let seq = buf.meta.seq as usize;
+                let state =
+                    self.frames[seq].as_mut().expect("presented frame must have been started");
+                state.present = Some((k, t));
+                self.presented += 1;
+                self.first_present_tick.get_or_insert(k);
+                self.last_present_tick = k;
+                self.pacer.on_present(buf.meta.seq, k, t);
+            }
+            PanelOutcome::Repeated => {
+                if expected {
+                    self.janks.push(JankEvent { tick: k, time: t });
+                    self.pacer.on_jank(k, t);
+                }
+            }
+        }
+    }
+
+    fn try_start(&mut self, now: SimTime, sched: &mut dyn FnMut(SimTime, Ev)) {
+        if self.next_frame >= self.trace.len() || self.ui_busy {
+            return;
+        }
+        // UI↔render sync barrier: the UI thread blocks at the start of draw
+        // until the previous frame's render stage has picked up its work
+        // (which itself requires a free buffer — the real back-pressure).
+        if !self.rs_pending.is_empty() {
+            return;
+        }
+        let free_slots = self.queue.free_len();
+        let (next_idx, next_time) = self.timeline.next_tick_after(now);
+        let last_idx = next_idx - 1;
+        let ctx = PacerCtx {
+            now,
+            period: self.timeline.period_at(last_idx),
+            last_tick: (last_idx, self.timeline.tick_time(last_idx)),
+            next_tick: (next_idx, next_time),
+            queued: self.queue.queued_len(),
+            in_flight: self.in_flight,
+            free_slots,
+            frame_index: self.next_frame as u64,
+            last_present_tick: self.first_present_tick.map(|_| self.last_present_tick),
+        };
+        match self.pacer.plan_next(&ctx) {
+            None => {}
+            Some(plan) if plan.start <= now => {
+                let idx = self.next_frame;
+                self.frames[idx] = Some(FrameState {
+                    trigger: now,
+                    basis: plan.basis,
+                    content: plan.content_timestamp,
+                    slot: None,
+                    queued_at: None,
+                    present: None,
+                });
+                self.next_frame += 1;
+                self.ui_busy = true;
+                self.in_flight += 1;
+                let mut ui = self.trace.frames[idx].ui;
+                let stall = self.faults.ui_extra(idx as u64);
+                if !stall.is_zero() {
+                    ui += stall;
+                    self.fault_log.push(FaultRecord {
+                        tick: idx as u64,
+                        time: now,
+                        class: FaultClass::UiStall,
+                    });
+                }
+                sched(now + ui, Ev::UiDone(idx));
+            }
+            Some(plan) if self.pending_wake.is_none_or(|w| plan.start < w) => {
+                self.pending_wake = Some(plan.start);
+                sched(plan.start, Ev::Wake);
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// Starts the render stage for pending frames while a render context is
+    /// idle and a buffer can be dequeued. With a VSync-rs signal configured,
+    /// work dispatched now begins at the next signal instead of immediately.
+    fn pump_rs(&mut self, now: SimTime, sched: &mut dyn FnMut(SimTime, Ev)) {
+        while self.rs_active < self.cfg.render_threads {
+            let Some(&frame) = self.rs_pending.front() else { return };
+            // Transient allocation failure: dequeues are denied for the rest
+            // of this refresh interval. Ticks keep firing and re-enter
+            // `pump_rs`, so the dispatch is retried — the fault degrades
+            // throughput instead of wedging the pipeline.
+            let cur_tick = self.timeline.next_tick_after(now).0.saturating_sub(1);
+            if self.faults.deny_alloc(cur_tick) {
+                if self.denial_logged != Some(cur_tick) {
+                    self.denial_logged = Some(cur_tick);
+                    self.fault_log.push(FaultRecord {
+                        tick: cur_tick,
+                        time: now,
+                        class: FaultClass::AllocDenied,
+                    });
+                }
+                return;
+            }
+            let Some(slot) = self.queue.dequeue_free() else { return };
+            self.rs_pending.pop_front();
+            self.frames[frame].as_mut().expect("pending frame was started").slot = Some(slot);
+            self.rs_active += 1;
+            let start = match self.cfg.rs_signal_offset {
+                None => now,
+                Some(offset) => {
+                    // The next VSync-rs signal at or after `now`.
+                    let (last_idx, _) = {
+                        let (n, _) = self.timeline.next_tick_after(now);
+                        (n - 1, ())
+                    };
+                    let last_signal = self.timeline.tick_time(last_idx) + offset;
+                    if last_signal >= now {
+                        last_signal
+                    } else {
+                        self.timeline.tick_time(last_idx + 1) + offset
+                    }
+                }
+            };
+            let mut rs = self.trace.frames[frame].rs;
+            let stall = self.faults.rs_extra(frame as u64);
+            if !stall.is_zero() {
+                rs += stall;
+                self.fault_log.push(FaultRecord {
+                    tick: frame as u64,
+                    time: now,
+                    class: FaultClass::RsStall,
+                });
+            }
+            sched(start + rs, Ev::RsDone(frame));
+        }
+    }
+
+    fn finish_rs(&mut self, frame: usize, now: SimTime) {
+        self.rs_active -= 1;
+        self.rs_finished.push((frame, now));
+        // Buffers enter the queue in frame order: a fast successor rendered
+        // on a parallel context waits for its predecessor.
+        while let Some(pos) = self.rs_finished.iter().position(|&(f, _)| f == self.next_to_queue) {
+            self.rs_finished.swap_remove(pos);
+            let idx = self.next_to_queue;
+            let state = self.frames[idx].as_mut().expect("rs of unstarted frame");
+            state.queued_at = Some(now);
+            let meta = FrameMeta::new(idx as u64, state.content).with_rate(self.cfg.rate_hz);
+            let slot = state.slot.expect("render stage had a slot");
+            self.queue.queue(slot, meta, now).expect("slot was dequeued at render start");
+            self.in_flight -= 1;
+            self.next_to_queue += 1;
+        }
+    }
+
+    fn eligible_tick(&self, queued_at: SimTime) -> u64 {
+        let target = queued_at + self.cfg.latch();
+        if target.as_nanos() == 0 {
+            return 0;
+        }
+        let probe = SimTime::from_nanos(target.as_nanos() - 1);
+        self.timeline.next_tick_after(probe).0
+    }
+
+    /// Consumes the state into the run report. Identical across engines by
+    /// construction — this is the single assembly path.
+    pub(crate) fn report(mut self) -> RunReport {
+        self.truncated |= self.presented < self.trace.len();
+        let rate_hz = self.cfg.rate_hz;
+        let mut report = RunReport::new(self.trace.name.clone(), rate_hz);
+        report.truncated = self.truncated;
+        report.max_queued = self.queue.max_queued_observed();
+        report.janks = std::mem::take(&mut self.janks);
+        report.fault_events = std::mem::take(&mut self.fault_log);
+        report.mode_transitions = self.pacer.take_transitions();
+
+        // Collect presented frames into records (one pre-sized batch).
+        let mut records: Vec<FrameRecord> = Vec::with_capacity(self.presented);
+        for (idx, state) in self.frames.iter().enumerate() {
+            let Some(s) = state else { continue };
+            let (Some((ptick, ptime)), Some(queued_at)) = (s.present, s.queued_at) else {
+                continue;
+            };
+            let cost = self.trace.frames[idx];
+            records.push(FrameRecord {
+                seq: idx as u64,
+                trigger: s.trigger,
+                basis: s.basis,
+                content_timestamp: s.content,
+                queued_at,
+                present: ptime,
+                present_tick: ptick,
+                eligible_tick: self.eligible_tick(queued_at),
+                kind: FrameKind::Direct, // classified below
+                ui_cost: cost.ui,
+                rs_cost: cost.rs,
+            });
+        }
+        records.sort_by_key(|r| r.present_tick);
+
+        // Classification: the first frame presented after a jank is the one
+        // the screen waited for — a drop. A frame whose end-to-end latency
+        // exceeds the two-period pipeline depth waited behind earlier frames
+        // (in the queue, or blocked on a buffer): stuffing. The 20 % margin
+        // tolerates clock jitter.
+        let jank_ticks: Vec<u64> = report.janks.iter().map(|j| j.tick).collect();
+        let stuffed_threshold = self.timeline.period_at(0).mul_f64(2.2);
+        let mut ji = 0usize;
+        for r in records.iter_mut() {
+            let mut dropped = false;
+            while ji < jank_ticks.len() && jank_ticks[ji] < r.present_tick {
+                dropped = true;
+                ji += 1;
+            }
+            r.kind = if dropped {
+                FrameKind::Dropped
+            } else if r.latency() > stuffed_threshold {
+                FrameKind::Stuffed
+            } else {
+                FrameKind::Direct
+            };
+        }
+
+        if let Some(first) = self.first_present_tick {
+            let last = self.last_present_tick;
+            let span = self.timeline.tick_time(last) - self.timeline.tick_time(first);
+            report.display_time = span + self.timeline.period_at(last);
+            report.ticks_active = last - first + 1;
+        } else {
+            report.display_time = SimDuration::ZERO;
+            report.ticks_active = 0;
+        }
+        report.reserve_records(records.len());
+        report.append_records(records);
+        report
+    }
+}

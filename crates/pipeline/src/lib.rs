@@ -35,12 +35,14 @@
 
 mod calibrate;
 mod config;
+mod core;
 mod pacer;
 mod runner;
 mod simulator;
 
 pub use calibrate::{calibrate_spec, CalibrationOutcome};
 pub use config::PipelineConfig;
+pub use core::{CoreStats, SimCore};
 pub use pacer::{FramePacer, FramePlan, PacerCtx, VsyncPacer};
-pub use runner::{run_segmented, run_segmented_vsync};
+pub use runner::{run_segmented, run_segmented_core, run_segmented_vsync};
 pub use simulator::Simulator;

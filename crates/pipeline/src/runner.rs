@@ -12,6 +12,7 @@ use dvs_metrics::RunReport;
 use dvs_workload::ScenarioSpec;
 
 use crate::config::PipelineConfig;
+use crate::core::SimCore;
 use crate::pacer::{FramePacer, VsyncPacer};
 use crate::simulator::Simulator;
 
@@ -21,12 +22,26 @@ use crate::simulator::Simulator;
 /// # Panics
 ///
 /// Panics if the spec produces no frames.
-pub fn run_segmented<F>(spec: &ScenarioSpec, buffers: usize, mut make_pacer: F) -> RunReport
+pub fn run_segmented<F>(spec: &ScenarioSpec, buffers: usize, make_pacer: F) -> RunReport
+where
+    F: FnMut() -> Box<dyn FramePacer>,
+{
+    run_segmented_core(spec, buffers, SimCore::default(), make_pacer)
+}
+
+/// [`run_segmented`] on an explicit execution engine — the seam the
+/// differential suite and the benchmark harness drive both cores through.
+pub fn run_segmented_core<F>(
+    spec: &ScenarioSpec,
+    buffers: usize,
+    core: SimCore,
+    mut make_pacer: F,
+) -> RunReport
 where
     F: FnMut() -> Box<dyn FramePacer>,
 {
     let cfg = PipelineConfig::new(spec.rate_hz, buffers);
-    let sim = Simulator::new(&cfg);
+    let sim = Simulator::new(&cfg).with_core(core);
     let mut combined = RunReport::new(spec.name.clone(), spec.rate_hz);
     for segment in spec.generate_segments() {
         let mut pacer = make_pacer();

@@ -1,53 +1,46 @@
 //! The discrete-event rendering-pipeline simulator.
+//!
+//! The pipeline semantics live in [`crate::core`]; this module is the public
+//! entry point that validates inputs, materializes fault plans, and hands the
+//! run to the selected execution engine ([`SimCore`]).
 
-use std::collections::{BTreeMap, VecDeque};
-
-use dvs_buffer::{BufferQueue, FrameMeta, SlotId};
-use dvs_display::{Panel, PanelOutcome, RefreshRate, VsyncTimeline};
 use dvs_faults::{FaultPlan, FaultSchedule, Horizon};
-use dvs_metrics::{FaultClass, FaultRecord, FrameKind, FrameRecord, JankEvent, RunReport};
-use dvs_sim::{DvsError, EventQueue, SimDuration, SimTime};
+use dvs_metrics::RunReport;
+use dvs_sim::DvsError;
 use dvs_workload::FrameTrace;
 
 use crate::config::PipelineConfig;
-use crate::pacer::{FramePacer, PacerCtx};
-
-/// Events driving one run.
-#[derive(Clone, Copy, Debug)]
-enum Ev {
-    /// HW-VSync tick `k`.
-    Tick(u64),
-    /// A frame's UI stage completed.
-    UiDone(usize),
-    /// A frame's render stage completed (buffer ready to queue).
-    RsDone(usize),
-    /// A pacer-requested wake-up to retry starting a frame.
-    Wake,
-}
-
-/// Per-frame bookkeeping while a run is in progress.
-#[derive(Clone, Copy, Debug)]
-struct FrameState {
-    trigger: SimTime,
-    basis: SimTime,
-    content: SimTime,
-    /// The buffer slot, assigned when the render stage dequeues one.
-    slot: Option<SlotId>,
-    queued_at: Option<SimTime>,
-    present: Option<(u64, SimTime)>,
-}
+use crate::core::{self, CoreStats, SimCore};
+use crate::pacer::FramePacer;
 
 /// Replays a [`FrameTrace`] through the two-stage pipeline under a pacing
 /// policy. See the [crate docs](crate) for an example.
+///
+/// Runs execute on the event-heap engine by default; pass
+/// [`SimCore::Reference`] to [`Simulator::with_core`] to use the retained
+/// tick-stepper (the differential-testing baseline). Both engines produce
+/// byte-identical reports.
 #[derive(Debug)]
 pub struct Simulator<'c> {
     cfg: &'c PipelineConfig,
+    core: SimCore,
 }
 
 impl<'c> Simulator<'c> {
-    /// Creates a simulator over the given configuration.
+    /// Creates a simulator over the given configuration (event-heap engine).
     pub fn new(cfg: &'c PipelineConfig) -> Self {
-        Simulator { cfg }
+        Simulator { cfg, core: SimCore::default() }
+    }
+
+    /// Selects which execution engine runs the event loop.
+    pub fn with_core(mut self, core: SimCore) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// The engine this simulator dispatches runs to.
+    pub fn core(&self) -> SimCore {
+        self.core
     }
 
     /// Runs the trace to completion (or the safety tick cap) and reports.
@@ -70,8 +63,18 @@ impl<'c> Simulator<'c> {
         trace: &FrameTrace,
         pacer: &mut dyn FramePacer,
     ) -> Result<RunReport, DvsError> {
+        self.try_run_instrumented(trace, pacer).map(|(report, _)| report)
+    }
+
+    /// [`Simulator::try_run`] plus the engine's dispatch counters
+    /// (events/sec numerators for the benchmark harness).
+    pub fn try_run_instrumented(
+        &self,
+        trace: &FrameTrace,
+        pacer: &mut dyn FramePacer,
+    ) -> Result<(RunReport, CoreStats), DvsError> {
         self.validate(trace)?;
-        Ok(Run::new(self.cfg, trace, pacer, FaultSchedule::default()).execute())
+        Ok(self.dispatch(trace, pacer, FaultSchedule::default()))
     }
 
     /// Runs the trace under an injected [`FaultPlan`].
@@ -86,6 +89,16 @@ impl<'c> Simulator<'c> {
         pacer: &mut dyn FramePacer,
         plan: &FaultPlan,
     ) -> Result<RunReport, DvsError> {
+        self.run_faulted_instrumented(trace, pacer, plan).map(|(report, _)| report)
+    }
+
+    /// [`Simulator::run_faulted`] plus the engine's dispatch counters.
+    pub fn run_faulted_instrumented(
+        &self,
+        trace: &FrameTrace,
+        pacer: &mut dyn FramePacer,
+        plan: &FaultPlan,
+    ) -> Result<(RunReport, CoreStats), DvsError> {
         self.validate(trace)?;
         let horizon = Horizon::new(
             trace.len() as u64,
@@ -93,7 +106,19 @@ impl<'c> Simulator<'c> {
             self.cfg.rate().period(),
         );
         let schedule = plan.materialize(&horizon);
-        Ok(Run::new(self.cfg, trace, pacer, schedule).execute())
+        Ok(self.dispatch(trace, pacer, schedule))
+    }
+
+    fn dispatch(
+        &self,
+        trace: &FrameTrace,
+        pacer: &mut dyn FramePacer,
+        schedule: FaultSchedule,
+    ) -> (RunReport, CoreStats) {
+        match self.core {
+            SimCore::EventHeap => core::event_heap::execute(self.cfg, trace, pacer, &schedule),
+            SimCore::Reference => core::reference::execute(self.cfg, trace, pacer, schedule),
+        }
     }
 
     fn validate(&self, trace: &FrameTrace) -> Result<(), DvsError> {
@@ -110,392 +135,12 @@ impl<'c> Simulator<'c> {
     }
 }
 
-/// The mutable state of one run.
-struct Run<'a> {
-    cfg: &'a PipelineConfig,
-    trace: &'a FrameTrace,
-    pacer: &'a mut dyn FramePacer,
-    timeline: VsyncTimeline,
-    queue: BufferQueue,
-    panel: Panel,
-    events: EventQueue<Ev>,
-    frames: Vec<Option<FrameState>>,
-    next_frame: usize,
-    ui_busy: bool,
-    /// Render contexts currently drawing.
-    rs_active: usize,
-    rs_pending: VecDeque<usize>,
-    /// Frames whose render stage finished but whose predecessors have not
-    /// queued yet (parallel rendering queues buffers in frame order).
-    rs_finished: BTreeMap<usize, SimTime>,
-    /// The next frame index allowed to enter the buffer queue.
-    next_to_queue: usize,
-    in_flight: usize,
-    presented: usize,
-    janks: Vec<JankEvent>,
-    first_present_tick: Option<u64>,
-    last_present_tick: u64,
-    pending_wake: Option<SimTime>,
-    truncated: bool,
-    /// Injected faults resolved for this run (empty for clean runs).
-    schedule: FaultSchedule,
-    /// Faults that actually fired, in firing order.
-    fault_log: Vec<FaultRecord>,
-    /// The last tick an alloc denial was logged for (dedupes retries).
-    denial_logged: Option<u64>,
-}
-
-impl<'a> Run<'a> {
-    fn new(
-        cfg: &'a PipelineConfig,
-        trace: &'a FrameTrace,
-        pacer: &'a mut dyn FramePacer,
-        schedule: FaultSchedule,
-    ) -> Self {
-        let mut timeline = cfg.build_timeline();
-        let mut fault_log = Vec::new();
-        // Injected rate switches (LTPO glitches / thermal caps) reshape the
-        // tick grid before the run starts; the materializer guarantees
-        // strictly increasing switch ticks, so each switch commits.
-        for (tick, rate_hz) in schedule.rate_switches() {
-            if timeline.try_switch_rate_at_tick(tick, RefreshRate::from_hz(rate_hz)).is_ok() {
-                fault_log.push(FaultRecord {
-                    tick,
-                    time: timeline.tick_time(tick),
-                    class: FaultClass::RateSwitch,
-                });
-            }
-        }
-        let mut events = EventQueue::new();
-        events.schedule(timeline.tick_time(0), Ev::Tick(0));
-        Run {
-            cfg,
-            trace,
-            pacer,
-            timeline,
-            queue: BufferQueue::new(cfg.buffer_count),
-            panel: Panel::new(cfg.latch()),
-            events,
-            frames: vec![None; trace.len()],
-            next_frame: 0,
-            ui_busy: false,
-            rs_active: 0,
-            rs_pending: VecDeque::new(),
-            rs_finished: BTreeMap::new(),
-            next_to_queue: 0,
-            in_flight: 0,
-            presented: 0,
-            janks: Vec::new(),
-            first_present_tick: None,
-            last_present_tick: 0,
-            pending_wake: None,
-            truncated: false,
-            schedule,
-            fault_log,
-            denial_logged: None,
-        }
-    }
-
-    fn execute(mut self) -> RunReport {
-        let total = self.trace.len();
-        let tick_cap = self.cfg.tick_cap(total);
-        while let Some((t, ev)) = self.events.pop() {
-            match ev {
-                Ev::Tick(k) => {
-                    if k >= tick_cap {
-                        self.truncated = true;
-                        break;
-                    }
-                    self.on_tick(k, t);
-                    if self.presented >= total {
-                        break;
-                    }
-                    // An injected pulse delay shifts when the NEXT tick's
-                    // event fires; the materializer clamps delays to a
-                    // quarter period so pulses stay ordered.
-                    let next_at = self.timeline.tick_time(k + 1) + self.schedule.tick_delay(k + 1);
-                    self.events.schedule(next_at, Ev::Tick(k + 1));
-                    // A present may have released a buffer the render stage
-                    // was blocked on.
-                    self.pump_rs(t);
-                    self.try_start(t);
-                }
-                Ev::UiDone(frame) => {
-                    self.ui_busy = false;
-                    self.rs_pending.push_back(frame);
-                    self.pump_rs(t);
-                    self.try_start(t);
-                }
-                Ev::RsDone(frame) => {
-                    self.finish_rs(frame, t);
-                    self.pump_rs(t);
-                    self.try_start(t);
-                }
-                Ev::Wake => {
-                    self.pending_wake = None;
-                    self.try_start(t);
-                }
-            }
-        }
-        self.truncated |= self.presented < total;
-        self.report()
-    }
-
-    fn on_tick(&mut self, k: u64, t: SimTime) {
-        // Content is expected at every refresh between the first present and
-        // the end of the animation; a repeat in that window is a jank.
-        let expected = self.first_present_tick.is_some() && self.presented < self.trace.len();
-        if !self.schedule.tick_delay(k).is_zero() {
-            self.fault_log.push(FaultRecord { tick: k, time: t, class: FaultClass::VsyncDelay });
-        }
-        if self.schedule.is_missed(k) {
-            // The HW pulse is swallowed: no latch, no present opportunity.
-            // The previous frame stays on screen, which the user perceives
-            // exactly like a jank when content was expected.
-            self.fault_log.push(FaultRecord { tick: k, time: t, class: FaultClass::VsyncMiss });
-            if expected {
-                self.janks.push(JankEvent { tick: k, time: t });
-                self.pacer.on_jank(k, t);
-            }
-            return;
-        }
-        match self.panel.on_vsync(&mut self.queue, t) {
-            PanelOutcome::Presented(buf) => {
-                let seq = buf.meta.seq as usize;
-                let state =
-                    self.frames[seq].as_mut().expect("presented frame must have been started");
-                state.present = Some((k, t));
-                self.presented += 1;
-                self.first_present_tick.get_or_insert(k);
-                self.last_present_tick = k;
-                self.pacer.on_present(buf.meta.seq, k, t);
-            }
-            PanelOutcome::Repeated => {
-                if expected {
-                    self.janks.push(JankEvent { tick: k, time: t });
-                    self.pacer.on_jank(k, t);
-                }
-            }
-        }
-    }
-
-    fn try_start(&mut self, now: SimTime) {
-        if self.next_frame >= self.trace.len() || self.ui_busy {
-            return;
-        }
-        // UI↔render sync barrier: the UI thread blocks at the start of draw
-        // until the previous frame's render stage has picked up its work
-        // (which itself requires a free buffer — the real back-pressure).
-        if !self.rs_pending.is_empty() {
-            return;
-        }
-        let free_slots = self.queue.free_len();
-        let (next_idx, next_time) = self.timeline.next_tick_after(now);
-        let last_idx = next_idx - 1;
-        let ctx = PacerCtx {
-            now,
-            period: self.timeline.period_at(last_idx),
-            last_tick: (last_idx, self.timeline.tick_time(last_idx)),
-            next_tick: (next_idx, next_time),
-            queued: self.queue.queued_len(),
-            in_flight: self.in_flight,
-            free_slots,
-            frame_index: self.next_frame as u64,
-            last_present_tick: self.first_present_tick.map(|_| self.last_present_tick),
-        };
-        match self.pacer.plan_next(&ctx) {
-            None => {}
-            Some(plan) if plan.start <= now => {
-                let idx = self.next_frame;
-                self.frames[idx] = Some(FrameState {
-                    trigger: now,
-                    basis: plan.basis,
-                    content: plan.content_timestamp,
-                    slot: None,
-                    queued_at: None,
-                    present: None,
-                });
-                self.next_frame += 1;
-                self.ui_busy = true;
-                self.in_flight += 1;
-                let mut ui = self.trace.frames[idx].ui;
-                let stall = self.schedule.ui_extra(idx as u64);
-                if !stall.is_zero() {
-                    ui += stall;
-                    self.fault_log.push(FaultRecord {
-                        tick: idx as u64,
-                        time: now,
-                        class: FaultClass::UiStall,
-                    });
-                }
-                self.events.schedule(now + ui, Ev::UiDone(idx));
-            }
-            Some(plan) if self.pending_wake.is_none_or(|w| plan.start < w) => {
-                self.pending_wake = Some(plan.start);
-                self.events.schedule(plan.start, Ev::Wake);
-            }
-            Some(_) => {}
-        }
-    }
-
-    /// Starts the render stage for pending frames while a render context is
-    /// idle and a buffer can be dequeued. With a VSync-rs signal configured,
-    /// work dispatched now begins at the next signal instead of immediately.
-    fn pump_rs(&mut self, now: SimTime) {
-        while self.rs_active < self.cfg.render_threads {
-            let Some(&frame) = self.rs_pending.front() else { return };
-            // Transient allocation failure: dequeues are denied for the rest
-            // of this refresh interval. Ticks keep firing and re-enter
-            // `pump_rs`, so the dispatch is retried — the fault degrades
-            // throughput instead of wedging the pipeline.
-            let cur_tick = self.timeline.next_tick_after(now).0.saturating_sub(1);
-            if self.schedule.deny_alloc(cur_tick) {
-                if self.denial_logged != Some(cur_tick) {
-                    self.denial_logged = Some(cur_tick);
-                    self.fault_log.push(FaultRecord {
-                        tick: cur_tick,
-                        time: now,
-                        class: FaultClass::AllocDenied,
-                    });
-                }
-                return;
-            }
-            let Some(slot) = self.queue.dequeue_free() else { return };
-            self.rs_pending.pop_front();
-            self.frames[frame].as_mut().expect("pending frame was started").slot = Some(slot);
-            self.rs_active += 1;
-            let start = match self.cfg.rs_signal_offset {
-                None => now,
-                Some(offset) => {
-                    // The next VSync-rs signal at or after `now`.
-                    let (last_idx, _) = {
-                        let (n, _) = self.timeline.next_tick_after(now);
-                        (n - 1, ())
-                    };
-                    let last_signal = self.timeline.tick_time(last_idx) + offset;
-                    if last_signal >= now {
-                        last_signal
-                    } else {
-                        self.timeline.tick_time(last_idx + 1) + offset
-                    }
-                }
-            };
-            let mut rs = self.trace.frames[frame].rs;
-            let stall = self.schedule.rs_extra(frame as u64);
-            if !stall.is_zero() {
-                rs += stall;
-                self.fault_log.push(FaultRecord {
-                    tick: frame as u64,
-                    time: now,
-                    class: FaultClass::RsStall,
-                });
-            }
-            self.events.schedule(start + rs, Ev::RsDone(frame));
-        }
-    }
-
-    fn finish_rs(&mut self, frame: usize, now: SimTime) {
-        self.rs_active -= 1;
-        self.rs_finished.insert(frame, now);
-        // Buffers enter the queue in frame order: a fast successor rendered
-        // on a parallel context waits for its predecessor.
-        while let Some(done_at) = self.rs_finished.remove(&self.next_to_queue) {
-            let _ = done_at;
-            let idx = self.next_to_queue;
-            let state = self.frames[idx].as_mut().expect("rs of unstarted frame");
-            state.queued_at = Some(now);
-            let meta = FrameMeta::new(idx as u64, state.content).with_rate(self.cfg.rate_hz);
-            let slot = state.slot.expect("render stage had a slot");
-            self.queue.queue(slot, meta, now).expect("slot was dequeued at render start");
-            self.in_flight -= 1;
-            self.next_to_queue += 1;
-        }
-    }
-
-    fn eligible_tick(&self, queued_at: SimTime) -> u64 {
-        let target = queued_at + self.cfg.latch();
-        if target.as_nanos() == 0 {
-            return 0;
-        }
-        let probe = SimTime::from_nanos(target.as_nanos() - 1);
-        self.timeline.next_tick_after(probe).0
-    }
-
-    fn report(mut self) -> RunReport {
-        let rate_hz = self.cfg.rate_hz;
-        let mut report = RunReport::new(self.trace.name.clone(), rate_hz);
-        report.truncated = self.truncated;
-        report.max_queued = self.queue.max_queued_observed();
-        report.janks = std::mem::take(&mut self.janks);
-        report.fault_events = std::mem::take(&mut self.fault_log);
-        report.mode_transitions = self.pacer.take_transitions();
-
-        // Collect presented frames into records.
-        let mut records: Vec<FrameRecord> = Vec::with_capacity(self.presented);
-        for (idx, state) in self.frames.iter().enumerate() {
-            let Some(s) = state else { continue };
-            let (Some((ptick, ptime)), Some(queued_at)) = (s.present, s.queued_at) else {
-                continue;
-            };
-            let cost = self.trace.frames[idx];
-            records.push(FrameRecord {
-                seq: idx as u64,
-                trigger: s.trigger,
-                basis: s.basis,
-                content_timestamp: s.content,
-                queued_at,
-                present: ptime,
-                present_tick: ptick,
-                eligible_tick: self.eligible_tick(queued_at),
-                kind: FrameKind::Direct, // classified below
-                ui_cost: cost.ui,
-                rs_cost: cost.rs,
-            });
-        }
-        records.sort_by_key(|r| r.present_tick);
-
-        // Classification: the first frame presented after a jank is the one
-        // the screen waited for — a drop. A frame whose end-to-end latency
-        // exceeds the two-period pipeline depth waited behind earlier frames
-        // (in the queue, or blocked on a buffer): stuffing. The 20 % margin
-        // tolerates clock jitter.
-        let jank_ticks: Vec<u64> = report.janks.iter().map(|j| j.tick).collect();
-        let stuffed_threshold = self.timeline.period_at(0).mul_f64(2.2);
-        let mut ji = 0usize;
-        for r in records.iter_mut() {
-            let mut dropped = false;
-            while ji < jank_ticks.len() && jank_ticks[ji] < r.present_tick {
-                dropped = true;
-                ji += 1;
-            }
-            r.kind = if dropped {
-                FrameKind::Dropped
-            } else if r.latency() > stuffed_threshold {
-                FrameKind::Stuffed
-            } else {
-                FrameKind::Direct
-            };
-        }
-
-        if let Some(first) = self.first_present_tick {
-            let last = self.last_present_tick;
-            let span = self.timeline.tick_time(last) - self.timeline.tick_time(first);
-            report.display_time = span + self.timeline.period_at(last);
-            report.ticks_active = last - first + 1;
-        } else {
-            report.display_time = SimDuration::ZERO;
-            report.ticks_active = 0;
-        }
-        report.records = records;
-        report
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::pacer::VsyncPacer;
-    use dvs_metrics::FrameKind;
+    use dvs_metrics::{FaultClass, FrameKind};
+    use dvs_sim::SimDuration;
     use dvs_workload::{CostProfile, FrameCost, ScenarioSpec};
 
     fn ms(v: f64) -> SimDuration {
@@ -872,5 +517,41 @@ mod tests {
             assert_eq!(report.rate_hz, rate);
             assert!(!report.records.is_empty());
         }
+    }
+
+    #[test]
+    fn reference_core_matches_event_heap_exactly() {
+        let spec = ScenarioSpec::new("cores", 60, 300, CostProfile::scattered(3.0));
+        let trace = spec.generate();
+        let cfg = PipelineConfig::new(60, 4);
+        let heap = Simulator::new(&cfg).run(&trace, &mut VsyncPacer::new());
+        let reference =
+            Simulator::new(&cfg).with_core(SimCore::Reference).run(&trace, &mut VsyncPacer::new());
+        assert_eq!(
+            serde_json::to_string(&heap).unwrap(),
+            serde_json::to_string(&reference).unwrap(),
+            "engines must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn instrumented_run_reports_engine_counters() {
+        let trace = trace_of(60, &[(2.0, 5.0); 50]);
+        let cfg = PipelineConfig::new(60, 3);
+        let (_, heap_stats) =
+            Simulator::new(&cfg).try_run_instrumented(&trace, &mut VsyncPacer::new()).unwrap();
+        let (_, ref_stats) = Simulator::new(&cfg)
+            .with_core(SimCore::Reference)
+            .try_run_instrumented(&trace, &mut VsyncPacer::new())
+            .unwrap();
+        assert_eq!(heap_stats.polls, 0, "the heap never polls");
+        assert_eq!(heap_stats.events_processed, ref_stats.events_processed);
+        assert_eq!(heap_stats.events_scheduled, ref_stats.events_scheduled);
+        assert!(
+            ref_stats.polls > 10 * ref_stats.events_processed,
+            "the tick-stepper pays per-quantum polling overhead: {} polls for {} events",
+            ref_stats.polls,
+            ref_stats.events_processed
+        );
     }
 }

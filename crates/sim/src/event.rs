@@ -1,37 +1,33 @@
 //! A deterministic future-event list.
 //!
-//! [`EventQueue`] is a binary heap keyed by `(time, sequence)` where the
-//! sequence number records insertion order. Two events scheduled for the same
-//! instant therefore pop in the order they were scheduled, which keeps
-//! simulations bit-for-bit reproducible regardless of heap internals.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! [`EventQueue`] is an indexed binary min-heap keyed by `(time, sequence)`
+//! where the sequence number records insertion order. Two events scheduled
+//! for the same instant therefore pop in the order they were scheduled,
+//! which keeps simulations bit-for-bit reproducible regardless of heap
+//! internals.
+//!
+//! The heap is hand-rolled over a plain `Vec` (explicit index arithmetic,
+//! `sift_up`/`sift_down`) rather than wrapping `std::collections::BinaryHeap`
+//! so the simulator hot path can pre-size it ([`EventQueue::with_capacity`])
+//! and keep the steady-state loop allocation-free: once the backing vector
+//! has grown to the run's working set, `schedule`/`pop` never touch the
+//! allocator again.
 
 use crate::SimTime;
 
 /// A pending event: ordered by time, then by insertion sequence.
+#[derive(Clone, Copy, Debug)]
 struct Entry<E> {
     at: SimTime,
     seq: u64,
     payload: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event is on top.
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+impl<E> Entry<E> {
+    /// Strict `(time, seq)` ordering; `seq` is unique, so ties cannot occur.
+    #[inline]
+    fn before(&self, other: &Self) -> bool {
+        (self.at, self.seq) < (other.at, other.seq)
     }
 }
 
@@ -51,14 +47,36 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(order, ['a', 'b', 'c']);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Binary min-heap in the classic implicit-tree layout: children of the
+    /// entry at index `i` live at `2i + 1` and `2i + 2`.
+    heap: Vec<Entry<E>>,
     next_seq: u64,
+    /// Total events ever scheduled (diagnostics for throughput reporting).
+    scheduled: u64,
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue { heap: Vec::new(), next_seq: 0, scheduled: 0 }
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events.
+    ///
+    /// Sizing the queue to a run's expected working set keeps the
+    /// steady-state `schedule`/`pop` cycle free of allocator traffic.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue { heap: Vec::with_capacity(capacity), next_seq: 0, scheduled: 0 }
+    }
+
+    /// Ensures room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// The number of pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 
     /// Schedules `payload` to fire at instant `at`.
@@ -67,17 +85,25 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: SimTime, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.scheduled += 1;
         self.heap.push(Entry { at, seq, payload });
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.at, e.payload))
+        let last = self.heap.len().checked_sub(1)?;
+        self.heap.swap(0, last);
+        let entry = self.heap.pop().expect("non-empty after len check");
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some((entry.at, entry.payload))
     }
 
     /// The instant of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.heap.first().map(|e| e.at)
     }
 
     /// The number of pending events.
@@ -90,9 +116,49 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Drops all pending events.
+    /// Total events ever scheduled on this queue (not just pending).
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Drops all pending events, keeping the backing allocation.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    /// Restores the heap invariant upward from `idx` after a push.
+    fn sift_up(&mut self, mut idx: usize) {
+        while idx > 0 {
+            let parent = (idx - 1) / 2;
+            if self.heap[idx].before(&self.heap[parent]) {
+                self.heap.swap(idx, parent);
+                idx = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Restores the heap invariant downward from `idx` after a pop.
+    fn sift_down(&mut self, mut idx: usize) {
+        let len = self.heap.len();
+        loop {
+            let left = 2 * idx + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let mut smallest = left;
+            if right < len && self.heap[right].before(&self.heap[left]) {
+                smallest = right;
+            }
+            if self.heap[smallest].before(&self.heap[idx]) {
+                self.heap.swap(idx, smallest);
+                idx = smallest;
+            } else {
+                break;
+            }
+        }
     }
 }
 
@@ -114,7 +180,7 @@ impl<E> std::fmt::Debug for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::SimDuration;
+    use crate::{SimDuration, SimRng};
 
     #[test]
     fn pops_in_time_order() {
@@ -166,13 +232,87 @@ mod tests {
     }
 
     #[test]
-    fn clear_empties_queue() {
-        let mut q = EventQueue::new();
+    fn clear_empties_queue_and_keeps_capacity() {
+        let mut q = EventQueue::with_capacity(16);
+        let cap = q.capacity();
         for i in 0..10u64 {
             q.schedule(SimTime::ZERO + SimDuration::from_millis(i), i);
         }
         q.clear();
         assert!(q.is_empty());
+        assert!(q.capacity() >= cap);
+    }
+
+    #[test]
+    fn presized_queue_does_not_grow_in_steady_state() {
+        let mut q = EventQueue::with_capacity(8);
+        let cap = q.capacity();
+        // A schedule/pop ping-pong far longer than the capacity: the live set
+        // never exceeds 4, so the backing vector must never reallocate.
+        for round in 0..10_000u64 {
+            while q.len() < 4 {
+                q.schedule(SimTime::from_nanos(round * 7 + q.len() as u64), round);
+            }
+            q.pop();
+            q.pop();
+        }
+        assert_eq!(q.capacity(), cap, "steady-state loop must not reallocate");
+    }
+
+    #[test]
+    fn matches_sorted_model_under_random_interleaving() {
+        // Differential check of the hand-rolled heap against a sort: random
+        // schedule/pop interleavings must agree with (time, seq) order.
+        let mut rng = SimRng::seed_from(0xD15C0);
+        let mut q = EventQueue::new();
+        let mut model: Vec<(SimTime, u64, u32)> = Vec::new();
+        let mut seq = 0u64;
+        let mut popped = Vec::new();
+        let mut expected = Vec::new();
+        for step in 0..5_000u32 {
+            if !rng.next_u64().is_multiple_of(3) || model.is_empty() {
+                let at = SimTime::from_nanos(rng.next_u64() % 1_000);
+                q.schedule(at, step);
+                model.push((at, seq, step));
+                seq += 1;
+            } else {
+                let (at, payload) = q.pop().expect("model non-empty");
+                let best = model
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(t, s, _))| (t, s))
+                    .map(|(i, _)| i)
+                    .expect("model non-empty");
+                let (mt, _, mp) = model.swap_remove(best);
+                popped.push((at, payload));
+                expected.push((mt, mp));
+            }
+        }
+        while let Some((at, payload)) = q.pop() {
+            let best = model
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(t, s, _))| (t, s))
+                .map(|(i, _)| i)
+                .expect("queue and model agree on emptiness");
+            let (mt, _, mp) = model.swap_remove(best);
+            popped.push((at, payload));
+            expected.push((mt, mp));
+        }
+        assert!(model.is_empty());
+        assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn total_scheduled_counts_all_inserts() {
+        let mut q = EventQueue::new();
+        for i in 0..5u64 {
+            q.schedule(SimTime::from_millis(i), i);
+        }
+        q.pop();
+        q.pop();
+        assert_eq!(q.total_scheduled(), 5);
+        assert_eq!(q.len(), 3);
     }
 
     #[test]
