@@ -14,10 +14,40 @@
 //! parallelism; `--jobs 1` forces the sequential reference path). Output is
 //! byte-identical for every job count — see `docs/sweep.md`.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::env;
 use std::process::ExitCode;
 
 use dvs_bench::*;
+
+/// Counts every heap allocation into [`dvs_bench::alloc_track`], so the
+/// sweep benchmark can gate the pooled path on allocating *less*, not just
+/// running faster. The library crates forbid `unsafe`, so the allocator
+/// wrapper lives here in the binary; under plain `cargo test` the counters
+/// simply stay at zero and byte gates are skipped.
+struct CountingAlloc;
+
+// SAFETY: delegates directly to `System`, which upholds the `GlobalAlloc`
+// contract; the counter updates are relaxed atomics that never touch the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        alloc_track::record_alloc(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        alloc_track::record_alloc(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 struct Job {
     key: &'static str,
@@ -286,6 +316,10 @@ fn usage(jobs: &[Job]) -> String {
          \x20                 # simulator-core throughput: event heap vs tick-stepper\n\
          \x20                 # (--emit-json defaults to BENCH_simcore.json; --check\n\
          \x20                 #  fails on >20% regression vs the committed baseline)\n\
+         \x20      repro bench sweep [--quick] [--emit-json [path]] [--check <baseline>]\n\
+         \x20                 # sweep throughput: classic path vs shared trace cache +\n\
+         \x20                 # pooled arenas + streaming aggregates over a buffer\n\
+         \x20                 # ladder (--emit-json defaults to BENCH_sweep.json)\n\
          \x20      --jobs N   sweep worker count (default: available parallelism;\n\
          \x20                 1 = sequential reference path; output identical for all N)\n\n\
          artefacts:\n",
@@ -296,18 +330,21 @@ fn usage(jobs: &[Job]) -> String {
     out
 }
 
-/// Runs the simulator-core throughput benchmark. Flags (anywhere on the
-/// command line): `--quick` for the CI smoke slice, `--emit-json [path]` to
-/// write the machine-readable result, `--check <baseline.json>` to gate
-/// against a committed baseline.
+/// Runs a throughput benchmark: `repro bench` (simulator core) or
+/// `repro bench sweep` (sweep path). Flags (anywhere on the command line):
+/// `--quick` for the CI smoke slice, `--emit-json [path]` to write the
+/// machine-readable result, `--check <baseline.json>` to gate against a
+/// committed baseline.
 fn run_bench(args: &[String]) -> Result<String, String> {
+    let sweep_bench = args.iter().any(|a| a == "sweep");
     let quick = args.iter().any(|a| a == "--quick");
     // `--emit-json` takes an optional path operand; a following flag means
     // "use the default name".
+    let default_json = if sweep_bench { "BENCH_sweep.json" } else { "BENCH_simcore.json" };
     let emit: Option<String> =
         args.iter().position(|a| a == "--emit-json").map(|p| match args.get(p + 1) {
             Some(next) if !next.starts_with('-') => next.clone(),
-            _ => "BENCH_simcore.json".to_string(),
+            _ => default_json.to_string(),
         });
     let check_path: Option<&String> = args
         .iter()
@@ -315,18 +352,40 @@ fn run_bench(args: &[String]) -> Result<String, String> {
         .and_then(|p| args.get(p + 1))
         .filter(|a| !a.starts_with('-'));
 
-    let result = dvs_bench::simcore::run(quick);
-    let mut out = dvs_bench::simcore::render(&result);
-    if let Some(path) = emit {
+    let (mut out, result_json, check_notes) = if sweep_bench {
+        let result = dvs_bench::sweepbench::run(quick);
+        let notes = match check_path {
+            Some(path) => {
+                let json =
+                    std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+                let baseline: dvs_bench::sweepbench::SweepBench =
+                    serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
+                Some(dvs_bench::sweepbench::check(&result, &baseline)?)
+            }
+            None => None,
+        };
         let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
-        std::fs::write(&path, json + "\n").map_err(|e| format!("write {path}: {e}"))?;
+        (dvs_bench::sweepbench::render(&result), json, notes)
+    } else {
+        let result = dvs_bench::simcore::run(quick);
+        let notes = match check_path {
+            Some(path) => {
+                let json =
+                    std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+                let baseline: dvs_bench::simcore::SimcoreBench =
+                    serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
+                Some(dvs_bench::simcore::check(&result, &baseline)?)
+            }
+            None => None,
+        };
+        let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+        (dvs_bench::simcore::render(&result), json, notes)
+    };
+    if let Some(path) = emit {
+        std::fs::write(&path, result_json + "\n").map_err(|e| format!("write {path}: {e}"))?;
         out.push_str(&format!("wrote {path}\n"));
     }
-    if let Some(path) = check_path {
-        let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-        let baseline: dvs_bench::simcore::SimcoreBench =
-            serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
-        let notes = dvs_bench::simcore::check(&result, &baseline)?;
+    if let Some(notes) = check_notes {
         out.push_str(&notes);
     }
     Ok(out)

@@ -4,29 +4,40 @@
 //!
 //! Like the suite sweep, the matrix is **byte-identical** for every job
 //! count: each cell's trace and fault schedule are derived from stable
-//! textual keys only, and results are reassembled by cell index.
+//! textual keys only, and results are reassembled by cell index. It shares
+//! the suite sweep's cost controls too — an optional [`TraceCache`]
+//! generates each scenario's trace once per matrix instead of once per
+//! cell, and [`SweepMode::Aggregate`] streams each cell through the
+//! worker's pooled [`RunArena`] into a [`RunAggregate`] instead of
+//! materialising per-frame record vectors. All combinations produce
+//! byte-identical rows (pinned by tests).
 
 use dvs_core::{DvsyncConfig, DvsyncPacer, WatchdogConfig};
 use dvs_faults::{named_profile, FaultEvent, FaultPlan};
-use dvs_metrics::{PacerMode, RunReport};
-use dvs_pipeline::{FramePacer, PipelineConfig, Simulator, VsyncPacer};
+use dvs_metrics::{PacerMode, RunAggregate, RunReport};
+use dvs_pipeline::{FramePacer, PipelineConfig, RunArena, Simulator, VsyncPacer};
 use dvs_sim::SimDuration;
-use dvs_workload::{CostProfile, FrameCost, FrameTrace, ScenarioSpec};
+use dvs_workload::{CostProfile, FrameCost, FrameTrace, ScenarioSpec, TraceCache};
 use serde::{Deserialize, Serialize};
 
 use crate::golden::Tolerance;
-use crate::sweep::{PacerKind, SweepEngine};
+use crate::sweep::{PacerKind, SweepEngine, SweepMode};
 
 /// One cell of the fault matrix: a scenario under one fault profile and one
 /// pacing policy.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Cells are plain `Copy` data: the scenario and profile are identified by
+/// index into the matrix's spec/profile slices (plus the spec's stable seed
+/// for identity checks), so building a matrix allocates no per-cell strings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultCell {
     /// Index of the scenario in the matrix's spec list.
     pub spec_index: usize,
-    /// Scenario name (the trace-seed key).
-    pub scenario: String,
-    /// Fault-profile name (see [`dvs_faults::profile_names`]).
-    pub profile: String,
+    /// The scenario's trace-stream seed (`ScenarioSpec::seed`).
+    pub seed: u64,
+    /// Index of the fault profile in the matrix's profile list (see
+    /// [`dvs_faults::profile_names`]).
+    pub profile_index: usize,
     /// Pacing policy under test.
     pub pacer: PacerKind,
     /// Buffer count for this cell.
@@ -34,11 +45,12 @@ pub struct FaultCell {
 }
 
 impl FaultCell {
-    /// The cell's stable key; also the fault plan's seed key, so the fault
+    /// The cell's stable key (`"{scenario}/{profile}"`, names borrowed from
+    /// the caller's slices); also the fault plan's seed key, so the fault
     /// stream depends only on (scenario, profile) — both pacers face the
     /// *same* adversity, and re-runs replay it exactly.
-    pub fn key(&self) -> String {
-        format!("{}/{}", self.scenario, self.profile)
+    pub fn key(&self, scenario: &str, profile: &str) -> String {
+        format!("{scenario}/{profile}")
     }
 }
 
@@ -116,7 +128,17 @@ pub fn default_specs() -> Vec<ScenarioSpec> {
     ]
 }
 
-fn run_cell(cell: &FaultCell, plan: &FaultPlan, trace: &FrameTrace) -> FaultMatrixRow {
+/// Builds the cell's pacer and runs `trace` under `plan`, producing its row
+/// under the selected reporting mode.
+fn run_cell(
+    cell: &FaultCell,
+    scenario: &str,
+    profile: &str,
+    plan: &FaultPlan,
+    trace: &FrameTrace,
+    mode: SweepMode,
+    arena: &mut RunArena,
+) -> FaultMatrixRow {
     let cfg = PipelineConfig::new(trace.rate_hz, cell.buffers);
     let mut vsync;
     let mut dvsync;
@@ -131,20 +153,45 @@ fn run_cell(cell: &FaultCell, plan: &FaultPlan, trace: &FrameTrace) -> FaultMatr
             &mut dvsync
         }
     };
-    let report = Simulator::new(&cfg)
-        .run_faulted(trace, pacer, plan)
-        .expect("matrix traces are non-empty and rate-matched");
-    summarize(cell, &report)
+    let sim = Simulator::new(&cfg);
+    match mode {
+        SweepMode::FullRecords => {
+            let report = sim
+                .run_faulted(trace, pacer, plan)
+                .expect("matrix traces are non-empty and rate-matched");
+            summarize(cell, scenario, profile, &report)
+        }
+        SweepMode::Aggregate => arena.with_scratch_report(|arena, out| {
+            sim.try_run_faulted_into(trace, pacer, plan, arena, out)
+                .expect("matrix traces are non-empty and rate-matched");
+            let agg = RunAggregate::from_report(out);
+            summarize_aggregate(cell, scenario, profile, &agg)
+        }),
+    }
 }
 
-fn summarize(cell: &FaultCell, report: &RunReport) -> FaultMatrixRow {
-    FaultMatrixRow {
-        scenario: cell.scenario.clone(),
-        profile: cell.profile.clone(),
-        pacer: match cell.pacer {
+fn row_labels(cell: &FaultCell, scenario: &str, profile: &str) -> (String, String, String) {
+    (
+        scenario.to_string(),
+        profile.to_string(),
+        match cell.pacer {
             PacerKind::Vsync => "vsync".to_string(),
             PacerKind::Dvsync => "dvsync".to_string(),
         },
+    )
+}
+
+fn summarize(
+    cell: &FaultCell,
+    scenario: &str,
+    profile: &str,
+    report: &RunReport,
+) -> FaultMatrixRow {
+    let (scenario, profile, pacer) = row_labels(cell, scenario, profile);
+    FaultMatrixRow {
+        scenario,
+        profile,
+        pacer,
         frames: report.records.len(),
         faults_injected: report.fault_events.len(),
         janks: report.janks.len(),
@@ -155,10 +202,94 @@ fn summarize(cell: &FaultCell, report: &RunReport) -> FaultMatrixRow {
     }
 }
 
+/// [`summarize`] from streaming aggregates: every field maps to the
+/// bit-identical [`RunAggregate`] counterpart, so aggregate-mode rows equal
+/// full-record rows exactly (pinned by tests).
+fn summarize_aggregate(
+    cell: &FaultCell,
+    scenario: &str,
+    profile: &str,
+    agg: &RunAggregate,
+) -> FaultMatrixRow {
+    let (scenario, profile, pacer) = row_labels(cell, scenario, profile);
+    FaultMatrixRow {
+        scenario,
+        profile,
+        pacer,
+        frames: agg.frames,
+        faults_injected: agg.faults,
+        janks: agg.janks,
+        fdps: agg.fdps(),
+        degradations: agg.degradations,
+        recoveries: agg.recoveries,
+        mean_latency_ms: agg.mean_latency_ms(),
+    }
+}
+
+/// Runs the matrix over `specs` × `profiles` with explicit control over the
+/// reporting mode and an optional shared [`TraceCache`].
+///
+/// Results are byte-identical for every `jobs` value, both [`SweepMode`]s,
+/// and cache on/off: cell keys contain no worker or scheduling state, the
+/// engine reassembles rows by index, and the cache only removes redundant
+/// regeneration of identical traces.
+///
+/// # Panics
+///
+/// Panics if `cache` was built for a different spec slice than this call.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fault_matrix_opts(
+    label: &str,
+    specs: &[ScenarioSpec],
+    profiles: &[&str],
+    vsync_buffers: usize,
+    dvsync_buffers: usize,
+    jobs: usize,
+    mode: SweepMode,
+    cache: Option<&TraceCache>,
+) -> FaultMatrixResult {
+    let mut cells = Vec::with_capacity(specs.len() * profiles.len() * 2);
+    for (spec_index, spec) in specs.iter().enumerate() {
+        for profile_index in 0..profiles.len() {
+            for (pacer, buffers) in
+                [(PacerKind::Vsync, vsync_buffers), (PacerKind::Dvsync, dvsync_buffers)]
+            {
+                cells.push(FaultCell {
+                    spec_index,
+                    seed: spec.seed,
+                    profile_index,
+                    pacer,
+                    buffers,
+                });
+            }
+        }
+    }
+    let rows = SweepEngine::new(jobs).run_with(cells.len(), RunArena::new, |arena, i| {
+        let cell = &cells[i];
+        let scenario = specs[cell.spec_index].name.as_str();
+        let profile = profiles[cell.profile_index];
+        let plan = named_profile(profile, cell.key(scenario, profile))
+            .expect("matrix profiles are all named");
+        match cache {
+            Some(cache) => {
+                let entry = cache.get(specs, cell.spec_index);
+                run_cell(cell, scenario, profile, &plan, &entry.trace, mode, arena)
+            }
+            None => {
+                let trace = specs[cell.spec_index].generate();
+                run_cell(cell, scenario, profile, &plan, &trace, mode, arena)
+            }
+        }
+    });
+    FaultMatrixResult { label: label.to_string(), vsync_buffers, dvsync_buffers, rows }
+}
+
 /// Runs the matrix over `specs` × `profiles` with `jobs` sweep workers.
 ///
-/// Results are byte-identical for every `jobs` value: cell keys contain no
-/// worker or scheduling state, and the engine reassembles rows by index.
+/// The standard entry point: a fresh per-call [`TraceCache`] (each
+/// scenario's trace generated once, shared across its cells) and streaming
+/// aggregates. Byte-identical to every other mode/cache combination of
+/// [`run_fault_matrix_opts`].
 pub fn run_fault_matrix_jobs(
     label: &str,
     specs: &[ScenarioSpec],
@@ -167,29 +298,17 @@ pub fn run_fault_matrix_jobs(
     dvsync_buffers: usize,
     jobs: usize,
 ) -> FaultMatrixResult {
-    let mut cells = Vec::with_capacity(specs.len() * profiles.len() * 2);
-    for (spec_index, spec) in specs.iter().enumerate() {
-        for profile in profiles {
-            for (pacer, buffers) in
-                [(PacerKind::Vsync, vsync_buffers), (PacerKind::Dvsync, dvsync_buffers)]
-            {
-                cells.push(FaultCell {
-                    spec_index,
-                    scenario: spec.name.clone(),
-                    profile: profile.to_string(),
-                    pacer,
-                    buffers,
-                });
-            }
-        }
-    }
-    let rows = SweepEngine::new(jobs).run(cells.len(), |i| {
-        let cell = &cells[i];
-        let plan = named_profile(&cell.profile, cell.key()).expect("matrix profiles are all named");
-        let trace = specs[cell.spec_index].generate();
-        run_cell(cell, &plan, &trace)
-    });
-    FaultMatrixResult { label: label.to_string(), vsync_buffers, dvsync_buffers, rows }
+    let cache = TraceCache::for_specs(specs);
+    run_fault_matrix_opts(
+        label,
+        specs,
+        profiles,
+        vsync_buffers,
+        dvsync_buffers,
+        jobs,
+        SweepMode::Aggregate,
+        Some(&cache),
+    )
 }
 
 /// Runs the default matrix (all named profiles over [`default_specs`]).
@@ -377,6 +496,48 @@ mod tests {
         assert!(m.rows.iter().all(|r| r.frames == 600));
         let text = m.render();
         assert!(text.contains("profile"));
+    }
+
+    #[test]
+    fn matrix_mode_and_cache_combinations_are_byte_identical() {
+        let specs = default_specs();
+        let profiles = &dvs_faults::profile_names()[..3];
+        let reference = serde_json::to_string(&run_fault_matrix_opts(
+            "t",
+            &specs[..2],
+            profiles,
+            3,
+            5,
+            1,
+            SweepMode::FullRecords,
+            None,
+        ))
+        .unwrap();
+        for mode in [SweepMode::FullRecords, SweepMode::Aggregate] {
+            for cached in [false, true] {
+                let cache = cached.then(|| TraceCache::for_specs(&specs[..2]));
+                let got = run_fault_matrix_opts(
+                    "t",
+                    &specs[..2],
+                    profiles,
+                    3,
+                    5,
+                    2,
+                    mode,
+                    cache.as_ref(),
+                );
+                assert_eq!(
+                    serde_json::to_string(&got).unwrap(),
+                    reference,
+                    "mode {mode:?}, cache {cached} diverged"
+                );
+                if let Some(cache) = &cache {
+                    let stats = cache.stats();
+                    assert_eq!(stats.misses, 2, "one generation per scenario");
+                    assert_eq!(stats.hits, (profiles.len() * 2 * 2 - 2) as u64);
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod alloc_track;
 pub mod costs;
 pub mod faultmatrix;
 pub mod fig01_cdf;
@@ -33,8 +34,12 @@ pub mod simcore;
 pub mod suite;
 pub mod suite75;
 pub mod sweep;
+pub mod sweepbench;
 pub mod table1_devices;
 pub mod table2_stutters;
 
 pub use suite::{run_suite, SuiteResult, SuiteRow};
-pub use sweep::{run_suite_jobs, PacerKind, SweepCell, SweepEngine, SweepGrid};
+pub use sweep::{
+    run_suite_cached, run_suite_jobs, FittedScenario, GridCache, PacerKind, SuiteSweep, SweepCell,
+    SweepEngine, SweepGrid, SweepMode, SweepStats,
+};

@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod aggregate;
 mod chrome_trace;
 mod fps;
 mod power;
@@ -22,6 +23,7 @@ mod stats;
 mod stutter;
 mod timeline;
 
+pub use aggregate::{QuantileGrid, RunAggregate, StreamingStats};
 pub use chrome_trace::chrome_trace_json;
 pub use fps::{average_fps, fps_series, min_window_fps};
 pub use power::{EnergyBreakdown, InstructionModel, PowerModel, FPE_DTV_EXEC_PER_FRAME};

@@ -197,6 +197,43 @@ impl RunReport {
         self.records.reserve(n);
     }
 
+    /// Pre-sizes the report for a whole scenario: `frames` upcoming frame
+    /// records plus `transitions` expected pacer mode transitions.
+    ///
+    /// [`RunReport::reserve_records`] alone under-reserves for segmented
+    /// runs: a combined report absorbs one segment at a time, and growing by
+    /// doubling re-copies every record already merged. Sizing from the
+    /// scenario's *total* frame count (and leaving slack for the
+    /// degradation watchdog's transition log) keeps the steady-state appends
+    /// of [`RunReport::absorb_from`] reallocation-free.
+    pub fn reserve_for(&mut self, frames: usize, transitions: usize) {
+        self.records.reserve(frames);
+        self.mode_transitions.reserve(transitions);
+    }
+
+    /// Returns the report to the empty state [`RunReport::new`] would build
+    /// for `(name, rate_hz)`, keeping every backing allocation.
+    ///
+    /// This is the reuse half of the pooled-run protocol: a worker owns one
+    /// report per slot, `reset`s it at the start of each run, and the vectors
+    /// grow to the largest scenario seen and then stop touching the
+    /// allocator. The result is indistinguishable from a fresh report —
+    /// metric formulas, serialization, and `absorb` behavior are unaffected
+    /// by the retained capacity.
+    pub fn reset(&mut self, name: &str, rate_hz: u32) {
+        self.name.clear();
+        self.name.push_str(name);
+        self.rate_hz = rate_hz;
+        self.records.clear();
+        self.janks.clear();
+        self.display_time = SimDuration::ZERO;
+        self.ticks_active = 0;
+        self.max_queued = 0;
+        self.fault_events.clear();
+        self.mode_transitions.clear();
+        self.truncated = false;
+    }
+
     /// Appends a batch of frame records in one call.
     ///
     /// The event-heap core assembles all records after its event loop ends
@@ -274,7 +311,19 @@ impl RunReport {
     /// keeps the merged tick sequence globally monotone — in particular,
     /// jank runs never merge across a segment boundary. Timestamps remain
     /// segment-relative.
-    pub fn absorb(&mut self, other: RunReport) {
+    pub fn absorb(&mut self, mut other: RunReport) {
+        self.absorb_from(&mut other);
+    }
+
+    /// Drain-based [`RunReport::absorb`]: merges `other`'s contents while
+    /// leaving its (now empty) vectors — and their capacity — behind.
+    ///
+    /// Pooled segmented runs lean on this: the per-segment report is drained
+    /// into the combined report and then `reset` for the next segment, so
+    /// one segment-sized allocation serves the whole run. The merge itself
+    /// is byte-identical to `absorb`. `other`'s scalar fields are left
+    /// untouched; a subsequent [`RunReport::reset`] clears them.
+    pub fn absorb_from(&mut self, other: &mut RunReport) {
         let offset = self
             .records
             .iter()
@@ -283,24 +332,32 @@ impl RunReport {
             .max()
             .map(|last| last + 2)
             .unwrap_or(0);
-        self.records.extend(other.records.into_iter().map(|mut r| {
+        self.records.extend(other.records.drain(..).map(|mut r| {
             r.present_tick += offset;
             r.eligible_tick += offset;
             r
         }));
-        self.janks.extend(other.janks.into_iter().map(|mut j| {
+        self.janks.extend(other.janks.drain(..).map(|mut j| {
             j.tick += offset;
             j
         }));
-        self.fault_events.extend(other.fault_events.into_iter().map(|mut e| {
+        self.fault_events.extend(other.fault_events.drain(..).map(|mut e| {
             e.tick += offset;
             e
         }));
-        self.mode_transitions.extend(other.mode_transitions);
+        self.mode_transitions.append(&mut other.mode_transitions);
         self.display_time += other.display_time;
         self.ticks_active += other.ticks_active;
         self.max_queued = self.max_queued.max(other.max_queued);
         self.truncated |= other.truncated;
+    }
+}
+
+impl Default for RunReport {
+    /// An anonymous empty report — the natural starting value for pooled
+    /// slots that are `reset` before every use.
+    fn default() -> Self {
+        RunReport::new("", 0)
     }
 }
 
@@ -382,6 +439,66 @@ mod tests {
         a.absorb(b);
         assert_eq!(a.janks.len(), 2);
         assert!((a.fdps() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_from_matches_absorb_and_keeps_donor_capacity() {
+        let build = |tag: &str| {
+            let mut r = RunReport::new(tag, 60);
+            r.display_time = SimDuration::from_secs(1);
+            r.ticks_active = 60;
+            r.records.push(record(FrameKind::Direct, 0, 33));
+            r.janks.push(JankEvent { tick: 7, time: SimTime::from_millis(116) });
+            r
+        };
+        let mut by_value = build("combined");
+        by_value.absorb(build("seg"));
+
+        let mut by_drain = build("combined");
+        let mut donor = build("seg");
+        donor.records.reserve(100);
+        let cap = donor.records.capacity();
+        by_drain.absorb_from(&mut donor);
+
+        assert_eq!(
+            serde_json::to_string(&by_value).unwrap(),
+            serde_json::to_string(&by_drain).unwrap(),
+            "drain-based absorb must be byte-identical to the by-value one"
+        );
+        assert!(donor.records.is_empty());
+        assert_eq!(donor.records.capacity(), cap, "the donor keeps its allocation for reuse");
+    }
+
+    #[test]
+    fn reset_is_indistinguishable_from_fresh() {
+        let mut pooled = RunReport::new("old-scenario", 120);
+        pooled.records.push(record(FrameKind::Dropped, 3, 90));
+        pooled.janks.push(JankEvent { tick: 4, time: SimTime::from_millis(66) });
+        pooled.display_time = SimDuration::from_secs(9);
+        pooled.ticks_active = 540;
+        pooled.max_queued = 3;
+        pooled.truncated = true;
+        pooled.mode_transitions.push(ModeTransition {
+            time: SimTime::from_millis(10),
+            frame_index: 1,
+            mode: PacerMode::Classic,
+            reason: "stale".into(),
+        });
+        let cap = pooled.records.capacity();
+        pooled.reset("fresh", 60);
+        assert_eq!(
+            serde_json::to_string(&pooled).unwrap(),
+            serde_json::to_string(&RunReport::new("fresh", 60)).unwrap(),
+        );
+        assert_eq!(pooled.records.capacity(), cap, "reset must keep the backing allocation");
+    }
+
+    #[test]
+    fn reserve_for_sizes_records_and_transitions() {
+        let mut r = RunReport::new("t", 60);
+        r.reserve_for(600, 8);
+        assert!(r.records.capacity() >= 600);
+        assert!(r.mode_transitions.capacity() >= 8);
     }
 
     #[test]

@@ -8,7 +8,12 @@
 //! fitted; every D-VSync number in the repro harness is then a measured
 //! outcome of running the same calibrated trace under the decoupled pacer.
 
+use dvs_metrics::RunReport;
 use dvs_workload::ScenarioSpec;
+
+use crate::core::{RunArena, SimCore};
+use crate::pacer::{FramePacer, VsyncPacer};
+use crate::runner::run_segments_into;
 
 /// The result of calibrating one scenario.
 #[derive(Clone, Debug)]
@@ -39,11 +44,29 @@ pub struct CalibrationOutcome {
 /// assert!((out.measured_fdps - 2.0).abs() < 0.6);
 /// ```
 pub fn calibrate_spec(spec: &ScenarioSpec, buffers: usize) -> CalibrationOutcome {
+    let mut arena = RunArena::new();
+    calibrate_spec_pooled(spec, buffers, &mut arena)
+}
+
+/// [`calibrate_spec`] through a caller-provided [`RunArena`].
+///
+/// Calibration is the allocation hot spot of a suite run — bracketing plus
+/// bisection measures the scenario dozens of times, and each measurement is
+/// a full segmented VSync run. Routing every measurement through one arena
+/// (and its pooled scratch report) makes the whole search allocation-free
+/// after the first measurement. The fitted result is bit-identical to
+/// [`calibrate_spec`]: the search sequence is deterministic and each pooled
+/// measurement reproduces the fresh-run report exactly.
+pub fn calibrate_spec_pooled(
+    spec: &ScenarioSpec,
+    buffers: usize,
+    arena: &mut RunArena,
+) -> CalibrationOutcome {
     let target = spec.paper_baseline_fdps;
     if target <= 0.0 {
         let mut fitted = spec.clone();
         fitted.cost.long_rate_per_sec = 0.0;
-        let measured = measure(&fitted, buffers);
+        let measured = measure_pooled(&fitted, buffers, arena);
         return CalibrationOutcome { spec: fitted, measured_fdps: measured, iterations: 0 };
     }
 
@@ -51,11 +74,11 @@ pub fn calibrate_spec(spec: &ScenarioSpec, buffers: usize) -> CalibrationOutcome
     let mut lo = 0.0f64;
     let mut hi = (target * 0.8).max(0.25);
     let mut iterations = 0usize;
-    let mut f_hi = measure_with_rate(spec, buffers, hi);
+    let mut f_hi = measure_with_rate(spec, buffers, hi, arena);
     while f_hi < target && hi < spec.rate_hz as f64 {
         lo = hi;
         hi *= 2.0;
-        f_hi = measure_with_rate(spec, buffers, hi);
+        f_hi = measure_with_rate(spec, buffers, hi, arena);
         iterations += 1;
         if iterations > 16 {
             break;
@@ -68,7 +91,7 @@ pub fn calibrate_spec(spec: &ScenarioSpec, buffers: usize) -> CalibrationOutcome
     for _ in 0..18 {
         iterations += 1;
         let mid = 0.5 * (lo + hi);
-        let f = measure_with_rate(spec, buffers, mid);
+        let f = measure_with_rate(spec, buffers, mid, arena);
         if (f - target).abs() < (best_fdps - target).abs() {
             best_rate = mid;
             best_fdps = f;
@@ -88,12 +111,31 @@ pub fn calibrate_spec(spec: &ScenarioSpec, buffers: usize) -> CalibrationOutcome
     CalibrationOutcome { spec: fitted, measured_fdps: best_fdps, iterations }
 }
 
-fn measure_with_rate(spec: &ScenarioSpec, buffers: usize, rate: f64) -> f64 {
+fn measure_with_rate(spec: &ScenarioSpec, buffers: usize, rate: f64, arena: &mut RunArena) -> f64 {
     let mut candidate = spec.clone();
     candidate.cost.long_rate_per_sec = rate;
-    measure(&candidate, buffers)
+    measure_pooled(&candidate, buffers, arena)
 }
 
+/// One segmented VSync measurement through the arena's scratch report.
+fn measure_pooled(spec: &ScenarioSpec, buffers: usize, arena: &mut RunArena) -> f64 {
+    let segments = spec.generate_segments();
+    arena.with_scratch_report(|arena, out: &mut RunReport| {
+        run_segments_into(
+            &spec.name,
+            spec.rate_hz,
+            &segments,
+            buffers,
+            SimCore::default(),
+            || Box::new(VsyncPacer::new()) as Box<dyn FramePacer>,
+            arena,
+            out,
+        );
+        out.fdps()
+    })
+}
+
+#[cfg(test)]
 fn measure(spec: &ScenarioSpec, buffers: usize) -> f64 {
     crate::runner::run_segmented_vsync(spec, buffers).fdps()
 }
@@ -133,6 +175,23 @@ mod tests {
             "target 12, measured {}",
             out.measured_fdps
         );
+    }
+
+    #[test]
+    fn pooled_calibration_through_warm_arena_is_bit_identical() {
+        let spec =
+            ScenarioSpec::new("w", 60, 800, CostProfile::scattered(1.0)).with_paper_fdps(2.5);
+        let fresh = calibrate_spec(&spec, 3);
+        // Warm the arena on a different scenario first, then recalibrate:
+        // leftover buffer contents must not influence the fit.
+        let mut arena = RunArena::new();
+        let other =
+            ScenarioSpec::new("warmup", 120, 400, CostProfile::clustered(3.0)).with_paper_fdps(6.0);
+        let _ = calibrate_spec_pooled(&other, 4, &mut arena);
+        let pooled = calibrate_spec_pooled(&spec, 3, &mut arena);
+        assert_eq!(fresh.spec.cost.long_rate_per_sec, pooled.spec.cost.long_rate_per_sec);
+        assert_eq!(fresh.measured_fdps, pooled.measured_fdps);
+        assert_eq!(fresh.iterations, pooled.iterations);
     }
 
     #[test]

@@ -17,10 +17,9 @@
 
 use dvs_faults::FaultSchedule;
 use dvs_metrics::RunReport;
-use dvs_sim::EventQueue;
 use dvs_workload::FrameTrace;
 
-use super::{CoreStats, Ev, PipeState, StepOutcome};
+use super::{CoreStats, Ev, PipeState, RunArena, StepOutcome};
 use crate::config::PipelineConfig;
 use crate::pacer::FramePacer;
 
@@ -31,16 +30,23 @@ fn heap_capacity(render_threads: usize) -> usize {
     2 * (3 + render_threads)
 }
 
-/// Runs one trace to completion on the event heap.
+/// Runs one trace to completion on the event heap, writing the run report
+/// into `out` and using `arena` buffers for all transient state.
 pub(crate) fn execute(
     cfg: &PipelineConfig,
     trace: &FrameTrace,
     pacer: &mut dyn FramePacer,
     schedule: &FaultSchedule,
-) -> (RunReport, CoreStats) {
+    arena: &mut RunArena,
+    out: &mut RunReport,
+) -> CoreStats {
     let faults = schedule.compile(cfg.tick_cap(trace.len()), trace.len() as u64);
-    let mut st = PipeState::new(cfg, trace, pacer, faults);
-    let mut heap: EventQueue<Ev> = EventQueue::with_capacity(heap_capacity(cfg.render_threads));
+    let (scratch, heap) = arena.split();
+    // A pooled heap must rewind its tie-break sequence counter so reused
+    // runs stay bit-identical to fresh ones.
+    heap.reset();
+    heap.reserve(heap_capacity(cfg.render_threads));
+    let mut st = PipeState::new(cfg, trace, pacer, faults, scratch, out);
     heap.schedule(st.first_pulse_at(), Ev::Tick(0));
     let mut processed = 0u64;
     while let Some((t, ev)) = heap.pop() {
@@ -54,5 +60,6 @@ pub(crate) fn execute(
         events_scheduled: heap.total_scheduled(),
         polls: 0,
     };
-    (st.report(), stats)
+    st.finish();
+    stats
 }

@@ -29,7 +29,7 @@ use dvs_buffer::{BufferQueue, FrameMeta, SlotId};
 use dvs_display::{Panel, PanelOutcome, RefreshRate, VsyncTimeline};
 use dvs_faults::{CompiledFaults, FaultSchedule};
 use dvs_metrics::{FaultClass, FaultRecord, FrameKind, FrameRecord, JankEvent, RunReport};
-use dvs_sim::{SimDuration, SimTime};
+use dvs_sim::{EventQueue, SimDuration, SimTime};
 use dvs_workload::FrameTrace;
 
 use crate::config::PipelineConfig;
@@ -143,6 +143,97 @@ struct FrameState {
     present: Option<(u64, SimTime)>,
 }
 
+/// Pooled, reusable run storage: everything a simulation run allocates that
+/// is not part of its output.
+///
+/// A fresh run allocates per-frame state vectors, render-stage queues, the
+/// event heap, and report vectors — a dozen allocations whose sizes repeat
+/// across every cell of a sweep grid. An arena owns those buffers once per
+/// worker thread; each run `clear`s and reuses them, so a warm arena runs an
+/// entire grid without touching the allocator. Runs through an arena are
+/// **byte-identical** to fresh runs: every buffer is reset to its
+/// freshly-constructed state (including the event heap's deterministic
+/// tie-break sequence, see [`EventQueue::reset`]) before the first event
+/// fires.
+///
+/// The two [`RunReport`] slots serve the segmented runner: `segment` is the
+/// per-segment output that gets drained into the caller's combined report,
+/// and `combined` is a scratch slot for callers (calibration, sweep cells)
+/// that need a full report only transiently — see
+/// [`RunArena::with_scratch_report`].
+pub struct RunArena {
+    frames: Vec<Option<FrameState>>,
+    rs_pending: VecDeque<usize>,
+    rs_finished: Vec<(usize, SimTime)>,
+    heap: EventQueue<Ev>,
+    pub(crate) segment: RunReport,
+    combined: RunReport,
+}
+
+impl RunArena {
+    /// An empty arena; buffers grow to each run's working set on first use.
+    pub fn new() -> Self {
+        RunArena {
+            frames: Vec::new(),
+            rs_pending: VecDeque::new(),
+            rs_finished: Vec::new(),
+            heap: EventQueue::new(),
+            segment: RunReport::default(),
+            combined: RunReport::default(),
+        }
+    }
+
+    /// Lends out the arena's scratch [`RunReport`] slot alongside the arena
+    /// itself, so a caller can run into a pooled report, derive scalars from
+    /// it, and hand the allocation back — all without a fresh report per
+    /// call. Used by calibration (dozens of measurement runs per scenario)
+    /// and by aggregate-mode sweep cells.
+    pub fn with_scratch_report<R>(
+        &mut self,
+        f: impl FnOnce(&mut RunArena, &mut RunReport) -> R,
+    ) -> R {
+        let mut out = std::mem::take(&mut self.combined);
+        let result = f(self, &mut out);
+        self.combined = out;
+        result
+    }
+
+    /// Capacity of the pooled frame-record vector in the scratch report
+    /// (exposed for capacity-stability assertions in tests).
+    pub fn scratch_record_capacity(&self) -> usize {
+        self.combined.records.capacity()
+    }
+}
+
+impl Default for RunArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Mutable views into the arena's run-state buffers, split off so the
+/// engines can borrow the dispatch structure (`heap`) independently.
+pub(crate) struct Scratch<'a> {
+    frames: &'a mut Vec<Option<FrameState>>,
+    rs_pending: &'a mut VecDeque<usize>,
+    rs_finished: &'a mut Vec<(usize, SimTime)>,
+}
+
+impl RunArena {
+    /// Splits the arena into the state-machine scratch buffers and the
+    /// event heap (only the event-heap engine uses the latter).
+    pub(crate) fn split(&mut self) -> (Scratch<'_>, &mut EventQueue<Ev>) {
+        (
+            Scratch {
+                frames: &mut self.frames,
+                rs_pending: &mut self.rs_pending,
+                rs_finished: &mut self.rs_finished,
+            },
+            &mut self.heap,
+        )
+    }
+}
+
 /// Whether the event loop should continue or stop after a step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum StepOutcome {
@@ -153,6 +244,12 @@ pub(crate) enum StepOutcome {
 }
 
 /// The mutable state of one run, independent of the dispatch engine.
+///
+/// Per-frame bookkeeping and the render-stage queues live in borrowed
+/// [`RunArena`] buffers, and observations (janks, fault firings, frame
+/// records) are written directly into the borrowed output report — the
+/// state machine itself owns no growable storage, which is what lets a warm
+/// arena run allocation-free.
 pub(crate) struct PipeState<'a, F: FaultView> {
     cfg: &'a PipelineConfig,
     trace: &'a FrameTrace,
@@ -161,31 +258,31 @@ pub(crate) struct PipeState<'a, F: FaultView> {
     tick_cap: u64,
     queue: BufferQueue,
     panel: Panel,
-    frames: Vec<Option<FrameState>>,
+    frames: &'a mut Vec<Option<FrameState>>,
     next_frame: usize,
     ui_busy: bool,
     /// Render contexts currently drawing.
     rs_active: usize,
-    rs_pending: VecDeque<usize>,
+    rs_pending: &'a mut VecDeque<usize>,
     /// Frames whose render stage finished but whose predecessors have not
     /// queued yet (parallel rendering queues buffers in frame order). At
     /// most `render_threads` entries, so a linear scan beats a tree.
-    rs_finished: Vec<(usize, SimTime)>,
+    rs_finished: &'a mut Vec<(usize, SimTime)>,
     /// The next frame index allowed to enter the buffer queue.
     next_to_queue: usize,
     in_flight: usize,
     presented: usize,
-    janks: Vec<JankEvent>,
     first_present_tick: Option<u64>,
     last_present_tick: u64,
     pending_wake: Option<SimTime>,
     truncated: bool,
     /// Injected faults resolved for this run (clean-run views answer zero).
     faults: F,
-    /// Faults that actually fired, in firing order.
-    fault_log: Vec<FaultRecord>,
     /// The last tick an alloc denial was logged for (dedupes retries).
     denial_logged: Option<u64>,
+    /// The run's output: janks and fault firings stream in as they happen,
+    /// frame records are assembled by [`PipeState::finish`].
+    out: &'a mut RunReport,
 }
 
 impl<'a, F: FaultView> PipeState<'a, F> {
@@ -194,15 +291,24 @@ impl<'a, F: FaultView> PipeState<'a, F> {
         trace: &'a FrameTrace,
         pacer: &'a mut dyn FramePacer,
         faults: F,
+        scratch: Scratch<'a>,
+        out: &'a mut RunReport,
     ) -> Self {
+        let Scratch { frames, rs_pending, rs_finished } = scratch;
+        out.reset(&trace.name, cfg.rate_hz);
+        frames.clear();
+        frames.resize(trace.len(), None);
+        rs_pending.clear();
+        rs_pending.reserve(cfg.render_threads + 1);
+        rs_finished.clear();
+        rs_finished.reserve(cfg.render_threads);
         let mut timeline = cfg.build_timeline();
-        let mut fault_log = Vec::new();
         // Injected rate switches (LTPO glitches / thermal caps) reshape the
         // tick grid before the run starts; the materializer guarantees
         // strictly increasing switch ticks, so each switch commits.
         for (tick, rate_hz) in faults.rate_switches() {
             if timeline.try_switch_rate_at_tick(tick, RefreshRate::from_hz(rate_hz)).is_ok() {
-                fault_log.push(FaultRecord {
+                out.fault_events.push(FaultRecord {
                     tick,
                     time: timeline.tick_time(tick),
                     class: FaultClass::RateSwitch,
@@ -217,23 +323,22 @@ impl<'a, F: FaultView> PipeState<'a, F> {
             tick_cap: cfg.tick_cap(trace.len()),
             queue: BufferQueue::new(cfg.buffer_count),
             panel: Panel::new(cfg.latch()),
-            frames: vec![None; trace.len()],
+            frames,
             next_frame: 0,
             ui_busy: false,
             rs_active: 0,
-            rs_pending: VecDeque::with_capacity(cfg.render_threads + 1),
-            rs_finished: Vec::with_capacity(cfg.render_threads),
+            rs_pending,
+            rs_finished,
             next_to_queue: 0,
             in_flight: 0,
             presented: 0,
-            janks: Vec::new(),
             first_present_tick: None,
             last_present_tick: 0,
             pending_wake: None,
             truncated: false,
             faults,
-            fault_log,
             denial_logged: None,
+            out,
         }
     }
 
@@ -294,15 +399,23 @@ impl<'a, F: FaultView> PipeState<'a, F> {
         // the end of the animation; a repeat in that window is a jank.
         let expected = self.first_present_tick.is_some() && self.presented < self.trace.len();
         if !self.faults.tick_delay(k).is_zero() {
-            self.fault_log.push(FaultRecord { tick: k, time: t, class: FaultClass::VsyncDelay });
+            self.out.fault_events.push(FaultRecord {
+                tick: k,
+                time: t,
+                class: FaultClass::VsyncDelay,
+            });
         }
         if self.faults.is_missed(k) {
             // The HW pulse is swallowed: no latch, no present opportunity.
             // The previous frame stays on screen, which the user perceives
             // exactly like a jank when content was expected.
-            self.fault_log.push(FaultRecord { tick: k, time: t, class: FaultClass::VsyncMiss });
+            self.out.fault_events.push(FaultRecord {
+                tick: k,
+                time: t,
+                class: FaultClass::VsyncMiss,
+            });
             if expected {
-                self.janks.push(JankEvent { tick: k, time: t });
+                self.out.janks.push(JankEvent { tick: k, time: t });
                 self.pacer.on_jank(k, t);
             }
             return;
@@ -320,7 +433,7 @@ impl<'a, F: FaultView> PipeState<'a, F> {
             }
             PanelOutcome::Repeated => {
                 if expected {
-                    self.janks.push(JankEvent { tick: k, time: t });
+                    self.out.janks.push(JankEvent { tick: k, time: t });
                     self.pacer.on_jank(k, t);
                 }
             }
@@ -370,7 +483,7 @@ impl<'a, F: FaultView> PipeState<'a, F> {
                 let stall = self.faults.ui_extra(idx as u64);
                 if !stall.is_zero() {
                     ui += stall;
-                    self.fault_log.push(FaultRecord {
+                    self.out.fault_events.push(FaultRecord {
                         tick: idx as u64,
                         time: now,
                         class: FaultClass::UiStall,
@@ -400,7 +513,7 @@ impl<'a, F: FaultView> PipeState<'a, F> {
             if self.faults.deny_alloc(cur_tick) {
                 if self.denial_logged != Some(cur_tick) {
                     self.denial_logged = Some(cur_tick);
-                    self.fault_log.push(FaultRecord {
+                    self.out.fault_events.push(FaultRecord {
                         tick: cur_tick,
                         time: now,
                         class: FaultClass::AllocDenied,
@@ -432,7 +545,7 @@ impl<'a, F: FaultView> PipeState<'a, F> {
             let stall = self.faults.rs_extra(frame as u64);
             if !stall.is_zero() {
                 rs += stall;
-                self.fault_log.push(FaultRecord {
+                self.out.fault_events.push(FaultRecord {
                     tick: frame as u64,
                     time: now,
                     class: FaultClass::RsStall,
@@ -469,27 +582,25 @@ impl<'a, F: FaultView> PipeState<'a, F> {
         self.timeline.next_tick_after(probe).0
     }
 
-    /// Consumes the state into the run report. Identical across engines by
-    /// construction — this is the single assembly path.
-    pub(crate) fn report(mut self) -> RunReport {
+    /// Consumes the state, completing the borrowed output report. Identical
+    /// across engines by construction — this is the single assembly path,
+    /// and (unlike a return-by-value report) it allocates nothing once the
+    /// output's vectors have reached the run's working set.
+    pub(crate) fn finish(mut self) {
         self.truncated |= self.presented < self.trace.len();
-        let rate_hz = self.cfg.rate_hz;
-        let mut report = RunReport::new(self.trace.name.clone(), rate_hz);
-        report.truncated = self.truncated;
-        report.max_queued = self.queue.max_queued_observed();
-        report.janks = std::mem::take(&mut self.janks);
-        report.fault_events = std::mem::take(&mut self.fault_log);
-        report.mode_transitions = self.pacer.take_transitions();
+        self.out.truncated = self.truncated;
+        self.out.max_queued = self.queue.max_queued_observed();
+        self.out.mode_transitions = self.pacer.take_transitions();
 
         // Collect presented frames into records (one pre-sized batch).
-        let mut records: Vec<FrameRecord> = Vec::with_capacity(self.presented);
-        for (idx, state) in self.frames.iter().enumerate() {
-            let Some(s) = state else { continue };
+        self.out.records.reserve(self.presented);
+        for idx in 0..self.frames.len() {
+            let Some(s) = self.frames[idx] else { continue };
             let (Some((ptick, ptime)), Some(queued_at)) = (s.present, s.queued_at) else {
                 continue;
             };
             let cost = self.trace.frames[idx];
-            records.push(FrameRecord {
+            let record = FrameRecord {
                 seq: idx as u64,
                 trigger: s.trigger,
                 basis: s.basis,
@@ -501,21 +612,22 @@ impl<'a, F: FaultView> PipeState<'a, F> {
                 kind: FrameKind::Direct, // classified below
                 ui_cost: cost.ui,
                 rs_cost: cost.rs,
-            });
+            };
+            self.out.records.push(record);
         }
-        records.sort_by_key(|r| r.present_tick);
 
         // Classification: the first frame presented after a jank is the one
         // the screen waited for — a drop. A frame whose end-to-end latency
         // exceeds the two-period pipeline depth waited behind earlier frames
         // (in the queue, or blocked on a buffer): stuffing. The 20 % margin
         // tolerates clock jitter.
-        let jank_ticks: Vec<u64> = report.janks.iter().map(|j| j.tick).collect();
         let stuffed_threshold = self.timeline.period_at(0).mul_f64(2.2);
+        let RunReport { records, janks, .. } = &mut *self.out;
+        records.sort_by_key(|r| r.present_tick);
         let mut ji = 0usize;
         for r in records.iter_mut() {
             let mut dropped = false;
-            while ji < jank_ticks.len() && jank_ticks[ji] < r.present_tick {
+            while ji < janks.len() && janks[ji].tick < r.present_tick {
                 dropped = true;
                 ji += 1;
             }
@@ -531,14 +643,11 @@ impl<'a, F: FaultView> PipeState<'a, F> {
         if let Some(first) = self.first_present_tick {
             let last = self.last_present_tick;
             let span = self.timeline.tick_time(last) - self.timeline.tick_time(first);
-            report.display_time = span + self.timeline.period_at(last);
-            report.ticks_active = last - first + 1;
+            self.out.display_time = span + self.timeline.period_at(last);
+            self.out.ticks_active = last - first + 1;
         } else {
-            report.display_time = SimDuration::ZERO;
-            report.ticks_active = 0;
+            self.out.display_time = SimDuration::ZERO;
+            self.out.ticks_active = 0;
         }
-        report.reserve_records(records.len());
-        report.append_records(records);
-        report
     }
 }

@@ -26,7 +26,7 @@ use dvs_metrics::RunReport;
 use dvs_sim::{SimDuration, SimTime};
 use dvs_workload::FrameTrace;
 
-use super::{CoreStats, Ev, PipeState, StepOutcome};
+use super::{CoreStats, Ev, PipeState, RunArena, StepOutcome};
 use crate::config::PipelineConfig;
 use crate::pacer::FramePacer;
 
@@ -89,14 +89,23 @@ impl PollingDispatcher {
     }
 }
 
-/// Runs one trace to completion on the tick-stepper.
+/// Runs one trace to completion on the tick-stepper, writing the run report
+/// into `out` and using `arena` buffers for the state machine's scratch.
+///
+/// The dispatcher itself stays freshly allocated on purpose: this engine is
+/// the equivalence oracle, and keeping its dispatch structure independent of
+/// the pooled buffers means arena-reuse bugs cannot hide in both engines at
+/// once.
 pub(crate) fn execute(
     cfg: &PipelineConfig,
     trace: &FrameTrace,
     pacer: &mut dyn FramePacer,
     schedule: FaultSchedule,
-) -> (RunReport, CoreStats) {
-    let mut st = PipeState::new(cfg, trace, pacer, schedule);
+    arena: &mut RunArena,
+    out: &mut RunReport,
+) -> CoreStats {
+    let (scratch, _heap) = arena.split();
+    let mut st = PipeState::new(cfg, trace, pacer, schedule, scratch, out);
     let mut dispatch = PollingDispatcher::new();
     dispatch.schedule(st.first_pulse_at(), Ev::Tick(0));
     let mut processed = 0u64;
@@ -111,5 +120,6 @@ pub(crate) fn execute(
         events_scheduled: dispatch.next_seq,
         polls: dispatch.polls,
     };
-    (st.report(), stats)
+    st.finish();
+    stats
 }

@@ -40,9 +40,11 @@ mod pacer;
 mod runner;
 mod simulator;
 
-pub use calibrate::{calibrate_spec, CalibrationOutcome};
+pub use calibrate::{calibrate_spec, calibrate_spec_pooled, CalibrationOutcome};
 pub use config::PipelineConfig;
-pub use core::{CoreStats, SimCore};
+pub use core::{CoreStats, RunArena, SimCore};
 pub use pacer::{FramePacer, FramePlan, PacerCtx, VsyncPacer};
-pub use runner::{run_segmented, run_segmented_core, run_segmented_vsync};
+pub use runner::{
+    run_segmented, run_segmented_core, run_segmented_pooled, run_segmented_vsync, run_segments_into,
+};
 pub use simulator::Simulator;

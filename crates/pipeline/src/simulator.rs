@@ -10,7 +10,7 @@ use dvs_sim::DvsError;
 use dvs_workload::FrameTrace;
 
 use crate::config::PipelineConfig;
-use crate::core::{self, CoreStats, SimCore};
+use crate::core::{self, CoreStats, RunArena, SimCore};
 use crate::pacer::FramePacer;
 
 /// Replays a [`FrameTrace`] through the two-stage pipeline under a pacing
@@ -73,8 +73,65 @@ impl<'c> Simulator<'c> {
         trace: &FrameTrace,
         pacer: &mut dyn FramePacer,
     ) -> Result<(RunReport, CoreStats), DvsError> {
+        let mut arena = RunArena::new();
+        let mut out = RunReport::default();
+        let stats = self.try_run_into(trace, pacer, &mut arena, &mut out)?;
+        Ok((out, stats))
+    }
+
+    /// Pooled variant of [`Simulator::run`]: runs into a caller-provided
+    /// [`RunArena`] and output report, reusing their allocations.
+    ///
+    /// The output is byte-identical to [`Simulator::run`] — `out` is fully
+    /// reset before the first event fires — but a warm arena makes the whole
+    /// run allocation-free, which is what sweep grids batch-running hundreds
+    /// of cells per worker thread want.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Simulator::run`].
+    pub fn run_into(
+        &self,
+        trace: &FrameTrace,
+        pacer: &mut dyn FramePacer,
+        arena: &mut RunArena,
+        out: &mut RunReport,
+    ) {
+        if let Err(e) = self.try_run_into(trace, pacer, arena, out) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible pooled run; see [`Simulator::run_into`].
+    pub fn try_run_into(
+        &self,
+        trace: &FrameTrace,
+        pacer: &mut dyn FramePacer,
+        arena: &mut RunArena,
+        out: &mut RunReport,
+    ) -> Result<CoreStats, DvsError> {
         self.validate(trace)?;
-        Ok(self.dispatch(trace, pacer, FaultSchedule::default()))
+        Ok(self.dispatch(trace, pacer, FaultSchedule::default(), arena, out))
+    }
+
+    /// Pooled variant of [`Simulator::run_faulted`]: materializes the plan
+    /// over this run's horizon, then runs into the caller's arena and report.
+    pub fn try_run_faulted_into(
+        &self,
+        trace: &FrameTrace,
+        pacer: &mut dyn FramePacer,
+        plan: &FaultPlan,
+        arena: &mut RunArena,
+        out: &mut RunReport,
+    ) -> Result<CoreStats, DvsError> {
+        self.validate(trace)?;
+        let horizon = Horizon::new(
+            trace.len() as u64,
+            self.cfg.tick_cap(trace.len()),
+            self.cfg.rate().period(),
+        );
+        let schedule = plan.materialize(&horizon);
+        Ok(self.dispatch(trace, pacer, schedule, arena, out))
     }
 
     /// Runs the trace under an injected [`FaultPlan`].
@@ -99,14 +156,10 @@ impl<'c> Simulator<'c> {
         pacer: &mut dyn FramePacer,
         plan: &FaultPlan,
     ) -> Result<(RunReport, CoreStats), DvsError> {
-        self.validate(trace)?;
-        let horizon = Horizon::new(
-            trace.len() as u64,
-            self.cfg.tick_cap(trace.len()),
-            self.cfg.rate().period(),
-        );
-        let schedule = plan.materialize(&horizon);
-        Ok(self.dispatch(trace, pacer, schedule))
+        let mut arena = RunArena::new();
+        let mut out = RunReport::default();
+        let stats = self.try_run_faulted_into(trace, pacer, plan, &mut arena, &mut out)?;
+        Ok((out, stats))
     }
 
     fn dispatch(
@@ -114,10 +167,16 @@ impl<'c> Simulator<'c> {
         trace: &FrameTrace,
         pacer: &mut dyn FramePacer,
         schedule: FaultSchedule,
-    ) -> (RunReport, CoreStats) {
+        arena: &mut RunArena,
+        out: &mut RunReport,
+    ) -> CoreStats {
         match self.core {
-            SimCore::EventHeap => core::event_heap::execute(self.cfg, trace, pacer, &schedule),
-            SimCore::Reference => core::reference::execute(self.cfg, trace, pacer, schedule),
+            SimCore::EventHeap => {
+                core::event_heap::execute(self.cfg, trace, pacer, &schedule, arena, out)
+            }
+            SimCore::Reference => {
+                core::reference::execute(self.cfg, trace, pacer, schedule, arena, out)
+            }
         }
     }
 
@@ -532,6 +591,33 @@ mod tests {
             serde_json::to_string(&reference).unwrap(),
             "engines must be byte-identical"
         );
+    }
+
+    #[test]
+    fn pooled_run_into_matches_fresh_runs_across_arena_reuse() {
+        // One arena reused across different traces and both engines must
+        // reproduce every fresh-run report byte for byte.
+        let cfg = PipelineConfig::new(60, 3);
+        let mut arena = crate::core::RunArena::new();
+        let mut out = RunReport::default();
+        let traces = [
+            trace_of(60, &[(2.0, 5.0); 80]),
+            trace_of(60, &[(2.0, 24.0); 30]),
+            ScenarioSpec::new("pool", 60, 200, CostProfile::scattered(3.0)).generate(),
+        ];
+        for core in [SimCore::EventHeap, SimCore::Reference] {
+            let sim = Simulator::new(&cfg).with_core(core);
+            for trace in &traces {
+                let fresh = sim.run(trace, &mut VsyncPacer::new());
+                sim.run_into(trace, &mut VsyncPacer::new(), &mut arena, &mut out);
+                assert_eq!(
+                    serde_json::to_string(&fresh).unwrap(),
+                    serde_json::to_string(&out).unwrap(),
+                    "pooled run diverged from fresh run ({core:?}, {})",
+                    trace.name
+                );
+            }
+        }
     }
 
     #[test]

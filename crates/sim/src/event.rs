@@ -126,6 +126,21 @@ impl<E> EventQueue<E> {
         self.heap.clear();
     }
 
+    /// Returns the queue to its freshly-constructed state while keeping the
+    /// backing allocation.
+    ///
+    /// Unlike [`EventQueue::clear`], this also rewinds the insertion-sequence
+    /// counter and the `total_scheduled` diagnostic. A pooled queue that is
+    /// reused across simulation runs must call this between runs: sequence
+    /// numbers are the deterministic tie-break for same-instant events, so a
+    /// reused queue that kept counting would dispatch ties in a different
+    /// order than a fresh queue and break bit-for-bit reproducibility.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.scheduled = 0;
+    }
+
     /// Restores the heap invariant upward from `idx` after a push.
     fn sift_up(&mut self, mut idx: usize) {
         while idx > 0 {
@@ -241,6 +256,30 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert!(q.capacity() >= cap);
+    }
+
+    #[test]
+    fn reset_restores_fresh_queue_semantics_and_keeps_capacity() {
+        let mut q = EventQueue::with_capacity(16);
+        let cap = q.capacity();
+        for i in 0..10u64 {
+            q.schedule(SimTime::from_millis(i), i);
+        }
+        q.pop();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.total_scheduled(), 0, "reset must rewind the throughput counter");
+        assert!(q.capacity() >= cap, "reset must keep the backing allocation");
+        // Tie-break determinism: after reset, same-instant events must pop in
+        // the new insertion order, exactly as they would on a fresh queue.
+        let t = SimTime::from_millis(1);
+        for i in 100..110u64 {
+            q.schedule(t, i);
+        }
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let want: Vec<u64> = (100..110).collect();
+        assert_eq!(got, want);
+        assert_eq!(q.total_scheduled(), 10);
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! A shared, once-per-grid trace cache.
+//!
+//! Sweep grids evaluate the same scenario under many pipeline configurations
+//! (pacer × buffer count × refresh rate). Trace generation is a pure
+//! function of the [`ScenarioSpec`] — including its stable seed — so every
+//! cell of a grid row replays the *same* trace, and regenerating it per cell
+//! is pure redundancy: for the 75-scenario suite a modest buffer ladder
+//! regenerates tens of millions of frames that are bit-identical to the
+//! first copy.
+//!
+//! [`TraceCache`] generates each scenario exactly once and shares the result
+//! across cells (and worker threads) via [`Arc`]. Entries are keyed by
+//! `(spec_index, seed)`: the position in the grid's spec slice plus the
+//! spec's RNG seed, so lookups allocate nothing (no name `String` keys) and
+//! a mismatched slice is caught immediately rather than silently returning
+//! another scenario's trace.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::generator::ScenarioSpec;
+use crate::trace::FrameTrace;
+
+/// One scenario's cached generation artifacts.
+#[derive(Debug)]
+pub struct CachedScenario {
+    /// The spec's RNG seed, pinned so lookups can verify identity.
+    pub seed: u64,
+    /// The full generated trace.
+    pub trace: FrameTrace,
+    /// The trace sliced into animation segments
+    /// ([`ScenarioSpec::segments_of`]).
+    pub segments: Vec<FrameTrace>,
+}
+
+/// Hit/miss counters observed by a cache over its lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from an already-generated entry.
+    pub hits: u64,
+    /// Lookups that generated the entry (exactly one per scenario).
+    pub misses: u64,
+}
+
+/// Generates each scenario of a fixed spec slice exactly once, sharing the
+/// trace and its segment slices across all consumers.
+///
+/// The cache is `Sync`: concurrent workers land on the same [`OnceLock`]
+/// slot, exactly one runs the generator while the rest wait for the
+/// published entry — so hit/miss totals are deterministic (one miss per
+/// scenario touched) even under parallel sweeps, and every consumer
+/// observes the same `Arc` (not just an equal trace).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use dvs_workload::{CostProfile, ScenarioSpec, TraceCache};
+///
+/// let specs = vec![ScenarioSpec::new("a", 60, 120, CostProfile::smooth())];
+/// let cache = TraceCache::for_specs(&specs);
+/// let first = cache.get(&specs, 0);
+/// let again = cache.get(&specs, 0);
+/// assert!(Arc::ptr_eq(&first, &again), "one generation, shared by all");
+/// assert_eq!(cache.stats().misses, 1);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct TraceCache {
+    slots: Vec<OnceLock<Arc<CachedScenario>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TraceCache {
+    /// An empty cache sized for `specs` (one slot per scenario).
+    pub fn for_specs(specs: &[ScenarioSpec]) -> Self {
+        Self::with_slots(specs.len())
+    }
+
+    /// An empty cache with `slots` scenario slots.
+    pub fn with_slots(slots: usize) -> Self {
+        TraceCache {
+            slots: (0..slots).map(|_| OnceLock::new()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The scenario count this cache was sized for.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The trace (and segments) for `specs[spec_index]`, generated on first
+    /// use and shared afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec_index` is out of range for this cache, or if the slot
+    /// was populated from a spec with a different seed — i.e. the caller
+    /// passed a different spec slice than the cache was built over.
+    pub fn get(&self, specs: &[ScenarioSpec], spec_index: usize) -> Arc<CachedScenario> {
+        let spec = &specs[spec_index];
+        let slot = &self.slots[spec_index];
+        let mut generated = false;
+        let entry = slot.get_or_init(|| {
+            generated = true;
+            let trace = spec.generate();
+            let segments = spec.segments_of(&trace);
+            Arc::new(CachedScenario { seed: spec.seed, trace, segments })
+        });
+        assert_eq!(
+            entry.seed, spec.seed,
+            "trace cache keyed on (spec_index, seed): slot {spec_index} was built from a \
+             different spec slice"
+        );
+        if generated {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        entry.clone()
+    }
+
+    /// Lifetime hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CostProfile;
+
+    fn specs() -> Vec<ScenarioSpec> {
+        vec![
+            ScenarioSpec::new("cache-a", 60, 180, CostProfile::scattered(2.0))
+                .with_segment_frames(60),
+            ScenarioSpec::new("cache-b", 120, 240, CostProfile::clustered(3.0))
+                .with_segment_frames(120),
+        ]
+    }
+
+    #[test]
+    fn cached_trace_is_byte_identical_to_direct_generation() {
+        let specs = specs();
+        let cache = TraceCache::for_specs(&specs);
+        for (i, spec) in specs.iter().enumerate() {
+            let entry = cache.get(&specs, i);
+            assert_eq!(entry.trace, spec.generate());
+            assert_eq!(entry.segments, spec.generate_segments());
+        }
+    }
+
+    #[test]
+    fn hits_share_the_same_arc() {
+        let specs = specs();
+        let cache = TraceCache::for_specs(&specs);
+        let a = cache.get(&specs, 0);
+        let b = cache.get(&specs, 0);
+        assert!(Arc::ptr_eq(&a, &b), "a hit must return the original allocation");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn one_miss_per_scenario_regardless_of_lookup_count() {
+        let specs = specs();
+        let cache = TraceCache::for_specs(&specs);
+        for _ in 0..5 {
+            for i in 0..specs.len() {
+                let _ = cache.get(&specs, i);
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, specs.len() as u64);
+        assert_eq!(stats.hits, 4 * specs.len() as u64);
+    }
+
+    #[test]
+    fn concurrent_lookups_converge_on_one_entry() {
+        let specs = specs();
+        let cache = TraceCache::for_specs(&specs);
+        let entries: Vec<Arc<CachedScenario>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8).map(|_| scope.spawn(|| cache.get(&specs, 0))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for pair in entries.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0], &pair[1]));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "racing workers must not double-count the generation");
+        assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "different spec slice")]
+    fn mismatched_spec_slice_is_rejected() {
+        let specs = specs();
+        let cache = TraceCache::for_specs(&specs);
+        let _ = cache.get(&specs, 0);
+        let other = vec![ScenarioSpec::new("imposter", 60, 180, CostProfile::smooth())];
+        let _ = cache.get(&other, 0);
+    }
+}

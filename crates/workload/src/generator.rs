@@ -188,7 +188,17 @@ impl ScenarioSpec {
     /// Splits the generated trace into per-animation segments. The final
     /// segment keeps the remainder (it is never empty).
     pub fn generate_segments(&self) -> Vec<FrameTrace> {
-        let full = self.generate();
+        self.segments_of(&self.generate())
+    }
+
+    /// Splits an already-generated `full` trace into this spec's
+    /// per-animation segments — the seam that lets a trace cache generate a
+    /// scenario once and slice it for every consumer without regenerating.
+    /// `segments_of(&self.generate())` is exactly [`generate_segments`]
+    /// (which delegates here).
+    ///
+    /// [`generate_segments`]: ScenarioSpec::generate_segments
+    pub fn segments_of(&self, full: &FrameTrace) -> Vec<FrameTrace> {
         let seg = self.segment_frames.max(1);
         let mut out = Vec::with_capacity(full.len() / seg + 1);
         let mut frames = full.frames.as_slice();

@@ -23,11 +23,13 @@ pub mod scenarios;
 pub mod tasks;
 
 mod analyze;
+mod cache;
 mod dist;
 mod generator;
 mod trace;
 
 pub use analyze::{analyze, TraceProfile};
+pub use cache::{CacheStats, CachedScenario, TraceCache};
 pub use dist::{LogNormal, Pareto};
 pub use generator::{CostProfile, Determinism, ScenarioSpec, TraceGenerator};
 pub use trace::{Backend, FrameCost, FrameTrace, TraceError};

@@ -148,6 +148,81 @@ fn sweep_differential_is_jobs_invariant() {
     assert_eq!(sequential, parallel, "jobs=8 must reproduce jobs=1 byte-for-byte");
 }
 
+#[test]
+fn pooled_arena_runs_are_byte_identical_across_cores_and_reuse() {
+    // One arena reused across scenarios and engines: pooled state must never
+    // leak a byte from run to run, on either engine, even under faults.
+    use dvs_pipeline::RunArena;
+    let mut arena = RunArena::new();
+    for (i, spec) in suite75::bench_suite().iter().enumerate() {
+        if i % 7 != 0 {
+            continue;
+        }
+        let trace = spec.generate();
+        let plan = dvs_faults::named_profile("mixed", &spec.name).expect("mixed profile exists");
+        let mut pooled_json = Vec::new();
+        for core in [SimCore::EventHeap, SimCore::Reference] {
+            let cfg = PipelineConfig::new(trace.rate_hz, 4);
+            let sim = Simulator::new(&cfg).with_core(core);
+            let mut out = dvs_metrics::RunReport::default();
+            sim.try_run_faulted_into(&trace, &mut VsyncPacer::new(), &plan, &mut arena, &mut out)
+                .expect("valid trace");
+            pooled_json.push(serde_json::to_string(&out).expect("reports serialize"));
+        }
+        let fresh = report_json(&trace, 4, SimCore::EventHeap, &mut VsyncPacer::new(), Some(&plan));
+        assert_eq!(pooled_json[0], pooled_json[1], "pooled engines diverged on {}", spec.name);
+        assert_eq!(pooled_json[0], fresh, "pooled run diverged from fresh on {}", spec.name);
+    }
+}
+
+#[test]
+fn segmented_report_capacity_is_stable_across_warm_runs() {
+    // `reserve_for` sizes the combined report from the scenario's total
+    // frame count plus expected mode transitions, so once a warm arena and
+    // report have seen a scenario, re-running it must not grow any vector.
+    use dvs_pipeline::{run_segments_into, RunArena};
+    let spec = &suite75::bench_suite()[0];
+    let segments = spec.generate_segments();
+    let mut arena = RunArena::new();
+    let mut out = dvs_metrics::RunReport::default();
+    let mk = || Box::new(VsyncPacer::new()) as Box<dyn FramePacer>;
+    run_segments_into(
+        &spec.name,
+        spec.rate_hz,
+        &segments,
+        3,
+        SimCore::default(),
+        mk,
+        &mut arena,
+        &mut out,
+    );
+    let frames: usize = segments.iter().map(|t| t.len()).sum();
+    assert!(
+        out.records.capacity() >= frames,
+        "reserve_for must pre-size for the whole scenario ({} < {frames})",
+        out.records.capacity()
+    );
+    let caps = (out.records.capacity(), out.janks.capacity(), out.mode_transitions.capacity());
+    let cold = serde_json::to_string(&out).expect("reports serialize");
+    run_segments_into(
+        &spec.name,
+        spec.rate_hz,
+        &segments,
+        3,
+        SimCore::default(),
+        mk,
+        &mut arena,
+        &mut out,
+    );
+    let warm = serde_json::to_string(&out).expect("reports serialize");
+    assert_eq!(cold, warm, "a warm arena+report must replay the identical run");
+    assert_eq!(
+        caps,
+        (out.records.capacity(), out.janks.capacity(), out.mode_transitions.capacity()),
+        "warm reruns must be reallocation-free"
+    );
+}
+
 /// Decodes a proptest-generated `(kind, a, b)` triple into a fault event.
 /// Keeping the strategy on plain integers sidesteps any strategy-combinator
 /// differences and makes failures trivially minimizable.

@@ -70,10 +70,11 @@ fn sweep_grid_round_trips() {
     let grid = SweepGrid::for_suite(&specs, 3, &[4, 5, 7]);
     let back: SweepGrid = serde_json::from_str(&serde_json::to_string(&grid).unwrap()).unwrap();
     assert_eq!(back, grid);
-    // Cell identity (key and derived seed) survives the round trip.
+    // Cell identity (rendered key and stable seed) survives the round trip.
     for (a, b) in grid.cells.iter().zip(&back.cells) {
-        assert_eq!(a.key(), b.key());
-        assert_eq!(a.trace_seed(), b.trace_seed());
+        let name = &specs[a.spec_index].name;
+        assert_eq!(a.key(name), b.key(name));
+        assert_eq!(a.seed, b.seed);
     }
     // A single cell round-trips through the same schema.
     let cell: SweepCell =

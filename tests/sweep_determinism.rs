@@ -1,8 +1,10 @@
 //! The sweep engine's determinism contract: a suite executed by N workers is
-//! **byte-identical** (serialized JSON) to the sequential reference path, and
-//! parallel runs agree with each other. See `docs/sweep.md`.
+//! **byte-identical** (serialized JSON) to the sequential reference path,
+//! parallel runs agree with each other, and neither the reporting mode
+//! (full records vs streaming aggregates) nor the shared grid cache changes
+//! a single output byte. See `docs/sweep.md`.
 
-use dvs_bench::sweep::run_suite_jobs;
+use dvs_bench::sweep::{run_suite_cached, run_suite_jobs, GridCache, SweepMode};
 use dvs_workload::scenarios;
 
 fn suite_json(jobs: usize) -> String {
@@ -32,4 +34,53 @@ fn repeated_parallel_sweeps_agree() {
 fn oversubscribed_sweep_is_still_identical() {
     // More workers than cells: the index queue just drains faster per worker.
     assert_eq!(suite_json(1), suite_json(32));
+}
+
+#[test]
+fn every_mode_cache_and_jobs_combination_is_byte_identical() {
+    // The full acceptance matrix: { sequential, jobs 8 } × { full-record,
+    // aggregate } × { cache on, cache off } all produce the same bytes.
+    let specs = scenarios::mate40_gles_suite();
+    let reference = serde_json::to_string(
+        &run_suite_cached("matrix", &specs, 3, &[4], 1, SweepMode::FullRecords, None).result,
+    )
+    .expect("SuiteResult serializes");
+    for jobs in [1usize, 8] {
+        for mode in [SweepMode::FullRecords, SweepMode::Aggregate] {
+            for cached in [false, true] {
+                let cache = cached.then(|| GridCache::for_suite(&specs, 3));
+                let sweep = run_suite_cached("matrix", &specs, 3, &[4], jobs, mode, cache.as_ref());
+                assert_eq!(
+                    serde_json::to_string(&sweep.result).expect("SuiteResult serializes"),
+                    reference,
+                    "jobs {jobs}, mode {mode:?}, cache {cached} diverged from the reference"
+                );
+                if let Some(cache) = &cache {
+                    assert_eq!(
+                        cache.stats().cache_misses,
+                        specs.len() as u64,
+                        "each scenario calibrates exactly once per cache"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_cache_reuse_across_suite_calls_is_byte_identical() {
+    // A ladder flow: repeated suite calls over one shared cache. The warm
+    // calls must reproduce the cold call's rows exactly, while the cache
+    // absorbs all recalibration.
+    let specs = scenarios::mate40_gles_suite();
+    let cache = GridCache::for_suite(&specs, 3);
+    let cold = run_suite_cached("ladder", &specs, 3, &[4], 4, SweepMode::Aggregate, Some(&cache));
+    let warm = run_suite_cached("ladder", &specs, 3, &[4], 4, SweepMode::Aggregate, Some(&cache));
+    assert_eq!(
+        serde_json::to_string(&cold.result).unwrap(),
+        serde_json::to_string(&warm.result).unwrap(),
+        "a warm grid cache must not change any output byte"
+    );
+    assert_eq!(warm.stats.cache_misses, specs.len() as u64);
+    assert_eq!(warm.stats.cache_hits, specs.len() as u64, "the warm call hit every slot");
 }
