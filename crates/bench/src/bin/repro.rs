@@ -320,6 +320,11 @@ fn usage(jobs: &[Job]) -> String {
          \x20                 # sweep throughput: classic path vs shared trace cache +\n\
          \x20                 # pooled arenas + streaming aggregates over a buffer\n\
          \x20                 # ladder (--emit-json defaults to BENCH_sweep.json)\n\
+         \x20      repro lint [--check] [--emit-json [path]]\n\
+         \x20                 # dvs-lint static pass: determinism, hot-path allocation,\n\
+         \x20                 # panic hygiene (rules in docs/lint.md; scope in lint.toml).\n\
+         \x20                 # --check exits non-zero on any unwaived finding;\n\
+         \x20                 # --emit-json defaults to lint_report.json\n\
          \x20      --jobs N   sweep worker count (default: available parallelism;\n\
          \x20                 1 = sequential reference path; output identical for all N)\n\n\
          artefacts:\n",
@@ -391,6 +396,49 @@ fn run_bench(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// Runs the `dvs-lint` static pass over the workspace: `repro lint
+/// [--check] [--emit-json [path]]`. Without `--check` the pass is
+/// advisory (prints findings, exits 0); with it, any unwaived finding or
+/// malformed waiver fails the run — the CI `lint-suite` job gates on that.
+fn run_lint(args: &[String]) -> Result<(String, bool), String> {
+    let check = args.iter().any(|a| a == "--check");
+    let emit_pos = args.iter().position(|a| a == "--emit-json");
+    let emit: Option<String> = emit_pos.map(|p| match args.get(p + 1) {
+        Some(next) if !next.starts_with('-') => next.clone(),
+        _ => "lint_report.json".to_string(),
+    });
+    // Reject anything unrecognised: CI gates on this subcommand, so a
+    // typo'd `--check` must fail loudly, never silently stop gating.
+    let lint_pos = args.iter().position(|a| a == "lint").unwrap_or(0);
+    let emit_path_pos = emit_pos.filter(|&p| emit == args.get(p + 1).cloned()).map(|p| p + 1);
+    for (i, a) in args.iter().enumerate().skip(lint_pos + 1) {
+        if a == "--check" || a == "--emit-json" || Some(i) == emit_path_pos {
+            continue;
+        }
+        return Err(format!("repro lint: unknown argument `{a}` (see repro --help)"));
+    }
+    let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    let root = dvs_lint::find_workspace_root(&cwd)
+        .or_else(|| {
+            // Fallback for `cargo run -p dvs-bench` from a subdirectory:
+            // walk up from the bench crate's own manifest dir.
+            dvs_lint::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        })
+        .ok_or("no workspace root with a lint.toml found above the current directory")?;
+    let analysis = dvs_lint::analyze_workspace(&root)?;
+    let mut out = dvs_lint::render_text(&analysis);
+    if let Some(path) = emit {
+        let json = dvs_lint::render_json(&analysis);
+        std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    let dirty = check && analysis.is_dirty();
+    if dirty {
+        out.push_str("repro lint --check: FAILED (unwaived findings above)\n");
+    }
+    Ok((out, dirty))
+}
+
 /// Runs a user-provided `ScenarioSpec` (JSON) under the standard ladder of
 /// configurations and prints the comparison.
 fn run_custom(path: &str) -> Result<String, String> {
@@ -432,6 +480,22 @@ fn main() -> ExitCode {
                     Ok(text) => {
                         println!("{text}");
                         ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+            "lint" => {
+                return match run_lint(&args) {
+                    Ok((text, dirty)) => {
+                        print!("{text}");
+                        if dirty {
+                            ExitCode::FAILURE
+                        } else {
+                            ExitCode::SUCCESS
+                        }
                     }
                     Err(e) => {
                         eprintln!("{e}");

@@ -132,6 +132,7 @@ impl BufferQueue {
     /// back buffer to make progress. Fallible callers (e.g. configurations
     /// arriving from outside the process) should use [`BufferQueue::try_new`].
     pub fn new(capacity: usize) -> Self {
+        // dvs-lint: allow(panic, reason = "documented panicking constructor; fallible callers use try_new")
         Self::try_new(capacity).expect("buffer queue needs at least 2 buffers")
     }
 
@@ -332,6 +333,7 @@ impl BufferQueue {
     /// for the non-panicking form.
     pub fn assert_invariants(&self) {
         if let Err(what) = self.check_invariants() {
+            // dvs-lint: allow(panic, reason = "documented panicking test helper; check_invariants is the fallible form")
             panic!("buffer queue invariant violated: {what}");
         }
     }

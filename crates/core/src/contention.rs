@@ -194,6 +194,7 @@ impl ContentionSim {
                             .records
                             .iter_mut()
                             .find(|r| r.seq == buf.meta.seq)
+                            // dvs-lint: allow(panic, reason = "a record is pushed for every started frame before its buffer can present")
                             .expect("presented frames were queued");
                         record.present = now;
                         record.present_tick = tick;
@@ -276,6 +277,7 @@ impl ContentionSim {
             return;
         }
         let queued = app.queue.queued_len();
+        // dvs-lint: allow(panic, reason = "this path only runs in D-VSync mode, which constructs the FPE")
         let may = app.fpe.as_mut().expect("dvsync mode has an FPE").may_start(queued, 0);
         if may {
             Self::start(app, trace, now, tick, period, true);
@@ -338,10 +340,12 @@ impl ContentionSim {
                     .records
                     .iter_mut()
                     .find(|r| r.seq == frame as u64)
+                    // dvs-lint: allow(panic, reason = "a record is pushed for every started frame before its render stage finishes")
                     .expect("started frames have records");
                 record.queued_at = now;
                 let meta =
                     FrameMeta::new(frame as u64, record.content_timestamp).with_rate(trace.rate_hz);
+                // dvs-lint: allow(panic, reason = "the slot was dequeued on the line above and queued exactly once")
                 app.queue.queue(slot, meta, now).expect("freshly dequeued");
             }
             None => {

@@ -8,7 +8,7 @@
 //! Distance Predictor), it extrapolates the value at the D-Timestamp.
 //! Apps register scenario-specific heuristics through [`IplRegistry`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Debug;
 
 use dvs_sim::SimTime;
@@ -224,8 +224,7 @@ impl IplPredictor for MarkovPredictor {
             }
         }
         if velocities.len() < 2 {
-            let &(last_t, last_v) = history.last().expect("len >= 3");
-            let _ = last_t;
+            let &(_, last_v) = history.last()?;
             return Some(last_v);
         }
         let (lo, hi) = velocities
@@ -263,10 +262,10 @@ impl IplPredictor for MarkovPredictor {
             last.saturating_since(first).as_secs_f64() / (history.len() - 1) as f64
         };
         // Walk the chain over the horizon.
-        let (last_t, last_pos) = *history.last().expect("len >= 3");
+        let (last_t, last_pos) = *history.last()?;
         let horizon = target.saturating_since(last_t).as_secs_f64();
         let dt = horizon / self.steps as f64;
-        let mut v = *velocities.last().expect("non-empty");
+        let mut v = *velocities.last()?;
         let mut pos = last_pos;
         for _ in 0..self.steps {
             let r = expected_ratio(v);
@@ -297,14 +296,16 @@ impl IplPredictor for MarkovPredictor {
 /// ```
 #[derive(Debug)]
 pub struct IplRegistry {
-    by_scenario: HashMap<String, Box<dyn IplPredictor>>,
+    // BTreeMap, not HashMap: registry traversal (`scenarios`) must follow
+    // key order, never per-process hash order — see DVS-D003 in docs/lint.md.
+    by_scenario: BTreeMap<String, Box<dyn IplPredictor>>,
     fallback: Box<dyn IplPredictor>,
 }
 
 impl IplRegistry {
     /// Creates a registry with [`VelocityExtrapolation`] as the fallback.
     pub fn new() -> Self {
-        IplRegistry { by_scenario: HashMap::new(), fallback: Box::new(VelocityExtrapolation) }
+        IplRegistry { by_scenario: BTreeMap::new(), fallback: Box::new(VelocityExtrapolation) }
     }
 
     /// Registers a predictor for a scenario key, returning any previous one.
@@ -319,6 +320,13 @@ impl IplRegistry {
     /// The predictor for a scenario, or the fallback.
     pub fn lookup(&self, scenario: &str) -> &dyn IplPredictor {
         self.by_scenario.get(scenario).map(|b| b.as_ref()).unwrap_or(self.fallback.as_ref())
+    }
+
+    /// The registered `(scenario, predictor)` pairs in deterministic
+    /// (lexicographic key) order — independent of insertion order, so any
+    /// traversal-derived output replays byte-identically.
+    pub fn scenarios(&self) -> impl Iterator<Item = (&str, &dyn IplPredictor)> {
+        self.by_scenario.iter().map(|(k, v)| (k.as_str(), v.as_ref()))
     }
 
     /// Replaces the fallback predictor.

@@ -7,6 +7,7 @@
 //! [`LtpoCoSim`] drives a producer, an accumulating queue, and an
 //! LTPO-aware panel through a rate switch and verifies the rule holds.
 
+// dvs-lint: allow-file(panic, reason = "focused co-sim model: queue capacity and panel bookkeeping invariants hold by construction of the fixed scenario")
 use dvs_buffer::{BufferQueue, FrameMeta};
 use dvs_display::{LtpoController, Panel, PanelOutcome, RefreshRate, VsyncTimeline};
 use dvs_sim::SimDuration;

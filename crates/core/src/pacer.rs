@@ -111,6 +111,7 @@ impl DvsyncPacer {
     }
 
     fn dtv_mut(&mut self) -> &mut Dtv {
+        // dvs-lint: allow(panic, reason = "dtv_mut is only called from plan paths that initialise the DTV first")
         self.dtv.as_mut().expect("DTV initialised on first plan call")
     }
 }
@@ -126,6 +127,7 @@ impl FramePacer for DvsyncPacer {
                 && ctx.last_present_tick.is_some()
                 && self.fpe.stage() == FpeStage::Sync
                 && ctx.queued == 0;
+            // dvs-lint: allow(panic, reason = "guarded by the enclosing watchdog.is_some() branch")
             let wd = self.watchdog.as_mut().expect("checked above");
             if collapsed && wd.record_miss(ctx.last_tick.0, ctx.now, ctx.frame_index) {
                 self.enter_classic();
@@ -182,6 +184,7 @@ impl FramePacer for DvsyncPacer {
     fn on_jank(&mut self, tick: u64, time: SimTime) {
         if self.watchdog.is_some() {
             let frame_marker = self.frames_planned;
+            // dvs-lint: allow(panic, reason = "guarded by the enclosing watchdog.is_some() branch")
             let wd = self.watchdog.as_mut().expect("checked above");
             if wd.record_miss(tick, time, frame_marker) {
                 self.enter_classic();

@@ -211,6 +211,7 @@ impl VsyncTimeline {
     /// The first tick whose (jittered) time is strictly after `t`.
     pub fn next_tick_after(&self, t: SimTime) -> (u64, SimTime) {
         // Estimate from ideal arithmetic, then fix up across the jitter band.
+        // dvs-lint: allow(panic, reason = "segments is seeded with one segment at construction and never drained")
         let last = self.segments.last().expect("at least one segment");
         let mut k = if t < last.start {
             // Scan earlier segments (rare: there are only a handful).
@@ -247,6 +248,7 @@ impl VsyncTimeline {
     /// [`VsyncTimeline::try_switch_rate_at_tick`].
     pub fn switch_rate_at_tick(&mut self, tick: u64, rate: RefreshRate) {
         if let Err(e) = self.try_switch_rate_at_tick(tick, rate) {
+            // dvs-lint: allow(panic, reason = "documented panicking wrapper; fallible callers use try_switch_rate_at_tick")
             panic!("{e}");
         }
     }
@@ -258,6 +260,7 @@ impl VsyncTimeline {
         tick: u64,
         rate: RefreshRate,
     ) -> Result<(), DvsError> {
+        // dvs-lint: allow(panic, reason = "segments is seeded with one segment at construction and never drained")
         let last_first = self.segments.last().expect("non-empty").first_tick;
         if tick <= last_first {
             return Err(DvsError::RateSwitchInPast { tick, segment_start: last_first });

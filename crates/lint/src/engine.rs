@@ -1,0 +1,370 @@
+//! The analysis driver: file discovery, waiver application, reporting.
+//!
+//! The engine walks the workspace's *library* sources (`src/` and
+//! `crates/*/src/`, including `src/bin`), classifies each file against the
+//! [`Manifest`], runs the rule pass, then subtracts waived findings.
+//! Integration tests, benches, and examples are out of scope — the
+//! determinism contract there is enforced dynamically by the differential
+//! suite, and test code is allowed to unwrap.
+//!
+//! Output ordering is deterministic: files are visited in sorted path
+//! order and findings stay in source order, so two runs over the same tree
+//! emit byte-identical reports (the linter holds itself to the workspace's
+//! own standard).
+
+use std::path::{Path, PathBuf};
+
+use crate::manifest::Manifest;
+use crate::rules::{self, FileScope, RawFinding};
+use crate::tokens;
+use crate::waiver::{self, WaiverScope};
+
+/// One reportable diagnostic, tied to a stable rule ID and an exact span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule ID (`DVS-D003`).
+    pub rule_id: String,
+    /// Waiver short name (`hash-iter`).
+    pub rule_name: String,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// The matched hazard (e.g. `Instant::now`).
+    pub matched: String,
+    /// Why this is a problem here.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// The result of one analysis run.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// Gating findings — unwaived hazards plus waiver-syntax errors.
+    pub findings: Vec<Finding>,
+    /// Advisory findings (`DVS-W002` unused waivers); never gate CI.
+    pub advisories: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Waivers that suppressed at least one finding.
+    pub waivers_honoured: usize,
+}
+
+impl Analysis {
+    /// Whether `--check` should fail.
+    pub fn is_dirty(&self) -> bool {
+        !self.findings.is_empty()
+    }
+
+    fn merge(&mut self, mut other: Analysis) {
+        self.findings.append(&mut other.findings);
+        self.advisories.append(&mut other.advisories);
+        self.files_scanned += other.files_scanned;
+        self.waivers_honoured += other.waivers_honoured;
+    }
+}
+
+/// Analyzes the workspace rooted at `root`, loading `<root>/lint.toml`.
+pub fn analyze_workspace(root: &Path) -> Result<Analysis, String> {
+    let manifest = Manifest::load(root)?;
+    // Validate the manifest against the tree: a hot path that no longer
+    // exists means the guarantee silently lapsed — fail loudly instead.
+    for rel in
+        manifest.hot_paths.iter().chain(&manifest.index_strict).chain(&manifest.unsafe_allowed)
+    {
+        if !root.join(rel).is_file() {
+            return Err(format!("lint.toml names `{rel}`, which does not exist in the workspace"));
+        }
+    }
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), root, &mut files)?;
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("read {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), root, &mut files)?;
+    }
+    files.sort();
+
+    let mut analysis = Analysis::default();
+    for rel in files {
+        let src =
+            std::fs::read_to_string(root.join(&rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        analysis.merge(check_source(&rel, &src, &manifest));
+    }
+    Ok(analysis)
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|_| format!("{} escapes the workspace root", path.display()))?;
+            out.push(rel.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}
+
+/// Scope classification for one workspace-relative path.
+pub fn scope_for(rel: &str, manifest: &Manifest) -> FileScope {
+    FileScope {
+        sim: manifest.is_sim_crate_path(rel),
+        hot: manifest.is_hot_path(rel),
+        index_strict: manifest.is_index_strict(rel),
+        unsafe_ok: manifest.allows_unsafe(rel),
+        all_test: false,
+    }
+}
+
+/// Analyzes one in-memory source file. Exposed for the fixture corpus and
+/// the seeded-hazard self-tests, which synthesize paths and manifests.
+pub fn check_source(rel: &str, src: &str, manifest: &Manifest) -> Analysis {
+    let scope = scope_for(rel, manifest);
+    let raw = rules::check_file(src, scope);
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: u32| -> String {
+        let text = lines.get(line as usize - 1).copied().unwrap_or("").trim();
+        let mut s: String = text.chars().take(120).collect();
+        if s.len() < text.len() {
+            s.push('…');
+        }
+        s
+    };
+
+    // Waiver collection: parse every pragma-shaped comment; broken ones
+    // become DVS-W001 findings (never silently inert).
+    struct Armed {
+        rule: &'static rules::Rule,
+        reason_line: u32,
+        scope: WaiverScope,
+        /// The line this waiver covers (Line scope only).
+        target: Option<u32>,
+        used: bool,
+    }
+    let ts = tokens::lex(src);
+    let code_lines: Vec<u32> = {
+        let mut v: Vec<u32> = ts.toks().iter().map(|t| t.line).collect();
+        v.dedup();
+        v
+    };
+    let mut armed: Vec<Armed> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    let w001 = rules::by_name("waiver-syntax").expect("catalog");
+    for c in ts.comments() {
+        if !waiver::is_pragma(&c.body) {
+            continue;
+        }
+        match waiver::parse(&c.body) {
+            Ok(Some(w)) => {
+                let Some(rule) = rules::by_name(&w.rule) else {
+                    findings.push(Finding {
+                        rule_id: w001.id.to_string(),
+                        rule_name: w001.name.to_string(),
+                        path: rel.to_string(),
+                        line: c.line,
+                        col: c.col,
+                        matched: w.rule.clone(),
+                        message: format!(
+                            "waiver names unknown rule `{}`; known rules: {}",
+                            w.rule,
+                            rules::RULES.iter().map(|r| r.name).collect::<Vec<_>>().join(", ")
+                        ),
+                        snippet: snippet(c.line),
+                    });
+                    continue;
+                };
+                if rule.name == "waiver-syntax" || rule.name == "unused-waiver" {
+                    findings.push(Finding {
+                        rule_id: w001.id.to_string(),
+                        rule_name: w001.name.to_string(),
+                        path: rel.to_string(),
+                        line: c.line,
+                        col: c.col,
+                        matched: w.rule.clone(),
+                        message: format!("rule `{}` cannot be waived", rule.name),
+                        snippet: snippet(c.line),
+                    });
+                    continue;
+                }
+                let target = match w.scope {
+                    WaiverScope::File => None,
+                    WaiverScope::Line if c.trailing => Some(c.line),
+                    // Standalone pragma: covers the next line holding code.
+                    WaiverScope::Line => {
+                        Some(code_lines.iter().copied().find(|&l| l > c.line).unwrap_or(u32::MAX))
+                    }
+                };
+                armed.push(Armed {
+                    rule,
+                    reason_line: c.line,
+                    scope: w.scope,
+                    target,
+                    used: false,
+                });
+            }
+            Ok(None) => unreachable!("is_pragma gated"),
+            Err(e) => findings.push(Finding {
+                rule_id: w001.id.to_string(),
+                rule_name: w001.name.to_string(),
+                path: rel.to_string(),
+                line: c.line,
+                col: c.col,
+                matched: "dvs-lint:".to_string(),
+                message: e.to_string(),
+                snippet: snippet(c.line),
+            }),
+        }
+    }
+
+    // Waiver application.
+    let mut waivers_honoured = 0usize;
+    for f in raw {
+        let RawFinding { rule, line, col, matched, message } = f;
+        let waived = armed.iter_mut().find(|a| {
+            a.rule.name == rule.name
+                && match a.scope {
+                    WaiverScope::File => true,
+                    WaiverScope::Line => a.target == Some(line),
+                }
+        });
+        if let Some(a) = waived {
+            if !a.used {
+                a.used = true;
+                waivers_honoured += 1;
+            }
+            continue;
+        }
+        findings.push(Finding {
+            rule_id: rule.id.to_string(),
+            rule_name: rule.name.to_string(),
+            path: rel.to_string(),
+            line,
+            col,
+            matched,
+            message,
+            snippet: snippet(line),
+        });
+    }
+
+    // Unused waivers: advisory only — a stale waiver is hygiene debt, not
+    // a correctness hazard, and must not flip CI red on unrelated edits.
+    let w002 = rules::by_name("unused-waiver").expect("catalog");
+    let advisories = armed
+        .iter()
+        .filter(|a| !a.used)
+        .map(|a| Finding {
+            rule_id: w002.id.to_string(),
+            rule_name: w002.name.to_string(),
+            path: rel.to_string(),
+            line: a.reason_line,
+            col: 1,
+            matched: a.rule.name.to_string(),
+            message: format!(
+                "waiver for `{}` suppressed nothing; delete it if the hazard is gone",
+                a.rule.name
+            ),
+            snippet: snippet(a.reason_line),
+        })
+        .collect();
+
+    Analysis { findings, advisories, files_scanned: 1, waivers_honoured }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> Manifest {
+        Manifest::parse(
+            "[determinism]\nsim_crates = [\"sim\"]\n[hot]\npaths = [\"crates/sim/src/hot.rs\"]\nindex_strict = []\n[unsafe_code]\nallowed = []\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trailing_waiver_suppresses_its_line() {
+        let src = "use std::collections::HashMap; // dvs-lint: allow(hash-iter, reason = \"import for lookup-only map\")\n";
+        let a = check_source("crates/sim/src/lib.rs", src, &manifest());
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        assert_eq!(a.waivers_honoured, 1);
+        assert!(a.advisories.is_empty());
+    }
+
+    #[test]
+    fn standalone_waiver_covers_next_code_line() {
+        let src = "\n// dvs-lint: allow(panic, reason = \"len checked above\")\n// (explanatory prose between is fine)\nfn f(x: Option<u8>) { x.unwrap(); }\n";
+        let a = check_source("crates/sim/src/lib.rs", src, &manifest());
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn file_waiver_covers_whole_file() {
+        let src = "// dvs-lint: allow-file(panic, reason = \"oracle engine asserts invariants\")\nfn f(x: Option<u8>) { x.unwrap(); }\nfn g(y: Option<u8>) { y.unwrap(); }\n";
+        let a = check_source("crates/sim/src/lib.rs", src, &manifest());
+        assert!(a.findings.is_empty());
+        assert_eq!(a.waivers_honoured, 1);
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_suppress() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); } // dvs-lint: allow(hash-iter, reason = \"wrong rule\")\n";
+        let a = check_source("crates/sim/src/lib.rs", src, &manifest());
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].rule_id, "DVS-P001");
+        assert_eq!(a.advisories.len(), 1); // and the waiver reports unused
+    }
+
+    #[test]
+    fn reasonless_waiver_is_a_finding_and_inert() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); } // dvs-lint: allow(panic)\n";
+        let a = check_source("crates/sim/src/lib.rs", src, &manifest());
+        let ids: Vec<&str> = a.findings.iter().map(|f| f.rule_id.as_str()).collect();
+        assert!(ids.contains(&"DVS-P001"), "{ids:?}");
+        assert!(ids.contains(&"DVS-W001"), "{ids:?}");
+    }
+
+    #[test]
+    fn unknown_rule_in_waiver_is_reported() {
+        let src = "// dvs-lint: allow(no-such-rule, reason = \"x\")\nfn f() {}\n";
+        let a = check_source("crates/sim/src/lib.rs", src, &manifest());
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].rule_id, "DVS-W001");
+    }
+
+    #[test]
+    fn non_sim_crates_skip_determinism_rules() {
+        let src = "use std::collections::HashMap;\nfn f(x: Option<u8>) { x.unwrap(); }\n";
+        let a = check_source("crates/bench/src/lib.rs", src, &manifest());
+        // Only U001 could fire (no unsafe here), so clean.
+        assert!(a.findings.is_empty());
+    }
+
+    #[test]
+    fn snippets_and_spans_are_accurate() {
+        let src = "fn f() {\n    let t = Instant::now();\n}\n";
+        let a = check_source("crates/sim/src/time.rs", src, &manifest());
+        assert_eq!(a.findings.len(), 1);
+        let f = &a.findings[0];
+        assert_eq!((f.line, f.col), (2, 13));
+        assert_eq!(f.snippet, "let t = Instant::now();");
+    }
+}

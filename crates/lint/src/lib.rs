@@ -1,0 +1,61 @@
+//! `dvs-lint` — the workspace's determinism & hot-path static-analysis
+//! pass.
+//!
+//! The repo's core contract — byte-identical [`RunReport`]s across both
+//! simulator cores, every `--jobs` count, cache on/off, and fault plans —
+//! is enforced dynamically by the differential suite. This crate adds the
+//! *static* half: a dependency-free pass (lightweight tokenizer, no `syn`)
+//! that rejects whole hazard classes at CI time, before any seed has a
+//! chance to expose them:
+//!
+//! * **Determinism** — wall-clock reads, OS entropy, and hash-ordered
+//!   containers in the simulation crates (`DVS-D001`–`DVS-D003`).
+//! * **Hot-path allocation** — allocating calls inside modules declared
+//!   hot by the checked-in `lint.toml` manifest (`DVS-H001`), the static
+//!   mirror of the `alloc_track` runtime byte gate.
+//! * **Panic hygiene** — `unwrap`/`expect`/`panic!` and (in index-strict
+//!   modules) slice indexing where `DvsError` paths exist
+//!   (`DVS-P001`/`DVS-P002`).
+//! * **Discarded results** — `let _ = fallible(…)` (`DVS-R001`).
+//! * **`unsafe`** — anywhere outside the bench allocator carve-out
+//!   (`DVS-U001`), mirroring the crates' `#![forbid(unsafe_code)]`.
+//!
+//! False positives are waived *in place*, with a mandatory reason:
+//!
+//! ```text
+//! // dvs-lint: allow(hash-iter, reason = "lookup-only registry, never iterated")
+//! ```
+//!
+//! Run it as `repro lint [--check] [--emit-json]`; rules, manifest format,
+//! and the golden-regeneration workflow are documented in `docs/lint.md`.
+//!
+//! [`RunReport`]: https://docs.rs/dvs-metrics (the workspace's run-record type)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+pub mod tokens;
+pub mod waiver;
+
+pub use engine::{analyze_workspace, check_source, Analysis, Finding};
+pub use manifest::Manifest;
+pub use report::{render_json, render_text};
+pub use rules::{Rule, RULES};
+pub use waiver::{Waiver, WaiverError, WaiverScope};
+
+/// Locates the workspace root by walking up from `start` until a directory
+/// holding both `lint.toml` and a `Cargo.toml` is found.
+pub fn find_workspace_root(start: &std::path::Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("lint.toml").is_file() && d.join("Cargo.toml").is_file() {
+            return Some(d);
+        }
+        dir = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}

@@ -1,0 +1,215 @@
+//! The checked-in lint manifest (`lint.toml` at the workspace root).
+//!
+//! The manifest declares the *scopes* the rules apply to — which crates
+//! carry the determinism contract, which files are allocation-free hot
+//! paths, where slice indexing is forbidden, and the single `unsafe`
+//! carve-out. Keeping scope in a reviewed file (rather than hard-coded in
+//! the pass) means widening or narrowing a guarantee is a visible diff.
+//!
+//! The parser is a deliberately tiny TOML subset — `[section]` headers,
+//! `key = "string"`, and `key = [ "a", "b" ]` arrays (single- or
+//! multi-line, `#` comments) — because the container has no `toml` crate
+//! and the pass must stay dependency-free.
+
+use std::collections::BTreeMap;
+
+/// Parsed `lint.toml`. All paths are workspace-relative with forward
+/// slashes; crate names are directory names under `crates/`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Crates under the determinism contract (`wall-clock`, `entropy`,
+    /// `hash-iter`, `panic`, `discard` rules).
+    pub sim_crates: Vec<String>,
+    /// Files where steady-state allocation is forbidden (`hot-alloc`).
+    pub hot_paths: Vec<String>,
+    /// Files where slice indexing is forbidden (`index`).
+    pub index_strict: Vec<String>,
+    /// Files allowed to contain `unsafe` (the bench counting allocator).
+    pub unsafe_allowed: Vec<String>,
+}
+
+impl Manifest {
+    /// Parses manifest text. Unknown sections or keys are an error — a
+    /// typo in the manifest must not silently drop a guarantee.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let mut sections: BTreeMap<String, BTreeMap<String, Vec<String>>> = BTreeMap::new();
+        let mut current: Option<String> = None;
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                current = Some(name.trim().to_string());
+                sections.entry(name.trim().to_string()).or_default();
+                continue;
+            }
+            let Some((key, mut value)) = line.split_once('=') else {
+                return Err(format!("lint.toml:{}: expected `key = value`", idx + 1));
+            };
+            let Some(section) = current.clone() else {
+                return Err(format!("lint.toml:{}: key outside any [section]", idx + 1));
+            };
+            let key = key.trim().to_string();
+            // Multi-line arrays: keep consuming until the closing bracket.
+            let mut buf = value.trim().to_string();
+            while buf.starts_with('[') && !balanced(&buf) {
+                let Some((_, next)) = lines.next() else {
+                    return Err(format!("lint.toml:{}: unterminated array", idx + 1));
+                };
+                buf.push(' ');
+                buf.push_str(strip_comment(next).trim());
+            }
+            value = &buf;
+            let items = parse_value(value).map_err(|e| format!("lint.toml:{}: {e}", idx + 1))?;
+            sections.entry(section).or_default().insert(key, items);
+        }
+
+        let mut m = Manifest::default();
+        for (section, keys) in sections {
+            for (key, items) in keys {
+                match (section.as_str(), key.as_str()) {
+                    ("determinism", "sim_crates") => m.sim_crates = items,
+                    ("hot", "paths") => m.hot_paths = items,
+                    ("hot", "index_strict") => m.index_strict = items,
+                    ("unsafe_code", "allowed") => m.unsafe_allowed = items,
+                    _ => {
+                        return Err(format!(
+                            "lint.toml: unknown key `{key}` in section `[{section}]`"
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Loads and parses `<root>/lint.toml`.
+    pub fn load(root: &std::path::Path) -> Result<Manifest, String> {
+        let path = root.join("lint.toml");
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Manifest::parse(&text)
+    }
+
+    /// Whether a workspace-relative path belongs to a sim crate.
+    pub fn is_sim_crate_path(&self, rel: &str) -> bool {
+        self.sim_crates.iter().any(|c| {
+            rel.strip_prefix("crates/")
+                .and_then(|r| r.strip_prefix(c.as_str()))
+                .is_some_and(|r| r.starts_with('/'))
+        })
+    }
+
+    /// Whether a workspace-relative path is a declared hot path.
+    pub fn is_hot_path(&self, rel: &str) -> bool {
+        self.hot_paths.iter().any(|p| p == rel)
+    }
+
+    /// Whether a workspace-relative path is under the slice-index rule.
+    pub fn is_index_strict(&self, rel: &str) -> bool {
+        self.index_strict.iter().any(|p| p == rel)
+    }
+
+    /// Whether a workspace-relative path may contain `unsafe`.
+    pub fn allows_unsafe(&self, rel: &str) -> bool {
+        self.unsafe_allowed.iter().any(|p| p == rel)
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` starts a comment unless inside a quoted string.
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn balanced(buf: &str) -> bool {
+    buf.trim_end().ends_with(']')
+}
+
+fn parse_value(value: &str) -> Result<Vec<String>, String> {
+    let value = value.trim();
+    if let Some(inner) = value.strip_prefix('[').and_then(|v| v.strip_suffix(']')) {
+        let mut out = Vec::new();
+        for item in inner.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue; // trailing comma
+            }
+            out.push(parse_string(item)?);
+        }
+        return Ok(out);
+    }
+    Ok(vec![parse_string(value)?])
+}
+
+fn parse_string(value: &str) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a quoted string, found `{value}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# workspace lint manifest
+[determinism]
+sim_crates = ["sim", "pipeline"]
+
+[hot]
+paths = [
+    "crates/sim/src/event.rs",   # the event heap
+    "crates/pipeline/src/core/mod.rs",
+]
+index_strict = ["crates/sim/src/event.rs"]
+
+[unsafe_code]
+allowed = ["crates/bench/src/bin/repro.rs"]
+"#;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let m = Manifest::parse(SAMPLE).unwrap();
+        assert_eq!(m.sim_crates, ["sim", "pipeline"]);
+        assert_eq!(m.hot_paths.len(), 2);
+        assert_eq!(m.index_strict, ["crates/sim/src/event.rs"]);
+        assert_eq!(m.unsafe_allowed, ["crates/bench/src/bin/repro.rs"]);
+    }
+
+    #[test]
+    fn path_classification() {
+        let m = Manifest::parse(SAMPLE).unwrap();
+        assert!(m.is_sim_crate_path("crates/sim/src/lib.rs"));
+        assert!(m.is_sim_crate_path("crates/pipeline/src/core/mod.rs"));
+        assert!(!m.is_sim_crate_path("crates/simulator/src/lib.rs")); // prefix, not match
+        assert!(!m.is_sim_crate_path("crates/bench/src/lib.rs"));
+        assert!(m.is_hot_path("crates/sim/src/event.rs"));
+        assert!(!m.is_hot_path("crates/sim/src/lib.rs"));
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        assert!(Manifest::parse("[determinism]\nsim_crate = [\"x\"]\n").is_err());
+        assert!(Manifest::parse("[typo]\nsim_crates = [\"x\"]\n").is_err());
+        assert!(Manifest::parse("orphan = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_array_is_an_error() {
+        assert!(Manifest::parse("[hot]\npaths = [\n  \"a\"\n").is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Rendering: human-readable text and machine-readable JSON.
+//!
+//! The JSON writer is hand-rolled (the pass is dependency-free); output is
+//! deterministic — stable key order, findings in engine order — so CI can
+//! diff reports and the fixture goldens can pin them byte-for-byte.
+
+use crate::engine::{Analysis, Finding};
+
+/// Renders the human-readable report (what `repro lint` prints).
+pub fn render_text(a: &Analysis) -> String {
+    let mut out = String::new();
+    for f in &a.findings {
+        out.push_str(&format!(
+            "{}:{}:{}: [{} {}] {}\n    {}\n    hazard: {}\n",
+            f.path, f.line, f.col, f.rule_id, f.rule_name, f.matched, f.snippet, f.message
+        ));
+    }
+    for f in &a.advisories {
+        out.push_str(&format!(
+            "{}:{}:{}: [{} {}] advisory: {}\n",
+            f.path, f.line, f.col, f.rule_id, f.rule_name, f.message
+        ));
+    }
+    out.push_str(&format!(
+        "dvs-lint: {} file{} scanned, {} finding{}, {} waiver{} honoured, {} advisor{}\n",
+        a.files_scanned,
+        plural(a.files_scanned),
+        a.findings.len(),
+        plural(a.findings.len()),
+        a.waivers_honoured,
+        plural(a.waivers_honoured),
+        a.advisories.len(),
+        if a.advisories.len() == 1 { "y" } else { "ies" },
+    ));
+    out
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Renders the machine-readable report (what `--emit-json` writes and the
+/// fixture goldens pin).
+pub fn render_json(a: &Analysis) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", a.files_scanned));
+    out.push_str(&format!("  \"waivers_honoured\": {},\n", a.waivers_honoured));
+    out.push_str("  \"findings\": [");
+    render_findings(&mut out, &a.findings);
+    out.push_str("],\n  \"advisories\": [");
+    render_findings(&mut out, &a.advisories);
+    out.push_str("]\n}\n");
+    out
+}
+
+fn render_findings(out: &mut String, findings: &[Finding]) {
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"name\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"matched\": {}, \"message\": {}, \"snippet\": {}}}",
+            json_str(&f.rule_id),
+            json_str(&f.rule_name),
+            json_str(&f.path),
+            f.line,
+            f.col,
+            json_str(&f.matched),
+            json_str(&f.message),
+            json_str(&f.snippet),
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+/// JSON string escaping per RFC 8259 (control chars, quote, backslash).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Finding;
+
+    fn sample() -> Analysis {
+        Analysis {
+            findings: vec![Finding {
+                rule_id: "DVS-D003".into(),
+                rule_name: "hash-iter".into(),
+                path: "crates/sim/src/lib.rs".into(),
+                line: 3,
+                col: 7,
+                matched: "HashMap".into(),
+                message: "order varies \"per process\"".into(),
+                snippet: "use std::collections::HashMap;".into(),
+            }],
+            advisories: vec![],
+            files_scanned: 2,
+            waivers_honoured: 1,
+        }
+    }
+
+    #[test]
+    fn text_report_has_span_and_rule_id() {
+        let text = render_text(&sample());
+        assert!(text.contains("crates/sim/src/lib.rs:3:7: [DVS-D003 hash-iter] HashMap"));
+        assert!(text.contains("2 files scanned, 1 finding, 1 waiver honoured"));
+    }
+
+    #[test]
+    fn json_report_escapes_and_is_stable() {
+        let json = render_json(&sample());
+        assert!(json.contains(r#""rule": "DVS-D003""#));
+        assert!(json.contains(r#"order varies \"per process\""#));
+        assert_eq!(json, render_json(&sample()));
+    }
+
+    #[test]
+    fn empty_analysis_renders_empty_arrays() {
+        let json = render_json(&Analysis::default());
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"advisories\": []"));
+    }
+}

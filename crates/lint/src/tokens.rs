@@ -1,0 +1,466 @@
+//! A lightweight Rust lexer: just enough token structure for the lint
+//! rules, with none of `syn`'s weight.
+//!
+//! The lexer's job is to let rules match *code*, not prose: string
+//! literals, char literals, and comments are folded into single opaque
+//! tokens so that `"Instant::now"` inside a doc example or an error
+//! message can never trip a determinism rule. Line comments are collected
+//! separately because waiver pragmas live there.
+//!
+//! The token model is deliberately small — identifiers, literals, and
+//! single-character punctuation with byte spans. Rules that need
+//! multi-character operators (`::`) match adjacent `:` punct tokens via
+//! [`TokenStream::seq_matches`].
+
+/// What a token is. Literal payloads are not retained; rules only need to
+/// know "this region is a string", never its contents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unsafe`, …).
+    Ident,
+    /// A single punctuation byte (`:`, `!`, `[`, …).
+    Punct(u8),
+    /// A string literal (regular, raw, byte, or C, any `#` depth).
+    Str,
+    /// A character literal (`'x'`, `'\n'`, `'\u{1F600}'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal (integer or float, any base or suffix).
+    Number,
+}
+
+/// One lexed token with its byte span and 1-based source position.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based byte column within the line.
+    pub col: u32,
+}
+
+/// A `//` line comment, kept aside for waiver-pragma parsing.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+    /// 1-based byte column of the first `/`.
+    pub col: u32,
+    /// Comment body *after* the `//` (and after `//!` / `///` markers).
+    pub body: String,
+    /// Whether anything other than whitespace precedes the comment on its
+    /// line (a trailing comment waives the code it shares the line with).
+    pub trailing: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct TokenStream {
+    toks: Vec<Tok>,
+    comments: Vec<Comment>,
+}
+
+impl TokenStream {
+    /// All non-comment tokens in source order.
+    pub fn toks(&self) -> &[Tok] {
+        &self.toks
+    }
+
+    /// All `//` line comments in source order.
+    pub fn comments(&self) -> &[Comment] {
+        &self.comments
+    }
+
+    /// Whether the `n` tokens starting at `i` match `pattern`, where each
+    /// pattern element is either an expected identifier text or a
+    /// punctuation byte. `src` is the original source (identifier text is
+    /// not retained in tokens).
+    pub fn seq_matches(&self, src: &str, i: usize, pattern: &[Pat]) -> bool {
+        if i + pattern.len() > self.toks.len() {
+            return false;
+        }
+        pattern.iter().enumerate().all(|(k, p)| {
+            let t = &self.toks[i + k];
+            match *p {
+                Pat::Ident(name) => t.kind == TokKind::Ident && &src[t.start..t.end] == name,
+                Pat::Punct(b) => t.kind == TokKind::Punct(b),
+            }
+        })
+    }
+}
+
+/// One element of a token pattern for [`TokenStream::seq_matches`].
+#[derive(Clone, Copy, Debug)]
+pub enum Pat {
+    /// An identifier with exactly this text.
+    Ident(&'static str),
+    /// A punctuation token with exactly this byte.
+    Punct(u8),
+}
+
+/// Lexes `src` into tokens plus line comments. The lexer never fails: on
+/// unterminated literals it consumes to end of input, which is the useful
+/// behaviour for a linter (the compiler will reject the file anyway).
+pub fn lex(src: &str) -> TokenStream {
+    Lexer {
+        src: src.as_bytes(),
+        text: src,
+        pos: 0,
+        line: 1,
+        line_start: 0,
+        out: TokenStream::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    pos: usize,
+    line: u32,
+    line_start: usize,
+    out: TokenStream,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> TokenStream {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.line_start = self.pos;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident_or_prefixed_string(),
+                _ => {
+                    // Multi-byte UTF-8 inside code (e.g. a unicode ident) is
+                    // consumed byte-wise as punct; rules never match it.
+                    self.push(TokKind::Punct(c), self.pos, self.pos + utf8_len(c));
+                    self.pos += utf8_len(c);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn col_of(&self, at: usize) -> u32 {
+        (at - self.line_start) as u32 + 1
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, end: usize) {
+        let (line, col) = (self.line, self.col_of(start));
+        self.out.toks.push(Tok { kind, start, end, line, col });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let trailing = self.text[self.line_start..start].chars().any(|c| !c.is_whitespace());
+        let mut end = start;
+        while end < self.src.len() && self.src[end] != b'\n' {
+            end += 1;
+        }
+        let mut body = &self.text[start + 2..end];
+        // Doc-comment markers: waivers are allowed in plain and doc comments
+        // alike, so normalise `///` and `//!` away.
+        body = body.strip_prefix(['/', '!']).unwrap_or(body);
+        self.out.comments.push(Comment {
+            line: self.line,
+            col: self.col_of(start),
+            body: body.to_string(),
+            trailing,
+        });
+        self.pos = end;
+    }
+
+    fn block_comment(&mut self) {
+        // Nested block comments, line-counted; bodies are discarded (waiver
+        // pragmas must be `//` line comments — see docs/lint.md).
+        let mut depth = 0usize;
+        while self.pos < self.src.len() {
+            match (self.src[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                (b'\n', _) => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.line_start = self.pos;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// A string literal starting at `tok_start` (which may precede `pos`
+    /// when a `r`/`b`/`c` prefix was already consumed). `pos` sits on the
+    /// opening `"` or on the first `#` of a raw string.
+    fn string(&mut self, tok_start: usize) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        debug_assert_eq!(self.peek(0), Some(b'"'));
+        self.pos += 1; // opening quote
+        let raw = hashes > 0 || {
+            // `r"..."` with zero hashes: the prefix decides rawness; the
+            // caller passes tok_start < pos iff a prefix exists.
+            tok_start < self.pos - 1 && self.text[tok_start..].starts_with('r')
+                || self.text[tok_start..].starts_with("br")
+                || self.text[tok_start..].starts_with("cr")
+        };
+        let start_line = self.line;
+        let start_line_start = self.line_start;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' if !raw => self.pos += 2,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.line_start = self.pos;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    // A raw string closes only on `"` followed by its hashes.
+                    if hashes == 0
+                        || self.src[self.pos..].iter().take(hashes).filter(|&&b| b == b'#').count()
+                            == hashes
+                    {
+                        self.pos += hashes;
+                        break;
+                    }
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let end = self.pos.min(self.src.len());
+        let col = (tok_start - start_line_start) as u32 + 1;
+        self.out.toks.push(Tok {
+            kind: TokKind::Str,
+            start: tok_start,
+            end,
+            line: start_line,
+            col,
+        });
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        // `'a` / `'static` (lifetime) vs `'a'` / `'\n'` (char literal): a
+        // lifetime is `'` + ident-start not followed by a closing quote.
+        let is_lifetime = matches!(self.peek(1), Some(b'a'..=b'z' | b'A'..=b'Z' | b'_'))
+            && self.peek(2) != Some(b'\'');
+        if is_lifetime {
+            self.pos += 2;
+            while matches!(self.peek(0), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+                self.pos += 1;
+            }
+            self.push(TokKind::Lifetime, start, self.pos);
+            return;
+        }
+        self.pos += 1; // opening quote
+        if self.peek(0) == Some(b'\\') {
+            self.pos += 2; // escape introducer + escaped byte
+                           // `\u{...}` extends to the closing brace.
+            if self.src.get(self.pos - 1) == Some(&b'{') || self.src.get(self.pos) == Some(&b'{') {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+            }
+        } else if self.pos < self.src.len() {
+            self.pos += utf8_len(self.src[self.pos]);
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.pos += 1;
+        }
+        self.push(TokKind::Char, start, self.pos);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        while matches!(self.peek(0), Some(b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_')) {
+            self.pos += 1;
+        }
+        // A fractional part: `.` followed by a digit (so `1..2` and `x.0`
+        // tuple access stay separate tokens).
+        if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(b'0'..=b'9')) {
+            self.pos += 1;
+            while matches!(self.peek(0), Some(b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_')) {
+                self.pos += 1;
+            }
+        }
+        // Exponent sign: `1e-9` — the `e` was consumed above; take `-`/`+`
+        // plus digits if they follow directly after an `e`/`E`.
+        if matches!(self.src.get(self.pos - 1), Some(b'e' | b'E'))
+            && matches!(self.peek(0), Some(b'+' | b'-'))
+        {
+            self.pos += 1;
+            while matches!(self.peek(0), Some(b'0'..=b'9' | b'_')) {
+                self.pos += 1;
+            }
+        }
+        self.push(TokKind::Number, start, self.pos);
+    }
+
+    fn ident_or_prefixed_string(&mut self) {
+        let start = self.pos;
+        while matches!(self.peek(0), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+            self.pos += 1;
+        }
+        let text = &self.text[start..self.pos];
+        // String-literal prefixes: `r"…"`, `b"…"`, `br#"…"#`, `c"…"`, … A
+        // raw *identifier* (`r#move`) has hashes but no quote after them,
+        // so require the quote before re-lexing as a string.
+        let raw_capable = matches!(text, "r" | "br" | "cr");
+        let str_capable = raw_capable || matches!(text, "b" | "c");
+        if str_capable {
+            let mut k = 0;
+            while raw_capable && self.peek(k) == Some(b'#') {
+                k += 1;
+            }
+            if self.peek(k) == Some(b'"') {
+                self.string(start);
+                return;
+            }
+        }
+        self.push(TokKind::Ident, start, self.pos);
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        let ts = lex(src);
+        ts.toks()
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| &src[t.start..t.end])
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = r##"
+            // Instant::now in a comment
+            /* HashMap in a block /* nested */ comment */
+            let s = "Instant::now() HashMap";
+            let r = r#"thread_rng"#;
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident"));
+        assert!(!ids.contains(&"Instant"));
+        assert!(!ids.contains(&"HashMap"));
+        assert!(!ids.contains(&"thread_rng"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let ts = lex(src);
+        let lifetimes = ts.toks().iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = ts.toks().iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        for src in ["'\\n'", "'\\''", "'\\u{1F600}'", "'\\\\'"] {
+            let ts = lex(src);
+            assert_eq!(ts.toks().len(), 1, "{src}");
+            assert_eq!(ts.toks()[0].kind, TokKind::Char, "{src}");
+        }
+    }
+
+    #[test]
+    fn line_and_col_tracking() {
+        let src = "a\n  bb\n";
+        let ts = lex(src);
+        assert_eq!((ts.toks()[0].line, ts.toks()[0].col), (1, 1));
+        assert_eq!((ts.toks()[1].line, ts.toks()[1].col), (2, 3));
+    }
+
+    #[test]
+    fn comments_record_trailing_flag() {
+        let src = "let x = 1; // trailing\n// standalone\n";
+        let ts = lex(src);
+        assert_eq!(ts.comments().len(), 2);
+        assert!(ts.comments()[0].trailing);
+        assert!(!ts.comments()[1].trailing);
+    }
+
+    #[test]
+    fn doc_comment_markers_are_stripped() {
+        let src = "/// doc\n//! inner\n";
+        let ts = lex(src);
+        assert_eq!(ts.comments()[0].body, " doc");
+        assert_eq!(ts.comments()[1].body, " inner");
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let src = "for i in 0..10 { x.0; 1.5e-3; 0xff_u8; }";
+        let ts = lex(src);
+        let nums = ts.toks().iter().filter(|t| t.kind == TokKind::Number).count();
+        assert_eq!(nums, 5); // 0, 10, 0 (tuple), 1.5e-3, 0xff_u8
+    }
+
+    #[test]
+    fn seq_matches_paths() {
+        let src = "Instant::now()";
+        let ts = lex(src);
+        assert!(ts.seq_matches(
+            src,
+            0,
+            &[Pat::Ident("Instant"), Pat::Punct(b':'), Pat::Punct(b':'), Pat::Ident("now")]
+        ));
+    }
+
+    #[test]
+    fn multiline_raw_strings_track_lines() {
+        let src = "let a = r#\"line1\nline2\"#;\nnext_ident";
+        let ts = lex(src);
+        let next = ts
+            .toks()
+            .iter()
+            .find(|t| t.kind == TokKind::Ident && &src[t.start..t.end] == "next_ident");
+        assert_eq!(next.unwrap().line, 3);
+    }
+}

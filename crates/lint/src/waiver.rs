@@ -1,0 +1,245 @@
+//! Waiver pragmas: the escape hatch that keeps the lint honest.
+//!
+//! A finding is suppressed only by an explicit, *reasoned* pragma in a
+//! `//` line comment:
+//!
+//! ```text
+//! // dvs-lint: allow(hash-iter, reason = "lookup-only map, never iterated")
+//! // dvs-lint: allow-file(panic, reason = "invariant-checked reference engine")
+//! ```
+//!
+//! `allow` scopes to a single line — the line the pragma trails, or the
+//! next code line when the pragma stands alone. `allow-file` scopes to the
+//! whole file. The `reason` is **mandatory**: a reason-less waiver does not
+//! suppress anything and is itself reported under `DVS-W001`.
+//!
+//! Reasons are quoted strings with `\"` and `\\` escapes; [`render`] is the
+//! exact inverse of [`parse`] (property-tested in `tests/waiver_roundtrip.rs`).
+
+/// How far a waiver reaches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaiverScope {
+    /// The pragma's own line (trailing form) or the next code line
+    /// (standalone form).
+    Line,
+    /// The entire file.
+    File,
+}
+
+/// A parsed waiver pragma.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Waiver {
+    /// The waived rule's short name (e.g. `"hash-iter"`); validated against
+    /// the rule catalog by the engine, not the parser.
+    pub rule: String,
+    /// The mandatory human rationale.
+    pub reason: String,
+    /// Line or file scope.
+    pub scope: WaiverScope,
+}
+
+/// Why a pragma failed to parse. Every variant is reported as a
+/// `DVS-W001` finding — malformed waivers must never silently no-op.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WaiverError {
+    /// `allow(rule)` with no `reason = "…"` clause.
+    MissingReason,
+    /// `reason = ""` — an empty rationale is no rationale.
+    EmptyReason,
+    /// Structurally broken pragma text; the payload says where.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WaiverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaiverError::MissingReason => {
+                write!(f, "waiver is missing the mandatory `reason = \"…\"` clause")
+            }
+            WaiverError::EmptyReason => write!(f, "waiver reason must not be empty"),
+            WaiverError::Malformed(what) => write!(f, "malformed waiver pragma: {what}"),
+        }
+    }
+}
+
+/// Whether a comment body even claims to be a dvs-lint pragma. Comments
+/// that do not are ignored entirely; comments that do must parse.
+pub fn is_pragma(comment_body: &str) -> bool {
+    comment_body.trim_start().starts_with("dvs-lint:")
+}
+
+/// Parses the body of a `//` comment (text after the slashes) into a
+/// [`Waiver`]. Returns `Ok(None)` for ordinary comments, `Err` for
+/// comments that start with `dvs-lint:` but do not parse.
+pub fn parse(comment_body: &str) -> Result<Option<Waiver>, WaiverError> {
+    let Some(rest) = comment_body.trim_start().strip_prefix("dvs-lint:") else {
+        return Ok(None);
+    };
+    let rest = rest.trim_start();
+    let (scope, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (WaiverScope::File, r)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (WaiverScope::Line, r)
+    } else {
+        return Err(WaiverError::Malformed(format!(
+            "expected `allow(…)` or `allow-file(…)`, found `{}`",
+            rest.chars().take(20).collect::<String>()
+        )));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err(WaiverError::Malformed("expected `(` after allow".into()));
+    };
+
+    // Rule name: [a-z0-9-]+
+    let rule_len = rest
+        .chars()
+        .take_while(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '-')
+        .count();
+    if rule_len == 0 {
+        return Err(WaiverError::Malformed("expected a rule name after `(`".into()));
+    }
+    let rule = rest[..rule_len].to_string();
+    let rest = rest[rule_len..].trim_start();
+
+    let Some(rest) = rest.strip_prefix(',') else {
+        // `allow(rule)` — structurally fine, but the reason is mandatory.
+        return match rest.strip_prefix(')') {
+            Some(tail) if tail.trim().is_empty() => Err(WaiverError::MissingReason),
+            _ => Err(WaiverError::Malformed("expected `,` or `)` after the rule name".into())),
+        };
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("reason") else {
+        return Err(WaiverError::Malformed("expected `reason = \"…\"` after the rule name".into()));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('=') else {
+        return Err(WaiverError::Malformed("expected `=` after `reason`".into()));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('"') else {
+        return Err(WaiverError::Malformed("expected an opening `\"` for the reason".into()));
+    };
+
+    // Quoted reason with \" and \\ escapes.
+    let mut reason = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next() {
+            None => return Err(WaiverError::Malformed("unterminated reason string".into())),
+            Some('"') => break,
+            Some('\\') => match chars.next() {
+                Some('"') => reason.push('"'),
+                Some('\\') => reason.push('\\'),
+                other => {
+                    return Err(WaiverError::Malformed(format!(
+                        "unsupported escape `\\{}` in reason",
+                        other.map(String::from).unwrap_or_default()
+                    )))
+                }
+            },
+            Some(c) => reason.push(c),
+        }
+    }
+    let tail = chars.as_str().trim_start();
+    let Some(tail) = tail.strip_prefix(')') else {
+        return Err(WaiverError::Malformed("expected `)` after the reason".into()));
+    };
+    if !tail.trim().is_empty() {
+        return Err(WaiverError::Malformed(format!("unexpected trailing text `{}`", tail.trim())));
+    }
+    if reason.trim().is_empty() {
+        return Err(WaiverError::EmptyReason);
+    }
+    Ok(Some(Waiver { rule, reason, scope }))
+}
+
+/// Renders a waiver back to canonical pragma text (without the `//`).
+/// `parse(&format!(" {}", render(w)))` returns the same waiver — the
+/// round-trip property the proptest suite pins.
+pub fn render(w: &Waiver) -> String {
+    let verb = match w.scope {
+        WaiverScope::Line => "allow",
+        WaiverScope::File => "allow-file",
+    };
+    let escaped: String = w
+        .reason
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            other => vec![other],
+        })
+        .collect();
+    format!("dvs-lint: {verb}({}, reason = \"{escaped}\")", w.rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        assert_eq!(parse(" just a comment"), Ok(None));
+        assert_eq!(parse(""), Ok(None));
+        assert_eq!(parse(" allow(panic) without the marker"), Ok(None));
+    }
+
+    #[test]
+    fn parses_line_and_file_scopes() {
+        let w = parse(r#" dvs-lint: allow(hash-iter, reason = "lookup only")"#).unwrap().unwrap();
+        assert_eq!(w.rule, "hash-iter");
+        assert_eq!(w.reason, "lookup only");
+        assert_eq!(w.scope, WaiverScope::Line);
+
+        let w =
+            parse(r#" dvs-lint: allow-file(panic, reason = "oracle engine")"#).unwrap().unwrap();
+        assert_eq!(w.scope, WaiverScope::File);
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        assert_eq!(parse(" dvs-lint: allow(panic)"), Err(WaiverError::MissingReason));
+        assert_eq!(parse(r#" dvs-lint: allow(panic, reason = "")"#), Err(WaiverError::EmptyReason));
+        assert_eq!(
+            parse(r#" dvs-lint: allow(panic, reason = "   ")"#),
+            Err(WaiverError::EmptyReason)
+        );
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let body = r#" dvs-lint: allow(discard, reason = "quote \" and slash \\ inside")"#;
+        let w = parse(body).unwrap().unwrap();
+        assert_eq!(w.reason, r#"quote " and slash \ inside"#);
+        let again = parse(&format!(" {}", render(&w))).unwrap().unwrap();
+        assert_eq!(again, w);
+    }
+
+    #[test]
+    fn malformed_pragmas_error_not_ignore() {
+        for bad in [
+            " dvs-lint: allo(panic, reason = \"x\")",
+            " dvs-lint: allow panic",
+            " dvs-lint: allow(, reason = \"x\")",
+            " dvs-lint: allow(panic reason = \"x\")",
+            " dvs-lint: allow(panic, reason \"x\")",
+            " dvs-lint: allow(panic, reason = \"x\") trailing",
+            " dvs-lint: allow(panic, reason = \"unterminated)",
+            " dvs-lint: allow(panic, reason = \"bad \\q escape\")",
+        ] {
+            assert!(matches!(parse(bad), Err(WaiverError::Malformed(_))), "{bad}");
+        }
+    }
+
+    #[test]
+    fn render_is_canonical() {
+        let w = Waiver {
+            rule: "wall-clock".into(),
+            reason: "bench only".into(),
+            scope: WaiverScope::Line,
+        };
+        assert_eq!(render(&w), r#"dvs-lint: allow(wall-clock, reason = "bench only")"#);
+    }
+}

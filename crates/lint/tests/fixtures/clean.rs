@@ -1,0 +1,17 @@
+//! Fixture: a clean file scanned under the *strictest* scope (sim crate,
+//! hot path, index-strict). Hazard names inside comments, strings, and raw
+//! strings are opaque to the lexer and must not fire:
+//! Instant::now(), thread_rng(), HashMap, .unwrap(), panic!.
+
+/// Mentions `Vec::new` and `.clone()` — in prose, so not findings.
+pub fn label() -> &'static str {
+    "not real: Instant::now() thread_rng HashMap .unwrap() xs[0] let _ = f()"
+}
+
+pub fn raw() -> &'static str {
+    r#"also opaque: SystemTime::now() OsRng format!("x") Box::new(1)"#
+}
+
+pub fn fine(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,27 @@
+//! Fixture: every determinism hazard in one file (DVS-D001/D002/D003).
+//! Scanned as `crates/sim/src/determinism.rs` — a sim-crate path under the
+//! determinism contract. Not compiled; only lexed by the lint pass.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+fn wall_clock_reads() -> u64 {
+    let t0 = Instant::now();
+    let stamp = SystemTime::now();
+    let today = Utc::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+fn entropy_draws() -> u64 {
+    let mut rng = thread_rng();
+    let seeded = StdRng::from_entropy();
+    let os = OsRng;
+    let coin: bool = rand::random();
+    let hasher = RandomState::new();
+    getrandom(&mut buf);
+    0
+}
+
+fn hash_ordered_traversal(m: HashMap<u32, u32>, s: HashSet<u32>) -> u32 {
+    m.values().sum::<u32>() + s.len() as u32
+}

@@ -1,0 +1,15 @@
+//! Fixture: discarded fallible results (DVS-R001). Scanned as
+//! `crates/sim/src/discard.rs`. Only the bare `_` pattern with a call on
+//! the right-hand side is a hazard — named `_x` bindings stay visible in
+//! the source and are not flagged.
+
+fn fallible() -> Result<u32, String> {
+    Ok(1)
+}
+
+fn ignore_errors(tx: &Sender<u32>) {
+    let _ = fallible();
+    let _ = tx.send(42);
+    let _checked = fallible();
+    let _ = 17;
+}

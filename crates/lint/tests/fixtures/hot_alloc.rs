@@ -1,0 +1,15 @@
+//! Fixture: every hot-path allocation hazard (DVS-H001). Scanned as
+//! `crates/sim/src/hot_alloc.rs`, which the fixture manifest declares hot.
+//! Not compiled; only lexed by the lint pass.
+
+fn churn(names: &[&str]) -> usize {
+    let mut grown: Vec<String> = Vec::new();
+    for n in names {
+        grown.push(n.to_string());
+        let label = format!("frame-{n}");
+        let boxed = Box::new(label.clone());
+        let batch = vec![boxed];
+        drop(batch);
+    }
+    grown.len()
+}

@@ -1,0 +1,25 @@
+//! Fixture: panic-hygiene hazards (DVS-P001) plus slice indexing
+//! (DVS-P002). Scanned as `crates/sim/src/panics.rs`, which the fixture
+//! manifest declares index-strict. The `#[cfg(test)]` module at the bottom
+//! must produce NO findings — test code may unwrap freely.
+
+fn brittle(xs: &[u32], level: usize) -> u32 {
+    let first = xs.first().unwrap();
+    let picked = xs.get(level).expect("level in range");
+    if level > xs.len() {
+        panic!("level {level} out of range");
+    }
+    first + picked + xs[level]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwraps_inside_tests_are_exempt() {
+        let xs = [1u32, 2, 3];
+        assert_eq!(xs.first().copied().unwrap(), 1);
+        assert_eq!(xs[0], 1);
+    }
+}

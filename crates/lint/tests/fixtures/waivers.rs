@@ -1,0 +1,23 @@
+//! Fixture: the waiver state machine. One honoured trailing waiver, one
+//! honoured standalone waiver, one reason-less waiver (DVS-W001, and the
+//! hazard it sat on still fires), one unknown-rule waiver (DVS-W001), and
+//! one waiver that suppresses nothing (DVS-W002 advisory).
+
+use std::collections::HashMap; // dvs-lint: allow(hash-iter, reason = "fixture: lookup-only registry")
+
+fn covered(x: Option<u8>) -> u8 {
+    // dvs-lint: allow(panic, reason = "fixture: invariant holds by construction")
+    x.unwrap()
+}
+
+fn bare(y: Option<u8>) -> u8 {
+    y.unwrap() // dvs-lint: allow(panic)
+}
+
+// dvs-lint: allow(no-such-rule, reason = "unknown rule names must not silently no-op")
+fn plain() {}
+
+fn stale() {
+    // dvs-lint: allow(entropy, reason = "fixture: nothing here draws entropy")
+    let z = 3;
+}

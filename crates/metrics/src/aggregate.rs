@@ -95,6 +95,7 @@ impl QuantileGrid {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "a quantile grid needs at least one bin");
         assert!(hi > lo, "quantile grid range must be non-empty");
+        // dvs-lint: allow(hot-alloc, reason = "grid construction happens once per aggregate, not per observed record")
         QuantileGrid { lo, hi, counts: vec![0; bins], total: 0 }
     }
 
@@ -236,6 +237,7 @@ impl RunAggregate {
     /// The records stream through [`RunAggregate::observe`] in report order,
     /// so derived metrics are bit-identical to the `RunReport` equivalents.
     pub fn from_report(report: &RunReport) -> Self {
+        // dvs-lint: allow(hot-alloc, reason = "one name copy per summarized report; the per-record observe path is allocation-free")
         let mut agg = RunAggregate::new(report.name.clone(), report.rate_hz);
         for record in &report.records {
             agg.observe(record);

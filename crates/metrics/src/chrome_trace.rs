@@ -117,6 +117,7 @@ pub fn chrome_trace_json(report: &RunReport) -> String {
             args: None,
         });
     }
+    // dvs-lint: allow(panic, reason = "serializing plain structs with string keys cannot fail")
     serde_json::to_string(&events).expect("trace events serialise infallibly")
 }
 

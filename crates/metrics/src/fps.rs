@@ -61,7 +61,7 @@ pub fn min_window_fps(report: &RunReport, window: SimDuration) -> Option<f64> {
             t.saturating_since(report.records.first().map(|r| r.present).unwrap_or(t)) < window
         })
         .map(|(_, f)| f)
-        .min_by(|a, b| a.partial_cmp(b).expect("fps values are finite"))
+        .min_by(f64::total_cmp)
 }
 
 #[cfg(test)]

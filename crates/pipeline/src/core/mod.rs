@@ -174,8 +174,10 @@ impl RunArena {
     /// An empty arena; buffers grow to each run's working set on first use.
     pub fn new() -> Self {
         RunArena {
+            // dvs-lint: allow(hot-alloc, reason = "arena construction happens once per worker; runs reuse these buffers")
             frames: Vec::new(),
             rs_pending: VecDeque::new(),
+            // dvs-lint: allow(hot-alloc, reason = "arena construction happens once per worker; runs reuse these buffers")
             rs_finished: Vec::new(),
             heap: EventQueue::new(),
             segment: RunReport::default(),
@@ -424,6 +426,7 @@ impl<'a, F: FaultView> PipeState<'a, F> {
             PanelOutcome::Presented(buf) => {
                 let seq = buf.meta.seq as usize;
                 let state =
+                    // dvs-lint: allow(panic, reason = "a presented buffer's seq was assigned in try_start; absence is a state-machine bug")
                     self.frames[seq].as_mut().expect("presented frame must have been started");
                 state.present = Some((k, t));
                 self.presented += 1;
@@ -523,6 +526,7 @@ impl<'a, F: FaultView> PipeState<'a, F> {
             }
             let Some(slot) = self.queue.dequeue_free() else { return };
             self.rs_pending.pop_front();
+            // dvs-lint: allow(panic, reason = "rs_pending only holds frames try_start created; absence is a state-machine bug")
             self.frames[frame].as_mut().expect("pending frame was started").slot = Some(slot);
             self.rs_active += 1;
             let start = match self.cfg.rs_signal_offset {
@@ -563,10 +567,13 @@ impl<'a, F: FaultView> PipeState<'a, F> {
         while let Some(pos) = self.rs_finished.iter().position(|&(f, _)| f == self.next_to_queue) {
             self.rs_finished.swap_remove(pos);
             let idx = self.next_to_queue;
+            // dvs-lint: allow(panic, reason = "next_to_queue trails next_frame, so the frame state was created in try_start")
             let state = self.frames[idx].as_mut().expect("rs of unstarted frame");
             state.queued_at = Some(now);
             let meta = FrameMeta::new(idx as u64, state.content).with_rate(self.cfg.rate_hz);
+            // dvs-lint: allow(panic, reason = "pump_rs assigns the slot before scheduling RsDone; absence is a state-machine bug")
             let slot = state.slot.expect("render stage had a slot");
+            // dvs-lint: allow(panic, reason = "the slot was dequeued from this queue in pump_rs and queued exactly once")
             self.queue.queue(slot, meta, now).expect("slot was dequeued at render start");
             self.in_flight -= 1;
             self.next_to_queue += 1;

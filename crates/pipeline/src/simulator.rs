@@ -52,6 +52,7 @@ impl<'c> Simulator<'c> {
     pub fn run(&self, trace: &FrameTrace, pacer: &mut dyn FramePacer) -> RunReport {
         match self.try_run(trace, pacer) {
             Ok(report) => report,
+            // dvs-lint: allow(panic, reason = "documented panicking wrapper; fallible callers use try_run")
             Err(e) => panic!("{e}"),
         }
     }
@@ -98,6 +99,7 @@ impl<'c> Simulator<'c> {
         out: &mut RunReport,
     ) {
         if let Err(e) = self.try_run_into(trace, pacer, arena, out) {
+            // dvs-lint: allow(panic, reason = "documented panicking wrapper; fallible callers use try_run_into")
             panic!("{e}");
         }
     }

@@ -58,6 +58,7 @@ pub struct EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
+        // dvs-lint: allow(hot-alloc, reason = "empty Vec::new is allocation-free; hot callers pre-size via with_capacity/reserve")
         EventQueue { heap: Vec::new(), next_seq: 0, scheduled: 0 }
     }
 
@@ -94,6 +95,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let last = self.heap.len().checked_sub(1)?;
         self.heap.swap(0, last);
+        // dvs-lint: allow(panic, reason = "checked_sub above proves the heap is non-empty")
         let entry = self.heap.pop().expect("non-empty after len check");
         if !self.heap.is_empty() {
             self.sift_down(0);
@@ -145,6 +147,7 @@ impl<E> EventQueue<E> {
     fn sift_up(&mut self, mut idx: usize) {
         while idx > 0 {
             let parent = (idx - 1) / 2;
+            // dvs-lint: allow(index, reason = "idx < len by loop entry and parent = (idx-1)/2 < idx")
             if self.heap[idx].before(&self.heap[parent]) {
                 self.heap.swap(idx, parent);
                 idx = parent;
@@ -164,9 +167,11 @@ impl<E> EventQueue<E> {
             }
             let right = left + 1;
             let mut smallest = left;
+            // dvs-lint: allow(index, reason = "left < len checked above; right < len guards the right access")
             if right < len && self.heap[right].before(&self.heap[left]) {
                 smallest = right;
             }
+            // dvs-lint: allow(index, reason = "smallest is left or right, both proven < len; idx < left < len")
             if self.heap[smallest].before(&self.heap[idx]) {
                 self.heap.swap(idx, smallest);
                 idx = smallest;

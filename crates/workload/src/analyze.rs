@@ -62,7 +62,7 @@ pub fn analyze(trace: &FrameTrace) -> TraceProfile {
     let totals: Vec<f64> = trace.frames.iter().map(|f| f.total().as_millis_f64()).collect();
 
     let mut shorts: Vec<f64> = totals.iter().cloned().filter(|&t| t <= period_ms).collect();
-    shorts.sort_by(|a, b| a.partial_cmp(b).expect("costs are finite"));
+    shorts.sort_by(f64::total_cmp);
     let short_median_ms = if shorts.is_empty() { period_ms } else { shorts[shorts.len() / 2] };
 
     let longs: Vec<f64> = totals.iter().cloned().filter(|&t| t > period_ms).collect();

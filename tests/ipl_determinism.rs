@@ -1,0 +1,64 @@
+//! Determinism of the IPL registry after the `HashMap` → `BTreeMap` switch
+//! (lint rule DVS-D003): traversal order must be a pure function of the
+//! registered keys — never of insertion order or per-process hash seeds —
+//! and everything downstream of the registry must replay byte-identically.
+
+use dvs_apps::MapApp;
+use dvs_core::{IplPredictor, IplRegistry, LinearFit, MarkovPredictor, PolyFit2};
+use dvs_sim::SimTime;
+
+fn names(reg: &IplRegistry) -> Vec<(String, &'static str)> {
+    reg.scenarios().map(|(k, p)| (k.to_string(), p.name())).collect()
+}
+
+#[test]
+fn registry_traversal_is_insertion_order_independent() {
+    let mut forward = IplRegistry::new();
+    forward.register("map-zoom", Box::new(LinearFit::new(4)));
+    forward.register("doc-scroll", Box::new(PolyFit2::new(6)));
+    forward.register("fling", Box::new(MarkovPredictor::default()));
+
+    let mut reverse = IplRegistry::new();
+    reverse.register("fling", Box::new(MarkovPredictor::default()));
+    reverse.register("doc-scroll", Box::new(PolyFit2::new(6)));
+    reverse.register("map-zoom", Box::new(LinearFit::new(4)));
+
+    let f = names(&forward);
+    assert_eq!(f, names(&reverse), "traversal depends on insertion order");
+    // And the order is the lexicographic key order, not arrival order.
+    let keys: Vec<&str> = f.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(keys, vec!["doc-scroll", "fling", "map-zoom"]);
+}
+
+#[test]
+fn registry_lookups_are_unchanged_by_traversal_order() {
+    let mut reg = IplRegistry::new();
+    reg.register("map-zoom", Box::new(LinearFit::new(4)));
+    assert_eq!(reg.lookup("map-zoom").name(), "linear-fit");
+    assert_eq!(reg.lookup("unknown").name(), "velocity"); // fallback
+}
+
+/// The panic-hygiene fix (DVS-P001) turned the Markov predictor's
+/// `history.last().expect(…)` calls into `?` early-returns. Degenerate
+/// histories must now yield `None`, never a panic.
+#[test]
+fn markov_predictor_declines_degenerate_histories() {
+    let m = MarkovPredictor::default();
+    let target = SimTime::from_nanos(50_000_000);
+    assert_eq!(m.predict(&[], target), None);
+    // A single sample has no velocity yet either way; must not panic.
+    let one = [(SimTime::ZERO, 100.0)];
+    let _ = m.predict(&one, target);
+}
+
+/// End-to-end: two independently constructed map apps (each building its
+/// own registry) must produce byte-identical serialized `RunReport`s for
+/// both the VSync and D-VSync arms of the §6.5 case study.
+#[test]
+fn map_case_study_replays_byte_identically() {
+    let a = MapApp::new().with_frames(600).run_zoom_case_study();
+    let b = MapApp::new().with_frames(600).run_zoom_case_study();
+    let ser = |r: &dvs_metrics::RunReport| serde_json::to_string(r).expect("reports serialize");
+    assert_eq!(ser(&a.vsync), ser(&b.vsync));
+    assert_eq!(ser(&a.dvsync), ser(&b.dvsync));
+}
