@@ -236,6 +236,11 @@ fn jobs() -> Vec<Job> {
             run: || faultmatrix::run(sweep::default_jobs()).render(),
         },
         Job {
+            key: "compose",
+            describe: "cross-app interference: compositor scenarios composed vs solo",
+            run: || compose::render(&compose::run(sweep::default_jobs())),
+        },
+        Job {
             key: "census",
             describe: "§3.2's \"N of 75 cases exhibit frame drops\" counts",
             run: || suite75::render(&suite75::run()),

@@ -11,6 +11,7 @@
 
 pub mod ablation;
 pub mod alloc_track;
+pub mod compose;
 pub mod costs;
 pub mod faultmatrix;
 pub mod fig01_cdf;

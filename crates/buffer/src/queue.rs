@@ -245,6 +245,27 @@ impl BufferQueue {
         }
     }
 
+    /// Whether the oldest queued buffer was queued at or before `deadline`
+    /// (and therefore satisfies a compositor latch rule), without touching
+    /// the queue.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dvs_buffer::{BufferQueue, FrameMeta};
+    /// use dvs_sim::SimTime;
+    ///
+    /// let mut q = BufferQueue::new(3);
+    /// let slot = q.dequeue_free().unwrap();
+    /// q.queue(slot, FrameMeta::new(0, SimTime::ZERO), SimTime::from_millis(5))?;
+    /// assert!(!q.has_eligible(SimTime::from_millis(4)), "too fresh to latch");
+    /// assert!(q.has_eligible(SimTime::from_millis(5)));
+    /// # Ok::<(), dvs_buffer::QueueError>(())
+    /// ```
+    pub fn has_eligible(&self, deadline: SimTime) -> bool {
+        self.peek_next().is_some_and(|(_, queued_at)| queued_at <= deadline)
+    }
+
     /// Consumer side: promote the oldest queued buffer to the front and
     /// release the previous front back to the free pool.
     ///

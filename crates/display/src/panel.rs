@@ -122,6 +122,29 @@ impl Panel {
         }
     }
 
+    /// Whether a refresh at `tick_time` *would* latch a new frame, without
+    /// performing the latch.
+    ///
+    /// The compositor uses this to tell a starved surface apart from an idle
+    /// one when its compose budget runs out: a deferral only counts as
+    /// cross-surface interference if an eligible buffer was actually
+    /// waiting. The probe is read-only, so it must not be used to *replace*
+    /// [`Panel::on_vsync`] on LTPO panels (a pending LTPO rate switch only
+    /// commits inside `on_vsync`); the budget-gated compositor surfaces run
+    /// without LTPO controllers.
+    pub fn would_present(&self, queue: &BufferQueue, tick_time: SimTime) -> bool {
+        let latch_deadline =
+            SimTime::from_nanos(tick_time.as_nanos().saturating_sub(self.compose_latch.as_nanos()));
+        if !queue.has_eligible(latch_deadline) {
+            return false;
+        }
+        match (&self.ltpo, queue.peek_next()) {
+            (Some(l), Some((meta, _))) => l.admits(&meta),
+            (Some(_), None) => false,
+            (None, _) => true,
+        }
+    }
+
     /// Total frames presented so far.
     pub fn presents(&self) -> u64 {
         self.presents

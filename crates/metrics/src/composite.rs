@@ -1,0 +1,195 @@
+//! Multi-surface composition metrics: per-surface quality plus
+//! cross-surface interference.
+//!
+//! A compositor run (in `dvs-compositor`) drives M pipelines into one shared
+//! panel and yields one [`RunReport`] per surface. [`CompositeReport`] bundles
+//! those per-surface reports with the composition parameters that shaped them
+//! (panel rate, compose budget, per-surface priority and pacing path), and
+//! derives the cross-surface signals the single-pipeline report cannot see:
+//!
+//! * **deferred latches** — ticks where a surface had an eligible buffer but
+//!   lost the compose budget to a higher-priority surface;
+//! * **interference rows** — each surface's FDPS / latency when composed,
+//!   side by side with a solo baseline run of the same surface, so the cost
+//!   of sharing the panel is a first-class number.
+
+use serde::{Deserialize, Serialize};
+
+use crate::RunReport;
+
+/// One surface's slice of a composite run: identity, policy, and the full
+/// per-frame [`RunReport`] the pipeline produced for it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SurfaceReport {
+    /// The surface's unique name (compositor registration key).
+    pub name: String,
+    /// The pacing path label (`"classic"`, `"dvsync"`, `"low-latency"`).
+    pub path: String,
+    /// Compose priority (higher latches first under budget contention).
+    pub priority: u8,
+    /// Ticks where this surface had an eligible buffer but was denied a
+    /// latch because higher-priority surfaces exhausted the compose budget.
+    pub deferred_latches: u64,
+    /// The surface's full frame-by-frame run report.
+    pub report: RunReport,
+}
+
+/// The complete result of one compositor run: M surfaces against one panel.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CompositeReport {
+    /// The shared panel's refresh rate in Hz.
+    pub panel_rate_hz: u32,
+    /// Latches allowed per panel VSync (`None` = unbounded).
+    pub compose_budget: Option<usize>,
+    /// Per-surface results, in canonical (name-sorted) order.
+    pub surfaces: Vec<SurfaceReport>,
+}
+
+impl CompositeReport {
+    /// Total janks across every surface.
+    pub fn total_janks(&self) -> usize {
+        self.surfaces.iter().map(|s| s.report.janks.len()).sum()
+    }
+
+    /// Total deferred latches across every surface — the aggregate
+    /// budget-contention signal (always 0 with an unbounded budget).
+    pub fn total_deferred_latches(&self) -> u64 {
+        self.surfaces.iter().map(|s| s.deferred_latches).sum()
+    }
+
+    /// Looks up a surface's report by name.
+    pub fn surface(&self, name: &str) -> Option<&SurfaceReport> {
+        self.surfaces.iter().find(|s| s.name == name)
+    }
+
+    /// Builds the cross-surface interference matrix against solo baselines.
+    ///
+    /// `solo` maps each composed surface (matched by `RunReport::name`) to a
+    /// report from running that surface *alone* on the same panel. Surfaces
+    /// with no matching baseline are skipped, so a partial baseline set
+    /// yields a partial matrix rather than an error.
+    pub fn interference_against(&self, solo: &[RunReport]) -> Vec<InterferenceRow> {
+        self.surfaces
+            .iter()
+            .filter_map(|s| {
+                let base = solo.iter().find(|b| b.name == s.report.name)?;
+                Some(InterferenceRow::new(s, base))
+            })
+            .collect()
+    }
+}
+
+/// One surface's composed-vs-solo quality delta.
+///
+/// Deltas are `composed - solo`: positive `fdps_delta` / `latency_delta_ms`
+/// means composition *hurt* the surface; zero means the shared panel was
+/// free for it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceRow {
+    /// The surface's name.
+    pub name: String,
+    /// The pacing path label.
+    pub path: String,
+    /// Compose priority.
+    pub priority: u8,
+    /// FDPS when the surface ran alone on the panel.
+    pub solo_fdps: f64,
+    /// FDPS when composed with the other surfaces.
+    pub composed_fdps: f64,
+    /// `composed_fdps - solo_fdps`.
+    pub fdps_delta: f64,
+    /// Mean rendering latency (ms) when running alone.
+    pub solo_latency_ms: f64,
+    /// Mean rendering latency (ms) when composed.
+    pub composed_latency_ms: f64,
+    /// `composed_latency_ms - solo_latency_ms`.
+    pub latency_delta_ms: f64,
+    /// Deferred latches the surface suffered while composed.
+    pub deferred_latches: u64,
+    /// Jank count when running alone.
+    pub solo_janks: usize,
+    /// Jank count when composed.
+    pub composed_janks: usize,
+}
+
+impl InterferenceRow {
+    /// Derives one row from a composed surface and its solo baseline.
+    pub fn new(composed: &SurfaceReport, solo: &RunReport) -> Self {
+        let solo_fdps = solo.fdps();
+        let composed_fdps = composed.report.fdps();
+        let solo_latency_ms = solo.mean_latency_ms();
+        let composed_latency_ms = composed.report.mean_latency_ms();
+        Self {
+            name: composed.name.clone(),
+            path: composed.path.clone(),
+            priority: composed.priority,
+            solo_fdps,
+            composed_fdps,
+            fdps_delta: composed_fdps - solo_fdps,
+            solo_latency_ms,
+            composed_latency_ms,
+            latency_delta_ms: composed_latency_ms - solo_latency_ms,
+            deferred_latches: composed.deferred_latches,
+            solo_janks: solo.janks.len(),
+            composed_janks: composed.report.janks.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(name: &str) -> RunReport {
+        RunReport { name: name.into(), rate_hz: 60, ..Default::default() }
+    }
+
+    fn surface(name: &str, deferred: u64) -> SurfaceReport {
+        SurfaceReport {
+            name: name.into(),
+            path: "classic".into(),
+            priority: 1,
+            deferred_latches: deferred,
+            report: report(name),
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_surfaces() {
+        let c = CompositeReport {
+            panel_rate_hz: 60,
+            compose_budget: Some(1),
+            surfaces: vec![surface("app", 3), surface("video", 2)],
+        };
+        assert_eq!(c.total_deferred_latches(), 5);
+        assert_eq!(c.total_janks(), 0);
+        assert_eq!(c.surface("video").unwrap().deferred_latches, 2);
+        assert!(c.surface("missing").is_none());
+    }
+
+    #[test]
+    fn interference_skips_unmatched_baselines() {
+        let c = CompositeReport {
+            panel_rate_hz: 60,
+            compose_budget: None,
+            surfaces: vec![surface("app", 0), surface("video", 4)],
+        };
+        let rows = c.interference_against(&[report("video")]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "video");
+        assert_eq!(rows[0].deferred_latches, 4);
+        assert_eq!(rows[0].fdps_delta, 0.0);
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let c = CompositeReport {
+            panel_rate_hz: 120,
+            compose_budget: Some(2),
+            surfaces: vec![surface("kbd", 1)],
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CompositeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -16,6 +16,7 @@
 
 mod aggregate;
 mod chrome_trace;
+mod composite;
 mod fps;
 mod power;
 mod record;
@@ -25,6 +26,7 @@ mod timeline;
 
 pub use aggregate::{QuantileGrid, RunAggregate, StreamingStats};
 pub use chrome_trace::chrome_trace_json;
+pub use composite::{CompositeReport, InterferenceRow, SurfaceReport};
 pub use fps::{average_fps, fps_series, min_window_fps};
 pub use power::{EnergyBreakdown, InstructionModel, PowerModel, FPE_DTV_EXEC_PER_FRAME};
 pub use record::{

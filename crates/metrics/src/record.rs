@@ -144,7 +144,7 @@ pub struct FrameDistribution {
 /// let report = RunReport::new("empty", 60);
 /// assert_eq!(report.fdps(), 0.0);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Scenario name.
     pub name: String,

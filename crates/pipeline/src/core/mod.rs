@@ -2,8 +2,17 @@
 //!
 //! One run's semantics — panel latching, the UI↔render sync barrier,
 //! frame-order buffer queueing, fault application, report assembly — live
-//! here in [`PipeState`], written once so the two engines cannot drift
-//! apart. What differs between the engines is *dispatch*: how the next
+//! here in [`SurfaceState`], written once so the two engines cannot drift
+//! apart. A surface is one producer pipeline (app UI thread → render stage
+//! → buffer queue → per-surface latch) stepped against a panel clock *owned
+//! by the caller*:
+//!
+//! * [`PipeState`] wraps exactly one surface plus its own timeline — the
+//!   single-pipeline simulator every prior experiment runs on;
+//! * [`compose`] steps M surfaces against one shared timeline with a
+//!   compose budget — the multi-surface compositor (`dvs-compositor`).
+//!
+//! What differs between the engines is *dispatch*: how the next
 //! `(time, event)` pair is found.
 //!
 //! * [`reference`] — the retained tick-stepper. It keeps pending events in
@@ -17,9 +26,12 @@
 //!   nothing.
 //!
 //! Both engines must produce **byte-identical** [`RunReport`]s; the
-//! repo-level differential suite (`tests/differential.rs`) pins that over
-//! the whole suite75 scenario set plus arbitrary fault plans.
+//! repo-level differential suites (`tests/differential.rs`,
+//! `tests/compositor_differential.rs`) pin that over the whole suite75
+//! scenario set plus arbitrary fault plans, and pin the M=1 compositor to
+//! the single-pipeline path byte for byte.
 
+pub(crate) mod compose;
 pub(crate) mod event_heap;
 pub(crate) mod reference;
 
@@ -34,6 +46,8 @@ use dvs_workload::FrameTrace;
 
 use crate::config::PipelineConfig;
 use crate::pacer::{FramePacer, PacerCtx};
+
+pub use compose::CompositeArena;
 
 /// Which execution engine a [`Simulator`](crate::Simulator) run uses.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -245,19 +259,19 @@ pub(crate) enum StepOutcome {
     Done,
 }
 
-/// The mutable state of one run, independent of the dispatch engine.
+/// The mutable state of one surface's run, independent of the dispatch
+/// engine *and* of the panel clock, which the caller owns and passes into
+/// every method that needs it.
 ///
 /// Per-frame bookkeeping and the render-stage queues live in borrowed
 /// [`RunArena`] buffers, and observations (janks, fault firings, frame
 /// records) are written directly into the borrowed output report — the
 /// state machine itself owns no growable storage, which is what lets a warm
 /// arena run allocation-free.
-pub(crate) struct PipeState<'a, F: FaultView> {
+pub(crate) struct SurfaceState<'a, F: FaultView> {
     cfg: &'a PipelineConfig,
     trace: &'a FrameTrace,
     pacer: &'a mut dyn FramePacer,
-    timeline: VsyncTimeline,
-    tick_cap: u64,
     queue: BufferQueue,
     panel: Panel,
     frames: &'a mut Vec<Option<FrameState>>,
@@ -278,16 +292,24 @@ pub(crate) struct PipeState<'a, F: FaultView> {
     last_present_tick: u64,
     pending_wake: Option<SimTime>,
     truncated: bool,
-    /// Injected faults resolved for this run (clean-run views answer zero).
+    /// Injected faults resolved for this surface (clean-run views answer
+    /// zero). On the single-pipeline path this stream is also the panel's.
     faults: F,
     /// The last tick an alloc denial was logged for (dedupes retries).
     denial_logged: Option<u64>,
-    /// The run's output: janks and fault firings stream in as they happen,
-    /// frame records are assembled by [`PipeState::finish`].
+    /// Latches the compositor's compose budget denied while an eligible
+    /// buffer was waiting (always zero on the single-pipeline path).
+    deferred_latches: u64,
+    /// The surface's output: janks and fault firings stream in as they
+    /// happen, frame records are assembled by [`SurfaceState::finish`].
     out: &'a mut RunReport,
 }
 
-impl<'a, F: FaultView> PipeState<'a, F> {
+impl<'a, F: FaultView> SurfaceState<'a, F> {
+    /// Resets the output report and scratch buffers and builds the surface
+    /// state. The caller owns the panel timeline (and is responsible for
+    /// committing any injected rate switches to it — see
+    /// [`SurfaceState::commit_rate_switches`]).
     pub(crate) fn new(
         cfg: &'a PipelineConfig,
         trace: &'a FrameTrace,
@@ -304,25 +326,10 @@ impl<'a, F: FaultView> PipeState<'a, F> {
         rs_pending.reserve(cfg.render_threads + 1);
         rs_finished.clear();
         rs_finished.reserve(cfg.render_threads);
-        let mut timeline = cfg.build_timeline();
-        // Injected rate switches (LTPO glitches / thermal caps) reshape the
-        // tick grid before the run starts; the materializer guarantees
-        // strictly increasing switch ticks, so each switch commits.
-        for (tick, rate_hz) in faults.rate_switches() {
-            if timeline.try_switch_rate_at_tick(tick, RefreshRate::from_hz(rate_hz)).is_ok() {
-                out.fault_events.push(FaultRecord {
-                    tick,
-                    time: timeline.tick_time(tick),
-                    class: FaultClass::RateSwitch,
-                });
-            }
-        }
-        PipeState {
+        SurfaceState {
             cfg,
             trace,
             pacer,
-            timeline,
-            tick_cap: cfg.tick_cap(trace.len()),
             queue: BufferQueue::new(cfg.buffer_count),
             panel: Panel::new(cfg.latch()),
             frames,
@@ -340,74 +347,81 @@ impl<'a, F: FaultView> PipeState<'a, F> {
             truncated: false,
             faults,
             denial_logged: None,
+            deferred_latches: 0,
             out,
         }
     }
 
-    /// The instant of the first event every run starts from (tick 0).
-    pub(crate) fn first_pulse_at(&self) -> SimTime {
-        self.timeline.pulse(0).at
-    }
-
-    /// Handles one popped event. `sched` enqueues follow-up events into the
-    /// engine's dispatch structure.
-    pub(crate) fn step(
-        &mut self,
-        t: SimTime,
-        ev: Ev,
-        sched: &mut dyn FnMut(SimTime, Ev),
-    ) -> StepOutcome {
-        match ev {
-            Ev::Tick(k) => {
-                if k >= self.tick_cap {
-                    self.truncated = true;
-                    return StepOutcome::Done;
-                }
-                self.on_tick(k, t);
-                if self.presented >= self.trace.len() {
-                    return StepOutcome::Done;
-                }
-                // An injected pulse delay shifts when the NEXT tick's event
-                // fires; the materializer clamps delays to a quarter period
-                // so pulses stay ordered.
-                let pulse = self.timeline.pulse(k + 1);
-                sched(pulse.at + self.faults.tick_delay(pulse.tick), Ev::Tick(pulse.tick));
-                // A present may have released a buffer the render stage was
-                // blocked on.
-                self.pump_rs(t, sched);
-                self.try_start(t, sched);
-            }
-            Ev::UiDone(frame) => {
-                self.ui_busy = false;
-                self.rs_pending.push_back(frame);
-                self.pump_rs(t, sched);
-                self.try_start(t, sched);
-            }
-            Ev::RsDone(frame) => {
-                self.finish_rs(frame, t);
-                self.pump_rs(t, sched);
-                self.try_start(t, sched);
-            }
-            Ev::Wake => {
-                self.pending_wake = None;
-                self.try_start(t, sched);
+    /// Commits this surface's injected rate switches (LTPO glitches /
+    /// thermal caps) to the caller's timeline, recording each committed
+    /// switch. The materializer guarantees strictly increasing switch ticks,
+    /// so each switch commits. On the single-pipeline path the surface's
+    /// fault stream is also the panel's; composite runs reshape the shared
+    /// timeline from the panel-level schedule instead (see [`compose`]).
+    pub(crate) fn commit_rate_switches(&mut self, timeline: &mut VsyncTimeline) {
+        for (tick, rate_hz) in self.faults.rate_switches() {
+            if timeline.try_switch_rate_at_tick(tick, RefreshRate::from_hz(rate_hz)).is_ok() {
+                self.push_fault_record(tick, timeline.tick_time(tick), FaultClass::RateSwitch);
             }
         }
-        StepOutcome::Continue
     }
 
-    fn on_tick(&mut self, k: u64, t: SimTime) {
+    /// Appends a fault firing to the surface's report.
+    pub(crate) fn push_fault_record(&mut self, tick: u64, time: SimTime, class: FaultClass) {
+        self.out.fault_events.push(FaultRecord { tick, time, class });
+    }
+
+    /// Whether every trace frame has reached the screen.
+    pub(crate) fn complete(&self) -> bool {
+        self.presented >= self.trace.len()
+    }
+
+    /// Marks the run truncated (safety tick cap reached before the trace
+    /// completed).
+    pub(crate) fn mark_truncated(&mut self) {
+        self.truncated = true;
+    }
+
+    /// Latches the compositor's compose budget denied this surface while an
+    /// eligible buffer was waiting.
+    pub(crate) fn deferred_latches(&self) -> u64 {
+        self.deferred_latches
+    }
+
+    /// Whether this surface's fault stream swallows VSync tick `k`.
+    pub(crate) fn fault_missed(&self, k: u64) -> bool {
+        self.faults.is_missed(k)
+    }
+
+    /// Whether this surface's fault stream delays VSync tick `k`.
+    pub(crate) fn fault_delayed(&self, k: u64) -> bool {
+        !self.faults.tick_delay(k).is_zero()
+    }
+
+    /// One panel refresh for this surface. `missed`/`delayed` are the tick's
+    /// resolved fault status (computed by the caller, whose fault stream may
+    /// be panel-level), and `allow_latch` is false when the compositor's
+    /// compose budget is already spent this refresh. Returns whether a new
+    /// frame was latched (i.e. whether compose budget was consumed).
+    pub(crate) fn on_tick(
+        &mut self,
+        k: u64,
+        t: SimTime,
+        missed: bool,
+        delayed: bool,
+        allow_latch: bool,
+    ) -> bool {
         // Content is expected at every refresh between the first present and
         // the end of the animation; a repeat in that window is a jank.
         let expected = self.first_present_tick.is_some() && self.presented < self.trace.len();
-        if !self.faults.tick_delay(k).is_zero() {
+        if delayed {
             self.out.fault_events.push(FaultRecord {
                 tick: k,
                 time: t,
                 class: FaultClass::VsyncDelay,
             });
         }
-        if self.faults.is_missed(k) {
+        if missed {
             // The HW pulse is swallowed: no latch, no present opportunity.
             // The previous frame stays on screen, which the user perceives
             // exactly like a jank when content was expected.
@@ -420,7 +434,22 @@ impl<'a, F: FaultView> PipeState<'a, F> {
                 self.out.janks.push(JankEvent { tick: k, time: t });
                 self.pacer.on_jank(k, t);
             }
-            return;
+            return false;
+        }
+        if !allow_latch {
+            // The compositor ran out of compose budget before reaching this
+            // surface: its window is skipped this refresh even if a buffer
+            // was ready. To the surface that is indistinguishable from a
+            // repeat — but the deferral is recorded separately, because it
+            // is cross-surface interference, not the surface's own doing.
+            if self.panel.would_present(&self.queue, t) {
+                self.deferred_latches += 1;
+            }
+            if expected {
+                self.out.janks.push(JankEvent { tick: k, time: t });
+                self.pacer.on_jank(k, t);
+            }
+            return false;
         }
         match self.panel.on_vsync(&mut self.queue, t) {
             PanelOutcome::Presented(buf) => {
@@ -433,17 +462,35 @@ impl<'a, F: FaultView> PipeState<'a, F> {
                 self.first_present_tick.get_or_insert(k);
                 self.last_present_tick = k;
                 self.pacer.on_present(buf.meta.seq, k, t);
+                true
             }
             PanelOutcome::Repeated => {
                 if expected {
                     self.out.janks.push(JankEvent { tick: k, time: t });
                     self.pacer.on_jank(k, t);
                 }
+                false
             }
         }
     }
 
-    fn try_start(&mut self, now: SimTime, sched: &mut dyn FnMut(SimTime, Ev)) {
+    /// A frame's UI stage completed: hand it to the render stage.
+    pub(crate) fn on_ui_done(&mut self, frame: usize) {
+        self.ui_busy = false;
+        self.rs_pending.push_back(frame);
+    }
+
+    /// A pacer wake-up fired: clear it so `try_start` can re-plan.
+    pub(crate) fn clear_wake(&mut self) {
+        self.pending_wake = None;
+    }
+
+    pub(crate) fn try_start(
+        &mut self,
+        now: SimTime,
+        timeline: &VsyncTimeline,
+        sched: &mut dyn FnMut(SimTime, Ev),
+    ) {
         if self.next_frame >= self.trace.len() || self.ui_busy {
             return;
         }
@@ -454,12 +501,12 @@ impl<'a, F: FaultView> PipeState<'a, F> {
             return;
         }
         let free_slots = self.queue.free_len();
-        let (next_idx, next_time) = self.timeline.next_tick_after(now);
+        let (next_idx, next_time) = timeline.next_tick_after(now);
         let last_idx = next_idx - 1;
         let ctx = PacerCtx {
             now,
-            period: self.timeline.period_at(last_idx),
-            last_tick: (last_idx, self.timeline.tick_time(last_idx)),
+            period: timeline.period_at(last_idx),
+            last_tick: (last_idx, timeline.tick_time(last_idx)),
             next_tick: (next_idx, next_time),
             queued: self.queue.queued_len(),
             in_flight: self.in_flight,
@@ -505,14 +552,19 @@ impl<'a, F: FaultView> PipeState<'a, F> {
     /// Starts the render stage for pending frames while a render context is
     /// idle and a buffer can be dequeued. With a VSync-rs signal configured,
     /// work dispatched now begins at the next signal instead of immediately.
-    fn pump_rs(&mut self, now: SimTime, sched: &mut dyn FnMut(SimTime, Ev)) {
+    pub(crate) fn pump_rs(
+        &mut self,
+        now: SimTime,
+        timeline: &VsyncTimeline,
+        sched: &mut dyn FnMut(SimTime, Ev),
+    ) {
         while self.rs_active < self.cfg.render_threads {
             let Some(&frame) = self.rs_pending.front() else { return };
             // Transient allocation failure: dequeues are denied for the rest
             // of this refresh interval. Ticks keep firing and re-enter
             // `pump_rs`, so the dispatch is retried — the fault degrades
             // throughput instead of wedging the pipeline.
-            let cur_tick = self.timeline.next_tick_after(now).0.saturating_sub(1);
+            let cur_tick = timeline.next_tick_after(now).0.saturating_sub(1);
             if self.faults.deny_alloc(cur_tick) {
                 if self.denial_logged != Some(cur_tick) {
                     self.denial_logged = Some(cur_tick);
@@ -534,14 +586,14 @@ impl<'a, F: FaultView> PipeState<'a, F> {
                 Some(offset) => {
                     // The next VSync-rs signal at or after `now`.
                     let (last_idx, _) = {
-                        let (n, _) = self.timeline.next_tick_after(now);
+                        let (n, _) = timeline.next_tick_after(now);
                         (n - 1, ())
                     };
-                    let last_signal = self.timeline.tick_time(last_idx) + offset;
+                    let last_signal = timeline.tick_time(last_idx) + offset;
                     if last_signal >= now {
                         last_signal
                     } else {
-                        self.timeline.tick_time(last_idx + 1) + offset
+                        timeline.tick_time(last_idx + 1) + offset
                     }
                 }
             };
@@ -559,7 +611,7 @@ impl<'a, F: FaultView> PipeState<'a, F> {
         }
     }
 
-    fn finish_rs(&mut self, frame: usize, now: SimTime) {
+    pub(crate) fn finish_rs(&mut self, frame: usize, now: SimTime) {
         self.rs_active -= 1;
         self.rs_finished.push((frame, now));
         // Buffers enter the queue in frame order: a fast successor rendered
@@ -580,20 +632,20 @@ impl<'a, F: FaultView> PipeState<'a, F> {
         }
     }
 
-    fn eligible_tick(&self, queued_at: SimTime) -> u64 {
+    fn eligible_tick(&self, timeline: &VsyncTimeline, queued_at: SimTime) -> u64 {
         let target = queued_at + self.cfg.latch();
         if target.as_nanos() == 0 {
             return 0;
         }
         let probe = SimTime::from_nanos(target.as_nanos() - 1);
-        self.timeline.next_tick_after(probe).0
+        timeline.next_tick_after(probe).0
     }
 
     /// Consumes the state, completing the borrowed output report. Identical
     /// across engines by construction — this is the single assembly path,
     /// and (unlike a return-by-value report) it allocates nothing once the
     /// output's vectors have reached the run's working set.
-    pub(crate) fn finish(mut self) {
+    pub(crate) fn finish(mut self, timeline: &VsyncTimeline) {
         self.truncated |= self.presented < self.trace.len();
         self.out.truncated = self.truncated;
         self.out.max_queued = self.queue.max_queued_observed();
@@ -615,7 +667,7 @@ impl<'a, F: FaultView> PipeState<'a, F> {
                 queued_at,
                 present: ptime,
                 present_tick: ptick,
-                eligible_tick: self.eligible_tick(queued_at),
+                eligible_tick: self.eligible_tick(timeline, queued_at),
                 kind: FrameKind::Direct, // classified below
                 ui_cost: cost.ui,
                 rs_cost: cost.rs,
@@ -628,7 +680,7 @@ impl<'a, F: FaultView> PipeState<'a, F> {
         // exceeds the two-period pipeline depth waited behind earlier frames
         // (in the queue, or blocked on a buffer): stuffing. The 20 % margin
         // tolerates clock jitter.
-        let stuffed_threshold = self.timeline.period_at(0).mul_f64(2.2);
+        let stuffed_threshold = timeline.period_at(0).mul_f64(2.2);
         let RunReport { records, janks, .. } = &mut *self.out;
         records.sort_by_key(|r| r.present_tick);
         let mut ji = 0usize;
@@ -649,12 +701,99 @@ impl<'a, F: FaultView> PipeState<'a, F> {
 
         if let Some(first) = self.first_present_tick {
             let last = self.last_present_tick;
-            let span = self.timeline.tick_time(last) - self.timeline.tick_time(first);
-            self.out.display_time = span + self.timeline.period_at(last);
+            let span = timeline.tick_time(last) - timeline.tick_time(first);
+            self.out.display_time = span + timeline.period_at(last);
             self.out.ticks_active = last - first + 1;
         } else {
             self.out.display_time = SimDuration::ZERO;
             self.out.ticks_active = 0;
         }
+    }
+}
+
+/// The single-pipeline state machine: exactly one [`SurfaceState`] plus the
+/// panel timeline it alone drives. This is the path every pre-compositor
+/// experiment runs on, and the byte-identity baseline the M=1 compositor is
+/// differentially pinned to.
+pub(crate) struct PipeState<'a, F: FaultView> {
+    timeline: VsyncTimeline,
+    tick_cap: u64,
+    surface: SurfaceState<'a, F>,
+}
+
+impl<'a, F: FaultView> PipeState<'a, F> {
+    pub(crate) fn new(
+        cfg: &'a PipelineConfig,
+        trace: &'a FrameTrace,
+        pacer: &'a mut dyn FramePacer,
+        faults: F,
+        scratch: Scratch<'a>,
+        out: &'a mut RunReport,
+    ) -> Self {
+        let mut timeline = cfg.build_timeline();
+        let mut surface = SurfaceState::new(cfg, trace, pacer, faults, scratch, out);
+        // With one surface, its injected rate switches reshape the panel's
+        // tick grid directly before the run starts.
+        surface.commit_rate_switches(&mut timeline);
+        PipeState { timeline, tick_cap: cfg.tick_cap(trace.len()), surface }
+    }
+
+    /// The instant of the first event every run starts from (tick 0).
+    pub(crate) fn first_pulse_at(&self) -> SimTime {
+        self.timeline.pulse(0).at
+    }
+
+    /// Handles one popped event. `sched` enqueues follow-up events into the
+    /// engine's dispatch structure.
+    pub(crate) fn step(
+        &mut self,
+        t: SimTime,
+        ev: Ev,
+        sched: &mut dyn FnMut(SimTime, Ev),
+    ) -> StepOutcome {
+        let s = &mut self.surface;
+        match ev {
+            Ev::Tick(k) => {
+                if k >= self.tick_cap {
+                    s.mark_truncated();
+                    return StepOutcome::Done;
+                }
+                let missed = s.fault_missed(k);
+                let delayed = s.fault_delayed(k);
+                s.on_tick(k, t, missed, delayed, true);
+                if s.complete() {
+                    return StepOutcome::Done;
+                }
+                // An injected pulse delay shifts when the NEXT tick's event
+                // fires; the materializer clamps delays to a quarter period
+                // so pulses stay ordered.
+                let pulse = self.timeline.pulse(k + 1);
+                sched(pulse.at + s.faults.tick_delay(pulse.tick), Ev::Tick(pulse.tick));
+                // A present may have released a buffer the render stage was
+                // blocked on.
+                s.pump_rs(t, &self.timeline, sched);
+                s.try_start(t, &self.timeline, sched);
+            }
+            Ev::UiDone(frame) => {
+                s.on_ui_done(frame);
+                s.pump_rs(t, &self.timeline, sched);
+                s.try_start(t, &self.timeline, sched);
+            }
+            Ev::RsDone(frame) => {
+                s.finish_rs(frame, t);
+                s.pump_rs(t, &self.timeline, sched);
+                s.try_start(t, &self.timeline, sched);
+            }
+            Ev::Wake => {
+                s.clear_wake();
+                s.try_start(t, &self.timeline, sched);
+            }
+        }
+        StepOutcome::Continue
+    }
+
+    /// Consumes the state, completing the borrowed output report.
+    pub(crate) fn finish(self) {
+        self.surface.finish(&self.timeline);
     }
 }

@@ -37,18 +37,21 @@ use crate::pacer::FramePacer;
 /// events are always released in `(time, seq)` order with their exact
 /// timestamps — so this only sets how much dead polling the stepper pays,
 /// i.e. its fidelity to the fixed-timestep loops it stands in for.
-const POLL_QUANTUM: SimDuration = SimDuration::from_micros(5);
+pub(crate) const POLL_QUANTUM: SimDuration = SimDuration::from_micros(5);
 
 /// The naive dispatcher: unsorted pending list + quantum-stepped clock.
-struct PollingDispatcher {
-    pending: Vec<(SimTime, u64, Ev)>,
-    next_seq: u64,
+///
+/// Generic over the event payload so the composite reference engine (which
+/// dispatches surface-tagged events) polls through the identical structure.
+pub(crate) struct PollingDispatcher<E> {
+    pending: Vec<(SimTime, u64, E)>,
+    pub(crate) next_seq: u64,
     clock: SimTime,
-    polls: u64,
+    pub(crate) polls: u64,
 }
 
-impl PollingDispatcher {
-    fn new() -> Self {
+impl<E: Copy> PollingDispatcher<E> {
+    pub(crate) fn new() -> Self {
         PollingDispatcher {
             pending: Vec::new(),
             next_seq: 0,
@@ -58,14 +61,14 @@ impl PollingDispatcher {
     }
 
     /// Appends an event; sequence numbers mirror `EventQueue::schedule`.
-    fn schedule(&mut self, at: SimTime, ev: Ev) {
+    pub(crate) fn schedule(&mut self, at: SimTime, ev: E) {
         self.pending.push((at, self.next_seq, ev));
         self.next_seq += 1;
     }
 
     /// Releases the earliest `(time, seq)` event once the polling clock has
     /// caught up with it, stepping the clock one quantum per empty poll.
-    fn pop(&mut self) -> Option<(SimTime, Ev)> {
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, E)> {
         loop {
             if self.pending.is_empty() {
                 return None;

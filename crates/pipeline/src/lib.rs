@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod calibrate;
+mod composite;
 mod config;
 mod core;
 mod pacer;
@@ -41,8 +42,9 @@ mod runner;
 mod simulator;
 
 pub use calibrate::{calibrate_spec, calibrate_spec_pooled, CalibrationOutcome};
+pub use composite::{CompositeSim, CompositeStats, SurfaceRun};
 pub use config::PipelineConfig;
-pub use core::{CoreStats, RunArena, SimCore};
+pub use core::{CompositeArena, CoreStats, RunArena, SimCore};
 pub use pacer::{FramePacer, FramePlan, PacerCtx, VsyncPacer};
 pub use runner::{
     run_segmented, run_segmented_core, run_segmented_pooled, run_segmented_vsync, run_segments_into,

@@ -39,6 +39,17 @@ pub enum DvsError {
     },
     /// A configuration value was rejected; the message names the field.
     InvalidConfig(String),
+    /// A composite run was requested with no surfaces registered.
+    EmptyComposite,
+    /// A surface was registered under a name the compositor already holds.
+    DuplicateSurface(String),
+    /// A surface's refresh rate disagrees with the shared panel's.
+    SurfaceRateMismatch {
+        /// The surface's rate in Hz.
+        surface_hz: u32,
+        /// The panel's rate in Hz.
+        panel_hz: u32,
+    },
 }
 
 impl fmt::Display for DvsError {
@@ -55,6 +66,15 @@ impl fmt::Display for DvsError {
                 write!(f, "rate switch at tick {tick} must follow segment start {segment_start}")
             }
             DvsError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            DvsError::EmptyComposite => {
+                write!(f, "cannot run a compositor with no surfaces registered")
+            }
+            DvsError::DuplicateSurface(name) => {
+                write!(f, "surface name {name:?} is already registered")
+            }
+            DvsError::SurfaceRateMismatch { surface_hz, panel_hz } => {
+                write!(f, "surface rate {surface_hz} Hz and panel rate {panel_hz} Hz must agree")
+            }
         }
     }
 }
@@ -78,6 +98,10 @@ mod tests {
         let e = DvsError::RateSwitchInPast { tick: 3, segment_start: 5 };
         assert!(e.to_string().contains("tick 3"));
         assert!(DvsError::InvalidConfig("x".into()).to_string().contains('x'));
+        assert!(DvsError::EmptyComposite.to_string().contains("no surfaces"));
+        assert!(DvsError::DuplicateSurface("video".into()).to_string().contains("video"));
+        let e = DvsError::SurfaceRateMismatch { surface_hz: 60, panel_hz: 120 };
+        assert!(e.to_string().contains("60") && e.to_string().contains("120"));
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Multi-surface workloads for the compositor.
+//!
+//! A smartphone panel rarely shows one surface: an app scrolls while a video
+//! floats in picture-in-picture, a keyboard slides over a chat app, a game
+//! HUD overlays the scene. [`CompositeScenario`] names such a mixture — one
+//! [`ScenarioSpec`] per surface, each tagged with the pacing path the
+//! compositor should drive it on and a compose priority — so the compositor
+//! and its test suites share one vocabulary for "app + video at 60 Hz".
+//!
+//! Three families cover the interference experiments:
+//!
+//! * [`app_plus_video`] — a scattered-cost app beside a smooth video layer;
+//! * [`app_plus_keyboard`] — an app under a low-latency keyboard overlay;
+//! * [`mixed_policy_fleet`] — Classic, D-VSync, and low-latency surfaces
+//!   contending on one panel.
+
+use crate::generator::{CostProfile, Determinism, ScenarioSpec};
+
+/// How the compositor paces one surface's rendering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PacingPath {
+    /// The VSync-coupled baseline (Project-Butter semantics).
+    Classic,
+    /// The paper's decoupled rendering path (`DvsyncPacer`).
+    Dvsync,
+    /// VSync pacing with a zero compose latch: frames queued before the
+    /// tick latch on that same tick, one period lower latency.
+    LowLatency,
+}
+
+impl PacingPath {
+    /// The stable label used in reports and golden files.
+    pub fn label(self) -> &'static str {
+        match self {
+            PacingPath::Classic => "classic",
+            PacingPath::Dvsync => "dvsync",
+            PacingPath::LowLatency => "low-latency",
+        }
+    }
+}
+
+/// One surface of a composite workload: a trace spec plus compositor policy.
+#[derive(Clone, Debug)]
+pub struct SurfaceSpec {
+    /// The surface's trace specification (its name doubles as the surface
+    /// name, so it must be unique within a scenario).
+    pub spec: ScenarioSpec,
+    /// The pacing path the compositor drives this surface on.
+    pub path: PacingPath,
+    /// Compose priority: higher latches first when the budget contends.
+    pub priority: u8,
+}
+
+/// A named multi-surface workload: M surfaces sharing one panel.
+#[derive(Clone, Debug)]
+pub struct CompositeScenario {
+    /// The scenario's name (used in reports and golden files).
+    pub name: String,
+    /// The shared panel's refresh rate in Hz. Every surface spec renders at
+    /// this rate.
+    pub panel_hz: u32,
+    /// The surfaces, in registration order.
+    pub surfaces: Vec<SurfaceSpec>,
+}
+
+fn surface(spec: ScenarioSpec, path: PacingPath, priority: u8) -> SurfaceSpec {
+    SurfaceSpec { spec, path, priority }
+}
+
+/// A scattered-cost foreground app, the usual interference victim/source.
+fn app_spec(name: &str, panel_hz: u32, frames: usize) -> ScenarioSpec {
+    ScenarioSpec::new(name, panel_hz, frames, CostProfile::scattered(3.0))
+        .with_determinism(Determinism::Animation)
+}
+
+/// A video layer: decode-paced, nearly uniform frame costs.
+fn video_spec(name: &str, panel_hz: u32, frames: usize) -> ScenarioSpec {
+    ScenarioSpec::new(name, panel_hz, frames, CostProfile::smooth())
+        .with_determinism(Determinism::Animation)
+}
+
+/// A keyboard overlay: short frames with rare long-frame spikes (a key
+/// preview popping or a candidate bar reflowing).
+fn keyboard_spec(name: &str, panel_hz: u32, frames: usize) -> ScenarioSpec {
+    let mut profile = CostProfile::scattered(1.0);
+    profile.short_median_frac = 0.25;
+    ScenarioSpec::new(name, panel_hz, frames, profile).with_determinism(Determinism::Animation)
+}
+
+/// App + picture-in-picture video: a scattered D-VSync app beside a smooth
+/// Classic video layer, the app holding priority.
+pub fn app_plus_video(panel_hz: u32, frames: usize) -> CompositeScenario {
+    CompositeScenario {
+        name: format!("app+video ({panel_hz}Hz)"),
+        panel_hz,
+        surfaces: vec![
+            surface(app_spec("app", panel_hz, frames), PacingPath::Dvsync, 2),
+            surface(video_spec("video", panel_hz, frames), PacingPath::Classic, 1),
+        ],
+    }
+}
+
+/// App + keyboard overlay: the keyboard rides the low-latency path and
+/// outranks the app, mirroring how real compositors prioritize input echo.
+pub fn app_plus_keyboard(panel_hz: u32, frames: usize) -> CompositeScenario {
+    CompositeScenario {
+        name: format!("app+keyboard ({panel_hz}Hz)"),
+        panel_hz,
+        surfaces: vec![
+            surface(keyboard_spec("keyboard", panel_hz, frames), PacingPath::LowLatency, 3),
+            surface(app_spec("app", panel_hz, frames), PacingPath::Classic, 2),
+        ],
+    }
+}
+
+/// A mixed-policy fleet: Classic, D-VSync, and low-latency surfaces all
+/// contending on one panel — the stress case for the compose budget.
+pub fn mixed_policy_fleet(panel_hz: u32, frames: usize) -> CompositeScenario {
+    CompositeScenario {
+        name: format!("mixed fleet ({panel_hz}Hz)"),
+        panel_hz,
+        surfaces: vec![
+            surface(app_spec("app", panel_hz, frames), PacingPath::Dvsync, 3),
+            surface(keyboard_spec("shade", panel_hz, frames), PacingPath::LowLatency, 2),
+            surface(video_spec("video", panel_hz, frames), PacingPath::Classic, 1),
+        ],
+    }
+}
+
+/// The compositor evaluation suite: every family at the paper's two
+/// dominant refresh rates.
+pub fn compositor_scenario_suite() -> Vec<CompositeScenario> {
+    vec![
+        app_plus_video(60, 300),
+        app_plus_video(120, 600),
+        app_plus_keyboard(60, 300),
+        app_plus_keyboard(120, 600),
+        mixed_policy_fleet(60, 300),
+        mixed_policy_fleet(120, 600),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_surfaces_match_panel_rate_and_have_unique_names() {
+        for sc in compositor_scenario_suite() {
+            assert!(sc.surfaces.len() >= 2, "{} needs at least two surfaces", sc.name);
+            let mut names: Vec<_> = sc.surfaces.iter().map(|s| s.spec.name.clone()).collect();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), sc.surfaces.len(), "{} has duplicate surface names", sc.name);
+            for s in &sc.surfaces {
+                assert_eq!(s.spec.rate_hz, sc.panel_hz, "{}/{}", sc.name, s.spec.name);
+                let trace = s.spec.generate();
+                assert!(!trace.frames.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn path_labels_are_stable() {
+        assert_eq!(PacingPath::Classic.label(), "classic");
+        assert_eq!(PacingPath::Dvsync.label(), "dvsync");
+        assert_eq!(PacingPath::LowLatency.label(), "low-latency");
+    }
+
+    #[test]
+    fn fleet_priorities_are_distinct() {
+        let fleet = mixed_policy_fleet(60, 120);
+        let mut prios: Vec<_> = fleet.surfaces.iter().map(|s| s.priority).collect();
+        prios.sort();
+        prios.dedup();
+        assert_eq!(prios.len(), fleet.surfaces.len());
+    }
+}

@@ -24,12 +24,17 @@ pub mod tasks;
 
 mod analyze;
 mod cache;
+mod compose;
 mod dist;
 mod generator;
 mod trace;
 
 pub use analyze::{analyze, TraceProfile};
 pub use cache::{CacheStats, CachedScenario, TraceCache};
+pub use compose::{
+    app_plus_keyboard, app_plus_video, compositor_scenario_suite, mixed_policy_fleet,
+    CompositeScenario, PacingPath, SurfaceSpec,
+};
 pub use dist::{LogNormal, Pareto};
 pub use generator::{CostProfile, Determinism, ScenarioSpec, TraceGenerator};
 pub use trace::{Backend, FrameCost, FrameTrace, TraceError};

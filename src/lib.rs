@@ -58,6 +58,7 @@
 pub use dvs_animation as animation;
 pub use dvs_apps as apps;
 pub use dvs_buffer as buffer;
+pub use dvs_compositor as compositor;
 pub use dvs_core as core;
 pub use dvs_display as display;
 pub use dvs_faults as faults;
