@@ -16,9 +16,12 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::env;
+use std::path::Path;
 use std::process::ExitCode;
 
+use dvs_bench::checkpoint::{read_text, write_text};
 use dvs_bench::*;
+use dvs_sim::{DvsError, DvsResult};
 
 /// Counts every heap allocation into [`dvs_bench::alloc_track`], so the
 /// sweep benchmark can gate the pooled path on allocating *less*, not just
@@ -330,8 +333,19 @@ fn usage(jobs: &[Job]) -> String {
          \x20                 # panic hygiene (rules in docs/lint.md; scope in lint.toml).\n\
          \x20                 # --check exits non-zero on any unwaived finding;\n\
          \x20                 # --emit-json defaults to lint_report.json\n\
+         \x20      repro sweep [--tiny|--quick] [--mode aggregate|full] [--retries N]\n\
+         \x20                 [--checkpoint <path> [--cadence K] [--resume]]\n\
+         \x20                 [--emit-json [path]] [--jobs N]\n\
+         \x20                 # resilient sweep executor: panics quarantine instead of\n\
+         \x20                 # aborting; kill + --resume reproduces the uninterrupted\n\
+         \x20                 # report byte-for-byte (docs/resilience.md). Fault taps:\n\
+         \x20                 # --inject-panic-cell K [--inject-panic-attempts N],\n\
+         \x20                 # --inject-crash-cell K, --inject-torn-checkpoint\n\
+         \x20      repro compose [--retries N] [--emit-json [path]] [--jobs N]\n\
+         \x20                 # multi-surface compositor suite under the same executor\n\
          \x20      --jobs N   sweep worker count (default: available parallelism;\n\
          \x20                 1 = sequential reference path; output identical for all N)\n\n\
+         exit codes: 0 clean; 1 hard error; 2 completed with quarantined cells\n\n\
          artefacts:\n",
     );
     for j in jobs {
@@ -345,7 +359,7 @@ fn usage(jobs: &[Job]) -> String {
 /// `--quick` for the CI smoke slice, `--emit-json [path]` to write the
 /// machine-readable result, `--check <baseline.json>` to gate against a
 /// committed baseline.
-fn run_bench(args: &[String]) -> Result<String, String> {
+fn run_bench(args: &[String]) -> DvsResult<String> {
     let sweep_bench = args.iter().any(|a| a == "sweep");
     let quick = args.iter().any(|a| a == "--quick");
     // `--emit-json` takes an optional path operand; a following flag means
@@ -362,37 +376,40 @@ fn run_bench(args: &[String]) -> Result<String, String> {
         .and_then(|p| args.get(p + 1))
         .filter(|a| !a.starts_with('-'));
 
+    let parse_err =
+        |path: &str, e: serde_json::Error| DvsError::InvalidConfig(format!("parse {path}: {e}"));
+    let gate_err = |msg: String| DvsError::InvalidConfig(msg);
     let (mut out, result_json, check_notes) = if sweep_bench {
         let result = dvs_bench::sweepbench::run(quick);
         let notes = match check_path {
             Some(path) => {
-                let json =
-                    std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+                let json = read_text(Path::new(path))?;
                 let baseline: dvs_bench::sweepbench::SweepBench =
-                    serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
-                Some(dvs_bench::sweepbench::check(&result, &baseline)?)
+                    serde_json::from_str(&json).map_err(|e| parse_err(path, e))?;
+                Some(dvs_bench::sweepbench::check(&result, &baseline).map_err(gate_err)?)
             }
             None => None,
         };
-        let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+        let json = serde_json::to_string_pretty(&result)
+            .map_err(|e| DvsError::InvalidConfig(e.to_string()))?;
         (dvs_bench::sweepbench::render(&result), json, notes)
     } else {
         let result = dvs_bench::simcore::run(quick);
         let notes = match check_path {
             Some(path) => {
-                let json =
-                    std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+                let json = read_text(Path::new(path))?;
                 let baseline: dvs_bench::simcore::SimcoreBench =
-                    serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
-                Some(dvs_bench::simcore::check(&result, &baseline)?)
+                    serde_json::from_str(&json).map_err(|e| parse_err(path, e))?;
+                Some(dvs_bench::simcore::check(&result, &baseline).map_err(gate_err)?)
             }
             None => None,
         };
-        let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+        let json = serde_json::to_string_pretty(&result)
+            .map_err(|e| DvsError::InvalidConfig(e.to_string()))?;
         (dvs_bench::simcore::render(&result), json, notes)
     };
     if let Some(path) = emit {
-        std::fs::write(&path, result_json + "\n").map_err(|e| format!("write {path}: {e}"))?;
+        write_text(Path::new(&path), &(result_json + "\n"))?;
         out.push_str(&format!("wrote {path}\n"));
     }
     if let Some(notes) = check_notes {
@@ -446,10 +463,10 @@ fn run_lint(args: &[String]) -> Result<(String, bool), String> {
 
 /// Runs a user-provided `ScenarioSpec` (JSON) under the standard ladder of
 /// configurations and prints the comparison.
-fn run_custom(path: &str) -> Result<String, String> {
-    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let spec: dvs_workload::ScenarioSpec =
-        serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
+fn run_custom(path: &str) -> DvsResult<String> {
+    let json = read_text(Path::new(path))?;
+    let spec: dvs_workload::ScenarioSpec = serde_json::from_str(&json)
+        .map_err(|e| DvsError::InvalidConfig(format!("parse {path}: {e}")))?;
     let fitted = if spec.paper_baseline_fdps > 0.0 {
         dvs_pipeline::calibrate_spec(&spec, 3).spec
     } else {
@@ -462,6 +479,165 @@ fn run_custom(path: &str) -> Result<String, String> {
         &[4, 5, 7],
     );
     Ok(result.render())
+}
+
+/// Whether `flag` appears anywhere on the command line.
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// The operand following `flag`, if present and not itself a flag.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|p| args.get(p + 1))
+        .filter(|a| !a.starts_with('-'))
+}
+
+/// The numeric operand of `flag`; an unparseable operand is a typed error.
+fn flag_num<T: std::str::FromStr>(args: &[String], flag: &str) -> DvsResult<Option<T>> {
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(v) => v.parse::<T>().map(Some).map_err(|_| {
+            DvsError::InvalidConfig(format!("{flag} needs a non-negative integer, got {v:?}"))
+        }),
+    }
+}
+
+/// Builds the executor fault-injection config from `--inject-*` flags
+/// (shared by `repro sweep` and `repro compose`).
+fn parse_faults(args: &[String]) -> DvsResult<ExecFaults> {
+    Ok(ExecFaults {
+        panic_in_cell: flag_num(args, "--inject-panic-cell")?,
+        panic_attempts: flag_num(args, "--inject-panic-attempts")?.unwrap_or(u32::MAX),
+        crash_at_cell: flag_num(args, "--inject-crash-cell")?,
+        torn_checkpoint_write: has_flag(args, "--inject-torn-checkpoint"),
+    })
+}
+
+/// Applies `--jobs N` when it appears after the subcommand token (the
+/// normalisation loop in `main` only sees flags *before* `sweep`/`compose`).
+fn apply_jobs_flag(args: &[String]) -> DvsResult<()> {
+    if let Some(n) = flag_num::<usize>(args, "--jobs")? {
+        if n == 0 {
+            return Err(DvsError::InvalidConfig("--jobs needs a positive integer".into()));
+        }
+        sweep::set_default_jobs(n);
+    }
+    Ok(())
+}
+
+/// Builds the retry/checkpoint/fault configuration from the command line.
+fn parse_resilience(args: &[String]) -> DvsResult<ResilienceConfig> {
+    let retries: u32 = flag_num(args, "--retries")?.unwrap_or(RetryPolicy::default().max_attempts);
+    let checkpoint = flag_value(args, "--checkpoint").map(|path| -> DvsResult<CheckpointConfig> {
+        Ok(CheckpointConfig {
+            path: path.clone(),
+            cadence: flag_num(args, "--cadence")?.unwrap_or(1),
+            resume: has_flag(args, "--resume"),
+        })
+    });
+    Ok(ResilienceConfig {
+        retry: RetryPolicy { max_attempts: retries.max(1) },
+        checkpoint: checkpoint.transpose()?,
+        faults: parse_faults(args)?,
+    })
+}
+
+/// Runs `repro sweep`: the suite measured through the resilient executor,
+/// with retry/quarantine, optional checkpoint/resume, and fault injection.
+/// Returns the rendered output plus whether any cell was quarantined (the
+/// caller maps that to exit code 2).
+fn run_sweep(args: &[String]) -> DvsResult<(String, bool)> {
+    apply_jobs_flag(args)?;
+    let tiny = has_flag(args, "--tiny");
+    let quick = has_flag(args, "--quick");
+    let cfg = parse_resilience(args)?;
+    let mode = match flag_value(args, "--mode").map(String::as_str) {
+        Some("full") => SweepMode::FullRecords,
+        Some("aggregate") | None => SweepMode::Aggregate,
+        Some(other) => {
+            return Err(DvsError::InvalidConfig(format!(
+                "--mode must be aggregate or full, got {other:?}"
+            )))
+        }
+    };
+    let (specs, ladder, label) = if tiny {
+        (tiny_suite(), vec![4usize, 5], "tiny resilient sweep".to_string())
+    } else {
+        let specs = sweepbench::bench_specs(quick);
+        let label = if quick {
+            "resilient sweep (quick: every 5th case)".to_string()
+        } else {
+            "resilient sweep (suite75)".to_string()
+        };
+        (specs, sweepbench::DEFAULT_LADDER.to_vec(), label)
+    };
+    let baseline_buffers = 3;
+    let cache = GridCache::for_suite(&specs, baseline_buffers);
+    let out = run_suite_resilient(
+        &label,
+        &specs,
+        baseline_buffers,
+        &ladder,
+        sweep::default_jobs(),
+        mode,
+        Some(&cache),
+        &cfg,
+    )?;
+    let mut text = out.render();
+    if let Some(pos) = args.iter().position(|a| a == "--emit-json") {
+        let path = match args.get(pos + 1) {
+            Some(next) if !next.starts_with('-') => next.clone(),
+            _ => "sweep_report.json".to_string(),
+        };
+        // The emitted artifact is the byte-identity surface: identical for
+        // interrupted+resumed and uninterrupted runs at any --jobs value.
+        write_text(Path::new(&path), &(out.report.to_json() + "\n"))?;
+        text.push_str(&format!("wrote {path}\n"));
+    }
+    Ok((text, out.degraded()))
+}
+
+/// Runs `repro compose` through the resilient executor: a panicking
+/// compositor scenario retries and quarantines instead of aborting, and
+/// quarantined scenarios map to exit code 2.
+fn run_compose(args: &[String]) -> DvsResult<(String, bool)> {
+    apply_jobs_flag(args)?;
+    let cfg = parse_resilience(args)?;
+    let out = run_compose_resilient(sweep::default_jobs(), &cfg)?;
+    let mut text = out.render();
+    if let Some(pos) = args.iter().position(|a| a == "--emit-json") {
+        let path = match args.get(pos + 1) {
+            Some(next) if !next.starts_with('-') => next.clone(),
+            _ => "compose_report.json".to_string(),
+        };
+        let json = serde_json::to_string_pretty(&out)
+            .map_err(|e| DvsError::InvalidConfig(e.to_string()))?;
+        write_text(Path::new(&path), &(json + "\n"))?;
+        text.push_str(&format!("wrote {path}\n"));
+    }
+    Ok((text, out.degraded()))
+}
+
+/// Maps a tri-state outcome to the process exit code: 0 clean, 2 completed
+/// with quarantined cells (degradation, not failure — CI distinguishes the
+/// two), and the caller maps hard errors to 1.
+fn exit_tristate(result: DvsResult<(String, bool)>) -> ExitCode {
+    match result {
+        Ok((text, degraded)) => {
+            print!("{text}");
+            if degraded {
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -492,6 +668,8 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "sweep" => return exit_tristate(run_sweep(&args)),
+            "compose" => return exit_tristate(run_compose(&args)),
             "lint" => {
                 return match run_lint(&args) {
                     Ok((text, dirty)) => {

@@ -19,8 +19,10 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use dvs_sim::{DvsError, DvsResult};
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{io_error, read_text};
 use crate::suite::SuiteResult;
 use crate::suite75::Census;
 
@@ -262,9 +264,12 @@ pub fn compare_census(actual: &GoldenCensus, golden: &GoldenCensus, tol: Toleran
 /// Checks `actual` against the golden at `path`, honouring `REGEN_GOLDEN=1`.
 ///
 /// With regeneration requested the file is (re)written and the check passes;
-/// otherwise the golden is loaded and compared via `compare`. A missing
-/// golden is an error pointing at the regeneration command.
-pub fn check_against<T, F>(path: &Path, actual: &T, compare: F) -> Result<(), String>
+/// otherwise the golden is loaded and compared via `compare`. Failures are
+/// typed: a missing file is [`DvsError::Io`] (the detail names the
+/// regeneration command), an unparseable golden is
+/// [`DvsError::InvalidConfig`], and tolerance violations are
+/// [`DvsError::GoldenMismatch`] carrying the full violation list.
+pub fn check_against<T, F>(path: &Path, actual: &T, compare: F) -> DvsResult<()>
 where
     T: Serialize + serde::DeserializeOwned,
     F: Fn(&T, &T) -> Vec<String>,
@@ -272,36 +277,44 @@ where
     if regen_requested() {
         return write_golden(path, actual);
     }
-    let text = fs::read_to_string(path).map_err(|e| {
-        format!(
-            "missing golden {}: {e}\nregenerate with REGEN_GOLDEN=1 cargo test -p dvs-bench",
-            path.display()
-        )
+    let text = read_text(path).map_err(|e| match e {
+        DvsError::Io { path, op, detail } => DvsError::Io {
+            path,
+            op,
+            detail: format!(
+                "{detail} (missing golden? regenerate with REGEN_GOLDEN=1 cargo test -p dvs-bench)"
+            ),
+        },
+        other => other,
     })?;
-    let golden: T =
-        serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    let golden: T = serde_json::from_str(&text).map_err(|e| {
+        DvsError::InvalidConfig(format!("golden {} does not parse: {e}", path.display()))
+    })?;
     let diffs = compare(actual, &golden);
     if diffs.is_empty() {
         Ok(())
     } else {
-        Err(format!(
-            "golden mismatch against {} ({} violations):\n  {}\n\
-             if intentional, regenerate with REGEN_GOLDEN=1 and review the diff",
-            path.display(),
-            diffs.len(),
-            diffs.join("\n  ")
-        ))
+        Err(DvsError::GoldenMismatch {
+            path: path.display().to_string(),
+            detail: format!(
+                "{} violations:\n  {}\n\
+                 if intentional, regenerate with REGEN_GOLDEN=1 and review the diff",
+                diffs.len(),
+                diffs.join("\n  ")
+            ),
+        })
     }
 }
 
 /// Writes `value` as pretty JSON to `path`, creating parent directories.
-pub fn write_golden<T: Serialize>(path: &Path, value: &T) -> Result<(), String> {
+pub fn write_golden<T: Serialize>(path: &Path, value: &T) -> DvsResult<()> {
     if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent).map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
+        fs::create_dir_all(parent).map_err(|e| io_error(parent, "create dir", e))?;
     }
-    let mut text = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    let mut text = serde_json::to_string_pretty(value)
+        .map_err(|e| DvsError::InvalidConfig(format!("golden serialization: {e}")))?;
     text.push('\n');
-    fs::write(path, text).map_err(|e| format!("write {}: {e}", path.display()))
+    fs::write(path, text).map_err(|e| io_error(path, "write", e))
 }
 
 #[cfg(test)]

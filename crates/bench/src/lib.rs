@@ -11,6 +11,7 @@
 
 pub mod ablation;
 pub mod alloc_track;
+pub mod checkpoint;
 pub mod compose;
 pub mod costs;
 pub mod faultmatrix;
@@ -30,6 +31,7 @@ pub mod fig16_map;
 pub mod fps_report;
 pub mod golden;
 pub mod power;
+pub mod resilient;
 pub mod sec66_chromium;
 pub mod simcore;
 pub mod suite;
@@ -39,6 +41,11 @@ pub mod sweepbench;
 pub mod table1_devices;
 pub mod table2_stutters;
 
+pub use checkpoint::{CellSlot, Checkpoint, QuarantinedSlot, CHECKPOINT_VERSION};
+pub use resilient::{
+    grid_fingerprint, run_compose_resilient, run_suite_resilient, tiny_suite, CheckpointConfig,
+    ExecFaults, ResilienceConfig, ResilientCompose, ResilientSweep, RetryPolicy, SweepReport,
+};
 pub use suite::{run_suite, SuiteResult, SuiteRow};
 pub use sweep::{
     run_suite_cached, run_suite_jobs, FittedScenario, GridCache, PacerKind, SuiteSweep, SweepCell,

@@ -303,7 +303,7 @@ pub struct FittedScenario {
 
 impl FittedScenario {
     /// The baseline cell's metrics, computed through `arena` on first use.
-    fn baseline_metrics(
+    pub(crate) fn baseline_metrics(
         &self,
         cell: &SweepCell,
         mode: SweepMode,
@@ -459,10 +459,15 @@ impl SuiteSweep {
 }
 
 /// One cell's row contribution (the only data a suite grid keeps per cell).
-#[derive(Clone, Copy, Debug)]
-struct CellMetrics {
-    fdps: f64,
-    latency_ms: f64,
+///
+/// Crate-visible (and serde-capable) so the resilient executor can persist a
+/// completed cell into a checkpoint and restore it exactly: the vendored
+/// `serde_json` prints `f64` via the shortest round-trip `Display`, so a
+/// serialize→parse cycle reproduces these fields bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub(crate) struct CellMetrics {
+    pub(crate) fdps: f64,
+    pub(crate) latency_ms: f64,
 }
 
 /// Runs one cell's segments into `out` with the cell's pacer.
@@ -501,7 +506,7 @@ fn run_cell_into(
 }
 
 /// Executes one cell under the selected reporting mode.
-fn run_cell(
+pub(crate) fn run_cell(
     cell: &SweepCell,
     spec: &ScenarioSpec,
     segments: &[FrameTrace],
@@ -566,23 +571,7 @@ pub fn run_suite_cached(
 
     // Pass 1: one calibration cell per scenario (the bisection dominates a
     // suite's cost, so it parallelises first and independently).
-    let fitted: Vec<Arc<FittedScenario>> = match cache {
-        Some(cache) => {
-            engine.run_with(specs.len(), RunArena::new, |arena, i| cache.fitted(specs, i, arena))
-        }
-        None => engine.run(specs.len(), |i| {
-            // No shared cache: the classic path — calibration allocates
-            // fresh run state per measure, and cells regenerate their own
-            // segments (the entry carries none).
-            let spec = dvs_pipeline::calibrate_spec(&specs[i], baseline_buffers).spec;
-            Arc::new(FittedScenario {
-                seed: specs[i].seed,
-                spec,
-                segments: Vec::new(),
-                baseline: OnceLock::new(),
-            })
-        }),
-    };
+    let fitted = calibrate_pass(&engine, specs, baseline_buffers, cache);
 
     // Pass 2: the measurement grid over the calibrated specs.
     let grid = SweepGrid::for_scenarios(
@@ -607,9 +596,62 @@ pub fn run_suite_cached(
         }
     });
 
-    // Assemble rows in scenario order from the index-stable metric slots.
+    let rows = assemble_rows(&fitted, &grid, &metrics);
+    SuiteSweep {
+        result: SuiteResult {
+            label: label.to_string(),
+            baseline_buffers,
+            dvsync_buffers: dvsync_buffers.to_vec(),
+            rows,
+        },
+        stats: cache.map(GridCache::stats).unwrap_or_default(),
+    }
+}
+
+/// The calibration pass shared by the cached and resilient sweep runners:
+/// one calibration cell per scenario, through the cache when one is given.
+///
+/// This pass is *not* a cell failure domain — a panic here aborts the sweep
+/// (see "Failure domains" in `docs/SIMULATOR-INTERNALS.md`): calibration
+/// artifacts are shared by every cell of a scenario, so there is no
+/// per-cell blast radius to contain.
+pub(crate) fn calibrate_pass(
+    engine: &SweepEngine,
+    specs: &[ScenarioSpec],
+    baseline_buffers: usize,
+    cache: Option<&GridCache>,
+) -> Vec<Arc<FittedScenario>> {
+    match cache {
+        Some(cache) => {
+            engine.run_with(specs.len(), RunArena::new, |arena, i| cache.fitted(specs, i, arena))
+        }
+        None => engine.run(specs.len(), |i| {
+            // No shared cache: the classic path — calibration allocates
+            // fresh run state per measure, and cells regenerate their own
+            // segments (the entry carries none).
+            let spec = dvs_pipeline::calibrate_spec(&specs[i], baseline_buffers).spec;
+            Arc::new(FittedScenario {
+                seed: specs[i].seed,
+                spec,
+                segments: Vec::new(),
+                baseline: OnceLock::new(),
+            })
+        }),
+    }
+}
+
+/// Assembles suite rows in scenario order from index-stable metric slots.
+///
+/// Shared by the cached and resilient sweep paths: given the same metrics,
+/// both produce the same rows, so a resumed resilient sweep's report is
+/// byte-identical to this function's output over a clean run.
+pub(crate) fn assemble_rows(
+    fitted: &[Arc<FittedScenario>],
+    grid: &SweepGrid,
+    metrics: &[CellMetrics],
+) -> Vec<SuiteRow> {
     let per = grid.cells_per_scenario();
-    let rows = fitted
+    fitted
         .iter()
         .enumerate()
         .map(|(s, entry)| {
@@ -625,16 +667,7 @@ pub fn run_suite_cached(
                 dvsync_latency_ms: dvs.first().map(|m| m.latency_ms).unwrap_or(0.0),
             }
         })
-        .collect();
-    SuiteSweep {
-        result: SuiteResult {
-            label: label.to_string(),
-            baseline_buffers,
-            dvsync_buffers: dvsync_buffers.to_vec(),
-            rows,
-        },
-        stats: cache.map(GridCache::stats).unwrap_or_default(),
-    }
+        .collect()
 }
 
 /// Calibrates and measures a suite through the sweep engine.

@@ -26,6 +26,7 @@ use dvs_workload::ScenarioSpec;
 use serde::{Deserialize, Serialize};
 
 use crate::alloc_track;
+use crate::resilient::{run_suite_resilient, ResilienceConfig};
 use crate::sweep::{run_suite_cached, GridCache, SweepMode, SweepStats};
 
 /// Throughput of one sweep arm over the ladder workload.
@@ -65,8 +66,19 @@ pub struct SweepBench {
     pub classic: SweepThroughput,
     /// The optimized arm: shared cache, pooled arenas, streaming aggregates.
     pub optimized: SweepThroughput,
+    /// The resilient arm: the optimized pipeline behind the resilient
+    /// executor — `catch_unwind` per cell, retry budget armed, checkpoint
+    /// cadence 0 (disabled) — measuring what the resilience plumbing costs
+    /// when no fault fires.
+    pub resilient: SweepThroughput,
     /// `optimized.cells_per_sec / classic.cells_per_sec`.
     pub speedup: f64,
+    /// `resilient.cells_per_sec / classic.cells_per_sec` — must clear the
+    /// same floor as the optimized arm.
+    pub resilient_speedup: f64,
+    /// Resilience plumbing cost relative to the optimized arm, in percent
+    /// (`(resilient.elapsed / optimized.elapsed − 1) × 100`; expected <2%).
+    pub resilience_overhead_pct: f64,
     /// Grid-cache lookups served without recalibrating.
     pub cache_hits: u64,
     /// Grid-cache lookups that calibrated (one per scenario).
@@ -159,10 +171,43 @@ pub fn run_ladder(
     let optimized_elapsed = start.elapsed().as_secs_f64().max(1e-9);
     let optimized_alloc = alloc_track::delta_since(alloc_start);
 
+    // Resilient arm: the optimized configuration executed by the resilient
+    // layer with no faults injected and checkpointing disabled (cadence 0) —
+    // isolating the cost of per-cell catch_unwind and completion publishing.
+    // Its own fresh cache keeps the optimized arm's cache counters clean.
+    let alloc_start = alloc_track::snapshot();
+    let start = Instant::now();
+    let resilient_cache = GridCache::for_suite(specs, BASELINE_BUFFERS);
+    let resilient_results: Vec<String> = ladder
+        .iter()
+        .cycle()
+        .take(ladder.len() * reps)
+        .map(|&b| {
+            let sweep = run_suite_resilient(
+                &format!("{suite} — {b} buffers"),
+                specs,
+                BASELINE_BUFFERS,
+                &[b],
+                1,
+                SweepMode::Aggregate,
+                Some(&resilient_cache),
+                &ResilienceConfig::default(),
+            )
+            .expect("resilient arm cannot fail without injected faults");
+            serde_json::to_string(&sweep.report.result).expect("suite results serialise")
+        })
+        .collect();
+    let resilient_elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let resilient_alloc = alloc_track::delta_since(alloc_start);
+
     for (i, (classic, optimized)) in classic_results.iter().zip(&optimized_results).enumerate() {
         assert_eq!(
             classic, optimized,
             "ladder call {i}: optimized rows diverged from the classic rows"
+        );
+        assert_eq!(
+            classic, &resilient_results[i],
+            "ladder call {i}: resilient rows diverged from the classic rows"
         );
     }
 
@@ -184,7 +229,18 @@ pub fn run_ladder(
         bytes_allocated: optimized_alloc.bytes,
         allocations: optimized_alloc.allocs,
     };
+    let resilient = SweepThroughput {
+        mode: "resilient (optimized + catch_unwind, checkpoint off)".to_string(),
+        calls: ladder.len() * reps,
+        cells,
+        elapsed_secs: resilient_elapsed,
+        cells_per_sec: cells as f64 / resilient_elapsed,
+        bytes_allocated: resilient_alloc.bytes,
+        allocations: resilient_alloc.allocs,
+    };
     let speedup = optimized.cells_per_sec / classic.cells_per_sec.max(1e-9);
+    let resilient_speedup = resilient.cells_per_sec / classic.cells_per_sec.max(1e-9);
+    let resilience_overhead_pct = (resilient_elapsed / optimized_elapsed.max(1e-9) - 1.0) * 100.0;
     SweepBench {
         suite: suite.to_string(),
         quick,
@@ -193,7 +249,10 @@ pub fn run_ladder(
         ladder: ladder.to_vec(),
         classic,
         optimized,
+        resilient,
         speedup,
+        resilient_speedup,
+        resilience_overhead_pct,
         cache_hits: stats.cache_hits,
         cache_misses: stats.cache_misses,
     }
@@ -224,13 +283,17 @@ pub fn render(b: &SweepBench) -> String {
         "{:<52} {:>12} {:>14} {:>16} {:>12}\n",
         "arm", "elapsed (s)", "cells/sec", "bytes alloc'd", "allocs"
     ));
-    for arm in [&b.classic, &b.optimized] {
+    for arm in [&b.classic, &b.optimized, &b.resilient] {
         out.push_str(&format!(
             "{:<52} {:>12.4} {:>14.1} {:>16} {:>12}\n",
             arm.mode, arm.elapsed_secs, arm.cells_per_sec, arm.bytes_allocated, arm.allocations
         ));
     }
     out.push_str(&format!("speedup (cells/sec): {:.1}x\n", b.speedup));
+    out.push_str(&format!(
+        "resilient speedup: {:.1}x (plumbing overhead vs optimized: {:+.2}%)\n",
+        b.resilient_speedup, b.resilience_overhead_pct
+    ));
     out.push_str(&format!("trace cache: {} hits, {} misses\n", b.cache_hits, b.cache_misses));
     out
 }
@@ -256,6 +319,22 @@ pub fn check(current: &SweepBench, baseline: &SweepBench) -> Result<String, Stri
             current.speedup
         ));
     }
+    // The resilient arm (catch_unwind + disabled checkpointing on top of the
+    // optimized pipeline) must clear the same in-run floor: if the plumbing
+    // were expensive, this is the gate that catches it. The measured
+    // percentage is reported rather than hard-gated — a <2% figure is the
+    // expectation, but wall-clock percentages that small are runner noise.
+    if current.resilient_speedup < CELLS_SPEEDUP_FLOOR {
+        return Err(format!(
+            "resilient-arm speedup {:.1}x is below the {CELLS_SPEEDUP_FLOOR}x acceptance floor \
+             (resilience plumbing overhead {:+.2}% vs optimized)",
+            current.resilient_speedup, current.resilience_overhead_pct
+        ));
+    }
+    notes.push_str(&format!(
+        "resilience plumbing overhead vs optimized: {:+.2}% (floor-gated at {:.1}x)\n",
+        current.resilience_overhead_pct, current.resilient_speedup
+    ));
     if current.classic.bytes_allocated > 0 && current.optimized.bytes_allocated > 0 {
         if current.optimized.bytes_allocated >= current.classic.bytes_allocated {
             return Err(format!(
@@ -349,14 +428,22 @@ mod tests {
             ladder: vec![4, 5, 6, 7],
             classic: arm(100.0, 1_000_000),
             optimized: arm(100.0 * speedup, opt_bytes),
+            resilient: arm(99.0 * speedup, opt_bytes),
             speedup,
+            resilient_speedup: 0.99 * speedup,
+            resilience_overhead_pct: 1.0,
             cache_hits: 225,
             cache_misses: 75,
         };
         let good = bench(4.0, 200_000, false);
         assert!(check(&good, &good).is_ok());
+        assert!(check(&good, &good).unwrap().contains("resilience plumbing overhead"));
         // Below the absolute floor.
         assert!(check(&bench(2.5, 200_000, false), &good).is_err());
+        // Resilient arm below the floor while the optimized arm clears it.
+        let mut slow_resilient = good.clone();
+        slow_resilient.resilient_speedup = 2.0;
+        assert!(check(&slow_resilient, &good).is_err());
         // Optimized arm allocating more than classic.
         assert!(check(&bench(4.0, 2_000_000, false), &good).is_err());
         // >20% speedup regression vs baseline.

@@ -60,5 +60,6 @@ fn injected_perturbation_fails_golden() {
     perturbed.rows[0].baseline_fdps += 10.0 * Tolerance::default().fdps;
     let err = check_against(&path, &perturbed, |a, g| compare_suite(a, g, Tolerance::default()))
         .unwrap_err();
-    assert!(err.contains("golden mismatch"), "{err}");
+    assert!(matches!(err, dvs_sim::DvsError::GoldenMismatch { .. }), "{err}");
+    assert!(err.to_string().contains("golden mismatch"), "{err}");
 }

@@ -19,6 +19,7 @@ mod chrome_trace;
 mod composite;
 mod fps;
 mod power;
+mod quarantine;
 mod record;
 mod stats;
 mod stutter;
@@ -29,6 +30,7 @@ pub use chrome_trace::chrome_trace_json;
 pub use composite::{CompositeReport, InterferenceRow, SurfaceReport};
 pub use fps::{average_fps, fps_series, min_window_fps};
 pub use power::{EnergyBreakdown, InstructionModel, PowerModel, FPE_DTV_EXEC_PER_FRAME};
+pub use quarantine::{PartialAccounting, QuarantineEntry, QuarantineReport};
 pub use record::{
     FaultClass, FaultRecord, FrameDistribution, FrameKind, FrameRecord, JankEvent, ModeTransition,
     PacerMode, RunReport,

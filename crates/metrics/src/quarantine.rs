@@ -1,0 +1,157 @@
+//! Partial-failure accounting for resilient sweeps.
+//!
+//! At fleet scale a sweep's common failure mode is *partial*: one cell out
+//! of millions panics or keeps panicking, and the run must complete anyway
+//! with the damage accounted for, not abort. The resilient executor (in
+//! `dvs-bench`) converts caught panics into retries and, when a cell
+//! exhausts its attempt budget, into a [`QuarantineEntry`]. The final report
+//! carries the [`QuarantineReport`] plus a [`PartialAccounting`] so a caller
+//! (or CI) can distinguish "everything measured" from "completed with
+//! quarantined cells" — the `repro` CLI maps the latter to exit code 2.
+//!
+//! Everything here is deterministic data: entries are keyed by cell index
+//! and assembled in index order, never in completion order, so two runs of
+//! the same grid (at any worker count, interrupted or not) serialize to the
+//! same bytes.
+
+use serde::{Deserialize, Serialize};
+
+/// One cell that exhausted its retry budget and was excluded from the
+/// sweep's measured results.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// The cell's index in its grid (the stable identity resume works by).
+    pub cell_index: usize,
+    /// The cell's human-readable key (`scenario|pacer|Nbuf|Nhz`).
+    pub key: String,
+    /// How many attempts were made before quarantining (>= 1).
+    pub attempts: u32,
+    /// The failure cause of the last attempt (panic payload or error text).
+    pub cause: String,
+}
+
+/// Every quarantined cell of a sweep, in cell-index order.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineReport {
+    /// Quarantined cells, sorted by `cell_index`.
+    pub entries: Vec<QuarantineEntry>,
+}
+
+impl QuarantineReport {
+    /// An empty report (the clean-run case).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any cell was quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of quarantined cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Renders the quarantine list as indented text lines (empty string for
+    /// a clean run).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!(
+                "  quarantined cell {} ({}): {} attempts, last cause: {}\n",
+                e.cell_index, e.key, e.attempts, e.cause
+            ));
+        }
+        out
+    }
+}
+
+/// The explicit completion ledger of a resilient sweep: every cell of the
+/// grid is either measured or quarantined, and the two counts must sum to
+/// the total — [`PartialAccounting::is_consistent`] checks that invariant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialAccounting {
+    /// Cells in the grid.
+    pub cells_total: usize,
+    /// Cells that produced a measurement (possibly after retries).
+    pub cells_ok: usize,
+    /// Cells that exhausted retries and were quarantined.
+    pub cells_quarantined: usize,
+    /// Cells whose first attempt failed but a retry succeeded.
+    pub cells_retried: usize,
+    /// Cells restored from a checkpoint instead of re-executed.
+    pub cells_resumed: usize,
+}
+
+impl PartialAccounting {
+    /// Whether every cell is accounted for (measured or quarantined).
+    pub fn is_consistent(&self) -> bool {
+        self.cells_ok + self.cells_quarantined == self.cells_total
+    }
+
+    /// One-line summary (`"resilience: 148/150 cells ok, 2 quarantined, …"`).
+    pub fn render(&self) -> String {
+        format!(
+            "resilience: {}/{} cells ok, {} quarantined, {} recovered by retry, \
+             {} resumed from checkpoint\n",
+            self.cells_ok,
+            self.cells_total,
+            self.cells_quarantined,
+            self.cells_retried,
+            self.cells_resumed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(i: usize) -> QuarantineEntry {
+        QuarantineEntry {
+            cell_index: i,
+            key: format!("scenario|dvsync|{i}buf|60hz"),
+            attempts: 3,
+            cause: "injected panic".into(),
+        }
+    }
+
+    #[test]
+    fn report_renders_every_entry() {
+        let report = QuarantineReport { entries: vec![entry(4), entry(9)] };
+        assert_eq!(report.len(), 2);
+        assert!(!report.is_empty());
+        let text = report.render();
+        assert!(text.contains("cell 4") && text.contains("cell 9"));
+        assert!(text.contains("3 attempts"));
+        assert!(QuarantineReport::new().render().is_empty());
+    }
+
+    #[test]
+    fn accounting_consistency_checks_the_ledger() {
+        let ok = PartialAccounting {
+            cells_total: 10,
+            cells_ok: 8,
+            cells_quarantined: 2,
+            cells_retried: 1,
+            cells_resumed: 3,
+        };
+        assert!(ok.is_consistent());
+        assert!(ok.render().contains("8/10 cells ok"));
+        let bad = PartialAccounting { cells_total: 10, cells_ok: 8, ..Default::default() };
+        assert!(!bad.is_consistent());
+    }
+
+    #[test]
+    fn quarantine_round_trips_through_serde() {
+        let report = QuarantineReport { entries: vec![entry(1)] };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: QuarantineReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        let acc = PartialAccounting { cells_total: 3, cells_ok: 3, ..Default::default() };
+        let json = serde_json::to_string(&acc).unwrap();
+        let back: PartialAccounting = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, acc);
+    }
+}

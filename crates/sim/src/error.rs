@@ -50,6 +50,56 @@ pub enum DvsError {
         /// The panel's rate in Hz.
         panel_hz: u32,
     },
+    /// A sweep cell panicked; the panic was caught at the cell boundary and
+    /// converted into this typed failure instead of poisoning the worker
+    /// pool. Carries the cell's stable key and the panic payload text.
+    CellFailed {
+        /// The failing cell's stable key (`scenario|pacer|Nbuf|Nhz`).
+        key: String,
+        /// The panic payload (or error text) of the failed attempt.
+        cause: String,
+    },
+    /// A filesystem operation failed; carries the path and the operation so
+    /// checkpoint and golden failures report actionable context.
+    Io {
+        /// The file or directory the operation targeted.
+        path: String,
+        /// What was being done (`"read"`, `"write"`, `"create dir"`, …).
+        op: String,
+        /// The underlying OS error text.
+        detail: String,
+    },
+    /// A checkpoint file exists but its contents fail validation (torn or
+    /// short write, bad checksum, unparseable payload).
+    CheckpointCorrupt {
+        /// The checkpoint file.
+        path: String,
+        /// What failed to validate.
+        detail: String,
+    },
+    /// A checkpoint parsed cleanly but was written by an incompatible
+    /// version or for a different grid (fingerprint mismatch).
+    CheckpointIncompatible {
+        /// The checkpoint file.
+        path: String,
+        /// The version/fingerprint disagreement, spelled out.
+        detail: String,
+    },
+    /// A sweep stopped before completing its grid (an injected kill point or
+    /// an operator interrupt); progress up to the last checkpoint survives.
+    SweepInterrupted {
+        /// Cells completed when the run stopped.
+        completed: usize,
+        /// Cells in the grid.
+        total: usize,
+    },
+    /// A golden comparison found violations (the message lists them).
+    GoldenMismatch {
+        /// The golden file compared against.
+        path: String,
+        /// The rendered violation list.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DvsError {
@@ -74,6 +124,24 @@ impl fmt::Display for DvsError {
             }
             DvsError::SurfaceRateMismatch { surface_hz, panel_hz } => {
                 write!(f, "surface rate {surface_hz} Hz and panel rate {panel_hz} Hz must agree")
+            }
+            DvsError::CellFailed { key, cause } => {
+                write!(f, "sweep cell {key} failed: {cause}")
+            }
+            DvsError::Io { path, op, detail } => {
+                write!(f, "could not {op} {path}: {detail}")
+            }
+            DvsError::CheckpointCorrupt { path, detail } => {
+                write!(f, "checkpoint {path} is corrupt: {detail}")
+            }
+            DvsError::CheckpointIncompatible { path, detail } => {
+                write!(f, "checkpoint {path} is incompatible: {detail}")
+            }
+            DvsError::SweepInterrupted { completed, total } => {
+                write!(f, "sweep interrupted after {completed} of {total} cells")
+            }
+            DvsError::GoldenMismatch { path, detail } => {
+                write!(f, "golden mismatch against {path}:\n{detail}")
             }
         }
     }
@@ -102,6 +170,22 @@ mod tests {
         assert!(DvsError::DuplicateSurface("video".into()).to_string().contains("video"));
         let e = DvsError::SurfaceRateMismatch { surface_hz: 60, panel_hz: 120 };
         assert!(e.to_string().contains("60") && e.to_string().contains("120"));
+        let e = DvsError::CellFailed { key: "app|dvsync|5buf|60hz".into(), cause: "boom".into() };
+        assert!(e.to_string().contains("app|dvsync|5buf|60hz") && e.to_string().contains("boom"));
+        let e = DvsError::Io {
+            path: "/tmp/x.json".into(),
+            op: "write".into(),
+            detail: "denied".into(),
+        };
+        assert!(e.to_string().contains("write") && e.to_string().contains("/tmp/x.json"));
+        let e = DvsError::CheckpointCorrupt { path: "c.json".into(), detail: "short".into() };
+        assert!(e.to_string().contains("corrupt") && e.to_string().contains("c.json"));
+        let e = DvsError::CheckpointIncompatible { path: "c.json".into(), detail: "v9".into() };
+        assert!(e.to_string().contains("incompatible") && e.to_string().contains("v9"));
+        let e = DvsError::SweepInterrupted { completed: 3, total: 8 };
+        assert!(e.to_string().contains("3") && e.to_string().contains("8"));
+        let e = DvsError::GoldenMismatch { path: "g.json".into(), detail: "fdps".into() };
+        assert!(e.to_string().contains("golden mismatch") && e.to_string().contains("g.json"));
     }
 
     #[test]
