@@ -22,6 +22,7 @@ use std::process::ExitCode;
 use dvs_bench::checkpoint::{read_text, write_text};
 use dvs_bench::*;
 use dvs_sim::{DvsError, DvsResult};
+use dvs_workload::FleetSpec;
 
 /// Counts every heap allocation into [`dvs_bench::alloc_track`], so the
 /// sweep benchmark can gate the pooled path on allocating *less*, not just
@@ -343,6 +344,19 @@ fn usage(jobs: &[Job]) -> String {
          \x20                 # --inject-crash-cell K, --inject-torn-checkpoint\n\
          \x20      repro compose [--retries N] [--emit-json [path]] [--jobs N]\n\
          \x20                 # multi-surface compositor suite under the same executor\n\
+         \x20      repro fleet [--tiny|--quick] [--devices N] [--frames N] [--shards N]\n\
+         \x20                 [--engine batched|per-device] [--jobs N] [--retries N]\n\
+         \x20                 [--checkpoint <path> [--cadence K] [--resume]]\n\
+         \x20                 [--emit-json [path]]\n\
+         \x20                 # population-scale fleet simulation: shards of the seeded\n\
+         \x20                 # device space run as resilient-executor cells and reduce\n\
+         \x20                 # to mergeable sketches; the report is byte-identical for\n\
+         \x20                 # any --jobs/--shards/--engine (docs/fleet.md). Same\n\
+         \x20                 # --inject-* fault taps as repro sweep\n\
+         \x20      repro fleet --bench [--quick] [--emit-json [path]] [--check <baseline>]\n\
+         \x20                 # fleet throughput: SoA batch kernel vs per-device oracle,\n\
+         \x20                 # floor-gated at 1M simulated devices/minute (--check\n\
+         \x20                 # implies --bench; --emit-json defaults to BENCH_fleet.json)\n\
          \x20      --jobs N   sweep worker count (default: available parallelism;\n\
          \x20                 1 = sequential reference path; output identical for all N)\n\n\
          exit codes: 0 clean; 1 hard error; 2 completed with quarantined cells\n\n\
@@ -620,6 +634,98 @@ fn run_compose(args: &[String]) -> DvsResult<(String, bool)> {
     Ok((text, out.degraded()))
 }
 
+/// Runs `repro fleet`: a seeded device population through the resilient
+/// executor (shards as cells), reduced to mergeable sketches. With
+/// `--bench` (or `--check`, which implies it) runs the throughput
+/// comparison instead and gates against a committed baseline.
+fn run_fleet(args: &[String]) -> DvsResult<(String, bool)> {
+    if has_flag(args, "--bench") || has_flag(args, "--check") {
+        return run_fleet_bench(args).map(|text| (text, false));
+    }
+    apply_jobs_flag(args)?;
+    let cfg = parse_resilience(args)?;
+    let tiny = has_flag(args, "--tiny");
+    let quick = has_flag(args, "--quick");
+    let frames: usize = flag_num(args, "--frames")?.unwrap_or(if tiny {
+        24
+    } else {
+        fleetbench::FRAMES_PER_DEVICE
+    });
+    let devices: u64 = flag_num(args, "--devices")?.unwrap_or(if tiny {
+        96
+    } else if quick {
+        20_000
+    } else {
+        200_000
+    });
+    let spec = if tiny {
+        FleetSpec::tiny(devices, frames)
+    } else {
+        FleetSpec::default_population("cli", devices, frames)
+    };
+    let engine = match flag_value(args, "--engine").map(String::as_str) {
+        Some("per-device") => FleetEngine::PerDevice,
+        Some("batched") | None => FleetEngine::Batched,
+        Some(other) => {
+            return Err(DvsError::InvalidConfig(format!(
+                "--engine must be batched or per-device, got {other:?}"
+            )))
+        }
+    };
+    let jobs = sweep::default_jobs();
+    let shards: usize = flag_num(args, "--shards")?.unwrap_or_else(|| (jobs * 8).max(16));
+    let out = run_fleet_resilient(&spec, shards, jobs, engine, &cfg)?;
+    let mut text = out.render();
+    if let Some(pos) = args.iter().position(|a| a == "--emit-json") {
+        let path = match args.get(pos + 1) {
+            Some(next) if !next.starts_with('-') => next.clone(),
+            _ => "fleet_report.json".to_string(),
+        };
+        // The emitted artifact is the byte-identity surface: identical for
+        // interrupted+resumed and uninterrupted runs at any --jobs value,
+        // any shard count, and either engine.
+        write_text(Path::new(&path), &(out.report.to_json()? + "\n"))?;
+        text.push_str(&format!("wrote {path}\n"));
+    }
+    Ok((text, out.degraded()))
+}
+
+/// The `repro fleet --bench` arm: mirrors `repro bench` flag handling.
+fn run_fleet_bench(args: &[String]) -> DvsResult<String> {
+    let quick = has_flag(args, "--quick");
+    let emit: Option<String> =
+        args.iter().position(|a| a == "--emit-json").map(|p| match args.get(p + 1) {
+            Some(next) if !next.starts_with('-') => next.clone(),
+            _ => "BENCH_fleet.json".to_string(),
+        });
+    let check_path: Option<&String> = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|p| args.get(p + 1))
+        .filter(|a| !a.starts_with('-'));
+    let result = fleetbench::run(quick);
+    let notes = match check_path {
+        Some(path) => {
+            let json = read_text(Path::new(path))?;
+            let baseline: FleetBench = serde_json::from_str(&json)
+                .map_err(|e| DvsError::InvalidConfig(format!("parse {path}: {e}")))?;
+            Some(fleetbench::check(&result, &baseline).map_err(DvsError::InvalidConfig)?)
+        }
+        None => None,
+    };
+    let mut out = fleetbench::render(&result);
+    if let Some(path) = emit {
+        let json = serde_json::to_string_pretty(&result)
+            .map_err(|e| DvsError::InvalidConfig(e.to_string()))?;
+        write_text(Path::new(&path), &(json + "\n"))?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    if let Some(notes) = notes {
+        out.push_str(&notes);
+    }
+    Ok(out)
+}
+
 /// Maps a tri-state outcome to the process exit code: 0 clean, 2 completed
 /// with quarantined cells (degradation, not failure — CI distinguishes the
 /// two), and the caller maps hard errors to 1.
@@ -670,6 +776,7 @@ fn main() -> ExitCode {
             }
             "sweep" => return exit_tristate(run_sweep(&args)),
             "compose" => return exit_tristate(run_compose(&args)),
+            "fleet" => return exit_tristate(run_fleet(&args)),
             "lint" => {
                 return match run_lint(&args) {
                     Ok((text, dirty)) => {

@@ -143,6 +143,120 @@ impl GoldenCensus {
     }
 }
 
+/// Absolute tolerances for fleet golden comparisons, one per metric. The
+/// defaults are one sketch-grid bin width each: quantiles read off the grid
+/// are bin-edge values, so a one-bin shift is the smallest real movement.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FleetTolerance {
+    /// Slack on FDPS figures (grid: 0–25 over 500 bins).
+    pub fdps: f64,
+    /// Slack on latency figures in ms (grid: 0–200 over 400 bins).
+    pub latency_ms: f64,
+    /// Slack on energy figures in mJ (grid: 0–50 000 over 500 bins).
+    pub energy_mj: f64,
+}
+
+impl Default for FleetTolerance {
+    fn default() -> Self {
+        FleetTolerance { fdps: 0.05, latency_ms: 0.5, energy_mj: 100.0 }
+    }
+}
+
+/// One fleet metric's canonical distribution figures.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GoldenFleetMetric {
+    /// Population mean.
+    pub mean: f64,
+    /// Median (grid quantile).
+    pub p50: f64,
+    /// 90th percentile (grid quantile).
+    pub p90: f64,
+    /// 99th percentile (grid quantile).
+    pub p99: f64,
+    /// Exact maximum.
+    pub max: f64,
+}
+
+impl GoldenFleetMetric {
+    fn from_sketch(m: &dvs_metrics::MetricSketch) -> Self {
+        GoldenFleetMetric {
+            mean: m.mean(),
+            p50: m.quantile(0.50),
+            p90: m.quantile(0.90),
+            p99: m.quantile(0.99),
+            max: m.stats.max(),
+        }
+    }
+}
+
+/// The canonical summary of a fleet report stored as a golden file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GoldenFleet {
+    /// Population label.
+    pub label: String,
+    /// Devices in the population.
+    pub devices: u64,
+    /// Frames per device.
+    pub frames_per_device: usize,
+    /// Devices actually measured (equals `devices` on clean runs).
+    pub measured: u64,
+    /// FDPS distribution.
+    pub fdps: GoldenFleetMetric,
+    /// Rendering-latency distribution (ms).
+    pub latency_ms: GoldenFleetMetric,
+    /// Per-device energy distribution (mJ).
+    pub energy_mj: GoldenFleetMetric,
+}
+
+impl From<&crate::fleet::FleetReport> for GoldenFleet {
+    fn from(r: &crate::fleet::FleetReport) -> Self {
+        GoldenFleet {
+            label: r.label.clone(),
+            devices: r.devices,
+            frames_per_device: r.frames_per_device,
+            measured: r.sketch.devices,
+            fdps: GoldenFleetMetric::from_sketch(&r.sketch.fdps),
+            latency_ms: GoldenFleetMetric::from_sketch(&r.sketch.latency_ms),
+            energy_mj: GoldenFleetMetric::from_sketch(&r.sketch.energy_mj),
+        }
+    }
+}
+
+/// Compares a fleet summary against its golden. Counts must match exactly;
+/// each metric's figures get that metric's tolerance.
+pub fn compare_fleet(
+    actual: &GoldenFleet,
+    golden: &GoldenFleet,
+    tol: FleetTolerance,
+) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if (actual.devices, actual.frames_per_device, actual.measured)
+        != (golden.devices, golden.frames_per_device, golden.measured)
+    {
+        diffs.push(format!(
+            "population shape: {}x{} ({} measured) vs golden {}x{} ({} measured)",
+            actual.devices,
+            actual.frames_per_device,
+            actual.measured,
+            golden.devices,
+            golden.frames_per_device,
+            golden.measured
+        ));
+    }
+    for (name, a, g, t) in [
+        ("fdps", &actual.fdps, &golden.fdps, tol.fdps),
+        ("latency_ms", &actual.latency_ms, &golden.latency_ms, tol.latency_ms),
+        ("energy_mj", &actual.energy_mj, &golden.energy_mj, tol.energy_mj),
+    ] {
+        near(a.mean, g.mean, t, &format!("{name} mean"), &mut diffs);
+        near(a.p50, g.p50, t, &format!("{name} p50"), &mut diffs);
+        near(a.p90, g.p90, t, &format!("{name} p90"), &mut diffs);
+        near(a.p99, g.p99, t, &format!("{name} p99"), &mut diffs);
+        near(a.max, g.max, t, &format!("{name} max"), &mut diffs);
+    }
+    diffs
+}
+
 /// The repo-root `tests/golden/` directory (canonical golden location).
 pub fn golden_dir() -> PathBuf {
     // dvs-bench lives at <repo>/crates/bench.

@@ -28,6 +28,8 @@ pub mod fig12_13_oscases;
 pub mod fig14_games;
 pub mod fig15_latency;
 pub mod fig16_map;
+pub mod fleet;
+pub mod fleetbench;
 pub mod fps_report;
 pub mod golden;
 pub mod power;
@@ -42,6 +44,11 @@ pub mod table1_devices;
 pub mod table2_stutters;
 
 pub use checkpoint::{CellSlot, Checkpoint, QuarantinedSlot, CHECKPOINT_VERSION};
+pub use fleet::{
+    fleet_fingerprint, run_fleet_resilient, run_fleet_shard, FleetEngine, FleetReport,
+    ResilientFleet, BATCH_WIDTH,
+};
+pub use fleetbench::{FleetBench, FleetThroughput, DEVICES_PER_MIN_FLOOR, FRAMES_PER_DEVICE};
 pub use resilient::{
     grid_fingerprint, run_compose_resilient, run_suite_resilient, tiny_suite, CheckpointConfig,
     ExecFaults, ResilienceConfig, ResilientCompose, ResilientSweep, RetryPolicy, SweepReport,

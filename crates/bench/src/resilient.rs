@@ -312,7 +312,7 @@ where
 /// the shared state immediately (not buffered until drain), because the
 /// checkpoint cadence needs a current view of progress at every completion.
 #[allow(clippy::too_many_arguments)]
-fn execute_cells<T, F>(
+pub(crate) fn execute_cells<T, F>(
     n: usize,
     jobs: usize,
     keys: &[String],
@@ -450,7 +450,7 @@ pub fn grid_fingerprint(
 
 /// Restores prior progress from a checkpoint, if configured and present.
 /// Returns the slot map to start from plus the resumed-cell count.
-fn restore_progress(
+pub(crate) fn restore_progress(
     cfg: &ResilienceConfig,
     fingerprint: u64,
     n: usize,

@@ -17,7 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dvs_sim::SimDuration;
+use dvs_sim::{DvsError, DvsResult, SimDuration};
 
 use crate::{FrameDistribution, FrameKind, FrameRecord, RunReport, StutterModel};
 
@@ -129,6 +129,37 @@ impl QuantileGrid {
         below as f64 / self.total as f64
     }
 
+    /// Folds another grid's counts into this one.
+    ///
+    /// Merging is exact integer addition, so it is associative and
+    /// commutative *byte-for-byte* — fleet shards can reduce in any order
+    /// (or any tree shape) and produce identical results, a property the
+    /// fleet property wall pins. Fails if the grids disagree on shape
+    /// (`lo`, `hi`, or bin count), since their bins would not line up.
+    pub fn try_merge(&mut self, other: &QuantileGrid) -> DvsResult<()> {
+        if self.lo.to_bits() != other.lo.to_bits()
+            || self.hi.to_bits() != other.hi.to_bits()
+            || self.counts.len() != other.counts.len()
+        {
+            // dvs-lint: allow(hot-alloc, reason = "error construction on the cold shape-mismatch path only")
+            return Err(DvsError::InvalidConfig(format!(
+                "cannot merge quantile grids with different shapes: \
+                 [{}, {}]x{} vs [{}, {}]x{}",
+                self.lo,
+                self.hi,
+                self.counts.len(),
+                other.lo,
+                other.hi,
+                other.counts.len()
+            )));
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += *theirs;
+        }
+        self.total += other.total;
+        Ok(())
+    }
+
     /// The smallest bin upper edge whose cumulative fraction reaches `q`
     /// (`0.0 ..= 1.0`); returns `lo` for an empty grid.
     pub fn quantile(&self, q: f64) -> f64 {
@@ -189,10 +220,12 @@ pub struct RunAggregate {
     pub stutters_perceived: usize,
 }
 
-/// Latency CDF grid: 0–200 ms in 0.5 ms bins covers every scenario in the
-/// suite (latencies beyond 200 ms clamp into the top bin).
-const LATENCY_GRID_HI_MS: f64 = 200.0;
-const LATENCY_GRID_BINS: usize = 400;
+/// Latency CDF grid upper edge: 0–200 ms in 0.5 ms bins covers every
+/// scenario in the suite (latencies beyond 200 ms clamp into the top bin).
+/// Public so fleet sketches can build shape-compatible grids.
+pub const LATENCY_GRID_HI_MS: f64 = 200.0;
+/// Bin count of the latency CDF grid.
+pub const LATENCY_GRID_BINS: usize = 400;
 
 impl RunAggregate {
     /// An empty aggregate for the given scenario.
@@ -253,6 +286,41 @@ impl RunAggregate {
         let stutters = StutterModel::default().evaluate(report);
         agg.stutter_runs = stutters.runs;
         agg.stutters_perceived = stutters.perceived;
+        agg
+    }
+
+    /// Rebuilds a distribution-only aggregate from a latency quantile grid,
+    /// without per-run frame records.
+    ///
+    /// [`RunAggregate::from_report`] assumes the full record stream is
+    /// materialized; at fleet scale only sketches survive the reduction.
+    /// This constructor recovers the fields a sketch can answer — the
+    /// latency CDF, and count/min/max/sum at grid resolution (each sample
+    /// stands at its bin's upper edge, so every derived value is within one
+    /// bin width of the exact one) — and leaves the record-derived tallies
+    /// (janks, faults, frame kinds, display span) at zero.
+    pub fn from_sketch(name: impl Into<String>, rate_hz: u32, latency: &QuantileGrid) -> Self {
+        let mut agg = RunAggregate::new(name, rate_hz);
+        let mut sum = 0.0;
+        let mut min = 0.0;
+        let mut max = 0.0;
+        let mut seen = 0u64;
+        for (i, &c) in latency.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let edge = latency.lo + (i as f64 + 1.0) * latency.bin_width();
+            if seen == 0 {
+                min = edge;
+            }
+            max = edge;
+            sum += c as f64 * edge;
+            seen += c;
+        }
+        agg.frames = latency.total as usize;
+        agg.latency_ms = StreamingStats { count: latency.total, sum, min, max };
+        // dvs-lint: allow(hot-alloc, reason = "one O(bins) grid copy per reconstructed aggregate, not per observed record")
+        agg.latency_cdf = latency.clone();
         agg
     }
 

@@ -21,11 +21,14 @@ mod fps;
 mod power;
 mod quarantine;
 mod record;
+mod sketch;
 mod stats;
 mod stutter;
 mod timeline;
 
-pub use aggregate::{QuantileGrid, RunAggregate, StreamingStats};
+pub use aggregate::{
+    QuantileGrid, RunAggregate, StreamingStats, LATENCY_GRID_BINS, LATENCY_GRID_HI_MS,
+};
 pub use chrome_trace::chrome_trace_json;
 pub use composite::{CompositeReport, InterferenceRow, SurfaceReport};
 pub use fps::{average_fps, fps_series, min_window_fps};
@@ -34,6 +37,10 @@ pub use quarantine::{PartialAccounting, QuarantineEntry, QuarantineReport};
 pub use record::{
     FaultClass, FaultRecord, FrameDistribution, FrameKind, FrameRecord, JankEvent, ModeTransition,
     PacerMode, RunReport,
+};
+pub use sketch::{
+    FleetSketch, MetricSketch, SketchStats, ENERGY_GRID_BINS, ENERGY_GRID_HI_MJ, FDPS_GRID_BINS,
+    FDPS_GRID_HI, SKETCH_SUM_SCALE,
 };
 pub use stats::{Cdf, Histogram, Summary};
 pub use stutter::{StutterModel, StutterReport};

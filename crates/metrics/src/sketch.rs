@@ -1,0 +1,328 @@
+//! Mergeable streaming sketches for fleet-scale population aggregation.
+//!
+//! A fleet run reduces millions of per-device runs to population
+//! distributions. Keeping per-run records (or even per-run scalars) would be
+//! O(runs) memory; a [`FleetSketch`] is O(bins): each metric keeps a
+//! [`SketchStats`] (count / fixed-point sum / min / max) plus a fixed-bin
+//! [`QuantileGrid`], and two sketches merge in O(bins).
+//!
+//! The merge is *byte-for-byte* associative and commutative, which is what
+//! lets shards reduce in any order, across any worker count, and still
+//! produce bit-identical fleet reports:
+//!
+//! * grid counts and totals merge by exact `u64` addition;
+//! * the running sum is a fixed-point `u64` (units of `1 / 2^20`), so
+//!   merging adds integers instead of floats — float addition is not
+//!   associative, integer addition is;
+//! * `min`/`max` are exact and order-free over finite samples.
+//!
+//! The price is precision: sums are quantized to `2^-20` (≈1e-6) and
+//! quantiles are exact only to one bin width. Both bounds are pinned by
+//! tests against the exact per-run paths.
+
+use serde::{Deserialize, Serialize};
+
+use dvs_sim::DvsResult;
+
+use crate::aggregate::{LATENCY_GRID_BINS, LATENCY_GRID_HI_MS};
+use crate::QuantileGrid;
+
+/// Fixed-point scale of [`SketchStats::sum_units`]: `2^20` units per 1.0.
+///
+/// A power of two so the quantization `round(x * SCALE)` is exact binary
+/// scaling; 2^20 keeps sums of 10^7 devices × 10^5-magnitude samples well
+/// inside `u64`.
+pub const SKETCH_SUM_SCALE: f64 = 1_048_576.0;
+
+/// Order-free streaming count / sum / min / max.
+///
+/// The mergeable counterpart of [`crate::StreamingStats`]: that type's `f64`
+/// running sum is arrival-order dependent (float addition does not
+/// associate), so it cannot back a byte-identical tree reduction. Here the
+/// sum is held in fixed-point `u64` units and samples are clamped to be
+/// non-negative, making [`SketchStats::merge`] exact integer addition —
+/// associative, commutative, with the empty sketch as identity.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SketchStats {
+    /// Number of samples observed.
+    pub count: u64,
+    /// Sum of all samples in units of `1 / 2^20` (see [`SKETCH_SUM_SCALE`]).
+    pub sum_units: u64,
+    /// Smallest sample, quantized to the fixed-point grid (0 until the
+    /// first observation).
+    pub min_units: u64,
+    /// Largest sample, quantized to the fixed-point grid.
+    pub max_units: u64,
+}
+
+impl SketchStats {
+    /// An empty accumulator (the merge identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one sample in. Negative or non-finite samples clamp to zero —
+    /// every fleet metric (FDPS, latency, energy) is non-negative, and the
+    /// clamp is what keeps saturating fixed-point sums order-free.
+    pub fn observe(&mut self, sample: f64) {
+        let units = to_units(sample);
+        if self.count == 0 {
+            self.min_units = units;
+            self.max_units = units;
+        } else {
+            self.min_units = self.min_units.min(units);
+            self.max_units = self.max_units.max(units);
+        }
+        self.sum_units = self.sum_units.saturating_add(units);
+        self.count += 1;
+    }
+
+    /// Folds another accumulator in (exact; any merge order gives the same
+    /// bytes).
+    pub fn merge(&mut self, other: &SketchStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min_units = other.min_units;
+            self.max_units = other.max_units;
+        } else {
+            self.min_units = self.min_units.min(other.min_units);
+            self.max_units = self.max_units.max(other.max_units);
+        }
+        self.sum_units = self.sum_units.saturating_add(other.sum_units);
+        self.count += other.count;
+    }
+
+    /// The arithmetic mean (0 when empty), at fixed-point resolution.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            from_units(self.sum_units) / self.count as f64
+        }
+    }
+
+    /// Smallest observed sample at fixed-point resolution (0 when empty).
+    pub fn min(&self) -> f64 {
+        from_units(self.min_units)
+    }
+
+    /// Largest observed sample at fixed-point resolution (0 when empty).
+    pub fn max(&self) -> f64 {
+        from_units(self.max_units)
+    }
+}
+
+/// Quantizes a sample to fixed-point units (non-negative, saturating).
+fn to_units(sample: f64) -> u64 {
+    if sample.is_finite() && sample > 0.0 {
+        let scaled = (sample * SKETCH_SUM_SCALE).round();
+        if scaled >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            scaled as u64
+        }
+    } else {
+        0
+    }
+}
+
+/// Converts fixed-point units back to an `f64` value.
+fn from_units(units: u64) -> f64 {
+    units as f64 / SKETCH_SUM_SCALE
+}
+
+/// One metric's population distribution: order-free scalar stats plus a
+/// fixed-bin quantile grid.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricSketch {
+    /// Count / fixed-point sum / min / max over the metric.
+    pub stats: SketchStats,
+    /// Fixed-bin distribution for quantile and CDF queries.
+    pub grid: QuantileGrid,
+}
+
+impl MetricSketch {
+    /// An empty sketch over `bins` equal-width bins spanning `[lo, hi]`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        MetricSketch { stats: SketchStats::new(), grid: QuantileGrid::new(lo, hi, bins) }
+    }
+
+    /// Folds one sample into both the stats and the grid.
+    pub fn observe(&mut self, sample: f64) {
+        self.stats.observe(sample);
+        self.grid.observe(sample);
+    }
+
+    /// Folds another sketch in; fails if the grids disagree on shape.
+    pub fn try_merge(&mut self, other: &MetricSketch) -> DvsResult<()> {
+        self.grid.try_merge(&other.grid)?;
+        self.stats.merge(&other.stats);
+        Ok(())
+    }
+
+    /// The `q`-quantile at grid resolution (one bin width).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.grid.quantile(q)
+    }
+
+    /// The arithmetic mean at fixed-point resolution.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+}
+
+/// FDPS grid: 0–25 drops/sec in 0.05 steps. The suite's worst faulted
+/// baseline sits near 10; values beyond 25 clamp into the top bin.
+pub const FDPS_GRID_HI: f64 = 25.0;
+/// Bin count of the FDPS grid.
+pub const FDPS_GRID_BINS: usize = 500;
+/// Energy grid: 0–50 J (in mJ) covers multi-second runs on the §6.4 power
+/// model with headroom; 500 bins give 100 mJ resolution.
+pub const ENERGY_GRID_HI_MJ: f64 = 50_000.0;
+/// Bin count of the energy grid.
+pub const ENERGY_GRID_BINS: usize = 500;
+
+/// The population-level reduction of a device fleet: per-device FDPS,
+/// mean-latency, and energy distributions in O(bins) memory.
+///
+/// All fields merge exactly (see the module docs), so a fleet report built
+/// from any sharding of the same device population is byte-identical.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetSketch {
+    /// Devices folded into this sketch (each contributes one sample per
+    /// metric).
+    pub devices: u64,
+    /// Per-device frame drops per second of display time.
+    pub fdps: MetricSketch,
+    /// Per-device mean rendering latency in milliseconds.
+    pub latency_ms: MetricSketch,
+    /// Per-device total energy in millijoules (§6.4 power model).
+    pub energy_mj: MetricSketch,
+}
+
+impl FleetSketch {
+    /// An empty fleet sketch on the canonical grids (the merge identity).
+    pub fn new() -> Self {
+        FleetSketch {
+            devices: 0,
+            fdps: MetricSketch::new(0.0, FDPS_GRID_HI, FDPS_GRID_BINS),
+            latency_ms: MetricSketch::new(0.0, LATENCY_GRID_HI_MS, LATENCY_GRID_BINS),
+            energy_mj: MetricSketch::new(0.0, ENERGY_GRID_HI_MJ, ENERGY_GRID_BINS),
+        }
+    }
+
+    /// Folds one device's scalars into the population.
+    pub fn observe_device(&mut self, fdps: f64, mean_latency_ms: f64, energy_mj: f64) {
+        self.devices += 1;
+        self.fdps.observe(fdps);
+        self.latency_ms.observe(mean_latency_ms);
+        self.energy_mj.observe(energy_mj);
+    }
+
+    /// Folds another shard's sketch in; fails if any grid shape disagrees.
+    pub fn try_merge(&mut self, other: &FleetSketch) -> DvsResult<()> {
+        self.fdps.try_merge(&other.fdps)?;
+        self.latency_ms.try_merge(&other.latency_ms)?;
+        self.energy_mj.try_merge(&other.energy_mj)?;
+        self.devices += other.devices;
+        Ok(())
+    }
+}
+
+impl Default for FleetSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_stats_match_exact_stats_at_fixed_point_resolution() {
+        let samples = [3.25, 0.5, 17.0, 0.0, 9.125];
+        let mut s = SketchStats::new();
+        for &x in &samples {
+            s.observe(x);
+        }
+        let exact_mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert_eq!(s.count, 5);
+        assert!((s.mean() - exact_mean).abs() < 1e-6);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 17.0);
+    }
+
+    #[test]
+    fn negative_and_non_finite_samples_clamp_to_zero() {
+        let mut s = SketchStats::new();
+        s.observe(-4.0);
+        s.observe(f64::NAN);
+        s.observe(f64::INFINITY);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum_units, 0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_exact_and_order_free() {
+        let mut a = SketchStats::new();
+        let mut b = SketchStats::new();
+        for &x in &[1.0, 2.5, 0.25] {
+            a.observe(x);
+        }
+        for &x in &[7.0, 0.125] {
+            b.observe(x);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 5);
+        // Merging the identity changes nothing.
+        let mut with_id = ab.clone();
+        with_id.merge(&SketchStats::new());
+        assert_eq!(with_id, ab);
+    }
+
+    #[test]
+    fn grid_merge_rejects_shape_mismatch() {
+        let mut a = MetricSketch::new(0.0, 10.0, 100);
+        let b = MetricSketch::new(0.0, 20.0, 100);
+        assert!(a.try_merge(&b).is_err());
+        let c = MetricSketch::new(0.0, 10.0, 50);
+        assert!(a.try_merge(&c).is_err());
+    }
+
+    #[test]
+    fn fleet_sketch_merge_conserves_device_and_bin_counts() {
+        let mut a = FleetSketch::new();
+        let mut b = FleetSketch::new();
+        for i in 0..10 {
+            a.observe_device(i as f64 * 0.1, 10.0 + i as f64, 500.0 * i as f64);
+        }
+        for i in 0..7 {
+            b.observe_device(2.0, 30.0 + i as f64, 12_000.0);
+        }
+        a.try_merge(&b).unwrap();
+        assert_eq!(a.devices, 17);
+        assert_eq!(a.fdps.grid.total, 17);
+        assert_eq!(a.fdps.grid.counts.iter().sum::<u64>(), 17);
+        assert_eq!(a.latency_ms.grid.counts.iter().sum::<u64>(), 17);
+        assert_eq!(a.energy_mj.grid.counts.iter().sum::<u64>(), 17);
+    }
+
+    #[test]
+    fn fleet_sketch_serde_round_trips_bytes() {
+        let mut s = FleetSketch::new();
+        s.observe_device(1.5, 22.25, 9_001.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FleetSketch = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+}

@@ -93,6 +93,27 @@ impl Cdf {
         Cdf { sorted }
     }
 
+    /// Expands a fixed-bin quantile grid into an explicit CDF, placing each
+    /// counted sample at its bin's upper edge — the same convention
+    /// [`crate::QuantileGrid::quantile`] reports, so queries on the two
+    /// agree to within one bin width.
+    ///
+    /// [`Cdf::from_samples`] assumes the sample set is materialized; at
+    /// fleet scale only sketches survive the reduction, and this
+    /// constructor is the bridge back to the `Cdf`-consuming renderers.
+    /// Memory is O(total count), so it is for presentation-sized grids,
+    /// not for the streaming path.
+    pub fn from_sketch(grid: &crate::QuantileGrid) -> Self {
+        let mut sorted = Vec::with_capacity(grid.total as usize);
+        for (i, &count) in grid.counts.iter().enumerate() {
+            let edge = grid.lo + (i as f64 + 1.0) * grid.bin_width();
+            for _ in 0..count {
+                sorted.push(edge);
+            }
+        }
+        Cdf { sorted }
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.sorted.len()

@@ -26,7 +26,7 @@ use crate::pacer::FramePacer;
 /// Worst-case concurrent heap population: one pending tick, one wake, one
 /// UI completion, one render completion per context — doubled for stale
 /// wakes that remain queued after a better plan superseded them.
-fn heap_capacity(render_threads: usize) -> usize {
+pub(crate) fn heap_capacity(render_threads: usize) -> usize {
     2 * (3 + render_threads)
 }
 

@@ -31,6 +31,7 @@
 //! scenario set plus arbitrary fault plans, and pin the M=1 compositor to
 //! the single-pipeline path byte for byte.
 
+pub(crate) mod batch;
 pub(crate) mod compose;
 pub(crate) mod event_heap;
 pub(crate) mod reference;

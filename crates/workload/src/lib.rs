@@ -26,6 +26,7 @@ mod analyze;
 mod cache;
 mod compose;
 mod dist;
+mod fleet;
 mod generator;
 mod trace;
 
@@ -36,5 +37,6 @@ pub use compose::{
     CompositeScenario, PacingPath, SurfaceSpec,
 };
 pub use dist::{LogNormal, Pareto};
+pub use fleet::{weighted, DeviceRun, FleetModel, FleetSpec, Weighted, WorkloadMix};
 pub use generator::{CostProfile, Determinism, ScenarioSpec, TraceGenerator};
 pub use trace::{Backend, FrameCost, FrameTrace, TraceError};

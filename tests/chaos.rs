@@ -309,6 +309,79 @@ fn killed_sweeps_resume_byte_identically() {
     }
 }
 
+/// The same kill/resume chaos for the fleet layer: crash a fleet run at
+/// seeded-random shard boundaries, resume from the checkpoint, and require
+/// the sketch-reduced population report to be byte-identical to the
+/// uninterrupted run — across both engines and `--jobs {1,4}` on the
+/// resumed leg. Resumed shards are *not* re-simulated (their sketches come
+/// back from the checkpoint), so this also pins the sketch serialization
+/// round-trip.
+#[test]
+fn killed_fleet_runs_resume_byte_identically() {
+    use dvs_bench::{
+        run_fleet_resilient, CheckpointConfig, ExecFaults, FleetEngine, ResilienceConfig,
+    };
+    use dvsync::workload::FleetSpec;
+
+    let spec = FleetSpec::tiny(60, 12);
+    let shards = 6;
+    let dir = std::env::temp_dir().join("dvsync_chaos_fleet_resume");
+    let _ = std::fs::create_dir_all(&dir);
+    let mut rng = SimRng::seed_from(0xF1EE_7C4A);
+
+    for engine in [FleetEngine::Batched, FleetEngine::PerDevice] {
+        let clean = run_fleet_resilient(&spec, shards, 1, engine, &ResilienceConfig::default())
+            .expect("uninterrupted fleet run succeeds")
+            .report
+            .to_json()
+            .expect("fleet reports serialize");
+
+        for trial in 0..4u64 {
+            // Kill after 1..=5 of the 6 shards so the resumed leg always has
+            // both restored and fresh work to do.
+            let crash_at = 1 + rng.next_below(5) as usize;
+            let jobs = [1usize, 4][rng.next_below(2) as usize];
+            let path = dir.join(format!("ck_{engine:?}_{trial}"));
+            let _ = std::fs::remove_file(&path);
+            let ck = |resume: bool, faults: ExecFaults| ResilienceConfig {
+                checkpoint: Some(CheckpointConfig {
+                    path: path.to_string_lossy().into_owned(),
+                    cadence: 1,
+                    resume,
+                }),
+                faults,
+                ..ResilienceConfig::default()
+            };
+
+            let killed = run_fleet_resilient(
+                &spec,
+                shards,
+                jobs,
+                engine,
+                &ck(false, ExecFaults { crash_at_cell: Some(crash_at), ..ExecFaults::default() }),
+            );
+            match killed {
+                Err(dvsync::sim::DvsError::SweepInterrupted { completed, total }) => {
+                    assert_eq!(completed, crash_at);
+                    assert_eq!(total, shards);
+                }
+                other => panic!("expected an interrupted fleet run, got {other:?}"),
+            }
+
+            let resumed =
+                run_fleet_resilient(&spec, shards, jobs, engine, &ck(true, ExecFaults::default()))
+                    .expect("resumed fleet run completes");
+            assert_eq!(resumed.accounting.cells_resumed, crash_at, "checkpoint under-captured");
+            assert_eq!(
+                resumed.report.to_json().expect("fleet reports serialize"),
+                clean,
+                "fleet resume diverged (engine {engine:?}, killed at {crash_at}, jobs {jobs})"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
 /// A frame an order of magnitude longer than the whole animation: the run
 /// truncates via the tick cap instead of hanging. (Everything else being
 /// short, the cap is generous; the monster frame still fits — what matters

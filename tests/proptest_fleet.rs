@@ -1,0 +1,141 @@
+//! Property wall around the fleet layer: sketch algebra and sampler
+//! determinism, over generated inputs rather than chosen examples.
+//!
+//! The sketch properties are **byte-for-byte** — serialized equality, not
+//! approximate. That is what the fixed-point sums buy: `u64` saturating
+//! addition is exactly associative and commutative, so merge order can
+//! never leak into a fleet report. Any shrunk counterexample proptest finds
+//! gets pinned into `proptest_fleet.proptest-regressions` and should also
+//! be promoted to an explicit `#[test]`.
+
+use proptest::prelude::*;
+
+use dvs_metrics::FleetSketch;
+use dvs_workload::FleetSpec;
+
+/// One device's observation triple. Ranges deliberately overflow the
+/// canonical grids (fdps hi = 25, latency hi = 200, energy hi = 50 000) and
+/// dip negative, so clamping is exercised, not avoided.
+fn device_obs() -> impl Strategy<Value = (f64, f64, f64)> {
+    (-2.0..40.0f64, -10.0..300.0f64, -100.0..80_000.0f64)
+}
+
+fn sketch_of(devices: &[(f64, f64, f64)]) -> FleetSketch {
+    let mut s = FleetSketch::new();
+    for &(fdps, latency, energy) in devices {
+        s.observe_device(fdps, latency, energy);
+    }
+    s
+}
+
+fn bytes(s: &FleetSketch) -> String {
+    serde_json::to_string(s).expect("sketches serialize")
+}
+
+fn merged(parts: &[&FleetSketch]) -> FleetSketch {
+    let mut total = FleetSketch::new();
+    for p in parts {
+        total.try_merge(p).expect("canonical sketches share one shape");
+    }
+    total
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative_byte_for_byte(
+        a in prop::collection::vec(device_obs(), 0..40),
+        b in prop::collection::vec(device_obs(), 0..40),
+        c in prop::collection::vec(device_obs(), 0..40),
+    ) {
+        let (a, b, c) = (sketch_of(&a), sketch_of(&b), sketch_of(&c));
+        let left = merged(&[&merged(&[&a, &b]), &c]);
+        let right = merged(&[&a, &merged(&[&b, &c])]);
+        prop_assert_eq!(bytes(&left), bytes(&right));
+    }
+
+    #[test]
+    fn merge_is_commutative_byte_for_byte(
+        a in prop::collection::vec(device_obs(), 0..60),
+        b in prop::collection::vec(device_obs(), 0..60),
+    ) {
+        let (a, b) = (sketch_of(&a), sketch_of(&b));
+        prop_assert_eq!(bytes(&merged(&[&a, &b])), bytes(&merged(&[&b, &a])));
+    }
+
+    #[test]
+    fn empty_sketch_is_the_merge_identity(
+        a in prop::collection::vec(device_obs(), 0..60),
+    ) {
+        let a = sketch_of(&a);
+        let empty = FleetSketch::new();
+        prop_assert_eq!(bytes(&merged(&[&a, &empty])), bytes(&a));
+        prop_assert_eq!(bytes(&merged(&[&empty, &a])), bytes(&a));
+    }
+
+    #[test]
+    fn histogram_counts_are_conserved(
+        obs in prop::collection::vec(device_obs(), 0..120),
+    ) {
+        // Out-of-range samples clamp into edge bins rather than vanish, so
+        // every observed device is accounted for in every metric's grid.
+        let s = sketch_of(&obs);
+        let n = obs.len() as u64;
+        prop_assert_eq!(s.devices, n);
+        for m in [&s.fdps, &s.latency_ms, &s.energy_mj] {
+            prop_assert_eq!(m.grid.total, n);
+            prop_assert_eq!(m.grid.counts.iter().sum::<u64>(), n);
+            prop_assert_eq!(m.stats.count, n);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        obs in prop::collection::vec(device_obs(), 1..120),
+        qs in prop::collection::vec(0.0..1.0f64, 2..10),
+    ) {
+        let s = sketch_of(&obs);
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        for m in [&s.fdps, &s.latency_ms, &s.energy_mj] {
+            for pair in qs.windows(2) {
+                prop_assert!(
+                    m.quantile(pair[0]) <= m.quantile(pair[1]),
+                    "quantile({}) > quantile({})", pair[0], pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_index(
+        devices in 1..300u64,
+        index in 0..300u64,
+    ) {
+        let index = index % devices;
+        let a = FleetSpec::tiny(devices, 12);
+        let b = FleetSpec::tiny(devices, 12);
+        // Same seed ⇒ same device, however many times and from whichever
+        // spec instance it is expanded.
+        prop_assert_eq!(a.device(index), b.device(index));
+        prop_assert_eq!(a.device(index), a.device(index));
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_population(
+        devices in 1..500u64,
+        shards in 1..24usize,
+    ) {
+        let spec = FleetSpec::tiny(devices, 12);
+        let mut covered = 0u64;
+        let mut next_start = 0u64;
+        for s in 0..shards {
+            let r = spec.shard_range(s, shards);
+            // Contiguous and in order ⇒ pairwise disjoint.
+            prop_assert_eq!(r.start, next_start, "shard {} does not abut its predecessor", s);
+            next_start = r.end;
+            covered += r.end - r.start;
+        }
+        prop_assert_eq!(next_start, devices, "shards do not cover the population");
+        prop_assert_eq!(covered, devices);
+    }
+}
