@@ -16,7 +16,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::env;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use dvs_bench::checkpoint::{read_text, write_text};
@@ -329,6 +329,20 @@ fn usage(jobs: &[Job]) -> String {
          \x20                 # sweep throughput: classic path vs shared trace cache +\n\
          \x20                 # pooled arenas + streaming aggregates over a buffer\n\
          \x20                 # ladder (--emit-json defaults to BENCH_sweep.json)\n\
+         \x20      repro bench trace [--quick] [--emit-json [path]] [--check <baseline>]\n\
+         \x20                 # trace-codec benchmark: binary container vs JSON, floor-\n\
+         \x20                 # gated at 5x smaller and 5x faster to decode\n\
+         \x20                 # (--emit-json defaults to BENCH_trace.json)\n\
+         \x20      repro trace record --out <dir> [--tiny|--quick] [--fitted]\n\
+         \x20                 [--fleet [--devices N] [--frames N]]\n\
+         \x20                 # record the benchmark corpora as compact binary traces\n\
+         \x20                 # (docs/trace.md); --fitted records calibrated sweep traces,\n\
+         \x20                 # --fleet records per-device traces for repro fleet\n\
+         \x20      repro trace info <file.dvst>       # header + block summary\n\
+         \x20      repro trace convert <in> <out>     # JSON <-> binary (.dvst)\n\
+         \x20      repro ingest <log> [--name N] [--rate HZ] [--ui-share F] [--out <dir>]\n\
+         \x20                 # external frame-time log (CSV or JSON-lines) -> analysed\n\
+         \x20                 # profile -> calibrated ScenarioSpec family + binary trace\n\
          \x20      repro lint [--check] [--emit-json [path]]\n\
          \x20                 # dvs-lint static pass: determinism, hot-path allocation,\n\
          \x20                 # panic hygiene (rules in docs/lint.md; scope in lint.toml).\n\
@@ -336,7 +350,7 @@ fn usage(jobs: &[Job]) -> String {
          \x20                 # --emit-json defaults to lint_report.json\n\
          \x20      repro sweep [--tiny|--quick] [--mode aggregate|full] [--retries N]\n\
          \x20                 [--checkpoint <path> [--cadence K] [--resume]]\n\
-         \x20                 [--emit-json [path]] [--jobs N]\n\
+         \x20                 [--emit-json [path]] [--jobs N] [--trace-dir <dir>]\n\
          \x20                 # resilient sweep executor: panics quarantine instead of\n\
          \x20                 # aborting; kill + --resume reproduces the uninterrupted\n\
          \x20                 # report byte-for-byte (docs/resilience.md). Fault taps:\n\
@@ -347,7 +361,7 @@ fn usage(jobs: &[Job]) -> String {
          \x20      repro fleet [--tiny|--quick] [--devices N] [--frames N] [--shards N]\n\
          \x20                 [--engine batched|per-device] [--jobs N] [--retries N]\n\
          \x20                 [--checkpoint <path> [--cadence K] [--resume]]\n\
-         \x20                 [--emit-json [path]]\n\
+         \x20                 [--emit-json [path]] [--trace-dir <dir>]\n\
          \x20                 # population-scale fleet simulation: shards of the seeded\n\
          \x20                 # device space run as resilient-executor cells and reduce\n\
          \x20                 # to mergeable sketches; the report is byte-identical for\n\
@@ -374,11 +388,18 @@ fn usage(jobs: &[Job]) -> String {
 /// machine-readable result, `--check <baseline.json>` to gate against a
 /// committed baseline.
 fn run_bench(args: &[String]) -> DvsResult<String> {
-    let sweep_bench = args.iter().any(|a| a == "sweep");
+    let trace_bench = args.iter().any(|a| a == "trace");
+    let sweep_bench = !trace_bench && args.iter().any(|a| a == "sweep");
     let quick = args.iter().any(|a| a == "--quick");
     // `--emit-json` takes an optional path operand; a following flag means
     // "use the default name".
-    let default_json = if sweep_bench { "BENCH_sweep.json" } else { "BENCH_simcore.json" };
+    let default_json = if trace_bench {
+        "BENCH_trace.json"
+    } else if sweep_bench {
+        "BENCH_sweep.json"
+    } else {
+        "BENCH_simcore.json"
+    };
     let emit: Option<String> =
         args.iter().position(|a| a == "--emit-json").map(|p| match args.get(p + 1) {
             Some(next) if !next.starts_with('-') => next.clone(),
@@ -393,7 +414,21 @@ fn run_bench(args: &[String]) -> DvsResult<String> {
     let parse_err =
         |path: &str, e: serde_json::Error| DvsError::InvalidConfig(format!("parse {path}: {e}"));
     let gate_err = |msg: String| DvsError::InvalidConfig(msg);
-    let (mut out, result_json, check_notes) = if sweep_bench {
+    let (mut out, result_json, check_notes) = if trace_bench {
+        let result = dvs_bench::tracebench::run(quick);
+        let notes = match check_path {
+            Some(path) => {
+                let json = read_text(Path::new(path))?;
+                let baseline: dvs_bench::tracebench::TraceBench =
+                    serde_json::from_str(&json).map_err(|e| parse_err(path, e))?;
+                Some(dvs_bench::tracebench::check(&result, &baseline).map_err(gate_err)?)
+            }
+            None => None,
+        };
+        let json = serde_json::to_string_pretty(&result)
+            .map_err(|e| DvsError::InvalidConfig(e.to_string()))?;
+        (dvs_bench::tracebench::render(&result), json, notes)
+    } else if sweep_bench {
         let result = dvs_bench::sweepbench::run(quick);
         let notes = match check_path {
             Some(path) => {
@@ -588,7 +623,13 @@ fn run_sweep(args: &[String]) -> DvsResult<(String, bool)> {
         (specs, sweepbench::DEFAULT_LADDER.to_vec(), label)
     };
     let baseline_buffers = 3;
-    let cache = GridCache::for_suite(&specs, baseline_buffers);
+    // A recorded trace directory (`repro trace record --fitted`) lets the
+    // grid skip calibration; results stay byte-identical because loads are
+    // validated and fall back to calibrating.
+    let cache = match flag_value(args, "--trace-dir") {
+        Some(dir) => GridCache::with_trace_dir(&specs, baseline_buffers, dir),
+        None => GridCache::for_suite(&specs, baseline_buffers),
+    };
     let out = run_suite_resilient(
         &label,
         &specs,
@@ -674,7 +715,8 @@ fn run_fleet(args: &[String]) -> DvsResult<(String, bool)> {
     };
     let jobs = sweep::default_jobs();
     let shards: usize = flag_num(args, "--shards")?.unwrap_or_else(|| (jobs * 8).max(16));
-    let out = run_fleet_resilient(&spec, shards, jobs, engine, &cfg)?;
+    let trace_dir = flag_value(args, "--trace-dir").map(PathBuf::from);
+    let out = run_fleet_resilient_with(&spec, shards, jobs, engine, &cfg, trace_dir.as_deref())?;
     let mut text = out.render();
     if let Some(pos) = args.iter().position(|a| a == "--emit-json") {
         let path = match args.get(pos + 1) {
@@ -724,6 +766,79 @@ fn run_fleet_bench(args: &[String]) -> DvsResult<String> {
         out.push_str(&notes);
     }
     Ok(out)
+}
+
+/// Runs `repro trace record|info|convert`: the binary trace tooling
+/// (plain `repro trace` stays the Chrome trace-event export artefact).
+fn run_trace_tool(args: &[String]) -> DvsResult<String> {
+    let pos = args
+        .iter()
+        .position(|a| a.trim_start_matches('-').eq_ignore_ascii_case("trace"))
+        .unwrap_or(0);
+    let sub = args.get(pos + 1).map(String::as_str).unwrap_or("");
+    // Positional operands after the subcommand (flags excluded).
+    let operand = |n: usize| {
+        args.iter().skip(pos + 2).filter(|a| !a.starts_with('-')).nth(n).ok_or_else(|| {
+            DvsError::InvalidConfig(format!("repro trace {sub}: missing operand {n}"))
+        })
+    };
+    match sub {
+        "record" => {
+            let Some(dir) = flag_value(args, "--out") else {
+                return Err(DvsError::InvalidConfig("trace record needs --out <dir>".into()));
+            };
+            let dir = Path::new(dir);
+            if has_flag(args, "--fleet") {
+                let frames: usize = flag_num(args, "--frames")?.unwrap_or(24);
+                let devices: u64 = flag_num(args, "--devices")?.unwrap_or(96);
+                tracetool::record_fleet(&FleetSpec::tiny(devices, frames), dir)
+            } else {
+                let specs = if has_flag(args, "--tiny") {
+                    tiny_suite()
+                } else {
+                    sweepbench::bench_specs(has_flag(args, "--quick"))
+                };
+                tracetool::record_suite(&specs, dir, has_flag(args, "--fitted"), 3)
+            }
+        }
+        "info" => tracetool::info(Path::new(operand(0)?)),
+        "convert" => tracetool::convert(Path::new(operand(0)?), Path::new(operand(1)?)),
+        other => Err(DvsError::InvalidConfig(format!(
+            "repro trace: unknown subcommand {other:?} (record, info, convert)"
+        ))),
+    }
+}
+
+/// Runs `repro ingest <log> [--name N] [--rate HZ] [--ui-share F]
+/// [--out DIR]`: external frame-time log → calibrated scenario family.
+fn run_ingest(args: &[String]) -> DvsResult<String> {
+    let pos = args
+        .iter()
+        .position(|a| a.trim_start_matches('-').eq_ignore_ascii_case("ingest"))
+        .unwrap_or(0);
+    let Some(input) = args.get(pos + 1).filter(|a| !a.starts_with('-')) else {
+        return Err(DvsError::InvalidConfig("ingest needs a frame-time log path".into()));
+    };
+    let mut opts = tracetool::IngestOptions::default();
+    if let Some(name) = flag_value(args, "--name") {
+        opts.name = name.clone();
+    }
+    if let Some(rate) = flag_num(args, "--rate")? {
+        opts.rate_hz = rate;
+    }
+    if let Some(share) = flag_value(args, "--ui-share") {
+        opts.ui_share =
+            share.parse::<f64>().ok().filter(|s| (0.0..=1.0).contains(s)).ok_or_else(|| {
+                DvsError::InvalidConfig(format!(
+                    "--ui-share needs a value in [0, 1], got {share:?}"
+                ))
+            })?;
+    }
+    let out = tracetool::ingest(Path::new(input), &opts)?;
+    match flag_value(args, "--out") {
+        Some(dir) => out.write_artifacts(Path::new(dir)),
+        None => Ok(out.render()),
+    }
 }
 
 /// Maps a tri-state outcome to the process exit code: 0 clean, 2 completed
@@ -777,6 +892,37 @@ fn main() -> ExitCode {
             "sweep" => return exit_tristate(run_sweep(&args)),
             "compose" => return exit_tristate(run_compose(&args)),
             "fleet" => return exit_tristate(run_fleet(&args)),
+            // `repro trace` alone stays the Chrome trace-event artefact; a
+            // subcommand word selects the binary trace tooling.
+            "trace"
+                if matches!(
+                    args.get(i + 1).map(String::as_str),
+                    Some("record" | "info" | "convert")
+                ) =>
+            {
+                return match run_trace_tool(&args) {
+                    Ok(text) => {
+                        print!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+            "ingest" => {
+                return match run_ingest(&args) {
+                    Ok(text) => {
+                        print!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
             "lint" => {
                 return match run_lint(&args) {
                     Ok((text, dirty)) => {

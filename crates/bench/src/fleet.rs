@@ -21,6 +21,7 @@
 //!   ([`FleetEngine::PerDevice`], the differential oracle).
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
 use dvs_core::{DvsyncConfig, DvsyncPacer};
 use dvs_faults::named_profile;
@@ -29,7 +30,7 @@ use dvs_metrics::{
 };
 use dvs_pipeline::{run_batch, BatchLane, PipelineConfig, RunArena, Simulator};
 use dvs_sim::{DvsError, DvsResult};
-use dvs_workload::{DeviceRun, FleetSpec};
+use dvs_workload::{DeviceRun, FleetSpec, FrameTrace};
 use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::fingerprint_of;
@@ -172,6 +173,29 @@ fn fleet_plan(spec: &FleetSpec, dev: &DeviceRun) -> Option<dvs_faults::FaultPlan
     }
 }
 
+/// The file a recorded binary trace for device `index` lives at under a
+/// fleet trace directory: `dev-<index>.dvst` (written by
+/// `repro trace record --fleet`).
+pub fn fleet_trace_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("dev-{index}.{}", dvs_workload::codec::BINARY_EXT))
+}
+
+/// The trace for device `index`: decoded from the recorded binary file when
+/// a trace directory is given and the recording matches the device's
+/// identity (rate and frame count), regenerated otherwise. Recordings are
+/// purely an accelerator — the fallback keeps any run byte-identical to a
+/// directory-less one.
+fn device_trace(dev: &DeviceRun, index: u64, frames: usize, dir: Option<&Path>) -> FrameTrace {
+    if let Some(dir) = dir {
+        if let Ok(trace) = FrameTrace::load_binary(fleet_trace_path(dir, index)) {
+            if trace.rate_hz == dev.rate_hz && trace.len() == frames {
+                return trace;
+            }
+        }
+    }
+    dev.trace()
+}
+
 /// Runs one shard of the population through the chosen engine and returns
 /// its sketch. Pure in `(spec, shard, shards)`: any worker, any attempt,
 /// any resume produces the same bytes — which is what lets shards be
@@ -183,6 +207,19 @@ pub fn run_fleet_shard(
     engine: FleetEngine,
     arena: &mut RunArena,
 ) -> FleetSketch {
+    run_fleet_shard_with(spec, shard, shards, engine, arena, None)
+}
+
+/// [`run_fleet_shard`] with an optional directory of per-device binary
+/// trace recordings ([`fleet_trace_path`]).
+pub fn run_fleet_shard_with(
+    spec: &FleetSpec,
+    shard: usize,
+    shards: usize,
+    engine: FleetEngine,
+    arena: &mut RunArena,
+    trace_dir: Option<&Path>,
+) -> FleetSketch {
     let mut sketch = FleetSketch::new();
     let range = spec.shard_range(shard, shards);
     match engine {
@@ -190,7 +227,7 @@ pub fn run_fleet_shard(
             for i in range {
                 let Some(dev) = spec.device(i) else { continue };
                 let cfg = fleet_config(dev.rate_hz, dev.buffers);
-                let trace = dev.trace();
+                let trace = device_trace(&dev, i, spec.frames, trace_dir);
                 let plan = fleet_plan(spec, &dev);
                 let mut pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(dev.buffers));
                 arena.with_scratch_report(|arena, out| {
@@ -209,19 +246,19 @@ pub fn run_fleet_shard(
             // through the batch kernel at BATCH_WIDTH. The lane pool is
             // shared across buckets so arenas stay warm for the whole shard.
             let mut lanes: Vec<BatchLane<DvsyncPacer>> = Vec::new();
-            let mut buckets: BTreeMap<(u32, usize), Vec<DeviceRun>> = BTreeMap::new();
+            let mut buckets: BTreeMap<(u32, usize), Vec<(u64, DeviceRun)>> = BTreeMap::new();
             for i in range {
                 let Some(dev) = spec.device(i) else { continue };
                 let bucket = buckets.entry((dev.rate_hz, dev.buffers)).or_default();
-                bucket.push(dev);
+                bucket.push((i, dev));
                 if bucket.len() == BATCH_WIDTH {
                     let full = std::mem::take(bucket);
-                    flush_bucket(spec, &full, &mut lanes, &mut sketch);
+                    flush_bucket(spec, &full, &mut lanes, &mut sketch, trace_dir);
                 }
             }
             for bucket in buckets.values() {
                 if !bucket.is_empty() {
-                    flush_bucket(spec, bucket, &mut lanes, &mut sketch);
+                    flush_bucket(spec, bucket, &mut lanes, &mut sketch, trace_dir);
                 }
             }
         }
@@ -233,14 +270,15 @@ pub fn run_fleet_shard(
 /// pool's warm arenas, and folds each lane's report into the sketch.
 fn flush_bucket(
     spec: &FleetSpec,
-    bucket: &[DeviceRun],
+    bucket: &[(u64, DeviceRun)],
     lanes: &mut Vec<BatchLane<DvsyncPacer>>,
     sketch: &mut FleetSketch,
+    trace_dir: Option<&Path>,
 ) {
-    let Some(first) = bucket.first() else { return };
+    let Some((_, first)) = bucket.first() else { return };
     let cfg = fleet_config(first.rate_hz, first.buffers);
-    for (j, dev) in bucket.iter().enumerate() {
-        let trace = dev.trace();
+    for (j, (index, dev)) in bucket.iter().enumerate() {
+        let trace = device_trace(dev, *index, spec.frames, trace_dir);
         let plan = fleet_plan(spec, dev);
         let pacer = DvsyncPacer::new(DvsyncConfig::with_buffers(dev.buffers));
         if j < lanes.len() {
@@ -283,6 +321,20 @@ pub fn run_fleet_resilient(
     engine: FleetEngine,
     cfg: &ResilienceConfig,
 ) -> DvsResult<ResilientFleet> {
+    run_fleet_resilient_with(spec, shards, jobs, engine, cfg, None)
+}
+
+/// [`run_fleet_resilient`] with an optional directory of per-device binary
+/// trace recordings; shards decode recorded traces instead of regenerating
+/// them, and fall back per device when a recording is absent or mismatched.
+pub fn run_fleet_resilient_with(
+    spec: &FleetSpec,
+    shards: usize,
+    jobs: usize,
+    engine: FleetEngine,
+    cfg: &ResilienceConfig,
+    trace_dir: Option<&Path>,
+) -> DvsResult<ResilientFleet> {
     spec.validate().map_err(DvsError::InvalidConfig)?;
     let n = shards.max(1);
     let keys: Vec<String> = (0..n)
@@ -293,7 +345,8 @@ pub fn run_fleet_resilient(
         .collect();
     let fingerprint = fleet_fingerprint(spec, n, engine, cfg);
     let (start_slots, resumed) = restore_progress(cfg, fingerprint, n)?;
-    let work = |arena: &mut RunArena, i: usize| run_fleet_shard(spec, i, n, engine, arena);
+    let work =
+        |arena: &mut RunArena, i: usize| run_fleet_shard_with(spec, i, n, engine, arena, trace_dir);
     let (slots, checkpoint_writes) =
         execute_cells(n, jobs.max(1), &keys, fingerprint, cfg, start_slots, resumed, &work)?;
 
@@ -391,6 +444,24 @@ mod tests {
         let spec = tiny();
         let lost = spec.shard_range(1, 4);
         assert_eq!(out.report.sketch.devices, 48 - (lost.end - lost.start));
+    }
+
+    #[test]
+    fn recorded_trace_dir_replays_byte_identically() {
+        let spec = tiny();
+        let dir = std::env::temp_dir().join(format!("dvst-fleet-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for i in 0..spec.devices {
+            let dev = spec.device(i).unwrap();
+            dev.trace().save_binary(fleet_trace_path(&dir, i)).unwrap();
+        }
+        let base = clean_run(FleetEngine::Batched, 3, 1).report.to_json().unwrap();
+        let cfg = ResilienceConfig::default();
+        let loaded =
+            run_fleet_resilient_with(&spec, 3, 1, FleetEngine::Batched, &cfg, Some(dir.as_path()))
+                .unwrap();
+        assert_eq!(loaded.report.to_json().unwrap(), base, "recordings must not change results");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

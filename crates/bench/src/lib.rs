@@ -42,11 +42,13 @@ pub mod sweep;
 pub mod sweepbench;
 pub mod table1_devices;
 pub mod table2_stutters;
+pub mod tracebench;
+pub mod tracetool;
 
 pub use checkpoint::{CellSlot, Checkpoint, QuarantinedSlot, CHECKPOINT_VERSION};
 pub use fleet::{
-    fleet_fingerprint, run_fleet_resilient, run_fleet_shard, FleetEngine, FleetReport,
-    ResilientFleet, BATCH_WIDTH,
+    fleet_fingerprint, fleet_trace_path, run_fleet_resilient, run_fleet_resilient_with,
+    run_fleet_shard, run_fleet_shard_with, FleetEngine, FleetReport, ResilientFleet, BATCH_WIDTH,
 };
 pub use fleetbench::{FleetBench, FleetThroughput, DEVICES_PER_MIN_FLOOR, FRAMES_PER_DEVICE};
 pub use resilient::{

@@ -38,6 +38,7 @@
 //!   statistics ([`RunAggregate`]) through the arena's pooled scratch
 //!   report, so cells never hand back per-frame record vectors.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
@@ -47,7 +48,7 @@ use dvs_metrics::{RunAggregate, RunReport};
 use dvs_pipeline::{
     calibrate_spec_pooled, run_segments_into, FramePacer, RunArena, SimCore, VsyncPacer,
 };
-use dvs_workload::{FrameTrace, ScenarioSpec};
+use dvs_workload::{FrameTrace, ScenarioSpec, TraceCache};
 use serde::{Deserialize, Serialize};
 
 use crate::suite::{SuiteResult, SuiteRow};
@@ -329,8 +330,10 @@ impl FittedScenario {
 pub struct GridCache {
     baseline_buffers: usize,
     slots: Vec<OnceLock<Arc<FittedScenario>>>,
+    trace_dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
+    loads: AtomicU64,
 }
 
 /// Cache traffic observed during a sweep (surfaced in sweep output).
@@ -340,6 +343,10 @@ pub struct SweepStats {
     pub cache_hits: u64,
     /// Lookups that calibrated + generated (exactly one per scenario).
     pub cache_misses: u64,
+    /// Of the misses, how many skipped calibration by decoding a recorded
+    /// binary trace (`repro trace record --fitted`).
+    #[serde(default)]
+    pub cache_loads: u64,
 }
 
 impl GridCache {
@@ -349,9 +356,29 @@ impl GridCache {
         GridCache {
             baseline_buffers,
             slots: (0..specs.len()).map(|_| OnceLock::new()).collect(),
+            trace_dir: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            loads: AtomicU64::new(0),
         }
+    }
+
+    /// An empty cache that first tries *calibrated* binary traces recorded
+    /// under `dir` (one [`TraceCache::trace_path`] file per spec, written by
+    /// `repro trace record --fitted`). A hit skips the whole
+    /// calibrate-and-generate step: cells consume only the scenario's name
+    /// and its segment frames, both of which calibration preserves, so a
+    /// recording made by the same build replays byte-identically. A missing
+    /// or mismatched file falls back to calibration — the directory is
+    /// purely an accelerator.
+    pub fn with_trace_dir(
+        specs: &[ScenarioSpec],
+        baseline_buffers: usize,
+        dir: impl Into<PathBuf>,
+    ) -> Self {
+        let mut cache = Self::for_suite(specs, baseline_buffers);
+        cache.trace_dir = Some(dir.into());
+        cache
     }
 
     /// The scenario count this cache was sized for.
@@ -385,8 +412,23 @@ impl GridCache {
         let spec = &specs[spec_index];
         let slot = &self.slots[spec_index];
         let mut generated = false;
+        let mut loaded = false;
         let entry = slot.get_or_init(|| {
             generated = true;
+            if let Some(trace) = self.load_recorded(spec) {
+                loaded = true;
+                let segments = spec.segments_of(&trace);
+                // Served from a recording, the entry's `spec` is the *raw*
+                // spec: only `cost` differs from the fitted one, and cells
+                // read nothing but the name (identical) and the segments
+                // (decoded from the calibrated recording).
+                return Arc::new(FittedScenario {
+                    seed: spec.seed,
+                    spec: spec.clone(),
+                    segments,
+                    baseline: OnceLock::new(),
+                });
+            }
             let fitted = calibrate_spec_pooled(spec, self.baseline_buffers, arena).spec;
             let trace = fitted.generate();
             let segments = fitted.segments_of(&trace);
@@ -404,10 +446,26 @@ impl GridCache {
         );
         if generated {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            if loaded {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+            }
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         entry.clone()
+    }
+
+    /// Decodes the recorded calibrated trace for `spec`, or `None` when
+    /// there is no trace directory, the file is absent or undecodable, or
+    /// its identity (name, rate, backend, frame count) disagrees.
+    fn load_recorded(&self, spec: &ScenarioSpec) -> Option<FrameTrace> {
+        let dir = self.trace_dir.as_deref()?;
+        let trace = FrameTrace::load_binary(TraceCache::trace_path(dir, spec)).ok()?;
+        let matches = trace.name == spec.name
+            && trace.rate_hz == spec.rate_hz
+            && trace.backend == spec.backend
+            && trace.len() == spec.frames;
+        matches.then_some(trace)
     }
 
     /// Lifetime hit/miss counters (cumulative across suite calls sharing
@@ -416,6 +474,7 @@ impl GridCache {
         SweepStats {
             cache_hits: self.hits.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
+            cache_loads: self.loads.load(Ordering::Relaxed),
         }
     }
 }
@@ -780,7 +839,7 @@ mod tests {
         let a = cache.fitted(&specs, 0, &mut arena);
         let b = cache.fitted(&specs, 0, &mut arena);
         assert!(Arc::ptr_eq(&a, &b), "a cache hit must return the original Arc");
-        assert_eq!(cache.stats(), SweepStats { cache_hits: 1, cache_misses: 1 });
+        assert_eq!(cache.stats(), SweepStats { cache_hits: 1, cache_misses: 1, cache_loads: 0 });
         // The cached fit equals an independent calibration.
         let fresh = dvs_pipeline::calibrate_spec(&specs[0], 3).spec;
         assert_eq!(a.spec.cost.long_rate_per_sec, fresh.cost.long_rate_per_sec);
@@ -818,9 +877,9 @@ mod tests {
                 .with_paper_fdps(1.0)];
         let cache = GridCache::for_suite(&specs, 3);
         let first = run_suite_cached("t", &specs, 3, &[4], 1, SweepMode::Aggregate, Some(&cache));
-        assert_eq!(first.stats, SweepStats { cache_hits: 0, cache_misses: 1 });
+        assert_eq!(first.stats, SweepStats { cache_hits: 0, cache_misses: 1, cache_loads: 0 });
         let second = run_suite_cached("t", &specs, 3, &[4], 1, SweepMode::Aggregate, Some(&cache));
-        assert_eq!(second.stats, SweepStats { cache_hits: 1, cache_misses: 1 });
+        assert_eq!(second.stats, SweepStats { cache_hits: 1, cache_misses: 1, cache_loads: 0 });
         assert!(second.render().contains("trace cache: 1 hits, 1 misses"));
         assert_eq!(
             serde_json::to_string(&first.result).unwrap(),

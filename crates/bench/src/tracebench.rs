@@ -1,0 +1,329 @@
+//! Trace-codec benchmark: the compact binary format vs JSON over suite75.
+//!
+//! The tentpole claim this measures: the delta-encoded binary container
+//! (`dvs_workload::codec`) stores the benchmark corpus ≥ 5× smaller than
+//! the JSON record/replay format **and** decodes it ≥ 5× faster. Binary
+//! replay is byte-identical to JSON replay — the differential suite pins
+//! that — so the comparison here is pure I/O cost.
+//!
+//! The size ratio is a *pure function* of the committed encoder and the
+//! suite75 corpus: both modes encode the full corpus, so the ratio is
+//! deterministic run to run and the committed baseline gates it exactly.
+//! Quick mode only reduces the timed decode passes (the noisy part).
+//!
+//! `repro bench trace` drives this module from the command line;
+//! `--emit-json` writes the machine-readable result (`BENCH_trace.json` by
+//! convention, committed as the CI regression baseline) and
+//! `--check <baseline>` gates against it.
+
+use std::time::Instant;
+
+use dvs_workload::FrameTrace;
+use serde::{Deserialize, Serialize};
+
+/// Decode throughput of one trace format over the benchmark corpus.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DecodeThroughput {
+    /// Format label (`"binary"` or `"json"`).
+    pub format: String,
+    /// Passes over the whole encoded corpus.
+    pub reps: usize,
+    /// Wall-clock time for all passes, in seconds.
+    pub elapsed_secs: f64,
+    /// Frames decoded per second.
+    pub frames_per_sec: f64,
+    /// Encoded bytes consumed per second.
+    pub bytes_per_sec: f64,
+}
+
+/// The full benchmark result: corpus footprint in both formats plus decode
+/// throughput for each.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceBench {
+    /// Workload label.
+    pub suite: String,
+    /// Whether the timed passes used the reduced CI rep counts.
+    pub quick: bool,
+    /// Scenarios encoded.
+    pub scenarios: usize,
+    /// Total frames encoded.
+    pub frames: usize,
+    /// Corpus footprint as JSON, in bytes.
+    pub json_bytes: u64,
+    /// Corpus footprint in the binary container, in bytes.
+    pub binary_bytes: u64,
+    /// JSON bytes per frame.
+    pub json_bytes_per_frame: f64,
+    /// Binary bytes per frame.
+    pub binary_bytes_per_frame: f64,
+    /// `json_bytes / binary_bytes` — the headline compression claim.
+    pub size_ratio: f64,
+    /// JSON decode throughput.
+    pub json_decode: DecodeThroughput,
+    /// Binary decode throughput.
+    pub binary_decode: DecodeThroughput,
+    /// `binary_decode.frames_per_sec / json_decode.frames_per_sec` — the
+    /// headline decode claim.
+    pub decode_speedup: f64,
+}
+
+/// Encodes the full suite75 benchmark corpus both ways. Returns the traces
+/// alongside their serialized forms so the timed passes decode exactly what
+/// was measured for size.
+fn encoded_corpus() -> (Vec<FrameTrace>, Vec<String>, Vec<Vec<u8>>) {
+    let traces: Vec<FrameTrace> =
+        crate::suite75::bench_suite().iter().map(|spec| spec.generate()).collect();
+    let json: Vec<String> =
+        traces.iter().map(|t| t.to_json().expect("generated traces serialize")).collect();
+    let binary: Vec<Vec<u8>> =
+        traces.iter().map(|t| t.to_binary().expect("generated traces encode")).collect();
+    (traces, json, binary)
+}
+
+/// Times `reps` decode passes over pre-encoded payloads.
+fn measure_decode(
+    format: &str,
+    reps: usize,
+    frames: usize,
+    bytes: u64,
+    mut pass: impl FnMut(),
+) -> DecodeThroughput {
+    let start = Instant::now();
+    for _ in 0..reps {
+        pass();
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    DecodeThroughput {
+        format: format.to_string(),
+        reps,
+        elapsed_secs: elapsed,
+        frames_per_sec: (frames * reps) as f64 / elapsed,
+        bytes_per_sec: (bytes * reps as u64) as f64 / elapsed,
+    }
+}
+
+/// Runs the full comparison. `quick` reduces the timed decode passes; the
+/// size measurement always covers the whole corpus.
+pub fn run(quick: bool) -> TraceBench {
+    let (traces, json, binary) = encoded_corpus();
+    let frames: usize = traces.iter().map(|t| t.len()).sum();
+    let json_bytes: u64 = json.iter().map(|s| s.len() as u64).sum();
+    let binary_bytes: u64 = binary.iter().map(|b| b.len() as u64).sum();
+
+    let reps = if quick { 2 } else { 10 };
+    let binary_decode = measure_decode("binary", reps, frames, binary_bytes, || {
+        for b in &binary {
+            let t = FrameTrace::from_binary(b).expect("benchmark payloads are valid");
+            assert!(!t.is_empty());
+        }
+    });
+    let json_decode = measure_decode("json", reps, frames, json_bytes, || {
+        for s in &json {
+            let t = FrameTrace::from_json(s).expect("benchmark payloads are valid");
+            assert!(!t.is_empty());
+        }
+    });
+
+    TraceBench {
+        suite: "suite75".to_string(),
+        quick,
+        scenarios: traces.len(),
+        frames,
+        json_bytes,
+        binary_bytes,
+        json_bytes_per_frame: json_bytes as f64 / frames.max(1) as f64,
+        binary_bytes_per_frame: binary_bytes as f64 / frames.max(1) as f64,
+        size_ratio: json_bytes as f64 / binary_bytes.max(1) as f64,
+        decode_speedup: binary_decode.frames_per_sec / json_decode.frames_per_sec.max(1e-9),
+        json_decode,
+        binary_decode,
+    }
+}
+
+/// Renders the comparison as an aligned text table.
+pub fn render(b: &TraceBench) -> String {
+    let mut out = String::from("Trace-codec footprint and decode throughput (binary vs JSON)\n");
+    out.push_str(&format!(
+        "corpus: {} — {} scenarios, {} frames\n",
+        b.suite, b.scenarios, b.frames
+    ));
+    out.push_str(&format!(
+        "{:<8} {:>14} {:>12} {:>6} {:>12} {:>16} {:>14}\n",
+        "format", "bytes", "B/frame", "reps", "elapsed (s)", "frames/sec", "MB/sec"
+    ));
+    for (bytes, per_frame, d) in [
+        (b.binary_bytes, b.binary_bytes_per_frame, &b.binary_decode),
+        (b.json_bytes, b.json_bytes_per_frame, &b.json_decode),
+    ] {
+        out.push_str(&format!(
+            "{:<8} {:>14} {:>12.3} {:>6} {:>12.4} {:>16.0} {:>14.1}\n",
+            d.format,
+            bytes,
+            per_frame,
+            d.reps,
+            d.elapsed_secs,
+            d.frames_per_sec,
+            d.bytes_per_sec / 1e6
+        ));
+    }
+    out.push_str(&format!("size ratio (json/binary): {:.2}x\n", b.size_ratio));
+    out.push_str(&format!("decode speedup (frames/sec): {:.1}x\n", b.decode_speedup));
+    out
+}
+
+/// The minimum JSON-over-binary size ratio any run must show — half of the
+/// tentpole's acceptance floor. Deterministic: the ratio is a pure function
+/// of the committed encoder and the suite75 corpus.
+pub const SIZE_FLOOR: f64 = 5.0;
+
+/// The minimum binary-over-JSON decode speedup any run must show — the
+/// other half of the acceptance floor.
+pub const DECODE_FLOOR: f64 = 5.0;
+
+/// Gates a fresh result against a committed baseline.
+///
+/// The absolute floors apply always. The size ratio is additionally gated
+/// at 2 % of the baseline in *either* direction regardless of mode (both
+/// modes encode the full corpus, so any drift is a codec change that should
+/// come with a refreshed baseline). The decode-throughput gates (20 %
+/// relative) apply only when the workload modes match — rep counts differ
+/// otherwise. The speedup ratio compares the two decoders within the same
+/// run, making it insensitive to runner hardware.
+pub fn check(current: &TraceBench, baseline: &TraceBench) -> Result<String, String> {
+    let mut notes = String::new();
+    if current.size_ratio < SIZE_FLOOR {
+        return Err(format!(
+            "size ratio {:.2}x is below the {SIZE_FLOOR}x acceptance floor",
+            current.size_ratio
+        ));
+    }
+    if current.decode_speedup < DECODE_FLOOR {
+        return Err(format!(
+            "decode speedup {:.1}x is below the {DECODE_FLOOR}x acceptance floor",
+            current.decode_speedup
+        ));
+    }
+    if (current.size_ratio - baseline.size_ratio).abs() > 0.02 * baseline.size_ratio {
+        return Err(format!(
+            "size ratio drifted: {:.3}x now vs {:.3}x baseline (the ratio is deterministic — \
+             a codec change must refresh the committed baseline)",
+            current.size_ratio, baseline.size_ratio
+        ));
+    }
+    notes.push_str(&format!(
+        "size ratio {:.2}x vs baseline {:.2}x: ok\n",
+        current.size_ratio, baseline.size_ratio
+    ));
+    if current.quick != baseline.quick {
+        notes.push_str(&format!(
+            "workload modes differ (quick vs full): only the {DECODE_FLOOR}x floor applies to \
+             decode; speedup {:.1}x: ok\n",
+            current.decode_speedup
+        ));
+        return Ok(notes);
+    }
+    if current.decode_speedup < 0.8 * baseline.decode_speedup {
+        return Err(format!(
+            "decode speedup regressed: {:.1}x now vs {:.1}x baseline (>20% drop)",
+            current.decode_speedup, baseline.decode_speedup
+        ));
+    }
+    notes.push_str(&format!(
+        "decode speedup {:.1}x vs baseline {:.1}x: ok\n",
+        current.decode_speedup, baseline.decode_speedup
+    ));
+    if current.binary_decode.frames_per_sec < 0.8 * baseline.binary_decode.frames_per_sec {
+        return Err(format!(
+            "binary decode frames/sec regressed: {:.0} now vs {:.0} baseline (>20% drop)",
+            current.binary_decode.frames_per_sec, baseline.binary_decode.frames_per_sec
+        ));
+    }
+    notes.push_str(&format!(
+        "binary decode frames/sec {:.0} vs baseline {:.0}: ok\n",
+        current.binary_decode.frames_per_sec, baseline.binary_decode.frames_per_sec
+    ));
+    Ok(notes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_workload::{CostProfile, ScenarioSpec};
+
+    fn tiny_bench() -> TraceBench {
+        let traces: Vec<FrameTrace> = (0..3)
+            .map(|i| {
+                ScenarioSpec::new(format!("t{i}"), 60, 400, CostProfile::scattered(2.0)).generate()
+            })
+            .collect();
+        let json: Vec<String> = traces.iter().map(|t| t.to_json().unwrap()).collect();
+        let binary: Vec<Vec<u8>> = traces.iter().map(|t| t.to_binary().unwrap()).collect();
+        let frames: usize = traces.iter().map(|t| t.len()).sum();
+        let json_bytes: u64 = json.iter().map(|s| s.len() as u64).sum();
+        let binary_bytes: u64 = binary.iter().map(|b| b.len() as u64).sum();
+        let binary_decode = measure_decode("binary", 1, frames, binary_bytes, || {
+            for b in &binary {
+                FrameTrace::from_binary(b).unwrap();
+            }
+        });
+        let json_decode = measure_decode("json", 1, frames, json_bytes, || {
+            for s in &json {
+                FrameTrace::from_json(s).unwrap();
+            }
+        });
+        TraceBench {
+            suite: "tiny".into(),
+            quick: true,
+            scenarios: traces.len(),
+            frames,
+            json_bytes,
+            binary_bytes,
+            json_bytes_per_frame: json_bytes as f64 / frames as f64,
+            binary_bytes_per_frame: binary_bytes as f64 / frames as f64,
+            size_ratio: json_bytes as f64 / binary_bytes as f64,
+            decode_speedup: binary_decode.frames_per_sec / json_decode.frames_per_sec,
+            json_decode,
+            binary_decode,
+        }
+    }
+
+    #[test]
+    fn binary_is_smaller_and_faster_even_on_tiny_corpora() {
+        let b = tiny_bench();
+        assert!(b.size_ratio > 3.0, "size ratio {:.2}", b.size_ratio);
+        assert!(b.decode_speedup > 1.0, "decode speedup {:.2}", b.decode_speedup);
+    }
+
+    #[test]
+    fn result_roundtrips_through_json_and_renders() {
+        let b = tiny_bench();
+        let json = serde_json::to_string_pretty(&b).unwrap();
+        let back: TraceBench = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.frames, b.frames);
+        let text = render(&back);
+        assert!(text.contains("size ratio"));
+        assert!(text.contains("decode speedup"));
+    }
+
+    #[test]
+    fn check_applies_floors_and_drift_gates() {
+        let mut good = tiny_bench();
+        // Pin the claim fields so the gate logic (not the tiny corpus)
+        // is under test.
+        good.size_ratio = 5.2;
+        good.decode_speedup = 20.0;
+        assert!(check(&good, &good).is_ok());
+
+        let mut below_floor = good.clone();
+        below_floor.size_ratio = 4.9;
+        assert!(check(&below_floor, &good).is_err());
+
+        let mut slow = good.clone();
+        slow.decode_speedup = 4.0;
+        assert!(check(&slow, &good).is_err());
+
+        let mut drifted = good.clone();
+        drifted.size_ratio = 5.5; // > 2% away from 5.2, even though larger
+        assert!(check(&drifted, &good).is_err());
+    }
+}

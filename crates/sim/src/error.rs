@@ -100,6 +100,16 @@ pub enum DvsError {
         /// The rendered violation list.
         detail: String,
     },
+    /// A trace file or stream failed to decode: malformed layout, failed
+    /// checksum, or unsupported format version (`dvs-workload`'s
+    /// `TraceError` unifies into this variant; plain I/O failures map to
+    /// [`DvsError::Io`]).
+    TraceInvalid {
+        /// The trace file (or `"<memory>"` for in-memory decode).
+        path: String,
+        /// What failed to validate.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DvsError {
@@ -142,6 +152,9 @@ impl fmt::Display for DvsError {
             }
             DvsError::GoldenMismatch { path, detail } => {
                 write!(f, "golden mismatch against {path}:\n{detail}")
+            }
+            DvsError::TraceInvalid { path, detail } => {
+                write!(f, "trace {path} failed to validate: {detail}")
             }
         }
     }
@@ -186,6 +199,8 @@ mod tests {
         assert!(e.to_string().contains("3") && e.to_string().contains("8"));
         let e = DvsError::GoldenMismatch { path: "g.json".into(), detail: "fdps".into() };
         assert!(e.to_string().contains("golden mismatch") && e.to_string().contains("g.json"));
+        let e = DvsError::TraceInvalid { path: "t.dvst".into(), detail: "bad magic".into() };
+        assert!(e.to_string().contains("t.dvst") && e.to_string().contains("bad magic"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! loop: it converts the measurements back into a [`CostProfile`], so a
 //! captured trace can seed a calibrated synthetic scenario family.
 
+use dvs_sim::{DvsError, DvsResult};
 use serde::{Deserialize, Serialize};
 
 use crate::generator::CostProfile;
@@ -58,6 +59,25 @@ pub struct TraceProfile {
 /// ```
 pub fn analyze(trace: &FrameTrace) -> TraceProfile {
     assert!(!trace.is_empty(), "cannot analyse an empty trace");
+    profile_of(trace)
+}
+
+/// Characterises a trace, returning a typed error instead of panicking on
+/// an empty trace — the entry point ingestion and other fallible pipelines
+/// use ([`analyze`] keeps the panicking contract for existing callers).
+///
+/// # Errors
+///
+/// Returns [`DvsError::EmptyTrace`] if the trace has no frames.
+pub fn try_analyze(trace: &FrameTrace) -> DvsResult<TraceProfile> {
+    if trace.is_empty() {
+        return Err(DvsError::EmptyTrace);
+    }
+    Ok(profile_of(trace))
+}
+
+/// The analysis core; callers have already rejected empty traces.
+fn profile_of(trace: &FrameTrace) -> TraceProfile {
     let period_ms = trace.period().as_millis_f64();
     let totals: Vec<f64> = trace.frames.iter().map(|f| f.total().as_millis_f64()).collect();
 
@@ -212,5 +232,17 @@ mod tests {
     #[should_panic(expected = "empty trace")]
     fn empty_trace_panics() {
         analyze(&FrameTrace::new("empty", 60));
+    }
+
+    #[test]
+    fn try_analyze_returns_typed_error_on_empty_trace() {
+        let err = try_analyze(&FrameTrace::new("empty", 60)).unwrap_err();
+        assert_eq!(err, DvsError::EmptyTrace);
+    }
+
+    #[test]
+    fn try_analyze_matches_analyze_on_nonempty_traces() {
+        let trace = generated(CostProfile::scattered(2.0), 5_000);
+        assert_eq!(try_analyze(&trace).unwrap(), analyze(&trace));
     }
 }

@@ -14,12 +14,25 @@
 //! spec's RNG seed, so lookups allocate nothing (no name `String` keys) and
 //! a mismatched slice is caught immediately rather than silently returning
 //! another scenario's trace.
+//!
+//! Entries store the full trace plus its animation-segment *ranges*
+//! ([`ScenarioSpec::segment_ranges`]) rather than per-segment [`FrameTrace`]
+//! clones — segments are views into the one shared frame buffer, so caching
+//! a scenario costs one copy of its frames, not two.
+//!
+//! When built with [`TraceCache::with_trace_dir`], lookups first try the
+//! compact binary trace file recorded for the spec (see [`crate::codec`]);
+//! a missing, corrupt, or mismatched file falls back to generation, so a
+//! trace directory is purely an accelerator and can never change results.
 
+use std::ops::Range;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use crate::codec::BINARY_EXT;
 use crate::generator::ScenarioSpec;
-use crate::trace::FrameTrace;
+use crate::trace::{FrameCost, FrameTrace};
 
 /// One scenario's cached generation artifacts.
 #[derive(Debug)]
@@ -28,22 +41,42 @@ pub struct CachedScenario {
     pub seed: u64,
     /// The full generated trace.
     pub trace: FrameTrace,
-    /// The trace sliced into animation segments
-    /// ([`ScenarioSpec::segments_of`]).
-    pub segments: Vec<FrameTrace>,
+    /// Animation-segment ranges into [`CachedScenario::trace`]
+    /// ([`ScenarioSpec::segment_ranges`]) — slices of the shared frame
+    /// buffer, not per-segment trace clones.
+    pub segment_bounds: Vec<Range<usize>>,
+}
+
+impl CachedScenario {
+    /// Number of animation segments.
+    pub fn segment_count(&self) -> usize {
+        self.segment_bounds.len()
+    }
+
+    /// The frames of segment `index`, borrowed from the shared trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn segment_frames(&self, index: usize) -> &[FrameCost] {
+        &self.trace.frames[self.segment_bounds[index].clone()]
+    }
 }
 
 /// Hit/miss counters observed by a cache over its lifetime.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from an already-generated entry.
+    /// Lookups served from an already-populated entry.
     pub hits: u64,
-    /// Lookups that generated the entry (exactly one per scenario).
+    /// Lookups that populated the entry (exactly one per scenario).
     pub misses: u64,
+    /// Of the misses, how many were served by decoding a recorded binary
+    /// trace instead of running the generator.
+    pub loads: u64,
 }
 
 /// Generates each scenario of a fixed spec slice exactly once, sharing the
-/// trace and its segment slices across all consumers.
+/// trace and its segment ranges across all consumers.
 ///
 /// The cache is `Sync`: concurrent workers land on the same [`OnceLock`]
 /// slot, exactly one runs the generator while the rest wait for the
@@ -68,8 +101,10 @@ pub struct CacheStats {
 #[derive(Debug)]
 pub struct TraceCache {
     slots: Vec<OnceLock<Arc<CachedScenario>>>,
+    trace_dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
+    loads: AtomicU64,
 }
 
 impl TraceCache {
@@ -82,9 +117,30 @@ impl TraceCache {
     pub fn with_slots(slots: usize) -> Self {
         TraceCache {
             slots: (0..slots).map(|_| OnceLock::new()).collect(),
+            trace_dir: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            loads: AtomicU64::new(0),
         }
+    }
+
+    /// An empty cache that first tries binary traces recorded under `dir`
+    /// (one [`Self::trace_path`] file per spec, written by
+    /// `repro trace record`). Any file that is absent, fails to decode, or
+    /// does not match its spec's identity falls back to generation.
+    pub fn with_trace_dir(specs: &[ScenarioSpec], dir: impl Into<PathBuf>) -> Self {
+        let mut cache = Self::for_specs(specs);
+        cache.trace_dir = Some(dir.into());
+        cache
+    }
+
+    /// The file a recorded binary trace for `spec` lives at under `dir`:
+    /// `<seed as 16 hex digits>.dvst`. Seeds are stable FNV-1a hashes of the
+    /// scenario name, so the mapping survives renumbering a suite; raw and
+    /// calibrated recordings of the same spec share a seed and must go in
+    /// separate directories.
+    pub fn trace_path(dir: &Path, spec: &ScenarioSpec) -> PathBuf {
+        dir.join(format!("{:016x}.{BINARY_EXT}", spec.seed))
     }
 
     /// The scenario count this cache was sized for.
@@ -97,8 +153,9 @@ impl TraceCache {
         self.slots.is_empty()
     }
 
-    /// The trace (and segments) for `specs[spec_index]`, generated on first
-    /// use and shared afterwards.
+    /// The trace (and segment ranges) for `specs[spec_index]`, generated —
+    /// or decoded from the trace directory — on first use and shared
+    /// afterwards.
     ///
     /// # Panics
     ///
@@ -109,11 +166,18 @@ impl TraceCache {
         let spec = &specs[spec_index];
         let slot = &self.slots[spec_index];
         let mut generated = false;
+        let mut loaded = false;
         let entry = slot.get_or_init(|| {
             generated = true;
-            let trace = spec.generate();
-            let segments = spec.segments_of(&trace);
-            Arc::new(CachedScenario { seed: spec.seed, trace, segments })
+            let trace = match self.load_recorded(spec) {
+                Some(t) => {
+                    loaded = true;
+                    t
+                }
+                None => spec.generate(),
+            };
+            let segment_bounds = spec.segment_ranges(trace.len());
+            Arc::new(CachedScenario { seed: spec.seed, trace, segment_bounds })
         });
         assert_eq!(
             entry.seed, spec.seed,
@@ -122,10 +186,26 @@ impl TraceCache {
         );
         if generated {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            if loaded {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+            }
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         entry.clone()
+    }
+
+    /// Decodes the recorded binary trace for `spec`, or `None` when there is
+    /// no trace directory, the file is absent/undecodable, or its identity
+    /// (name, rate, backend, frame count) disagrees with the spec.
+    fn load_recorded(&self, spec: &ScenarioSpec) -> Option<FrameTrace> {
+        let dir = self.trace_dir.as_deref()?;
+        let trace = FrameTrace::load_binary(Self::trace_path(dir, spec)).ok()?;
+        let matches = trace.name == spec.name
+            && trace.rate_hz == spec.rate_hz
+            && trace.backend == spec.backend
+            && trace.len() == spec.frames;
+        matches.then_some(trace)
     }
 
     /// Lifetime hit/miss counters.
@@ -133,6 +213,7 @@ impl TraceCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            loads: self.loads.load(Ordering::Relaxed),
         }
     }
 }
@@ -158,7 +239,25 @@ mod tests {
         for (i, spec) in specs.iter().enumerate() {
             let entry = cache.get(&specs, i);
             assert_eq!(entry.trace, spec.generate());
-            assert_eq!(entry.segments, spec.generate_segments());
+        }
+    }
+
+    #[test]
+    fn segment_ranges_match_cloned_segments() {
+        // The differential guard for the range representation: slicing the
+        // shared trace through `segment_bounds` must reproduce, frame for
+        // frame, what the old per-segment clones held.
+        let specs = specs();
+        let cache = TraceCache::for_specs(&specs);
+        for (i, spec) in specs.iter().enumerate() {
+            let entry = cache.get(&specs, i);
+            let cloned = spec.generate_segments();
+            assert_eq!(entry.segment_count(), cloned.len());
+            for (k, seg) in cloned.iter().enumerate() {
+                assert_eq!(entry.segment_frames(k), seg.frames.as_slice());
+            }
+            let covered: usize = entry.segment_bounds.iter().map(|r| r.len()).sum();
+            assert_eq!(covered, entry.trace.len(), "ranges tile the trace with no copies");
         }
     }
 
@@ -169,7 +268,7 @@ mod tests {
         let a = cache.get(&specs, 0);
         let b = cache.get(&specs, 0);
         assert!(Arc::ptr_eq(&a, &b), "a hit must return the original allocation");
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, loads: 0 });
     }
 
     #[test]
@@ -210,5 +309,38 @@ mod tests {
         let _ = cache.get(&specs, 0);
         let other = vec![ScenarioSpec::new("imposter", 60, 180, CostProfile::smooth())];
         let _ = cache.get(&other, 0);
+    }
+
+    #[test]
+    fn trace_dir_serves_recorded_traces_byte_identically() {
+        let specs = specs();
+        let dir = std::env::temp_dir().join(format!("dvst-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for spec in &specs {
+            spec.generate().save_binary(TraceCache::trace_path(&dir, spec)).unwrap();
+        }
+        let cache = TraceCache::with_trace_dir(&specs, &dir);
+        for (i, spec) in specs.iter().enumerate() {
+            assert_eq!(cache.get(&specs, i).trace, spec.generate());
+        }
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2, loads: 2 });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_or_mismatched_recording_falls_back_to_generation() {
+        let specs = specs();
+        let dir = std::env::temp_dir().join(format!("dvst-cache-miss-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Record a trace whose identity disagrees with spec 0; leave spec 1
+        // with no file at all. Both must fall back to the generator.
+        let imposter = ScenarioSpec::new("imposter", 90, 30, CostProfile::smooth());
+        imposter.generate().save_binary(TraceCache::trace_path(&dir, &specs[0])).unwrap();
+        let cache = TraceCache::with_trace_dir(&specs, &dir);
+        for (i, spec) in specs.iter().enumerate() {
+            assert_eq!(cache.get(&specs, i).trace, spec.generate());
+        }
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2, loads: 0 });
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -199,18 +199,30 @@ impl ScenarioSpec {
     ///
     /// [`generate_segments`]: ScenarioSpec::generate_segments
     pub fn segments_of(&self, full: &FrameTrace) -> Vec<FrameTrace> {
-        let seg = self.segment_frames.max(1);
-        let mut out = Vec::with_capacity(full.len() / seg + 1);
-        let mut frames = full.frames.as_slice();
-        let mut index = 0usize;
-        while !frames.is_empty() {
-            let take = seg.min(frames.len());
+        let mut out = Vec::with_capacity(full.len() / self.segment_frames.max(1) + 1);
+        for (index, range) in self.segment_ranges(full.len()).into_iter().enumerate() {
             let mut t = FrameTrace::new(format!("{} [seg {index}]", self.name), self.rate_hz)
                 .with_backend(self.backend);
-            t.frames.extend_from_slice(&frames[..take]);
-            frames = &frames[take..];
-            index += 1;
+            t.frames.extend_from_slice(&full.frames[range]);
             out.push(t);
+        }
+        out
+    }
+
+    /// The frame ranges [`segments_of`] would slice a `total_frames`-long
+    /// trace into — the allocation-free form a cache can store alongside one
+    /// shared trace instead of cloning every frame into per-segment copies.
+    /// The final range keeps the remainder (it is never empty).
+    ///
+    /// [`segments_of`]: ScenarioSpec::segments_of
+    pub fn segment_ranges(&self, total_frames: usize) -> Vec<std::ops::Range<usize>> {
+        let seg = self.segment_frames.max(1);
+        let mut out = Vec::with_capacity(total_frames / seg + 1);
+        let mut start = 0usize;
+        while start < total_frames {
+            let end = (start + seg).min(total_frames);
+            out.push(start..end);
+            start = end;
         }
         out
     }

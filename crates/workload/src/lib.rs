@@ -22,6 +22,8 @@ pub mod features;
 pub mod scenarios;
 pub mod tasks;
 
+pub mod codec;
+
 mod analyze;
 mod cache;
 mod compose;
@@ -30,8 +32,9 @@ mod fleet;
 mod generator;
 mod trace;
 
-pub use analyze::{analyze, TraceProfile};
+pub use analyze::{analyze, try_analyze, TraceProfile};
 pub use cache::{CacheStats, CachedScenario, TraceCache};
+pub use codec::{TraceReader, TraceWriter};
 pub use compose::{
     app_plus_keyboard, app_plus_video, compositor_scenario_suite, mixed_policy_fleet,
     CompositeScenario, PacingPath, SurfaceSpec,

@@ -9,10 +9,9 @@
 
 use std::fmt;
 use std::fs;
-use std::io;
 use std::path::Path;
 
-use dvs_sim::SimDuration;
+use dvs_sim::{DvsError, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// The GPU API backend a scenario ran on (§3.2 evaluates both).
@@ -86,42 +85,99 @@ pub struct FrameTrace {
     pub frames: Vec<FrameCost>,
 }
 
-/// Errors reading or writing traces.
-#[derive(Debug)]
+/// Errors reading or writing traces. Every variant carries the path (or
+/// `"<memory>"` for in-memory encode/decode) so failures deep in a sweep or
+/// ingest pipeline name the file that caused them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum TraceError {
-    /// Filesystem failure.
-    Io(io::Error),
+    /// Filesystem or stream failure.
+    Io {
+        /// The file (or stream label) the operation targeted.
+        path: String,
+        /// What was being done (`"read"`, `"write block"`, …).
+        op: &'static str,
+        /// The underlying OS error text.
+        detail: String,
+    },
     /// Malformed JSON.
-    Parse(serde_json::Error),
+    Parse {
+        /// The file (or `"<memory>"`) being parsed.
+        path: String,
+        /// The parser's diagnostic.
+        detail: String,
+    },
+    /// A structurally invalid binary trace (bad magic, impossible lengths,
+    /// truncated payload).
+    Format {
+        /// The file (or `"<memory>"`) being decoded.
+        path: String,
+        /// What failed to validate.
+        detail: String,
+    },
+    /// A binary trace whose checksums or frame accounting disagree with its
+    /// contents (torn write, bit flip).
+    Corrupt {
+        /// The file (or `"<memory>"`) being decoded.
+        path: String,
+        /// Which check failed.
+        detail: String,
+    },
+    /// A binary trace written by an unsupported format version.
+    Version {
+        /// The file (or `"<memory>"`) being decoded.
+        path: String,
+        /// The version the file declares.
+        got: u16,
+        /// The version this build supports.
+        supported: u16,
+    },
 }
 
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceError::Io(e) => write!(f, "trace i/o failed: {e}"),
-            TraceError::Parse(e) => write!(f, "trace parse failed: {e}"),
+            TraceError::Io { path, op, detail } => {
+                write!(f, "trace i/o failed: could not {op} {path}: {detail}")
+            }
+            TraceError::Parse { path, detail } => {
+                write!(f, "trace parse failed for {path}: {detail}")
+            }
+            TraceError::Format { path, detail } => {
+                write!(f, "malformed binary trace {path}: {detail}")
+            }
+            TraceError::Corrupt { path, detail } => {
+                write!(f, "corrupt binary trace {path}: {detail}")
+            }
+            TraceError::Version { path, got, supported } => {
+                write!(
+                    f,
+                    "binary trace {path} is format version {got}; this build supports \
+                     version {supported}"
+                )
+            }
         }
     }
 }
 
-impl std::error::Error for TraceError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            TraceError::Io(e) => Some(e),
-            TraceError::Parse(e) => Some(e),
+impl std::error::Error for TraceError {}
+
+/// Trace failures unify into the workspace error model: I/O keeps its
+/// path+op shape, everything else becomes [`DvsError::TraceInvalid`] — so
+/// `repro` trace/ingest subcommands report typed errors like the rest of
+/// the CLI.
+impl From<TraceError> for DvsError {
+    fn from(e: TraceError) -> Self {
+        match e {
+            TraceError::Io { path, op, detail } => DvsError::Io { path, op: op.into(), detail },
+            TraceError::Parse { path, detail } => DvsError::TraceInvalid { path, detail },
+            TraceError::Format { path, detail } => DvsError::TraceInvalid { path, detail },
+            TraceError::Corrupt { path, detail } => DvsError::TraceInvalid { path, detail },
+            TraceError::Version { path, got, supported } => DvsError::TraceInvalid {
+                path,
+                detail: format!("format version {got} (supported: {supported})"),
+            },
         }
-    }
-}
-
-impl From<io::Error> for TraceError {
-    fn from(e: io::Error) -> Self {
-        TraceError::Io(e)
-    }
-}
-
-impl From<serde_json::Error> for TraceError {
-    fn from(e: serde_json::Error) -> Self {
-        TraceError::Parse(e)
     }
 }
 
@@ -175,7 +231,8 @@ impl FrameTrace {
     /// Returns [`TraceError::Parse`] if serialisation fails (practically
     /// impossible for this type, but surfaced rather than unwrapped).
     pub fn to_json(&self) -> Result<String, TraceError> {
-        Ok(serde_json::to_string(self)?)
+        serde_json::to_string(self)
+            .map_err(|e| TraceError::Parse { path: "<memory>".into(), detail: e.to_string() })
     }
 
     /// Parses from JSON.
@@ -184,7 +241,8 @@ impl FrameTrace {
     ///
     /// Returns [`TraceError::Parse`] on malformed input.
     pub fn from_json(json: &str) -> Result<Self, TraceError> {
-        Ok(serde_json::from_str(json)?)
+        serde_json::from_str(json)
+            .map_err(|e| TraceError::Parse { path: "<memory>".into(), detail: e.to_string() })
     }
 
     /// Writes the trace as JSON to `path`.
@@ -193,8 +251,12 @@ impl FrameTrace {
     ///
     /// Returns [`TraceError::Io`] on filesystem failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
-        fs::write(path, self.to_json()?)?;
-        Ok(())
+        let path = path.as_ref();
+        fs::write(path, self.to_json()?).map_err(|e| TraceError::Io {
+            path: path.display().to_string(),
+            op: "write",
+            detail: e.to_string(),
+        })
     }
 
     /// Reads a JSON trace from `path`.
@@ -204,7 +266,16 @@ impl FrameTrace {
     /// Returns [`TraceError::Io`] on filesystem failure and
     /// [`TraceError::Parse`] on malformed content.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceError> {
-        Self::from_json(&fs::read_to_string(path)?)
+        let path = path.as_ref();
+        let text = fs::read_to_string(path).map_err(|e| TraceError::Io {
+            path: path.display().to_string(),
+            op: "read",
+            detail: e.to_string(),
+        })?;
+        serde_json::from_str(&text).map_err(|e| TraceError::Parse {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })
     }
 }
 
@@ -252,14 +323,34 @@ mod tests {
     #[test]
     fn load_missing_file_is_io_error() {
         let err = FrameTrace::load("/nonexistent/definitely/missing.json").unwrap_err();
-        assert!(matches!(err, TraceError::Io(_)));
+        assert!(matches!(err, TraceError::Io { .. }));
         assert!(err.to_string().contains("i/o"));
+        assert!(err.to_string().contains("missing.json"), "error names the path: {err}");
     }
 
     #[test]
     fn parse_garbage_is_parse_error() {
         let err = FrameTrace::from_json("not json").unwrap_err();
-        assert!(matches!(err, TraceError::Parse(_)));
+        assert!(matches!(err, TraceError::Parse { .. }));
+    }
+
+    #[test]
+    fn trace_errors_unify_into_dvs_error() {
+        let io = TraceError::Io { path: "/tmp/x.dvst".into(), op: "read", detail: "gone".into() };
+        match DvsError::from(io) {
+            DvsError::Io { path, op, detail } => {
+                assert_eq!(path, "/tmp/x.dvst");
+                assert_eq!(op, "read");
+                assert_eq!(detail, "gone");
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+        let version = TraceError::Version { path: "t.dvst".into(), got: 9, supported: 1 };
+        let e = DvsError::from(version);
+        assert!(matches!(e, DvsError::TraceInvalid { .. }));
+        assert!(e.to_string().contains("t.dvst") && e.to_string().contains('9'));
+        let corrupt = TraceError::Corrupt { path: "t.dvst".into(), detail: "checksum".into() };
+        assert!(DvsError::from(corrupt).to_string().contains("checksum"));
     }
 
     #[test]

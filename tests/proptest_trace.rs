@@ -1,0 +1,196 @@
+//! Property-based tests on the binary trace codec: JSON and binary
+//! round-trips agree on arbitrary traces (including empty, single-frame, and
+//! max-duration costs), and corrupted bytes — truncation, flipped payload
+//! bits, tampered version fields — are rejected with typed errors rather
+//! than decoded into a different trace.
+
+use proptest::prelude::*;
+
+use dvsync::workload::codec::{BLOCK_FRAMES, FORMAT_VERSION};
+use dvsync::workload::{Backend, FrameCost, FrameTrace, TraceError};
+
+/// FNV-1a over `bytes`, mirroring the codec's checksum so tests can re-seal
+/// a tampered header and prove the version check fires on its own.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Bytes before the header checksum: magic (4) + version (2) + rate (4) +
+/// backend (1) + name length (2) + name.
+fn header_crc_offset(name: &str) -> usize {
+    13 + name.len()
+}
+
+/// Bytes through the end of the sealed header.
+fn header_len(name: &str) -> usize {
+    header_crc_offset(name) + 8
+}
+
+/// One frame-cost duration in nanoseconds, biased toward the edges the
+/// zigzag-delta encoder has to get right: zero, max, near-max, and small
+/// values next to huge neighbours (worst-case deltas).
+fn cost_nanos() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(u64::MAX),
+        Just(u64::MAX - 1),
+        Just(1u64),
+        0u64..50_000_000,
+        0u64..=u64::MAX,
+    ]
+}
+
+fn trace_names() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("probe"), Just(""), Just("two words + punct.!"), Just("snabbköp — ügy"),]
+}
+
+fn backends() -> impl Strategy<Value = Backend> {
+    prop_oneof![Just(Backend::Gles), Just(Backend::Vulkan)]
+}
+
+fn build_trace(name: &str, rate_hz: u32, backend: Backend, costs: &[(u64, u64)]) -> FrameTrace {
+    let mut t = FrameTrace::new(name, rate_hz).with_backend(backend);
+    for &(ui, rs) in costs {
+        t.push(FrameCost::new(
+            dvsync::sim::SimDuration::from_nanos(ui),
+            dvsync::sim::SimDuration::from_nanos(rs),
+        ));
+    }
+    t
+}
+
+proptest! {
+    /// Binary round-trips losslessly, and agrees byte-for-byte with the JSON
+    /// round-trip, for arbitrary traces — empty through multi-block.
+    #[test]
+    fn json_and_binary_round_trips_agree(
+        name in trace_names(),
+        rate_hz in 1u32..=1000,
+        backend in backends(),
+        costs in prop::collection::vec((cost_nanos(), cost_nanos()), 0..2600),
+    ) {
+        let trace = build_trace(name, rate_hz, backend, &costs);
+        let from_bin = FrameTrace::from_binary(&trace.to_binary().unwrap()).unwrap();
+        prop_assert_eq!(&from_bin, &trace);
+        let from_json = FrameTrace::from_json(&trace.to_json().unwrap()).unwrap();
+        prop_assert_eq!(&from_json, &from_bin);
+    }
+
+    /// Truncating the stream anywhere short of the trailer never decodes:
+    /// it surfaces as a typed I/O or corruption error, not a partial trace.
+    #[test]
+    fn truncation_is_rejected(
+        costs in prop::collection::vec((cost_nanos(), cost_nanos()), 0..1200),
+        cut_seed in 0u64..=u64::MAX,
+    ) {
+        let trace = build_trace("trunc prop", 60, Backend::Gles, &costs);
+        let bytes = trace.to_binary().unwrap();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        let err = FrameTrace::from_binary(&bytes[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(err, TraceError::Io { .. } | TraceError::Corrupt { .. } | TraceError::Format { .. }),
+            "truncation at {} of {} gave {}", cut, bytes.len(), err
+        );
+    }
+
+    /// Flipping any bit of the first block's payload trips that block's
+    /// checksum: every payload byte is integrity-covered.
+    #[test]
+    fn payload_bit_flips_trip_the_checksum(
+        costs in prop::collection::vec((cost_nanos(), cost_nanos()), 1..1024),
+        offset_seed in 0u64..=u64::MAX,
+        bit in 0u8..8,
+    ) {
+        let trace = build_trace("flip prop", 60, Backend::Gles, &costs);
+        let mut bytes = trace.to_binary().unwrap();
+        // Payload starts after the sealed header + count u32 + payload_len u32.
+        let start = header_len("flip prop") + 8;
+        let payload_len =
+            u32::from_le_bytes(bytes[start - 4..start].try_into().unwrap()) as usize;
+        let at = start + (offset_seed % payload_len as u64) as usize;
+        bytes[at] ^= 1 << bit;
+        let err = FrameTrace::from_binary(&bytes).unwrap_err();
+        prop_assert!(
+            matches!(err, TraceError::Corrupt { .. }),
+            "flip at byte {at} bit {bit} gave {err}"
+        );
+    }
+
+    /// Flipping any single bit anywhere in the file never silently yields a
+    /// different trace: decode either fails or returns the original.
+    #[test]
+    fn no_single_bit_flip_decodes_to_a_different_trace(
+        costs in prop::collection::vec((cost_nanos(), cost_nanos()), 0..600),
+        offset_seed in 0u64..=u64::MAX,
+        bit in 0u8..8,
+    ) {
+        let trace = build_trace("whole-file flip", 90, Backend::Vulkan, &costs);
+        let mut bytes = trace.to_binary().unwrap();
+        let at = (offset_seed % bytes.len() as u64) as usize;
+        bytes[at] ^= 1 << bit;
+        if let Ok(decoded) = FrameTrace::from_binary(&bytes) {
+            prop_assert_eq!(decoded, trace, "flip at byte {} accepted", at);
+        }
+    }
+
+    /// An unsupported version is reported as `Version { got, supported }`
+    /// even when the header checksum is re-sealed — the version check stands
+    /// on its own rather than hiding behind checksum failures.
+    #[test]
+    fn wrong_version_is_a_version_error(version in 0u16..=u16::MAX) {
+        if version == FORMAT_VERSION {
+            return Ok(());
+        }
+        let trace = build_trace("ver prop", 60, Backend::Gles, &[(1, 2)]);
+        let mut bytes = trace.to_binary().unwrap();
+        bytes[4..6].copy_from_slice(&version.to_le_bytes());
+        let crc_at = header_crc_offset("ver prop");
+        let crc = fnv1a(&bytes[..crc_at]);
+        bytes[crc_at..crc_at + 8].copy_from_slice(&crc.to_le_bytes());
+        let err = FrameTrace::from_binary(&bytes).unwrap_err();
+        prop_assert!(
+            matches!(err, TraceError::Version { got, supported: FORMAT_VERSION, .. } if got == version),
+            "version {version} gave {err}"
+        );
+    }
+}
+
+/// The explicit edge cases the issue calls out, outside the random sampler
+/// so they run on every test invocation regardless of generated cases.
+#[test]
+fn edge_traces_round_trip_identically_in_both_formats() {
+    let edges: [&[(u64, u64)]; 4] = [
+        &[],
+        &[(2_000_000, 5_000_000)],
+        &[(u64::MAX, u64::MAX)],
+        &[(0, u64::MAX), (u64::MAX, 0), (1, u64::MAX - 1)],
+    ];
+    for (i, costs) in edges.iter().enumerate() {
+        let trace = build_trace("edge", 120, Backend::Vulkan, costs);
+        let from_bin = FrameTrace::from_binary(&trace.to_binary().unwrap()).unwrap();
+        let from_json = FrameTrace::from_json(&trace.to_json().unwrap()).unwrap();
+        assert_eq!(from_bin, trace, "edge case {i}");
+        assert_eq!(from_json, from_bin, "edge case {i}");
+    }
+}
+
+/// A trace spanning several blocks decodes block-by-block to the same frames
+/// the bulk decoder produces (streaming and one-shot paths agree).
+#[test]
+fn multi_block_trace_streams_identically() {
+    let mut costs = Vec::new();
+    for i in 0..(2 * BLOCK_FRAMES as u64 + 37) {
+        costs.push((i * 1000, u64::MAX - i));
+    }
+    let trace = build_trace("blocks", 60, Backend::Gles, &costs);
+    let bytes = trace.to_binary().unwrap();
+    let mut reader = dvsync::workload::TraceReader::new(bytes.as_slice()).unwrap();
+    let mut frames = Vec::new();
+    while reader.read_block_into(&mut frames).unwrap() > 0 {}
+    assert_eq!(frames, trace.frames);
+}
