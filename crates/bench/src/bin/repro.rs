@@ -496,7 +496,7 @@ fn run_lint(args: &[String]) -> Result<(String, bool), String> {
             dvs_lint::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
         })
         .ok_or("no workspace root with a lint.toml found above the current directory")?;
-    let analysis = dvs_lint::analyze_workspace(&root)?;
+    let analysis = dvs_lint::analyze_workspace(&root).map_err(|e| e.to_string())?;
     let mut out = dvs_lint::render_text(&analysis);
     if let Some(path) = emit {
         let json = dvs_lint::render_json(&analysis);

@@ -93,8 +93,10 @@ impl Checkpoint {
     /// Serializes to the on-disk text: payload line + checksum line.
     pub fn to_file_text(&self) -> DvsResult<String> {
         let payload = serde_json::to_string(self)
+            // dvs-lint: allow(hot-alloc, reason = "checkpoint serialization runs at checkpoint cadence, once per N completed cells, not per frame")
             .map_err(|e| DvsError::InvalidConfig(format!("checkpoint serialization: {e}")))?;
         let checksum = fingerprint_of(&payload);
+        // dvs-lint: allow(hot-alloc, reason = "checkpoint serialization runs at checkpoint cadence, once per N completed cells, not per frame")
         Ok(format!("{payload}\n{checksum:016x}\n"))
     }
 
@@ -112,8 +114,9 @@ impl Checkpoint {
     /// replacement. [`Checkpoint::load`] must reject the result.
     pub fn save_torn(&self, path: &Path) -> DvsResult<()> {
         let text = self.to_file_text()?;
+        // dvs-lint: allow(panic-escape, reason = "the slice end is text.len()/2, always within the same buffer")
         let torn = &text.as_bytes()[..text.len() / 2];
-        fs::write(path, torn).map_err(|e| io_error(path, "write", e))
+        fs::write(path, torn).map_err(|e| checkpoint_io_error(path, "write", e))
     }
 
     /// Loads and validates a checkpoint: checksum, parse, version, and
@@ -121,6 +124,7 @@ impl Checkpoint {
     pub fn load(path: &Path, expect_fingerprint: u64) -> DvsResult<Checkpoint> {
         let text = read_text(path)?;
         let corrupt = |detail: String| DvsError::CheckpointCorrupt {
+            // dvs-lint: allow(hot-alloc, reason = "checkpoint resume runs once per process, before the sweep loop starts")
             path: path.display().to_string(),
             detail,
         };
@@ -129,27 +133,33 @@ impl Checkpoint {
             return Err(corrupt("missing checksum line (torn or short write)".into()));
         };
         let Ok(expected) = u64::from_str_radix(checksum_line.trim(), 16) else {
+            // dvs-lint: allow(hot-alloc, reason = "corrupt-checkpoint error path, at most once per resume")
             return Err(corrupt(format!("unparseable checksum line {checksum_line:?}")));
         };
         let actual = fingerprint_of(payload);
         if actual != expected {
+            // dvs-lint: allow(hot-alloc, reason = "corrupt-checkpoint error path, at most once per resume")
             return Err(corrupt(format!(
                 "checksum mismatch: payload hashes to {actual:016x}, file says {expected:016x}"
             )));
         }
         let ckpt: Checkpoint = serde_json::from_str(payload)
+            // dvs-lint: allow(hot-alloc, reason = "corrupt-checkpoint error path, at most once per resume")
             .map_err(|e| corrupt(format!("payload does not parse: {e}")))?;
         let incompatible = |detail: String| DvsError::CheckpointIncompatible {
+            // dvs-lint: allow(hot-alloc, reason = "checkpoint resume runs once per process, before the sweep loop starts")
             path: path.display().to_string(),
             detail,
         };
         if ckpt.version != CHECKPOINT_VERSION {
+            // dvs-lint: allow(hot-alloc, reason = "incompatible-checkpoint error path, at most once per resume")
             return Err(incompatible(format!(
                 "format version {} (this build reads version {CHECKPOINT_VERSION})",
                 ckpt.version
             )));
         }
         if ckpt.fingerprint != expect_fingerprint {
+            // dvs-lint: allow(hot-alloc, reason = "incompatible-checkpoint error path, at most once per resume")
             return Err(incompatible(format!(
                 "grid fingerprint {:016x} does not match this sweep's {expect_fingerprint:016x} \
                  (different scenarios, buffers, mode, or retry policy)",
@@ -161,21 +171,22 @@ impl Checkpoint {
 }
 
 /// Builds a [`DvsError::Io`] carrying the path and operation.
-pub fn io_error(path: &Path, op: &str, e: std::io::Error) -> DvsError {
+pub fn checkpoint_io_error(path: &Path, op: &str, e: std::io::Error) -> DvsError {
+    // dvs-lint: allow(hot-alloc, reason = "I/O-failure error construction, cold by definition")
     DvsError::Io { path: path.display().to_string(), op: op.to_string(), detail: e.to_string() }
 }
 
 /// Reads a file to a string with a typed, path-carrying error.
 pub fn read_text(path: &Path) -> DvsResult<String> {
-    fs::read_to_string(path).map_err(|e| io_error(path, "read", e))
+    fs::read_to_string(path).map_err(|e| checkpoint_io_error(path, "read", e))
 }
 
 /// Writes a string to a file with a typed, path-carrying error.
 pub fn write_text(path: &Path, text: &str) -> DvsResult<()> {
     if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-        fs::create_dir_all(parent).map_err(|e| io_error(parent, "create dir", e))?;
+        fs::create_dir_all(parent).map_err(|e| checkpoint_io_error(parent, "create dir", e))?;
     }
-    fs::write(path, text).map_err(|e| io_error(path, "write", e))
+    fs::write(path, text).map_err(|e| checkpoint_io_error(path, "write", e))
 }
 
 /// Writes via a sibling temp file plus rename, so readers never observe a
@@ -185,7 +196,7 @@ pub fn write_atomic(path: &Path, text: &str) -> DvsResult<()> {
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
     write_text(&tmp, text)?;
-    fs::rename(&tmp, path).map_err(|e| io_error(path, "rename into", e))
+    fs::rename(&tmp, path).map_err(|e| checkpoint_io_error(path, "rename into", e))
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@ use std::path::{Path, PathBuf};
 use dvs_sim::{DvsError, DvsResult};
 use serde::{Deserialize, Serialize};
 
-use crate::checkpoint::{io_error, read_text};
+use crate::checkpoint::{checkpoint_io_error, read_text};
 use crate::suite::SuiteResult;
 use crate::suite75::Census;
 
@@ -423,12 +423,12 @@ where
 /// Writes `value` as pretty JSON to `path`, creating parent directories.
 pub fn write_golden<T: Serialize>(path: &Path, value: &T) -> DvsResult<()> {
     if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent).map_err(|e| io_error(parent, "create dir", e))?;
+        fs::create_dir_all(parent).map_err(|e| checkpoint_io_error(parent, "create dir", e))?;
     }
     let mut text = serde_json::to_string_pretty(value)
         .map_err(|e| DvsError::InvalidConfig(format!("golden serialization: {e}")))?;
     text.push('\n');
-    fs::write(path, text).map_err(|e| io_error(path, "write", e))
+    fs::write(path, text).map_err(|e| checkpoint_io_error(path, "write", e))
 }
 
 #[cfg(test)]

@@ -147,6 +147,7 @@ impl SweepReport {
     /// The canonical JSON encoding — the artifact the byte-identity
     /// guarantee is stated over.
     pub fn to_json(&self) -> String {
+        // dvs-lint: allow(panic-escape, reason = "serde_json serialization of plain data structs with string keys cannot fail")
         serde_json::to_string_pretty(self).expect("sweep report serializes")
     }
 }
@@ -175,7 +176,6 @@ impl ResilientSweep {
     /// Renders the suite table, cache line, quarantine list, and accounting
     /// summary.
     pub fn render(&self) -> String {
-        // dvs-lint: allow(hot-alloc, reason = "rendering runs once after the sweep completes, not per cell")
         let mut out = SuiteSweep { result: self.report.result.clone(), stats: self.stats }.render();
         out.push_str(&self.report.quarantine.render());
         out.push_str(&self.accounting.render());
@@ -274,9 +274,22 @@ where
         match outcome {
             Ok(metrics) => {
                 // Fresh and resumed cells both travel this serialize path, so
-                // resume cannot introduce a representation difference.
-                let json = serde_json::to_string(&metrics).expect("cell metrics serialize");
-                return CellSlot { ok: Some(json), quarantined: None, attempts };
+                // resume cannot introduce a representation difference. A
+                // serialize failure is quarantined like a panic would be —
+                // one unrepresentable cell must not take down the sweep.
+                return match serde_json::to_string(&metrics) {
+                    Ok(json) => CellSlot { ok: Some(json), quarantined: None, attempts },
+                    Err(e) => CellSlot {
+                        ok: None,
+                        quarantined: Some(QuarantinedSlot {
+                            // dvs-lint: allow(hot-alloc, reason = "quarantine-cause construction on the serialization-failure path only")
+                            key: key.to_string(),
+                            // dvs-lint: allow(hot-alloc, reason = "quarantine-cause construction on the serialization-failure path only")
+                            cause: format!("cell metrics failed to serialize: {e}"),
+                        }),
+                        attempts,
+                    },
+                };
             }
             Err(payload) => {
                 // The unwind may have abandoned the arena mid-run: replace it
@@ -347,13 +360,17 @@ where
             break;
         }
         let already_done = {
+            // dvs-lint: allow(panic-escape, reason = "poisoning requires a worker panic, which the cell boundary quarantines; treating an escape as fatal is the design")
             let sh = shared.lock().expect("resilient sweep state poisoned");
+            // dvs-lint: allow(panic-escape, reason = "slots has n entries and i < n is checked above")
             sh.slots[i].is_some()
         };
         if already_done {
             continue; // restored from the checkpoint; nothing to execute
         }
+        // dvs-lint: allow(panic-escape, reason = "keys has n entries and i < n is checked above")
         let slot = run_attempts(i, &keys[i], arena, cfg, work);
+        // dvs-lint: allow(panic-escape, reason = "poisoning requires a worker panic, which the cell boundary quarantines; treating an escape as fatal is the design")
         let mut sh = shared.lock().expect("resilient sweep state poisoned");
         if sh.interrupted {
             // The injected crash already fired: a real kill loses in-flight
@@ -361,6 +378,7 @@ where
             // checkpoint. Keeps `completed` == the crash point for any jobs.
             break;
         }
+        // dvs-lint: allow(panic-escape, reason = "slots has n entries and i < n is checked above")
         sh.slots[i] = Some(slot);
         sh.done += 1;
         if let Some(ck) = &cfg.checkpoint {
@@ -409,6 +427,7 @@ where
         });
     }
 
+    // dvs-lint: allow(panic-escape, reason = "poisoning requires a worker panic, which the cell boundary quarantines; treating an escape as fatal is the design")
     let sh = shared.into_inner().expect("resilient sweep state poisoned");
     if let Some(e) = sh.io_error {
         return Err(e);
@@ -437,10 +456,8 @@ pub fn grid_fingerprint(
 ) -> u64 {
     let mut canon = String::from("dvs-sweep-grid v1;");
     for s in specs {
-        // dvs-lint: allow(hot-alloc, reason = "fingerprint canonicalization runs once per sweep")
         canon.push_str(&format!("{}#{:016x}@{}hz;", s.name, s.seed, s.rate_hz));
     }
-    // dvs-lint: allow(hot-alloc, reason = "fingerprint canonicalization runs once per sweep")
     canon.push_str(&format!(
         "base={baseline_buffers};dvs={dvsync_buffers:?};mode={mode:?};attempts={}",
         retry.max_attempts
@@ -465,9 +482,7 @@ pub(crate) fn restore_progress(
     let ckpt = Checkpoint::load(Path::new(&ck.path), fingerprint)?;
     if ckpt.slots.len() != n {
         return Err(DvsError::CheckpointIncompatible {
-            // dvs-lint: allow(hot-alloc, reason = "resume-rejection error path, at most once per run")
             path: ck.path.clone(),
-            // dvs-lint: allow(hot-alloc, reason = "resume-rejection error path, at most once per run")
             detail: format!("{} slots for a grid of {n} cells", ckpt.slots.len()),
         });
     }
@@ -528,12 +543,15 @@ pub fn run_suite_resilient(
     );
     let n = grid.cells.len();
     let keys: Vec<String> =
+        // dvs-lint: allow(panic-escape, reason = "spec_index was produced by the grid builder against this fitted list")
         grid.cells.iter().map(|c| c.key(&fitted[c.spec_index].spec.name)).collect();
     let fingerprint = grid_fingerprint(specs, baseline_buffers, dvsync_buffers, mode, cfg.retry);
     let (start_slots, resumed) = restore_progress(cfg, fingerprint, n)?;
 
     let work = |arena: &mut RunArena, i: usize| {
+        // dvs-lint: allow(panic-escape, reason = "i ranges over 0..grid.cells.len()")
         let cell = &grid.cells[i];
+        // dvs-lint: allow(panic-escape, reason = "spec_index was produced by the grid builder against this fitted list")
         let entry = &fitted[cell.spec_index];
         if cache.is_some() {
             if cell.pacer == PacerKind::Vsync {
@@ -557,7 +575,6 @@ pub fn run_suite_resilient(
             Checkpoint {
                 version: crate::checkpoint::CHECKPOINT_VERSION,
                 fingerprint,
-                // dvs-lint: allow(hot-alloc, reason = "final checkpoint flush, once per completed sweep")
                 slots: slots.clone(),
             }
             .save(Path::new(&ck.path))?;
@@ -572,13 +589,13 @@ pub fn run_suite_resilient(
     let mut accounting =
         PartialAccounting { cells_total: n, cells_resumed: resumed, ..Default::default() };
     for (i, slot) in slots.iter().enumerate() {
+        // dvs-lint: allow(panic-escape, reason = "the executor fills every slot before returning Ok")
         let slot = slot.as_ref().expect("executor filled every slot");
         if let Some(json) = &slot.ok {
             let m: CellMetrics = serde_json::from_str(json).map_err(|e| {
                 DvsError::CheckpointCorrupt {
-                    // dvs-lint: allow(hot-alloc, reason = "slot-decode error path, at most once per run")
+                    // dvs-lint: allow(panic-escape, reason = "keys has one entry per grid cell; i indexes the same range")
                     path: keys[i].clone(),
-                    // dvs-lint: allow(hot-alloc, reason = "slot-decode error path, at most once per run")
                     detail: format!("stored cell metrics do not parse: {e}"),
                 }
             })?;
@@ -588,16 +605,15 @@ pub fn run_suite_resilient(
                 accounting.cells_retried += 1;
             }
         } else {
+            // dvs-lint: allow(panic-escape, reason = "the branch above guarantees ok is None, so quarantined is Some")
             let q = slot.quarantined.as_ref().expect("slot is ok or quarantined");
             // A quarantined cell keeps its row position with zeroed metrics;
             // the quarantine list is the authoritative exclusion record.
             metrics.push(CellMetrics { fdps: 0.0, latency_ms: 0.0 });
             quarantine.entries.push(QuarantineEntry {
                 cell_index: i,
-                // dvs-lint: allow(hot-alloc, reason = "quarantine bookkeeping, once per exhausted cell after the sweep")
                 key: q.key.clone(),
                 attempts: slot.attempts,
-                // dvs-lint: allow(hot-alloc, reason = "quarantine bookkeeping, once per exhausted cell after the sweep")
                 cause: q.cause.clone(),
             });
             accounting.cells_quarantined += 1;
@@ -609,7 +625,6 @@ pub fn run_suite_resilient(
     Ok(ResilientSweep {
         report: SweepReport {
             result: SuiteResult {
-                // dvs-lint: allow(hot-alloc, reason = "report assembly runs once per sweep")
                 label: label.to_string(),
                 baseline_buffers,
                 dvsync_buffers: dvsync_buffers.to_vec(),
@@ -629,7 +644,6 @@ pub fn run_suite_resilient(
 /// fixed so every caller sees the same grid and the same fingerprints.
 pub fn tiny_suite() -> Vec<ScenarioSpec> {
     use dvs_workload::CostProfile;
-    // dvs-lint: allow(hot-alloc, reason = "test-workload constructor, not executor code")
     vec![
         ScenarioSpec::new("tiny app", 60, 240, CostProfile::scattered(1.0)).with_paper_fdps(2.0),
         ScenarioSpec::new("tiny game", 90, 180, CostProfile::clustered(1.0)).with_paper_fdps(3.0),
@@ -676,18 +690,17 @@ impl ResilientCompose {
 pub fn run_compose_resilient(jobs: usize, cfg: &ResilienceConfig) -> DvsResult<ResilientCompose> {
     let suite = compositor_scenario_suite();
     let n = suite.len();
-    // dvs-lint: allow(hot-alloc, reason = "compose fingerprint canonicalization runs once per sweep")
     let keys: Vec<String> = suite.iter().map(|s| s.name.clone()).collect();
     let mut canon = String::from("dvs-compose-grid v1;");
     for k in &keys {
         canon.push_str(k);
         canon.push(';');
     }
-    // dvs-lint: allow(hot-alloc, reason = "compose fingerprint canonicalization runs once per sweep")
     canon.push_str(&format!("budget={INTERFERENCE_BUDGET};attempts={}", cfg.retry.max_attempts));
     let fingerprint = fingerprint_of(&canon);
     let (start_slots, resumed) = restore_progress(cfg, fingerprint, n)?;
     let work = |_arena: &mut RunArena, i: usize| {
+        // dvs-lint: allow(panic-escape, reason = "i ranges over 0..suite.len()")
         crate::compose::run_scenario(&suite[i], INTERFERENCE_BUDGET)
     };
     let (slots, _writes) =
@@ -698,13 +711,13 @@ pub fn run_compose_resilient(jobs: usize, cfg: &ResilienceConfig) -> DvsResult<R
     let mut accounting =
         PartialAccounting { cells_total: n, cells_resumed: resumed, ..Default::default() };
     for (i, slot) in slots.iter().enumerate() {
+        // dvs-lint: allow(panic-escape, reason = "the executor fills every slot before returning Ok")
         let slot = slot.as_ref().expect("executor filled every slot");
         if let Some(json) = &slot.ok {
             let row: ComposeRow = serde_json::from_str(json).map_err(|e| {
                 DvsError::CheckpointCorrupt {
-                    // dvs-lint: allow(hot-alloc, reason = "slot-decode error path, at most once per run")
+                    // dvs-lint: allow(panic-escape, reason = "keys has one entry per suite scenario; i indexes the same range")
                     path: keys[i].clone(),
-                    // dvs-lint: allow(hot-alloc, reason = "slot-decode error path, at most once per run")
                     detail: format!("stored compose row does not parse: {e}"),
                 }
             })?;
@@ -714,13 +727,12 @@ pub fn run_compose_resilient(jobs: usize, cfg: &ResilienceConfig) -> DvsResult<R
                 accounting.cells_retried += 1;
             }
         } else {
+            // dvs-lint: allow(panic-escape, reason = "the branch above guarantees ok is None, so quarantined is Some")
             let q = slot.quarantined.as_ref().expect("slot is ok or quarantined");
             quarantine.entries.push(QuarantineEntry {
                 cell_index: i,
-                // dvs-lint: allow(hot-alloc, reason = "quarantine bookkeeping, once per exhausted cell after the sweep")
                 key: q.key.clone(),
                 attempts: slot.attempts,
-                // dvs-lint: allow(hot-alloc, reason = "quarantine bookkeeping, once per exhausted cell after the sweep")
                 cause: q.cause.clone(),
             });
             accounting.cells_quarantined += 1;

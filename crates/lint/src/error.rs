@@ -1,0 +1,57 @@
+//! Typed errors for the lint driver.
+//!
+//! `dvs-lint` is dependency-free, so it cannot use `dvs_sim::DvsError`
+//! directly; [`LintError`] mirrors its shape (operation + path on I/O,
+//! line-addressed parse failures) and the `repro` binary maps it into the
+//! workspace error type at the CLI boundary. Every driver entry point
+//! returns `Result<_, LintError>` — the engine never panics on a missing
+//! or garbled manifest, it reports.
+
+/// Why an analysis run could not start or finish.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LintError {
+    /// A filesystem operation failed; carries the path and the operation so
+    /// a CI failure names the actual file.
+    Io {
+        /// The file or directory the operation targeted.
+        path: String,
+        /// What was being done (`"read"`, `"write"`, `"read dir"`, …).
+        op: &'static str,
+        /// The underlying OS error text.
+        detail: String,
+    },
+    /// `lint.toml` is syntactically broken; `line` is 1-based.
+    ManifestParse {
+        /// The offending line in `lint.toml`.
+        line: u32,
+        /// What the parser expected.
+        detail: String,
+    },
+    /// `lint.toml` parsed but names something the tree does not have —
+    /// an unknown section/key, or a scoped file that no longer exists.
+    /// A manifest that has drifted from the tree means a guarantee
+    /// silently lapsed; the engine fails loudly instead.
+    ManifestInvalid(String),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io { path, op, detail } => write!(f, "{op} {path}: {detail}"),
+            LintError::ManifestParse { line, detail } => {
+                write!(f, "lint.toml:{line}: {detail}")
+            }
+            LintError::ManifestInvalid(detail) => write!(f, "lint.toml: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Shorthand used across the driver.
+pub type LintResult<T> = Result<T, LintError>;
+
+/// Builds the I/O variant from a `std::io::Error`.
+pub fn io_error(path: &std::path::Path, op: &'static str, e: std::io::Error) -> LintError {
+    LintError::Io { path: path.display().to_string(), op, detail: e.to_string() }
+}

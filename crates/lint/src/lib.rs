@@ -20,6 +20,24 @@
 //! * **`unsafe`** — anywhere outside the bench allocator carve-out
 //!   (`DVS-U001`), mirroring the crates' `#![forbid(unsafe_code)]`.
 //!
+//! On top of the per-file rules, a second phase analyzes the *workspace
+//! graph*: a lightweight item parser ([`parse`]) feeds a conservative call
+//! graph ([`graph`]), over which four interprocedural passes run
+//! ([`passes`]):
+//!
+//! * **Transitive hot-path allocation** (`DVS-H002`) — allocation anywhere
+//!   in the reachability closure of the manifest's `[hot] entry_points`,
+//!   catching helpers that DVS-H001's file list never saw.
+//! * **Panic-domain escape** (`DVS-P003`) — panic/index sites in the
+//!   resilient-sweep files that are *not* contained by a `catch_unwind`
+//!   cell boundary, so one bad cell could kill the whole sweep.
+//! * **Float-accumulation determinism** (`DVS-F001`) — order-sensitive
+//!   `f32`/`f64` accumulation inside merge/reduce functions of sim crates.
+//! * **Schema lock** (`DVS-S001`) — serialized struct shapes fingerprinted
+//!   against `tests/golden/schema_lock.json`; drift without
+//!   `REGEN_GOLDEN=1` is a hard error. Stale manifest entries surface as
+//!   `DVS-M001` rather than silently lapsing.
+//!
 //! False positives are waived *in place*, with a mandatory reason:
 //!
 //! ```text
@@ -35,13 +53,20 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod error;
+pub mod graph;
 pub mod manifest;
+pub mod parse;
+pub mod passes;
 pub mod report;
 pub mod rules;
 pub mod tokens;
 pub mod waiver;
 
-pub use engine::{analyze_workspace, check_source, Analysis, Finding};
+pub use engine::{
+    analyze_workspace, check_source, check_sources, Analysis, Finding, Stats, Unit, WorkspaceCheck,
+};
+pub use error::{LintError, LintResult};
 pub use manifest::Manifest;
 pub use report::{render_json, render_text};
 pub use rules::{Rule, RULES};

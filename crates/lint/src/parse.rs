@@ -1,0 +1,834 @@
+//! A lightweight item parser on top of [`crate::tokens`]: function,
+//! impl/trait, struct, and enum signatures plus call sites — the inputs to
+//! the workspace symbol index and call graph in [`crate::graph`].
+//!
+//! This is deliberately **not** a Rust parser (no `syn`, no grammar): it is
+//! a single linear scan over the token stream with pre-computed delimiter
+//! matching. It recovers exactly the structure the interprocedural passes
+//! need — who defines what, who calls what, and which token regions sit
+//! inside a `catch_unwind(...)` argument — and nothing more. Where real
+//! Rust is ambiguous at this fidelity (trait-object dispatch, macro-
+//! generated items), the consumers over-approximate; see `docs/lint.md`.
+
+use crate::tokens::{Tok, TokKind, TokenStream};
+
+/// One `fn` item (free function, inherent/trait method, or nested fn).
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The enclosing `impl`/`trait` self type, when inside one.
+    pub self_type: Option<String>,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// Token range of the body braces, inclusive (`{` .. `}`); `None` for
+    /// bodyless trait signatures.
+    pub body: Option<(usize, usize)>,
+    /// Token range of the signature (`fn` keyword up to the body or `;`).
+    pub sig: (usize, usize),
+    /// Whether the item sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// Whether a [`TypeItem`] is a struct or an enum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TypeKind {
+    /// A `struct` (unit, tuple, or record).
+    Struct,
+    /// An `enum`.
+    Enum,
+}
+
+/// One `struct` or `enum` item with its canonicalized shape.
+#[derive(Clone, Debug)]
+pub struct TypeItem {
+    /// The type's name (without generics).
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// Struct or enum.
+    pub kind: TypeKind,
+    /// For structs: `(field, canonical type)` in declaration order (tuple
+    /// fields are named `0`, `1`, …). For enums: `(variant, canonical
+    /// payload)` with an empty payload for unit variants.
+    pub fields: Vec<(String, String)>,
+    /// Whether the item sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Index into [`ParsedFile::fns`] of the innermost enclosing function.
+    pub caller: usize,
+    /// The called name (`run_batch`, `observe`, …).
+    pub name: String,
+    /// For `Qual::name(...)` calls, the path segment directly before the
+    /// name (`SimTime`, `Self`, a module name, …).
+    pub qualifier: Option<String>,
+    /// Whether this is a `.name(...)` method call.
+    pub method: bool,
+    /// Token index of the name.
+    pub tok: usize,
+    /// 1-based line of the name token.
+    pub line: u32,
+}
+
+/// Everything the graph layer needs from one source file.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedFile {
+    /// All `fn` items in source order.
+    pub fns: Vec<FnItem>,
+    /// All `struct`/`enum` items in source order.
+    pub types: Vec<TypeItem>,
+    /// All call sites, attributed to their innermost enclosing function.
+    pub calls: Vec<CallSite>,
+    /// Token ranges (inclusive) of `catch_unwind(...)` argument lists: code
+    /// in these regions runs inside a panic-containment boundary.
+    pub contained: Vec<(usize, usize)>,
+}
+
+impl ParsedFile {
+    /// Whether a token index lies inside a `catch_unwind(...)` argument.
+    pub fn token_is_contained(&self, tok: usize) -> bool {
+        self.contained.iter().any(|&(a, b)| tok >= a && tok <= b)
+    }
+
+    /// The innermost function whose body contains the token, if any.
+    pub fn enclosing_fn(&self, tok: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.body.is_some_and(|(a, b)| tok >= a && tok <= b))
+            .max_by_key(|(_, f)| f.body.map(|(a, _)| a).unwrap_or(0))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Words that read like `ident(` but are never calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "in", "as", "let", "else", "move", "ref",
+    "mut", "await", "dyn", "impl", "fn", "pub", "where", "use", "crate", "super", "self", "Self",
+    "unsafe", "break", "continue", "const", "static", "type", "enum", "struct", "trait", "mod",
+    "extern", "yield", "box",
+];
+
+/// Parses one file's token stream into items, call sites, and containment
+/// regions. Never fails: malformed input simply yields fewer items (the
+/// compiler rejects the file anyway; the passes stay conservative).
+pub fn parse_file(src: &str, ts: &TokenStream) -> ParsedFile {
+    let toks = ts.toks();
+    let brace_match = match_delims(toks, b'{', b'}');
+    let paren_match = match_delims(toks, b'(', b')');
+    let bracket_match = match_delims(toks, b'[', b']');
+    let test_ranges = crate::rules::test_line_ranges(src, ts);
+    let in_test = |line: u32| test_ranges.iter().any(|&(a, b)| line >= a && line <= b);
+
+    let mut out = ParsedFile::default();
+    // (self type, token index of the impl/trait block's closing brace)
+    let mut impl_stack: Vec<(Option<String>, usize)> = Vec::new();
+    // (index into out.fns, token index of the body's closing brace)
+    let mut fn_stack: Vec<(usize, usize)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        while impl_stack.last().is_some_and(|&(_, end)| i > end) {
+            impl_stack.pop();
+        }
+        while fn_stack.last().is_some_and(|&(_, end)| i > end) {
+            fn_stack.pop();
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let text = &src[t.start..t.end];
+        match text {
+            "impl" | "trait" => {
+                let (self_ty, body_open, next) =
+                    impl_header(src, toks, i, text == "trait", &paren_match);
+                if let Some(open) = body_open {
+                    let close = close_of(&brace_match, open, toks.len());
+                    impl_stack.push((self_ty, close));
+                    i = open + 1;
+                } else {
+                    i = next;
+                }
+            }
+            "fn" => {
+                i = fn_item(
+                    src,
+                    toks,
+                    i,
+                    &paren_match,
+                    &brace_match,
+                    &impl_stack,
+                    &mut fn_stack,
+                    &mut out,
+                    &in_test,
+                );
+            }
+            "struct" | "enum" => {
+                i = type_item(
+                    src,
+                    toks,
+                    i,
+                    text == "enum",
+                    &paren_match,
+                    &brace_match,
+                    &bracket_match,
+                    &mut out,
+                    &in_test,
+                );
+            }
+            _ => {
+                if let Some(&(caller, _)) = fn_stack.last() {
+                    call_site(src, toks, i, caller, &paren_match, &mut out);
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// For each opening delimiter token, the index of its matching closer
+/// (`usize::MAX` when unbalanced).
+fn match_delims(toks: &[Tok], open: u8, close: u8) -> Vec<usize> {
+    let mut map = vec![usize::MAX; toks.len()];
+    let mut stack = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Punct(open) {
+            stack.push(i);
+        } else if t.kind == TokKind::Punct(close) {
+            if let Some(o) = stack.pop() {
+                map[o] = i;
+            }
+        }
+    }
+    map
+}
+
+fn close_of(map: &[usize], open: usize, len: usize) -> usize {
+    let c = map.get(open).copied().unwrap_or(usize::MAX);
+    if c == usize::MAX {
+        len.saturating_sub(1)
+    } else {
+        c
+    }
+}
+
+/// Whether the `>` at `j` is the second half of a `->` arrow (and must not
+/// count against angle-bracket depth).
+fn is_arrow_tail(toks: &[Tok], j: usize) -> bool {
+    j > 0 && toks[j - 1].kind == TokKind::Punct(b'-') && toks[j - 1].end == toks[j].start
+}
+
+/// Scans an `impl`/`trait` header starting at the keyword. Returns the
+/// self type, the body's opening-brace index (if any), and the token index
+/// to resume at when there is no body.
+fn impl_header(
+    src: &str,
+    toks: &[Tok],
+    kw: usize,
+    is_trait: bool,
+    paren_match: &[usize],
+) -> (Option<String>, Option<usize>, usize) {
+    let mut angle = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut stopped = false; // saw `where`: stop collecting idents
+    let mut j = kw + 1;
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Punct(b'<') => angle += 1,
+            TokKind::Punct(b'>') if !is_arrow_tail(toks, j) => angle -= 1,
+            TokKind::Punct(b'(') => {
+                // `Fn(...)` bounds: jump the argument list wholesale.
+                j = close_of(paren_match, j, toks.len());
+            }
+            TokKind::Punct(b'{') if angle <= 0 => {
+                return (last_ident, Some(j), j + 1);
+            }
+            TokKind::Punct(b';') if angle <= 0 => return (None, None, j + 1),
+            TokKind::Ident if angle <= 0 && !stopped => {
+                let text = &src[t.start..t.end];
+                match text {
+                    "where" => stopped = true,
+                    // `impl Trait for Type`: the self type follows `for`.
+                    "for" if !is_trait => last_ident = None,
+                    "dyn" | "const" | "unsafe" => {}
+                    _ => {
+                        last_ident = Some(text.to_string());
+                        // A trait's name is its first ident; later idents
+                        // are supertrait bounds.
+                        if is_trait {
+                            stopped = true;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (None, None, j)
+}
+
+/// Parses a `fn` item starting at the keyword; records it, pushes the body
+/// onto the fn stack, and returns the token index to resume scanning at.
+#[allow(clippy::too_many_arguments)]
+fn fn_item(
+    src: &str,
+    toks: &[Tok],
+    kw: usize,
+    paren_match: &[usize],
+    brace_match: &[usize],
+    impl_stack: &[(Option<String>, usize)],
+    fn_stack: &mut Vec<(usize, usize)>,
+    out: &mut ParsedFile,
+    in_test: &dyn Fn(u32) -> bool,
+) -> usize {
+    let Some(name_tok) = toks.get(kw + 1) else { return kw + 1 };
+    if name_tok.kind != TokKind::Ident {
+        return kw + 1; // `fn(...)` pointer type, not an item
+    }
+    let name = src[name_tok.start..name_tok.end].to_string();
+    let mut j = kw + 2;
+    // Generic parameters.
+    if toks.get(j).map(|t| t.kind) == Some(TokKind::Punct(b'<')) {
+        let mut angle = 0i32;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokKind::Punct(b'<') => angle += 1,
+                TokKind::Punct(b'>') if !is_arrow_tail(toks, j) => {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    if toks.get(j).map(|t| t.kind) != Some(TokKind::Punct(b'(')) {
+        return kw + 1;
+    }
+    let params_close = close_of(paren_match, j, toks.len());
+    // Return type / where clause up to the body or a trait-signature `;`.
+    let mut k = params_close + 1;
+    let mut body: Option<(usize, usize)> = None;
+    while k < toks.len() {
+        match toks[k].kind {
+            TokKind::Punct(b'(') => k = close_of(paren_match, k, toks.len()) + 1,
+            TokKind::Punct(b'{') => {
+                body = Some((k, close_of(brace_match, k, toks.len())));
+                break;
+            }
+            TokKind::Punct(b';') => break,
+            _ => k += 1,
+        }
+    }
+    let self_type = impl_stack.last().and_then(|(s, _)| s.clone());
+    out.fns.push(FnItem {
+        name,
+        self_type,
+        line: name_tok.line,
+        body,
+        sig: (kw, body.map(|(open, _)| open).unwrap_or(k)),
+        in_test: in_test(name_tok.line),
+    });
+    if let Some((open, close)) = body {
+        fn_stack.push((out.fns.len() - 1, close));
+        return open + 1;
+    }
+    k + 1
+}
+
+/// Parses a `struct`/`enum` item starting at the keyword and returns the
+/// token index to resume at.
+#[allow(clippy::too_many_arguments)]
+fn type_item(
+    src: &str,
+    toks: &[Tok],
+    kw: usize,
+    is_enum: bool,
+    paren_match: &[usize],
+    brace_match: &[usize],
+    bracket_match: &[usize],
+    out: &mut ParsedFile,
+    in_test: &dyn Fn(u32) -> bool,
+) -> usize {
+    let Some(name_tok) = toks.get(kw + 1) else { return kw + 1 };
+    if name_tok.kind != TokKind::Ident {
+        return kw + 1;
+    }
+    let name = src[name_tok.start..name_tok.end].to_string();
+    // Find the body opener, skipping generics and `where` clauses.
+    let mut j = kw + 2;
+    let mut angle = 0i32;
+    let mut seen_where = false;
+    let mut opener: Option<(u8, usize)> = None;
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Punct(b'<') => angle += 1,
+            TokKind::Punct(b'>') if !is_arrow_tail(toks, j) => angle -= 1,
+            TokKind::Ident if angle <= 0 && &src[t.start..t.end] == "where" => seen_where = true,
+            TokKind::Punct(b'(') if angle <= 0 => {
+                if seen_where {
+                    j = close_of(paren_match, j, toks.len());
+                } else {
+                    opener = Some((b'(', j));
+                    break;
+                }
+            }
+            TokKind::Punct(b'{') if angle <= 0 => {
+                opener = Some((b'{', j));
+                break;
+            }
+            TokKind::Punct(b';') if angle <= 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    let (fields, resume) = match opener {
+        None => (Vec::new(), j + 1),
+        Some((b'(', open)) => {
+            let close = close_of(paren_match, open, toks.len());
+            (tuple_fields(src, toks, open, close), close + 1)
+        }
+        Some((_, open)) => {
+            let close = close_of(brace_match, open, toks.len());
+            let fields = if is_enum {
+                enum_variants(src, toks, open, close, paren_match, brace_match, bracket_match)
+            } else {
+                record_fields(src, toks, open, close, paren_match, bracket_match)
+            };
+            (fields, close + 1)
+        }
+    };
+    out.types.push(TypeItem {
+        name,
+        line: name_tok.line,
+        kind: if is_enum { TypeKind::Enum } else { TypeKind::Struct },
+        fields,
+        in_test: in_test(name_tok.line),
+    });
+    resume
+}
+
+/// `struct Foo(A, B);` fields, named by position.
+fn tuple_fields(src: &str, toks: &[Tok], open: usize, close: usize) -> Vec<(String, String)> {
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    let mut start = open + 1;
+    let mut k = open + 1;
+    let flush = |fields: &mut Vec<(String, String)>, from: usize, to: usize| {
+        let mut slice: &[Tok] = &toks[from..to];
+        // Skip visibility.
+        while let Some(first) = slice.first() {
+            if first.kind == TokKind::Ident && &src[first.start..first.end] == "pub" {
+                slice = &slice[1..];
+                if slice.first().is_some_and(|t| t.kind == TokKind::Punct(b'(')) {
+                    let end = slice
+                        .iter()
+                        .position(|t| t.kind == TokKind::Punct(b')'))
+                        .map(|p| p + 1)
+                        .unwrap_or(slice.len());
+                    slice = &slice[end..];
+                }
+            } else {
+                break;
+            }
+        }
+        if !slice.is_empty() {
+            fields.push((fields.len().to_string(), canon_tokens(src, slice)));
+        }
+    };
+    while k < close {
+        match toks[k].kind {
+            TokKind::Punct(b'(' | b'[' | b'<' | b'{') => depth += 1,
+            TokKind::Punct(b')' | b']' | b'}') => depth -= 1,
+            TokKind::Punct(b'>') if !is_arrow_tail(toks, k) => depth -= 1,
+            TokKind::Punct(b',') if depth == 0 => {
+                flush(&mut fields, start, k);
+                start = k + 1;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    flush(&mut fields, start, close);
+    fields
+}
+
+/// `struct Foo { a: A, b: B }` fields.
+fn record_fields(
+    src: &str,
+    toks: &[Tok],
+    open: usize,
+    close: usize,
+    paren_match: &[usize],
+    bracket_match: &[usize],
+) -> Vec<(String, String)> {
+    let mut fields = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        let t = &toks[k];
+        match t.kind {
+            TokKind::Punct(b'#') => {
+                // Attribute: jump `#[...]`.
+                if toks.get(k + 1).is_some_and(|u| u.kind == TokKind::Punct(b'[')) {
+                    k = close_of(bracket_match, k + 1, toks.len()) + 1;
+                } else {
+                    k += 1;
+                }
+            }
+            TokKind::Ident if &src[t.start..t.end] == "pub" => {
+                k += 1;
+                if toks.get(k).is_some_and(|u| u.kind == TokKind::Punct(b'(')) {
+                    k = close_of(paren_match, k, toks.len()) + 1;
+                }
+            }
+            TokKind::Ident
+                if toks.get(k + 1).is_some_and(|u| u.kind == TokKind::Punct(b':'))
+                    && !toks.get(k + 2).is_some_and(|u| u.kind == TokKind::Punct(b':')) =>
+            {
+                let fname = src[t.start..t.end].to_string();
+                // Type runs to the next depth-0 comma or the closing brace.
+                let ty_start = k + 2;
+                let mut depth = 0i32;
+                let mut m = ty_start;
+                while m < close {
+                    match toks[m].kind {
+                        TokKind::Punct(b'(' | b'[' | b'<' | b'{') => depth += 1,
+                        TokKind::Punct(b')' | b']' | b'}') => depth -= 1,
+                        TokKind::Punct(b'>') if !is_arrow_tail(toks, m) => depth -= 1,
+                        TokKind::Punct(b',') if depth == 0 => break,
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                fields.push((fname, canon_tokens(src, &toks[ty_start..m])));
+                k = m + 1;
+            }
+            _ => k += 1,
+        }
+    }
+    fields
+}
+
+/// `enum Foo { A, B(X), C { y: Y } }` variants with canonical payloads.
+fn enum_variants(
+    src: &str,
+    toks: &[Tok],
+    open: usize,
+    close: usize,
+    paren_match: &[usize],
+    brace_match: &[usize],
+    bracket_match: &[usize],
+) -> Vec<(String, String)> {
+    let mut variants = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        let t = &toks[k];
+        match t.kind {
+            TokKind::Punct(b'#') => {
+                if toks.get(k + 1).is_some_and(|u| u.kind == TokKind::Punct(b'[')) {
+                    k = close_of(bracket_match, k + 1, toks.len()) + 1;
+                } else {
+                    k += 1;
+                }
+            }
+            TokKind::Ident => {
+                let vname = src[t.start..t.end].to_string();
+                let (payload, next) = match toks.get(k + 1).map(|u| u.kind) {
+                    Some(TokKind::Punct(b'(')) => {
+                        let pc = close_of(paren_match, k + 1, toks.len());
+                        (canon_tokens(src, &toks[k + 1..=pc.min(close)]), pc + 1)
+                    }
+                    Some(TokKind::Punct(b'{')) => {
+                        let bc = close_of(brace_match, k + 1, toks.len());
+                        (canon_tokens(src, &toks[k + 1..=bc.min(close)]), bc + 1)
+                    }
+                    Some(TokKind::Punct(b'=')) => {
+                        // Explicit discriminant: skip to the comma.
+                        let mut m = k + 2;
+                        while m < close && toks[m].kind != TokKind::Punct(b',') {
+                            m += 1;
+                        }
+                        (String::new(), m)
+                    }
+                    _ => (String::new(), k + 1),
+                };
+                variants.push((vname, payload));
+                // Skip to the variant separator.
+                let mut m = next;
+                while m < close && toks[m].kind != TokKind::Punct(b',') {
+                    m += 1;
+                }
+                k = m + 1;
+            }
+            _ => k += 1,
+        }
+    }
+    variants
+}
+
+/// Records a call site at `i` (an ident) when it is followed by `(` or a
+/// turbofish-then-`(`; also records `catch_unwind` containment regions.
+fn call_site(
+    src: &str,
+    toks: &[Tok],
+    i: usize,
+    caller: usize,
+    paren_match: &[usize],
+    out: &mut ParsedFile,
+) {
+    let t = &toks[i];
+    let text = &src[t.start..t.end];
+    if NON_CALL_KEYWORDS.contains(&text) {
+        return;
+    }
+    // Locate the argument-list `(`: directly after the name, or after a
+    // `::<...>` turbofish.
+    let mut open = None;
+    if toks.get(i + 1).is_some_and(|u| u.kind == TokKind::Punct(b'(')) {
+        open = Some(i + 1);
+    } else if toks.get(i + 1).is_some_and(|u| u.kind == TokKind::Punct(b':'))
+        && toks.get(i + 2).is_some_and(|u| u.kind == TokKind::Punct(b':'))
+        && toks.get(i + 3).is_some_and(|u| u.kind == TokKind::Punct(b'<'))
+    {
+        let mut angle = 0i32;
+        let mut j = i + 3;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokKind::Punct(b'<') => angle += 1,
+                TokKind::Punct(b'>') if !is_arrow_tail(toks, j) => {
+                    angle -= 1;
+                    if angle == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if toks.get(j + 1).is_some_and(|u| u.kind == TokKind::Punct(b'(')) {
+            open = Some(j + 1);
+        }
+    }
+    let Some(open) = open else { return };
+    let method = i > 0 && toks[i - 1].kind == TokKind::Punct(b'.');
+    let qualifier = if !method
+        && i >= 3
+        && toks[i - 1].kind == TokKind::Punct(b':')
+        && toks[i - 2].kind == TokKind::Punct(b':')
+        && toks[i - 2].end == toks[i - 1].start
+        && toks[i - 3].kind == TokKind::Ident
+    {
+        Some(src[toks[i - 3].start..toks[i - 3].end].to_string())
+    } else {
+        None
+    };
+    out.calls.push(CallSite {
+        caller,
+        name: text.to_string(),
+        qualifier,
+        method,
+        tok: i,
+        line: t.line,
+    });
+    if text == "catch_unwind" {
+        out.contained.push((open, close_of(paren_match, open, toks.len())));
+    }
+}
+
+/// Renders a token slice as canonical, formatting-independent text:
+/// `Vec < Option<CellSlot > >` and `Vec<Option<CellSlot>>` both render as
+/// `Vec<Option<CellSlot>>`. Used for field types and schema fingerprints —
+/// the output must be deterministic, not pretty.
+pub fn canon_tokens(src: &str, toks: &[Tok]) -> String {
+    let mut out = String::new();
+    let mut k = 0usize;
+    while k < toks.len() {
+        let t = &toks[k];
+        // Merge `::` and `->` into single atoms.
+        let (text, adv): (&str, usize) = if t.kind == TokKind::Punct(b':')
+            && toks.get(k + 1).is_some_and(|u| u.kind == TokKind::Punct(b':') && u.start == t.end)
+        {
+            ("::", 2)
+        } else if t.kind == TokKind::Punct(b'-')
+            && toks.get(k + 1).is_some_and(|u| u.kind == TokKind::Punct(b'>') && u.start == t.end)
+        {
+            ("->", 2)
+        } else {
+            (&src[t.start..t.end], 1)
+        };
+        let tight = out.is_empty()
+            || out.ends_with([' ', '<', '(', '[', '&', '*', '{'])
+            || out.ends_with("::")
+            || matches!(
+                text,
+                ">" | ")" | "]" | "}" | "," | ";" | "<" | "(" | "[" | "?" | ":" | "::"
+            );
+        if !tight {
+            out.push(' ');
+        }
+        out.push_str(text);
+        // A lone `:` (field separator) gets a trailing space; `,` and `;`
+        // likewise via the default-space rule on the next token.
+        if text == ":" {
+            out.push(' ');
+        }
+        k += adv;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::lex;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse_file(src, &lex(src))
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_indexed() {
+        let src = "fn free() {}\nimpl Foo { fn method(&self) {} }\nimpl Bar for Baz { fn method(&self) {} }\n";
+        let p = parsed(src);
+        let names: Vec<(&str, Option<&str>)> =
+            p.fns.iter().map(|f| (f.name.as_str(), f.self_type.as_deref())).collect();
+        assert_eq!(names, [("free", None), ("method", Some("Foo")), ("method", Some("Baz"))]);
+    }
+
+    #[test]
+    fn trait_default_methods_get_the_trait_as_self_type() {
+        let src = "trait Pacer: Clone { fn tick(&self) { helper(); } fn sig(&self); }\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("Pacer"));
+        assert!(p.fns[0].body.is_some());
+        assert!(p.fns[1].body.is_none());
+        assert_eq!(p.calls.len(), 1);
+        assert_eq!(p.calls[0].name, "helper");
+        assert_eq!(p.calls[0].caller, 0);
+    }
+
+    #[test]
+    fn call_sites_record_qualifier_and_method() {
+        let src = "fn f(x: Foo) { bare(); Foo::assoc(1); x.method(2); a::b::modfn(); Self::own(); x.iter().sum::<f64>(); }";
+        let p = parsed(src);
+        let calls: Vec<(&str, Option<&str>, bool)> =
+            p.calls.iter().map(|c| (c.name.as_str(), c.qualifier.as_deref(), c.method)).collect();
+        assert!(calls.contains(&("bare", None, false)));
+        assert!(calls.contains(&("assoc", Some("Foo"), false)));
+        assert!(calls.contains(&("method", None, true)));
+        assert!(calls.contains(&("modfn", Some("b"), false)));
+        assert!(calls.contains(&("own", Some("Self"), false)));
+        assert!(calls.contains(&("sum", None, true)), "{calls:?}"); // turbofish
+    }
+
+    #[test]
+    fn keywords_are_not_calls() {
+        let src = "fn f(x: u32) -> u32 { if (x > 0) { return (x); } match (x) { _ => x } }";
+        assert!(parsed(src).calls.is_empty());
+    }
+
+    #[test]
+    fn nested_fns_own_their_calls() {
+        let src = "fn outer() { fn inner() { deep(); } shallow(); }";
+        let p = parsed(src);
+        assert_eq!(p.fns[0].name, "outer");
+        assert_eq!(p.fns[1].name, "inner");
+        let deep = p.calls.iter().find(|c| c.name == "deep").unwrap();
+        let shallow = p.calls.iter().find(|c| c.name == "shallow").unwrap();
+        assert_eq!(p.fns[deep.caller].name, "inner");
+        assert_eq!(p.fns[shallow.caller].name, "outer");
+    }
+
+    #[test]
+    fn catch_unwind_regions_cover_their_arguments() {
+        let src = "fn f() { let r = std::panic::catch_unwind(|| { work(); }); after(); }";
+        let p = parsed(src);
+        assert_eq!(p.contained.len(), 1);
+        let work = p.calls.iter().find(|c| c.name == "work").unwrap();
+        let after = p.calls.iter().find(|c| c.name == "after").unwrap();
+        assert!(p.token_is_contained(work.tok));
+        assert!(!p.token_is_contained(after.tok));
+    }
+
+    #[test]
+    fn struct_fields_are_canonical() {
+        let src = "pub struct Checkpoint { pub version: u32, slots: Vec < Option<CellSlot > >, map: std::collections::BTreeMap<String, u64> }";
+        let p = parsed(src);
+        assert_eq!(p.types.len(), 1);
+        assert_eq!(p.types[0].kind, TypeKind::Struct);
+        assert_eq!(
+            p.types[0].fields,
+            [
+                ("version".to_string(), "u32".to_string()),
+                ("slots".to_string(), "Vec<Option<CellSlot>>".to_string()),
+                ("map".to_string(), "std::collections::BTreeMap<String, u64>".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tuple_and_unit_structs() {
+        let src = "struct Unit;\npub struct Pair(pub u32, String);\n";
+        let p = parsed(src);
+        assert_eq!(p.types[0].fields, Vec::<(String, String)>::new());
+        assert_eq!(
+            p.types[1].fields,
+            [("0".to_string(), "u32".to_string()), ("1".to_string(), "String".to_string())]
+        );
+    }
+
+    #[test]
+    fn enum_variants_with_payloads() {
+        let src = "pub enum E { Unit, Tuple(u32, String), Rec { path: String, n: u64 }, Disc = 3 }";
+        let p = parsed(src);
+        assert_eq!(p.types[0].kind, TypeKind::Enum);
+        assert_eq!(
+            p.types[0].fields,
+            [
+                ("Unit".to_string(), String::new()),
+                ("Tuple".to_string(), "(u32, String)".to_string()),
+                ("Rec".to_string(), "{path: String, n: u64}".to_string()),
+                ("Disc".to_string(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_and_where_headers_resolve_self_types() {
+        let src = "impl<'a, T: Ord> Wrapper<'a, T> where T: Clone { fn get(&self) {} }\nimpl<F: Fn() -> u32> Holder<F> { fn call(&self) {} }";
+        let p = parsed(src);
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("Wrapper"));
+        assert_eq!(p.fns[1].self_type.as_deref(), Some("Holder"));
+    }
+
+    #[test]
+    fn test_region_items_are_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n    struct Probe { x: u32 }\n}\n";
+        let p = parsed(src);
+        assert!(!p.fns[0].in_test);
+        assert!(p.fns[1].in_test);
+        assert!(p.types[0].in_test);
+    }
+
+    #[test]
+    fn enclosing_fn_finds_the_innermost_body() {
+        let src = "fn outer() { fn inner() { mark(); } }";
+        let p = parsed(src);
+        let mark = p.calls.iter().find(|c| c.name == "mark").unwrap();
+        assert_eq!(p.enclosing_fn(mark.tok), Some(1));
+    }
+}

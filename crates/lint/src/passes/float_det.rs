@@ -1,0 +1,269 @@
+//! DVS-F001 `float-accum`: order-sensitive floating-point accumulation in
+//! merge/reduce paths of the simulation crates.
+//!
+//! Float addition is not associative: `(a + b) + c != a + (b + c)` in
+//! general, so any `f32`/`f64` accumulation whose visit order can vary —
+//! sketch merges, shard reductions, fleet roll-ups — silently breaks the
+//! byte-identical-report contract. The workspace's fix is fixed-point
+//! integer sums (see `SketchStats`); this pass flags the float form where
+//! it matters: inside functions of sim crates whose *name* marks them as a
+//! reduction (`merge`, `reduce`, `accum…`, `observe`, `fold`, or exactly
+//! `sum` — the naming convention is part of the contract, documented in
+//! `docs/lint.md`).
+//!
+//! Matched shapes, all type-checked as far as static tokens allow:
+//!
+//! * `self.field += …` where the enclosing impl type's field is `f32`/`f64`
+//!   (field types come from the workspace struct index);
+//! * `local += …` where the local was bound with a float type or literal,
+//!   or is an `f32`/`f64` parameter;
+//! * `.sum::<f64>()` / `.sum::<f32>()`;
+//! * `.fold(0.0, …)` with a float seed.
+//!
+//! When the accumulator's type cannot be determined the pass stays silent —
+//! a heuristic lint must not cry wolf over integers.
+
+use std::collections::BTreeMap;
+
+use crate::engine::Unit;
+use crate::passes::PassFinding;
+use crate::rules::{by_name, RawFinding};
+use crate::tokens::{Tok, TokKind};
+
+/// Whether a function name marks a merge/reduce path.
+pub fn is_reduce_name(name: &str) -> bool {
+    name.contains("merge")
+        || name.contains("reduce")
+        || name.contains("accum")
+        || name.contains("observe")
+        || name.contains("fold")
+        || name == "sum"
+}
+
+fn is_float_ty(ty: &str) -> bool {
+    ty.contains("f32") || ty.contains("f64")
+}
+
+fn is_float_literal(text: &str) -> bool {
+    text.contains('.') || text.ends_with("f32") || text.ends_with("f64")
+}
+
+/// Runs the pass over every sim-crate unit (scope comes from each unit's
+/// manifest-derived [`crate::rules::FileScope`]).
+pub fn run(units: &[Unit]) -> Vec<PassFinding> {
+    let rule = by_name("float-accum").expect("catalog");
+    // Workspace-wide struct field index: the impl block and the struct
+    // definition are usually in the same file, but not always.
+    let mut fields: BTreeMap<&str, &Vec<(String, String)>> = BTreeMap::new();
+    for unit in units {
+        for ty in &unit.parsed.types {
+            if !ty.in_test {
+                fields.entry(ty.name.as_str()).or_insert(&ty.fields);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (fi, unit) in units.iter().enumerate() {
+        if !unit.scope.sim {
+            continue;
+        }
+        let toks = unit.ts.toks();
+        for f in &unit.parsed.fns {
+            if f.in_test || !is_reduce_name(&f.name) {
+                continue;
+            }
+            let Some((open, close)) = f.body else { continue };
+            let close = close.min(toks.len().saturating_sub(1));
+            for i in open..=close {
+                if let Some(raw) = plus_assign(unit, &fields, f, toks, i, rule) {
+                    out.push(PassFinding::in_file(fi, raw));
+                }
+                if let Some(raw) = float_sum_or_fold(unit, toks, i, rule) {
+                    out.push(PassFinding::in_file(fi, raw));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `lhs += rhs` with a float-typed accumulator.
+fn plus_assign(
+    unit: &Unit,
+    fields: &BTreeMap<&str, &Vec<(String, String)>>,
+    f: &crate::parse::FnItem,
+    toks: &[Tok],
+    i: usize,
+    rule: &'static crate::rules::Rule,
+) -> Option<RawFinding> {
+    if toks[i].kind != TokKind::Punct(b'+')
+        || toks.get(i + 1).map(|t| t.kind) != Some(TokKind::Punct(b'='))
+        || toks[i].end != toks[i + 1].start
+    {
+        return None;
+    }
+    let text = |t: &Tok| &unit.src[t.start..t.end];
+    // `self.field +=`
+    if i >= 3
+        && toks[i - 1].kind == TokKind::Ident
+        && toks[i - 2].kind == TokKind::Punct(b'.')
+        && toks[i - 3].kind == TokKind::Ident
+        && text(&toks[i - 3]) == "self"
+    {
+        let field = text(&toks[i - 1]);
+        let ty = f
+            .self_type
+            .as_deref()
+            .and_then(|s| fields.get(s))
+            .and_then(|fs| fs.iter().find(|(n, _)| n == field))
+            .map(|(_, t)| t.as_str())?;
+        if is_float_ty(ty) {
+            return Some(accum_finding(rule, &toks[i - 1], &format!("self.{field} +="), ty, f));
+        }
+        return None;
+    }
+    // `local +=` (not `x.y +=` with a non-self receiver — type unknown).
+    if toks[i - 1].kind == TokKind::Ident && !(i >= 2 && toks[i - 2].kind == TokKind::Punct(b'.')) {
+        let name = text(&toks[i - 1]);
+        let ty = local_float_type(unit, f, toks, name, i)?;
+        return Some(accum_finding(rule, &toks[i - 1], &format!("{name} +="), &ty, f));
+    }
+    None
+}
+
+/// Finds a float binding for `name`: a `let [mut] name: f64`, a
+/// `let [mut] name = <float literal>`, or an `f32`/`f64` parameter.
+fn local_float_type(
+    unit: &Unit,
+    f: &crate::parse::FnItem,
+    toks: &[Tok],
+    name: &str,
+    before: usize,
+) -> Option<String> {
+    let text = |t: &Tok| &unit.src[t.start..t.end];
+    let (open, _) = f.body?;
+    let mut m = open;
+    while m + 2 < before {
+        if toks[m].kind == TokKind::Ident && text(&toks[m]) == "let" {
+            let mut k = m + 1;
+            if toks.get(k).is_some_and(|t| t.kind == TokKind::Ident && text(t) == "mut") {
+                k += 1;
+            }
+            if toks.get(k).is_some_and(|t| t.kind == TokKind::Ident && text(t) == name) {
+                // `: type` annotation up to `=`, or a literal initializer.
+                if toks.get(k + 1).is_some_and(|t| t.kind == TokKind::Punct(b':')) {
+                    let mut ty = String::new();
+                    let mut j = k + 2;
+                    while j < before && toks[j].kind != TokKind::Punct(b'=') {
+                        ty.push_str(text(&toks[j]));
+                        j += 1;
+                    }
+                    if is_float_ty(&ty) {
+                        return Some(ty);
+                    }
+                } else if toks.get(k + 1).is_some_and(|t| t.kind == TokKind::Punct(b'=')) {
+                    if let Some(init) = toks.get(k + 2) {
+                        if init.kind == TokKind::Number && is_float_literal(text(init)) {
+                            return Some("float literal".to_string());
+                        }
+                    }
+                }
+            }
+        }
+        m += 1;
+    }
+    // Parameter: `name : … f64 …` inside the signature.
+    let (sig_start, sig_end) = f.sig;
+    let mut m = sig_start;
+    while m + 2 < sig_end {
+        if toks[m].kind == TokKind::Ident
+            && text(&toks[m]) == name
+            && toks[m + 1].kind == TokKind::Punct(b':')
+            && toks[m + 2].kind == TokKind::Ident
+            && is_float_ty(text(&toks[m + 2]))
+        {
+            return Some(text(&toks[m + 2]).to_string());
+        }
+        m += 1;
+    }
+    None
+}
+
+/// `.sum::<f64>()` and `.fold(<float literal>, …)`.
+fn float_sum_or_fold(
+    unit: &Unit,
+    toks: &[Tok],
+    i: usize,
+    rule: &'static crate::rules::Rule,
+) -> Option<RawFinding> {
+    let text = |t: &Tok| &unit.src[t.start..t.end];
+    let t = &toks[i];
+    if t.kind != TokKind::Ident || i == 0 || toks[i - 1].kind != TokKind::Punct(b'.') {
+        return None;
+    }
+    match text(t) {
+        "sum" | "product"
+            if toks.get(i + 1).is_some_and(|u| u.kind == TokKind::Punct(b':'))
+                && toks.get(i + 2).is_some_and(|u| u.kind == TokKind::Punct(b':'))
+                && toks.get(i + 3).is_some_and(|u| u.kind == TokKind::Punct(b'<'))
+                && toks
+                    .get(i + 4)
+                    .is_some_and(|u| u.kind == TokKind::Ident && is_float_ty(text(u))) =>
+        {
+            Some(RawFinding {
+                rule,
+                line: t.line,
+                col: t.col,
+                matched: format!(".{}::<{}>", text(t), text(&toks[i + 4])),
+                message: format!(
+                    "`.{}::<{}>()` reduces floats in iterator order, which is not associative; \
+                     accumulate in fixed-point integers (see `SketchStats`), or waive with the \
+                     reason the order is deterministic",
+                    text(t),
+                    text(&toks[i + 4]),
+                ),
+            })
+        }
+        "fold"
+            if toks.get(i + 1).is_some_and(|u| u.kind == TokKind::Punct(b'('))
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|u| u.kind == TokKind::Number && is_float_literal(text(u))) =>
+        {
+            Some(RawFinding {
+                rule,
+                line: t.line,
+                col: t.col,
+                matched: ".fold(float, …)".to_string(),
+                message: "`.fold` with a float seed accumulates in iterator order, which is not \
+                          associative; accumulate in fixed-point integers (see `SketchStats`), or \
+                          waive with the reason the order is deterministic"
+                    .to_string(),
+            })
+        }
+        _ => None,
+    }
+}
+
+fn accum_finding(
+    rule: &'static crate::rules::Rule,
+    t: &Tok,
+    matched: &str,
+    ty: &str,
+    f: &crate::parse::FnItem,
+) -> RawFinding {
+    RawFinding {
+        rule,
+        line: t.line,
+        col: t.col,
+        matched: matched.to_string(),
+        message: format!(
+            "`{matched}` accumulates a {ty} inside `{}`, a merge/reduce path: float addition is \
+             order-sensitive, so shard or merge order changes the result; accumulate in \
+             fixed-point integers (see `SketchStats`), or waive with the reason the order is \
+             deterministic",
+            f.name,
+        ),
+    }
+}

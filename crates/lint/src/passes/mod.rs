@@ -1,0 +1,58 @@
+//! Interprocedural passes over the workspace call graph.
+//!
+//! Unlike the per-file rules in [`crate::rules`], these passes see the
+//! whole workspace at once: the [`crate::graph::Graph`] built from every
+//! file's parse result, plus the manifest scopes. Each pass returns
+//! [`PassFinding`]s that the engine merges into the per-file waiver
+//! pipeline (findings anchored in a source file) or reports directly
+//! (findings anchored in `lint.toml` or the schema lock, which no inline
+//! pragma can waive).
+
+pub mod float_det;
+pub mod hot;
+pub mod panic_domain;
+pub mod schema;
+
+use crate::rules::RawFinding;
+
+/// One finding produced by an interprocedural pass.
+#[derive(Clone, Debug)]
+pub struct PassFinding {
+    /// Index of the source file the finding anchors to (into the engine's
+    /// unit list); `None` for manifest/lock-anchored findings.
+    pub file: Option<usize>,
+    /// Report path when `file` is `None` (`lint.toml`, the lock path, …).
+    pub path: String,
+    /// The finding itself.
+    pub raw: RawFinding,
+}
+
+impl PassFinding {
+    /// A finding anchored in a scanned source file (waivable in place).
+    pub fn in_file(file: usize, raw: RawFinding) -> Self {
+        PassFinding { file: Some(file), path: String::new(), raw }
+    }
+
+    /// A finding anchored outside the scanned sources (not waivable).
+    pub fn at_path(path: impl Into<String>, raw: RawFinding) -> Self {
+        PassFinding { file: None, path: path.into(), raw }
+    }
+}
+
+/// A `DVS-M001` finding for a manifest entry that resolves to nothing.
+pub fn stale_manifest(
+    line: u32,
+    matched: impl Into<String>,
+    message: impl Into<String>,
+) -> PassFinding {
+    PassFinding::at_path(
+        "lint.toml",
+        RawFinding {
+            rule: crate::rules::by_name("stale-manifest").expect("catalog"),
+            line,
+            col: 1,
+            matched: matched.into(),
+            message: message.into(),
+        },
+    )
+}

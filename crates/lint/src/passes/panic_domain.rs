@@ -1,0 +1,140 @@
+//! DVS-P003 `panic-escape`: panic/index sites in the manifest's
+//! `[panic_domains] files` that can take down the whole process.
+//!
+//! The resilient sweep executor runs each cell behind a `catch_unwind`
+//! boundary, so a panic *inside* the cell is quarantined while the sweep
+//! continues. A panic *outside* that boundary — in the worker loop, the
+//! checkpoint cadence, result assembly — kills every worker and loses the
+//! sweep. This pass classifies each panic and slice-index site in the
+//! scoped files:
+//!
+//! * sites lexically inside a `catch_unwind(...)` argument are contained;
+//! * sites in functions provably reachable **only** through containment
+//!   (targets of contained call edges, closed over the call graph, with no
+//!   uncontained inbound edge from outside that set) are contained;
+//! * everything else escapes and needs a fix or a reasoned waiver.
+//!
+//! `[panic_domains] contained` lets the manifest assert additional
+//! containment roots (reviewed like any other manifest diff) for functions
+//! invoked through function pointers or other edges the static graph
+//! cannot see. Stale assertions are DVS-M001 findings.
+
+use crate::engine::Unit;
+use crate::graph::Graph;
+use crate::manifest::Manifest;
+use crate::passes::{stale_manifest, PassFinding};
+use crate::rules::{by_name, index_site_at, panic_site_at, RawFinding};
+
+/// Findings plus the containment statistics the report pins.
+#[derive(Debug, Default)]
+pub struct PanicOutcome {
+    /// P003 escape findings and M001 stale-assertion findings.
+    pub findings: Vec<PassFinding>,
+    /// How many functions the pass proved contained.
+    pub contained_fns: usize,
+}
+
+/// Runs the pass. No `[panic_domains] files` means nothing to classify.
+pub fn run(units: &[Unit], graph: &Graph, manifest: &Manifest) -> PanicOutcome {
+    let mut out = PanicOutcome::default();
+    if manifest.panic_files.is_empty() {
+        return out;
+    }
+    let rule = by_name("panic-escape").expect("catalog");
+
+    // Containment seeds: manifest assertions plus every call target whose
+    // call site sits inside a catch_unwind argument.
+    let mut seeds = Vec::new();
+    for spec in &manifest.panic_contained {
+        let ids = graph.resolve_entry(spec);
+        if ids.is_empty() {
+            out.findings.push(stale_manifest(
+                manifest.line_of("panic_domains.contained"),
+                spec.clone(),
+                format!(
+                    "[panic_domains] contained names `{spec}`, which resolves to no function in \
+                     the workspace; the containment assertion is stale — update or remove it"
+                ),
+            ));
+        } else {
+            seeds.extend(ids);
+        }
+    }
+    for adj in &graph.adj {
+        for e in adj {
+            if e.contained {
+                seeds.push(e.to);
+            }
+        }
+    }
+    seeds.sort_unstable();
+    seeds.dedup();
+    let contained = graph.reach_from(&seeds).reached;
+
+    // A contained function with an uncontained inbound edge from outside
+    // the contained set can also run in process context: treat it as
+    // escaping (the over-approximation errs toward flagging).
+    let mut tainted = vec![false; graph.fns.len()];
+    for (from, adj) in graph.adj.iter().enumerate() {
+        if contained[from] {
+            continue;
+        }
+        for e in adj {
+            if !e.contained {
+                tainted[e.to] = true;
+            }
+        }
+    }
+    out.contained_fns = contained.iter().zip(&tainted).filter(|(&c, &t)| c && !t).count();
+
+    // Map each file's local fn items to graph indices for the lookup.
+    let mut global_of: Vec<std::collections::BTreeMap<usize, usize>> =
+        vec![std::collections::BTreeMap::new(); units.len()];
+    for (gi, f) in graph.fns.iter().enumerate() {
+        global_of[f.file].insert(f.item, gi);
+    }
+
+    for (fi, unit) in units.iter().enumerate() {
+        if !manifest.is_panic_domain(&unit.rel) {
+            continue;
+        }
+        let toks = unit.ts.toks();
+        for i in 0..toks.len() {
+            let site = panic_site_at(&unit.src, &unit.ts, i)
+                .map(str::to_string)
+                .or_else(|| index_site_at(&unit.src, toks, i));
+            let Some(matched) = site else { continue };
+            let t = &toks[i];
+            // Test code is out of scope, as everywhere else.
+            let Some(local) = unit.parsed.enclosing_fn(i) else { continue };
+            if unit.parsed.fns[local].in_test {
+                continue;
+            }
+            if unit.parsed.token_is_contained(i) {
+                continue; // lexically inside catch_unwind: quarantined
+            }
+            if let Some(&gi) = global_of[fi].get(&local) {
+                if contained[gi] && !tainted[gi] {
+                    continue; // only reachable through a cell boundary
+                }
+            }
+            let verb = if matched.ends_with('[') { "panics out of bounds" } else { "panics" };
+            out.findings.push(PassFinding::in_file(
+                fi,
+                RawFinding {
+                    rule,
+                    line: t.line,
+                    col: t.col,
+                    matched: matched.clone(),
+                    message: format!(
+                        "`{matched}` {verb} outside every `catch_unwind` cell boundary in `{}`: \
+                         one bad cell would take down the whole sweep instead of being \
+                         quarantined; return an error, or waive with the invariant as the reason",
+                        unit.parsed.fns[local].name,
+                    ),
+                },
+            ));
+        }
+    }
+    out
+}

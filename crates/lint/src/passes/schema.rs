@@ -1,0 +1,202 @@
+//! DVS-S001 `schema-lock`: serialized-struct shape pinned against a
+//! committed lock file.
+//!
+//! The workspace's reports, checkpoints, and sketches round-trip through
+//! serde; silently adding, removing, renaming, or retyping a field changes
+//! the wire format and breaks replay of old artifacts. The manifest's
+//! `[schema] structs` lists the locked types; this pass fingerprints each
+//! one's field list (canonical text from the item parser, so formatting
+//! never matters) and compares the rendered lock against the committed
+//! file **byte-for-byte** — the dependency-free pass needs no JSON parser,
+//! only a canonical renderer.
+//!
+//! Drift is a hard error pointing at the drifted struct; the only way to
+//! accept an intentional change is to regenerate the lock with
+//! `REGEN_GOLDEN=1` so the diff shows up in review. `schema-lock` findings
+//! cannot be waived by pragma — the lock file *is* the waiver mechanism.
+
+use crate::engine::Unit;
+use crate::manifest::Manifest;
+use crate::parse::TypeKind;
+use crate::passes::{stale_manifest, PassFinding};
+use crate::rules::{by_name, RawFinding};
+
+/// Findings plus the canonical lock text for regeneration.
+#[derive(Debug, Default)]
+pub struct SchemaOutcome {
+    /// S001 drift findings and M001 stale-name findings.
+    pub findings: Vec<PassFinding>,
+    /// The canonical lock text computed from the tree (`None` when the
+    /// pass is disabled).
+    pub actual: Option<String>,
+    /// How many locked definitions were found.
+    pub structs: usize,
+}
+
+/// Runs the pass. `expected` is the committed lock file's contents
+/// (`None` when missing); pass `regen` to suppress drift findings while
+/// the caller rewrites the lock.
+pub fn run(
+    units: &[Unit],
+    manifest: &Manifest,
+    expected: Option<&str>,
+    regen: bool,
+) -> SchemaOutcome {
+    let mut out = SchemaOutcome::default();
+    if manifest.schema_lock.is_empty() {
+        return out;
+    }
+    let rule = by_name("schema-lock").expect("catalog");
+
+    // (name, path, line, rendered lock line)
+    let mut entries: Vec<(String, String, u32, String)> = Vec::new();
+    for name in &manifest.schema_structs {
+        let mut found = false;
+        for unit in units {
+            for ty in &unit.parsed.types {
+                if ty.in_test || &ty.name != name {
+                    continue;
+                }
+                found = true;
+                let kind = match ty.kind {
+                    TypeKind::Struct => "struct",
+                    TypeKind::Enum => "enum",
+                };
+                let fields: Vec<String> = ty
+                    .fields
+                    .iter()
+                    .map(|(n, t)| {
+                        if ty.kind == TypeKind::Enum {
+                            format!("{n}{t}")
+                        } else if t.is_empty() {
+                            n.clone()
+                        } else {
+                            format!("{n}: {t}")
+                        }
+                    })
+                    .collect();
+                let line = format!(
+                    "    {{\"name\": {}, \"path\": {}, \"kind\": {}, \"fields\": [{}]}}",
+                    json_str(name),
+                    json_str(&unit.rel),
+                    json_str(kind),
+                    fields.iter().map(|f| json_str(f)).collect::<Vec<_>>().join(", "),
+                );
+                entries.push((name.clone(), unit.rel.clone(), ty.line, line));
+            }
+        }
+        if !found {
+            out.findings.push(stale_manifest(
+                manifest.line_of("schema.structs"),
+                name.clone(),
+                format!(
+                    "[schema] structs names `{name}`, which is defined nowhere in the workspace; \
+                     the schema lock it declared has lapsed — update or remove the entry"
+                ),
+            ));
+        }
+    }
+    entries.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+    out.structs = entries.len();
+
+    let mut actual = String::from("{\n  \"version\": 1,\n  \"structs\": [\n");
+    for (i, (_, _, _, line)) in entries.iter().enumerate() {
+        actual.push_str(line);
+        actual.push_str(if i + 1 == entries.len() { "\n" } else { ",\n" });
+    }
+    actual.push_str("  ]\n}\n");
+    out.actual = Some(actual.clone());
+
+    if regen {
+        return out; // the caller rewrites the lock; drift is intentional
+    }
+    let Some(expected) = expected else {
+        out.findings.push(PassFinding::at_path(
+            manifest.schema_lock.clone(),
+            RawFinding {
+                rule,
+                line: 1,
+                col: 1,
+                matched: manifest.schema_lock.clone(),
+                message: format!(
+                    "schema lock `{}` does not exist; run with REGEN_GOLDEN=1 to create it and \
+                     commit the result",
+                    manifest.schema_lock
+                ),
+            },
+        ));
+        return out;
+    };
+    if expected == actual {
+        return out;
+    }
+
+    // Byte mismatch: name the drifted structs. A changed struct appears on
+    // both sides of the line diff; a removed one only in `expected`.
+    let actual_lines: std::collections::BTreeSet<&str> = actual.lines().collect();
+    let expected_lines: std::collections::BTreeSet<&str> = expected.lines().collect();
+    let mut drifted: Vec<String> = Vec::new();
+    for line in actual_lines.symmetric_difference(&expected_lines) {
+        if let Some(name) = lock_line_name(line) {
+            if !drifted.iter().any(|n| n == &name) {
+                drifted.push(name);
+            }
+        }
+    }
+    drifted.sort();
+    if drifted.is_empty() {
+        // Shape of the lock file itself changed (version bump, stray edit).
+        drifted.push(String::new());
+    }
+    for name in drifted {
+        let site = entries.iter().find(|(n, _, _, _)| *n == name);
+        let what = if name.is_empty() {
+            "the schema lock file".to_string()
+        } else {
+            format!("locked struct `{name}`")
+        };
+        let message = format!(
+            "{what} drifted from `{}`: the serialized shape changed without regenerating the \
+             lock, so old checkpoints/reports would no longer replay; if the change is \
+             intentional run with REGEN_GOLDEN=1 and commit the updated lock",
+            manifest.schema_lock
+        );
+        match site {
+            Some((_, path, line, _)) => out.findings.push(PassFinding::at_path(
+                path.clone(),
+                RawFinding { rule, line: *line, col: 1, matched: name.clone(), message },
+            )),
+            None => out.findings.push(PassFinding::at_path(
+                manifest.schema_lock.clone(),
+                RawFinding { rule, line: 1, col: 1, matched: name.clone(), message },
+            )),
+        }
+    }
+    out
+}
+
+/// Extracts the struct name from a rendered lock line.
+fn lock_line_name(line: &str) -> Option<String> {
+    let rest = line.split("\"name\": \"").nth(1)?;
+    Some(rest.split('"').next()?.to_string())
+}
+
+/// JSON string escaping (kept local: `report::json_str` is private and the
+/// lock renderer must not depend on report internals).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -32,6 +32,16 @@ pub fn render_text(a: &Analysis) -> String {
         a.advisories.len(),
         if a.advisories.len() == 1 { "y" } else { "ies" },
     ));
+    out.push_str(&format!(
+        "dvs-lint: graph: {} fns indexed, hot closure {} (from {} entr{}), {} contained, {} locked struct{}\n",
+        a.stats.fns_indexed,
+        a.stats.hot_closure_fns,
+        a.stats.hot_entry_fns,
+        if a.stats.hot_entry_fns == 1 { "y" } else { "ies" },
+        a.stats.contained_fns,
+        a.stats.schema_structs,
+        plural(a.stats.schema_structs),
+    ));
     out
 }
 
@@ -49,6 +59,18 @@ pub fn render_json(a: &Analysis) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"files_scanned\": {},\n", a.files_scanned));
     out.push_str(&format!("  \"waivers_honoured\": {},\n", a.waivers_honoured));
+    out.push_str("  \"stats\": {\n");
+    out.push_str(&format!("    \"fns_indexed\": {},\n", a.stats.fns_indexed));
+    out.push_str(&format!("    \"hot_entry_fns\": {},\n", a.stats.hot_entry_fns));
+    out.push_str(&format!("    \"hot_closure_fns\": {},\n", a.stats.hot_closure_fns));
+    out.push_str(&format!("    \"contained_fns\": {},\n", a.stats.contained_fns));
+    out.push_str(&format!("    \"schema_structs\": {},\n", a.stats.schema_structs));
+    out.push_str("    \"rule_counts\": {");
+    for (i, (id, n)) in a.stats.rule_counts.iter().enumerate() {
+        out.push_str(if i == 0 { "" } else { ", " });
+        out.push_str(&format!("{}: {n}", json_str(id)));
+    }
+    out.push_str("}\n  },\n");
     out.push_str("  \"findings\": [");
     render_findings(&mut out, &a.findings);
     out.push_str("],\n  \"advisories\": [");
@@ -116,6 +138,11 @@ mod tests {
             advisories: vec![],
             files_scanned: 2,
             waivers_honoured: 1,
+            stats: crate::engine::Stats {
+                fns_indexed: 4,
+                rule_counts: vec![("DVS-D003".into(), 1)],
+                ..Default::default()
+            },
         }
     }
 
@@ -131,6 +158,8 @@ mod tests {
         let json = render_json(&sample());
         assert!(json.contains(r#""rule": "DVS-D003""#));
         assert!(json.contains(r#"order varies \"per process\""#));
+        assert!(json.contains(r#""fns_indexed": 4"#));
+        assert!(json.contains(r#""rule_counts": {"DVS-D003": 1}"#));
         assert_eq!(json, render_json(&sample()));
     }
 

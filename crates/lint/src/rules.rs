@@ -17,6 +17,17 @@
 //! | DVS-U001 | `unsafe-code`| whole workspace           | `unsafe` outside the manifest's allowed files |
 //! | DVS-W001 | `waiver-syntax` | whole workspace        | malformed or reason-less waiver pragma (not itself waivable) |
 //! | DVS-W002 | `unused-waiver` | whole workspace        | advisory: a waiver that suppressed nothing |
+//!
+//! The interprocedural rules live in [`crate::passes`] and run over the
+//! whole-workspace call graph rather than per file:
+//!
+//! | ID       | name                  | scope | hazard |
+//! |----------|-----------------------|-------|--------|
+//! | DVS-F001 | `float-accum`         | sim-crate merge/reduce fns | order-sensitive `f32`/`f64` accumulation |
+//! | DVS-H002 | `hot-alloc-transitive`| closure of `[hot] entry_points` | allocation anywhere reachable from a hot entry |
+//! | DVS-M001 | `stale-manifest`      | `lint.toml` | manifest entries that resolve to nothing (not waivable) |
+//! | DVS-P003 | `panic-escape`        | `[panic_domains] files` | panic/index site reachable outside every `catch_unwind` |
+//! | DVS-S001 | `schema-lock`         | `[schema] structs` | serialized-struct drift vs the lock file (not waivable) |
 
 use crate::tokens::{self, Pat, Tok, TokKind, TokenStream};
 
@@ -44,11 +55,36 @@ pub const RULES: &[Rule] = &[
         name: "hash-iter",
         summary: "hash-ordered container in simulation code",
     },
+    Rule {
+        id: "DVS-F001",
+        name: "float-accum",
+        summary: "order-sensitive float accumulation in a merge/reduce path",
+    },
     Rule { id: "DVS-H001", name: "hot-alloc", summary: "allocation in a declared hot path" },
+    Rule {
+        id: "DVS-H002",
+        name: "hot-alloc-transitive",
+        summary: "allocation reachable from a declared hot entry point",
+    },
+    Rule {
+        id: "DVS-M001",
+        name: "stale-manifest",
+        summary: "lint.toml names something the workspace no longer has",
+    },
     Rule { id: "DVS-P001", name: "panic", summary: "panic site in non-test library code" },
     Rule { id: "DVS-P002", name: "index", summary: "slice indexing in an index-strict hot path" },
     Rule {
+        id: "DVS-P003",
+        name: "panic-escape",
+        summary: "panic site that escapes every catch_unwind cell boundary",
+    },
+    Rule {
         id: "DVS-R001", name: "discard", summary: "discarded fallible result (`let _ = …(…)`)"
+    },
+    Rule {
+        id: "DVS-S001",
+        name: "schema-lock",
+        summary: "serialized struct drifted from the committed schema lock",
     },
     Rule {
         id: "DVS-U001",
@@ -260,32 +296,31 @@ fn path2_any(ts: &TokenStream, src: &str, i: usize) -> bool {
     )
 }
 
-/// DVS-P001: `.unwrap()`, `.expect(`, `panic!`.
-fn panic_rules(src: &str, ts: &TokenStream, i: usize, t: &Tok, out: &mut Vec<RawFinding>) {
+/// Matches a panic site at token `i`: `.unwrap()`, `.expect(`, `panic!`.
+/// Shared between DVS-P001 (per-file) and DVS-P003 (panic-domain pass).
+pub(crate) fn panic_site_at(src: &str, ts: &TokenStream, i: usize) -> Option<&'static str> {
+    let t = ts.toks().get(i)?;
     if t.kind != TokKind::Ident {
-        return;
+        return None;
     }
     match ident_text(src, t) {
-        "unwrap" if preceded_by_dot(ts, i) && followed_by(ts, i, b'(') => out.push(finding(
-            "panic",
-            t,
-            ".unwrap()",
-            "`unwrap` panics on the failure path; return `DvsError` (or restructure so the invariant is by construction)",
-        )),
-        "expect" if preceded_by_dot(ts, i) && followed_by(ts, i, b'(') => out.push(finding(
-            "panic",
-            t,
-            ".expect(…)",
-            "`expect` panics on the failure path; return `DvsError`, or waive with the invariant as the reason",
-        )),
-        "panic" if followed_by(ts, i, b'!') => out.push(finding(
-            "panic",
-            t,
-            "panic!",
-            "explicit panic in library code; prefer a typed `DvsError` so callers can degrade gracefully",
-        )),
-        _ => {}
+        "unwrap" if preceded_by_dot(ts, i) && followed_by(ts, i, b'(') => Some(".unwrap()"),
+        "expect" if preceded_by_dot(ts, i) && followed_by(ts, i, b'(') => Some(".expect(…)"),
+        "panic" if followed_by(ts, i, b'!') => Some("panic!"),
+        _ => None,
     }
+}
+
+/// DVS-P001: `.unwrap()`, `.expect(`, `panic!`.
+fn panic_rules(src: &str, ts: &TokenStream, i: usize, t: &Tok, out: &mut Vec<RawFinding>) {
+    let message = match panic_site_at(src, ts, i) {
+        Some(".unwrap()") => "`unwrap` panics on the failure path; return `DvsError` (or restructure so the invariant is by construction)",
+        Some(".expect(…)") => "`expect` panics on the failure path; return `DvsError`, or waive with the invariant as the reason",
+        Some("panic!") => "explicit panic in library code; prefer a typed `DvsError` so callers can degrade gracefully",
+        _ => return,
+    };
+    let matched = panic_site_at(src, ts, i).expect("matched above");
+    out.push(finding("panic", t, matched, message));
 }
 
 fn preceded_by_dot(ts: &TokenStream, i: usize) -> bool {
@@ -296,14 +331,13 @@ fn followed_by(ts: &TokenStream, i: usize, b: u8) -> bool {
     ts.toks().get(i + 1).is_some_and(|t| t.kind == TokKind::Punct(b))
 }
 
-/// DVS-H001: allocation calls in hot paths.
-fn hot_alloc_rule(src: &str, ts: &TokenStream, i: usize, t: &Tok, out: &mut Vec<RawFinding>) {
+/// Matches an allocating call at token `i`. Shared between DVS-H001
+/// (per-file hot paths) and DVS-H002 (transitive hot-closure pass).
+pub(crate) fn alloc_site_at(src: &str, ts: &TokenStream, i: usize) -> Option<&'static str> {
+    let t = ts.toks().get(i)?;
     if t.kind != TokKind::Ident {
-        return;
+        return None;
     }
-    let msg_tail =
-        "allocates; hot paths must reuse pooled storage (see `RunArena`), or waive with a reason \
-                    explaining why the allocation is construction-time only";
     match ident_text(src, t) {
         "Vec"
             if ts.seq_matches(
@@ -312,7 +346,7 @@ fn hot_alloc_rule(src: &str, ts: &TokenStream, i: usize, t: &Tok, out: &mut Vec<
                 &[Pat::Ident("Vec"), Pat::Punct(b':'), Pat::Punct(b':'), Pat::Ident("new")],
             ) =>
         {
-            out.push(finding("hot-alloc", t, "Vec::new", format!("`Vec::new` {msg_tail}")))
+            Some("Vec::new")
         }
         "Box"
             if ts.seq_matches(
@@ -321,22 +355,29 @@ fn hot_alloc_rule(src: &str, ts: &TokenStream, i: usize, t: &Tok, out: &mut Vec<
                 &[Pat::Ident("Box"), Pat::Punct(b':'), Pat::Punct(b':'), Pat::Ident("new")],
             ) =>
         {
-            out.push(finding("hot-alloc", t, "Box::new", format!("`Box::new` {msg_tail}")))
+            Some("Box::new")
         }
-        "vec" if followed_by(ts, i, b'!') => {
-            out.push(finding("hot-alloc", t, "vec!", format!("`vec!` {msg_tail}")))
-        }
-        "format" if followed_by(ts, i, b'!') => {
-            out.push(finding("hot-alloc", t, "format!", format!("`format!` {msg_tail}")))
-        }
-        "to_string" if preceded_by_dot(ts, i) && followed_by(ts, i, b'(') => {
-            out.push(finding("hot-alloc", t, ".to_string()", format!("`.to_string()` {msg_tail}")))
-        }
-        "clone" if preceded_by_dot(ts, i) && followed_by(ts, i, b'(') => {
-            out.push(finding("hot-alloc", t, ".clone()", format!("`.clone()` usually {msg_tail}")))
-        }
-        _ => {}
+        "vec" if followed_by(ts, i, b'!') => Some("vec!"),
+        "format" if followed_by(ts, i, b'!') => Some("format!"),
+        "to_string" if preceded_by_dot(ts, i) && followed_by(ts, i, b'(') => Some(".to_string()"),
+        "clone" if preceded_by_dot(ts, i) && followed_by(ts, i, b'(') => Some(".clone()"),
+        _ => None,
     }
+}
+
+/// DVS-H001: allocation calls in hot paths.
+fn hot_alloc_rule(src: &str, ts: &TokenStream, i: usize, t: &Tok, out: &mut Vec<RawFinding>) {
+    let Some(matched) = alloc_site_at(src, ts, i) else { return };
+    let usually = if matched == ".clone()" { "usually " } else { "" };
+    out.push(finding(
+        "hot-alloc",
+        t,
+        matched,
+        format!(
+            "`{matched}` {usually}allocates; hot paths must reuse pooled storage (see `RunArena`), \
+             or waive with a reason explaining why the allocation is construction-time only"
+        ),
+    ));
 }
 
 /// DVS-P002: slice indexing `x[i]` — a `[` token *directly adjacent* to a
@@ -344,8 +385,22 @@ fn hot_alloc_rule(src: &str, ts: &TokenStream, i: usize, t: &Tok, out: &mut Vec<
 /// literals (`= [1, 2]`), and attributes (`#[…]`) all have a non-value
 /// token before the bracket and are not matched.
 fn index_rule(src: &str, toks: &[Tok], i: usize, t: &Tok, out: &mut Vec<RawFinding>) {
+    let Some(matched) = index_site_at(src, toks, i) else { return };
+    out.push(finding(
+        "index",
+        t,
+        matched,
+        "slice indexing panics out of bounds; use `get`/pattern matching on the hot path, or waive \
+         with the bounds invariant as the reason",
+    ));
+}
+
+/// Matches a slice-indexing site at token `i` (a `[` directly adjacent to a
+/// value-producing token). Shared between DVS-P002 and DVS-P003.
+pub(crate) fn index_site_at(src: &str, toks: &[Tok], i: usize) -> Option<String> {
+    let t = toks.get(i)?;
     if t.kind != TokKind::Punct(b'[') || i == 0 {
-        return;
+        return None;
     }
     let prev = &toks[i - 1];
     let value_like =
@@ -355,14 +410,9 @@ fn index_rule(src: &str, toks: &[Tok], i: usize, t: &Tok, out: &mut Vec<RawFindi
         // macro matchers (`($x:ident [$($t:tt)*])`) out of scope; rustfmt
         // normalises real indexing to the adjacent form.
         let ident = if prev.kind == TokKind::Ident { &src[prev.start..prev.end] } else { "…" };
-        out.push(finding(
-            "index",
-            t,
-            format!("{ident}["),
-            "slice indexing panics out of bounds; use `get`/pattern matching on the hot path, or waive \
-             with the bounds invariant as the reason",
-        ));
+        return Some(format!("{ident}["));
     }
+    None
 }
 
 /// DVS-R001: `let _ = <expr containing a call>;`.
@@ -413,8 +463,9 @@ fn unsafe_rule(src: &str, t: &Tok, out: &mut Vec<RawFinding>) {
 }
 
 /// Line ranges (1-based, inclusive) covered by `#[cfg(test)] mod … { … }`
-/// blocks. Rules skip those — test code may unwrap freely.
-fn test_line_ranges(src: &str, ts: &TokenStream) -> Vec<(u32, u32)> {
+/// blocks. Rules (and the item parser) skip those — test code may unwrap
+/// freely and must not enter the workspace call graph.
+pub(crate) fn test_line_ranges(src: &str, ts: &TokenStream) -> Vec<(u32, u32)> {
     let toks = ts.toks();
     let mut ranges = Vec::new();
     let mut i = 0;

@@ -238,7 +238,17 @@ impl<'a> Lexer<'a> {
         let start_line_start = self.line_start;
         while self.pos < self.src.len() {
             match self.src[self.pos] {
-                b'\\' if !raw => self.pos += 2,
+                // An escape consumes two bytes; a `\` line continuation
+                // escapes a real newline, which must still count as one.
+                b'\\' if !raw => {
+                    if self.peek(1) == Some(b'\n') {
+                        self.pos += 2;
+                        self.line += 1;
+                        self.line_start = self.pos;
+                    } else {
+                        self.pos += 2;
+                    }
+                }
                 b'\n' => {
                     self.pos += 1;
                     self.line += 1;
@@ -451,6 +461,17 @@ mod tests {
             0,
             &[Pat::Ident("Instant"), Pat::Punct(b':'), Pat::Punct(b':'), Pat::Ident("now")]
         ));
+    }
+
+    #[test]
+    fn backslash_line_continuations_track_lines() {
+        let src = "let a = \"one \\\n two\";\nnext_ident";
+        let ts = lex(src);
+        let next = ts
+            .toks()
+            .iter()
+            .find(|t| t.kind == TokKind::Ident && &src[t.start..t.end] == "next_ident");
+        assert_eq!(next.unwrap().line, 3);
     }
 
     #[test]

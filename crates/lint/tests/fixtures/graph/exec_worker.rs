@@ -1,0 +1,26 @@
+//! A miniature resilient worker: each cell runs behind `catch_unwind`,
+//! the summary after the loop does not.
+
+/// Drives every job through the cell boundary, then summarizes.
+pub fn drive(jobs: &[u64]) -> u64 {
+    let mut total = 0;
+    for j in jobs {
+        if let Ok(v) = std::panic::catch_unwind(|| step(*j)) {
+            total += v;
+        }
+    }
+    finish(total, jobs.len())
+}
+
+/// Runs one job. A panic here unwinds into the boundary above, so the
+/// panic-domain pass must classify this site as contained.
+pub fn step(j: u64) -> u64 {
+    j.checked_mul(2).unwrap()
+}
+
+/// Summarizes outside every boundary: the index here can take the whole
+/// worker down, so it must be flagged as escaping.
+pub fn finish(total: u64, n: usize) -> u64 {
+    let caps = [10, 100, 1000];
+    total / caps[n % 3]
+}

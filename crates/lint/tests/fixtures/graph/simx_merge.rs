@@ -1,0 +1,19 @@
+//! Shard statistics for the fixture sim crate: a serialized struct under
+//! the schema lock, with an order-sensitive float reduction.
+
+/// Serialized per-shard statistics.
+pub struct Stats {
+    /// Total of observed samples.
+    pub sum: f64,
+    /// Number of observed samples.
+    pub n: u64,
+}
+
+impl Stats {
+    /// Folds another shard into this one — float addition order depends on
+    /// shard order, which is what DVS-F001 exists to catch.
+    pub fn merge(&mut self, other: &Stats) {
+        self.sum += other.sum;
+        self.n += other.n;
+    }
+}

@@ -1,0 +1,241 @@
+//! Property tests for the workspace call graph: reachability is a *sound
+//! over-approximation* of the true call relation.
+//!
+//! A deterministic splitmix64 generator builds synthetic workspaces —
+//! several crates, shadowed function names, methods behind shared names,
+//! call cycles — renders them to real Rust source, and lexes/parses/graphs
+//! them exactly as the engine does. The ground truth is the edge list the
+//! generator *chose*; the property is that every function truly reachable
+//! from a root is inside [`Graph::reach_from`]'s closure. The graph may
+//! legitimately reach *more* (shared names fan out — that is the
+//! conservative contract), but never less, because a missed edge would let
+//! a hot-path allocation or an escaping panic go unreported.
+//!
+//! Only call forms the resolver promises to cover are generated:
+//! bare calls (workspace-wide by name), `Type::method` (workspace-wide via
+//! the impl index), and receiver-form `.method()` against a method in the
+//! caller's own crate (the intra-crate fallback's contract).
+
+use std::collections::VecDeque;
+
+use dvs_lint::graph::Graph;
+use dvs_lint::parse::{parse_file, ParsedFile};
+use dvs_lint::tokens::lex;
+
+/// splitmix64 — tiny, deterministic, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// One generated function: where it lives and how it can be called.
+#[derive(Clone)]
+struct SynFn {
+    krate: usize,
+    file: usize,
+    /// Rendered name — deliberately drawn from a small pool so distinct
+    /// functions shadow each other across files and crates.
+    name: String,
+    /// `Some(type name)` when the function is a method of that type.
+    self_type: Option<String>,
+}
+
+/// A generated workspace plus its ground-truth call relation.
+struct SynWorkspace {
+    files: Vec<(String, String)>,
+    fns: Vec<SynFn>,
+    /// True edges, as (caller, callee) indices into `fns`.
+    edges: Vec<(usize, usize)>,
+}
+
+/// Picks a callee for `caller` and returns the call expression, or `None`
+/// when no sound form exists for the candidate. Receiver-form calls are
+/// only generated against same-crate methods — the documented limit of the
+/// intra-crate fallback.
+fn call_expr(rng: &mut Rng, fns: &[SynFn], caller: usize, callee: usize) -> Option<String> {
+    let target = &fns[callee];
+    match &target.self_type {
+        None => Some(format!("{}(x)", target.name)),
+        Some(ty) => {
+            if rng.below(2) == 0 {
+                Some(format!("{ty}::{}(x)", target.name))
+            } else if fns[caller].krate == target.krate {
+                Some(format!("x.{}()", target.name))
+            } else {
+                None // cross-crate receiver form is outside the contract
+            }
+        }
+    }
+}
+
+fn generate(seed: u64) -> SynWorkspace {
+    let mut rng = Rng(seed);
+    let crates = 1 + rng.below(4);
+    let mut fns: Vec<SynFn> = Vec::new();
+    for k in 0..crates {
+        let files = 1 + rng.below(2);
+        for f in 0..files {
+            for _ in 0..1 + rng.below(4) {
+                let (name, self_type) = if rng.below(3) == 0 {
+                    // A method of one of three shared type names: same
+                    // method name on different types exercises the precise
+                    // impl index and the intra-crate fallback.
+                    (format!("m{}", rng.below(3)), Some(format!("T{}", rng.below(3))))
+                } else {
+                    (format!("f{}", rng.below(6)), None)
+                };
+                fns.push(SynFn { krate: k, file: f, name, self_type });
+            }
+        }
+    }
+
+    // Edges: up to three callees per function, callee drawn uniformly; the
+    // uniform draw produces forward edges, back edges, self loops, and
+    // cycles without special cases.
+    let mut edges = Vec::new();
+    let mut bodies: Vec<Vec<String>> = vec![Vec::new(); fns.len()];
+    for (caller, body) in bodies.iter_mut().enumerate() {
+        for _ in 0..rng.below(4) {
+            let callee = rng.below(fns.len());
+            if let Some(expr) = call_expr(&mut rng, &fns, caller, callee) {
+                body.push(expr);
+                edges.push((caller, callee));
+            }
+        }
+    }
+
+    // Render each (crate, file) bucket to source. Methods of the same type
+    // in the same file share one impl block per occurrence — separate
+    // blocks are equally valid Rust and simpler to emit.
+    let mut files = Vec::new();
+    for k in 0..crates {
+        for f in 0..2 {
+            let members: Vec<usize> =
+                (0..fns.len()).filter(|&i| fns[i].krate == k && fns[i].file == f).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut src = String::new();
+            for &i in &members {
+                let body: String =
+                    bodies[i].iter().map(|c| format!("    let _r = {c};\n")).collect();
+                match &fns[i].self_type {
+                    None => {
+                        src.push_str(&format!(
+                            "pub fn {}(x: u64) -> u64 {{\n{body}    x\n}}\n",
+                            fns[i].name
+                        ));
+                    }
+                    Some(ty) => {
+                        src.push_str(&format!(
+                            "impl {ty} {{\n    pub fn {}(x: u64) -> u64 {{\n{body}        x\n    }}\n}}\n",
+                            fns[i].name
+                        ));
+                    }
+                }
+            }
+            files.push((format!("crates/k{k}/src/file{f}.rs"), src));
+        }
+    }
+    SynWorkspace { files, fns, edges }
+}
+
+/// Ground-truth BFS over the generated edge list.
+fn true_reachable(n: usize, edges: &[(usize, usize)], roots: &[usize]) -> Vec<bool> {
+    let mut seen = vec![false; n];
+    let mut q: VecDeque<usize> = roots.iter().copied().collect();
+    for &r in roots {
+        seen[r] = true;
+    }
+    while let Some(cur) = q.pop_front() {
+        for &(a, b) in edges {
+            if a == cur && !seen[b] {
+                seen[b] = true;
+                q.push_back(b);
+            }
+        }
+    }
+    seen
+}
+
+/// Maps a generated function to its graph index by (path, name, self type).
+/// Shared names mean several graph functions can match a synthetic one;
+/// the definition order within a file disambiguates.
+fn graph_index(g: &Graph, files: &[(String, String)], ws: &SynWorkspace, i: usize) -> usize {
+    let path = format!("crates/k{}/src/file{}.rs", ws.fns[i].krate, ws.fns[i].file);
+    let file_idx = files.iter().position(|(p, _)| *p == path).expect("file exists");
+    // The i-th synthetic fn in this file is the i-th parsed fn in it.
+    let nth = (0..i)
+        .filter(|&j| ws.fns[j].krate == ws.fns[i].krate && ws.fns[j].file == ws.fns[i].file)
+        .count();
+    (0..g.fns.len())
+        .filter(|&gi| g.fns[gi].file == file_idx)
+        .nth(nth)
+        .expect("every generated fn is indexed")
+}
+
+#[test]
+fn reachability_is_a_sound_over_approximation() {
+    for seed in 0..80u64 {
+        let ws = generate(seed);
+        let parsed: Vec<(String, ParsedFile)> =
+            ws.files.iter().map(|(rel, src)| (rel.clone(), parse_file(src, &lex(src)))).collect();
+        let refs: Vec<(&str, &ParsedFile)> = parsed.iter().map(|(r, p)| (r.as_str(), p)).collect();
+        let g = Graph::build(&refs);
+        assert_eq!(g.fns.len(), ws.fns.len(), "seed {seed}: every fn is indexed exactly once");
+
+        // Up to three random roots per workspace.
+        let mut rng = Rng(seed ^ 0xDEAD_BEEF);
+        let roots: Vec<usize> = (0..1 + rng.below(3)).map(|_| rng.below(ws.fns.len())).collect();
+        let truth = true_reachable(ws.fns.len(), &ws.edges, &roots);
+
+        let groots: Vec<usize> =
+            roots.iter().map(|&r| graph_index(&g, &ws.files, &ws, r)).collect();
+        let reach = g.reach_from(&groots);
+        for (i, &truly_reachable) in truth.iter().enumerate() {
+            if truly_reachable {
+                let gi = graph_index(&g, &ws.files, &ws, i);
+                assert!(
+                    reach.reached[gi],
+                    "seed {seed}: `{}` (fn {i}) is truly reachable but outside the closure — \
+                     the over-approximation lost an edge",
+                    ws.fns[i].name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn entry_specs_resolve_to_every_true_definition() {
+    for seed in 100..140u64 {
+        let ws = generate(seed);
+        let parsed: Vec<(String, ParsedFile)> =
+            ws.files.iter().map(|(rel, src)| (rel.clone(), parse_file(src, &lex(src)))).collect();
+        let refs: Vec<(&str, &ParsedFile)> = parsed.iter().map(|(r, p)| (r.as_str(), p)).collect();
+        let g = Graph::build(&refs);
+        for (i, f) in ws.fns.iter().enumerate() {
+            let spec = match &f.self_type {
+                Some(ty) => format!("{ty}::{}", f.name),
+                None => f.name.clone(),
+            };
+            let gi = graph_index(&g, &ws.files, &ws, i);
+            assert!(
+                g.resolve_entry(&spec).contains(&gi),
+                "seed {seed}: entry spec `{spec}` must resolve to definition {i}"
+            );
+        }
+    }
+}

@@ -110,5 +110,5 @@ fn manifest_naming_a_missing_hot_path_is_an_error() {
     .unwrap();
 
     let err = analyze_workspace(ws.root()).expect_err("lapsed guarantee must fail loudly");
-    assert!(err.contains("gone.rs"), "{err}");
+    assert!(err.to_string().contains("gone.rs"), "{err}");
 }

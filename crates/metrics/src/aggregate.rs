@@ -53,6 +53,7 @@ impl StreamingStats {
             self.min = self.min.min(sample);
             self.max = self.max.max(sample);
         }
+        // dvs-lint: allow(float-accum, reason = "StreamingStats observes records in committed report order on one thread and is never shard-merged, so the addition order is fixed")
         self.sum += sample;
         self.count += 1;
     }
@@ -95,7 +96,6 @@ impl QuantileGrid {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "a quantile grid needs at least one bin");
         assert!(hi > lo, "quantile grid range must be non-empty");
-        // dvs-lint: allow(hot-alloc, reason = "grid construction happens once per aggregate, not per observed record")
         QuantileGrid { lo, hi, counts: vec![0; bins], total: 0 }
     }
 
@@ -270,7 +270,6 @@ impl RunAggregate {
     /// The records stream through [`RunAggregate::observe`] in report order,
     /// so derived metrics are bit-identical to the `RunReport` equivalents.
     pub fn from_report(report: &RunReport) -> Self {
-        // dvs-lint: allow(hot-alloc, reason = "one name copy per summarized report; the per-record observe path is allocation-free")
         let mut agg = RunAggregate::new(report.name.clone(), report.rate_hz);
         for record in &report.records {
             agg.observe(record);
@@ -319,7 +318,6 @@ impl RunAggregate {
         }
         agg.frames = latency.total as usize;
         agg.latency_ms = StreamingStats { count: latency.total, sum, min, max };
-        // dvs-lint: allow(hot-alloc, reason = "one O(bins) grid copy per reconstructed aggregate, not per observed record")
         agg.latency_cdf = latency.clone();
         agg
     }

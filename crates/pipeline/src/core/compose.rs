@@ -58,11 +58,7 @@ pub struct CompositeArena {
 impl CompositeArena {
     /// An empty arena; buffers grow to each run's working set on first use.
     pub fn new() -> Self {
-        CompositeArena {
-            // dvs-lint: allow(hot-alloc, reason = "arena construction happens once per worker; runs reuse these buffers")
-            surfaces: Vec::new(),
-            heap: EventQueue::new(),
-        }
+        CompositeArena { surfaces: Vec::new(), heap: EventQueue::new() }
     }
 
     /// Grows the per-surface arena pool to at least `m` entries.

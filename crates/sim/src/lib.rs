@@ -26,10 +26,12 @@
 
 mod error;
 mod event;
+mod hash;
 mod rng;
 mod time;
 
 pub use error::{DvsError, DvsResult};
 pub use event::EventQueue;
+pub use hash::{fnv1a, Fnv1a, FNV_OFFSET, FNV_PRIME};
 pub use rng::{stable_seed, SimRng};
 pub use time::{SimDuration, SimTime};

@@ -21,7 +21,7 @@
 /// assert_ne!(stable_seed("Walmart"), stable_seed("QQMusic"));
 /// ```
 pub fn stable_seed(key: &str) -> u64 {
-    key.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+    crate::fnv1a(key.as_bytes())
 }
 
 /// A deterministic PRNG (xoshiro256**) for simulation workloads.

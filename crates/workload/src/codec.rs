@@ -106,17 +106,10 @@ const MEMORY_LABEL: &str = "<memory>";
 
 // ---- primitives ------------------------------------------------------------
 
-/// FNV-1a over raw bytes — the byte-slice sibling of `dvs_sim::stable_seed`
-/// (which hashes `&str`); same offset basis and prime, so checksums are
-/// reproducible across platforms.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// Container checksums use the workspace's single FNV-1a implementation
+/// (`dvs_sim::fnv1a`, the byte-slice sibling of `stable_seed`), so trace
+/// seals and checkpoint fingerprints can never drift apart.
+use dvs_sim::fnv1a;
 
 /// Zigzag-codes a wrapping delta so small signed differences become small
 /// unsigned values. A bijection on `u64`.
@@ -1001,13 +994,11 @@ impl<W: Write> TraceWriter<W> {
         if name.len() > u16::MAX as usize {
             return Err(format_err(
                 label,
-                // dvs-lint: allow(hot-alloc, reason = "cold error path: oversized name")
                 format!("trace name is {} bytes (max 65535)", name.len()),
             ));
         }
         let mut writer = TraceWriter {
             sink,
-            // dvs-lint: allow(hot-alloc, reason = "one-time construction: error-context label")
             label: label.to_string(),
             ui: Vec::with_capacity(BLOCK_FRAMES),
             rs: Vec::with_capacity(BLOCK_FRAMES),
@@ -1156,7 +1147,6 @@ impl<R: Read> TraceReader<R> {
         let version = u16::from_le_bytes([head[4], head[5]]);
         if version != FORMAT_VERSION {
             return Err(TraceError::Version {
-                // dvs-lint: allow(hot-alloc, reason = "cold error path: version mismatch")
                 path: label.to_string(),
                 got: version,
                 supported: FORMAT_VERSION,
@@ -1166,7 +1156,6 @@ impl<R: Read> TraceReader<R> {
         let backend = match head[10] {
             0 => Backend::Gles,
             1 => Backend::Vulkan,
-            // dvs-lint: allow(hot-alloc, reason = "cold error path: unknown backend tag")
             other => return Err(format_err(label, format!("unknown backend tag {other}"))),
         };
         let name_len = u16::from_le_bytes([head[11], head[12]]) as usize;
@@ -1177,13 +1166,11 @@ impl<R: Read> TraceReader<R> {
             return Err(corrupt_err(label, String::from("header checksum mismatch")));
         }
         let name = match std::str::from_utf8(&head[13..13 + name_len]) {
-            // dvs-lint: allow(hot-alloc, reason = "one-time construction: trace name")
             Ok(s) => s.to_string(),
             Err(_) => return Err(format_err(label, String::from("trace name is not UTF-8"))),
         };
         Ok(TraceReader {
             src,
-            // dvs-lint: allow(hot-alloc, reason = "one-time construction: error-context label")
             label: label.to_string(),
             name,
             rate_hz,
@@ -1363,7 +1350,6 @@ impl FrameTrace {
     /// As [`TraceReader::read_block_into`].
     pub fn read_binary<R: Read>(src: R, label: &str) -> Result<Self, TraceError> {
         let mut reader = TraceReader::with_label(src, label)?;
-        // dvs-lint: allow(hot-alloc, reason = "one-time construction: the decoded frame vector")
         let mut frames = Vec::new();
         reader.read_to_end_into(&mut frames)?;
         let TraceReader { name, rate_hz, backend, .. } = reader;
@@ -1377,7 +1363,6 @@ impl FrameTrace {
     /// Returns [`TraceError::Io`] on filesystem failure.
     pub fn save_binary(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
         let path = path.as_ref();
-        // dvs-lint: allow(hot-alloc, reason = "one-time construction: error-context label")
         let label = &path.display().to_string();
         let file = match fs::File::create(path) {
             Ok(f) => f,
@@ -1400,7 +1385,6 @@ impl FrameTrace {
     /// As [`TraceReader::read_block_into`].
     pub fn load_binary(path: impl AsRef<Path>) -> Result<Self, TraceError> {
         let path = path.as_ref();
-        // dvs-lint: allow(hot-alloc, reason = "one-time construction: error-context label")
         let label = &path.display().to_string();
         let file = match fs::File::open(path) {
             Ok(f) => f,

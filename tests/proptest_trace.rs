@@ -9,16 +9,10 @@ use proptest::prelude::*;
 use dvsync::workload::codec::{BLOCK_FRAMES, FORMAT_VERSION};
 use dvsync::workload::{Backend, FrameCost, FrameTrace, TraceError};
 
-/// FNV-1a over `bytes`, mirroring the codec's checksum so tests can re-seal
-/// a tampered header and prove the version check fires on its own.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// The codec's checksum function (`dvs_sim::fnv1a` — the workspace's single
+/// FNV-1a), so tests can re-seal a tampered header and prove the version
+/// check fires on its own.
+use dvs_sim::fnv1a;
 
 /// Bytes before the header checksum: magic (4) + version (2) + rate (4) +
 /// backend (1) + name length (2) + name.
